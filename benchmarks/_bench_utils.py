@@ -1,0 +1,11 @@
+"""Shared helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+
+def print_section(title: str) -> None:
+    """Print a visually separated section header around regenerated tables."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

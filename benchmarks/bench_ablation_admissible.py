@@ -1,0 +1,97 @@
+"""Benchmark X2 — ablation of the admissibility machinery in Algorithm 1.
+
+The paper's W2R1 algorithm rests on the ``admissible`` predicate (with
+degrees up to ``R + 1``) evaluated over the per-value ``updated`` sets that
+servers maintain.  This ablation removes the predicate -- readers simply
+return the largest tag they see in their single round-trip -- and replays a
+targeted partial-propagation schedule (a pending write visible on a single
+server, one reader that sees that server and a later reader that does not).
+
+Expected shape:
+
+* full algorithm, feasible configuration (``R < S/t - 2``): zero violations
+  -- the predicate refuses to return a value whose witness could be missed
+  by a later read;
+* naive reader (no admissibility): new/old inversions appear in the very
+  same schedules, in both the feasible and the infeasible configuration;
+* full algorithm in the infeasible configuration: violations require the
+  deeper Fig. 9 schedule (covered by ``bench_fig9_fast_read_bound.py``), so
+  this simple schedule stays clean -- which is itself informative and is
+  recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import format_rows
+from repro.consistency import check_atomicity
+from repro.protocols.registry import build_protocol
+from repro.sim.delays import UniformDelay
+from repro.sim.network import SkipRule
+from repro.sim.runtime import Simulation
+from repro.util.ids import server_ids
+
+from _bench_utils import print_section
+
+
+def _partial_propagation_run(servers: int, naive: bool, seed: int) -> bool:
+    """One targeted schedule; returns True when atomicity is violated.
+
+    w1 writes "old" and completes; w2 writes "new" but its update phase
+    reaches only ``s1`` (the write stays pending); r1 then reads (its quorum
+    includes ``s1``), and r2 reads last with ``s1`` skipped.
+    """
+    protocol = build_protocol(
+        "fast-read-mwmr",
+        server_ids(servers),
+        1,
+        readers=2,
+        writers=2,
+        enforce_condition=False,
+        naive_reads=naive,
+    )
+    simulation = Simulation(protocol, delay_model=UniformDelay(0.8, 1.2, seed=seed))
+    for server in server_ids(servers)[1:]:
+        simulation.add_skip_rule(
+            SkipRule(sender="w2", receiver=server, kind="write", both_directions=False)
+        )
+    simulation.add_skip_rule(SkipRule(sender="r2", receiver="s1", kind="read"))
+    simulation.schedule_write("w1", "old", at=1.0)
+    simulation.schedule_write("w2", "new", at=10.0)
+    simulation.schedule_read("r1", at=20.0)
+    simulation.schedule_read("r2", at=30.0)
+    result = simulation.run()
+    return not check_atomicity(result.history).atomic
+
+
+def _sweep(servers: int, naive: bool, runs: int = 5) -> int:
+    return sum(
+        1 for seed in range(runs) if _partial_propagation_run(servers, naive, seed)
+    )
+
+
+def test_ablation_admissibility(benchmark):
+    def run_all():
+        return {
+            ("full", "feasible S=5"): _sweep(5, naive=False),
+            ("full", "infeasible S=4"): _sweep(4, naive=False),
+            ("naive (no admissibility)", "feasible S=5"): _sweep(5, naive=True),
+            ("naive (no admissibility)", "infeasible S=4"): _sweep(4, naive=True),
+        }
+
+    results = benchmark(run_all)
+
+    rows = [
+        {"reader": reader, "configuration": config, "violating runs (of 5)": count}
+        for (reader, config), count in results.items()
+    ]
+    print_section("X2 — ablation: admissibility predicate of Algorithm 1")
+    print(format_rows(rows, ["reader", "configuration", "violating runs (of 5)"]))
+
+    # The full algorithm never violates atomicity on this schedule.
+    assert results[("full", "feasible S=5")] == 0
+    # Removing the admissibility machinery breaks the one-round-trip read on
+    # the very same schedules, regardless of the configuration.
+    assert results[("naive (no admissibility)", "feasible S=5")] > 0
+    assert results[("naive (no admissibility)", "infeasible S=4")] > 0

@@ -1,0 +1,73 @@
+"""Benchmark F2 — the latency/consistency lattice of Fig. 2.
+
+Fig. 2 orders the four design points by latency (and achievable consistency).
+This benchmark measures, on the simulator with identical delay distributions,
+the per-operation latency and round-trip count of one implementation per
+design point and checks the ordering the figure depicts:
+
+* total latency rank: W1R1 < {W1R2, W2R1} < W2R2;
+* the two "fast halves" (W1R2 writes, W2R1 reads) really are ~half the
+  latency of their two-round-trip counterparts;
+* the points that trade consistency for latency (W1R2, W1R1) are exactly the
+  ones whose histories fail the atomicity check under write contention.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import sweep_protocols
+from repro.bench.report import format_metrics_table
+
+from _bench_utils import print_section
+
+POINT_PROTOCOLS = {
+    "W2R2": "abd-mwmr",
+    "W2R1": "fast-read-mwmr",
+    "W1R2": "fast-write-attempt",
+    "W1R1": "fast-rw-attempt",
+}
+
+
+def _measure():
+    metrics = sweep_protocols(
+        list(POINT_PROTOCOLS.values()),
+        seeds=(0, 1),
+        servers=7,
+        workload="uniform",
+        writes_per_writer=4,
+        reads_per_reader=8,
+    )
+    merged = {}
+    for m in metrics:
+        if m.protocol not in merged:
+            merged[m.protocol] = m
+    return list(merged.values()), metrics
+
+
+def test_fig2_latency_lattice(benchmark):
+    rows, all_metrics = benchmark(_measure)
+
+    print_section("Fig. 2 — latency vs consistency across the design space")
+    print(format_metrics_table(all_metrics))
+
+    by_protocol = {m.protocol: m for m in rows}
+    w2r2 = by_protocol["mw-abd (W2R2)"]
+    w2r1 = by_protocol["fast-read mwmr (W2R1, this paper)"]
+    w1r2 = by_protocol["fast-write attempt (W1R2 candidate, not atomic)"]
+    w1r1 = by_protocol["fast-rw attempt (W1R1 candidate, not atomic)"]
+
+    # Round-trip structure matches the lattice.
+    assert (w2r2.max_write_round_trips, w2r2.max_read_round_trips) == (2, 2)
+    assert (w2r1.max_write_round_trips, w2r1.max_read_round_trips) == (2, 1)
+    assert (w1r2.max_write_round_trips, w1r2.max_read_round_trips) == (1, 2)
+    assert (w1r1.max_write_round_trips, w1r1.max_read_round_trips) == (1, 1)
+
+    # Latency ordering (reads): fast reads are well below slow reads.
+    assert w2r1.read_latency.p50 < 0.75 * w2r2.read_latency.p50
+    assert w1r1.read_latency.p50 < 0.75 * w2r2.read_latency.p50
+    # Latency ordering (writes): fast writes are well below slow writes.
+    assert w1r2.write_latency.p50 < 0.75 * w2r2.write_latency.p50
+
+    # The consistency axis: only the upper two points are atomic.
+    assert w2r2.atomic and w2r1.atomic

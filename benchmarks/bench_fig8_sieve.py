@@ -1,0 +1,55 @@
+"""Benchmark F8 — sieve-based elimination of affected servers (Fig. 8).
+
+Fig. 8 shows how the chain argument survives when the first round-trip of a
+read blindly changes the crucial information on some servers: those servers
+are eliminated and the (shortened) chain argument runs on the rest.  This
+benchmark sweeps the number of affected servers for several system sizes and
+reports whether the sieve still certifies the contradiction -- which it must
+exactly while at least three unaffected servers remain (t = 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import format_rows
+from repro.theory.sieve import run_sieve
+from repro.util.ids import server_ids
+
+from _bench_utils import print_section
+
+
+@pytest.mark.parametrize("num_servers", [4, 6, 8, 12])
+def test_fig8_sieve_sweep(benchmark, num_servers):
+    servers = server_ids(num_servers)
+
+    def sweep():
+        results = []
+        for affected_count in range(0, num_servers - 2):
+            affected = servers[num_servers - affected_count:]
+            results.append((affected_count, run_sieve(num_servers, affected)))
+        return results
+
+    results = benchmark(sweep)
+
+    rows = [
+        {
+            "affected |Sigma_1|": count,
+            "unaffected |Sigma_2|": len(cert.unaffected),
+            "shortened chain length": cert.chain_length,
+            "verified": cert.all_verified,
+        }
+        for count, cert in results
+    ]
+    print_section(f"Fig. 8 — sieve construction, S={num_servers}, t=1")
+    print(format_rows(
+        rows,
+        ["affected |Sigma_1|", "unaffected |Sigma_2|", "shortened chain length", "verified"],
+    ))
+
+    for count, cert in results:
+        assert cert.chain_length == num_servers - count + 1
+        if len(cert.unaffected) >= 3:
+            assert cert.all_verified
+        else:
+            assert not cert.all_verified

@@ -1,0 +1,62 @@
+"""Benchmark F9 — the fast-read feasibility boundary ``R < S/t - 2`` (Fig. 9).
+
+Fig. 9 underlies the impossibility of one-round-trip reads when
+``R >= S/t - 2``.  This benchmark sweeps (S, t, R) configurations across the
+boundary, replays the Fig. 9 adversarial schedule against the paper's W2R1
+protocol (feasibility guard disabled so the same code runs on both sides),
+and reports whether an atomicity violation (a new/old inversion) was
+observed.  The expected shape: the measured boundary coincides exactly with
+``R >= S/t - 2``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import format_rows
+from repro.core.conditions import fast_read_bound
+from repro.theory.fast_read_bound import run_fig9_experiment
+
+from _bench_utils import print_section
+
+CONFIGURATIONS = [
+    # (S, t, R) pairs straddling the boundary for t = 1 and t = 2.
+    (4, 1, 2), (5, 1, 2),
+    (5, 1, 3), (6, 1, 3),
+    (6, 1, 4), (7, 1, 4),
+    (8, 2, 2), (9, 2, 2),
+    (10, 2, 3), (11, 2, 3),
+]
+
+
+def test_fig9_fast_read_boundary(benchmark):
+    def sweep():
+        return [
+            (config, run_fig9_experiment(*config)) for config in CONFIGURATIONS
+        ]
+
+    results = benchmark(sweep)
+
+    rows = []
+    for (servers, faults, readers), result in results:
+        bound = fast_read_bound(servers, faults)
+        rows.append(
+            {
+                "S": servers,
+                "t": faults,
+                "R": readers,
+                "S/t - 2": f"{bound:.2f}",
+                "impossible (theory)": readers >= bound,
+                "violation observed": result.violation_found,
+                "anomalies": result.atomicity.report.summary(),
+            }
+        )
+    print_section("Fig. 9 — fast-read feasibility boundary R < S/t - 2")
+    print(format_rows(
+        rows,
+        ["S", "t", "R", "S/t - 2", "impossible (theory)", "violation observed", "anomalies"],
+    ))
+
+    for (servers, faults, readers), result in results:
+        expected = readers >= fast_read_bound(servers, faults)
+        assert result.violation_found == expected, (servers, faults, readers)

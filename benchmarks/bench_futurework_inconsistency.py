@@ -1,0 +1,83 @@
+"""Benchmark X4 — quantifying the inconsistency of fast implementations.
+
+The paper's conclusion sketches its future work: fix the fast (and therefore
+non-atomic) implementations and quantify *how much* inconsistency they
+introduce.  This benchmark performs that measurement with the staleness
+metrics of :mod:`repro.consistency.staleness`:
+
+* the atomic W2R2 / W2R1 implementations: 0% stale reads, k-atomicity = 1;
+* the W1R2 and W1R1 candidates under write contention: a measurable fraction
+  of stale reads, k-atomicity ≥ 2, but bounded version lag -- the
+  "probabilistically atomic" behaviour the authors' companion work (reference
+  [28]) studies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import format_rows
+from repro.consistency import check_atomicity, measure_staleness
+from repro.protocols.registry import build_protocol
+from repro.sim.delays import UniformDelay
+from repro.sim.runtime import Simulation
+from repro.util.ids import client_ids, server_ids
+from repro.workloads.generators import apply_open_loop, asymmetric_write_contention
+
+from _bench_utils import print_section
+
+PROTOCOLS = ["abd-mwmr", "fast-read-mwmr", "fast-write-attempt", "fast-rw-attempt"]
+
+
+def _measure(key: str, seeds=(0, 1, 2)):
+    total_reads = 0
+    stale_reads = 0
+    inversions = 0
+    max_lag = 0
+    atomic_runs = 0
+    for seed in seeds:
+        protocol = build_protocol(key, server_ids(5), 1, readers=2, writers=2)
+        simulation = Simulation(protocol, delay_model=UniformDelay(0.5, 1.5, seed=seed))
+        workload = asymmetric_write_contention(
+            client_ids("w", protocol.writers), client_ids("r", 2), rounds=3
+        )
+        apply_open_loop(simulation, workload)
+        result = simulation.run()
+        verdict = check_atomicity(result.history)
+        report = measure_staleness(result.history)
+        total_reads += report.read_count
+        stale_reads += report.stale_read_count
+        inversions += report.inversions
+        max_lag = max(max_lag, report.max_version_lag)
+        atomic_runs += 1 if verdict.atomic else 0
+    return {
+        "protocol": key,
+        "runs": len(seeds),
+        "atomic runs": atomic_runs,
+        "reads": total_reads,
+        "stale reads": stale_reads,
+        "stale %": round(100.0 * stale_reads / max(1, total_reads), 1),
+        "max version lag": max_lag,
+        "inversions": inversions,
+    }
+
+
+def test_futurework_inconsistency_quantification(benchmark):
+    rows = benchmark(lambda: [_measure(key) for key in PROTOCOLS])
+
+    print_section("X4 — future work: how much inconsistency do fast implementations introduce?")
+    print(format_rows(
+        rows,
+        ["protocol", "runs", "atomic runs", "reads", "stale reads", "stale %",
+         "max version lag", "inversions"],
+    ))
+
+    by_key = {row["protocol"]: row for row in rows}
+    # Atomic protocols: no staleness at all.
+    assert by_key["abd-mwmr"]["stale reads"] == 0
+    assert by_key["fast-read-mwmr"]["stale reads"] == 0
+    assert by_key["abd-mwmr"]["atomic runs"] == by_key["abd-mwmr"]["runs"]
+    # Fast candidates: measurable but bounded inconsistency.
+    assert by_key["fast-write-attempt"]["stale reads"] > 0
+    assert by_key["fast-write-attempt"]["max version lag"] >= 1
+    assert by_key["fast-rw-attempt"]["stale reads"] > 0

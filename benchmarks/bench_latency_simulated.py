@@ -1,0 +1,68 @@
+"""Benchmark X1a — user-perceived latency on the simulator (LAN and geo delays).
+
+The paper's motivation: one round-trip saved is the dominant factor in
+user-perceived latency for geo-replicated storage.  This benchmark runs the
+three atomic protocols (MW-ABD, the paper's fast-read register, DGLV's fast
+single-writer register) under a LAN-like and a WAN/geo-like delay model and
+reports read/write latency percentiles.  Expected shape: read latency of the
+W2R1 register is ~half that of MW-ABD; the SWMR fast register additionally
+halves writes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BenchConfig, run_simulated_benchmark
+from repro.bench.report import format_metrics_table
+from repro.sim.delays import GeoDelay, UniformDelay
+from repro.util.ids import client_ids, server_ids
+
+from _bench_utils import print_section
+
+PROTOCOLS = ["abd-mwmr", "fast-read-mwmr", "fast-swmr"]
+
+
+def _geo_delay(seed: int) -> GeoDelay:
+    sites = {}
+    for index, server in enumerate(server_ids(7)):
+        sites[server] = ("us", "eu", "ap")[index % 3]
+    for index, client in enumerate(client_ids("w", 2) + client_ids("r", 2)):
+        sites[client] = ("us", "eu", "ap")[index % 3]
+    return GeoDelay(sites, local_delay=0.5, wan_delay=40.0, seed=seed)
+
+
+def _run(delay_kind: str):
+    metrics = []
+    for key in PROTOCOLS:
+        config = BenchConfig(
+            protocol_key=key,
+            servers=7,
+            max_faults=1,
+            writes_per_writer=4,
+            reads_per_reader=10,
+            horizon=2000.0 if delay_kind == "geo" else 200.0,
+            seed=3,
+        )
+        delay = _geo_delay(3) if delay_kind == "geo" else UniformDelay(0.5, 1.5, seed=3)
+        metrics.append(run_simulated_benchmark(config, delay_model=delay))
+    return metrics
+
+
+@pytest.mark.parametrize("delay_kind", ["lan", "geo"])
+def test_latency_simulated(benchmark, delay_kind):
+    metrics = benchmark(_run, delay_kind)
+
+    print_section(f"X1a — simulated latency ({delay_kind} delay model)")
+    print(format_metrics_table(metrics))
+
+    by_protocol = {m.protocol: m for m in metrics}
+    abd = by_protocol["mw-abd (W2R2)"]
+    fast_read = by_protocol["fast-read mwmr (W2R1, this paper)"]
+    fast_swmr = by_protocol["dglv fast swmr (W1R1, single writer)"]
+
+    assert all(m.atomic for m in metrics)
+    # Fast reads roughly halve read latency relative to MW-ABD.
+    assert fast_read.read_latency.p50 < 0.7 * abd.read_latency.p50
+    # The single-writer fast register additionally halves write latency.
+    assert fast_swmr.write_latency.p50 < 0.7 * abd.write_latency.p50

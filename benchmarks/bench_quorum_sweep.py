@@ -1,0 +1,85 @@
+"""Benchmark X3 — quorum/fault-tolerance sweep.
+
+Sweeps the number of servers and tolerated faults and reports, for the
+paper's fast-read register and MW-ABD:
+
+* the message cost per operation (grows linearly with S),
+* read latency (insensitive to S for constant delays: still 1 vs 2 RTTs),
+* correctness under the maximum number of crash failures.
+
+This is the ablation DESIGN.md calls X3: it quantifies what the fast-read
+condition ``R < S/t - 2`` costs in replication factor -- tolerating more
+faults with fast reads requires disproportionally more servers
+(``S > (R + 2) * t``), which the sweep makes visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BenchConfig, run_simulated_benchmark
+from repro.bench.report import format_rows
+from repro.core.conditions import min_servers_for_fast_reads
+
+from _bench_utils import print_section
+
+SWEEP = [
+    # (servers, faults) for MW-ABD; fast-read needs S >= (R+2)t + 1 with R=2.
+    (3, 1), (5, 1), (5, 2), (7, 2), (9, 2), (9, 4),
+]
+
+
+def _run(key: str, servers: int, faults: int):
+    config = BenchConfig(
+        protocol_key=key,
+        servers=servers,
+        max_faults=faults,
+        writes_per_writer=3,
+        reads_per_reader=6,
+        seed=1,
+        crash_servers=faults,
+    )
+    return run_simulated_benchmark(config)
+
+
+def test_quorum_and_fault_sweep(benchmark):
+    def sweep():
+        rows = []
+        for servers, faults in SWEEP:
+            abd = _run("abd-mwmr", servers, faults)
+            fast_feasible = servers > 4 * faults  # R=2: need S/t - 2 > 2
+            fast = _run("fast-read-mwmr", servers, faults) if fast_feasible else None
+            rows.append((servers, faults, abd, fast))
+        return rows
+
+    results = benchmark(sweep)
+
+    printable = []
+    for servers, faults, abd, fast in results:
+        printable.append(
+            {
+                "S": servers,
+                "t": faults,
+                "min S for fast reads (R=2)": min_servers_for_fast_reads(2, faults),
+                "abd msgs/op": round(abd.messages_sent / max(1, abd.operations), 1),
+                "abd read p50": abd.read_latency.p50,
+                "fast-read read p50": fast.read_latency.p50 if fast else "infeasible",
+                "atomic": abd.atomic and (fast.atomic if fast else True),
+            }
+        )
+    print_section("X3 — quorum size / fault tolerance sweep")
+    print(format_rows(
+        printable,
+        ["S", "t", "min S for fast reads (R=2)", "abd msgs/op", "abd read p50",
+         "fast-read read p50", "atomic"],
+    ))
+
+    for servers, faults, abd, fast in results:
+        assert abd.atomic
+        if fast is not None:
+            assert fast.atomic
+            assert fast.max_read_round_trips == 1
+        # Message cost grows with the number of servers.
+    small = next(r for r in results if r[0] == 3)
+    large = next(r for r in results if r[0] == 9)
+    assert large[2].messages_sent / large[2].operations > small[2].messages_sent / small[2].operations

@@ -1,0 +1,46 @@
+"""Benchmark T1 — regenerate Table 1 (the design space overview).
+
+For the canonical configuration (S=5, t=1, W=2, R=2) and a larger one
+(S=7, t=1), run one protocol per design-space quadrant on the simulator under
+contended workloads, count atomicity violations, and print the side-by-side
+theoretical/measured table.  The expected shape (the paper's Table 1):
+
+* W2R2 and W2R1 quadrants: zero violations, round-trips (2,2) and (2,1);
+* W1R2 and W1R1 quadrants: the candidate protocols violate atomicity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import SystemParameters
+from repro.theory.design_space import empirical_table, format_table, theoretical_table
+
+from _bench_utils import print_section
+
+
+def _regenerate(servers: int, max_faults: int, seeds=(0, 1)):
+    params = SystemParameters(servers=servers, writers=2, readers=2, max_faults=max_faults)
+    theoretical = theoretical_table(params)
+    empirical = empirical_table(params, seeds=seeds, bursts=3)
+    return params, theoretical, empirical
+
+
+@pytest.mark.parametrize("servers,max_faults", [(5, 1), (7, 1)])
+def test_table1_design_space(benchmark, servers, max_faults):
+    params, theoretical, empirical = benchmark(_regenerate, servers, max_faults)
+
+    print_section(f"Table 1 — design space at {params.describe()}")
+    print(format_table(theoretical, empirical))
+
+    by_point = {row.point.name: row for row in empirical}
+    # Feasible quadrants are atomic with the claimed round-trips.
+    assert by_point["W2R2"].violations == 0
+    assert by_point["W2R2"].observed_write_rtts == 2
+    assert by_point["W2R1"].violations == 0
+    assert by_point["W2R1"].observed_read_rtts == 1
+    # Infeasible quadrants: the candidate fast protocols are caught.
+    assert by_point["W1R2"].violations > 0
+    assert by_point["W1R1"].violations > 0
+    for row in empirical:
+        assert row.matches_expectation

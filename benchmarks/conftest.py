@@ -1,0 +1,18 @@
+"""Pytest configuration for the benchmark suite.
+
+Every benchmark prints the rows it regenerates (the table/figure series of
+the paper) in addition to the timings pytest-benchmark collects, so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation output
+documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the sibling helper module importable regardless of how pytest was
+# invoked (from the repository root or from inside benchmarks/).
+_HERE = Path(__file__).resolve().parent
+if str(_HERE) not in sys.path:
+    sys.path.insert(0, str(_HERE))

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured via ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools/pip cannot
+build PEP 660 editable wheels (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

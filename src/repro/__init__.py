@@ -1,0 +1,115 @@
+"""repro: fast implementations of distributed multi-writer atomic registers.
+
+A reproduction of Huang, Huang & Wei, "Fine-grained Analysis on Fast
+Implementations of Multi-writer Atomic Registers" (PODC / arXiv 2020).
+
+The library has two halves:
+
+* **Executable protocols** (:mod:`repro.protocols`) running on a
+  discrete-event simulator (:mod:`repro.sim`) or a real asyncio transport
+  (:mod:`repro.asyncio_net`), checked for atomicity by
+  :mod:`repro.consistency`.
+* **Executable proofs** (:mod:`repro.theory`): the chain-argument machinery
+  behind the W1R2 impossibility theorem, the crucial-info model and sieve,
+  and the ``R < S/t - 2`` fast-read bound.
+
+Quickstart::
+
+    from repro import quick_run
+
+    result = quick_run("fast-read-mwmr", servers=7, max_faults=1,
+                       readers=2, writers=2, seed=1)
+    print(result.history)            # the recorded operation history
+    print(result.atomicity.summary())  # "ATOMIC (cluster): no anomalies"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .consistency import AtomicityResult, History, check_atomicity
+from .core import (
+    BOTTOM_TAG,
+    DesignPoint,
+    SystemParameters,
+    Tag,
+    TaggedValue,
+    fast_read_possible,
+    fast_write_possible,
+    is_feasible,
+)
+from .protocols import build_protocol
+from .sim import Simulation, UniformDelay
+from .util.ids import client_ids, server_ids
+from .workloads import apply_open_loop, uniform_open_loop
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AtomicityResult",
+    "History",
+    "check_atomicity",
+    "BOTTOM_TAG",
+    "DesignPoint",
+    "SystemParameters",
+    "Tag",
+    "TaggedValue",
+    "fast_read_possible",
+    "fast_write_possible",
+    "is_feasible",
+    "build_protocol",
+    "Simulation",
+    "QuickRunResult",
+    "quick_run",
+]
+
+
+@dataclass
+class QuickRunResult:
+    """What :func:`quick_run` returns: the history and its atomicity verdict."""
+
+    history: History
+    atomicity: AtomicityResult
+    messages_sent: int
+    virtual_duration: float
+
+
+def quick_run(
+    protocol_key: str = "fast-read-mwmr",
+    servers: int = 5,
+    max_faults: int = 1,
+    readers: int = 2,
+    writers: int = 2,
+    writes_per_writer: int = 3,
+    reads_per_reader: int = 4,
+    seed: int = 0,
+    **protocol_kwargs,
+) -> QuickRunResult:
+    """Run a small random workload against a protocol and check atomicity.
+
+    This is the one-call entry point used by the README quickstart and the
+    ``examples/quickstart.py`` script.
+    """
+    ids = server_ids(servers)
+    protocol = build_protocol(
+        protocol_key, ids, max_faults, readers=readers, writers=writers, **protocol_kwargs
+    )
+    simulation = Simulation(protocol, delay_model=UniformDelay(0.5, 1.5, seed=seed))
+    workload = uniform_open_loop(
+        client_ids("w", protocol.writers),
+        client_ids("r", readers),
+        writes_per_writer=writes_per_writer,
+        reads_per_reader=reads_per_reader,
+        horizon=60.0,
+        seed=seed,
+    )
+    apply_open_loop(simulation, workload)
+    result = simulation.run()
+    verdict = check_atomicity(result.history)
+    return QuickRunResult(
+        history=result.history,
+        atomicity=verdict,
+        messages_sent=result.messages_sent,
+        virtual_duration=result.virtual_duration,
+    )

@@ -1,0 +1,17 @@
+"""Real asyncio TCP transport for register protocols (wall-clock latency leg)."""
+
+from .client import AsyncRegisterClient, TimedOutcome
+from .cluster import ClusterResult, LocalCluster, run_closed_loop_workload
+from .codec import decode_message, encode_message
+from .server import ReplicaServer
+
+__all__ = [
+    "AsyncRegisterClient",
+    "TimedOutcome",
+    "ClusterResult",
+    "LocalCluster",
+    "run_closed_loop_workload",
+    "decode_message",
+    "encode_message",
+    "ReplicaServer",
+]

@@ -1,0 +1,153 @@
+"""A local asyncio cluster: replicas plus connected clients in one process.
+
+The cluster is the wall-clock counterpart of :class:`repro.sim.Simulation`:
+it starts one TCP replica per server of a
+:class:`~repro.protocols.base.RegisterProtocol`, connects writer and reader
+clients, runs a closed-loop workload and reports per-operation latencies and
+the resulting history (checked by the same atomicity checker).  It exists for
+the latency-oriented experiments (X1 in DESIGN.md): one-round-trip reads
+really do take roughly half the wall-clock time of two-round-trip reads, even
+on loopback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..consistency.history import History
+from ..core.operations import Operation, OpKind, new_op_id
+from ..protocols.base import RegisterProtocol
+from ..util.ids import client_ids
+from ..util.stats import LatencyStats, summarize
+from .client import AsyncRegisterClient, TimedOutcome
+from .server import ReplicaServer
+
+__all__ = ["ClusterResult", "LocalCluster", "run_closed_loop_workload"]
+
+
+@dataclass
+class ClusterResult:
+    """What a cluster workload run produces."""
+
+    history: History
+    write_latencies: List[float] = field(default_factory=list)
+    read_latencies: List[float] = field(default_factory=list)
+    read_round_trips: List[int] = field(default_factory=list)
+    write_round_trips: List[int] = field(default_factory=list)
+
+    def write_stats(self) -> LatencyStats:
+        return summarize(self.write_latencies)
+
+    def read_stats(self) -> LatencyStats:
+        return summarize(self.read_latencies)
+
+
+class LocalCluster:
+    """Replica servers and clients for one protocol, on loopback TCP."""
+
+    def __init__(self, protocol: RegisterProtocol) -> None:
+        self.protocol = protocol
+        self.replicas: Dict[str, ReplicaServer] = {}
+        self.writers: Dict[str, AsyncRegisterClient] = {}
+        self.readers: Dict[str, AsyncRegisterClient] = {}
+
+    async def start(self) -> None:
+        for server_id in self.protocol.servers:
+            replica = ReplicaServer(self.protocol.make_server(server_id))
+            await replica.start()
+            self.replicas[server_id] = replica
+        endpoints = {
+            server_id: (replica.host, replica.port)
+            for server_id, replica in self.replicas.items()
+        }
+        for writer_id in client_ids("w", self.protocol.writers):
+            client = AsyncRegisterClient(
+                self.protocol.make_writer(writer_id), endpoints, self.protocol.max_faults
+            )
+            await client.connect()
+            self.writers[writer_id] = client
+        for reader_id in client_ids("r", self.protocol.readers):
+            client = AsyncRegisterClient(
+                self.protocol.make_reader(reader_id), endpoints, self.protocol.max_faults
+            )
+            await client.connect()
+            self.readers[reader_id] = client
+
+    async def stop(self) -> None:
+        for client in list(self.writers.values()) + list(self.readers.values()):
+            await client.close()
+        for replica in self.replicas.values():
+            await replica.stop()
+        self.writers.clear()
+        self.readers.clear()
+        self.replicas.clear()
+
+    async def run_closed_loop(
+        self,
+        writes_per_writer: int = 5,
+        reads_per_reader: int = 10,
+    ) -> ClusterResult:
+        """Writers and readers issue operations back-to-back, concurrently."""
+        base = time.monotonic()
+        operations: List[Operation] = []
+        result = ClusterResult(history=History())
+
+        async def writer_loop(writer_id: str, client: AsyncRegisterClient) -> None:
+            for index in range(writes_per_writer):
+                timed = await client.write(f"v-{writer_id}-{index}")
+                operations.append(_to_operation(timed, writer_id, base))
+                result.write_latencies.append(timed.latency)
+                result.write_round_trips.append(timed.round_trips)
+
+        async def reader_loop(reader_id: str, client: AsyncRegisterClient) -> None:
+            for _ in range(reads_per_reader):
+                timed = await client.read()
+                operations.append(_to_operation(timed, reader_id, base))
+                result.read_latencies.append(timed.latency)
+                result.read_round_trips.append(timed.round_trips)
+
+        tasks = [
+            asyncio.create_task(writer_loop(writer_id, client))
+            for writer_id, client in self.writers.items()
+        ] + [
+            asyncio.create_task(reader_loop(reader_id, client))
+            for reader_id, client in self.readers.items()
+        ]
+        await asyncio.gather(*tasks)
+        result.history = History(sorted(operations, key=lambda op: op.start))
+        return result
+
+
+def _to_operation(timed: TimedOutcome, client_id: str, base: float) -> Operation:
+    outcome = timed.outcome
+    return Operation(
+        op_id=new_op_id(f"{client_id}-net"),
+        client=client_id,
+        kind=outcome.kind,
+        start=timed.started_at - base,
+        finish=timed.finished_at - base,
+        value=outcome.value,
+        tag=outcome.tag,
+        round_trips=timed.round_trips,
+    )
+
+
+def run_closed_loop_workload(
+    protocol: RegisterProtocol,
+    writes_per_writer: int = 5,
+    reads_per_reader: int = 10,
+) -> ClusterResult:
+    """Convenience wrapper: start a cluster, run the workload, tear it down."""
+
+    async def _run() -> ClusterResult:
+        cluster = LocalCluster(protocol)
+        await cluster.start()
+        try:
+            return await cluster.run_closed_loop(writes_per_writer, reads_per_reader)
+        finally:
+            await cluster.stop()
+
+    return asyncio.run(_run())

@@ -1,0 +1,58 @@
+"""Length-prefixed JSON framing for the asyncio transport."""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict
+
+from ..sim.messages import Message
+
+__all__ = ["encode_message", "decode_message", "read_frame", "write_frame"]
+
+_HEADER = struct.Struct("!I")
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize a message to a length-prefixed JSON frame."""
+    body = json.dumps(
+        {
+            "sender": message.sender,
+            "receiver": message.receiver,
+            "kind": message.kind,
+            "payload": message.payload,
+            "op_id": message.op_id,
+            "round_trip": message.round_trip,
+            "msg_id": message.msg_id,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_message(body: bytes) -> Message:
+    """Deserialize the JSON body of a frame back into a Message."""
+    data: Dict[str, Any] = json.loads(body.decode("utf-8"))
+    return Message(
+        sender=data["sender"],
+        receiver=data["receiver"],
+        kind=data["kind"],
+        payload=data.get("payload", {}),
+        op_id=data.get("op_id"),
+        round_trip=data.get("round_trip", 0),
+        msg_id=data.get("msg_id", 0),
+    )
+
+
+async def read_frame(reader) -> Message:
+    """Read one length-prefixed frame from an asyncio StreamReader."""
+    header = await reader.readexactly(_HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    body = await reader.readexactly(length)
+    return decode_message(body)
+
+
+async def write_frame(writer, message: Message) -> None:
+    """Write one frame to an asyncio StreamWriter and flush it."""
+    writer.write(encode_message(message))
+    await writer.drain()

@@ -1,0 +1,67 @@
+"""Asyncio TCP server hosting one register replica.
+
+The server wraps the *same* :class:`~repro.protocols.base.ServerLogic` object
+that the simulator uses; the only difference is the transport.  Each client
+connection is a stream of length-prefixed JSON messages; every request gets
+exactly one reply frame (or none when the logic returns ``None``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from ..protocols.base import ServerLogic
+from .codec import read_frame, write_frame
+
+__all__ = ["ReplicaServer"]
+
+
+class ReplicaServer:
+    """One register replica listening on a TCP port."""
+
+    def __init__(self, logic: ServerLogic, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.logic = logic
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests_served = 0
+
+    @property
+    def server_id(self) -> str:
+        return self.logic.server_id
+
+    async def start(self) -> None:
+        """Start listening; ``self.port`` is updated with the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                self.requests_served += 1
+                reply = self.logic.handle(request)
+                if reply is not None:
+                    await write_frame(writer, reply)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                # Teardown path: the peer (or the server itself) is going
+                # away; there is nothing left to clean up on this connection.
+                pass

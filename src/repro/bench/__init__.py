@@ -1,0 +1,15 @@
+"""Benchmark harness shared by the ``benchmarks/`` directory and the examples."""
+
+from .harness import BenchConfig, run_simulated_benchmark, sweep_protocols
+from .metrics import RunMetrics, collect_metrics
+from .report import format_metrics_table, format_rows
+
+__all__ = [
+    "BenchConfig",
+    "run_simulated_benchmark",
+    "sweep_protocols",
+    "RunMetrics",
+    "collect_metrics",
+    "format_metrics_table",
+    "format_rows",
+]

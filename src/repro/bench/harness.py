@@ -1,0 +1,141 @@
+"""Benchmark harness: run a protocol under a workload and collect metrics.
+
+The ``benchmarks/`` directory uses this module for every table and figure so
+that each benchmark file stays a thin declaration of *which* sweep to run,
+while the mechanics (building the protocol, applying the workload, checking
+atomicity, summarising latencies) live here and are unit-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..consistency.atomicity import check_atomicity
+from ..core.conditions import SystemParameters
+from ..protocols.base import RegisterProtocol
+from ..protocols.registry import build_protocol
+from ..sim.delays import DelayModel, UniformDelay
+from ..sim.runtime import Simulation
+from ..util.ids import client_ids, server_ids
+from ..workloads.generators import (
+    OpenLoopWorkload,
+    apply_open_loop,
+    asymmetric_write_contention,
+    bursty_contention,
+    uniform_open_loop,
+)
+from .metrics import RunMetrics, collect_metrics
+
+__all__ = ["BenchConfig", "run_simulated_benchmark", "sweep_protocols"]
+
+
+@dataclass
+class BenchConfig:
+    """Configuration of one simulated benchmark run."""
+
+    protocol_key: str
+    servers: int = 5
+    max_faults: int = 1
+    readers: int = 2
+    writers: int = 2
+    seed: int = 0
+    workload: str = "uniform"  # uniform | bursty | asymmetric
+    writes_per_writer: int = 5
+    reads_per_reader: int = 10
+    horizon: float = 200.0
+    crash_servers: int = 0
+    protocol_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def build_protocol(self) -> RegisterProtocol:
+        return build_protocol(
+            self.protocol_key,
+            server_ids(self.servers),
+            self.max_faults,
+            readers=self.readers,
+            writers=self.writers,
+            **self.protocol_kwargs,
+        )
+
+    def build_workload(self, writer_count: int) -> OpenLoopWorkload:
+        writer_names = client_ids("w", writer_count)
+        reader_names = client_ids("r", self.readers)
+        if self.workload == "uniform":
+            return uniform_open_loop(
+                writer_names,
+                reader_names,
+                writes_per_writer=self.writes_per_writer,
+                reads_per_reader=self.reads_per_reader,
+                horizon=self.horizon,
+                seed=self.seed,
+            )
+        if self.workload == "bursty":
+            return bursty_contention(
+                writer_names,
+                reader_names,
+                bursts=max(1, self.writes_per_writer),
+                burst_width=1.5,
+                burst_gap=self.horizon / max(1, self.writes_per_writer),
+                seed=self.seed,
+            )
+        if self.workload == "asymmetric":
+            return asymmetric_write_contention(
+                writer_names, reader_names, rounds=max(1, self.writes_per_writer // 2)
+            )
+        raise ValueError(f"unknown workload kind {self.workload!r}")
+
+
+def run_simulated_benchmark(
+    config: BenchConfig, delay_model: Optional[DelayModel] = None
+) -> RunMetrics:
+    """Run one protocol under one workload on the simulator and collect metrics."""
+    protocol = config.build_protocol()
+    simulation = Simulation(
+        protocol,
+        delay_model=delay_model or UniformDelay(0.5, 1.5, seed=config.seed),
+    )
+    workload = config.build_workload(protocol.writers)
+    apply_open_loop(simulation, workload)
+    servers = server_ids(config.servers)
+    for index in range(min(config.crash_servers, config.max_faults)):
+        simulation.crash_server(servers[-(index + 1)], at=config.horizon / 2)
+    outcome = simulation.run()
+    verdict = check_atomicity(outcome.history)
+    return collect_metrics(
+        protocol.name,
+        outcome.history,
+        verdict,
+        messages_sent=outcome.messages_sent,
+        extra={"virtual_duration": outcome.virtual_duration},
+    )
+
+
+def sweep_protocols(
+    protocol_keys: Sequence[str],
+    base_config: Optional[BenchConfig] = None,
+    seeds: Sequence[int] = (0,),
+    **overrides,
+) -> List[RunMetrics]:
+    """Run several protocols under the same workload settings."""
+    results: List[RunMetrics] = []
+    for key in protocol_keys:
+        for seed in seeds:
+            config_kwargs = dict(
+                protocol_key=key,
+                seed=seed,
+            )
+            if base_config is not None:
+                config_kwargs.update(
+                    servers=base_config.servers,
+                    max_faults=base_config.max_faults,
+                    readers=base_config.readers,
+                    writers=base_config.writers,
+                    workload=base_config.workload,
+                    writes_per_writer=base_config.writes_per_writer,
+                    reads_per_reader=base_config.reads_per_reader,
+                    horizon=base_config.horizon,
+                    crash_servers=base_config.crash_servers,
+                )
+            config_kwargs.update(overrides)
+            results.append(run_simulated_benchmark(BenchConfig(**config_kwargs)))
+    return results

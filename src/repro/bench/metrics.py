@@ -1,0 +1,75 @@
+"""Metrics collected by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..consistency.atomicity import AtomicityResult
+from ..consistency.history import History
+from ..util.stats import LatencyStats, summarize
+
+__all__ = ["RunMetrics", "collect_metrics"]
+
+
+@dataclass
+class RunMetrics:
+    """Latency, round-trip and correctness metrics of one protocol run."""
+
+    protocol: str
+    operations: int
+    write_latency: LatencyStats
+    read_latency: LatencyStats
+    max_write_round_trips: int
+    max_read_round_trips: int
+    mean_write_round_trips: float
+    mean_read_round_trips: float
+    messages_sent: int
+    atomic: bool
+    anomaly_summary: str
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "operations": self.operations,
+            "write_p50": self.write_latency.p50,
+            "write_p99": self.write_latency.p99,
+            "read_p50": self.read_latency.p50,
+            "read_p99": self.read_latency.p99,
+            "write_rtts": self.max_write_round_trips,
+            "read_rtts": self.max_read_round_trips,
+            "messages": self.messages_sent,
+            "atomic": self.atomic,
+            "anomalies": self.anomaly_summary,
+            **self.extra,
+        }
+
+
+def collect_metrics(
+    protocol_name: str,
+    history: History,
+    verdict: AtomicityResult,
+    messages_sent: int = 0,
+    extra: Optional[Dict[str, float]] = None,
+) -> RunMetrics:
+    """Derive :class:`RunMetrics` from a history and its atomicity verdict."""
+    write_latencies = [
+        op.latency for op in history.writes if op.latency is not None
+    ]
+    read_latencies = [op.latency for op in history.reads if op.latency is not None]
+    write_rtts, read_rtts = history.round_trip_counts()
+    return RunMetrics(
+        protocol=protocol_name,
+        operations=len(history.complete_operations),
+        write_latency=summarize(write_latencies),
+        read_latency=summarize(read_latencies),
+        max_write_round_trips=max(write_rtts, default=0),
+        max_read_round_trips=max(read_rtts, default=0),
+        mean_write_round_trips=(sum(write_rtts) / len(write_rtts)) if write_rtts else 0.0,
+        mean_read_round_trips=(sum(read_rtts) / len(read_rtts)) if read_rtts else 0.0,
+        messages_sent=messages_sent,
+        atomic=verdict.atomic,
+        anomaly_summary=verdict.report.summary(),
+        extra=dict(extra or {}),
+    )

@@ -1,0 +1,51 @@
+"""Plain-text report rendering for benchmark results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .metrics import RunMetrics
+
+__all__ = ["format_metrics_table", "format_rows"]
+
+
+def format_rows(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render a list of dictionaries as an aligned plain-text table."""
+    widths = {col: len(col) for col in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                text = f"{value:.3f}"
+            else:
+                text = str(value)
+            widths[col] = max(widths[col], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    separator = "-+-".join("-" * widths[col] for col in columns)
+    lines = [header, separator]
+    for cells in rendered:
+        lines.append(
+            " | ".join(cell.ljust(widths[col]) for cell, col in zip(cells, columns))
+        )
+    return "\n".join(lines)
+
+
+def format_metrics_table(metrics: Iterable[RunMetrics]) -> str:
+    """Render a set of :class:`RunMetrics` as a comparison table."""
+    rows = [m.as_row() for m in metrics]
+    columns = [
+        "protocol",
+        "operations",
+        "write_rtts",
+        "read_rtts",
+        "write_p50",
+        "read_p50",
+        "messages",
+        "atomic",
+        "anomalies",
+    ]
+    return format_rows(rows, columns)

@@ -1,0 +1,213 @@
+"""Command-line interface for the repro library.
+
+Exposes the most common workflows without writing any Python:
+
+* ``python -m repro run`` — run one protocol under a workload on the
+  simulator, print the history summary, atomicity verdict and staleness
+  metrics.
+* ``python -m repro table1`` — regenerate Table 1 (theoretical + measured).
+* ``python -m repro prove`` — run the mechanized W1R2 chain argument and the
+  refutation of the built-in read rules.
+* ``python -m repro boundary`` — sweep the fast-read feasibility boundary
+  ``R < S/t − 2`` (Fig. 9).
+* ``python -m repro latency`` — compare protocol latencies under a LAN or geo
+  delay model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .bench.harness import BenchConfig, run_simulated_benchmark
+from .bench.report import format_metrics_table, format_rows
+from .consistency import check_atomicity, measure_staleness
+from .core.conditions import SystemParameters, fast_read_bound
+from .protocols.registry import PROTOCOLS, build_protocol
+from .sim.delays import GeoDelay, UniformDelay
+from .sim.runtime import Simulation
+from .theory.design_space import empirical_table, format_table, theoretical_table
+from .theory.fast_read_bound import run_fig9_experiment
+from .theory.fullinfo import NATURAL_RULES
+from .theory.impossibility import refute_all
+from .util.ids import client_ids, server_ids
+from .workloads.generators import apply_open_loop, uniform_open_loop
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast implementations of multi-writer atomic registers (PODC 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one protocol on the simulator")
+    run.add_argument("--protocol", default="fast-read-mwmr", choices=sorted(PROTOCOLS))
+    run.add_argument("--servers", type=int, default=5)
+    run.add_argument("--faults", type=int, default=1)
+    run.add_argument("--readers", type=int, default=2)
+    run.add_argument("--writers", type=int, default=2)
+    run.add_argument("--writes", type=int, default=4, help="writes per writer")
+    run.add_argument("--reads", type=int, default=6, help="reads per reader")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--crash", action="store_true", help="crash one server mid-run")
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("--servers", type=int, default=5)
+    table1.add_argument("--faults", type=int, default=1)
+    table1.add_argument("--seeds", type=int, default=2)
+
+    prove = subparsers.add_parser("prove", help="run the W1R2 impossibility argument")
+    prove.add_argument("--servers", type=int, default=4)
+
+    boundary = subparsers.add_parser("boundary", help="sweep the fast-read bound R < S/t - 2")
+    boundary.add_argument("--max-servers", type=int, default=8)
+    boundary.add_argument("--faults", type=int, default=1)
+    boundary.add_argument("--readers", type=int, default=2)
+
+    latency = subparsers.add_parser("latency", help="compare protocol latencies")
+    latency.add_argument("--delay", choices=("lan", "geo"), default="lan")
+    latency.add_argument("--servers", type=int, default=7)
+    latency.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["abd-mwmr", "fast-read-mwmr"],
+        choices=sorted(PROTOCOLS),
+    )
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    protocol = build_protocol(
+        args.protocol,
+        server_ids(args.servers),
+        args.faults,
+        readers=args.readers,
+        writers=args.writers,
+    )
+    simulation = Simulation(protocol, delay_model=UniformDelay(0.5, 1.5, seed=args.seed))
+    workload = uniform_open_loop(
+        client_ids("w", protocol.writers),
+        client_ids("r", args.readers),
+        writes_per_writer=args.writes,
+        reads_per_reader=args.reads,
+        horizon=40.0 * max(args.writes, args.reads),
+        seed=args.seed,
+    )
+    apply_open_loop(simulation, workload)
+    if args.crash and args.faults >= 1:
+        simulation.crash_server(f"s{args.servers}", at=20.0)
+    result = simulation.run()
+    verdict = check_atomicity(result.history)
+    staleness = measure_staleness(result.history)
+    writes, reads = result.history.round_trip_counts()
+
+    print(f"protocol           : {protocol.name}")
+    print(f"configuration      : S={args.servers} t={args.faults} "
+          f"W={protocol.writers} R={args.readers} seed={args.seed}")
+    print(f"operations         : {len(result.history.complete_operations)} completed "
+          f"({len(result.history.pending_operations)} pending)")
+    print(f"round-trips (w/r)  : {max(writes, default=0)}/{max(reads, default=0)} worst case")
+    print(f"messages sent      : {result.messages_sent}")
+    print(f"atomicity          : {verdict.summary()}")
+    print(f"staleness          : {staleness.summary()}")
+    return 0 if verdict.atomic else 1
+
+
+def _command_table1(args: argparse.Namespace) -> int:
+    params = SystemParameters(args.servers, 2, 2, args.faults)
+    print(f"configuration: {params.describe()}  "
+          f"(fast-read bound S/t-2 = {fast_read_bound(args.servers, args.faults):.2f})")
+    theoretical = theoretical_table(params)
+    empirical = empirical_table(params, seeds=tuple(range(args.seeds)), bursts=3)
+    print(format_table(theoretical, empirical))
+    mismatches = [row for row in empirical if not row.matches_expectation]
+    return 1 if mismatches else 0
+
+
+def _command_prove(args: argparse.Namespace) -> int:
+    outcomes = refute_all(NATURAL_RULES, num_servers=args.servers)
+    rows = [
+        {
+            "rule": outcome.rule_name,
+            "critical server": f"s{outcome.critical_index}" if outcome.critical_index else "-",
+            "violating execution": outcome.witness.execution.name if outcome.witness else "-",
+            "links verified": outcome.certificate.all_verified if outcome.certificate else "-",
+        }
+        for outcome in outcomes
+    ]
+    print(format_rows(rows, ["rule", "critical server", "violating execution", "links verified"]))
+    return 0 if all(outcome.refuted for outcome in outcomes) else 1
+
+
+def _command_boundary(args: argparse.Namespace) -> int:
+    rows = []
+    exit_code = 0
+    for servers in range(max(3, 2 * args.faults + 1), args.max_servers + 1):
+        if 2 * args.faults >= servers:
+            continue
+        result = run_fig9_experiment(servers, args.faults, args.readers)
+        impossible = args.readers >= fast_read_bound(servers, args.faults)
+        if impossible != result.violation_found:
+            exit_code = 1
+        rows.append(
+            {
+                "S": servers,
+                "t": args.faults,
+                "R": args.readers,
+                "S/t-2": f"{fast_read_bound(servers, args.faults):.2f}",
+                "impossible (theory)": impossible,
+                "violation observed": result.violation_found,
+            }
+        )
+    print(format_rows(rows, ["S", "t", "R", "S/t-2", "impossible (theory)", "violation observed"]))
+    return exit_code
+
+
+def _command_latency(args: argparse.Namespace) -> int:
+    metrics = []
+    for key in args.protocols:
+        config = BenchConfig(
+            protocol_key=key,
+            servers=args.servers,
+            max_faults=1,
+            writes_per_writer=4,
+            reads_per_reader=10,
+            horizon=2000.0 if args.delay == "geo" else 200.0,
+            seed=1,
+        )
+        if args.delay == "geo":
+            sites = {}
+            for index, name in enumerate(
+                server_ids(args.servers) + client_ids("w", 2) + client_ids("r", 2)
+            ):
+                sites[name] = ("us", "eu", "ap")[index % 3]
+            delay = GeoDelay(sites, local_delay=0.5, wan_delay=40.0, seed=1)
+        else:
+            delay = UniformDelay(0.5, 1.5, seed=1)
+        metrics.append(run_simulated_benchmark(config, delay_model=delay))
+    print(format_metrics_table(metrics))
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "table1": _command_table1,
+    "prove": _command_prove,
+    "boundary": _command_boundary,
+    "latency": _command_latency,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

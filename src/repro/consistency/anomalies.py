@@ -1,0 +1,80 @@
+"""Classification of atomicity violations.
+
+When a history is not atomic, reporting *why* matters for the experiments:
+Table 1 and the Fig. 9 sweep do not just need a yes/no verdict, they need to
+show that the violations produced by "too fast" protocols are exactly the
+kinds the impossibility arguments predict (stale reads and new/old
+inversions between the two readers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.operations import Operation
+
+__all__ = ["AnomalyKind", "Anomaly", "AnomalyReport"]
+
+
+class AnomalyKind(enum.Enum):
+    """Kinds of non-atomic behaviour a register history can exhibit."""
+
+    #: A read returned a value that no write in the history wrote.
+    READ_FROM_NOWHERE = "read-from-nowhere"
+    #: A read finished before the write of the value it returned started.
+    READ_FROM_FUTURE = "read-from-future"
+    #: A read returned a value although a strictly newer write finished
+    #: before the read started (the value was already overwritten).
+    STALE_READ = "stale-read"
+    #: Two non-concurrent reads observed values in an order contradicting the
+    #: order of the corresponding writes ("new/old inversion").
+    NEW_OLD_INVERSION = "new-old-inversion"
+    #: Writes and reads impose cyclic ordering constraints that do not reduce
+    #: to one of the specific patterns above.
+    ORDERING_CYCLE = "ordering-cycle"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One concrete violation witness."""
+
+    kind: AnomalyKind
+    description: str
+    operations: tuple
+
+    @staticmethod
+    def of(kind: AnomalyKind, description: str, *operations: Operation) -> "Anomaly":
+        return Anomaly(kind, description, tuple(operations))
+
+
+@dataclass
+class AnomalyReport:
+    """All anomalies found in one history."""
+
+    anomalies: List[Anomaly] = field(default_factory=list)
+
+    def add(self, anomaly: Anomaly) -> None:
+        self.anomalies.append(anomaly)
+
+    def extend(self, anomalies: Sequence[Anomaly]) -> None:
+        self.anomalies.extend(anomalies)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.anomalies
+
+    def count(self, kind: Optional[AnomalyKind] = None) -> int:
+        if kind is None:
+            return len(self.anomalies)
+        return sum(1 for a in self.anomalies if a.kind is kind)
+
+    def kinds(self) -> List[AnomalyKind]:
+        return sorted({a.kind for a in self.anomalies}, key=lambda k: k.value)
+
+    def summary(self) -> str:
+        if self.is_clean:
+            return "no anomalies"
+        parts = [f"{self.count(kind)}x {kind.value}" for kind in self.kinds()]
+        return ", ".join(parts)

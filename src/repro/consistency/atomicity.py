@@ -1,0 +1,91 @@
+"""Top-level atomicity checking API.
+
+:func:`check_atomicity` is what tests, benchmarks and examples call: it runs
+the polynomial cluster-based register checker when the history carries unique
+tags (the normal case for every protocol in this library) and falls back to
+the exhaustive Wing-Gong search otherwise.  :func:`assert_atomic` raises
+:class:`~repro.core.errors.AtomicityViolation` with the anomaly report
+attached, which gives failing tests a readable witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.errors import AtomicityViolation
+from ..core.operations import Operation
+from .anomalies import AnomalyReport
+from .history import History
+from .register_checker import RegisterCheckResult, check_register_atomicity
+from .wgl import WGLResult, check_linearizable_exhaustive
+
+__all__ = ["AtomicityResult", "check_atomicity", "assert_atomic"]
+
+
+@dataclass
+class AtomicityResult:
+    """Combined verdict of the atomicity check."""
+
+    atomic: bool
+    report: AnomalyReport
+    linearization: Optional[List[Operation]] = None
+    method: str = "cluster"
+
+    def summary(self) -> str:
+        verdict = "ATOMIC" if self.atomic else "NOT ATOMIC"
+        return f"{verdict} ({self.method}): {self.report.summary()}"
+
+
+def _has_unique_tags(history: History) -> bool:
+    tags = [op.tag for op in history.writes if op.tag is not None]
+    if len(tags) != len(history.writes):
+        return False
+    return len(set(tags)) == len(tags)
+
+
+def check_atomicity(history: History, force_exhaustive: bool = False) -> AtomicityResult:
+    """Decide whether ``history`` satisfies atomicity (Definition 2.1).
+
+    Args:
+        history: the history to check.  It must be well-formed (each client's
+            operations are sequential); a non-well-formed history raises
+            ``ValueError`` because it indicates a harness bug rather than a
+            protocol bug.
+        force_exhaustive: always use the exhaustive search (for testing).
+    """
+    if not history.is_well_formed():
+        raise ValueError("history is not well-formed; cannot check atomicity")
+
+    if not force_exhaustive and _has_unique_tags(history):
+        cluster: RegisterCheckResult = check_register_atomicity(history)
+        return AtomicityResult(
+            atomic=cluster.atomic,
+            report=cluster.report,
+            linearization=cluster.linearization,
+            method="cluster",
+        )
+
+    wgl: WGLResult = check_linearizable_exhaustive(history)
+    report = AnomalyReport()
+    if not wgl.atomic:
+        # The exhaustive checker has no witness structure; run the classifier
+        # from the cluster checker to explain the failure when tags exist.
+        cluster = check_register_atomicity(history)
+        report = cluster.report
+    return AtomicityResult(
+        atomic=wgl.atomic,
+        report=report,
+        linearization=wgl.linearization,
+        method="exhaustive",
+    )
+
+
+def assert_atomic(history: History) -> AtomicityResult:
+    """Check atomicity and raise :class:`AtomicityViolation` when it fails."""
+    result = check_atomicity(history)
+    if not result.atomic:
+        raise AtomicityViolation(
+            f"history is not atomic: {result.report.summary()}", witness=result
+        )
+    return result

@@ -1,0 +1,162 @@
+"""Histories of register operations.
+
+A *history* (the paper calls it an execution of the clients, Section 2.1) is
+the sequence of invocation and response events observed at the global clock.
+The atomicity checker, the anomaly classifier and the benchmark reporters all
+consume this type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.operations import Event, EventKind, Operation, OpKind
+from ..core.timestamps import Tag
+
+__all__ = ["History"]
+
+
+@dataclass
+class History:
+    """A collection of operations with real-time ordering information."""
+
+    operations: List[Operation] = field(default_factory=list)
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, operation: Operation) -> None:
+        self.operations.append(operation)
+
+    @classmethod
+    def from_operations(cls, operations: Iterable[Operation]) -> "History":
+        return cls(list(operations))
+
+    @classmethod
+    def from_events(cls, events: Sequence[Event]) -> "History":
+        """Reconstruct operations from a flat event stream."""
+        pending: Dict[str, Operation] = {}
+        history = cls()
+        for event in sorted(events, key=lambda e: e.time):
+            if event.kind is EventKind.INVOCATION:
+                op = Operation(
+                    op_id=event.op_id,
+                    client=event.client,
+                    kind=event.op_kind,
+                    start=event.time,
+                    value=event.value,
+                    tag=event.tag,
+                )
+                pending[event.op_id] = op
+                history.add(op)
+            else:
+                op = pending.get(event.op_id)
+                if op is None:
+                    raise ValueError(f"response without invocation: {event.op_id}")
+                op.finish = event.time
+                if event.op_kind is OpKind.READ:
+                    op.value = event.value
+                    op.tag = event.tag
+        return history
+
+    # -- basic queries --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    @property
+    def reads(self) -> List[Operation]:
+        return [op for op in self.operations if op.is_read]
+
+    @property
+    def writes(self) -> List[Operation]:
+        return [op for op in self.operations if op.is_write]
+
+    @property
+    def complete_operations(self) -> List[Operation]:
+        return [op for op in self.operations if op.is_complete]
+
+    @property
+    def pending_operations(self) -> List[Operation]:
+        return [op for op in self.operations if not op.is_complete]
+
+    def by_client(self, client: str) -> List[Operation]:
+        return [op for op in self.operations if op.client == client]
+
+    def operation(self, op_id: str) -> Operation:
+        for op in self.operations:
+            if op.op_id == op_id:
+                return op
+        raise KeyError(op_id)
+
+    def write_for_tag(self, tag: Tag) -> Optional[Operation]:
+        """The write operation that produced ``tag``, if present."""
+        for op in self.writes:
+            if op.tag == tag:
+                return op
+        return None
+
+    # -- structural checks -----------------------------------------------------
+
+    def is_well_formed(self) -> bool:
+        """Each client's sub-history is sequential (no overlapping ops)."""
+        clients: Dict[str, List[Operation]] = {}
+        for op in self.operations:
+            clients.setdefault(op.client, []).append(op)
+        for ops in clients.values():
+            ordered = sorted(ops, key=lambda o: o.start)
+            for earlier, later in zip(ordered, ordered[1:]):
+                if earlier.finish is None or earlier.finish > later.start:
+                    return False
+        return True
+
+    def precedes(self, first: Operation, second: Operation) -> bool:
+        """Real-time order ``first ≺ second``."""
+        return first.precedes(second)
+
+    def concurrent(self, first: Operation, second: Operation) -> bool:
+        return first.concurrent_with(second)
+
+    def real_time_pairs(self) -> Iterator[Tuple[Operation, Operation]]:
+        """All ordered pairs (a, b) with a ≺ b."""
+        for a in self.complete_operations:
+            for b in self.operations:
+                if a is not b and a.precedes(b):
+                    yield a, b
+
+    # -- completion -----------------------------------------------------------
+
+    def completed_only(self) -> "History":
+        """A copy restricted to complete operations.
+
+        Pending *writes* are kept (a pending write may have taken effect and
+        be observed by readers), pending reads are dropped -- the standard
+        history-completion convention for linearizability checking.
+        """
+        ops: List[Operation] = []
+        for op in self.operations:
+            if op.is_complete:
+                ops.append(op)
+            elif op.is_write:
+                ops.append(op)
+        return History(ops)
+
+    def duration(self) -> float:
+        """Virtual/wall-clock span covered by the history."""
+        if not self.operations:
+            return 0.0
+        start = min(op.start for op in self.operations)
+        finish = max(
+            (op.finish for op in self.operations if op.finish is not None),
+            default=start,
+        )
+        return finish - start
+
+    def round_trip_counts(self) -> Tuple[List[int], List[int]]:
+        """Round-trip counts for (writes, reads), for the design-space classifier."""
+        writes = [op.round_trips for op in self.writes if op.is_complete]
+        reads = [op.round_trips for op in self.reads if op.is_complete]
+        return writes, reads

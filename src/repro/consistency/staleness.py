@@ -1,0 +1,201 @@
+"""Quantifying *how much* atomicity is violated (the paper's future work).
+
+The paper's conclusion sketches the next step of this research line: "fix
+fast implementations in the first place, and then quantify how much data
+inconsistency will be introduced when strictly guaranteeing atomicity is
+impossible".  The authors' companion work on probabilistically-atomic
+2-atomicity (Wei et al., reference [28]) measures exactly this for W1R2-style
+fast protocols.
+
+This module implements those metrics over the histories our simulator
+produces, so the benchmarks can report not only *whether* the fast candidates
+violate atomicity but *by how much*:
+
+* **Version staleness** of a read: how many writes were *missed* -- a write
+  ``w`` is missed when it completed before the read started, yet the value
+  the read returned was written by a write that had already finished before
+  ``w`` even started (i.e. the returned data is strictly older, in real
+  time, than a value the client was guaranteed to be able to see).  A
+  history is k-atomic in this sense when no read misses more than ``k - 1``
+  writes; atomic histories are 1-atomic (zero misses).
+* **Time staleness**: how long before the read's invocation the oldest
+  missed write had completed (how out-of-date the returned data is in clock
+  terms).
+* **Inversion count**: the number of ordered read pairs (r1 before r2, any
+  clients) where the later read returned a value strictly older, in real
+  time, than the earlier read's -- the paper's new/old inversions.
+
+The metrics are defined purely over real-time order, *not* over tag order:
+the broken fast-write candidates corrupt the tag order (that is exactly
+their bug), so tag-based staleness would under-report their inconsistency.
+They complement, not replace, the sound-and-complete checker in
+:mod:`repro.consistency.register_checker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.operations import Operation
+from ..core.timestamps import BOTTOM_TAG, Tag
+from .history import History
+
+__all__ = ["ReadStaleness", "StalenessReport", "measure_staleness"]
+
+
+@dataclass(frozen=True)
+class ReadStaleness:
+    """Staleness of one read operation."""
+
+    op_id: str
+    client: str
+    returned_tag: Tag
+    version_lag: int
+    time_lag: float
+
+    @property
+    def is_fresh(self) -> bool:
+        """True when the read returned the newest completed-before-it value."""
+        return self.version_lag == 0
+
+
+@dataclass
+class StalenessReport:
+    """Aggregate inconsistency metrics of one history."""
+
+    reads: List[ReadStaleness] = field(default_factory=list)
+    inversions: int = 0
+
+    @property
+    def read_count(self) -> int:
+        return len(self.reads)
+
+    @property
+    def stale_read_count(self) -> int:
+        return sum(1 for read in self.reads if not read.is_fresh)
+
+    @property
+    def stale_read_fraction(self) -> float:
+        if not self.reads:
+            return 0.0
+        return self.stale_read_count / len(self.reads)
+
+    @property
+    def max_version_lag(self) -> int:
+        return max((read.version_lag for read in self.reads), default=0)
+
+    @property
+    def mean_version_lag(self) -> float:
+        if not self.reads:
+            return 0.0
+        return sum(read.version_lag for read in self.reads) / len(self.reads)
+
+    @property
+    def max_time_lag(self) -> float:
+        return max((read.time_lag for read in self.reads), default=0.0)
+
+    def k_atomicity(self) -> int:
+        """The smallest k such that the history is k-atomic (read-staleness sense).
+
+        Every read returns one of the ``k`` newest values whose writes
+        completed before the read started; an atomic history has k = 1.
+        Returns 1 for histories without reads.
+        """
+        return max(self.max_version_lag + 1, 1)
+
+    def summary(self) -> str:
+        return (
+            f"{self.read_count} reads: {self.stale_read_count} stale "
+            f"({self.stale_read_fraction:.1%}), k-atomicity={self.k_atomicity()}, "
+            f"max version lag={self.max_version_lag}, "
+            f"inversions={self.inversions}"
+        )
+
+
+def _completed_writes_before(history: History, moment: float) -> List[Operation]:
+    """Writes whose response precedes ``moment``."""
+    return [
+        op
+        for op in history.writes
+        if op.finish is not None and op.finish < moment and op.tag is not None
+    ]
+
+
+def _strictly_older(candidate: Optional[Operation], other: Operation) -> bool:
+    """Whether ``candidate`` finished before ``other`` started (real time).
+
+    ``candidate is None`` models the initial value, which is older than every
+    write.
+    """
+    if candidate is None:
+        return True
+    if candidate.finish is None:
+        return False
+    return candidate.finish < other.start
+
+
+def measure_staleness(history: History) -> StalenessReport:
+    """Compute version/time staleness and inversion counts for a history.
+
+    Reads without a tag are skipped.  A read's returned write is resolved by
+    tag; reads of the initial value resolve to "no write", which counts as
+    strictly older than every write.
+    """
+    report = StalenessReport()
+    writes_by_tag: Dict[Tag, Operation] = {
+        op.tag: op for op in history.writes if op.tag is not None
+    }
+
+    for read in history.reads:
+        if not read.is_complete or read.tag is None:
+            continue
+        returned_write = writes_by_tag.get(read.tag)
+        if read.tag != BOTTOM_TAG and returned_write is None:
+            # Read-from-nowhere: no sensible staleness value; count it as
+            # maximally stale against every completed preceding write.
+            returned_write = None
+        completed = _completed_writes_before(history, read.start)
+        missed = [
+            op
+            for op in completed
+            if op.tag != read.tag and _strictly_older(returned_write, op)
+        ]
+        version_lag = len(missed)
+        if version_lag == 0:
+            time_lag = 0.0
+        else:
+            earliest_missed = min(op.finish for op in missed)
+            time_lag = max(0.0, read.start - earliest_missed)
+        report.reads.append(
+            ReadStaleness(
+                op_id=read.op_id,
+                client=read.client,
+                returned_tag=read.tag,
+                version_lag=version_lag,
+                time_lag=time_lag,
+            )
+        )
+
+    completed_reads = [
+        op for op in history.reads if op.is_complete and op.tag is not None
+    ]
+    for first in completed_reads:
+        for second in completed_reads:
+            if first is second or not first.precedes(second):
+                continue
+            if first.tag == second.tag:
+                continue
+            first_write = writes_by_tag.get(first.tag)
+            second_write = (
+                writes_by_tag.get(second.tag) if second.tag != BOTTOM_TAG else None
+            )
+            if first_write is None and first.tag != BOTTOM_TAG:
+                continue
+            if first.tag == BOTTOM_TAG:
+                continue
+            # Inversion: the later read's value is strictly older (real time)
+            # than the earlier read's value.
+            if _strictly_older(second_write, first_write):
+                report.inversions += 1
+    return report

@@ -1,0 +1,122 @@
+"""Exhaustive linearizability checking (Wing & Gong style, with pruning).
+
+This checker decides linearizability of a register history against the
+sequential register specification by searching over all ways to order
+concurrent operations, with the standard Wing-Gong/Lowe optimisations:
+
+* only *minimal* operations (those not real-time-preceded by another pending
+  operation) may be linearized next;
+* memoisation on the pair (set of linearized operations, current register
+  value) prunes re-explored states.
+
+It makes **no uniqueness assumption** about written values, so it serves as
+the ground truth the fast cluster-based checker is validated against in the
+test suite.  Its running time is exponential in the number of overlapping
+operations, so use it only on small histories (tens of operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.operations import Operation, OpKind
+from .history import History
+
+__all__ = ["WGLResult", "check_linearizable_exhaustive"]
+
+
+@dataclass
+class WGLResult:
+    """Outcome of the exhaustive search."""
+
+    atomic: bool
+    linearization: Optional[List[Operation]] = None
+    states_explored: int = 0
+
+
+def _value_key(value) -> str:
+    """Normalize values for use in memoisation keys."""
+    return repr(value)
+
+
+def check_linearizable_exhaustive(
+    history: History,
+    initial_value=None,
+    max_states: int = 2_000_000,
+) -> WGLResult:
+    """Search for a linearization of ``history`` against register semantics.
+
+    Pending reads are dropped; pending writes are considered optional -- the
+    search may linearize them or leave them out entirely (modelling a crash
+    before the write took effect).
+
+    Raises ``RuntimeError`` when ``max_states`` is exceeded, so callers never
+    mistake a timeout for a verdict.
+    """
+    completed: List[Operation] = []
+    optional: List[Operation] = []
+    for op in history.operations:
+        if op.is_complete:
+            completed.append(op)
+        elif op.is_write:
+            optional.append(op)
+
+    operations = completed + optional
+    optional_ids = {op.op_id for op in optional}
+    index = {op.op_id: i for i, op in enumerate(operations)}
+    n = len(operations)
+
+    # Precompute real-time predecessors: op can be linearized only after all
+    # operations that precede it have been linearized.
+    predecessors: List[Set[int]] = [set() for _ in range(n)]
+    for i, a in enumerate(operations):
+        for j, b in enumerate(operations):
+            if i != j and a.precedes(b):
+                predecessors[j].add(i)
+
+    seen: Set[Tuple[FrozenSet[int], str]] = set()
+    states = 0
+
+    def search(done: FrozenSet[int], value, sequence: List[int]) -> Optional[List[int]]:
+        nonlocal states
+        states += 1
+        if states > max_states:
+            raise RuntimeError("WGL search exceeded max_states; history too large")
+        if len(done) == n:
+            return list(sequence)
+        key = (done, _value_key(value))
+        if key in seen:
+            return None
+        seen.add(key)
+
+        # Option: declare remaining optional (pending, unlinearized) writes as
+        # never-taking-effect, but only if every remaining op is optional.
+        remaining = [i for i in range(n) if i not in done]
+        if all(operations[i].op_id in optional_ids for i in remaining):
+            return list(sequence)
+
+        for i in remaining:
+            if not predecessors[i] <= done:
+                continue
+            op = operations[i]
+            if op.is_read:
+                if not _values_equal(op.value, value):
+                    continue
+                result = search(done | {i}, value, sequence + [i])
+            else:
+                result = search(done | {i}, op.value, sequence + [i])
+            if result is not None:
+                return result
+        return None
+
+    sequence = search(frozenset(), initial_value, [])
+    if sequence is None:
+        return WGLResult(False, None, states)
+    return WGLResult(True, [operations[i] for i in sequence], states)
+
+
+def _values_equal(a, b) -> bool:
+    if a is None and b is None:
+        return True
+    return a == b

@@ -1,0 +1,248 @@
+"""The ``admissible`` predicate of the paper's W2R1 algorithm (Algorithm 1).
+
+A one-round-trip reader collects READACK messages from ``S - t`` servers.  Each
+message carries, for each value the server knows, the set of clients the
+server has already *updated* with that value (``valuevector[val].updated``).
+A candidate value ``v`` is *admissible with degree* ``a`` in a read when there
+is a subset ``mu`` of the received messages such that
+
+* ``|mu| >= S - a*t``  (enough servers report v),
+* every message in ``mu`` carries ``v``, and
+* ``|intersection of m.updated over m in mu| >= a``  (v has propagated to at
+  least ``a`` clients on all those servers).
+
+The degree bound ``a in [1, R+1]`` together with ``R < S/t - 2`` is what makes
+the predicate sound: it guarantees (Lemmas 9 and 10 of Appendix A) that the
+witnessing server sets are large enough to survive ``t`` failures and to
+intersect the reply set of any later read.
+
+This module implements the predicate over plain data structures so it can be
+reused by the simulator-based protocol, the asyncio protocol, and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .timestamps import Tag
+
+__all__ = [
+    "ValueReport",
+    "ReadAck",
+    "AdmissibilityWitness",
+    "admissible",
+    "admissible_values",
+    "select_return_value",
+]
+
+
+@dataclass(frozen=True)
+class ValueReport:
+    """One server's knowledge of one value: the tag and its ``updated`` set."""
+
+    tag: Tag
+    updated: FrozenSet[str]
+
+    @staticmethod
+    def of(tag: Tag, updated: Iterable[str]) -> "ValueReport":
+        return ValueReport(tag, frozenset(updated))
+
+
+@dataclass(frozen=True)
+class ReadAck:
+    """A READACK message as seen by the reader.
+
+    Attributes:
+        server: the sending server's id.
+        reports: mapping from tag to that server's :class:`ValueReport`.
+        max_tag: the server's current ``vali`` tag (largest it has stored).
+    """
+
+    server: str
+    reports: Mapping[Tag, ValueReport]
+    max_tag: Tag
+
+    def knows(self, tag: Tag) -> bool:
+        return tag in self.reports
+
+    def updated_set(self, tag: Tag) -> FrozenSet[str]:
+        report = self.reports.get(tag)
+        return report.updated if report is not None else frozenset()
+
+
+@dataclass(frozen=True)
+class AdmissibilityWitness:
+    """Evidence that a value is admissible with a given degree.
+
+    ``servers`` is the set ``Sigma_{op,v,a}`` of servers whose messages form
+    the witnessing subset ``mu``; ``common_updated`` is
+    ``Pi_{op,v,a} = intersection of m.updated``.
+    """
+
+    tag: Tag
+    degree: int
+    servers: FrozenSet[str]
+    common_updated: FrozenSet[str]
+
+
+def admissible(
+    tag: Tag,
+    acks: Sequence[ReadAck],
+    degree: int,
+    total_servers: int,
+    max_faults: int,
+) -> Optional[AdmissibilityWitness]:
+    """Evaluate ``admissible(v, Msg, a)`` and return a witness if it holds.
+
+    Following Algorithm 1 line 32: the predicate holds when there is a subset
+    ``mu`` of ``acks`` with at least ``S - a*t`` messages, all carrying
+    ``tag``, whose ``updated`` sets have an intersection of size at least
+    ``degree``.
+
+    Because adding more messages can only shrink the intersection, it is not
+    sufficient to greedily take *all* messages carrying the tag; we must look
+    for the best subset.  We use the standard transformation: for the
+    intersection to have size >= a we need at least ``S - a*t`` messages whose
+    updated sets all contain some common set of >= a clients.  We enumerate
+    candidate client subsets implicitly by counting, per client, the messages
+    whose ``updated`` set contains it, and then checking combinations over the
+    (small) client universe observed in the acks.
+
+    For the system sizes in this library (tens of clients), an exact
+    enumeration over clients appearing in the acks is affordable; we keep the
+    search pruned by the required threshold.
+    """
+    if degree < 1:
+        raise ValueError("admissibility degree must be >= 1")
+    required = total_servers - degree * max_faults
+    if required < 1:
+        required = 1
+    carrying = [ack for ack in acks if ack.knows(tag)]
+    if len(carrying) < required:
+        return None
+
+    # Fast path: take all carrying messages; if their common intersection is
+    # already large enough we are done (this is the common case because the
+    # reader itself appears in every updated set of the servers it reached).
+    all_servers = frozenset(a.server for a in carrying)
+    common = _intersection(carrying, tag)
+    if len(common) >= degree:
+        return AdmissibilityWitness(tag, degree, all_servers, common)
+
+    # Otherwise search: try dropping messages whose updated sets are
+    # "small" to enlarge the intersection, as long as we keep >= required
+    # messages.  The number of messages is at most S, so a bounded recursive
+    # search is fine for the sizes we target.
+    best = _search_subset(carrying, tag, required, degree)
+    if best is None:
+        return None
+    servers, common = best
+    return AdmissibilityWitness(tag, degree, frozenset(servers), frozenset(common))
+
+
+def _intersection(acks: Sequence[ReadAck], tag: Tag) -> FrozenSet[str]:
+    sets = [ack.updated_set(tag) for ack in acks]
+    if not sets:
+        return frozenset()
+    result = set(sets[0])
+    for s in sets[1:]:
+        result &= s
+    return frozenset(result)
+
+
+def _search_subset(
+    carrying: Sequence[ReadAck],
+    tag: Tag,
+    required: int,
+    degree: int,
+) -> Optional[Tuple[Set[str], Set[str]]]:
+    """Find a subset of size >= required whose updated-intersection is >= degree.
+
+    Exhaustive over which messages to *exclude*; the number of exclusions is
+    bounded by ``len(carrying) - required`` which is at most ``(a-1) * t`` and
+    small in practice.  We memoize on the frozenset of included servers.
+    """
+    n = len(carrying)
+    max_exclusions = n - required
+    if max_exclusions < 0:
+        return None
+
+    best: Optional[Tuple[Set[str], Set[str]]] = None
+
+    def recurse(start: int, included: List[ReadAck], exclusions_left: int) -> None:
+        nonlocal best
+        if best is not None:
+            return
+        remaining = carrying[start:]
+        if len(included) + len(remaining) < required:
+            return
+        if start == n:
+            if len(included) >= required:
+                common = _intersection(included, tag)
+                if len(common) >= degree:
+                    best = ({a.server for a in included}, set(common))
+            return
+        # Include carrying[start].
+        recurse(start + 1, included + [carrying[start]], exclusions_left)
+        if best is not None:
+            return
+        # Exclude it, if we still can.
+        if exclusions_left > 0:
+            recurse(start + 1, included, exclusions_left - 1)
+
+    recurse(0, [], max_exclusions)
+    return best
+
+
+def admissible_values(
+    acks: Sequence[ReadAck],
+    total_servers: int,
+    max_faults: int,
+    max_degree: int,
+) -> Dict[Tag, AdmissibilityWitness]:
+    """All tags admissible with some degree ``a in [1, max_degree]``.
+
+    For each tag reported by any ack we search for the smallest admissible
+    degree; the returned mapping contains one witness per admissible tag.
+    """
+    result: Dict[Tag, AdmissibilityWitness] = {}
+    seen: Set[Tag] = set()
+    for ack in acks:
+        seen.update(ack.reports.keys())
+    for tag in seen:
+        for a in range(1, max_degree + 1):
+            witness = admissible(tag, acks, a, total_servers, max_faults)
+            if witness is not None:
+                result[tag] = witness
+                break
+    return result
+
+
+def select_return_value(
+    acks: Sequence[ReadAck],
+    total_servers: int,
+    max_faults: int,
+    max_degree: int,
+) -> Tuple[Optional[Tag], Dict[Tag, AdmissibilityWitness]]:
+    """The read's decision rule: return the largest admissible tag.
+
+    Mirrors Algorithm 1 lines 23-31: starting from the maximum tag observed,
+    test admissibility with some degree in ``[1, max_degree]``; if the test
+    fails remove the tag from consideration and retry with the next largest.
+    Returns ``(chosen_tag, all_admissible)``; ``chosen_tag`` is None only when
+    no tag is admissible, which cannot happen for a correct configuration
+    because the reader's own ``valQueue`` value is always admissible
+    (Lemma 3 of Appendix A).
+    """
+    candidates: Set[Tag] = set()
+    for ack in acks:
+        candidates.update(ack.reports.keys())
+    witnesses: Dict[Tag, AdmissibilityWitness] = {}
+    for tag in sorted(candidates, reverse=True):
+        for a in range(1, max_degree + 1):
+            witness = admissible(tag, acks, a, total_servers, max_faults)
+            if witness is not None:
+                witnesses[tag] = witness
+                return tag, witnesses
+    return None, witnesses

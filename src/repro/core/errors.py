@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "QuorumUnavailableError",
+    "ProtocolError",
+    "AtomicityViolation",
+    "ProofError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A system configuration violates a precondition.
+
+    Examples: fewer than two servers, ``t >= S/2`` for a majority-quorum
+    protocol, or instantiating the paper's W2R1 algorithm with
+    ``R >= S/t - 2``.
+    """
+
+
+class QuorumUnavailableError(ReproError):
+    """An operation could not assemble a quorum of ``S - t`` responses."""
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation received a malformed or unexpected message."""
+
+
+class AtomicityViolation(ReproError):
+    """Raised by checkers (when asked to raise) for non-atomic histories."""
+
+    def __init__(self, message: str, witness=None):
+        super().__init__(message)
+        self.witness = witness
+
+
+class ProofError(ReproError):
+    """A step of a mechanized proof construction failed to hold.
+
+    If this is ever raised while running the chain argument against a correct
+    full-info implementation it indicates a bug in the proof engine, not in
+    the implementation under test.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

@@ -1,0 +1,144 @@
+"""The design space of fast register implementations (Fig. 2 of the paper).
+
+An implementation is classified by how many client<->server round-trips its
+write and read operations take in the worst case:
+
+* ``W2R2`` -- both take two round-trips (the classic multi-writer ABD).
+* ``W1R2`` -- fast writes (one round-trip), slow reads.
+* ``W2R1`` -- slow writes, fast reads (one round-trip).
+* ``W1R1`` -- both fast.
+
+Figure 2 arranges these four points in a Hasse diagram ordered by latency
+(inverse of consistency strength achievable).  This module provides the
+:class:`DesignPoint` enumeration, the partial order of the diagram, and a
+classifier that derives the design point of an implementation from the
+round-trip counts observed in an execution trace rather than from the
+implementation's own claim.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "DesignPoint",
+    "LATTICE_EDGES",
+    "dominates",
+    "latency_rank",
+    "classify_round_trips",
+    "RoundTripProfile",
+]
+
+
+class DesignPoint(enum.Enum):
+    """A point in the write/read round-trip design space."""
+
+    W2R2 = (2, 2)
+    W1R2 = (1, 2)
+    W2R1 = (2, 1)
+    W1R1 = (1, 1)
+
+    def __init__(self, write_rtts: int, read_rtts: int) -> None:
+        self.write_rtts = write_rtts
+        self.read_rtts = read_rtts
+
+    @property
+    def fast_write(self) -> bool:
+        return self.write_rtts == 1
+
+    @property
+    def fast_read(self) -> bool:
+        return self.read_rtts == 1
+
+    @classmethod
+    def from_round_trips(cls, write_rtts: int, read_rtts: int) -> "DesignPoint":
+        """Map worst-case round-trip counts to a design point.
+
+        Counts larger than two are clamped to two: the paper only
+        distinguishes "fast" (one round-trip) from "not fast" (two or more),
+        and its impossibility proofs explicitly cover W1Rk / WkR1 for k >= 3.
+        """
+        if write_rtts < 1 or read_rtts < 1:
+            raise ValueError("round-trip counts must be at least 1")
+        w = 1 if write_rtts == 1 else 2
+        r = 1 if read_rtts == 1 else 2
+        return cls((w, r))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Edges of the Hasse diagram in Fig. 2, from lower latency to higher latency.
+#: ``(a, b)`` means a has strictly lower latency than b (a is "below" b).
+LATTICE_EDGES: Tuple[Tuple[DesignPoint, DesignPoint], ...] = (
+    (DesignPoint.W1R1, DesignPoint.W1R2),
+    (DesignPoint.W1R1, DesignPoint.W2R1),
+    (DesignPoint.W1R2, DesignPoint.W2R2),
+    (DesignPoint.W2R1, DesignPoint.W2R2),
+)
+
+
+def dominates(faster: DesignPoint, slower: DesignPoint) -> bool:
+    """True when ``faster`` has round-trip counts <= ``slower`` component-wise.
+
+    This is the partial order of Fig. 2: fewer round-trips means lower
+    latency, and (by the paper's results) weaker achievable consistency.
+    """
+    return (
+        faster.write_rtts <= slower.write_rtts
+        and faster.read_rtts <= slower.read_rtts
+    )
+
+
+def latency_rank(point: DesignPoint) -> int:
+    """Total latency in round-trips (the vertical axis of Fig. 2)."""
+    return point.write_rtts + point.read_rtts
+
+
+@dataclass(frozen=True)
+class RoundTripProfile:
+    """Observed round-trip statistics of an execution.
+
+    ``write_rtts`` / ``read_rtts`` map each completed operation id to the
+    number of round-trips the client used for that operation.
+    """
+
+    write_rtts: Mapping[str, int]
+    read_rtts: Mapping[str, int]
+
+    @property
+    def max_write_rtts(self) -> int:
+        return max(self.write_rtts.values(), default=1)
+
+    @property
+    def max_read_rtts(self) -> int:
+        return max(self.read_rtts.values(), default=1)
+
+    @property
+    def mean_write_rtts(self) -> float:
+        vals = list(self.write_rtts.values())
+        return sum(vals) / len(vals) if vals else 0.0
+
+    @property
+    def mean_read_rtts(self) -> float:
+        vals = list(self.read_rtts.values())
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def design_point(self) -> DesignPoint:
+        """Worst-case classification of this profile."""
+        return DesignPoint.from_round_trips(
+            max(1, self.max_write_rtts), max(1, self.max_read_rtts)
+        )
+
+
+def classify_round_trips(
+    write_counts: Iterable[int], read_counts: Iterable[int]
+) -> DesignPoint:
+    """Classify an implementation from per-operation round-trip counts."""
+    writes = list(write_counts)
+    reads = list(read_counts)
+    max_w = max(writes) if writes else 1
+    max_r = max(reads) if reads else 1
+    return DesignPoint.from_round_trips(max_w, max_r)

@@ -1,0 +1,93 @@
+"""MW-ABD: the multi-writer, multi-reader W2R2 baseline.
+
+This is the Lynch-Shvartsman style emulation the paper cites as [23] and
+lists in Table 1 as the W2R2 design point: both operations use exactly two
+round-trips, and the implementation is correct whenever majorities intersect
+(``t < S/2``).
+
+* ``write(v)``: round-trip 1 queries all servers and computes ``maxTS``;
+  round-trip 2 updates all servers with ``(maxTS + 1, wid)``.
+* ``read()``: round-trip 1 queries all servers and picks the largest tagged
+  value; round-trip 2 writes that value back (the "read must write" phase
+  that atomicity forces), then returns it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..core.errors import ConfigurationError
+from ..core.operations import OpKind
+from ..core.timestamps import BOTTOM_TAG, Tag, max_tag
+from ..sim.messages import Message
+from .base import Broadcast, ClientLogic, OperationOutcome, RegisterProtocol, ServerLogic
+from .codec import decode_tag, encode_tag
+from .server_state import TagValueServer
+
+__all__ = ["AbdMwmrWriter", "AbdMwmrReader", "AbdMwmrProtocol"]
+
+
+def _best_from_query_acks(acks: List[Message]):
+    """Pick the largest (tag, value) pair from query replies."""
+    best_tag = BOTTOM_TAG
+    best_value = None
+    for ack in acks:
+        tag = decode_tag(ack.payload["tag"])
+        if tag > best_tag:
+            best_tag = tag
+            best_value = ack.payload.get("value")
+    return best_tag, best_value
+
+
+class AbdMwmrWriter(ClientLogic):
+    """Two-round-trip writer: query for ``maxTS`` then update."""
+
+    def write_protocol(self, value: Any):
+        acks = yield Broadcast("query")
+        max_seen = max_tag(decode_tag(a.payload["tag"]) for a in acks)
+        tag = max_seen.successor(self.client_id)
+        yield Broadcast("update", {"tag": encode_tag(tag), "value": value})
+        return OperationOutcome(OpKind.WRITE, value=value, tag=tag)
+
+    def read_protocol(self):
+        raise NotImplementedError("writers do not read")
+        yield  # pragma: no cover
+
+
+class AbdMwmrReader(ClientLogic):
+    """Two-round-trip reader: query then write back the chosen value."""
+
+    def write_protocol(self, value: Any):
+        raise NotImplementedError("readers do not write")
+        yield  # pragma: no cover
+
+    def read_protocol(self):
+        acks = yield Broadcast("query")
+        tag, value = _best_from_query_acks(acks)
+        yield Broadcast("update", {"tag": encode_tag(tag), "value": value})
+        return OperationOutcome(OpKind.READ, value=value, tag=tag)
+
+
+class AbdMwmrProtocol(RegisterProtocol):
+    """Factory for the W2R2 multi-writer register emulation."""
+
+    name = "mw-abd (W2R2)"
+    write_round_trips = 2
+    read_round_trips = 2
+    multi_writer = True
+
+    def validate_configuration(self) -> None:
+        if 2 * self.max_faults >= len(self.servers):
+            raise ConfigurationError(
+                "MW-ABD requires t < S/2 "
+                f"(got t={self.max_faults}, S={len(self.servers)})"
+            )
+
+    def make_server(self, server_id: str) -> ServerLogic:
+        return TagValueServer(server_id)
+
+    def make_writer(self, writer_id: str) -> ClientLogic:
+        return AbdMwmrWriter(writer_id, self.servers, self.max_faults)
+
+    def make_reader(self, reader_id: str) -> ClientLogic:
+        return AbdMwmrReader(reader_id, self.servers, self.max_faults)

@@ -1,0 +1,35 @@
+"""Encoding of tags and values into JSON-friendly message payloads.
+
+Message payloads must survive a round-trip through JSON for the asyncio
+transport, so tags are encoded as ``"ts:wid"`` strings and decoded back into
+:class:`~repro.core.timestamps.Tag` objects at the receiver.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..core.timestamps import Tag
+
+__all__ = ["encode_tag", "decode_tag", "encode_tagged", "decode_tagged"]
+
+_SEPARATOR = "|"
+
+
+def encode_tag(tag: Tag) -> str:
+    """Encode a tag as a sortable-enough, JSON-safe string."""
+    return f"{tag.ts}{_SEPARATOR}{tag.wid}"
+
+
+def decode_tag(encoded: str) -> Tag:
+    """Inverse of :func:`encode_tag`."""
+    ts_part, _, wid = encoded.partition(_SEPARATOR)
+    return Tag(int(ts_part), wid)
+
+
+def encode_tagged(tag: Tag, value: Any) -> Dict[str, Any]:
+    return {"tag": encode_tag(tag), "value": value}
+
+
+def decode_tagged(payload: Dict[str, Any]) -> Tuple[Tag, Any]:
+    return decode_tag(payload["tag"]), payload.get("value")

@@ -1,0 +1,141 @@
+"""A registry of all register protocols, keyed by design point.
+
+The Table 1 benchmark and the examples iterate over this registry to build
+one protocol per design-space quadrant without hard-coding class names
+everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.fastness import DesignPoint
+from .abd_mwmr import AbdMwmrProtocol
+from .abd_swmr import AbdSwmrProtocol
+from .base import RegisterProtocol
+from .byzantine_safe import ByzantineSafeMwmrProtocol
+from .fast_read_mwmr import FastReadMwmrProtocol
+from .fast_rw_attempt import FastReadWriteAttemptProtocol
+from .fast_swmr import FastSwmrProtocol
+from .fast_write_attempt import FastWriteAttemptProtocol
+from .semifast import SemifastSwmrProtocol
+
+__all__ = ["ProtocolSpec", "PROTOCOLS", "protocol_for_point", "build_protocol", "available_protocols"]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Metadata describing one protocol in the registry."""
+
+    key: str
+    factory: Callable[..., RegisterProtocol]
+    design_point: DesignPoint
+    multi_writer: bool
+    expected_atomic: bool
+    description: str
+
+
+PROTOCOLS: Dict[str, ProtocolSpec] = {
+    "abd-mwmr": ProtocolSpec(
+        key="abd-mwmr",
+        factory=AbdMwmrProtocol,
+        design_point=DesignPoint.W2R2,
+        multi_writer=True,
+        expected_atomic=True,
+        description="Lynch-Shvartsman multi-writer ABD (the W2R2 baseline)",
+    ),
+    "fast-read-mwmr": ProtocolSpec(
+        key="fast-read-mwmr",
+        factory=FastReadMwmrProtocol,
+        design_point=DesignPoint.W2R1,
+        multi_writer=True,
+        expected_atomic=True,
+        description="The paper's W2R1 algorithm (Algorithms 1 & 2), needs R < S/t - 2",
+    ),
+    "fast-write-attempt": ProtocolSpec(
+        key="fast-write-attempt",
+        factory=FastWriteAttemptProtocol,
+        design_point=DesignPoint.W1R2,
+        multi_writer=True,
+        expected_atomic=False,
+        description="W1R2 candidate; violations realise the paper's impossibility theorem",
+    ),
+    "fast-rw-attempt": ProtocolSpec(
+        key="fast-rw-attempt",
+        factory=FastReadWriteAttemptProtocol,
+        design_point=DesignPoint.W1R1,
+        multi_writer=True,
+        expected_atomic=False,
+        description="W1R1 candidate; violations realise the DGLV impossibility",
+    ),
+    "abd-swmr": ProtocolSpec(
+        key="abd-swmr",
+        factory=AbdSwmrProtocol,
+        design_point=DesignPoint.W1R2,
+        multi_writer=False,
+        expected_atomic=True,
+        description="Single-writer ABD (fast writes are possible with one writer)",
+    ),
+    "fast-swmr": ProtocolSpec(
+        key="fast-swmr",
+        factory=FastSwmrProtocol,
+        design_point=DesignPoint.W1R1,
+        multi_writer=False,
+        expected_atomic=True,
+        description="DGLV fast single-writer register, needs R < S/t - 2",
+    ),
+    "byzantine-safe-mwmr": ProtocolSpec(
+        key="byzantine-safe-mwmr",
+        factory=ByzantineSafeMwmrProtocol,
+        design_point=DesignPoint.W2R2,
+        multi_writer=True,
+        expected_atomic=True,
+        description="Byzantine-tolerant MW register (S > 4t, vouched reads) -- Section 5.2 extension",
+    ),
+    "semifast-swmr": ProtocolSpec(
+        key="semifast-swmr",
+        factory=SemifastSwmrProtocol,
+        # Classified by worst-case round-trips (an occasional read is slow);
+        # most reads complete in one round-trip.
+        design_point=DesignPoint.W1R2,
+        multi_writer=False,
+        expected_atomic=True,
+        description="Semifast single-writer register (related work [14])",
+    ),
+}
+
+
+def available_protocols(multi_writer_only: bool = False) -> List[ProtocolSpec]:
+    specs = list(PROTOCOLS.values())
+    if multi_writer_only:
+        specs = [spec for spec in specs if spec.multi_writer]
+    return specs
+
+
+def protocol_for_point(point: DesignPoint, multi_writer: bool = True) -> ProtocolSpec:
+    """The canonical protocol for a design point (multi-writer by default)."""
+    for spec in PROTOCOLS.values():
+        if spec.design_point is point and spec.multi_writer == multi_writer:
+            return spec
+    raise KeyError(f"no protocol registered for {point} (multi_writer={multi_writer})")
+
+
+def build_protocol(
+    key: str,
+    servers: Sequence[str],
+    max_faults: int,
+    readers: int = 2,
+    writers: int = 2,
+    **kwargs,
+) -> RegisterProtocol:
+    """Instantiate a registered protocol, forwarding extra keyword arguments."""
+    spec = PROTOCOLS.get(key)
+    if spec is None:
+        raise KeyError(f"unknown protocol {key!r}; known: {sorted(PROTOCOLS)}")
+    if not spec.multi_writer:
+        writers = 1
+    return spec.factory(
+        servers, max_faults, readers=readers, writers=writers, **kwargs
+    )

@@ -1,0 +1,96 @@
+"""A semifast single-writer register (related-work baseline).
+
+Georgiou, Nicolaou and Shvartsman [14] introduced *semifast* implementations:
+single-writer registers where writes are fast and almost all reads are fast,
+with an occasional two-round-trip read.  The paper under reproduction cites
+the result that semifast implementations do not exist for multiple writers,
+and notes that its own W1R2 impossibility is strictly stronger.  We include a
+semifast SWMR implementation so the latency benchmarks can show the middle
+ground between the always-slow and always-fast designs.
+
+Simplified rule (sufficient for atomicity in the SWMR crash model, and checked
+by the test suite against the atomicity checker):
+
+* ``write(v)``: one round-trip with the writer's local counter (as in ABD
+  SWMR).
+* ``read()``: query all servers; if the largest tag observed was reported by
+  **every** responding server, the value is already stable on ``S - t``
+  servers and the read returns immediately (fast path).  Otherwise the read
+  performs a write-back round-trip (slow path) before returning.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.errors import ConfigurationError
+from ..core.operations import OpKind
+from ..core.timestamps import BOTTOM_TAG
+from .abd_swmr import AbdSwmrWriter
+from .base import Broadcast, ClientLogic, OperationOutcome, RegisterProtocol, ServerLogic
+from .codec import decode_tag, encode_tag
+from .server_state import TagValueServer
+
+__all__ = ["SemifastReader", "SemifastSwmrProtocol"]
+
+
+class SemifastReader(ClientLogic):
+    """Reader with a fast path when the newest value is already stable."""
+
+    def __init__(self, client_id: str, servers, max_faults: int) -> None:
+        super().__init__(client_id, servers, max_faults)
+        self.fast_reads = 0
+        self.slow_reads = 0
+
+    def write_protocol(self, value: Any):
+        raise NotImplementedError("readers do not write")
+        yield  # pragma: no cover
+
+    def read_protocol(self):
+        acks = yield Broadcast("query")
+        best_tag = BOTTOM_TAG
+        best_value = None
+        for ack in acks:
+            tag = decode_tag(ack.payload["tag"])
+            if tag > best_tag:
+                best_tag = tag
+                best_value = ack.payload.get("value")
+        stable = all(decode_tag(a.payload["tag"]) == best_tag for a in acks)
+        if stable:
+            self.fast_reads += 1
+            return OperationOutcome(
+                OpKind.READ, value=best_value, tag=best_tag, metadata={"fast_path": True}
+            )
+        self.slow_reads += 1
+        yield Broadcast("update", {"tag": encode_tag(best_tag), "value": best_value})
+        return OperationOutcome(
+            OpKind.READ, value=best_value, tag=best_tag, metadata={"fast_path": False}
+        )
+
+
+class SemifastSwmrProtocol(RegisterProtocol):
+    """Factory for the semifast single-writer register."""
+
+    name = "semifast swmr"
+    write_round_trips = 1
+    read_round_trips = 2  # worst case; most reads take 1
+    multi_writer = False
+
+    def validate_configuration(self) -> None:
+        if self.writers != 1:
+            raise ConfigurationError(
+                "semifast implementations exist only for a single writer [14]"
+            )
+        if 2 * self.max_faults >= len(self.servers):
+            raise ConfigurationError(
+                f"need t < S/2 (got t={self.max_faults}, S={len(self.servers)})"
+            )
+
+    def make_server(self, server_id: str) -> ServerLogic:
+        return TagValueServer(server_id)
+
+    def make_writer(self, writer_id: str) -> ClientLogic:
+        return AbdSwmrWriter(writer_id, self.servers, self.max_faults)
+
+    def make_reader(self, reader_id: str) -> ClientLogic:
+        return SemifastReader(reader_id, self.servers, self.max_faults)

@@ -1,0 +1,19 @@
+"""Quorum systems: majority quorums and fast-read quorum structures."""
+
+from .systems import (
+    FastQuorumSystem,
+    MajorityQuorumSystem,
+    QuorumSystem,
+    ack_sets,
+    all_intersect,
+    intersection_size_lower_bound,
+)
+
+__all__ = [
+    "FastQuorumSystem",
+    "MajorityQuorumSystem",
+    "QuorumSystem",
+    "ack_sets",
+    "all_intersect",
+    "intersection_size_lower_bound",
+]

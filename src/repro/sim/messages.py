@@ -1,0 +1,53 @@
+"""Message envelopes exchanged over the simulated (and real) network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Message"]
+
+_message_counter = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A network message.
+
+    Attributes:
+        sender: id of the sending process.
+        receiver: id of the destination process.
+        kind: message kind, e.g. ``"read"``, ``"write"``, ``"READACK"``,
+            ``"WRITEACK"`` (following the names in Algorithms 1 and 2).
+        payload: protocol-specific dictionary.
+        op_id: the client operation this message belongs to, if any.
+        round_trip: 1-based index of the round-trip within the operation.
+        msg_id: globally unique message id (assigned automatically).
+    """
+
+    sender: str
+    receiver: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    op_id: Optional[str] = None
+    round_trip: int = 0
+    msg_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def reply(self, kind: str, payload: Optional[Dict[str, Any]] = None) -> "Message":
+        """Construct a reply addressed back to the sender, tagged with the
+        same operation id and round-trip index."""
+        return Message(
+            sender=self.receiver,
+            receiver=self.sender,
+            kind=kind,
+            payload=payload if payload is not None else {},
+            op_id=self.op_id,
+            round_trip=self.round_trip,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(#{self.msg_id} {self.sender}->{self.receiver} {self.kind} "
+            f"op={self.op_id} rt={self.round_trip})"
+        )

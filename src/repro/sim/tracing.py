@@ -1,0 +1,87 @@
+"""Execution tracing: recording invocation/response events and operations.
+
+The tracer is the only component that reads the global clock; protocol code
+never does, matching the system model (processes cannot access the global
+clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..consistency.history import History
+from ..core.operations import Event, EventKind, Operation, OpKind
+from ..core.timestamps import Tag
+from .clock import SimClock
+
+__all__ = ["HistoryRecorder"]
+
+
+class HistoryRecorder:
+    """Collects operations as clients invoke and complete them."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._operations: Dict[str, Operation] = {}
+        self._events: List[Event] = []
+        self._order: List[str] = []
+
+    def record_invocation(
+        self,
+        op_id: str,
+        client: str,
+        kind: OpKind,
+        value: Any = None,
+        tag: Optional[Tag] = None,
+    ) -> Operation:
+        now = self._clock.now
+        operation = Operation(
+            op_id=op_id, client=client, kind=kind, start=now, value=value, tag=tag
+        )
+        self._operations[op_id] = operation
+        self._order.append(op_id)
+        self._events.append(
+            Event(EventKind.INVOCATION, kind, op_id, client, now, value, tag)
+        )
+        return operation
+
+    def record_response(
+        self,
+        op_id: str,
+        value: Any = None,
+        tag: Optional[Tag] = None,
+        round_trips: int = 0,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> Operation:
+        operation = self._operations[op_id]
+        now = self._clock.now
+        operation.finish = now
+        operation.round_trips = round_trips
+        if metadata:
+            operation.metadata.update(metadata)
+        if operation.is_read:
+            operation.value = value
+            operation.tag = tag
+        elif tag is not None:
+            operation.tag = tag
+        self._events.append(
+            Event(
+                EventKind.RESPONSE,
+                operation.kind,
+                op_id,
+                operation.client,
+                now,
+                value if operation.is_read else operation.value,
+                operation.tag,
+            )
+        )
+        return operation
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def history(self) -> History:
+        """The history of all recorded operations, in invocation order."""
+        return History([self._operations[op_id] for op_id in self._order])

@@ -1,0 +1,487 @@
+"""The three-phase chain argument of Sections 3.2-3.4 (Figures 3-7), mechanized.
+
+For a system of ``S >= 3`` servers with ``t = 1``, ``W = 2`` writers and
+``R = 2`` readers, this module *constructs* every execution the impossibility
+proof talks about and *checks* every indistinguishability link:
+
+* **Phase 1** -- chain ``alpha = (alpha_0 ... alpha_S)`` obtained by swapping
+  the order in which one more server receives the two writes, plus the tail
+  twin ``alpha_tail`` that pins the forced return value at the end of the
+  chain (:func:`build_alpha_chain`).
+* **Phase 2** -- candidate chains ``beta'`` and ``beta''`` (the second reader
+  appended, second round-trips swapped one server at a time), their modified
+  tails where ``R2`` skips the critical server, and the chosen chain ``beta``
+  (:func:`build_beta_candidates`, :func:`build_beta_chain`).
+* **Phase 3** -- for every ``k`` the horizontal link ``beta_k ~ temp_k ~
+  gamma_k`` and the diagonal link ``beta_{k+1} ~ temp'_k ~ gamma'_k``, plus
+  the structural identity ``gamma'_k == gamma_k``, forming the zigzag chain
+  ``Z`` (:func:`build_horizontal_link`, :func:`build_diagonal_link`).
+
+Each link is verified by *content-aware* view equality in the full-info model
+(:mod:`repro.theory.fullinfo`); the result is a
+:class:`ChainArgumentCertificate` listing every checked link, which the test
+suite and the Fig. 3 benchmark assert to be fully verified for every possible
+position of the critical server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ProofError
+from ..util.ids import server_ids
+from .executions import (
+    AbstractExecution,
+    Phase,
+    R1_1,
+    R1_2,
+    R2_1,
+    R2_2,
+    W1,
+    W2,
+)
+from .fullinfo import indistinguishable
+
+__all__ = [
+    "LinkCheck",
+    "ChainArgumentCertificate",
+    "build_alpha_chain",
+    "build_alpha_tail",
+    "build_beta_candidates",
+    "build_beta_chain",
+    "build_horizontal_link",
+    "build_diagonal_link",
+    "verify_chain_argument",
+]
+
+#: Client-order pairs shared by every execution that contains both reads.
+_READS_AFTER_WRITES: Tuple[Tuple[str, str], ...] = (
+    ("W1", "R1"),
+    ("W2", "R1"),
+    ("W1", "R2"),
+    ("W2", "R2"),
+)
+
+
+@dataclass(frozen=True)
+class LinkCheck:
+    """One verified (or failed) step of the argument."""
+
+    name: str
+    kind: str  # "indistinguishability" | "structural-equality" | "realizability"
+    reader: Optional[str]
+    left: str
+    right: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class ChainArgumentCertificate:
+    """The full transcript of the mechanized chain argument for one ``i1``."""
+
+    servers: Tuple[str, ...]
+    critical_index: int
+    alpha: List[AbstractExecution] = field(default_factory=list)
+    alpha_tail: Optional[AbstractExecution] = None
+    beta_prime: List[AbstractExecution] = field(default_factory=list)
+    beta_double: List[AbstractExecution] = field(default_factory=list)
+    beta: List[AbstractExecution] = field(default_factory=list)
+    gammas: List[AbstractExecution] = field(default_factory=list)
+    links: List[LinkCheck] = field(default_factory=list)
+
+    @property
+    def all_verified(self) -> bool:
+        return all(link.ok for link in self.links)
+
+    @property
+    def failed_links(self) -> List[LinkCheck]:
+        return [link for link in self.links if not link.ok]
+
+    def executions_constructed(self) -> int:
+        return (
+            len(self.alpha)
+            + (1 if self.alpha_tail is not None else 0)
+            + len(self.beta_prime)
+            + len(self.beta_double)
+            + len(self.beta)
+            + len(self.gammas)
+        )
+
+    def summary(self) -> str:
+        status = "VERIFIED" if self.all_verified else "FAILED"
+        return (
+            f"chain argument over {len(self.servers)} servers, critical server "
+            f"s{self.critical_index}: {len(self.links)} links checked, "
+            f"{self.executions_constructed()} executions constructed -> {status}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: chain alpha.
+# ---------------------------------------------------------------------------
+
+
+def _write_part(swapped: bool) -> Tuple[Phase, ...]:
+    return (W2, W1) if swapped else (W1, W2)
+
+
+def build_alpha_chain(servers: Sequence[str]) -> List[AbstractExecution]:
+    """Executions ``alpha_0 .. alpha_S``.
+
+    ``alpha_i`` swaps the write order on the first ``i`` servers.  The head
+    execution keeps the sequential client order ``W1 < W2 < R1``; the interior
+    executions leave the two writes concurrent (a fast write whose message to
+    several servers is delayed past the other write cannot have completed
+    before it), which is all the argument needs.
+    """
+    executions: List[AbstractExecution] = []
+    for i in range(len(servers) + 1):
+        receive = {
+            server: _write_part(index < i) + (R1_1, R1_2)
+            for index, server in enumerate(servers)
+        }
+        if i == 0:
+            client_order = (("W1", "W2"), ("W2", "R1"), ("W1", "R1"))
+        else:
+            client_order = (("W1", "R1"), ("W2", "R1"))
+        executions.append(
+            AbstractExecution.build(f"alpha_{i}", servers, receive, client_order)
+        )
+    return executions
+
+
+def build_alpha_tail(servers: Sequence[str]) -> AbstractExecution:
+    """``alpha_tail``: every server swapped and the client order reversed."""
+    receive = {server: _write_part(True) + (R1_1, R1_2) for server in servers}
+    client_order = (("W2", "W1"), ("W1", "R1"), ("W2", "R1"))
+    return AbstractExecution.build("alpha_tail", servers, receive, client_order)
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: candidate chains beta' / beta'' and the chosen chain beta.
+# ---------------------------------------------------------------------------
+
+
+def _beta_like(
+    name: str,
+    servers: Sequence[str],
+    stem_swapped_upto: int,
+    read_swapped_upto: int,
+    client_order: Tuple[Tuple[str, str], ...],
+) -> AbstractExecution:
+    """An execution with the writes of ``alpha_{stem_swapped_upto}`` and the
+    four read round-trips appended, the second round-trips swapped on the
+    first ``read_swapped_upto`` servers."""
+    receive: Dict[str, Tuple[Phase, ...]] = {}
+    for index, server in enumerate(servers):
+        writes = _write_part(index < stem_swapped_upto)
+        if index < read_swapped_upto:
+            reads = (R1_1, R2_1, R2_2, R1_2)
+        else:
+            reads = (R1_1, R2_1, R1_2, R2_2)
+        receive[server] = writes + reads
+    return AbstractExecution.build(name, servers, receive, client_order)
+
+
+def _beta_client_order(stem_index: int) -> Tuple[Tuple[str, str], ...]:
+    if stem_index == 0:
+        return (("W1", "W2"),) + _READS_AFTER_WRITES
+    return _READS_AFTER_WRITES
+
+
+def build_beta_candidates(
+    servers: Sequence[str], critical_index: int
+) -> Tuple[List[AbstractExecution], List[AbstractExecution]]:
+    """Chains ``beta'`` (stem ``alpha_{i1-1}``) and ``beta''`` (stem ``alpha_{i1}``)."""
+    if not 1 <= critical_index <= len(servers):
+        raise ProofError(f"critical index {critical_index} out of range")
+    prime: List[AbstractExecution] = []
+    double: List[AbstractExecution] = []
+    for i in range(len(servers) + 1):
+        prime.append(
+            _beta_like(
+                f"beta'_{i}",
+                servers,
+                stem_swapped_upto=critical_index - 1,
+                read_swapped_upto=i,
+                client_order=_beta_client_order(critical_index - 1),
+            )
+        )
+        double.append(
+            _beta_like(
+                f"beta''_{i}",
+                servers,
+                stem_swapped_upto=critical_index,
+                read_swapped_upto=i,
+                client_order=_beta_client_order(critical_index),
+            )
+        )
+    return prime, double
+
+
+def _let_r2_skip(execution: AbstractExecution, server: str, name: str) -> AbstractExecution:
+    """Both round-trips of R2 skip ``server``."""
+    result = execution.skip_phase_on(server, R2_1, name=name)
+    return result.skip_phase_on(server, R2_2, name=name)
+
+
+def build_modified_tails(
+    servers: Sequence[str], critical_index: int
+) -> Tuple[AbstractExecution, AbstractExecution]:
+    """The modified tails of the two candidate chains: R2 skips the critical server."""
+    prime, double = build_beta_candidates(servers, critical_index)
+    critical = servers[critical_index - 1]
+    tail_prime = _let_r2_skip(prime[-1], critical, "beta'_tail(modified)")
+    tail_double = _let_r2_skip(double[-1], critical, "beta''_tail(modified)")
+    return tail_prime, tail_double
+
+
+def build_beta_chain(
+    servers: Sequence[str], critical_index: int, use_prime: bool = True
+) -> List[AbstractExecution]:
+    """The chosen chain ``beta``: the candidate chain with R2 skipping ``s_i1``
+    in every execution."""
+    prime, double = build_beta_candidates(servers, critical_index)
+    source = prime if use_prime else double
+    critical = servers[critical_index - 1]
+    chain: List[AbstractExecution] = []
+    for i, execution in enumerate(source):
+        chain.append(_let_r2_skip(execution, critical, f"beta_{i}"))
+    return chain
+
+
+# ---------------------------------------------------------------------------
+# Phase 3: horizontal and diagonal links of the zigzag chain Z.
+# ---------------------------------------------------------------------------
+
+
+def build_horizontal_link(
+    beta_k: AbstractExecution,
+    servers: Sequence[str],
+    k: int,
+    critical_index: int,
+) -> Tuple[Optional[AbstractExecution], AbstractExecution]:
+    """Construct ``temp_k`` and ``gamma_k`` from ``beta_k`` (Section 3.4.1).
+
+    Returns ``(temp_k, gamma_k)``; ``temp_k`` is ``None`` in the simpler
+    ``k + 1 == i1`` case, where ``gamma_k`` is built directly.
+    """
+    target = servers[k]  # s_{k+1} in the paper's 1-based numbering
+    critical = servers[critical_index - 1]
+    if k + 1 == critical_index:
+        gamma = beta_k.skip_phase_on(target, R1_2, name=f"gamma_{k}")
+        return None, gamma
+    temp = beta_k.skip_phase_on(target, R2_2, name=f"temp_{k}")
+    temp = temp.unskip_phase_on(critical, R2_2, after=R1_2, name=f"temp_{k}")
+    gamma = temp.skip_phase_on(target, R1_2, name=f"gamma_{k}")
+    return temp, gamma
+
+
+def build_diagonal_link(
+    beta_k_plus_1: AbstractExecution,
+    servers: Sequence[str],
+    k: int,
+    critical_index: int,
+) -> Tuple[Optional[AbstractExecution], AbstractExecution]:
+    """Construct ``temp'_k`` and ``gamma'_k`` from ``beta_{k+1}`` (Section 3.4.2)."""
+    target = servers[k]
+    critical = servers[critical_index - 1]
+    temp = beta_k_plus_1.skip_phase_on(target, R1_2, name=f"temp'_{k}")
+    if k + 1 == critical_index:
+        return None, temp.rename(f"gamma'_{k}")
+    gamma = temp.skip_phase_on(target, R2_2, name=f"gamma'_{k}")
+    gamma = gamma.unskip_phase_on(critical, R2_2, after=R1_2, name=f"gamma'_{k}")
+    return temp, gamma
+
+
+# ---------------------------------------------------------------------------
+# Realizability and verification.
+# ---------------------------------------------------------------------------
+
+
+def _check_realizable(
+    execution: AbstractExecution, max_faults: int, links: List[LinkCheck]
+) -> None:
+    """Every round-trip must reach at least ``S - t`` servers."""
+    phases = [W1, W2, R1_1, R1_2, R2_1, R2_2]
+    for phase in phases:
+        if not execution.phase_present(phase):
+            continue
+        skipped = execution.skips(phase)
+        ok = len(skipped) <= max_faults
+        links.append(
+            LinkCheck(
+                name=f"{execution.name}:{phase}",
+                kind="realizability",
+                reader=None,
+                left=execution.name,
+                right=execution.name,
+                ok=ok,
+                detail=f"{phase} skips {sorted(skipped)} (t={max_faults})",
+            )
+        )
+
+
+def _check_indist(
+    left: AbstractExecution,
+    right: AbstractExecution,
+    reader: str,
+    name: str,
+    links: List[LinkCheck],
+) -> None:
+    ok = indistinguishable(left, right, reader)
+    links.append(
+        LinkCheck(
+            name=name,
+            kind="indistinguishability",
+            reader=reader,
+            left=left.name,
+            right=right.name,
+            ok=ok,
+        )
+    )
+
+
+def _check_equal_structure(
+    left: AbstractExecution, right: AbstractExecution, name: str, links: List[LinkCheck]
+) -> None:
+    ok = (
+        left.servers == right.servers
+        and dict(left.receive_order) == dict(right.receive_order)
+    )
+    links.append(
+        LinkCheck(
+            name=name,
+            kind="structural-equality",
+            reader=None,
+            left=left.name,
+            right=right.name,
+            ok=ok,
+        )
+    )
+
+
+def verify_chain_argument(
+    num_servers: int = 3,
+    critical_index: int = 1,
+    use_prime: bool = True,
+    max_faults: int = 1,
+) -> ChainArgumentCertificate:
+    """Build every chain and verify every link for a given critical server.
+
+    The critical server's position ``i1`` depends on the implementation under
+    test; calling this for every ``i1 in 1..S`` (as the tests and the Fig. 3
+    benchmark do) certifies the argument irrespective of where the flip
+    happens.
+    """
+    if num_servers < 3:
+        raise ProofError("the chain argument is run with S >= 3 (Section 3.1)")
+    if not 1 <= critical_index <= num_servers:
+        raise ProofError("critical index out of range")
+
+    servers = tuple(server_ids(num_servers))
+    certificate = ChainArgumentCertificate(
+        servers=servers, critical_index=critical_index
+    )
+    links = certificate.links
+
+    # Phase 1 -----------------------------------------------------------------
+    certificate.alpha = build_alpha_chain(servers)
+    certificate.alpha_tail = build_alpha_tail(servers)
+    for execution in certificate.alpha:
+        _check_realizable(execution, max_faults, links)
+    _check_indist(
+        certificate.alpha[-1],
+        certificate.alpha_tail,
+        "R1",
+        "alpha_S ~ alpha_tail (R1 cannot distinguish)",
+        links,
+    )
+
+    # Phase 2 -----------------------------------------------------------------
+    certificate.beta_prime, certificate.beta_double = build_beta_candidates(
+        servers, critical_index
+    )
+    tail_prime, tail_double = build_modified_tails(servers, critical_index)
+    _check_indist(
+        tail_prime,
+        tail_double,
+        "R2",
+        "modified beta'_tail ~ modified beta''_tail (R2 skips the critical server)",
+        links,
+    )
+    certificate.beta = build_beta_chain(servers, critical_index, use_prime=use_prime)
+    for execution in certificate.beta:
+        _check_realizable(execution, max_faults, links)
+
+    # Consecutive executions of chain beta differ only on one server.
+    for k in range(len(servers)):
+        left, right = certificate.beta[k], certificate.beta[k + 1]
+        differing = [
+            s
+            for s in servers
+            if left.receive_order[s] != right.receive_order[s]
+        ]
+        links.append(
+            LinkCheck(
+                name=f"beta_{k} and beta_{k+1} differ on one server",
+                kind="structural-equality",
+                reader=None,
+                left=left.name,
+                right=right.name,
+                ok=len(differing) <= 1,
+                detail=f"differ on {differing}",
+            )
+        )
+
+    # Phase 3 -----------------------------------------------------------------
+    for k in range(len(servers)):
+        beta_k = certificate.beta[k]
+        beta_k1 = certificate.beta[k + 1]
+
+        temp_k, gamma_k = build_horizontal_link(beta_k, servers, k, critical_index)
+        certificate.gammas.append(gamma_k)
+        _check_realizable(gamma_k, max_faults, links)
+        if temp_k is None:
+            _check_indist(
+                beta_k, gamma_k, "R2", f"h-link k={k}: beta_{k} ~ gamma_{k} (R2)", links
+            )
+        else:
+            _check_indist(
+                beta_k, temp_k, "R1", f"h-link k={k}: beta_{k} ~ temp_{k} (R1)", links
+            )
+            _check_indist(
+                temp_k, gamma_k, "R2", f"h-link k={k}: temp_{k} ~ gamma_{k} (R2)", links
+            )
+
+        temp_pk, gamma_pk = build_diagonal_link(beta_k1, servers, k, critical_index)
+        if temp_pk is None:
+            _check_indist(
+                beta_k1,
+                gamma_pk,
+                "R2",
+                f"d-link k={k}: beta_{k+1} ~ gamma'_{k} (R2)",
+                links,
+            )
+        else:
+            _check_indist(
+                beta_k1,
+                temp_pk,
+                "R2",
+                f"d-link k={k}: beta_{k+1} ~ temp'_{k} (R2)",
+                links,
+            )
+            _check_indist(
+                temp_pk,
+                gamma_pk,
+                "R1",
+                f"d-link k={k}: temp'_{k} ~ gamma'_{k} (R1)",
+                links,
+            )
+        _check_equal_structure(
+            gamma_pk, gamma_k, f"gamma'_{k} == gamma_{k} (same execution)", links
+        )
+
+    return certificate

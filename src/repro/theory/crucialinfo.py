@@ -1,0 +1,137 @@
+"""The crucial-info model of Section 4.1.
+
+The full-info model lets servers store arbitrary logs.  For deciding *return
+values* in the executions of the impossibility proof, the paper argues that
+the only information that matters -- the *crucial information* -- is the
+order in which each server received the two writes: ``"12"`` or ``"21"``
+(or a prefix thereof while a write is still missing).  Any correct
+implementation must store, modify and disseminate (at least) this
+information, and the only way the first round-trip of a read can influence
+another read's return value is by flipping it.
+
+This module extracts the crucial information from abstract executions and
+models the *blind effect* of a read's first round-trip (which servers it
+flips), which is the input to the sieve construction of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ProofError
+from .executions import AbstractExecution, Phase, R1_1, R2_1, W1, W2
+
+__all__ = [
+    "CRUCIAL_12",
+    "CRUCIAL_21",
+    "crucial_info",
+    "crucial_info_vector",
+    "FirstRoundEffect",
+    "NoEffect",
+    "FlipEffect",
+    "CrucialInfoState",
+]
+
+CRUCIAL_12 = "12"
+CRUCIAL_21 = "21"
+
+
+def crucial_info(execution: AbstractExecution, server: str) -> str:
+    """The write order a server observes in an execution: ``"12"``, ``"21"``,
+    a single digit when one write skips it, or ``""`` when both do."""
+    digits: List[str] = []
+    for phase in execution.receive_order[server]:
+        if phase == W1:
+            digits.append(str(execution.writes["W1"]))
+        elif phase == W2:
+            digits.append(str(execution.writes["W2"]))
+    return "".join(digits)
+
+
+def crucial_info_vector(execution: AbstractExecution) -> Dict[str, str]:
+    """Per-server crucial information for one execution."""
+    return {server: crucial_info(execution, server) for server in execution.servers}
+
+
+class FirstRoundEffect:
+    """Models how the first round-trip of a read affects server crucial info.
+
+    Section 4's sieve has to cope with implementations where ``R2^(1)``
+    *changes* the crucial information on some servers -- a "blind" effect,
+    because the reader has learned nothing when it issues its first
+    round-trip.  Subclasses say which servers are affected; the flip itself
+    is always ``"12" <-> "21"`` because (by the crucial-info argument) that is
+    the only change that can influence another read's return value.
+    """
+
+    def affected_servers(self, servers: Sequence[str]) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class NoEffect(FirstRoundEffect):
+    """The first round-trip leaves crucial information untouched."""
+
+    def affected_servers(self, servers: Sequence[str]) -> FrozenSet[str]:
+        return frozenset()
+
+    def describe(self) -> str:
+        return "no-effect"
+
+
+class FlipEffect(FirstRoundEffect):
+    """The first round-trip flips the crucial info on a fixed set of servers.
+
+    Because the effect is blind, the affected set cannot depend on the
+    execution -- only on the implementation.  That is exactly the property
+    the sieve exploits: the same servers are affected in ``alpha-hat_0`` and
+    in ``alpha-hat_x``.
+    """
+
+    def __init__(self, affected: Iterable[str]) -> None:
+        self._affected = frozenset(affected)
+
+    def affected_servers(self, servers: Sequence[str]) -> FrozenSet[str]:
+        return self._affected & frozenset(servers)
+
+    def describe(self) -> str:
+        return f"flip-effect({sorted(self._affected)})"
+
+
+@dataclass
+class CrucialInfoState:
+    """Per-server crucial information after applying a first-round effect.
+
+    ``initial`` is the crucial info derived from the write receive orders;
+    ``after_effect`` is the info after the blind flip of the affected servers.
+    """
+
+    initial: Dict[str, str]
+    affected: FrozenSet[str]
+    after_effect: Dict[str, str] = field(default_factory=dict)
+
+    @staticmethod
+    def flip(info: str) -> str:
+        if info == CRUCIAL_12:
+            return CRUCIAL_21
+        if info == CRUCIAL_21:
+            return CRUCIAL_12
+        return info
+
+    @classmethod
+    def from_execution(
+        cls, execution: AbstractExecution, effect: FirstRoundEffect
+    ) -> "CrucialInfoState":
+        initial = crucial_info_vector(execution)
+        affected = effect.affected_servers(execution.servers)
+        after = {
+            server: cls.flip(info) if server in affected else info
+            for server, info in initial.items()
+        }
+        return cls(initial=initial, affected=affected, after_effect=after)
+
+    def unaffected_servers(self) -> List[str]:
+        return [s for s in self.initial if s not in self.affected]

@@ -1,0 +1,213 @@
+"""Regenerating Table 1: the design space of fast register implementations.
+
+Table 1 of the paper summarises, per design point, the impossibility
+condition and the feasibility condition.  This module produces that table in
+two complementary ways:
+
+* :func:`theoretical_table` -- directly from the feasibility predicates in
+  :mod:`repro.core.conditions` (what the paper proves);
+* :func:`empirical_table` -- by *running* the canonical protocol of each
+  quadrant on the simulator under contended multi-writer workloads and crash
+  faults, counting atomicity violations and measuring the observed worst-case
+  round-trips (what the library measures).
+
+The Table 1 benchmark and the ``design_space_report`` example print both and
+check they agree: feasible quadrants yield zero violations with the claimed
+round-trip counts, infeasible quadrants yield violations for the candidate
+protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..consistency.atomicity import check_atomicity
+from ..consistency.anomalies import AnomalyKind
+from ..core.conditions import SystemParameters, fast_read_bound, is_feasible
+from ..core.fastness import DesignPoint, classify_round_trips
+from ..protocols.registry import PROTOCOLS, ProtocolSpec, protocol_for_point
+from ..sim.delays import UniformDelay
+from ..sim.runtime import Simulation
+from ..util.ids import client_ids, server_ids
+from ..workloads.generators import (
+    apply_open_loop,
+    asymmetric_write_contention,
+    bursty_contention,
+)
+
+__all__ = [
+    "TheoreticalRow",
+    "EmpiricalRow",
+    "theoretical_table",
+    "empirical_table",
+    "format_table",
+]
+
+
+@dataclass(frozen=True)
+class TheoreticalRow:
+    """One row of the paper's Table 1."""
+
+    point: DesignPoint
+    impossibility: str
+    implementation: str
+    feasible_here: bool
+    source: str
+
+
+@dataclass
+class EmpiricalRow:
+    """The measured counterpart of one Table 1 row."""
+
+    point: DesignPoint
+    protocol: str
+    runs: int
+    total_operations: int
+    violations: int
+    anomaly_kinds: List[str] = field(default_factory=list)
+    observed_write_rtts: int = 0
+    observed_read_rtts: int = 0
+    expected_atomic: bool = True
+
+    @property
+    def matches_expectation(self) -> bool:
+        observed_atomic = self.violations == 0
+        return observed_atomic == self.expected_atomic
+
+
+_TABLE1 = {
+    DesignPoint.W2R2: ("t >= S/2", "W >= 2, R >= 2, t < S/2", "[23] Lynch-Shvartsman"),
+    DesignPoint.W1R2: ("W >= 2, R >= 2, t >= 1", "none (empty set)", "this paper"),
+    DesignPoint.W2R1: ("R >= S/t - 2", "R < S/t - 2", "this paper"),
+    DesignPoint.W1R1: ("W >= 2, R >= 2, t >= 1", "none (empty set)", "[12] DGLV"),
+}
+
+
+def theoretical_table(params: SystemParameters) -> List[TheoreticalRow]:
+    """Table 1 evaluated at a concrete system configuration."""
+    rows: List[TheoreticalRow] = []
+    for point in (DesignPoint.W2R2, DesignPoint.W1R2, DesignPoint.W2R1, DesignPoint.W1R1):
+        impossibility, implementation, source = _TABLE1[point]
+        rows.append(
+            TheoreticalRow(
+                point=point,
+                impossibility=impossibility,
+                implementation=implementation,
+                feasible_here=is_feasible(point, params),
+                source=source,
+            )
+        )
+    return rows
+
+
+def _run_protocol_once(
+    spec: ProtocolSpec,
+    params: SystemParameters,
+    seed: int,
+    bursts: int,
+    crash_one_server: bool,
+    workload_kind: str = "bursty",
+) -> Tuple[int, int, List[str], int, int]:
+    """Run one seeded contended workload; return violation stats and RTTs."""
+    servers = server_ids(params.servers)
+    kwargs = {}
+    if spec.key == "fast-read-mwmr":
+        kwargs["enforce_condition"] = False
+    protocol = spec.factory(
+        servers,
+        params.max_faults,
+        readers=params.readers,
+        writers=params.writers if spec.multi_writer else 1,
+        **kwargs,
+    )
+    simulation = Simulation(protocol, delay_model=UniformDelay(0.5, 1.5, seed=seed))
+    writer_names = client_ids("w", protocol.writers)
+    reader_names = client_ids("r", params.readers)
+    if workload_kind == "bursty":
+        workload = bursty_contention(
+            writer_names,
+            reader_names,
+            bursts=bursts,
+            burst_width=1.5,
+            burst_gap=25.0,
+            seed=seed,
+        )
+    else:
+        workload = asymmetric_write_contention(
+            writer_names, reader_names, rounds=max(1, bursts // 2)
+        )
+    apply_open_loop(simulation, workload)
+    if crash_one_server and params.max_faults >= 1:
+        simulation.crash_server(servers[-1], at=bursts * 12.0)
+    outcome = simulation.run()
+    verdict = check_atomicity(outcome.history)
+    write_rtts, read_rtts = outcome.history.round_trip_counts()
+    kinds = [kind.value for kind in verdict.report.kinds()]
+    return (
+        len(outcome.history.complete_operations),
+        0 if verdict.atomic else 1,
+        kinds,
+        max(write_rtts, default=0),
+        max(read_rtts, default=0),
+    )
+
+
+def empirical_table(
+    params: SystemParameters,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    bursts: int = 4,
+    crash_one_server: bool = True,
+) -> List[EmpiricalRow]:
+    """Measure the design space by running one protocol per quadrant."""
+    rows: List[EmpiricalRow] = []
+    for point in (DesignPoint.W2R2, DesignPoint.W1R2, DesignPoint.W2R1, DesignPoint.W1R1):
+        spec = protocol_for_point(point, multi_writer=True)
+        row = EmpiricalRow(
+            point=point,
+            protocol=spec.key,
+            runs=len(seeds),
+            total_operations=0,
+            violations=0,
+            expected_atomic=spec.expected_atomic and is_feasible(point, params),
+        )
+        kinds: set = set()
+        for seed in seeds:
+            for workload_kind in ("bursty", "asymmetric"):
+                ops, violated, anomaly_kinds, w_rtt, r_rtt = _run_protocol_once(
+                    spec, params, seed, bursts, crash_one_server, workload_kind
+                )
+                row.total_operations += ops
+                row.violations += violated
+                kinds.update(anomaly_kinds)
+                row.observed_write_rtts = max(row.observed_write_rtts, w_rtt)
+                row.observed_read_rtts = max(row.observed_read_rtts, r_rtt)
+        row.runs = len(seeds) * 2
+        row.anomaly_kinds = sorted(kinds)
+        rows.append(row)
+    return rows
+
+
+def format_table(
+    theoretical: Sequence[TheoreticalRow], empirical: Sequence[EmpiricalRow]
+) -> str:
+    """A printable side-by-side rendering of Table 1 and its measurement."""
+    lines = [
+        f"{'point':6} | {'impossible when':24} | {'implementation when':24} | "
+        f"{'feasible':8} | {'protocol':20} | {'viol.':5} | {'RTTs (w/r)':10}",
+        "-" * 118,
+    ]
+    empirical_by_point: Dict[DesignPoint, EmpiricalRow] = {row.point: row for row in empirical}
+    for row in theoretical:
+        measured = empirical_by_point.get(row.point)
+        rtts = (
+            f"{measured.observed_write_rtts}/{measured.observed_read_rtts}"
+            if measured
+            else "-"
+        )
+        lines.append(
+            f"{row.point.name:6} | {row.impossibility:24} | {row.implementation:24} | "
+            f"{str(row.feasible_here):8} | {(measured.protocol if measured else '-'):20} | "
+            f"{(measured.violations if measured else 0):5} | {rtts:10}"
+        )
+    return "\n".join(lines)

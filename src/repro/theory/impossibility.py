@@ -1,0 +1,282 @@
+"""The executable W1R2 impossibility theorem (Theorem 1).
+
+Theorem 1 says: for ``t >= 1``, ``W >= 2``, ``R >= 2`` there is no fast-write
+(W1R2) atomic register implementation.  The chain argument proves it by
+showing that *any* implementation must return inconsistent values somewhere
+in the constructed executions.  This module turns that into a program:
+
+1. :func:`find_critical_server` runs the implementation's read rule over the
+   alpha chain and locates the critical server ``s_i1`` -- or, if the rule
+   already answers incorrectly at an end of the chain, returns that end as an
+   immediate violation (the forced-value obligations of atomicity).
+2. :func:`refute_rule` then builds the beta chain and the zigzag executions
+   for that ``i1`` and sweeps them for a concrete execution in which the two
+   readers return different values even though both follow both writes --
+   which the definition of atomicity forbids.
+
+For every deterministic read rule the test suite and benchmarks exercise, the
+sweep produces a concrete :class:`ImpossibilityWitness`.  If a rule evades
+the sweep it must be *sensitive to the blind first round-trip of the other
+read* (the case Section 4 handles); the driver then reports
+``requires_sieve=True`` together with the sieve certificate showing the
+argument still applies after eliminating the affected servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ProofError
+from ..util.ids import server_ids
+from .chains import (
+    ChainArgumentCertificate,
+    build_alpha_chain,
+    build_alpha_tail,
+    build_beta_chain,
+    build_diagonal_link,
+    build_horizontal_link,
+    build_modified_tails,
+    verify_chain_argument,
+)
+from .executions import AbstractExecution
+from .fullinfo import FullInfoView, ReadRule, full_info_view
+from .sieve import SieveCertificate, run_sieve
+
+__all__ = [
+    "ImpossibilityWitness",
+    "RefutationOutcome",
+    "find_critical_server",
+    "refute_rule",
+    "refute_all",
+]
+
+
+@dataclass(frozen=True)
+class ImpossibilityWitness:
+    """A concrete execution on which the rule violates atomicity."""
+
+    execution: AbstractExecution
+    kind: str  # "forced-value" | "reader-disagreement"
+    description: str
+    r1_value: Optional[int] = None
+    r2_value: Optional[int] = None
+
+
+@dataclass
+class RefutationOutcome:
+    """The result of running the impossibility argument against one rule."""
+
+    rule_name: str
+    num_servers: int
+    critical_index: Optional[int]
+    witness: Optional[ImpossibilityWitness]
+    executions_evaluated: int
+    certificate: Optional[ChainArgumentCertificate] = None
+    requires_sieve: bool = False
+    sieve: Optional[SieveCertificate] = None
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def refuted(self) -> bool:
+        """True when a concrete non-atomic execution was exhibited."""
+        return self.witness is not None
+
+    def summary(self) -> str:
+        if self.witness is not None:
+            return (
+                f"rule '{self.rule_name}' over S={self.num_servers}: atomicity violated "
+                f"in {self.witness.execution.name} ({self.witness.kind}): "
+                f"{self.witness.description}"
+            )
+        if self.requires_sieve:
+            return (
+                f"rule '{self.rule_name}' over S={self.num_servers}: no violation in the "
+                "plain chain sweep; the rule is sensitive to the blind first round-trip "
+                "and falls to the sieve argument of Section 4"
+            )
+        return f"rule '{self.rule_name}' over S={self.num_servers}: no violation found"
+
+
+def _r1(rule: ReadRule, execution: AbstractExecution) -> int:
+    return rule.decide(full_info_view(execution, "R1"))
+
+
+def _r2(rule: ReadRule, execution: AbstractExecution) -> int:
+    return rule.decide(full_info_view(execution, "R2"))
+
+
+def find_critical_server(
+    rule: ReadRule, servers: Sequence[str]
+) -> Tuple[Optional[int], Optional[ImpossibilityWitness], int]:
+    """Locate the critical server index for a rule, or an immediate violation.
+
+    Returns ``(critical_index, witness, evaluations)``.  Exactly one of
+    ``critical_index`` / ``witness`` is non-None.
+    """
+    alpha = build_alpha_chain(servers)
+    tail = build_alpha_tail(servers)
+    evaluations = 0
+
+    head_value = _r1(rule, alpha[0])
+    evaluations += 1
+    forced_head = alpha[0].forced_read_value("R1")
+    if head_value != forced_head:
+        return (
+            None,
+            ImpossibilityWitness(
+                execution=alpha[0],
+                kind="forced-value",
+                description=(
+                    f"R1 returned {head_value} in alpha_0 although W1 precedes W2 "
+                    f"precedes R1, so atomicity forces {forced_head}"
+                ),
+                r1_value=head_value,
+            ),
+            evaluations,
+        )
+
+    last_value = _r1(rule, alpha[-1])
+    evaluations += 1
+    if last_value != 1:
+        # R1's view in alpha_S equals its view in alpha_tail, where the client
+        # order W2 < W1 < R1 forces the return value 1.
+        tail_value = _r1(rule, tail)
+        evaluations += 1
+        forced_tail = tail.forced_read_value("R1")
+        return (
+            None,
+            ImpossibilityWitness(
+                execution=tail,
+                kind="forced-value",
+                description=(
+                    f"R1 returned {tail_value} in alpha_tail although W2 precedes W1 "
+                    f"precedes R1, so atomicity forces {forced_tail} (alpha_S and "
+                    "alpha_tail are indistinguishable to R1)"
+                ),
+                r1_value=tail_value,
+            ),
+            evaluations,
+        )
+
+    previous = head_value
+    for i in range(1, len(alpha)):
+        value = _r1(rule, alpha[i])
+        evaluations += 1
+        if previous == 2 and value == 1:
+            return i, None, evaluations
+        previous = value
+    # The value is 2 at alpha_0 and 1 at alpha_S, so a flip must exist.
+    raise ProofError("no critical server found although the end values differ")
+
+
+def refute_rule(
+    rule: ReadRule,
+    num_servers: int = 3,
+    max_faults: int = 1,
+    include_certificate: bool = True,
+) -> RefutationOutcome:
+    """Run the full impossibility argument against one read rule."""
+    if num_servers < 3:
+        raise ProofError("the argument is run with S >= 3 (Section 3.1)")
+    servers = tuple(server_ids(num_servers))
+
+    critical_index, witness, evaluations = find_critical_server(rule, servers)
+    outcome = RefutationOutcome(
+        rule_name=rule.name,
+        num_servers=num_servers,
+        critical_index=critical_index,
+        witness=witness,
+        executions_evaluated=evaluations,
+    )
+    if witness is not None:
+        return outcome
+
+    assert critical_index is not None
+    if include_certificate:
+        outcome.certificate = verify_chain_argument(
+            num_servers, critical_index, max_faults=max_faults
+        )
+        if not outcome.certificate.all_verified:  # pragma: no cover - defensive
+            raise ProofError("chain links failed to verify; proof engine bug")
+
+    # Phase 2: decide which candidate chain to follow from the value R2
+    # returns in the modified tails (where it skips the critical server).
+    tail_prime, tail_double = build_modified_tails(servers, critical_index)
+    tail_value_prime = _r2(rule, tail_prime)
+    tail_value_double = _r2(rule, tail_double)
+    outcome.executions_evaluated += 2
+    if tail_value_prime != tail_value_double:
+        raise ProofError(
+            "R2 distinguished the modified tails although the views are equal; "
+            "the rule is not a function of the full-info view"
+        )
+    use_prime = tail_value_prime == 1
+    outcome.notes.append(
+        f"R2 returns {tail_value_prime} in the modified tails; following "
+        f"chain {'beta-prime' if use_prime else 'beta-double-prime'}"
+    )
+
+    candidate_orders = [use_prime, not use_prime]
+    for choice in candidate_orders:
+        witness = _sweep_chain(rule, servers, critical_index, choice, outcome)
+        if witness is not None:
+            outcome.witness = witness
+            return outcome
+
+    # No concrete violation found: the rule must be exploiting the blind first
+    # round-trip (Section 4's case).  Attach the sieve demonstration.
+    outcome.requires_sieve = True
+    outcome.sieve = run_sieve(
+        num_servers=max(num_servers, 4),
+        affected_servers=servers[-1:],
+        max_faults=max_faults,
+    )
+    return outcome
+
+
+def _sweep_chain(
+    rule: ReadRule,
+    servers: Tuple[str, ...],
+    critical_index: int,
+    use_prime: bool,
+    outcome: RefutationOutcome,
+) -> Optional[ImpossibilityWitness]:
+    """Evaluate both readers on every execution of a beta chain and its zigzag
+    derivatives, returning the first reader-disagreement found."""
+    beta = build_beta_chain(servers, critical_index, use_prime=use_prime)
+    executions: List[AbstractExecution] = list(beta)
+    for k in range(len(servers)):
+        temp_k, gamma_k = build_horizontal_link(beta[k], servers, k, critical_index)
+        temp_pk, gamma_pk = build_diagonal_link(beta[k + 1], servers, k, critical_index)
+        for execution in (temp_k, gamma_k, temp_pk, gamma_pk):
+            if execution is not None:
+                executions.append(execution)
+
+    for execution in executions:
+        r1_value = _r1(rule, execution)
+        r2_value = _r2(rule, execution)
+        outcome.executions_evaluated += 2
+        if r1_value != r2_value:
+            return ImpossibilityWitness(
+                execution=execution,
+                kind="reader-disagreement",
+                description=(
+                    f"R1 returned {r1_value} but R2 returned {r2_value} in "
+                    f"{execution.name}; both reads follow both writes, so atomicity "
+                    "requires them to return the same value"
+                ),
+                r1_value=r1_value,
+                r2_value=r2_value,
+            )
+    return None
+
+
+def refute_all(
+    rules: Sequence[ReadRule], num_servers: int = 3, max_faults: int = 1
+) -> List[RefutationOutcome]:
+    """Run the refutation for a collection of rules (used by the Fig. 3 bench)."""
+    return [
+        refute_rule(rule, num_servers=num_servers, max_faults=max_faults)
+        for rule in rules
+    ]

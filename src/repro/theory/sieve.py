@@ -1,0 +1,213 @@
+"""Sieve-based construction of executions (Section 4.2, Fig. 8).
+
+The chain argument of Section 3 assumes that the first round-trip of a read
+does not affect the return values of other reads.  Section 4 lifts the
+assumption: if ``R2^(1)`` *does* change the crucial information on some
+servers (necessarily blindly -- it carries no execution-specific
+information), then
+
+* partition the servers into ``Sigma_1`` (affected) and ``Sigma_2``
+  (unaffected);
+* run the swapping chain **only over the unaffected servers** -- executions
+  ``alpha-hat_0 .. alpha-hat_x`` where ``x = |Sigma_2|``;
+* the affected servers behave identically in every execution of the
+  shortened chain (their flip is blind), so they cannot decide R1's return
+  value, and the two ends of the shortened chain still force different
+  return values;
+* as long as enough unaffected servers remain (at least 3 when ``t = 1``),
+  the Section 3 argument goes through on ``Sigma_2``.
+
+:func:`run_sieve` builds the shortened chain, checks all of the above, and
+returns a :class:`SieveCertificate` that the Fig. 8 benchmark sweeps over the
+number of affected servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.errors import ProofError
+from ..util.ids import server_ids
+from .chains import verify_chain_argument
+from .crucialinfo import (
+    CRUCIAL_12,
+    CRUCIAL_21,
+    CrucialInfoState,
+    FirstRoundEffect,
+    FlipEffect,
+    NoEffect,
+)
+from .executions import AbstractExecution, R1_1, R1_2, R2_1, W1, W2
+
+__all__ = ["SieveStep", "SieveCertificate", "build_alpha_hat_chain", "run_sieve"]
+
+
+@dataclass(frozen=True)
+class SieveStep:
+    """One execution of the shortened chain with its crucial-info snapshot."""
+
+    name: str
+    swapped_unaffected: int
+    crucial_info_after_effect: Dict[str, str]
+    r1_forced_value: Optional[int]
+
+
+@dataclass
+class SieveCertificate:
+    """Outcome of the sieve construction for one affected-server set."""
+
+    servers: Tuple[str, ...]
+    affected: FrozenSet[str]
+    unaffected: Tuple[str, ...]
+    steps: List[SieveStep] = field(default_factory=list)
+    checks: List[Tuple[str, bool, str]] = field(default_factory=list)
+    chain_argument_verified: bool = False
+
+    @property
+    def all_verified(self) -> bool:
+        return self.chain_argument_verified and all(ok for _, ok, _ in self.checks)
+
+    @property
+    def chain_length(self) -> int:
+        return len(self.steps)
+
+    def summary(self) -> str:
+        status = "VERIFIED" if self.all_verified else "FAILED"
+        return (
+            f"sieve over S={len(self.servers)} servers, |Sigma_1|={len(self.affected)} "
+            f"affected, shortened chain of {self.chain_length} executions -> {status}"
+        )
+
+
+def build_alpha_hat_chain(
+    servers: Sequence[str], affected: FrozenSet[str]
+) -> List[AbstractExecution]:
+    """The shortened chain ``alpha-hat_0 .. alpha-hat_x`` of Fig. 8.
+
+    Executions contain the two writes, ``R1^(1)``, ``R2^(1)`` and ``R1^(2)``
+    (the round-trips relevant to R1's return value); swapping of the writes
+    happens only on the *unaffected* servers, one at a time.  Affected
+    servers keep the head ordering throughout -- their state evolution is
+    fixed by the blind effect, not by the adversary's swaps.
+    """
+    unaffected = [s for s in servers if s not in affected]
+    reads = (R1_1, R2_1, R1_2)
+    executions: List[AbstractExecution] = []
+    for i in range(len(unaffected) + 1):
+        swapped = set(unaffected[:i])
+        receive = {}
+        for server in servers:
+            writes = (W2, W1) if server in swapped else (W1, W2)
+            receive[server] = writes + reads
+        client_order = (
+            (("W1", "W2"),) if i == 0 else tuple()
+        ) + (("W1", "R1"), ("W2", "R1"), ("W1", "R2"), ("W2", "R2"))
+        executions.append(
+            AbstractExecution.build(f"alpha-hat_{i}", servers, receive, client_order)
+        )
+    return executions
+
+
+def run_sieve(
+    num_servers: int,
+    affected_servers: Sequence[str] = (),
+    max_faults: int = 1,
+    critical_index: Optional[int] = None,
+) -> SieveCertificate:
+    """Run the sieve construction and verify its claims.
+
+    Args:
+        num_servers: total number of servers ``S``.
+        affected_servers: the servers whose crucial info ``R2^(1)`` flips
+            (the set ``Sigma_1``); an empty set degenerates to the plain
+            Section 3 argument.
+        max_faults: ``t`` (the construction is stated for ``t = 1``).
+        critical_index: position of the critical server *within the
+            unaffected servers* used when re-running the chain argument on
+            ``Sigma_2``; defaults to 1.
+    """
+    servers = tuple(server_ids(num_servers))
+    affected = frozenset(affected_servers) & frozenset(servers)
+    effect: FirstRoundEffect = FlipEffect(affected) if affected else NoEffect()
+    unaffected = tuple(s for s in servers if s not in affected)
+
+    certificate = SieveCertificate(
+        servers=servers, affected=affected, unaffected=unaffected
+    )
+
+    chain = build_alpha_hat_chain(servers, affected)
+    for index, execution in enumerate(chain):
+        state = CrucialInfoState.from_execution(execution, effect)
+        forced = execution.forced_read_value("R1")
+        certificate.steps.append(
+            SieveStep(
+                name=execution.name,
+                swapped_unaffected=index,
+                crucial_info_after_effect=dict(state.after_effect),
+                r1_forced_value=forced,
+            )
+        )
+
+    # Check 1: the head execution forces R1 to return 2 regardless of the
+    # blind effect (W1 precedes W2 at the clients).
+    head_forced = certificate.steps[0].r1_forced_value
+    certificate.checks.append(
+        (
+            "alpha-hat_0 forces R1 to return 2",
+            head_forced == 2,
+            f"forced value {head_forced}",
+        )
+    )
+
+    # Check 2: in the tail execution every *unaffected* server ends up with
+    # crucial info "21" after the effect, so R1 (which can only use the
+    # unaffected servers' information) must return 1.
+    tail_state = certificate.steps[-1].crucial_info_after_effect
+    tail_unaffected_swapped = all(
+        tail_state[s] == CRUCIAL_21 for s in unaffected
+    )
+    certificate.checks.append(
+        (
+            "alpha-hat_x: all unaffected servers hold crucial info 21",
+            tail_unaffected_swapped,
+            str({s: tail_state[s] for s in unaffected}),
+        )
+    )
+
+    # Check 3: the affected servers behave identically in the head and tail
+    # executions of the shortened chain (their input never changes), which is
+    # why they cannot decide R1's return value.
+    head_state = certificate.steps[0].crucial_info_after_effect
+    affected_identical = all(head_state[s] == tail_state[s] for s in affected)
+    certificate.checks.append(
+        (
+            "affected servers are identical at both ends of the shortened chain",
+            affected_identical,
+            str({s: (head_state[s], tail_state[s]) for s in affected}),
+        )
+    )
+
+    # Check 4: enough unaffected servers remain for the Section 3 argument.
+    enough_left = len(unaffected) >= 3
+    certificate.checks.append(
+        (
+            "at least 3 unaffected servers remain (t = 1)",
+            enough_left,
+            f"|Sigma_2| = {len(unaffected)}",
+        )
+    )
+
+    # Check 5: the full Section 3 chain argument goes through on Sigma_2.
+    if enough_left:
+        index = critical_index if critical_index is not None else 1
+        inner = verify_chain_argument(
+            num_servers=len(unaffected),
+            critical_index=index,
+            max_faults=max_faults,
+        )
+        certificate.chain_argument_verified = inner.all_verified
+    else:
+        certificate.chain_argument_verified = False
+
+    return certificate

@@ -1,0 +1,15 @@
+"""Small shared utilities (ids, RNG, statistics)."""
+
+from .ids import IdGenerator, client_ids, server_ids
+from .rng import SeededRng
+from .stats import LatencyStats, percentile, summarize
+
+__all__ = [
+    "IdGenerator",
+    "client_ids",
+    "server_ids",
+    "SeededRng",
+    "LatencyStats",
+    "percentile",
+    "summarize",
+]

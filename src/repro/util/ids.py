@@ -1,0 +1,29 @@
+"""Identifier helpers for servers and clients."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+__all__ = ["IdGenerator", "server_ids", "client_ids"]
+
+
+class IdGenerator:
+    """Monotonic identifier generator with a fixed prefix."""
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def next(self) -> str:
+        return f"{self._prefix}-{next(self._counter)}"
+
+
+def server_ids(count: int) -> List[str]:
+    """Conventional server ids ``s1..sS`` as used throughout the paper."""
+    return [f"s{i}" for i in range(1, count + 1)]
+
+
+def client_ids(prefix: str, count: int) -> List[str]:
+    """Conventional client ids, e.g. ``w1..wW`` or ``r1..rR``."""
+    return [f"{prefix}{i}" for i in range(1, count + 1)]

@@ -1,0 +1,64 @@
+"""Seeded random number generation.
+
+Everything in the simulator that makes a random choice goes through a
+:class:`SeededRng` so that any execution (including any atomicity violation
+found by the checker) can be reproduced exactly from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["SeededRng"]
+
+
+class SeededRng:
+    """A thin deterministic wrapper around :class:`random.Random`."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def fork(self, salt: int) -> "SeededRng":
+        """A child generator whose stream is independent of the parent's."""
+        return SeededRng((self.seed * 1_000_003 + salt) & 0x7FFFFFFF)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._random.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._random.uniform(lo, hi)
+
+    def expovariate(self, rate: float) -> float:
+        return self._random.expovariate(rate)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._random.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        return self._random.sample(list(seq), k)
+
+    def shuffle(self, seq: List[T]) -> List[T]:
+        copy = list(seq)
+        self._random.shuffle(copy)
+        return copy
+
+    def zipf_index(self, n: int, skew: float = 1.0) -> int:
+        """Sample an index in ``[0, n)`` with a Zipf-like distribution."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        weights = [1.0 / (i + 1) ** skew for i in range(n)]
+        total = sum(weights)
+        threshold = self._random.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if acc >= threshold:
+                return i
+        return n - 1

@@ -1,0 +1,70 @@
+"""Latency statistics used by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["percentile", "LatencyStats", "summarize"]
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of a sample list (p in [0, 100])."""
+    if not samples:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0 <= p <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    interpolated = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    # Clamp against floating-point drift so the result never leaves the
+    # interval spanned by its two neighbouring samples.
+    return min(max(interpolated, ordered[lo]), ordered[hi])
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+def summarize(samples: Iterable[float]) -> LatencyStats:
+    """Compute :class:`LatencyStats` over the given samples."""
+    values: List[float] = list(samples)
+    if not values:
+        return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return LatencyStats(
+        count=len(values),
+        mean=sum(values) / len(values),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        p99=percentile(values, 99),
+        minimum=min(values),
+        maximum=max(values),
+    )

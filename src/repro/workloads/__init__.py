@@ -1,0 +1,27 @@
+"""Workload generators for the simulator and the asyncio cluster."""
+
+from .generators import (
+    ClosedLoopWorkload,
+    OpenLoopWorkload,
+    ScheduledOp,
+    apply_closed_loop,
+    apply_open_loop,
+    asymmetric_write_contention,
+    bursty_contention,
+    read_heavy_closed_loop,
+    uniform_open_loop,
+    write_pairs_then_reads,
+)
+
+__all__ = [
+    "ClosedLoopWorkload",
+    "OpenLoopWorkload",
+    "ScheduledOp",
+    "apply_closed_loop",
+    "apply_open_loop",
+    "asymmetric_write_contention",
+    "bursty_contention",
+    "read_heavy_closed_loop",
+    "uniform_open_loop",
+    "write_pairs_then_reads",
+]

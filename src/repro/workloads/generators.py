@@ -1,0 +1,256 @@
+"""Workload generators for register emulations.
+
+Workloads describe *when each client invokes which operation*; the simulator
+executes them against a protocol.  Two families are provided:
+
+* **open-loop** schedules: every operation has an explicit virtual invocation
+  time, possibly overlapping across clients.  Used for contention-focused
+  experiments and for reproducing specific interleavings.
+* **closed-loop** schedules: each client issues a fixed sequence of
+  operations back-to-back (optionally with think time).  Used for latency and
+  throughput style measurements.
+
+Values written are unique strings ``"v-<writer>-<n>"`` so that histories stay
+easy to read; the protocols attach tags independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.runtime import Simulation
+from ..util.rng import SeededRng
+
+__all__ = [
+    "ScheduledOp",
+    "OpenLoopWorkload",
+    "ClosedLoopWorkload",
+    "uniform_open_loop",
+    "bursty_contention",
+    "asymmetric_write_contention",
+    "read_heavy_closed_loop",
+    "write_pairs_then_reads",
+    "apply_open_loop",
+    "apply_closed_loop",
+]
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One open-loop operation: a client, a time, and an action."""
+
+    client: str
+    at: float
+    action: str  # "read" or "write"
+    value: Optional[str] = None
+
+
+@dataclass
+class OpenLoopWorkload:
+    """A set of explicitly timed operations."""
+
+    operations: List[ScheduledOp] = field(default_factory=list)
+
+    def add_write(self, writer: str, at: float, value: str) -> None:
+        self.operations.append(ScheduledOp(writer, at, "write", value))
+
+    def add_read(self, reader: str, at: float) -> None:
+        self.operations.append(ScheduledOp(reader, at, "read"))
+
+    @property
+    def read_count(self) -> int:
+        return sum(1 for op in self.operations if op.action == "read")
+
+    @property
+    def write_count(self) -> int:
+        return sum(1 for op in self.operations if op.action == "write")
+
+
+@dataclass
+class ClosedLoopWorkload:
+    """Per-client operation sequences issued back-to-back."""
+
+    sequences: Dict[str, List[Tuple]] = field(default_factory=dict)
+    think_time: float = 0.0
+    stagger: float = 0.0
+
+    def total_operations(self) -> int:
+        return sum(len(seq) for seq in self.sequences.values())
+
+
+def uniform_open_loop(
+    writer_ids: Sequence[str],
+    reader_ids: Sequence[str],
+    writes_per_writer: int,
+    reads_per_reader: int,
+    horizon: float,
+    seed: int = 0,
+) -> OpenLoopWorkload:
+    """Operations spread uniformly at random over ``[0, horizon]``.
+
+    Per-client invocation times are spaced at least a small gap apart so that
+    each client's history stays well-formed even with slow operations -- the
+    simulator enforces well-formedness and would reject overlapping
+    invocations by the same client.
+    """
+    rng = SeededRng(seed)
+    workload = OpenLoopWorkload()
+    for w_index, writer in enumerate(writer_ids):
+        times = sorted(rng.uniform(0, horizon) for _ in range(writes_per_writer))
+        times = _space_out(times, min_gap=horizon / max(1, writes_per_writer) * 0.5)
+        for i, at in enumerate(times):
+            workload.add_write(writer, at, f"v-{writer}-{i}")
+    for reader in reader_ids:
+        times = sorted(rng.uniform(0, horizon) for _ in range(reads_per_reader))
+        times = _space_out(times, min_gap=horizon / max(1, reads_per_reader) * 0.5)
+        for at in times:
+            workload.add_read(reader, at)
+    return workload
+
+
+def bursty_contention(
+    writer_ids: Sequence[str],
+    reader_ids: Sequence[str],
+    bursts: int,
+    burst_width: float,
+    burst_gap: float,
+    seed: int = 0,
+) -> OpenLoopWorkload:
+    """Bursts in which every writer writes and every reader reads nearly at once.
+
+    This is the adversarial-ish workload that makes "too fast" protocols fail
+    quickly: concurrent writes by different writers immediately followed by
+    reads from different readers.
+    """
+    rng = SeededRng(seed)
+    workload = OpenLoopWorkload()
+    t = 1.0
+    for burst in range(bursts):
+        for writer in writer_ids:
+            workload.add_write(
+                writer, t + rng.uniform(0, burst_width), f"v-{writer}-{burst}"
+            )
+        for reader in reader_ids:
+            workload.add_read(reader, t + burst_width + rng.uniform(0, burst_width))
+            workload.add_read(
+                reader, t + 2 * burst_width + rng.uniform(0, burst_width) + 0.01
+            )
+        t += burst_gap
+    return workload
+
+
+def read_heavy_closed_loop(
+    writer_ids: Sequence[str],
+    reader_ids: Sequence[str],
+    operations_per_client: int,
+    write_every: int = 5,
+    think_time: float = 0.0,
+) -> ClosedLoopWorkload:
+    """Closed-loop workload where writers write and readers read repeatedly."""
+    sequences: Dict[str, List[Tuple]] = {}
+    for writer in writer_ids:
+        sequences[writer] = [
+            ("write", f"v-{writer}-{i}") for i in range(operations_per_client)
+        ]
+    for reader in reader_ids:
+        sequences[reader] = [("read",) for _ in range(operations_per_client)]
+    del write_every  # kept for API symmetry with mixed workloads
+    return ClosedLoopWorkload(sequences=sequences, think_time=think_time, stagger=0.1)
+
+
+def write_pairs_then_reads(
+    writer_ids: Sequence[str],
+    reader_ids: Sequence[str],
+    rounds: int,
+    overlap: bool = True,
+) -> OpenLoopWorkload:
+    """The W1/W2 then R1/R2 pattern of the paper's proofs, repeated.
+
+    Each round issues one write per writer (concurrent when ``overlap``),
+    then one read per reader.  This mirrors the executions used in the chain
+    argument (two writes followed by two reads) and is the quickest way to
+    surface violations in fast-write candidates.
+    """
+    workload = OpenLoopWorkload()
+    t = 1.0
+    for round_index in range(rounds):
+        for i, writer in enumerate(writer_ids):
+            offset = 0.0 if overlap else i * 6.0
+            workload.add_write(writer, t + offset, f"v-{writer}-{round_index}")
+        read_start = t + (2.0 if overlap else len(writer_ids) * 6.0 + 2.0)
+        for j, reader in enumerate(reader_ids):
+            workload.add_read(reader, read_start + j * 5.0)
+        t = read_start + len(reader_ids) * 5.0 + 5.0
+    return workload
+
+
+def asymmetric_write_contention(
+    writer_ids: Sequence[str],
+    reader_ids: Sequence[str],
+    rounds: int = 2,
+    fast_writer_burst: int = 2,
+    op_gap: float = 6.0,
+) -> OpenLoopWorkload:
+    """A workload where one writer writes much more often than the others.
+
+    In each round the first writer issues ``fast_writer_burst`` sequential
+    writes, then every other writer issues a single write, then every reader
+    reads twice.  This is the pattern that exposes protocols whose writers
+    order values with *local* counters (the fast-write candidates): the slow
+    writer's value carries a smaller timestamp than the fast writer's earlier
+    values even though it is newer in real time, and the following reads then
+    contradict the real-time write order.
+    """
+    if not writer_ids:
+        raise ValueError("need at least one writer")
+    workload = OpenLoopWorkload()
+    t = 1.0
+    fast_writer = writer_ids[0]
+    for round_index in range(rounds):
+        for burst in range(fast_writer_burst):
+            workload.add_write(
+                fast_writer, t, f"v-{fast_writer}-{round_index}-{burst}"
+            )
+            t += op_gap
+        for writer in writer_ids[1:]:
+            workload.add_write(writer, t, f"v-{writer}-{round_index}")
+            t += op_gap
+        for repeat in range(2):
+            for reader in reader_ids:
+                workload.add_read(reader, t)
+                t += op_gap / 2
+        t += op_gap
+    return workload
+
+
+def _space_out(times: List[float], min_gap: float) -> List[float]:
+    """Push times apart so consecutive entries differ by at least ``min_gap``."""
+    spaced: List[float] = []
+    last = None
+    for t in times:
+        if last is not None and t < last + min_gap:
+            t = last + min_gap
+        spaced.append(t)
+        last = t
+    return spaced
+
+
+def apply_open_loop(simulation: Simulation, workload: OpenLoopWorkload) -> None:
+    """Schedule an open-loop workload onto a simulation."""
+    for op in workload.operations:
+        if op.action == "write":
+            simulation.schedule_write(op.client, op.value, op.at)
+        else:
+            simulation.schedule_read(op.client, op.at)
+
+
+def apply_closed_loop(simulation: Simulation, workload: ClosedLoopWorkload) -> None:
+    """Schedule a closed-loop workload onto a simulation."""
+    for index, (client, sequence) in enumerate(sorted(workload.sequences.items())):
+        simulation.schedule_closed_loop(
+            client,
+            sequence,
+            start_at=index * workload.stagger,
+            think_time=workload.think_time,
+        )

@@ -1,0 +1,175 @@
+"""Tests for the ``admissible`` predicate of Algorithm 1."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.admissible import (
+    ReadAck,
+    ValueReport,
+    admissible,
+    admissible_values,
+    select_return_value,
+)
+from repro.core.timestamps import BOTTOM_TAG, Tag
+
+
+def ack(server: str, reports: dict) -> ReadAck:
+    """Helper: build a ReadAck from {tag: updated-iterable}."""
+    mapping = {tag: ValueReport.of(tag, updated) for tag, updated in reports.items()}
+    best = max(mapping, default=BOTTOM_TAG)
+    return ReadAck(server=server, reports=mapping, max_tag=best)
+
+
+V1 = Tag(1, "w1")
+V2 = Tag(2, "w1")
+
+
+class TestAdmissibleBasics:
+    def test_rejects_degree_zero(self):
+        with pytest.raises(ValueError):
+            admissible(V1, [], 0, 4, 1)
+
+    def test_not_admissible_when_too_few_carriers(self):
+        acks = [ack("s1", {V1: {"w1", "r1"}}), ack("s2", {}), ack("s3", {})]
+        assert admissible(V1, acks, 1, 4, 1) is None
+
+    def test_admissible_degree_one_with_full_coverage(self):
+        acks = [ack(f"s{i}", {V1: {"w1", "r1"}}) for i in range(1, 4)]
+        witness = admissible(V1, acks, 1, 4, 1)
+        assert witness is not None
+        assert witness.degree == 1
+        assert witness.servers == {"s1", "s2", "s3"}
+        assert {"w1", "r1"} <= set(witness.common_updated)
+
+    def test_admissible_degree_two_with_partial_coverage(self):
+        # Only S - 2t = 2 of 4 servers carry the value, but both have seen it
+        # propagate to two clients.
+        acks = [
+            ack("s1", {V1: {"w1", "r1"}}),
+            ack("s2", {V1: {"w1", "r1"}}),
+            ack("s3", {}),
+        ]
+        assert admissible(V1, acks, 1, 4, 1) is None
+        witness = admissible(V1, acks, 2, 4, 1)
+        assert witness is not None
+        assert witness.servers == {"s1", "s2"}
+
+    def test_common_updated_requirement(self):
+        # Two carriers but their updated sets share only one client: not
+        # admissible with degree 2.
+        acks = [
+            ack("s1", {V1: {"w1"}}),
+            ack("s2", {V1: {"r1"}}),
+            ack("s3", {}),
+        ]
+        assert admissible(V1, acks, 2, 4, 1) is None
+
+    def test_subset_search_drops_small_updated_sets(self):
+        # Taking all three carriers the intersection is {"w1"} (size 1), but a
+        # subset of two carriers has intersection size 2, which suffices for
+        # degree 2 and still meets the S - 2t = 2 size requirement.
+        acks = [
+            ack("s1", {V1: {"w1", "r1"}}),
+            ack("s2", {V1: {"w1", "r1"}}),
+            ack("s3", {V1: {"w1"}}),
+        ]
+        witness = admissible(V1, acks, 2, 4, 1)
+        assert witness is not None
+        assert witness.servers == {"s1", "s2"}
+        assert set(witness.common_updated) >= {"w1", "r1"}
+
+
+class TestSelection:
+    def test_returns_largest_admissible(self):
+        acks = [
+            ack("s1", {V1: {"w1", "r1"}, V2: {"w1", "r1"}}),
+            ack("s2", {V1: {"w1", "r1"}, V2: {"w1", "r1"}}),
+            ack("s3", {V1: {"w1", "r1"}, V2: {"w1", "r1"}}),
+        ]
+        chosen, _ = select_return_value(acks, 4, 1, max_degree=3)
+        assert chosen == V2
+
+    def test_falls_back_to_older_admissible_value(self):
+        # V2 is carried by a single server with a tiny updated set: not
+        # admissible; V1 is carried everywhere.
+        acks = [
+            ack("s1", {V1: {"w1", "r1"}, V2: {"w1"}}),
+            ack("s2", {V1: {"w1", "r1"}}),
+            ack("s3", {V1: {"w1", "r1"}}),
+        ]
+        chosen, _ = select_return_value(acks, 4, 1, max_degree=3)
+        assert chosen == V1
+
+    def test_accepts_singleton_witness_with_large_updated_set(self):
+        # Degree 3 admissibility: one carrier with three clients in updated.
+        acks = [
+            ack("s1", {V2: {"w1", "w2", "r1"}, V1: {"w1", "r1"}}),
+            ack("s2", {V1: {"w1", "r1"}}),
+            ack("s3", {V1: {"w1", "r1"}}),
+        ]
+        chosen, witnesses = select_return_value(acks, 4, 1, max_degree=3)
+        assert chosen == V2
+        assert witnesses[V2].degree == 3
+
+    def test_no_candidates(self):
+        chosen, witnesses = select_return_value([], 4, 1, max_degree=3)
+        assert chosen is None
+        assert witnesses == {}
+
+    def test_admissible_values_collects_all(self):
+        acks = [
+            ack("s1", {BOTTOM_TAG: {"r1"}, V1: {"w1", "r1"}}),
+            ack("s2", {BOTTOM_TAG: {"r1"}, V1: {"w1", "r1"}}),
+            ack("s3", {BOTTOM_TAG: {"r1"}, V1: {"w1", "r1"}}),
+        ]
+        values = admissible_values(acks, 4, 1, max_degree=3)
+        assert BOTTOM_TAG in values and V1 in values
+
+
+class TestAdmissibleProperties:
+    clients = st.sets(st.sampled_from(["w1", "w2", "r1", "r2", "r3"]), max_size=5)
+
+    @given(
+        st.lists(clients, min_size=1, max_size=6),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=2),
+    )
+    def test_witness_satisfies_definition(self, updated_sets, degree, faults):
+        total = len(updated_sets) + faults
+        acks = [
+            ack(f"s{i}", {V1: updated}) for i, updated in enumerate(updated_sets, 1)
+        ]
+        witness = admissible(V1, acks, degree, total, faults)
+        if witness is None:
+            return
+        # |mu| >= S - a*t
+        assert len(witness.servers) >= total - degree * faults
+        # every witness server carries the value
+        carriers = {a.server for a in acks if a.knows(V1)}
+        assert witness.servers <= carriers
+        # the common updated set really is common and large enough
+        assert len(witness.common_updated) >= degree
+        for server in witness.servers:
+            matching = next(a for a in acks if a.server == server)
+            assert witness.common_updated <= matching.updated_set(V1)
+
+    @given(
+        st.lists(clients, min_size=2, max_size=6),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_monotone_in_extra_acks(self, updated_sets, degree):
+        """Adding a fresh ack carrying the value can never break admissibility."""
+        faults = 1
+        total = len(updated_sets) + 2
+        acks = [
+            ack(f"s{i}", {V1: updated}) for i, updated in enumerate(updated_sets, 1)
+        ]
+        before = admissible(V1, acks, degree, total, faults)
+        if before is None:
+            return
+        superset = set(before.common_updated) | {"extra-client"}
+        extra = ack(f"s{len(updated_sets) + 1}", {V1: superset})
+        after = admissible(V1, acks + [extra], degree, total, faults)
+        assert after is not None

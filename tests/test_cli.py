@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "fast-read-mwmr"
+        assert args.servers == 5 and args.faults == 1
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "nope"])
+
+
+class TestCommands:
+    def test_run_atomic_protocol_exit_zero(self, capsys):
+        code = main(["run", "--protocol", "fast-read-mwmr", "--servers", "7",
+                     "--writes", "2", "--reads", "3"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "ATOMIC" in output
+        assert "round-trips (w/r)  : 2/1" in output
+        assert "staleness" in output
+
+    def test_run_candidate_protocol_exit_nonzero_on_violation(self, capsys):
+        # The asymmetric pattern is not used by the CLI's uniform workload,
+        # so a violation is not guaranteed; just check the command completes
+        # and reports a verdict either way.
+        code = main(["run", "--protocol", "fast-write-attempt", "--writes", "3",
+                     "--reads", "3", "--seed", "5"])
+        output = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "atomicity" in output
+
+    def test_run_with_crash(self, capsys):
+        code = main(["run", "--servers", "7", "--crash", "--writes", "2", "--reads", "2"])
+        assert code == 0
+
+    def test_table1(self, capsys):
+        code = main(["table1", "--seeds", "1"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "W2R1" in output and "fast-read-mwmr" in output
+
+    def test_prove(self, capsys):
+        code = main(["prove", "--servers", "3"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "beta_0" in output or "alpha" in output
+
+    def test_boundary(self, capsys):
+        code = main(["boundary", "--max-servers", "5"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "violation observed" in output
+
+    def test_latency(self, capsys):
+        code = main(["latency", "--delay", "lan", "--protocols", "abd-mwmr",
+                     "fast-read-mwmr"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "mw-abd (W2R2)" in output

@@ -1,0 +1,192 @@
+"""Tests for the design-space feasibility conditions (Table 1 predicates)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.conditions import (
+    SystemParameters,
+    fast_read_bound,
+    fast_read_possible,
+    fast_read_write_possible,
+    fast_write_possible,
+    is_feasible,
+    majority_quorum_possible,
+    max_readers_for_fast_reads,
+    min_servers_for_fast_reads,
+    parameter_sweep,
+    validate_parameters,
+    w2r2_possible,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.fastness import DesignPoint
+
+
+class TestValidation:
+    def test_rejects_single_server(self):
+        with pytest.raises(ConfigurationError):
+            validate_parameters(1, 2, 2, 0)
+
+    def test_rejects_zero_writers(self):
+        with pytest.raises(ConfigurationError):
+            validate_parameters(3, 0, 2, 1)
+
+    def test_rejects_zero_readers(self):
+        with pytest.raises(ConfigurationError):
+            validate_parameters(3, 2, 0, 1)
+
+    def test_rejects_negative_faults(self):
+        with pytest.raises(ConfigurationError):
+            validate_parameters(3, 2, 2, -1)
+
+    def test_rejects_faults_equal_servers(self):
+        with pytest.raises(ConfigurationError):
+            validate_parameters(3, 2, 2, 3)
+
+    def test_dataclass_validates(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(servers=2, writers=2, readers=2, max_faults=2)
+
+    def test_quorum_size(self):
+        params = SystemParameters(5, 2, 2, 1)
+        assert params.quorum_size == 4
+        assert params.is_multi_writer and params.is_multi_reader
+
+
+class TestMajority:
+    @pytest.mark.parametrize(
+        "servers,faults,expected",
+        [(3, 1, True), (2, 1, False), (5, 2, True), (4, 2, False), (7, 3, True)],
+    )
+    def test_majority_condition(self, servers, faults, expected):
+        assert majority_quorum_possible(servers, faults) is expected
+
+    def test_w2r2_matches_majority(self):
+        assert w2r2_possible(SystemParameters(5, 2, 2, 2))
+        assert not w2r2_possible(SystemParameters(4, 2, 2, 2))
+
+
+class TestFastReadBound:
+    def test_bound_value(self):
+        assert fast_read_bound(6, 1) == 4.0
+        assert fast_read_bound(6, 2) == 1.0
+
+    def test_bound_infinite_without_faults(self):
+        assert fast_read_bound(5, 0) == float("inf")
+
+    @pytest.mark.parametrize(
+        "servers,faults,readers,expected",
+        [
+            (5, 1, 2, True),   # 2 < 3
+            (5, 1, 3, False),  # 3 >= 3
+            (4, 1, 2, False),  # 2 >= 2
+            (7, 1, 4, True),   # 4 < 5
+            (8, 2, 2, False),  # 2 >= 2
+            (9, 2, 2, True),   # 2 < 2.5
+        ],
+    )
+    def test_fast_read_possible(self, servers, faults, readers, expected):
+        params = SystemParameters(servers, 2, readers, faults)
+        assert fast_read_possible(params) is expected
+
+    def test_max_readers(self):
+        assert max_readers_for_fast_reads(7, 1) == 4   # bound 5, strict
+        assert max_readers_for_fast_reads(6, 1) == 3   # bound 4 is integral -> 3
+        assert max_readers_for_fast_reads(5, 0) >= 10**6
+
+    def test_min_servers(self):
+        # Smallest S with R < S/t - 2.
+        assert min_servers_for_fast_reads(2, 1) == 5
+        assert min_servers_for_fast_reads(2, 2) == 9
+        assert min_servers_for_fast_reads(3, 1) == 6
+
+    def test_min_servers_consistent_with_predicate(self):
+        for readers in (1, 2, 3, 4):
+            for faults in (1, 2):
+                smallest = min_servers_for_fast_reads(readers, faults)
+                assert fast_read_possible(SystemParameters(smallest, 2, readers, faults))
+                if smallest - 1 > 2 * faults:
+                    assert not fast_read_possible(
+                        SystemParameters(smallest - 1, 2, readers, faults)
+                    )
+
+
+class TestFastWrite:
+    def test_impossible_multi_writer_multi_reader(self):
+        assert not fast_write_possible(SystemParameters(5, 2, 2, 1))
+
+    def test_possible_single_writer(self):
+        assert fast_write_possible(SystemParameters(5, 1, 2, 1))
+
+    def test_possible_single_reader(self):
+        assert fast_write_possible(SystemParameters(5, 2, 1, 1))
+
+    def test_possible_without_faults(self):
+        assert fast_write_possible(SystemParameters(5, 2, 2, 0))
+
+
+class TestFastReadWrite:
+    def test_impossible_multi_writer(self):
+        assert not fast_read_write_possible(SystemParameters(9, 2, 2, 1))
+
+    def test_single_writer_needs_fast_read_condition(self):
+        assert fast_read_write_possible(SystemParameters(5, 1, 2, 1))
+        assert not fast_read_write_possible(SystemParameters(4, 1, 2, 1))
+
+
+class TestIsFeasible:
+    def test_table1_at_canonical_configuration(self):
+        params = SystemParameters(5, 2, 2, 1)
+        assert is_feasible(DesignPoint.W2R2, params)
+        assert not is_feasible(DesignPoint.W1R2, params)
+        assert is_feasible(DesignPoint.W2R1, params)
+        assert not is_feasible(DesignPoint.W1R1, params)
+
+    def test_nothing_feasible_without_majorities(self):
+        params = SystemParameters(4, 2, 2, 2)
+        for point in DesignPoint:
+            assert not is_feasible(point, params)
+
+    def test_fast_read_infeasible_when_bound_violated(self):
+        params = SystemParameters(4, 2, 2, 1)
+        assert not is_feasible(DesignPoint.W2R1, params)
+
+
+class TestSweep:
+    def test_sweep_skips_invalid(self):
+        combos = list(parameter_sweep(range(2, 5), [2], [2], range(0, 4)))
+        assert all(p.max_faults < p.servers for p in combos)
+        assert combos  # non-empty
+
+    def test_sweep_counts(self):
+        combos = list(parameter_sweep([3, 5], [1, 2], [2], [1]))
+        assert len(combos) == 4
+
+
+class TestConditionProperties:
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_fast_read_monotone_in_servers(self, servers, faults, readers):
+        if faults >= servers:
+            return
+        params = SystemParameters(servers, 2, readers, faults)
+        bigger = SystemParameters(servers + 1, 2, readers, faults)
+        if fast_read_possible(params):
+            assert fast_read_possible(bigger)
+
+    @given(
+        st.integers(min_value=3, max_value=30),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=2, max_value=10),
+    )
+    def test_fast_read_antitone_in_readers(self, servers, faults, readers):
+        if faults >= servers:
+            return
+        params = SystemParameters(servers, 2, readers, faults)
+        fewer = SystemParameters(servers, 2, readers - 1, faults)
+        if fast_read_possible(params):
+            assert fast_read_possible(fewer)

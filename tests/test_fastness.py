@@ -1,0 +1,98 @@
+"""Tests for the design-space lattice and round-trip classification (Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fastness import (
+    LATTICE_EDGES,
+    DesignPoint,
+    RoundTripProfile,
+    classify_round_trips,
+    dominates,
+    latency_rank,
+)
+
+
+class TestDesignPoint:
+    def test_round_trip_attributes(self):
+        assert DesignPoint.W1R2.write_rtts == 1
+        assert DesignPoint.W1R2.read_rtts == 2
+        assert DesignPoint.W2R1.fast_read and not DesignPoint.W2R1.fast_write
+        assert DesignPoint.W1R1.fast_read and DesignPoint.W1R1.fast_write
+
+    def test_from_round_trips(self):
+        assert DesignPoint.from_round_trips(1, 2) is DesignPoint.W1R2
+        assert DesignPoint.from_round_trips(2, 1) is DesignPoint.W2R1
+        assert DesignPoint.from_round_trips(1, 1) is DesignPoint.W1R1
+        assert DesignPoint.from_round_trips(2, 2) is DesignPoint.W2R2
+
+    def test_from_round_trips_clamps_slow(self):
+        # The paper only distinguishes fast (1) from not-fast (>= 2): W1Rk and
+        # WkR1 for k >= 3 are covered by the same impossibility proofs.
+        assert DesignPoint.from_round_trips(1, 5) is DesignPoint.W1R2
+        assert DesignPoint.from_round_trips(4, 3) is DesignPoint.W2R2
+
+    def test_from_round_trips_rejects_zero(self):
+        with pytest.raises(ValueError):
+            DesignPoint.from_round_trips(0, 1)
+
+    def test_str(self):
+        assert str(DesignPoint.W2R1) == "W2R1"
+
+
+class TestLattice:
+    def test_hasse_edges(self):
+        assert (DesignPoint.W1R1, DesignPoint.W1R2) in LATTICE_EDGES
+        assert (DesignPoint.W2R1, DesignPoint.W2R2) in LATTICE_EDGES
+        assert len(LATTICE_EDGES) == 4
+
+    def test_dominates_reflexive(self):
+        for point in DesignPoint:
+            assert dominates(point, point)
+
+    def test_dominates_bottom_and_top(self):
+        for point in DesignPoint:
+            assert dominates(DesignPoint.W1R1, point)
+            assert dominates(point, DesignPoint.W2R2)
+
+    def test_incomparable_middle(self):
+        assert not dominates(DesignPoint.W1R2, DesignPoint.W2R1)
+        assert not dominates(DesignPoint.W2R1, DesignPoint.W1R2)
+
+    def test_latency_rank(self):
+        assert latency_rank(DesignPoint.W1R1) == 2
+        assert latency_rank(DesignPoint.W2R2) == 4
+        assert latency_rank(DesignPoint.W1R2) == latency_rank(DesignPoint.W2R1) == 3
+
+    def test_edges_increase_latency(self):
+        for faster, slower in LATTICE_EDGES:
+            assert latency_rank(faster) < latency_rank(slower)
+            assert dominates(faster, slower)
+
+
+class TestClassification:
+    def test_classify_from_counts(self):
+        assert classify_round_trips([2, 2], [2, 2]) is DesignPoint.W2R2
+        assert classify_round_trips([1, 1], [2]) is DesignPoint.W1R2
+        assert classify_round_trips([2], [1, 1, 1]) is DesignPoint.W2R1
+
+    def test_classify_uses_worst_case(self):
+        # One slow read is enough to lose the "fast read" classification.
+        assert classify_round_trips([2, 2], [1, 1, 2]) is DesignPoint.W2R2
+
+    def test_classify_empty_defaults_fast(self):
+        assert classify_round_trips([], []) is DesignPoint.W1R1
+
+    def test_profile(self):
+        profile = RoundTripProfile(
+            write_rtts={"a": 2, "b": 2}, read_rtts={"c": 1, "d": 1}
+        )
+        assert profile.design_point() is DesignPoint.W2R1
+        assert profile.max_write_rtts == 2
+        assert profile.mean_read_rtts == 1.0
+
+    def test_profile_empty(self):
+        profile = RoundTripProfile(write_rtts={}, read_rtts={})
+        assert profile.mean_write_rtts == 0.0
+        assert profile.design_point() is DesignPoint.W1R1

@@ -1,0 +1,119 @@
+"""Cross-module property-based tests.
+
+These are the library's headline invariants:
+
+* every protocol the theory says is correct produces atomic histories under
+  *randomly generated* workloads, delays and crash patterns;
+* the chain argument's links verify for random (S, i1) choices;
+* the sieve succeeds whenever at least three servers are unaffected;
+* the empirical fast-read boundary coincides with ``R < S/t - 2`` on random
+  configurations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.consistency import check_atomicity
+from repro.core.conditions import fast_read_bound
+from repro.protocols.registry import build_protocol
+from repro.sim.delays import UniformDelay
+from repro.sim.network import SkipRule
+from repro.sim.runtime import Simulation
+from repro.theory.chains import verify_chain_argument
+from repro.theory.fast_read_bound import run_fig9_experiment
+from repro.theory.sieve import run_sieve
+from repro.util.ids import client_ids, server_ids
+from repro.workloads.generators import apply_open_loop, uniform_open_loop
+
+_slow = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestProtocolAtomicityProperties:
+    @_slow
+    @given(
+        key=st.sampled_from(["abd-mwmr", "fast-read-mwmr"]),
+        seed=st.integers(min_value=0, max_value=10_000),
+        servers=st.integers(min_value=5, max_value=8),
+        crash=st.booleans(),
+    )
+    def test_correct_multi_writer_protocols_random_runs(self, key, seed, servers, crash):
+        protocol = build_protocol(key, server_ids(servers), 1, readers=2, writers=2)
+        simulation = Simulation(protocol, delay_model=UniformDelay(0.2, 2.0, seed=seed))
+        workload = uniform_open_loop(
+            client_ids("w", 2), client_ids("r", 2),
+            writes_per_writer=3, reads_per_reader=4, horizon=80.0, seed=seed,
+        )
+        apply_open_loop(simulation, workload)
+        if crash:
+            simulation.crash_server(f"s{servers}", at=float(seed % 40))
+        result = simulation.run()
+        verdict = check_atomicity(result.history)
+        assert verdict.atomic, verdict.report.summary()
+
+    @_slow
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        skipped_server=st.integers(min_value=1, max_value=5),
+    )
+    def test_fast_read_protocol_with_adversarial_skips(self, seed, skipped_server):
+        """Random message skipping within the fault budget never breaks atomicity."""
+        protocol = build_protocol("fast-read-mwmr", server_ids(7), 1, readers=2, writers=2)
+        simulation = Simulation(protocol, delay_model=UniformDelay(0.2, 1.5, seed=seed))
+        simulation.add_skip_rule(
+            SkipRule(receiver=f"s{skipped_server}", kind="read", both_directions=False)
+        )
+        workload = uniform_open_loop(
+            client_ids("w", 2), client_ids("r", 2), 2, 4, horizon=60.0, seed=seed
+        )
+        apply_open_loop(simulation, workload)
+        result = simulation.run()
+        assert check_atomicity(result.history).atomic
+
+
+class TestTheoryProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_servers=st.integers(min_value=3, max_value=7),
+        data=st.data(),
+    )
+    def test_chain_argument_verifies_everywhere(self, num_servers, data):
+        critical = data.draw(st.integers(min_value=1, max_value=num_servers))
+        use_prime = data.draw(st.booleans())
+        certificate = verify_chain_argument(num_servers, critical, use_prime=use_prime)
+        assert certificate.all_verified
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_servers=st.integers(min_value=4, max_value=9),
+        data=st.data(),
+    )
+    def test_sieve_succeeds_with_three_unaffected(self, num_servers, data):
+        max_affected = num_servers - 3
+        affected_count = data.draw(st.integers(min_value=0, max_value=max_affected))
+        servers = server_ids(num_servers)
+        affected = data.draw(
+            st.sets(st.sampled_from(servers), min_size=affected_count, max_size=affected_count)
+        )
+        certificate = run_sieve(num_servers, affected_servers=sorted(affected))
+        if len(certificate.unaffected) >= 3:
+            assert certificate.all_verified
+        else:
+            assert not certificate.all_verified
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        servers=st.integers(min_value=4, max_value=9),
+        faults=st.integers(min_value=1, max_value=2),
+        readers=st.integers(min_value=2, max_value=5),
+    )
+    def test_fig9_boundary_matches_theory(self, servers, faults, readers):
+        if 2 * faults >= servers:
+            return
+        result = run_fig9_experiment(servers, faults, readers)
+        impossible = readers >= fast_read_bound(servers, faults)
+        assert result.violation_found == impossible

@@ -1,0 +1,279 @@
+"""Unit tests of protocol client logic through the synchronous DirectDriver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError, QuorumUnavailableError
+from repro.core.operations import OpKind
+from repro.core.timestamps import BOTTOM_TAG, Tag
+from repro.protocols.base import DirectDriver
+from repro.protocols.registry import PROTOCOLS, build_protocol, protocol_for_point
+from repro.core.fastness import DesignPoint
+from repro.util.ids import server_ids
+
+SERVERS = server_ids(5)
+
+
+def make_driver(protocol):
+    servers = {sid: protocol.make_server(sid) for sid in protocol.servers}
+    return DirectDriver(servers, protocol.max_faults)
+
+
+class TestAbdMwmr:
+    def setup_method(self):
+        self.protocol = build_protocol("abd-mwmr", SERVERS, 1)
+        self.driver = make_driver(self.protocol)
+
+    def test_write_assigns_increasing_tags(self):
+        writer1 = self.protocol.make_writer("w1")
+        writer2 = self.protocol.make_writer("w2")
+        first = self.driver.run_operation(writer1, writer1.write_protocol("a"), "op1")
+        second = self.driver.run_operation(writer2, writer2.write_protocol("b"), "op2")
+        assert first.tag == Tag(1, "w1")
+        assert second.tag == Tag(2, "w2")
+        assert second.tag > first.tag
+
+    def test_read_returns_latest(self):
+        writer = self.protocol.make_writer("w1")
+        reader = self.protocol.make_reader("r1")
+        self.driver.run_operation(writer, writer.write_protocol("a"), "op1")
+        self.driver.run_operation(writer, writer.write_protocol("b"), "op2")
+        outcome = self.driver.run_operation(reader, reader.read_protocol(), "op3")
+        assert outcome.kind is OpKind.READ
+        assert outcome.value == "b"
+        assert outcome.tag == Tag(2, "w1")
+
+    def test_read_of_initial_value(self):
+        reader = self.protocol.make_reader("r1")
+        outcome = self.driver.run_operation(reader, reader.read_protocol(), "op1")
+        assert outcome.tag == BOTTOM_TAG
+        assert outcome.value is None
+
+    def test_writer_cannot_read_and_vice_versa(self):
+        writer = self.protocol.make_writer("w1")
+        reader = self.protocol.make_reader("r1")
+        with pytest.raises(NotImplementedError):
+            next(writer.read_protocol())
+        with pytest.raises(NotImplementedError):
+            next(reader.write_protocol("x"))
+
+    def test_operations_use_two_round_trips(self):
+        writer = self.protocol.make_writer("w1")
+        outcome = self.driver.run_operation(writer, writer.write_protocol("a"), "op1")
+        assert outcome.metadata["round_trips"] == 2
+
+    def test_read_writes_back(self):
+        # After a read, the chosen value must be on a quorum even if the
+        # original write only reached part of the servers.
+        writer = self.protocol.make_writer("w1")
+        reader = self.protocol.make_reader("r1")
+        partial = SERVERS[:4]
+        self.driver.run_operation(
+            writer, writer.write_protocol("a"), "op1", server_order=partial,
+            respond_from=partial,
+        )
+        self.driver.run_operation(reader, reader.read_protocol(), "op2")
+        holding = [
+            sid for sid, logic in self.driver.servers.items() if logic.value == "a"
+        ]
+        assert len(holding) == len(SERVERS)
+
+
+class TestFastReadMwmr:
+    def setup_method(self):
+        self.protocol = build_protocol("fast-read-mwmr", SERVERS, 1)
+        self.driver = make_driver(self.protocol)
+
+    def test_write_then_fast_read(self):
+        writer = self.protocol.make_writer("w1")
+        reader = self.protocol.make_reader("r1")
+        write_outcome = self.driver.run_operation(writer, writer.write_protocol("a"), "op1")
+        read_outcome = self.driver.run_operation(reader, reader.read_protocol(), "op2")
+        assert write_outcome.metadata["round_trips"] == 2
+        assert read_outcome.metadata["round_trips"] == 1
+        assert read_outcome.value == "a"
+        assert read_outcome.tag == Tag(1, "w1")
+
+    def test_reader_val_queue_grows(self):
+        writer = self.protocol.make_writer("w1")
+        reader = self.protocol.make_reader("r1")
+        self.driver.run_operation(writer, writer.write_protocol("a"), "op1")
+        self.driver.run_operation(reader, reader.read_protocol(), "op2")
+        assert Tag(1, "w1") in reader.val_queue
+
+    def test_sequential_writers_get_increasing_tags(self):
+        w1 = self.protocol.make_writer("w1")
+        w2 = self.protocol.make_writer("w2")
+        a = self.driver.run_operation(w1, w1.write_protocol("a"), "op1")
+        b = self.driver.run_operation(w2, w2.write_protocol("b"), "op2")
+        c = self.driver.run_operation(w1, w1.write_protocol("c"), "op3")
+        assert a.tag < b.tag < c.tag
+
+    def test_successive_reads_monotonic(self):
+        writer = self.protocol.make_writer("w1")
+        r1 = self.protocol.make_reader("r1")
+        r2 = self.protocol.make_reader("r2")
+        self.driver.run_operation(writer, writer.write_protocol("a"), "op1")
+        first = self.driver.run_operation(r1, r1.read_protocol(), "op2")
+        self.driver.run_operation(writer, writer.write_protocol("b"), "op3")
+        second = self.driver.run_operation(r2, r2.read_protocol(), "op4")
+        assert second.tag >= first.tag
+
+    def test_condition_enforced(self):
+        with pytest.raises(ConfigurationError):
+            build_protocol("fast-read-mwmr", server_ids(4), 1, readers=2)
+
+    def test_condition_can_be_disabled(self):
+        protocol = build_protocol(
+            "fast-read-mwmr", server_ids(4), 1, readers=2, enforce_condition=False
+        )
+        assert protocol.readers == 2
+
+    def test_naive_reader_flag(self):
+        protocol = build_protocol("fast-read-mwmr", SERVERS, 1, naive_reads=True)
+        reader = protocol.make_reader("r1")
+        assert reader.naive
+
+
+class TestSingleWriterProtocols:
+    def test_abd_swmr_fast_write(self):
+        protocol = build_protocol("abd-swmr", SERVERS, 1)
+        driver = make_driver(protocol)
+        writer = protocol.make_writer("w1")
+        outcome = driver.run_operation(writer, writer.write_protocol("a"), "op1")
+        assert outcome.metadata["round_trips"] == 1
+        assert outcome.tag == Tag(1, "w1")
+
+    def test_abd_swmr_rejects_two_writers(self):
+        # Instantiating the factory directly with two writers is an error;
+        # build_protocol silently clamps single-writer protocols to one writer.
+        with pytest.raises(ConfigurationError):
+            PROTOCOLS["abd-swmr"].factory(SERVERS, 1, readers=2, writers=2)
+        clamped = build_protocol("abd-swmr", SERVERS, 1, writers=2)
+        assert clamped.writers == 1
+
+    def test_fast_swmr_both_fast(self):
+        protocol = build_protocol("fast-swmr", SERVERS, 1)
+        driver = make_driver(protocol)
+        writer = protocol.make_writer("w1")
+        reader = protocol.make_reader("r1")
+        w = driver.run_operation(writer, writer.write_protocol("a"), "op1")
+        r = driver.run_operation(reader, reader.read_protocol(), "op2")
+        assert w.metadata["round_trips"] == 1
+        assert r.metadata["round_trips"] == 1
+        assert r.value == "a"
+
+    def test_fast_swmr_condition(self):
+        with pytest.raises(ConfigurationError):
+            build_protocol("fast-swmr", server_ids(4), 1, readers=2)
+
+    def test_semifast_fast_path_when_stable(self):
+        protocol = build_protocol("semifast-swmr", SERVERS, 1)
+        driver = make_driver(protocol)
+        writer = protocol.make_writer("w1")
+        reader = protocol.make_reader("r1")
+        driver.run_operation(writer, writer.write_protocol("a"), "op1")
+        outcome = driver.run_operation(reader, reader.read_protocol(), "op2")
+        assert outcome.metadata["fast_path"] is True
+        assert outcome.metadata["round_trips"] == 1
+
+    def test_semifast_slow_path_when_unstable(self):
+        protocol = build_protocol("semifast-swmr", SERVERS, 1)
+        driver = make_driver(protocol)
+        writer = protocol.make_writer("w1")
+        reader = protocol.make_reader("r1")
+        # The write reaches only two servers (it does not complete), so the
+        # reader sees a non-unanimous picture and takes the slow path.
+        partial = SERVERS[:2]
+        try:
+            driver.run_operation(
+                writer, writer.write_protocol("a"), "op1",
+                server_order=partial, respond_from=partial,
+            )
+        except QuorumUnavailableError:
+            pass
+        outcome = driver.run_operation(reader, reader.read_protocol(), "op2")
+        assert outcome.metadata["fast_path"] is False
+        assert outcome.metadata["round_trips"] == 2
+        assert outcome.value == "a"
+
+
+class TestCandidateProtocols:
+    def test_fast_write_attempt_uses_one_round_trip(self):
+        protocol = build_protocol("fast-write-attempt", SERVERS, 1)
+        driver = make_driver(protocol)
+        writer = protocol.make_writer("w1")
+        outcome = driver.run_operation(writer, writer.write_protocol("a"), "op1")
+        assert outcome.metadata["round_trips"] == 1
+
+    def test_fast_write_attempt_tags_can_invert(self):
+        # The defect the impossibility theorem predicts: a later write by a
+        # different writer can carry a smaller tag.
+        protocol = build_protocol("fast-write-attempt", SERVERS, 1)
+        driver = make_driver(protocol)
+        w1 = protocol.make_writer("w1")
+        w2 = protocol.make_writer("w2")
+        driver.run_operation(w1, w1.write_protocol("a"), "op1")
+        second = driver.run_operation(w1, w1.write_protocol("b"), "op2")
+        third = driver.run_operation(w2, w2.write_protocol("c"), "op3")
+        assert third.tag < second.tag  # real-time later, tag smaller
+
+    def test_fast_rw_attempt_single_round_trips(self):
+        protocol = build_protocol("fast-rw-attempt", SERVERS, 1)
+        driver = make_driver(protocol)
+        writer = protocol.make_writer("w1")
+        reader = protocol.make_reader("r1")
+        w = driver.run_operation(writer, writer.write_protocol("a"), "op1")
+        r = driver.run_operation(reader, reader.read_protocol(), "op2")
+        assert w.metadata["round_trips"] == 1 and r.metadata["round_trips"] == 1
+
+
+class TestRegistry:
+    def test_all_registered_protocols_instantiate(self):
+        for key, spec in PROTOCOLS.items():
+            if key in ("fast-read-mwmr", "fast-swmr"):
+                protocol = build_protocol(key, server_ids(7), 1)
+            else:
+                protocol = build_protocol(key, SERVERS, 1)
+            assert protocol.name
+            assert protocol.describe()["servers"] in (5, 7)
+
+    def test_protocol_for_point(self):
+        assert protocol_for_point(DesignPoint.W2R2).key == "abd-mwmr"
+        assert protocol_for_point(DesignPoint.W2R1).key == "fast-read-mwmr"
+        assert protocol_for_point(DesignPoint.W1R1, multi_writer=False).key == "fast-swmr"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(KeyError):
+            build_protocol("nope", SERVERS, 1)
+
+    def test_claimed_round_trips_match_design_point(self):
+        for spec in PROTOCOLS.values():
+            factory = spec.factory
+            assert factory.write_round_trips in (1, 2)
+            assert factory.read_round_trips in (1, 2)
+            assert DesignPoint.from_round_trips(
+                factory.write_round_trips, factory.read_round_trips
+            ) is spec.design_point
+
+
+class TestDirectDriverMechanics:
+    def test_quorum_unavailable(self):
+        protocol = build_protocol("abd-mwmr", SERVERS, 1)
+        driver = make_driver(protocol)
+        writer = protocol.make_writer("w1")
+        with pytest.raises(QuorumUnavailableError):
+            driver.run_operation(
+                writer, writer.write_protocol("a"), "op1", respond_from=["s1", "s2"]
+            )
+
+    def test_server_order_controls_processing(self):
+        protocol = build_protocol("abd-mwmr", SERVERS, 1)
+        driver = make_driver(protocol)
+        writer = protocol.make_writer("w1")
+        order = list(reversed(SERVERS))
+        outcome = driver.run_operation(
+            writer, writer.write_protocol("a"), "op1", server_order=order
+        )
+        assert outcome.tag == Tag(1, "w1")

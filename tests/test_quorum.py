@@ -1,0 +1,126 @@
+"""Tests for quorum systems and their intersection lemmas."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.quorum.systems import (
+    FastQuorumSystem,
+    MajorityQuorumSystem,
+    QuorumSystem,
+    ack_sets,
+    all_intersect,
+    intersection_size_lower_bound,
+)
+from repro.util.ids import server_ids
+
+
+class TestQuorumSystem:
+    def test_rejects_too_few_servers(self):
+        with pytest.raises(ConfigurationError):
+            QuorumSystem(("s1",), 0)
+
+    def test_rejects_bad_fault_count(self):
+        with pytest.raises(ConfigurationError):
+            QuorumSystem(tuple(server_ids(3)), 3)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            QuorumSystem(("s1", "s1", "s2"), 1)
+
+    def test_quorum_size(self):
+        qs = QuorumSystem(tuple(server_ids(5)), 2)
+        assert qs.quorum_size == 3
+
+    def test_is_quorum(self):
+        qs = QuorumSystem(tuple(server_ids(5)), 1)
+        assert qs.is_quorum(["s1", "s2", "s3", "s4"])
+        assert not qs.is_quorum(["s1", "s2"])
+
+    def test_is_quorum_rejects_unknown_servers(self):
+        qs = QuorumSystem(tuple(server_ids(3)), 1)
+        with pytest.raises(ConfigurationError):
+            qs.is_quorum(["s1", "s9"])
+
+    def test_tolerates(self):
+        qs = QuorumSystem(tuple(server_ids(5)), 2)
+        assert qs.tolerates(["s1", "s2"])
+        assert not qs.tolerates(["s1", "s2", "s3"])
+
+    def test_enumerate_quorums(self):
+        qs = QuorumSystem(tuple(server_ids(4)), 1)
+        quorums = list(qs.quorums())
+        assert len(quorums) == 4  # C(4, 3)
+        assert all(len(q) == 3 for q in quorums)
+
+
+class TestMajority:
+    def test_requires_strict_majority(self):
+        with pytest.raises(ConfigurationError):
+            MajorityQuorumSystem(tuple(server_ids(4)), 2)
+
+    def test_regularity(self):
+        qs = MajorityQuorumSystem(tuple(server_ids(5)), 2)
+        assert qs.regular()
+        assert all_intersect(qs.quorums())
+
+    @pytest.mark.parametrize("servers,faults", [(3, 1), (5, 1), (5, 2), (7, 3)])
+    def test_any_two_quorums_intersect(self, servers, faults):
+        qs = MajorityQuorumSystem(tuple(server_ids(servers)), faults)
+        assert qs.guaranteed_overlap() >= 1
+        assert all_intersect(qs.quorums())
+
+
+class TestFastQuorums:
+    def test_requires_reader_bound(self):
+        with pytest.raises(ConfigurationError):
+            FastQuorumSystem(tuple(server_ids(4)), 1, readers=2)
+
+    def test_valid_configuration(self):
+        qs = FastQuorumSystem(tuple(server_ids(6)), 1, readers=3)
+        assert qs.max_degree() == 4
+        assert qs.admissible_set_size(1) == 5
+
+    def test_lemma9_witness_survives_faults(self):
+        qs = FastQuorumSystem(tuple(server_ids(7)), 1, readers=4)
+        for degree in range(1, qs.max_degree() + 1):
+            assert qs.witness_survives_faults(degree)
+
+    def test_lemma10_witness_meets_later_read(self):
+        qs = FastQuorumSystem(tuple(server_ids(9)), 2, readers=2)
+        for degree in range(1, qs.max_degree() + 1):
+            assert qs.witness_meets_later_read(degree)
+
+    def test_lemmas_fail_when_bound_violated(self):
+        # Bypass the constructor check to probe the lemma predicates directly.
+        qs = FastQuorumSystem(tuple(server_ids(8)), 2, readers=1)
+        object.__setattr__(qs, "readers", 2)  # now R >= S/t - 2
+        degree = qs.max_degree()
+        assert not qs.witness_survives_faults(degree)
+
+
+class TestHelpers:
+    def test_intersection_lower_bound(self):
+        assert intersection_size_lower_bound(4, 4, 5) == 3
+        assert intersection_size_lower_bound(2, 2, 5) == 0
+
+    def test_ack_sets_count(self):
+        assert len(list(ack_sets(server_ids(5), 4))) == 5
+
+    def test_all_intersect_negative(self):
+        assert not all_intersect([frozenset({"s1"}), frozenset({"s2"})])
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_quorum_overlap_formula(self, servers, faults):
+        if faults >= servers:
+            return
+        qs = QuorumSystem(tuple(server_ids(servers)), faults)
+        expected = max(0, servers - 2 * faults)
+        assert qs.guaranteed_overlap() == expected
+        if expected >= 1:
+            assert all_intersect(qs.quorums())

@@ -1,0 +1,217 @@
+"""Tests for the cluster-based register atomicity checker.
+
+Each anomaly the paper's impossibility arguments predict (stale reads,
+new/old inversions, reads from the future) is constructed by hand and must be
+caught; canonical atomic histories must pass and yield a valid linearization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.anomalies import AnomalyKind
+from repro.consistency.history import History
+from repro.consistency.register_checker import check_register_atomicity
+from repro.core.operations import Operation, OpKind
+from repro.core.timestamps import BOTTOM_TAG, Tag
+
+W1_TAG = Tag(1, "w1")
+W2_TAG = Tag(2, "w2")
+W3_TAG = Tag(3, "w1")
+
+
+def write(op_id, client, start, finish, tag, value=None):
+    return Operation(op_id, client, OpKind.WRITE, start, finish, value or op_id, tag)
+
+
+def read(op_id, client, start, finish, tag, value=None):
+    return Operation(op_id, client, OpKind.READ, start, finish, value or str(tag), tag)
+
+
+def check(*ops):
+    return check_register_atomicity(History(list(ops)))
+
+
+class TestAtomicHistories:
+    def test_empty_history(self):
+        result = check()
+        assert result.atomic
+
+    def test_sequential_write_then_read(self):
+        result = check(
+            write("w", "w1", 0, 1, W1_TAG),
+            read("r", "r1", 2, 3, W1_TAG),
+        )
+        assert result.atomic
+        assert [op.op_id for op in result.linearization] == ["w", "r"]
+
+    def test_read_of_initial_value_before_write(self):
+        result = check(
+            read("r", "r1", 0, 1, BOTTOM_TAG),
+            write("w", "w1", 2, 3, W1_TAG),
+        )
+        assert result.atomic
+        assert result.linearization[0].op_id == "r"
+
+    def test_concurrent_reads_split_across_write(self):
+        # r1 reads old, r2 reads new, both concurrent with the write: fine.
+        result = check(
+            write("w", "w1", 0, 10, W1_TAG),
+            read("r1", "r1", 1, 2, BOTTOM_TAG),
+            read("r2", "r2", 3, 4, W1_TAG),
+        )
+        assert result.atomic
+
+    def test_concurrent_writes_any_order(self):
+        result = check(
+            write("a", "w1", 0, 10, W1_TAG),
+            write("b", "w2", 0, 10, W2_TAG),
+            read("r", "r1", 11, 12, W1_TAG),
+        )
+        # Reading the smaller tag is fine when the writes were concurrent:
+        # linearize W2 first, then W1, then the read.
+        assert result.atomic
+
+    def test_pending_write_observed(self):
+        pending = Operation("w", "w1", OpKind.WRITE, 0, None, "x", W1_TAG)
+        result = check(pending, read("r", "r1", 5, 6, W1_TAG))
+        assert result.atomic
+
+    def test_pending_unread_write_ignored(self):
+        pending = Operation("w", "w1", OpKind.WRITE, 0, None, "x", W1_TAG)
+        result = check(pending, read("r", "r1", 5, 6, BOTTOM_TAG))
+        assert result.atomic
+
+    def test_linearization_respects_real_time(self):
+        ops = [
+            write("a", "w1", 0, 1, W1_TAG),
+            write("b", "w2", 2, 3, W2_TAG),
+            read("r1", "r1", 4, 5, W2_TAG),
+            read("r2", "r2", 6, 7, W2_TAG),
+        ]
+        result = check(*ops)
+        assert result.atomic
+        order = [op.op_id for op in result.linearization]
+        assert order.index("a") < order.index("b") < order.index("r1") < order.index("r2")
+
+
+class TestViolations:
+    def test_stale_read_detected(self):
+        # W1 then W2 complete sequentially; a later read returns W1's value.
+        result = check(
+            write("a", "w1", 0, 1, W1_TAG),
+            write("b", "w2", 2, 3, W2_TAG),
+            read("r", "r1", 4, 5, W1_TAG),
+        )
+        assert not result.atomic
+        kinds = {a.kind for a in result.anomalies}
+        assert AnomalyKind.STALE_READ in kinds or AnomalyKind.ORDERING_CYCLE in kinds
+
+    def test_new_old_inversion_detected(self):
+        # W1 completes before W2 starts; W2 is concurrent with the two reads.
+        # r1 observes the new value, the later r2 observes the old one: the
+        # classic new/old inversion the fast-read impossibility is about.
+        result = check(
+            write("a", "w1", 0, 1, W1_TAG),
+            write("b", "w2", 2, 20, W2_TAG),
+            read("r1", "r1", 3, 4, W2_TAG),
+            read("r2", "r2", 5, 6, W1_TAG),
+        )
+        assert not result.atomic
+        kinds = {a.kind for a in result.anomalies}
+        assert AnomalyKind.NEW_OLD_INVERSION in kinds or AnomalyKind.ORDERING_CYCLE in kinds
+
+    def test_concurrent_writes_inverted_reads_are_atomic(self):
+        # When *both* writes span the whole execution the two reads may
+        # legitimately observe them in either order (the writes can be
+        # linearized around the reads), so this must NOT be flagged.
+        result = check(
+            write("a", "w1", 0, 20, W1_TAG),
+            write("b", "w2", 0, 20, W2_TAG),
+            read("r1", "r1", 1, 2, W2_TAG),
+            read("r2", "r2", 3, 4, W1_TAG),
+        )
+        assert result.atomic
+
+    def test_read_from_future_detected(self):
+        result = check(
+            read("r", "r1", 0, 1, W1_TAG),
+            write("a", "w1", 2, 3, W1_TAG),
+        )
+        assert not result.atomic
+        assert any(a.kind is AnomalyKind.READ_FROM_FUTURE for a in result.anomalies)
+
+    def test_read_from_nowhere_detected(self):
+        result = check(read("r", "r1", 0, 1, Tag(9, "w9")))
+        assert not result.atomic
+        assert any(a.kind is AnomalyKind.READ_FROM_NOWHERE for a in result.anomalies)
+
+    def test_initial_value_after_completed_write_detected(self):
+        # A read strictly after a completed write must not return the initial
+        # value (this is the constraint that required the BOTTOM-first edge).
+        result = check(
+            write("a", "w1", 0, 1, W1_TAG),
+            read("r1", "r1", 2, 3, W1_TAG),
+            read("r2", "r2", 4, 5, BOTTOM_TAG),
+        )
+        assert not result.atomic
+
+    def test_initial_value_inversion_detected(self):
+        # Write pending; r1 observes it, r2 later returns the initial value.
+        pending = Operation("a", "w1", OpKind.WRITE, 0, None, "x", W1_TAG)
+        result = check(
+            pending,
+            read("r1", "r1", 2, 3, W1_TAG),
+            read("r2", "r2", 4, 5, BOTTOM_TAG),
+        )
+        assert not result.atomic
+
+    def test_duplicate_write_tags_rejected(self):
+        result = check(
+            write("a", "w1", 0, 1, W1_TAG),
+            write("b", "w2", 2, 3, W1_TAG),
+        )
+        assert not result.atomic
+
+    def test_cycle_reported_with_witnesses(self):
+        result = check(
+            write("a", "w1", 0, 1, W1_TAG),
+            write("b", "w2", 2, 3, W2_TAG),
+            read("r", "r1", 4, 5, W1_TAG),
+        )
+        cycle_anomalies = [
+            a for a in result.anomalies if a.kind is AnomalyKind.ORDERING_CYCLE
+        ]
+        assert cycle_anomalies
+        assert cycle_anomalies[0].operations  # carries witness operations
+
+
+class TestLinearizationValidity:
+    def _assert_valid(self, result, history_ops):
+        assert result.atomic
+        order = result.linearization
+        assert len(order) == len(history_ops)
+        # register semantics: every read returns the preceding write's tag
+        current = BOTTOM_TAG
+        for operation in order:
+            if operation.is_write:
+                current = operation.tag
+            else:
+                assert operation.tag == current
+        # real-time order respected
+        position = {op.op_id: i for i, op in enumerate(order)}
+        for first in history_ops:
+            for second in history_ops:
+                if first.precedes(second):
+                    assert position[first.op_id] < position[second.op_id]
+
+    def test_valid_linearization_complex(self):
+        ops = [
+            write("a", "w1", 0, 2, W1_TAG),
+            write("b", "w2", 1, 3, W2_TAG),
+            write("c", "w1", 5, 7, W3_TAG),
+            read("r1", "r1", 2.5, 4, W2_TAG),
+            read("r2", "r2", 4.5, 6, W2_TAG),
+            read("r3", "r1", 8, 9, W3_TAG),
+        ]
+        self._assert_valid(check(*ops), ops)

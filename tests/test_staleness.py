@@ -1,0 +1,158 @@
+"""Tests for the inconsistency-quantification metrics (future-work leg)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency import check_atomicity, measure_staleness
+from repro.consistency.history import History
+from repro.core.operations import Operation, OpKind
+from repro.core.timestamps import BOTTOM_TAG, Tag
+from repro.protocols.registry import build_protocol
+from repro.sim.delays import UniformDelay
+from repro.sim.runtime import Simulation
+from repro.util.ids import client_ids, server_ids
+from repro.workloads.generators import apply_open_loop, asymmetric_write_contention, uniform_open_loop
+
+T1 = Tag(1, "w1")
+T2 = Tag(2, "w2")
+T3 = Tag(3, "w1")
+
+
+def write(op_id, start, finish, tag, client="w1"):
+    return Operation(op_id, client, OpKind.WRITE, start, finish, str(tag), tag)
+
+
+def read(op_id, start, finish, tag, client="r1"):
+    return Operation(op_id, client, OpKind.READ, start, finish, str(tag), tag)
+
+
+class TestStalenessMetrics:
+    def test_fresh_reads(self):
+        history = History([write("a", 0, 1, T1), read("r", 2, 3, T1)])
+        report = measure_staleness(history)
+        assert report.read_count == 1
+        assert report.stale_read_count == 0
+        assert report.k_atomicity() == 1
+        assert report.inversions == 0
+
+    def test_version_lag_counts_completed_newer_writes(self):
+        history = History(
+            [
+                write("a", 0, 1, T1),
+                write("b", 2, 3, T2, client="w2"),
+                write("c", 4, 5, T3),
+                read("r", 6, 7, T1),
+            ]
+        )
+        report = measure_staleness(history)
+        assert report.reads[0].version_lag == 2
+        assert report.k_atomicity() == 3
+        assert report.max_version_lag == 2
+        assert report.stale_read_fraction == 1.0
+
+    def test_time_lag_measured_from_oldest_missed_write(self):
+        history = History(
+            [write("a", 0, 1, T1), write("b", 2, 3, T2, client="w2"), read("r", 10, 11, T1)]
+        )
+        report = measure_staleness(history)
+        assert report.reads[0].time_lag == pytest.approx(7.0)
+
+    def test_concurrent_write_not_counted(self):
+        # The newer write is still in progress when the read starts.
+        history = History(
+            [write("a", 0, 1, T1), write("b", 2, 20, T2, client="w2"), read("r", 5, 6, T1)]
+        )
+        report = measure_staleness(history)
+        assert report.reads[0].is_fresh
+
+    def test_reading_pending_writes_value_is_fresh(self):
+        history = History(
+            [write("a", 0, 1, T1), write("b", 2, None, T2, client="w2"), read("r", 5, 6, T2)]
+        )
+        report = measure_staleness(history)
+        assert report.reads[0].is_fresh
+
+    def test_inversions_counted(self):
+        # Sequential writes; the later read (r2) observes a value that is
+        # strictly older in real time than what the earlier read (r1) saw.
+        history = History(
+            [
+                write("a", 0, 1, T1),
+                write("b", 2, 3, T2, client="w2"),
+                read("r1", 4, 5, T2, client="r1"),
+                read("r2", 6, 7, T1, client="r2"),
+                read("r3", 8, 9, T2, client="r1"),
+            ]
+        )
+        report = measure_staleness(history)
+        assert report.inversions == 1
+
+    def test_no_inversion_for_concurrent_writes(self):
+        # When the two writes are concurrent, reads may observe them in
+        # either order; that is not an inversion (and the history is atomic).
+        history = History(
+            [
+                write("a", 0, 30, T1),
+                write("b", 0, 30, T2, client="w2"),
+                read("r1", 1, 2, T2, client="r1"),
+                read("r2", 3, 4, T1, client="r2"),
+            ]
+        )
+        assert measure_staleness(history).inversions == 0
+
+    def test_bottom_reads_before_any_write(self):
+        history = History([read("r", 0, 1, BOTTOM_TAG), write("a", 2, 3, T1)])
+        report = measure_staleness(history)
+        assert report.reads[0].is_fresh
+
+    def test_empty_history(self):
+        report = measure_staleness(History())
+        assert report.read_count == 0
+        assert report.k_atomicity() == 1
+        assert report.stale_read_fraction == 0.0
+        assert "0 reads" in report.summary()
+
+    def test_incomplete_reads_skipped(self):
+        history = History([write("a", 0, 1, T1), read("r", 2, None, None)])
+        assert measure_staleness(history).read_count == 0
+
+
+class TestStalenessOnProtocols:
+    def _run(self, key, workload_kind="asymmetric", servers=5, seed=0):
+        protocol = build_protocol(key, server_ids(servers), 1, readers=2, writers=2)
+        simulation = Simulation(protocol, delay_model=UniformDelay(0.5, 1.5, seed=seed))
+        writers = client_ids("w", protocol.writers)
+        readers = client_ids("r", 2)
+        if workload_kind == "asymmetric":
+            workload = asymmetric_write_contention(writers, readers, rounds=2)
+        else:
+            workload = uniform_open_loop(writers, readers, 3, 5, 100.0, seed=seed)
+        apply_open_loop(simulation, workload)
+        result = simulation.run()
+        return result.history
+
+    def test_atomic_protocol_has_zero_staleness(self):
+        history = self._run("fast-read-mwmr", servers=7)
+        verdict = check_atomicity(history)
+        report = measure_staleness(history)
+        assert verdict.atomic
+        assert report.stale_read_count == 0
+        assert report.inversions == 0
+
+    def test_fast_write_candidate_has_measurable_staleness(self):
+        history = self._run("fast-write-attempt")
+        verdict = check_atomicity(history)
+        report = measure_staleness(history)
+        assert not verdict.atomic
+        assert report.stale_read_count > 0
+        assert report.k_atomicity() >= 2
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_staleness_consistent_with_checker_for_correct_protocol(self, seed):
+        history = self._run("abd-mwmr", workload_kind="uniform", seed=seed)
+        assert check_atomicity(history).atomic
+        report = measure_staleness(history)
+        assert report.stale_read_count == 0

@@ -1,0 +1,110 @@
+"""Tests for the fast-read bound (Fig. 9) and the Table 1 generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import SystemParameters, fast_read_bound
+from repro.core.errors import ConfigurationError
+from repro.core.fastness import DesignPoint
+from repro.theory.design_space import (
+    empirical_table,
+    format_table,
+    theoretical_table,
+)
+from repro.theory.fast_read_bound import (
+    boundary_sweep,
+    build_fig9_scenario,
+    fast_read_blocks,
+    run_fig9_experiment,
+)
+from repro.util.ids import server_ids
+
+
+class TestBlocks:
+    def test_partition_sizes(self):
+        blocks = fast_read_blocks(server_ids(7), 2)
+        assert [len(b) for b in blocks] == [2, 2, 2, 1]
+        assert sum(len(b) for b in blocks) == 7
+
+    def test_partition_requires_faults(self):
+        with pytest.raises(ConfigurationError):
+            fast_read_blocks(server_ids(4), 0)
+
+
+class TestScenario:
+    def test_applicable_exactly_when_bound_violated(self):
+        for servers, faults, readers in [
+            (4, 1, 2), (5, 1, 2), (6, 1, 3), (6, 1, 4), (8, 2, 2), (9, 2, 2)
+        ]:
+            scenario = build_fig9_scenario(servers, faults, readers)
+            expected = readers >= fast_read_bound(servers, faults)
+            assert scenario.applicable == expected, (servers, faults, readers)
+
+    def test_scenario_fields(self):
+        scenario = build_fig9_scenario(6, 1, 4)
+        assert scenario.witness_block == ("s1",)
+        assert scenario.required_degree == 5
+        assert scenario.pumping_readers == 3
+        assert "R=4" in scenario.reason
+
+    def test_scenario_requires_faults(self):
+        with pytest.raises(ConfigurationError):
+            build_fig9_scenario(5, 0, 2)
+
+
+class TestFig9Experiment:
+    def test_violation_above_bound(self):
+        result = run_fig9_experiment(4, 1, 2)
+        assert result.scenario.applicable
+        assert result.violation_found
+        assert not result.atomicity.atomic
+        # The final reader returned the old (initial) value after another
+        # reader had already returned the new one.
+        values = dict(result.returned_values)
+        assert values["r2"] is None
+        assert any(v == "v-new" for v in values.values())
+
+    def test_no_violation_below_bound(self):
+        result = run_fig9_experiment(5, 1, 2)
+        assert not result.scenario.applicable
+        assert not result.violation_found
+
+    def test_boundary_sweep_matches_theory(self):
+        rows = boundary_sweep([(4, 1, 2), (5, 1, 2), (6, 1, 4), (7, 1, 3)])
+        for (_, _, _), impossible, violated in rows:
+            assert impossible == violated
+
+    def test_histories_are_well_formed(self):
+        result = run_fig9_experiment(6, 1, 3)
+        assert result.history.is_well_formed()
+
+
+class TestTable1:
+    def test_theoretical_rows(self):
+        params = SystemParameters(5, 2, 2, 1)
+        rows = theoretical_table(params)
+        by_point = {row.point: row for row in rows}
+        assert by_point[DesignPoint.W2R2].feasible_here
+        assert not by_point[DesignPoint.W1R2].feasible_here
+        assert by_point[DesignPoint.W2R1].feasible_here
+        assert not by_point[DesignPoint.W1R1].feasible_here
+        assert by_point[DesignPoint.W1R2].source == "this paper"
+
+    def test_theoretical_rows_infeasible_configuration(self):
+        params = SystemParameters(4, 2, 2, 1)  # R >= S/t - 2
+        rows = theoretical_table(params)
+        by_point = {row.point: row for row in rows}
+        assert not by_point[DesignPoint.W2R1].feasible_here
+
+    def test_empirical_matches_theory(self):
+        params = SystemParameters(5, 2, 2, 1)
+        rows = empirical_table(params, seeds=(0,), bursts=2)
+        assert len(rows) == 4
+        for row in rows:
+            assert row.matches_expectation, (row.point, row.violations)
+
+    def test_format_table_renders(self):
+        params = SystemParameters(5, 2, 2, 1)
+        text = format_table(theoretical_table(params), empirical_table(params, seeds=(0,), bursts=2))
+        assert "W2R1" in text and "fast-read-mwmr" in text

@@ -1,0 +1,178 @@
+"""Tests for the mechanized chain argument (Sections 3.2-3.4, Fig. 3-7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ProofError
+from repro.theory.chains import (
+    build_alpha_chain,
+    build_alpha_tail,
+    build_beta_candidates,
+    build_beta_chain,
+    build_diagonal_link,
+    build_horizontal_link,
+    build_modified_tails,
+    verify_chain_argument,
+)
+from repro.theory.executions import R1_1, R1_2, R2_1, R2_2, W1, W2
+from repro.theory.fullinfo import indistinguishable
+from repro.util.ids import server_ids
+
+
+class TestAlphaChain:
+    def test_chain_length_and_swapping(self):
+        servers = server_ids(4)
+        chain = build_alpha_chain(servers)
+        assert len(chain) == 5
+        # alpha_i has the writes swapped on exactly the first i servers.
+        for i, execution in enumerate(chain):
+            swapped = [
+                s for s in servers if execution.receive_order[s][:2] == (W2, W1)
+            ]
+            assert swapped == servers[:i]
+
+    def test_head_forces_two_tail_forces_one(self):
+        servers = server_ids(3)
+        chain = build_alpha_chain(servers)
+        tail = build_alpha_tail(servers)
+        assert chain[0].forced_read_value("R1") == 2
+        assert tail.forced_read_value("R1") == 1
+
+    def test_last_alpha_indistinguishable_from_tail(self):
+        servers = server_ids(5)
+        chain = build_alpha_chain(servers)
+        tail = build_alpha_tail(servers)
+        assert indistinguishable(chain[-1], tail, "R1")
+
+    def test_consecutive_alphas_differ_on_one_server(self):
+        servers = server_ids(4)
+        chain = build_alpha_chain(servers)
+        for left, right in zip(chain, chain[1:]):
+            differing = [
+                s for s in servers if left.receive_order[s] != right.receive_order[s]
+            ]
+            assert len(differing) == 1
+
+    def test_no_second_reader_in_alpha(self):
+        chain = build_alpha_chain(server_ids(3))
+        for execution in chain:
+            assert not execution.phase_present(R2_1)
+            assert not execution.phase_present(R2_2)
+
+
+class TestBetaChains:
+    def test_candidate_chains_structure(self):
+        servers = server_ids(4)
+        prime, double = build_beta_candidates(servers, critical_index=2)
+        assert len(prime) == len(double) == 5
+        # The stems differ exactly on the critical server's write order.
+        for p, d in zip(prime, double):
+            differing = [
+                s for s in servers
+                if p.receive_order[s][:2] != d.receive_order[s][:2]
+            ]
+            assert differing == ["s2"]
+
+    def test_candidate_read_swaps(self):
+        servers = server_ids(4)
+        prime, _ = build_beta_candidates(servers, critical_index=1)
+        for i, execution in enumerate(prime):
+            for j, server in enumerate(servers):
+                order = execution.receive_order[server]
+                if j < i:
+                    assert order.index(R2_2) < order.index(R1_2)
+                else:
+                    assert order.index(R1_2) < order.index(R2_2)
+
+    def test_invalid_critical_index(self):
+        with pytest.raises(ProofError):
+            build_beta_candidates(server_ids(3), 0)
+        with pytest.raises(ProofError):
+            build_beta_candidates(server_ids(3), 4)
+
+    def test_modified_tails_indistinguishable_to_r2(self):
+        servers = server_ids(4)
+        for critical in range(1, 5):
+            tail_prime, tail_double = build_modified_tails(servers, critical)
+            assert indistinguishable(tail_prime, tail_double, "R2")
+
+    def test_beta_chain_r2_skips_critical_server(self):
+        servers = server_ids(4)
+        chain = build_beta_chain(servers, critical_index=3)
+        for execution in chain:
+            assert "s3" in execution.skips(R2_1)
+            assert "s3" in execution.skips(R2_2)
+            # R1 remains skip-free.
+            assert execution.skips(R1_1) == frozenset()
+            assert execution.skips(R1_2) == frozenset()
+
+    def test_beta_chain_realizable_with_one_fault(self):
+        chain = build_beta_chain(server_ids(5), critical_index=2)
+        for execution in chain:
+            for phase in (W1, W2, R1_1, R1_2, R2_1, R2_2):
+                assert len(execution.skips(phase)) <= 1
+
+
+class TestZigzagLinks:
+    @pytest.mark.parametrize("num_servers", [3, 4, 5])
+    def test_horizontal_links(self, num_servers):
+        servers = server_ids(num_servers)
+        for critical in range(1, num_servers + 1):
+            beta = build_beta_chain(servers, critical)
+            for k in range(num_servers):
+                temp, gamma = build_horizontal_link(beta[k], servers, k, critical)
+                if temp is None:
+                    assert indistinguishable(beta[k], gamma, "R2")
+                else:
+                    assert indistinguishable(beta[k], temp, "R1")
+                    assert indistinguishable(temp, gamma, "R2")
+
+    @pytest.mark.parametrize("num_servers", [3, 4, 5])
+    def test_diagonal_links(self, num_servers):
+        servers = server_ids(num_servers)
+        for critical in range(1, num_servers + 1):
+            beta = build_beta_chain(servers, critical)
+            for k in range(num_servers):
+                temp, gamma = build_diagonal_link(beta[k + 1], servers, k, critical)
+                if temp is None:
+                    assert indistinguishable(beta[k + 1], gamma, "R2")
+                else:
+                    assert indistinguishable(beta[k + 1], temp, "R2")
+                    assert indistinguishable(temp, gamma, "R1")
+
+    def test_gamma_and_gamma_prime_identical(self):
+        servers = server_ids(4)
+        critical = 2
+        beta = build_beta_chain(servers, critical)
+        for k in range(len(servers)):
+            _, gamma = build_horizontal_link(beta[k], servers, k, critical)
+            _, gamma_prime = build_diagonal_link(beta[k + 1], servers, k, critical)
+            assert dict(gamma.receive_order) == dict(gamma_prime.receive_order)
+
+
+class TestCertificate:
+    @pytest.mark.parametrize("num_servers", [3, 4, 6])
+    def test_all_links_verified(self, num_servers):
+        for critical in range(1, num_servers + 1):
+            certificate = verify_chain_argument(num_servers, critical)
+            assert certificate.all_verified, [
+                link.name for link in certificate.failed_links
+            ]
+            assert certificate.executions_constructed() > 3 * num_servers
+            assert "VERIFIED" in certificate.summary()
+
+    def test_uses_double_prime_chain(self):
+        certificate = verify_chain_argument(4, 2, use_prime=False)
+        assert certificate.all_verified
+
+    def test_small_systems_rejected(self):
+        with pytest.raises(ProofError):
+            verify_chain_argument(2, 1)
+        with pytest.raises(ProofError):
+            verify_chain_argument(4, 5)
+
+    def test_link_kinds_present(self):
+        certificate = verify_chain_argument(4, 1)
+        kinds = {link.kind for link in certificate.links}
+        assert kinds == {"indistinguishability", "structural-equality", "realizability"}

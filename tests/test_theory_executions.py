@@ -1,0 +1,200 @@
+"""Tests for abstract executions and the full-info model views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ProofError
+from repro.theory.executions import (
+    AbstractExecution,
+    Phase,
+    R1_1,
+    R1_2,
+    R2_1,
+    R2_2,
+    W1,
+    W2,
+)
+from repro.theory.fullinfo import (
+    FirstRoundPriorityRule,
+    LastWriteWinsRule,
+    MajorityOrderRule,
+    PessimisticOldValueRule,
+    full_info_view,
+    indistinguishable,
+)
+from repro.util.ids import server_ids
+
+SERVERS = server_ids(3)
+
+
+def simple_execution(name="e", swapped=()):
+    receive = {
+        s: ((W2, W1) if s in swapped else (W1, W2)) + (R1_1, R2_1, R1_2, R2_2)
+        for s in SERVERS
+    }
+    client_order = (("W1", "W2"), ("W1", "R1"), ("W2", "R1"), ("W1", "R2"), ("W2", "R2"))
+    return AbstractExecution.build(name, SERVERS, receive, client_order)
+
+
+class TestPhase:
+    def test_attributes(self):
+        assert W1.is_write and not W1.is_read
+        assert R1_2.is_read and R1_2.reader == "R1"
+        assert str(R2_1) == "R2(1)" and str(W2) == "W2"
+
+
+class TestAbstractExecution:
+    def test_build_requires_all_servers(self):
+        with pytest.raises(ProofError):
+            AbstractExecution.build("x", SERVERS, {"s1": (W1,)}, ())
+
+    def test_swap_on_server(self):
+        execution = simple_execution()
+        swapped = execution.swap_on_server("s1", W1, W2)
+        assert swapped.receive_order["s1"][:2] == (W2, W1)
+        assert swapped.receive_order["s2"][:2] == (W1, W2)
+
+    def test_swap_missing_phase_rejected(self):
+        execution = simple_execution().skip_phase_on("s1", W1)
+        with pytest.raises(ProofError):
+            execution.swap_on_server("s1", W1, W2)
+
+    def test_skip_and_unskip(self):
+        execution = simple_execution()
+        skipped = execution.skip_phase_on("s2", R2_2)
+        assert skipped.skips(R2_2) == {"s2"}
+        restored = skipped.unskip_phase_on("s2", R2_2, after=R1_2)
+        order = restored.receive_order["s2"]
+        assert order.index(R2_2) == order.index(R1_2) + 1
+
+    def test_unskip_after_missing_anchor_rejected(self):
+        execution = simple_execution().skip_phase_on("s1", R1_2)
+        with pytest.raises(ProofError):
+            execution.skip_phase_on("s1", R2_2).unskip_phase_on("s1", R2_2, after=R1_2)
+
+    def test_server_log_before(self):
+        execution = simple_execution()
+        assert execution.server_log_before("s1", R1_1) == (W1, W2)
+        with pytest.raises(ProofError):
+            execution.skip_phase_on("s1", R1_1).server_log_before("s1", R1_1)
+
+    def test_precedes_transitive(self):
+        execution = simple_execution()
+        assert execution.precedes("W1", "R2")
+        assert not execution.precedes("R1", "W1")
+
+    def test_forced_read_value(self):
+        execution = simple_execution()
+        assert execution.forced_read_value("R1") == 2
+        reversed_order = AbstractExecution.build(
+            "rev",
+            SERVERS,
+            {s: (W2, W1, R1_1, R1_2) for s in SERVERS},
+            (("W2", "W1"), ("W1", "R1"), ("W2", "R1")),
+        )
+        assert reversed_order.forced_read_value("R1") == 1
+
+    def test_forced_value_none_when_concurrent(self):
+        execution = AbstractExecution.build(
+            "conc",
+            SERVERS,
+            {s: (W1, W2, R1_1, R1_2) for s in SERVERS},
+            (("W1", "R1"), ("W2", "R1")),
+        )
+        assert execution.forced_read_value("R1") is None
+
+    def test_forced_value_none_when_read_concurrent_with_writes(self):
+        execution = AbstractExecution.build(
+            "conc2",
+            SERVERS,
+            {s: (W1, W2, R1_1, R1_2) for s in SERVERS},
+            (("W1", "W2"),),
+        )
+        assert execution.forced_read_value("R1") is None
+
+    def test_describe_mentions_every_server(self):
+        text = simple_execution().describe()
+        for server in SERVERS:
+            assert server in text
+
+
+class TestViewsAndIndistinguishability:
+    def test_view_structure(self):
+        execution = simple_execution()
+        view = full_info_view(execution, "R1")
+        assert view.servers(1) == tuple(SERVERS)
+        assert view.servers(2) == tuple(SERVERS)
+        # Round-1 prefix contains only the writes.
+        assert [e.label for e in view.log_at(1, "s1")] == ["W1", "W2"]
+        # Round-2 prefix additionally contains both first read round-trips.
+        assert [e.label for e in view.log_at(2, "s1")] == ["W1", "W2", "R1(1)", "R2(1)"]
+
+    def test_skipped_server_absent_from_view(self):
+        execution = simple_execution().skip_phase_on("s2", R1_2)
+        view = full_info_view(execution, "R1")
+        assert "s2" not in view.servers(2)
+        assert "s2" in view.servers(1)
+
+    def test_indistinguishable_when_only_hidden_servers_change(self):
+        base = simple_execution("a")
+        # Change the write order on a server that R1 skips entirely.
+        modified = base.skip_phase_on("s3", R1_1).skip_phase_on("s3", R1_2)
+        other = modified.swap_on_server("s3", W1, W2, name="b")
+        assert indistinguishable(modified, other, "R1")
+
+    def test_distinguishable_when_visible_server_changes(self):
+        assert not indistinguishable(
+            simple_execution("a"), simple_execution("b", swapped=("s1",)), "R1"
+        )
+
+    def test_second_round_carries_first_round_view(self):
+        # R2's round-2 entries for R1(2) embed R1's round-1 view, so changing
+        # what R1 saw in round 1 is visible to R2 even on other servers.
+        base = simple_execution("a")
+        # In `base`, R1(2) is processed after R2(2)?  No: order is R1_2 then
+        # R2_2, so R2's round-2 prefix contains R1(2).  Give R1 a different
+        # round-1 view by letting R1(1) skip s3.
+        modified = base.skip_phase_on("s3", R1_1).rename("b")
+        assert not indistinguishable(base, modified, "R2")
+
+    def test_views_hashable_and_equal(self):
+        a = full_info_view(simple_execution("x"), "R1")
+        b = full_info_view(simple_execution("y"), "R1")
+        assert a == b
+
+
+class TestReadRules:
+    def test_rules_respect_forced_values(self):
+        head = AbstractExecution.build(
+            "head",
+            SERVERS,
+            {s: (W1, W2, R1_1, R1_2) for s in SERVERS},
+            (("W1", "W2"), ("W2", "R1"), ("W1", "R1")),
+        )
+        tail = AbstractExecution.build(
+            "tail",
+            SERVERS,
+            {s: (W2, W1, R1_1, R1_2) for s in SERVERS},
+            (("W2", "W1"), ("W1", "R1"), ("W2", "R1")),
+        )
+        for rule in (
+            LastWriteWinsRule(),
+            MajorityOrderRule(),
+            FirstRoundPriorityRule(),
+            PessimisticOldValueRule(),
+        ):
+            assert rule.decide(full_info_view(head, "R1")) == 2
+            assert rule.decide(full_info_view(tail, "R1")) == 1
+
+    def test_rules_are_deterministic_functions_of_the_view(self):
+        execution = simple_execution()
+        for rule in (LastWriteWinsRule(), MajorityOrderRule()):
+            first = rule.decide(full_info_view(execution, "R1"))
+            second = rule.decide(full_info_view(execution, "R1"))
+            assert first == second
+
+    def test_write_order_helper(self):
+        view = full_info_view(simple_execution(), "R1")
+        orders = LastWriteWinsRule.observed_orders(view)
+        assert orders == ["12", "12", "12"]

@@ -1,0 +1,179 @@
+"""Tests for the executable W1R2 impossibility theorem and the sieve."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ProofError
+from repro.theory.crucialinfo import (
+    CRUCIAL_12,
+    CRUCIAL_21,
+    CrucialInfoState,
+    FlipEffect,
+    NoEffect,
+    crucial_info,
+    crucial_info_vector,
+)
+from repro.theory.chains import build_alpha_chain
+from repro.theory.executions import AbstractExecution, R1_1, R1_2, W1, W2
+from repro.theory.fullinfo import (
+    NATURAL_RULES,
+    FullInfoView,
+    LastWriteWinsRule,
+    PessimisticOldValueRule,
+    ReadRule,
+)
+from repro.theory.impossibility import find_critical_server, refute_all, refute_rule
+from repro.theory.sieve import build_alpha_hat_chain, run_sieve
+from repro.util.ids import server_ids
+
+
+class TestCriticalServer:
+    def test_every_rule_has_a_flip_point(self):
+        servers = server_ids(4)
+        for rule in NATURAL_RULES:
+            index, witness, _ = find_critical_server(rule, servers)
+            assert witness is None
+            assert 1 <= index <= 4
+
+    def test_rule_violating_head_is_caught(self):
+        class AlwaysOne(ReadRule):
+            name = "always-one"
+
+            def decide(self, view):
+                return 1
+
+        index, witness, _ = find_critical_server(AlwaysOne(), server_ids(3))
+        assert index is None
+        assert witness is not None
+        assert witness.kind == "forced-value"
+        assert witness.execution.name == "alpha_0"
+
+    def test_rule_violating_tail_is_caught(self):
+        class AlwaysTwo(ReadRule):
+            name = "always-two"
+
+            def decide(self, view):
+                return 2
+
+        index, witness, _ = find_critical_server(AlwaysTwo(), server_ids(3))
+        assert index is None
+        assert witness is not None
+        assert witness.execution.name == "alpha_tail"
+
+
+class TestRefutation:
+    @pytest.mark.parametrize("rule", NATURAL_RULES, ids=lambda r: r.name)
+    @pytest.mark.parametrize("num_servers", [3, 4])
+    def test_every_natural_rule_is_refuted(self, rule, num_servers):
+        outcome = refute_rule(rule, num_servers=num_servers)
+        assert outcome.refuted
+        assert outcome.witness.kind in ("forced-value", "reader-disagreement")
+        assert outcome.certificate is None or outcome.certificate.all_verified
+        assert outcome.executions_evaluated > 0
+
+    def test_refute_all(self):
+        outcomes = refute_all(NATURAL_RULES, num_servers=3)
+        assert len(outcomes) == len(NATURAL_RULES)
+        assert all(o.refuted for o in outcomes)
+
+    def test_witness_execution_has_disagreeing_reads(self):
+        outcome = refute_rule(LastWriteWinsRule(), num_servers=3)
+        witness = outcome.witness
+        if witness.kind == "reader-disagreement":
+            assert witness.r1_value != witness.r2_value
+
+    def test_requires_at_least_three_servers(self):
+        with pytest.raises(ProofError):
+            refute_rule(LastWriteWinsRule(), num_servers=2)
+
+    def test_summary_mentions_execution(self):
+        outcome = refute_rule(PessimisticOldValueRule(), num_servers=3)
+        assert outcome.witness.execution.name in outcome.summary()
+
+    def test_rule_ignoring_views_fails_fast(self):
+        class CoinFlipOnName(ReadRule):
+            """Not a function of the view: decides from the reader name."""
+
+            name = "peeks-at-reader"
+
+            def decide(self, view: FullInfoView) -> int:
+                return 1 if view.reader == "R1" else 2
+
+        outcome = refute_rule(CoinFlipOnName(), num_servers=3)
+        # Such a rule either disagrees between the readers in some execution
+        # or trips the forced-value checks; either way it is refuted.
+        assert outcome.refuted
+
+
+class TestCrucialInfo:
+    def test_crucial_info_extraction(self):
+        servers = server_ids(3)
+        chain = build_alpha_chain(servers)
+        assert crucial_info(chain[0], "s1") == CRUCIAL_12
+        assert crucial_info(chain[3], "s1") == CRUCIAL_21
+        vector = crucial_info_vector(chain[1])
+        assert vector == {"s1": "21", "s2": "12", "s3": "12"}
+
+    def test_partial_crucial_info_when_write_skipped(self):
+        servers = server_ids(3)
+        execution = build_alpha_chain(servers)[0].skip_phase_on("s1", W2)
+        assert crucial_info(execution, "s1") == "1"
+
+    def test_flip_effect(self):
+        state = CrucialInfoState.from_execution(
+            build_alpha_chain(server_ids(3))[0], FlipEffect(["s3"])
+        )
+        assert state.initial["s3"] == CRUCIAL_12
+        assert state.after_effect["s3"] == CRUCIAL_21
+        assert state.after_effect["s1"] == CRUCIAL_12
+        assert state.unaffected_servers() == ["s1", "s2"]
+
+    def test_no_effect(self):
+        state = CrucialInfoState.from_execution(
+            build_alpha_chain(server_ids(3))[0], NoEffect()
+        )
+        assert state.initial == state.after_effect
+        assert NoEffect().describe() == "no-effect"
+
+    def test_flip_is_involution(self):
+        assert CrucialInfoState.flip(CrucialInfoState.flip(CRUCIAL_12)) == CRUCIAL_12
+        assert CrucialInfoState.flip("1") == "1"
+
+
+class TestSieve:
+    def test_alpha_hat_swaps_only_unaffected(self):
+        servers = server_ids(5)
+        chain = build_alpha_hat_chain(servers, frozenset({"s4", "s5"}))
+        assert len(chain) == 4  # 3 unaffected servers -> 4 executions
+        tail = chain[-1]
+        assert tail.receive_order["s1"][:2] == (W2, W1)
+        assert tail.receive_order["s4"][:2] == (W1, W2)
+
+    def test_sieve_verifies_with_enough_unaffected(self):
+        certificate = run_sieve(6, affected_servers=["s5", "s6"])
+        assert certificate.all_verified
+        assert certificate.chain_length == 5
+        assert len(certificate.unaffected) == 4
+
+    def test_sieve_fails_when_too_many_affected(self):
+        certificate = run_sieve(4, affected_servers=["s3", "s4"])
+        assert not certificate.all_verified
+        failed = [name for name, ok, _ in certificate.checks if not ok]
+        assert any("at least 3 unaffected" in name for name in failed)
+
+    def test_sieve_with_no_effect_degenerates_to_plain_argument(self):
+        certificate = run_sieve(4)
+        assert certificate.affected == frozenset()
+        assert certificate.all_verified
+
+    def test_sieve_steps_record_crucial_info(self):
+        certificate = run_sieve(5, affected_servers=["s5"])
+        head, tail = certificate.steps[0], certificate.steps[-1]
+        assert head.r1_forced_value == 2
+        # The affected server's info is flipped identically at both ends.
+        assert head.crucial_info_after_effect["s5"] == tail.crucial_info_after_effect["s5"]
+
+    def test_sieve_summary(self):
+        certificate = run_sieve(6, affected_servers=["s6"])
+        assert "sieve over S=6" in certificate.summary()

@@ -1,0 +1,131 @@
+"""Unit and property tests for tags and timestamps."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.timestamps import (
+    BOTTOM_TAG,
+    BOTTOM_WRITER,
+    INITIAL_VALUE,
+    Tag,
+    TaggedValue,
+    max_tag,
+    next_tag,
+)
+
+
+class TestTagBasics:
+    def test_bottom_tag_is_bottom(self):
+        assert BOTTOM_TAG.is_bottom
+        assert BOTTOM_TAG.ts == 0
+        assert BOTTOM_TAG.wid == BOTTOM_WRITER
+
+    def test_non_bottom_tag(self):
+        assert not Tag(0, "w1").is_bottom
+        assert not Tag(1, BOTTOM_WRITER).is_bottom
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            Tag(-1, "w1")
+
+    def test_equality_and_hash(self):
+        assert Tag(3, "w1") == Tag(3, "w1")
+        assert Tag(3, "w1") != Tag(3, "w2")
+        assert hash(Tag(3, "w1")) == hash(Tag(3, "w1"))
+        assert len({Tag(1, "w1"), Tag(1, "w1"), Tag(1, "w2")}) == 2
+
+    def test_equality_against_other_types(self):
+        assert Tag(1, "w1") != "not-a-tag"
+        assert not (Tag(1, "w1") == 42)
+
+
+class TestTagOrdering:
+    def test_timestamp_dominates(self):
+        assert Tag(1, "w9") < Tag(2, "w1")
+
+    def test_writer_breaks_ties(self):
+        assert Tag(2, "w1") < Tag(2, "w2")
+
+    def test_bottom_smallest(self):
+        assert BOTTOM_TAG < Tag(0, "w1")
+        assert BOTTOM_TAG < Tag(1, "w1")
+
+    def test_total_order_operators(self):
+        a, b = Tag(1, "w1"), Tag(1, "w2")
+        assert a < b and a <= b and b > a and b >= a
+
+    def test_successor(self):
+        assert Tag(4, "w1").successor("w2") == Tag(5, "w2")
+
+    def test_successor_is_strictly_larger(self):
+        tag = Tag(7, "w9")
+        assert tag.successor("w1") > tag
+
+
+class TestTaggedValue:
+    def test_ordering_by_tag_only(self):
+        assert TaggedValue(Tag(1, "w1"), "zzz") < TaggedValue(Tag(2, "w1"), "aaa")
+
+    def test_equality_ignores_payload(self):
+        assert TaggedValue(Tag(1, "w1"), "a") == TaggedValue(Tag(1, "w1"), "b")
+
+    def test_initial_value(self):
+        assert INITIAL_VALUE.is_initial
+        assert not TaggedValue(Tag(1, "w1"), "x").is_initial
+
+    def test_hashable(self):
+        assert len({TaggedValue(Tag(1, "w1"), "a"), TaggedValue(Tag(1, "w1"), "b")}) == 1
+
+
+class TestMaxAndNext:
+    def test_max_tag_empty_defaults_to_bottom(self):
+        assert max_tag([]) == BOTTOM_TAG
+
+    def test_max_tag_custom_default(self):
+        assert max_tag([], default=Tag(5, "w1")) == Tag(5, "w1")
+
+    def test_max_tag_picks_largest(self):
+        tags = [Tag(1, "w2"), Tag(3, "w1"), Tag(3, "w2"), Tag(2, "w9")]
+        assert max_tag(tags) == Tag(3, "w2")
+
+    def test_next_tag_increments_max(self):
+        tags = [Tag(1, "w1"), Tag(4, "w2")]
+        assert next_tag(tags, "w3") == Tag(5, "w3")
+
+    def test_next_tag_from_nothing(self):
+        assert next_tag([], "w1") == Tag(1, "w1")
+
+
+tag_strategy = st.builds(
+    Tag,
+    ts=st.integers(min_value=0, max_value=1000),
+    wid=st.sampled_from(["", "w1", "w2", "w3", "w10"]),
+)
+
+
+class TestTagProperties:
+    @given(tag_strategy, tag_strategy)
+    def test_total_order(self, a, b):
+        assert (a < b) or (b < a) or (a == b)
+
+    @given(tag_strategy, tag_strategy, tag_strategy)
+    def test_transitivity(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @given(tag_strategy, st.sampled_from(["w1", "w2", "w5"]))
+    def test_successor_dominates_everything_seen(self, tag, wid):
+        assert tag.successor(wid) > tag
+
+    @given(st.lists(tag_strategy, min_size=1, max_size=20))
+    def test_max_tag_is_upper_bound(self, tags):
+        top = max_tag(tags)
+        assert all(t <= top for t in tags)
+        assert top in tags
+
+    @given(st.lists(tag_strategy, max_size=20), st.sampled_from(["w1", "w2"]))
+    def test_next_tag_strictly_dominates_observed(self, tags, wid):
+        new = next_tag(tags, wid)
+        assert all(new > t for t in tags)

@@ -1,0 +1,171 @@
+"""Tests for the exhaustive checker and the top-level atomicity API.
+
+The crucial test here is the *cross-validation property*: on randomly
+generated small histories the polynomial cluster checker and the exhaustive
+Wing-Gong search must agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.atomicity import assert_atomic, check_atomicity
+from repro.consistency.history import History
+from repro.consistency.register_checker import check_register_atomicity
+from repro.consistency.wgl import check_linearizable_exhaustive
+from repro.core.errors import AtomicityViolation
+from repro.core.operations import Operation, OpKind
+from repro.core.timestamps import BOTTOM_TAG, Tag
+
+
+def _payload(tag):
+    """Reads of the initial value must carry the initial payload (None)."""
+    return None if tag == BOTTOM_TAG else f"val-{tag}"
+
+
+def write(op_id, client, start, finish, tag):
+    return Operation(op_id, client, OpKind.WRITE, start, finish, _payload(tag), tag)
+
+
+def read(op_id, client, start, finish, tag):
+    return Operation(op_id, client, OpKind.READ, start, finish, _payload(tag), tag)
+
+
+class TestWGL:
+    def test_simple_atomic(self):
+        history = History(
+            [write("w", "w1", 0, 1, Tag(1, "w1")), read("r", "r1", 2, 3, Tag(1, "w1"))]
+        )
+        result = check_linearizable_exhaustive(history, initial_value=None)
+        assert result.atomic
+        assert [op.op_id for op in result.linearization] == ["w", "r"]
+
+    def test_simple_violation(self):
+        history = History(
+            [
+                write("a", "w1", 0, 1, Tag(1, "w1")),
+                write("b", "w2", 2, 3, Tag(2, "w2")),
+                read("r", "r1", 4, 5, Tag(1, "w1")),
+            ]
+        )
+        assert not check_linearizable_exhaustive(history).atomic
+
+    def test_pending_write_optional(self):
+        pending = Operation(
+            "w", "w1", OpKind.WRITE, 0, None, _payload(Tag(1, "w1")), Tag(1, "w1")
+        )
+        unread = History([pending, read("r", "r1", 5, 6, BOTTOM_TAG)])
+        assert check_linearizable_exhaustive(unread).atomic
+        observed = History([pending, read("r", "r1", 5, 6, Tag(1, "w1"))])
+        assert check_linearizable_exhaustive(observed).atomic
+
+    def test_state_cap(self):
+        ops = [write(f"w{i}", "w1", i * 2, i * 2 + 1, Tag(i + 1, "w1")) for i in range(30)]
+        with pytest.raises(RuntimeError):
+            check_linearizable_exhaustive(History(ops), max_states=10)
+
+    def test_duplicate_values_handled(self):
+        # Two writes with equal payloads but different tags; the WGL checker
+        # compares payloads, so both orders work.
+        history = History(
+            [
+                Operation("a", "w1", OpKind.WRITE, 0, 1, "same", Tag(1, "w1")),
+                Operation("b", "w2", OpKind.WRITE, 2, 3, "same", Tag(2, "w2")),
+                Operation("r", "r1", OpKind.READ, 4, 5, "same", Tag(2, "w2")),
+            ]
+        )
+        assert check_linearizable_exhaustive(history).atomic
+
+
+class TestDispatcher:
+    def test_uses_cluster_checker_with_tags(self):
+        history = History(
+            [write("w", "w1", 0, 1, Tag(1, "w1")), read("r", "r1", 2, 3, Tag(1, "w1"))]
+        )
+        result = check_atomicity(history)
+        assert result.atomic and result.method == "cluster"
+
+    def test_falls_back_to_exhaustive_without_tags(self):
+        history = History(
+            [
+                Operation("w", "w1", OpKind.WRITE, 0, 1, "x", None),
+                Operation("r", "r1", OpKind.READ, 2, 3, "x", None),
+            ]
+        )
+        result = check_atomicity(history)
+        assert result.atomic and result.method == "exhaustive"
+
+    def test_force_exhaustive(self):
+        history = History([write("w", "w1", 0, 1, Tag(1, "w1"))])
+        assert check_atomicity(history, force_exhaustive=True).method == "exhaustive"
+
+    def test_rejects_non_well_formed(self):
+        history = History(
+            [write("a", "w1", 0, 10, Tag(1, "w1")), write("b", "w1", 1, 2, Tag(2, "w1"))]
+        )
+        with pytest.raises(ValueError):
+            check_atomicity(history)
+
+    def test_assert_atomic_raises_with_witness(self):
+        history = History(
+            [
+                write("a", "w1", 0, 1, Tag(1, "w1")),
+                write("b", "w2", 2, 3, Tag(2, "w2")),
+                read("r", "r1", 4, 5, Tag(1, "w1")),
+            ]
+        )
+        with pytest.raises(AtomicityViolation) as excinfo:
+            assert_atomic(history)
+        assert excinfo.value.witness is not None
+
+    def test_assert_atomic_passes(self):
+        history = History([write("w", "w1", 0, 1, Tag(1, "w1"))])
+        assert assert_atomic(history).atomic
+
+
+# ---------------------------------------------------------------------------
+# Cross-validation: the polynomial checker agrees with the exhaustive search
+# on randomly generated small histories.
+# ---------------------------------------------------------------------------
+
+_intervals = st.tuples(
+    st.integers(min_value=0, max_value=20), st.integers(min_value=1, max_value=8)
+)
+
+
+@st.composite
+def small_histories(draw):
+    """Random well-formed histories with <= 3 writes and <= 4 reads."""
+    num_writes = draw(st.integers(min_value=1, max_value=3))
+    num_reads = draw(st.integers(min_value=1, max_value=4))
+    tags = [Tag(i + 1, f"w{(i % 2) + 1}") for i in range(num_writes)]
+    operations = []
+    # Writers: each write on its own client, sequential per client.
+    client_clock = {}
+    for i, tag in enumerate(tags):
+        client = f"w{(i % 2) + 1}"
+        start_offset, duration = draw(_intervals)
+        start = client_clock.get(client, 0) + start_offset
+        finish = start + duration
+        client_clock[client] = finish + 1
+        operations.append(write(f"wr{i}", client, start, finish, tag))
+    reader_clock = {}
+    for j in range(num_reads):
+        client = f"r{(j % 2) + 1}"
+        start_offset, duration = draw(_intervals)
+        start = reader_clock.get(client, 0) + start_offset
+        finish = start + duration
+        reader_clock[client] = finish + 1
+        tag = draw(st.sampled_from([BOTTOM_TAG] + tags))
+        operations.append(read(f"rd{j}", client, start, finish, tag))
+    return History(operations)
+
+
+class TestCheckerEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(small_histories())
+    def test_cluster_matches_exhaustive(self, history):
+        cluster = check_register_atomicity(history)
+        exhaustive = check_linearizable_exhaustive(history)
+        assert cluster.atomic == exhaustive.atomic

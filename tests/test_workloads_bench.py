@@ -1,0 +1,177 @@
+"""Tests for workload generators and the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BenchConfig, run_simulated_benchmark, sweep_protocols
+from repro.bench.metrics import collect_metrics
+from repro.bench.report import format_metrics_table, format_rows
+from repro.consistency import check_atomicity
+from repro.consistency.history import History
+from repro.core.operations import Operation, OpKind
+from repro.core.timestamps import Tag
+from repro.protocols.registry import build_protocol
+from repro.sim.runtime import Simulation
+from repro.util.ids import client_ids, server_ids
+from repro.workloads.generators import (
+    apply_closed_loop,
+    apply_open_loop,
+    asymmetric_write_contention,
+    bursty_contention,
+    read_heavy_closed_loop,
+    uniform_open_loop,
+    write_pairs_then_reads,
+)
+
+WRITERS = client_ids("w", 2)
+READERS = client_ids("r", 2)
+
+
+class TestWorkloadGenerators:
+    def test_uniform_counts(self):
+        workload = uniform_open_loop(WRITERS, READERS, 3, 5, horizon=50.0, seed=1)
+        assert workload.write_count == 6
+        assert workload.read_count == 10
+
+    def test_uniform_deterministic(self):
+        a = uniform_open_loop(WRITERS, READERS, 3, 5, horizon=50.0, seed=1)
+        b = uniform_open_loop(WRITERS, READERS, 3, 5, horizon=50.0, seed=1)
+        assert [(o.client, o.at, o.action) for o in a.operations] == [
+            (o.client, o.at, o.action) for o in b.operations
+        ]
+
+    def test_uniform_per_client_times_increasing(self):
+        workload = uniform_open_loop(WRITERS, READERS, 5, 5, horizon=30.0, seed=2)
+        per_client = {}
+        for op in workload.operations:
+            per_client.setdefault(op.client, []).append(op.at)
+        for times in per_client.values():
+            assert times == sorted(times)
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            assert all(g > 0 for g in gaps)
+
+    def test_bursty_structure(self):
+        workload = bursty_contention(WRITERS, READERS, bursts=2, burst_width=1.0,
+                                     burst_gap=20.0, seed=0)
+        assert workload.write_count == 4    # 2 writers x 2 bursts
+        assert workload.read_count == 8     # 2 readers x 2 reads x 2 bursts
+
+    def test_asymmetric_pattern(self):
+        workload = asymmetric_write_contention(WRITERS, READERS, rounds=2,
+                                               fast_writer_burst=3)
+        writes = [op for op in workload.operations if op.action == "write"]
+        w1_writes = [op for op in writes if op.client == "w1"]
+        w2_writes = [op for op in writes if op.client == "w2"]
+        assert len(w1_writes) == 6 and len(w2_writes) == 2
+
+    def test_asymmetric_requires_writer(self):
+        with pytest.raises(ValueError):
+            asymmetric_write_contention([], READERS)
+
+    def test_write_pairs_sequencing(self):
+        workload = write_pairs_then_reads(WRITERS, READERS, rounds=2, overlap=False)
+        assert workload.write_count == 4 and workload.read_count == 4
+
+    def test_closed_loop_totals(self):
+        workload = read_heavy_closed_loop(WRITERS, READERS, operations_per_client=4)
+        assert workload.total_operations() == 16
+
+    def test_apply_closed_loop_runs(self):
+        protocol = build_protocol("abd-mwmr", server_ids(5), 1)
+        simulation = Simulation(protocol)
+        workload = read_heavy_closed_loop(WRITERS, READERS, operations_per_client=3)
+        apply_closed_loop(simulation, workload)
+        result = simulation.run()
+        assert len(result.history) == 12
+        assert result.history.is_well_formed()
+        assert check_atomicity(result.history).atomic
+
+
+class TestBenchHarness:
+    def test_run_simulated_benchmark(self):
+        config = BenchConfig(
+            protocol_key="fast-read-mwmr", servers=7, writes_per_writer=3,
+            reads_per_reader=4, seed=1,
+        )
+        metrics = run_simulated_benchmark(config)
+        assert metrics.atomic
+        assert metrics.max_read_round_trips == 1
+        assert metrics.max_write_round_trips == 2
+        assert metrics.operations > 0
+        assert metrics.read_latency.count > 0
+
+    def test_bench_workload_variants(self):
+        for workload in ("uniform", "bursty", "asymmetric"):
+            config = BenchConfig(
+                protocol_key="abd-mwmr", workload=workload, writes_per_writer=2,
+                reads_per_reader=3,
+            )
+            metrics = run_simulated_benchmark(config)
+            assert metrics.operations > 0
+
+    def test_bench_unknown_workload(self):
+        config = BenchConfig(protocol_key="abd-mwmr", workload="bogus")
+        with pytest.raises(ValueError):
+            run_simulated_benchmark(config)
+
+    def test_bench_with_crash(self):
+        config = BenchConfig(protocol_key="abd-mwmr", crash_servers=1,
+                             writes_per_writer=2, reads_per_reader=2)
+        metrics = run_simulated_benchmark(config)
+        assert metrics.atomic
+
+    def test_sweep_protocols(self):
+        metrics = sweep_protocols(
+            ["abd-mwmr", "fast-write-attempt"], seeds=(0,), workload="asymmetric",
+            writes_per_writer=4,
+        )
+        by_name = {m.protocol: m for m in metrics}
+        assert by_name["mw-abd (W2R2)"].atomic
+        assert not by_name["fast-write attempt (W1R2 candidate, not atomic)"].atomic
+
+    def test_fast_read_vs_abd_latency_shape(self):
+        # The headline latency claim: one-round-trip reads are roughly half
+        # the latency of two-round-trip reads under the same delay model.
+        results = sweep_protocols(
+            ["fast-read-mwmr", "abd-mwmr"], seeds=(0,), servers=7,
+            writes_per_writer=3, reads_per_reader=8,
+        )
+        fast = next(m for m in results if "fast-read" in m.protocol)
+        slow = next(m for m in results if "mw-abd" in m.protocol)
+        assert fast.read_latency.p50 < 0.75 * slow.read_latency.p50
+        assert fast.atomic and slow.atomic
+
+
+class TestMetricsAndReport:
+    def _history(self):
+        return History(
+            [
+                Operation("w", "w1", OpKind.WRITE, 0, 2, "x", Tag(1, "w1"), round_trips=2),
+                Operation("r", "r1", OpKind.READ, 3, 4, "x", Tag(1, "w1"), round_trips=1),
+            ]
+        )
+
+    def test_collect_metrics(self):
+        history = self._history()
+        verdict = check_atomicity(history)
+        metrics = collect_metrics("demo", history, verdict, messages_sent=10,
+                                  extra={"k": 1.0})
+        assert metrics.operations == 2
+        assert metrics.max_write_round_trips == 2
+        assert metrics.mean_read_round_trips == 1.0
+        assert metrics.as_row()["k"] == 1.0
+
+    def test_format_rows_alignment(self):
+        table = format_rows(
+            [{"a": 1, "b": "xy"}, {"a": 22.5, "b": "z"}], columns=["a", "b"]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned widths
+
+    def test_format_metrics_table(self):
+        history = self._history()
+        metrics = collect_metrics("demo", history, check_atomicity(history))
+        text = format_metrics_table([metrics])
+        assert "demo" in text and "protocol" in text
