@@ -38,6 +38,7 @@ from .core import (
     fast_write_possible,
     is_feasible,
 )
+from .kvstore import KVStore, ShardMap, SyncKVStore, check_per_key_atomicity
 from .protocols import build_protocol
 from .sim import Simulation, UniformDelay
 from .util.ids import client_ids, server_ids
@@ -62,6 +63,10 @@ __all__ = [
     "Simulation",
     "QuickRunResult",
     "quick_run",
+    "KVStore",
+    "ShardMap",
+    "SyncKVStore",
+    "check_per_key_atomicity",
 ]
 
 

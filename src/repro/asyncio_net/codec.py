@@ -1,16 +1,43 @@
-"""Length-prefixed JSON framing for the asyncio transport."""
+"""Length-prefixed JSON framing for the asyncio transport.
+
+One frame is a 4-byte big-endian length header followed by a JSON body.  The
+body is a single :class:`~repro.sim.messages.Message`; batch frames (used by
+:mod:`repro.kvstore` to coalesce several sub-requests into one round) are
+ordinary messages of kind ``"batch"``/``"batch-ack"`` whose payload packs the
+sub-messages, so the wire format needs no second framing layer --
+:func:`encode_batch_frame`/:func:`decode_batch_frame` are the convenience
+composition of both layers.
+"""
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..sim.messages import Message
+from ..sim.messages import Message, make_batch, unpack_batch
 
-__all__ = ["encode_message", "decode_message", "read_frame", "write_frame"]
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "encode_message",
+    "decode_message",
+    "encode_batch_frame",
+    "decode_batch_frame",
+    "read_frame",
+    "write_frame",
+]
 
 _HEADER = struct.Struct("!I")
+
+#: Upper bound on a frame body.  Large enough for any batch this library
+#: produces (thousands of sub-operations), small enough to fail fast when a
+#: peer sends garbage that parses as an absurd length header.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class FrameError(ValueError):
+    """A frame that cannot be encoded or decoded safely."""
 
 
 def encode_message(message: Message) -> bytes:
@@ -27,6 +54,10 @@ def encode_message(message: Message) -> bytes:
         },
         separators=(",", ":"),
     ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
     return _HEADER.pack(len(body)) + body
 
 
@@ -44,10 +75,24 @@ def decode_message(body: bytes) -> Message:
     )
 
 
+def encode_batch_frame(
+    sender: str, receiver: str, sub_messages: Sequence[Tuple[str, Message]]
+) -> bytes:
+    """Pack ``(key, sub-request)`` pairs into one encoded batch frame."""
+    return encode_message(make_batch(sender, receiver, sub_messages))
+
+
+def decode_batch_frame(body: bytes) -> List[Tuple[str, Message]]:
+    """Inverse of :func:`encode_batch_frame` (body excludes the length header)."""
+    return unpack_batch(decode_message(body))
+
+
 async def read_frame(reader) -> Message:
     """Read one length-prefixed frame from an asyncio StreamReader."""
     header = await reader.readexactly(_HEADER.size)
     (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"incoming frame of {length} bytes exceeds MAX_FRAME_BYTES")
     body = await reader.readexactly(length)
     return decode_message(body)
 

@@ -18,12 +18,30 @@ __all__ = ["ReplicaServer"]
 
 
 class ReplicaServer:
-    """One register replica listening on a TCP port."""
+    """One register replica listening on a TCP port.
 
-    def __init__(self, logic: ServerLogic, host: str = "127.0.0.1", port: int = 0) -> None:
+    ``service_overhead``/``service_per_op`` model server capacity for the
+    kv-store benchmarks: each request on a connection costs
+    ``overhead + per_op * sub_ops`` seconds of service time before its reply
+    is sent (sub_ops counts the operations inside a batch frame, 1
+    otherwise), and requests on one connection are served in order.  The
+    defaults keep the replica infinitely fast, the behaviour of the
+    single-register experiments.
+    """
+
+    def __init__(
+        self,
+        logic: ServerLogic,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service_overhead: float = 0.0,
+        service_per_op: float = 0.0,
+    ) -> None:
         self.logic = logic
         self.host = host
         self.port = port
+        self.service_overhead = service_overhead
+        self.service_per_op = service_per_op
         self._server: Optional[asyncio.AbstractServer] = None
         self.requests_served = 0
 
@@ -55,6 +73,15 @@ class ReplicaServer:
                     break
                 self.requests_served += 1
                 reply = self.logic.handle(request)
+                if self.service_overhead > 0 or self.service_per_op > 0:
+                    sub_ops = (
+                        len(request.payload.get("ops", []))
+                        if request.kind == "batch"
+                        else 1
+                    ) or 1
+                    await asyncio.sleep(
+                        self.service_overhead + self.service_per_op * sub_ops
+                    )
                 if reply is not None:
                     await write_frame(writer, reply)
         finally:

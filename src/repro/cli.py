@@ -12,6 +12,9 @@ Exposes the most common workflows without writing any Python:
   ``R < S/t − 2`` (Fig. 9).
 * ``python -m repro latency`` — compare protocol latencies under a LAN or geo
   delay model.
+* ``python -m repro kv`` — run the sharded, batched key-value store
+  (:mod:`repro.kvstore`) on the simulator or over loopback TCP and verify
+  per-key atomicity.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from .bench.harness import BenchConfig, run_simulated_benchmark
 from .bench.report import format_metrics_table, format_rows
 from .consistency import check_atomicity, measure_staleness
 from .core.conditions import SystemParameters, fast_read_bound
+from .kvstore import generate_workload, run_asyncio_kv_workload, run_sim_kv_workload
 from .protocols.registry import PROTOCOLS, build_protocol
 from .sim.delays import GeoDelay, UniformDelay
 from .sim.runtime import Simulation
@@ -77,6 +81,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=["abd-mwmr", "fast-read-mwmr"],
         choices=sorted(PROTOCOLS),
     )
+
+    kv = subparsers.add_parser(
+        "kv", help="run the sharded key-value store and verify per-key atomicity"
+    )
+    kv.add_argument("--backend", choices=("sim", "asyncio"), default="sim")
+    kv.add_argument("--shards", type=int, default=4)
+    kv.add_argument("--protocol", default="abd-mwmr", choices=sorted(PROTOCOLS))
+    kv.add_argument("--servers-per-shard", type=int, default=3)
+    kv.add_argument("--faults", type=int, default=1)
+    kv.add_argument("--clients", type=int, default=4)
+    kv.add_argument("--ops", type=int, default=30, help="operations per client")
+    kv.add_argument("--keys", type=int, default=32)
+    kv.add_argument("--read-fraction", type=float, default=0.7)
+    kv.add_argument("--batch", type=int, default=8, help="max sub-ops per batch frame")
+    kv.add_argument("--pipeline", type=int, default=4,
+                    help="operations in flight per client")
+    kv.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -193,12 +214,52 @@ def _command_latency(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_kv(args: argparse.Namespace) -> int:
+    workload = generate_workload(
+        num_clients=args.clients,
+        ops_per_client=args.ops,
+        num_keys=args.keys,
+        read_fraction=args.read_fraction,
+        pipeline_depth=args.pipeline,
+        seed=args.seed,
+    )
+    common = dict(
+        num_shards=args.shards,
+        protocol_key=args.protocol,
+        servers_per_shard=args.servers_per_shard,
+        max_faults=args.faults,
+        max_batch=args.batch,
+    )
+    if args.backend == "sim":
+        result = run_sim_kv_workload(workload, **common)
+        time_unit = "virtual time units"
+    else:
+        result = run_asyncio_kv_workload(workload, **common)
+        time_unit = "seconds"
+    verdict = result.check()
+
+    print(f"backend            : {result.backend}")
+    print(f"configuration      : {args.shards} shards x {args.servers_per_shard} replicas "
+          f"({args.protocol}, t={args.faults}), {args.clients} clients, "
+          f"{args.keys} keys, pipeline {args.pipeline}")
+    print(f"operations         : {result.completed_ops} completed "
+          f"({workload.total_operations()} scheduled)")
+    print(f"duration           : {result.duration:.3f} {time_unit}")
+    print(f"throughput         : {result.throughput():.2f} ops per time unit")
+    print(f"batching           : {result.batch_stats.summary()}")
+    print(f"messages sent      : {result.messages_sent} frames")
+    print(f"read latency p50   : {result.read_stats().p50:.3f}")
+    print(f"atomicity          : {verdict.summary()}")
+    return 0 if verdict.all_atomic else 1
+
+
 _COMMANDS = {
     "run": _command_run,
     "table1": _command_table1,
     "prove": _command_prove,
     "boundary": _command_boundary,
     "latency": _command_latency,
+    "kv": _command_kv,
 }
 
 

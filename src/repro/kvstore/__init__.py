@@ -1,0 +1,58 @@
+"""repro.kvstore: a sharded, batched key-value store over atomic registers.
+
+The paper's protocols emulate one atomic register; this package scales them
+to a multi-key store:
+
+* **Sharding** (:mod:`~repro.kvstore.sharding`): a consistent-hash
+  :class:`ShardMap` assigns each key to an independent replica group running
+  any registered protocol; every key gets its own register emulation, so
+  correctness decomposes key by key.
+* **Batching** (:mod:`~repro.kvstore.batching`): concurrent operations bound
+  for the same shard share one framed message round per replica, amortizing
+  quorum round-trips.
+* **Two backends**: the discrete-event simulator
+  (:func:`run_sim_kv_workload`) and real asyncio TCP
+  (:class:`KVStore` / :class:`SyncKVStore`, :func:`run_asyncio_kv_workload`).
+* **Per-key checking** (:mod:`~repro.kvstore.perkey`): every run's history is
+  split per key and each sub-history is verified with the library's
+  atomicity checker.
+"""
+
+from __future__ import annotations
+
+from .batching import BatchShardServer, BatchStats
+from .net_backend import (
+    AsyncKVCluster,
+    AsyncShardClient,
+    KVStore,
+    SyncKVStore,
+    run_asyncio_kv_workload,
+)
+from .perkey import KVHistoryRecorder, PerKeyAtomicity, check_per_key_atomicity
+from .sharding import HashRing, ShardMap, ShardSpec, stable_hash
+from .sim_backend import KVClientProcess, SimKVCluster, run_sim_kv_workload
+from .workload import KVOp, KVRunResult, KVWorkload, generate_workload
+
+__all__ = [
+    "BatchShardServer",
+    "BatchStats",
+    "AsyncKVCluster",
+    "AsyncShardClient",
+    "KVStore",
+    "SyncKVStore",
+    "run_asyncio_kv_workload",
+    "KVHistoryRecorder",
+    "PerKeyAtomicity",
+    "check_per_key_atomicity",
+    "HashRing",
+    "ShardMap",
+    "ShardSpec",
+    "stable_hash",
+    "KVClientProcess",
+    "SimKVCluster",
+    "run_sim_kv_workload",
+    "KVOp",
+    "KVRunResult",
+    "KVWorkload",
+    "generate_workload",
+]

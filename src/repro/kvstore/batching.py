@@ -1,0 +1,101 @@
+"""Request batching: multi-key servers and batch accounting.
+
+The batching layer amortizes quorum round-trips: operations that are in
+flight *concurrently* and address the same shard share one framed message
+round per server instead of one frame each.  The wire format is the batch
+frame of :mod:`repro.sim.messages`; this module supplies the two pieces both
+backends share:
+
+* :class:`BatchShardServer` -- the server side.  One instance runs per
+  replica of a shard and demultiplexes each batch frame to per-key
+  single-register server logic (created on demand from the shard's
+  protocol), then packs the sub-replies into one ``batch-ack``.  Because the
+  per-key logic objects are the unmodified ones the single-register
+  emulations use, every correctness property (and every proof obligation)
+  carries over key by key.
+
+* :class:`BatchStats` -- client-side accounting of how well coalescing is
+  working (rounds sent, sub-operations carried, mean batch size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..protocols.base import RegisterProtocol, ServerLogic
+from ..sim.messages import BATCH_KIND, Message, make_batch_ack, unpack_batch
+
+__all__ = ["BatchShardServer", "BatchStats"]
+
+
+class BatchShardServer(ServerLogic):
+    """One replica of a shard, serving many keys through batch frames.
+
+    The only message kind it accepts is ``"batch"``; the kv-store client
+    drivers wrap even solitary sub-requests in a batch of one, so the wire
+    protocol stays uniform.
+    """
+
+    def __init__(self, server_id: str, protocol: RegisterProtocol) -> None:
+        super().__init__(server_id)
+        self.protocol = protocol
+        self._registers: Dict[str, ServerLogic] = {}
+        self.batches_served = 0
+        self.sub_ops_served = 0
+        self.largest_batch = 0
+
+    def register_for(self, key: str) -> ServerLogic:
+        """The per-key single-register server logic, created on first use."""
+        logic = self._registers.get(key)
+        if logic is None:
+            logic = self.protocol.make_server(self.server_id)
+            self._registers[key] = logic
+        return logic
+
+    @property
+    def keys_hosted(self) -> int:
+        return len(self._registers)
+
+    def handle(self, message: Message) -> Optional[Message]:
+        if message.kind != BATCH_KIND:
+            raise ValueError(
+                f"BatchShardServer only handles batch frames, got {message.kind!r}"
+            )
+        subs = unpack_batch(message)
+        self.batches_served += 1
+        self.sub_ops_served += len(subs)
+        self.largest_batch = max(self.largest_batch, len(subs))
+        replies: List[Tuple[str, Optional[Message]]] = []
+        for key, sub in subs:
+            replies.append((key, self.register_for(key).handle(sub)))
+        return make_batch_ack(message, replies)
+
+
+@dataclass
+class BatchStats:
+    """Client-side coalescing statistics for one run."""
+
+    rounds: int = 0
+    sub_operations: int = 0
+    largest: int = 0
+
+    def record(self, batch_size: int) -> None:
+        self.rounds += 1
+        self.sub_operations += batch_size
+        self.largest = max(self.largest, batch_size)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.sub_operations / self.rounds if self.rounds else 0.0
+
+    def merge(self, other: "BatchStats") -> None:
+        self.rounds += other.rounds
+        self.sub_operations += other.sub_operations
+        self.largest = max(self.largest, other.largest)
+
+    def summary(self) -> str:
+        return (
+            f"{self.rounds} batch rounds, {self.sub_operations} sub-ops, "
+            f"mean batch {self.mean_batch_size:.2f}, largest {self.largest}"
+        )

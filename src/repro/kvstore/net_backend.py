@@ -1,0 +1,588 @@
+"""The key-value store on the real asyncio TCP transport.
+
+The same shard layout and batch frames as the simulator backend, over real
+sockets:
+
+* :class:`AsyncKVCluster` starts one :class:`~repro.asyncio_net.server.ReplicaServer`
+  per shard replica, each hosting a multi-key :class:`~repro.kvstore.batching.BatchShardServer`.
+* :class:`AsyncShardClient` owns one connection per replica of one shard and
+  coalesces sub-requests submitted in the same event-loop tick (or up to
+  ``max_batch``) into one batch frame per replica -- ``multi_get``/``multi_put``
+  and pipelined workloads batch naturally.
+* :class:`KVStore` is the client facade: ``await get/put/multi_get/multi_put``.
+* :class:`SyncKVStore` wraps a :class:`KVStore` for synchronous callers via a
+  background event-loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ProtocolError
+from ..core.operations import OpKind, new_op_id
+from ..protocols.base import Broadcast, ClientLogic, OperationOutcome
+from ..sim.messages import BATCH_ACK_KIND, Message, make_batch, unpack_batch_ack
+from ..asyncio_net.codec import read_frame, write_frame
+from ..asyncio_net.server import ReplicaServer
+from .batching import BatchShardServer, BatchStats
+from .perkey import KVHistoryRecorder, PerKeyAtomicity, check_per_key_atomicity
+from .sharding import ShardMap, ShardSpec
+from .workload import KVRunResult, KVWorkload
+from ._sync import LoopThread, run_sync
+
+__all__ = ["AsyncKVCluster", "AsyncShardClient", "KVStore", "SyncKVStore",
+           "run_asyncio_kv_workload"]
+
+
+class AsyncKVCluster:
+    """All shard replicas of a :class:`ShardMap` listening on loopback TCP."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        host: str = "127.0.0.1",
+        service_overhead: float = 0.0,
+        service_per_op: float = 0.0,
+    ) -> None:
+        self.shard_map = shard_map
+        self.host = host
+        self.service_overhead = service_overhead
+        self.service_per_op = service_per_op
+        self.replicas: Dict[str, ReplicaServer] = {}
+        self._endpoints: Dict[str, Dict[str, Tuple[str, int]]] = {}
+
+    async def start(self) -> None:
+        for spec in self.shard_map.shards.values():
+            endpoints: Dict[str, Tuple[str, int]] = {}
+            for server_id in spec.servers:
+                replica = ReplicaServer(
+                    BatchShardServer(server_id, spec.protocol),
+                    host=self.host,
+                    service_overhead=self.service_overhead,
+                    service_per_op=self.service_per_op,
+                )
+                await replica.start()
+                self.replicas[server_id] = replica
+                endpoints[server_id] = (replica.host, replica.port)
+            self._endpoints[spec.shard_id] = endpoints
+
+    async def stop(self) -> None:
+        for replica in self.replicas.values():
+            await replica.stop()
+        self.replicas.clear()
+        self._endpoints.clear()
+
+    def endpoints_for(self, shard_id: str) -> Dict[str, Tuple[str, int]]:
+        return dict(self._endpoints[shard_id])
+
+
+@dataclass
+class _PendingRound:
+    """One round-trip of one operation, awaiting its quorum of sub-replies."""
+
+    op_id: str
+    round_trip: int
+    key: str
+    request: Broadcast
+    wait_for: int
+    replies: List[Message] = field(default_factory=list)
+    ready: asyncio.Event = field(default_factory=asyncio.Event)
+    error: Optional[BaseException] = None
+
+    def fail(self, exc: BaseException) -> None:
+        self.error = exc
+        self.ready.set()
+
+
+class AsyncShardClient:
+    """Connections to one shard's replicas, with batch coalescing.
+
+    Sub-requests submitted while the event loop is busy (same tick) ride the
+    same batch frame; a frame is also cut as soon as ``max_batch``
+    sub-requests are pending.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        spec: ShardSpec,
+        endpoints: Dict[str, Tuple[str, int]],
+        max_batch: int = 8,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.client_id = client_id
+        self.spec = spec
+        self.endpoints = dict(endpoints)
+        self.max_batch = max_batch
+        self.batch_stats = BatchStats()
+        self.frames_sent = 0
+        self.frames_received = 0
+        self._writers: Dict[str, asyncio.StreamWriter] = {}
+        self._receive_tasks: List[asyncio.Task] = []
+        self._send_tasks: "set[asyncio.Task]" = set()
+        self._queue: List[_PendingRound] = []
+        self._rounds: Dict[Tuple[str, int], _PendingRound] = {}
+        self._flush_scheduled = False
+
+    @property
+    def quorum_size(self) -> int:
+        return self.spec.quorum_size
+
+    # -- connection management -------------------------------------------------
+
+    async def connect(self) -> None:
+        for server_id, (host, port) in self.endpoints.items():
+            reader, writer = await asyncio.open_connection(host, port)
+            self._writers[server_id] = writer
+            self._receive_tasks.append(
+                asyncio.create_task(self._receive_loop(reader))
+            )
+
+    async def close(self) -> None:
+        for task in list(self._receive_tasks) + list(self._send_tasks):
+            task.cancel()
+        await asyncio.gather(
+            *self._receive_tasks, *self._send_tasks, return_exceptions=True
+        )
+        self._receive_tasks.clear()
+        self._send_tasks.clear()
+        for writer in self._writers.values():
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+        self._writers.clear()
+
+    # -- the round-trip primitive ----------------------------------------------
+
+    async def round_trip(
+        self, key: str, op_id: str, round_trip: int, request: Broadcast
+    ) -> List[Message]:
+        """Broadcast one sub-request (batched) and await its quorum."""
+        wait_for = request.wait_for if request.wait_for is not None else self.quorum_size
+        pending = _PendingRound(
+            op_id=op_id,
+            round_trip=round_trip,
+            key=key,
+            request=request,
+            wait_for=wait_for,
+        )
+        self._rounds[(op_id, round_trip)] = pending
+        self._submit(pending)
+        try:
+            await pending.ready.wait()
+        finally:
+            self._rounds.pop((op_id, round_trip), None)
+        if pending.error is not None:
+            raise pending.error
+        return list(pending.replies[:wait_for])
+
+    def _submit(self, pending: _PendingRound) -> None:
+        self._queue.append(pending)
+        if len(self._queue) >= self.max_batch:
+            self._flush()
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if not self._queue:
+            return
+        batch, self._queue = self._queue[: self.max_batch], self._queue[self.max_batch :]
+        if self._queue and not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush)
+        self.batch_stats.record(len(batch))
+        task = asyncio.create_task(self._send_batch(batch))
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
+
+    async def _send_batch(self, batch: List[_PendingRound]) -> None:
+        async def send_to(server_id: str, writer: asyncio.StreamWriter) -> None:
+            subs = [
+                (
+                    pending.key,
+                    Message(
+                        sender=self.client_id,
+                        receiver=server_id,
+                        kind=pending.request.kind,
+                        payload=pending.request.payload_for(server_id),
+                        op_id=pending.op_id,
+                        round_trip=pending.round_trip,
+                    ),
+                )
+                for pending in batch
+            ]
+            await write_frame(writer, make_batch(self.client_id, server_id, subs))
+            self.frames_sent += 1
+
+        # Writes go out concurrently so one backpressured replica cannot
+        # delay the frames for the rest of the quorum.
+        results = await asyncio.gather(
+            *(send_to(server_id, writer) for server_id, writer in self._writers.items()),
+            return_exceptions=True,
+        )
+        failures = [r for r in results if isinstance(r, BaseException)]
+        if not failures:
+            return
+        # A round survives a minority of failed sends (quorum still
+        # reachable); when too few frames went out -- or none, as when the
+        # frame exceeds MAX_FRAME_BYTES -- fail the waiters instead of
+        # letting them block forever.
+        successes = len(results) - len(failures)
+        for pending in batch:
+            if successes < pending.wait_for:
+                pending.fail(failures[0])
+
+    async def _receive_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                message = await read_frame(reader)
+                self.frames_received += 1
+                if message.kind != BATCH_ACK_KIND:
+                    continue
+                for _key, sub in unpack_batch_ack(message):
+                    if sub is None:
+                        continue
+                    pending = self._rounds.get((sub.op_id, sub.round_trip))
+                    if pending is None:
+                        continue  # straggler from a completed round-trip
+                    pending.replies.append(sub)
+                    if len(pending.replies) >= pending.wait_for:
+                        pending.ready.set()
+        except (asyncio.IncompleteReadError, ConnectionResetError, asyncio.CancelledError):
+            return
+
+
+class KVStore:
+    """The async client facade of the sharded store.
+
+    One store instance represents one logical client: operations on the same
+    key are serialized per key (keeping per-key sub-histories well-formed)
+    while operations on different keys run concurrently and share batch
+    rounds whenever they hash to the same shard.
+    """
+
+    def __init__(
+        self,
+        cluster: AsyncKVCluster,
+        client_id: str = "kv1",
+        max_batch: int = 8,
+        recorder: Optional[KVHistoryRecorder] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.client_id = client_id
+        self.max_batch = max_batch
+        base = time.monotonic()
+        self.recorder = recorder or KVHistoryRecorder(lambda: time.monotonic() - base)
+        self._shard_clients: Dict[str, AsyncShardClient] = {}
+        self._key_locks: Dict[str, asyncio.Lock] = {}
+        self._readers: Dict[str, ClientLogic] = {}
+        self._writers: Dict[str, ClientLogic] = {}
+
+    async def connect(self) -> None:
+        for spec in self.cluster.shard_map.shards.values():
+            client = AsyncShardClient(
+                self.client_id,
+                spec,
+                self.cluster.endpoints_for(spec.shard_id),
+                max_batch=self.max_batch,
+            )
+            await client.connect()
+            self._shard_clients[spec.shard_id] = client
+
+    async def close(self) -> None:
+        for client in self._shard_clients.values():
+            await client.close()
+        self._shard_clients.clear()
+
+    # -- operations -------------------------------------------------------------
+
+    async def put(self, key: str, value: Any) -> OperationOutcome:
+        """Write ``value`` to ``key`` through the key's register."""
+        return await self._run_op(OpKind.WRITE, key, value)
+
+    async def get(self, key: str) -> Any:
+        """Read ``key``; returns the value (``None`` if never written)."""
+        outcome = await self._run_op(OpKind.READ, key)
+        return outcome.value
+
+    async def multi_get(self, keys: Sequence[str]) -> Dict[str, Any]:
+        """Read many keys concurrently (same-shard keys share batch rounds)."""
+        values = await asyncio.gather(*(self.get(key) for key in keys))
+        return dict(zip(keys, values))
+
+    async def multi_put(self, items: Mapping[str, Any]) -> None:
+        """Write many keys concurrently (same-shard keys share batch rounds)."""
+        pairs = list(items.items())
+        await asyncio.gather(*(self.put(key, value) for key, value in pairs))
+
+    # -- internals --------------------------------------------------------------
+
+    def _logic_for(self, kind: OpKind, key: str, spec: ShardSpec) -> ClientLogic:
+        cache = self._writers if kind is OpKind.WRITE else self._readers
+        logic = cache.get(key)
+        if logic is None:
+            if kind is OpKind.WRITE:
+                logic = spec.protocol.make_writer(self.client_id)
+            else:
+                logic = spec.protocol.make_reader(self.client_id)
+            cache[key] = logic
+        return logic
+
+    async def _run_op(self, kind: OpKind, key: str, value: Any = None) -> OperationOutcome:
+        spec = self.cluster.shard_map.shard_for(key)
+        shard_client = self._shard_clients.get(spec.shard_id)
+        if shard_client is None:
+            raise RuntimeError("KVStore is not connected; call connect() first")
+        lock = self._key_locks.setdefault(key, asyncio.Lock())
+        async with lock:
+            op_id = new_op_id(f"{self.client_id}-{kind.value}")
+            self.recorder.record_invocation(key, op_id, self.client_id, kind, value=value)
+            logic = self._logic_for(kind, key, spec)
+            generator = (
+                logic.write_protocol(value) if kind is OpKind.WRITE else logic.read_protocol()
+            )
+            round_trip = 0
+            try:
+                request = next(generator)
+                while True:
+                    round_trip += 1
+                    replies = await shard_client.round_trip(key, op_id, round_trip, request)
+                    request = generator.send(replies)
+            except StopIteration as stop:
+                outcome = stop.value
+            if not isinstance(outcome, OperationOutcome):
+                raise ProtocolError("operation generator must return an OperationOutcome")
+            self.recorder.record_response(
+                op_id, value=outcome.value, tag=outcome.tag, round_trips=round_trip
+            )
+            return outcome
+
+    # -- introspection ----------------------------------------------------------
+
+    def batch_stats(self) -> BatchStats:
+        merged = BatchStats()
+        for client in self._shard_clients.values():
+            merged.merge(client.batch_stats)
+        return merged
+
+    def frames_sent(self) -> int:
+        return sum(client.frames_sent for client in self._shard_clients.values())
+
+    def frames_total(self) -> int:
+        """Request frames sent plus ack frames received -- the same counting
+        the simulator's ``Network.sent_count`` uses, so the two backends'
+        message numbers are comparable."""
+        return sum(
+            client.frames_sent + client.frames_received
+            for client in self._shard_clients.values()
+        )
+
+    def histories(self):
+        return self.recorder.histories()
+
+    def check(self) -> PerKeyAtomicity:
+        """Per-key atomicity verdict over everything this store recorded."""
+        return check_per_key_atomicity(self.histories())
+
+
+class SyncKVStore:
+    """Synchronous facade: a private cluster + store on a background loop.
+
+    Starts its own :class:`AsyncKVCluster` and :class:`KVStore` on a daemon
+    event-loop thread, so plain synchronous code can use the sharded store
+    without touching asyncio::
+
+        with SyncKVStore(num_shards=2) as store:
+            store.put("user:7", "ada")
+            assert store.get("user:7") == "ada"
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        protocol_key: str = "abd-mwmr",
+        servers_per_shard: int = 3,
+        max_faults: int = 1,
+        max_batch: int = 8,
+        client_id: str = "kv-sync",
+        shard_map: Optional[ShardMap] = None,
+    ) -> None:
+        self._loop_thread = LoopThread()
+        if shard_map is None:
+            shard_map = ShardMap(
+                num_shards,
+                protocol_key=protocol_key,
+                servers_per_shard=servers_per_shard,
+                max_faults=max_faults,
+            )
+        self._cluster = AsyncKVCluster(shard_map)
+        self._store = KVStore(self._cluster, client_id=client_id, max_batch=max_batch)
+        self._closed = False
+        try:
+            self._loop_thread.call(self._setup())
+        except BaseException:
+            # Construction failed: tear down whatever started so the loop
+            # thread (and any bound replicas) do not outlive the exception.
+            self._closed = True
+            try:
+                self._loop_thread.call(self._teardown(), timeout=10.0)
+            except Exception:
+                pass
+            self._loop_thread.stop()
+            raise
+
+    async def _setup(self) -> None:
+        await self._cluster.start()
+        await self._store.connect()
+
+    # -- synchronous API ---------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        self._loop_thread.call(self._store.put(key, value))
+
+    def get(self, key: str) -> Any:
+        return self._loop_thread.call(self._store.get(key))
+
+    def multi_get(self, keys: Sequence[str]) -> Dict[str, Any]:
+        return self._loop_thread.call(self._store.multi_get(keys))
+
+    def multi_put(self, items: Mapping[str, Any]) -> None:
+        self._loop_thread.call(self._store.multi_put(items))
+
+    def batch_stats(self) -> BatchStats:
+        return self._store.batch_stats()
+
+    def check(self) -> PerKeyAtomicity:
+        return self._store.check()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._loop_thread.call(self._teardown())
+        finally:
+            self._loop_thread.stop()
+
+    async def _teardown(self) -> None:
+        await self._store.close()
+        await self._cluster.stop()
+        # Let the replicas' per-connection handler tasks observe EOF and
+        # finish before the loop thread is stopped, else they die mid-await.
+        pending = [
+            task
+            for task in asyncio.all_tasks()
+            if task is not asyncio.current_task()
+        ]
+        if pending:
+            await asyncio.wait(pending, timeout=1.0)
+
+    def __enter__(self) -> "SyncKVStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_asyncio_kv_workload(
+    workload: KVWorkload,
+    num_shards: int = 2,
+    protocol_key: str = "abd-mwmr",
+    servers_per_shard: int = 3,
+    max_faults: int = 1,
+    max_batch: int = 8,
+    shard_map: Optional[ShardMap] = None,
+    service_overhead: float = 0.0,
+    service_per_op: float = 0.0,
+) -> KVRunResult:
+    """Run a closed-loop kv workload over loopback TCP and collect results.
+
+    Every workload client becomes one :class:`KVStore` (its own connections
+    and batching), all sharing one replica cluster and one history recorder.
+    """
+    clients = workload.clients
+    if shard_map is None:
+        shard_map = ShardMap(
+            num_shards,
+            protocol_key=protocol_key,
+            servers_per_shard=servers_per_shard,
+            max_faults=max_faults,
+            readers=len(clients),
+            writers=len(clients),
+        )
+
+    async def _run() -> KVRunResult:
+        cluster = AsyncKVCluster(
+            shard_map,
+            service_overhead=service_overhead,
+            service_per_op=service_per_op,
+        )
+        await cluster.start()
+        base = time.monotonic()
+        recorder = KVHistoryRecorder(lambda: time.monotonic() - base)
+        stores: Dict[str, KVStore] = {}
+        try:
+            for client_id in clients:
+                store = KVStore(
+                    cluster, client_id=client_id, max_batch=max_batch, recorder=recorder
+                )
+                await store.connect()
+                stores[client_id] = store
+
+            async def client_loop(client_id: str) -> None:
+                store = stores[client_id]
+                queue = list(workload.sequences[client_id])
+                depth = max(1, workload.pipeline_depth)
+
+                async def worker() -> None:
+                    while queue:
+                        op = queue.pop(0)
+                        if op.kind == "put":
+                            await store.put(op.key, op.value)
+                        else:
+                            await store.get(op.key)
+
+                await asyncio.gather(*(worker() for _ in range(depth)))
+
+            started = time.monotonic()
+            await asyncio.gather(*(client_loop(client_id) for client_id in clients))
+            duration = time.monotonic() - started
+            batch_stats = BatchStats()
+            frames = 0
+            for store in stores.values():
+                batch_stats.merge(store.batch_stats())
+                frames += store.frames_total()
+        finally:
+            for store in stores.values():
+                await store.close()
+            await cluster.stop()
+
+        histories = recorder.histories()
+        result = KVRunResult(
+            backend="asyncio",
+            num_shards=len(shard_map),
+            max_batch=max_batch,
+            histories=histories,
+            duration=duration,
+            completed_ops=recorder.completed_operations,
+            messages_sent=frames,
+            batch_stats=batch_stats,
+        )
+        for history in histories.values():
+            result.read_latencies.extend(
+                op.latency for op in history.reads if op.latency is not None
+            )
+            result.write_latencies.extend(
+                op.latency for op in history.writes if op.latency is not None
+            )
+        return result
+
+    return run_sync(_run())

@@ -1,0 +1,158 @@
+"""Consistent-hash shard map: keys -> register-backed shards.
+
+The key-value store splits its key space over independent *shards*.  Each
+shard is a full quorum system of its own: a disjoint set of replica servers
+running one :class:`~repro.protocols.base.RegisterProtocol`, hosting one
+single-register emulation **per key** assigned to it.  Per-key registers are
+completely independent -- exactly the workload-independence the per-object
+protocols of the paper provide -- so shards scale the store horizontally
+without any cross-shard coordination.
+
+Key placement uses a consistent-hash ring (with virtual nodes) over a stable
+keyed hash, so the same key maps to the same shard on every backend, in every
+process, on every run -- a requirement for both history checking and for the
+asyncio backend whose clients hash keys independently of the servers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..core.errors import ConfigurationError
+from ..protocols.base import RegisterProtocol
+from ..protocols.registry import build_protocol
+
+__all__ = ["stable_hash", "HashRing", "ShardSpec", "ShardMap"]
+
+
+def stable_hash(text: str) -> int:
+    """A 64-bit hash that is stable across processes and Python versions.
+
+    ``hash()`` is salted per process (PYTHONHASHSEED), which would scatter
+    the same key to different shards on client and server; blake2b is not.
+    """
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring of shard ids with virtual nodes."""
+
+    def __init__(self, shard_ids: Sequence[str], virtual_nodes: int = 64) -> None:
+        if not shard_ids:
+            raise ValueError("a hash ring needs at least one shard")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be positive")
+        self.virtual_nodes = virtual_nodes
+        points: List[tuple] = []
+        for shard_id in shard_ids:
+            for replica in range(virtual_nodes):
+                points.append((stable_hash(f"{shard_id}#{replica}"), shard_id))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def owner_of(self, key: str) -> str:
+        """The shard owning ``key``: first ring point clockwise of its hash."""
+        index = bisect.bisect_right(self._hashes, stable_hash(key))
+        if index == len(self._hashes):
+            index = 0
+        return self._owners[index]
+
+
+@dataclass
+class ShardSpec:
+    """One shard: its id, replica server ids, and register protocol factory."""
+
+    shard_id: str
+    protocol: RegisterProtocol
+    servers: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            self.servers = list(self.protocol.servers)
+
+    @property
+    def quorum_size(self) -> int:
+        return len(self.servers) - self.protocol.max_faults
+
+
+class ShardMap:
+    """Assigns every key to one of ``num_shards`` register-backed shards.
+
+    Each shard gets its own disjoint replica group ``<shard>-s1 ..`` running
+    an independent instance of the chosen protocol; ``shard_for`` resolves a
+    key through the consistent-hash ring.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        protocol_key: str = "abd-mwmr",
+        servers_per_shard: int = 3,
+        max_faults: int = 1,
+        readers: int = 2,
+        writers: int = 2,
+        virtual_nodes: int = 64,
+        **protocol_kwargs,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        self.protocol_key = protocol_key
+        self.servers_per_shard = servers_per_shard
+        self.max_faults = max_faults
+        self.shards: Dict[str, ShardSpec] = {}
+        for index in range(1, num_shards + 1):
+            shard_id = f"sh{index}"
+            servers = [f"{shard_id}-s{i}" for i in range(1, servers_per_shard + 1)]
+            protocol = build_protocol(
+                protocol_key,
+                servers,
+                max_faults,
+                readers=readers,
+                writers=writers,
+                **protocol_kwargs,
+            )
+            if writers > 1 and not protocol.multi_writer:
+                raise ConfigurationError(
+                    f"protocol {protocol_key!r} is single-writer; a kv store with "
+                    f"{writers} writing clients needs a multi-writer register"
+                )
+            self.shards[shard_id] = ShardSpec(shard_id, protocol, servers)
+        self.ring = HashRing(list(self.shards), virtual_nodes=virtual_nodes)
+
+    # -- resolution ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, key: str) -> ShardSpec:
+        """The shard owning ``key``."""
+        return self.shards[self.ring.owner_of(key)]
+
+    def assignments(self, keys: Iterable[str]) -> Dict[str, List[str]]:
+        """Group ``keys`` by owning shard id (shards with no keys included)."""
+        grouped: Dict[str, List[str]] = {shard_id: [] for shard_id in self.shards}
+        for key in keys:
+            grouped[self.ring.owner_of(key)].append(key)
+        return grouped
+
+    @property
+    def all_servers(self) -> List[str]:
+        """Every replica server id across all shards."""
+        servers: List[str] = []
+        for spec in self.shards.values():
+            servers.extend(spec.servers)
+        return servers
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "shards": len(self.shards),
+            "protocol": self.protocol_key,
+            "servers_per_shard": self.servers_per_shard,
+            "max_faults": self.max_faults,
+            "total_servers": len(self.all_servers),
+        }

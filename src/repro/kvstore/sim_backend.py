@@ -1,0 +1,424 @@
+"""The key-value store on the discrete-event simulator.
+
+Everything the single-register simulator does -- virtual clock, delay
+models, deterministic event ordering -- carries over; this module adds the
+two kv-specific process types:
+
+* :class:`BatchReplicaProcess` -- a shard replica with a simple queueing
+  model of server capacity: handling a batch costs ``overhead`` plus
+  ``per_op`` per sub-operation of *service time*, and a busy server queues
+  work.  This is what makes shard count matter in virtual time: a single
+  shard's replicas saturate under load that many shards absorb in parallel,
+  and batching amortizes the per-frame ``overhead``.
+
+* :class:`KVClientProcess` -- one logical store client.  It may have many
+  operations (on distinct keys) in flight at once; each operation drives the
+  ordinary single-register client generator for its key, but instead of
+  sending one frame per sub-request the client coalesces every sub-request
+  bound for the same shard into one batch frame per replica
+  (:func:`~repro.sim.messages.make_batch`).  Operations on the *same* key by
+  the same client are serialized through a per-key backlog so every per-key
+  sub-history stays well-formed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Set
+
+from ..core.errors import ProtocolError
+from ..core.operations import OpKind, new_op_id
+from ..protocols.base import Broadcast, ClientLogic, OperationOutcome
+from ..sim.clock import EventQueue
+from ..sim.delays import ConstantDelay, DelayModel
+from ..sim.messages import (
+    BATCH_ACK_KIND,
+    Message,
+    make_batch,
+    unpack_batch_ack,
+)
+from ..sim.network import Network
+from ..sim.process import Process
+from .batching import BatchShardServer, BatchStats
+from .perkey import KVHistoryRecorder
+from .sharding import ShardMap, ShardSpec
+from .workload import KVRunResult, KVWorkload
+
+__all__ = ["BatchReplicaProcess", "KVClientProcess", "SimKVCluster", "run_sim_kv_workload"]
+
+
+class BatchReplicaProcess(Process):
+    """A shard replica with service-time queueing on the virtual clock."""
+
+    def __init__(
+        self,
+        server_id: str,
+        logic: BatchShardServer,
+        events: EventQueue,
+        overhead: float = 0.2,
+        per_op: float = 0.1,
+    ) -> None:
+        super().__init__(server_id)
+        self.logic = logic
+        self.events = events
+        self.overhead = overhead
+        self.per_op = per_op
+        self.busy_until = 0.0
+
+    def on_message(self, message: Message) -> None:
+        # State transitions apply at delivery (preserving arrival order);
+        # only the *reply* is held back by the modeled service time.
+        batch_size = len(message.payload.get("ops", [])) or 1
+        reply = self.logic.handle(message)
+        if reply is None:
+            return
+        service = self.overhead + self.per_op * batch_size
+        now = self.events.clock.now
+        finish = max(now, self.busy_until) + service
+        self.busy_until = finish
+        if finish <= now:
+            self.send(reply)
+        else:
+            self.events.schedule(
+                finish - now, lambda: self.send(reply), label=f"service:{self.process_id}"
+            )
+
+
+@dataclass
+class _PendingKVOp:
+    """One in-flight kv operation driving a per-key register generator."""
+
+    op_id: str
+    key: str
+    kind: OpKind
+    shard: ShardSpec
+    generator: Any
+    round_trip: int = 0
+    wait_for: int = 0
+    request: Optional[Broadcast] = None
+    replies: List[Message] = field(default_factory=list)
+    on_complete: Optional[Callable[[OperationOutcome], None]] = None
+
+
+class KVClientProcess(Process):
+    """A store client multiplexing per-key operations into shard batches."""
+
+    def __init__(
+        self,
+        client_id: str,
+        shard_map: ShardMap,
+        recorder: KVHistoryRecorder,
+        events: EventQueue,
+        max_batch: int = 8,
+        flush_delay: float = 0.0,
+    ) -> None:
+        super().__init__(client_id)
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.shard_map = shard_map
+        self.recorder = recorder
+        self.events = events
+        self.max_batch = max_batch
+        self.flush_delay = flush_delay
+        self.batch_stats = BatchStats()
+        self.completed_operations = 0
+        self._readers: Dict[str, ClientLogic] = {}
+        self._writers: Dict[str, ClientLogic] = {}
+        self._active: Dict[str, _PendingKVOp] = {}
+        self._key_inflight: Set[str] = set()
+        self._key_backlog: Dict[str, Deque[tuple]] = {}
+        self._shard_queue: Dict[str, List[_PendingKVOp]] = {}
+        self._flush_scheduled: Set[str] = set()
+
+    # -- per-key client logic --------------------------------------------------
+
+    def _writer_logic(self, key: str, shard: ShardSpec) -> ClientLogic:
+        logic = self._writers.get(key)
+        if logic is None:
+            logic = shard.protocol.make_writer(self.process_id)
+            self._writers[key] = logic
+        return logic
+
+    def _reader_logic(self, key: str, shard: ShardSpec) -> ClientLogic:
+        logic = self._readers.get(key)
+        if logic is None:
+            logic = shard.protocol.make_reader(self.process_id)
+            self._readers[key] = logic
+        return logic
+
+    # -- invoking operations ---------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        on_complete: Optional[Callable[[OperationOutcome], None]] = None,
+    ) -> str:
+        """Invoke ``put(key, value)``; returns the operation id."""
+        return self._invoke(OpKind.WRITE, key, value, on_complete)
+
+    def get(
+        self, key: str, on_complete: Optional[Callable[[OperationOutcome], None]] = None
+    ) -> str:
+        """Invoke ``get(key)``; returns the operation id."""
+        return self._invoke(OpKind.READ, key, None, on_complete)
+
+    def _invoke(self, kind: OpKind, key: str, value: Any, on_complete) -> str:
+        op_id = new_op_id(f"{self.process_id}-{kind.value}")
+        if key in self._key_inflight:
+            # Same client, same key: queue behind the in-flight operation so
+            # the key's sub-history stays sequential for this client.
+            self._key_backlog.setdefault(key, deque()).append(
+                (op_id, kind, value, on_complete)
+            )
+            return op_id
+        self._start(op_id, kind, key, value, on_complete)
+        return op_id
+
+    def _start(self, op_id: str, kind: OpKind, key: str, value: Any, on_complete) -> None:
+        shard = self.shard_map.shard_for(key)
+        if kind is OpKind.WRITE:
+            generator = self._writer_logic(key, shard).write_protocol(value)
+        else:
+            generator = self._reader_logic(key, shard).read_protocol()
+        self._key_inflight.add(key)
+        self.recorder.record_invocation(key, op_id, self.process_id, kind, value=value)
+        pending = _PendingKVOp(
+            op_id=op_id,
+            key=key,
+            kind=kind,
+            shard=shard,
+            generator=generator,
+            on_complete=on_complete,
+        )
+        self._active[op_id] = pending
+        self._advance(pending, first=True)
+
+    # -- driving the generators ------------------------------------------------
+
+    def _advance(self, pending: _PendingKVOp, first: bool = False) -> None:
+        try:
+            if first:
+                request = next(pending.generator)
+            else:
+                request = pending.generator.send(list(pending.replies[: pending.wait_for]))
+        except StopIteration as stop:
+            self._complete(pending, stop.value)
+            return
+        if not isinstance(request, Broadcast):
+            raise ProtocolError("client generators must yield Broadcast objects")
+        pending.round_trip += 1
+        pending.request = request
+        pending.replies = []
+        quorum = len(pending.shard.servers) - pending.shard.protocol.max_faults
+        pending.wait_for = request.wait_for if request.wait_for is not None else quorum
+        self._enqueue(pending)
+
+    def _complete(self, pending: _PendingKVOp, outcome: OperationOutcome) -> None:
+        if not isinstance(outcome, OperationOutcome):
+            raise ProtocolError("operation generator must return an OperationOutcome")
+        self.recorder.record_response(
+            pending.op_id,
+            value=outcome.value,
+            tag=outcome.tag,
+            round_trips=pending.round_trip,
+        )
+        del self._active[pending.op_id]
+        self._key_inflight.discard(pending.key)
+        self.completed_operations += 1
+        backlog = self._key_backlog.get(pending.key)
+        if backlog:
+            op_id, kind, value, next_cb = backlog.popleft()
+            self._start(op_id, kind, pending.key, value, next_cb)
+        if pending.on_complete is not None:
+            pending.on_complete(outcome)
+
+    # -- shard batching --------------------------------------------------------
+
+    def _enqueue(self, pending: _PendingKVOp) -> None:
+        shard_id = pending.shard.shard_id
+        self._shard_queue.setdefault(shard_id, []).append(pending)
+        if shard_id not in self._flush_scheduled:
+            self._flush_scheduled.add(shard_id)
+            self.events.schedule(
+                self.flush_delay,
+                lambda: self._flush(shard_id),
+                label=f"kv-flush:{self.process_id}:{shard_id}",
+            )
+
+    def _flush(self, shard_id: str) -> None:
+        self._flush_scheduled.discard(shard_id)
+        queue = self._shard_queue.get(shard_id, [])
+        if not queue:
+            return
+        batch, rest = queue[: self.max_batch], queue[self.max_batch :]
+        self._shard_queue[shard_id] = rest
+        if rest:
+            # More coalesced work than one frame carries: flush again at once.
+            self._flush_scheduled.add(shard_id)
+            self.events.schedule(0.0, lambda: self._flush(shard_id), label="kv-flush")
+        shard = batch[0].shard
+        self.batch_stats.record(len(batch))
+        for server_id in shard.servers:
+            subs = [
+                (
+                    op.key,
+                    Message(
+                        sender=self.process_id,
+                        receiver=server_id,
+                        kind=op.request.kind,
+                        payload=op.request.payload_for(server_id),
+                        op_id=op.op_id,
+                        round_trip=op.round_trip,
+                    ),
+                )
+                for op in batch
+            ]
+            self.send(make_batch(self.process_id, server_id, subs))
+
+    # -- network events --------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != BATCH_ACK_KIND:
+            return
+        for _key, sub in unpack_batch_ack(message):
+            if sub is None:
+                continue
+            pending = self._active.get(sub.op_id)
+            if pending is None or sub.round_trip != pending.round_trip:
+                continue  # straggler from an earlier round-trip or operation
+            pending.replies.append(sub)
+            if len(pending.replies) == pending.wait_for:
+                self._advance(pending)
+
+
+class SimKVCluster:
+    """All shards of a :class:`ShardMap` plus clients on one virtual clock."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        client_ids: List[str],
+        delay_model: Optional[DelayModel] = None,
+        max_batch: int = 8,
+        flush_delay: float = 0.0,
+        server_overhead: float = 0.2,
+        server_per_op: float = 0.1,
+    ) -> None:
+        self.shard_map = shard_map
+        self.events = EventQueue()
+        self.network = Network(self.events, delay_model or ConstantDelay())
+        self.recorder = KVHistoryRecorder(lambda: self.events.clock.now)
+        self.replicas: Dict[str, BatchReplicaProcess] = {}
+        for spec in shard_map.shards.values():
+            for server_id in spec.servers:
+                replica = BatchReplicaProcess(
+                    server_id,
+                    BatchShardServer(server_id, spec.protocol),
+                    self.events,
+                    overhead=server_overhead,
+                    per_op=server_per_op,
+                )
+                replica.attach(self.network)
+                self.replicas[server_id] = replica
+        self.clients: Dict[str, KVClientProcess] = {}
+        for client_id in client_ids:
+            client = KVClientProcess(
+                client_id,
+                shard_map,
+                self.recorder,
+                self.events,
+                max_batch=max_batch,
+                flush_delay=flush_delay,
+            )
+            client.attach(self.network)
+            self.clients[client_id] = client
+
+    def run(self, until: Optional[float] = None, max_events: int = 5_000_000) -> None:
+        """Run the virtual clock to quiescence (or a deadline)."""
+        self.events.run(until=until, max_events=max_events)
+
+    def batch_stats(self) -> BatchStats:
+        merged = BatchStats()
+        for client in self.clients.values():
+            merged.merge(client.batch_stats)
+        return merged
+
+
+def run_sim_kv_workload(
+    workload: KVWorkload,
+    num_shards: int = 4,
+    protocol_key: str = "abd-mwmr",
+    servers_per_shard: int = 3,
+    max_faults: int = 1,
+    max_batch: int = 8,
+    delay_model: Optional[DelayModel] = None,
+    flush_delay: float = 0.0,
+    server_overhead: float = 0.2,
+    server_per_op: float = 0.1,
+    shard_map: Optional[ShardMap] = None,
+) -> KVRunResult:
+    """Run a closed-loop kv workload on the simulator and collect results."""
+    clients = workload.clients
+    if shard_map is None:
+        shard_map = ShardMap(
+            num_shards,
+            protocol_key=protocol_key,
+            servers_per_shard=servers_per_shard,
+            max_faults=max_faults,
+            readers=len(clients),
+            writers=len(clients),
+        )
+    cluster = SimKVCluster(
+        shard_map,
+        clients,
+        delay_model=delay_model,
+        max_batch=max_batch,
+        flush_delay=flush_delay,
+        server_overhead=server_overhead,
+        server_per_op=server_per_op,
+    )
+
+    def make_issuer(client: KVClientProcess, remaining: Deque) -> Callable:
+        # A factory so each client's chain closes over its own issuer; a
+        # loop-local closure would resolve to the last client's at call time.
+        def issue_next(_outcome=None) -> None:
+            if not remaining:
+                return
+            op = remaining.popleft()
+            if op.kind == "put":
+                client.put(op.key, op.value, on_complete=issue_next)
+            else:
+                client.get(op.key, on_complete=issue_next)
+
+        return issue_next
+
+    depth = max(1, workload.pipeline_depth)
+    for client_id in clients:
+        issue_next = make_issuer(
+            cluster.clients[client_id], deque(workload.sequences[client_id])
+        )
+        for _ in range(depth):
+            cluster.events.schedule(0.0, issue_next, label=f"kv-start:{client_id}")
+
+    cluster.run()
+    histories = cluster.recorder.histories()
+    result = KVRunResult(
+        backend="sim",
+        num_shards=len(shard_map),
+        max_batch=max_batch,
+        histories=histories,
+        duration=cluster.events.clock.now,
+        completed_ops=cluster.recorder.completed_operations,
+        messages_sent=cluster.network.sent_count,
+        batch_stats=cluster.batch_stats(),
+    )
+    for history in histories.values():
+        result.read_latencies.extend(
+            op.latency for op in history.reads if op.latency is not None
+        )
+        result.write_latencies.extend(
+            op.latency for op in history.writes if op.latency is not None
+        )
+    return result

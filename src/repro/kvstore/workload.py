@@ -1,0 +1,140 @@
+"""Key-value workloads and the result type shared by both backends.
+
+A :class:`KVWorkload` is backend-agnostic: per-client sequences of get/put
+operations over a key space, issued closed-loop with a configurable number of
+operations in flight per client (``pipeline_depth``).  Pipelining is what
+feeds the batching layer -- operations of one client that are in flight
+together and hash to the same shard share a batch round.
+
+Key popularity follows a Zipf-like distribution (via
+:meth:`~repro.util.rng.SeededRng.zipf_index`), the shape seen by real
+key-value front ends; ``key_skew=0`` gives uniform keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..consistency.history import History
+from ..util.rng import SeededRng
+from ..util.stats import LatencyStats, summarize
+from .batching import BatchStats
+from .perkey import PerKeyAtomicity, check_per_key_atomicity
+
+__all__ = ["KVOp", "KVWorkload", "generate_workload", "KVRunResult"]
+
+
+@dataclass(frozen=True)
+class KVOp:
+    """One key-value operation: ``get(key)`` or ``put(key, value)``."""
+
+    kind: str  # "get" | "put"
+    key: str
+    value: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("get", "put"):
+            raise ValueError(f"unknown kv operation kind {self.kind!r}")
+        if self.kind == "put" and self.value is None:
+            raise ValueError("put requires a value")
+
+
+@dataclass
+class KVWorkload:
+    """Per-client closed-loop operation sequences."""
+
+    sequences: Dict[str, List[KVOp]] = field(default_factory=dict)
+    pipeline_depth: int = 4
+
+    @property
+    def clients(self) -> List[str]:
+        return sorted(self.sequences)
+
+    @property
+    def keys(self) -> Set[str]:
+        return {op.key for ops in self.sequences.values() for op in ops}
+
+    def total_operations(self) -> int:
+        return sum(len(ops) for ops in self.sequences.values())
+
+
+def generate_workload(
+    num_clients: int = 4,
+    ops_per_client: int = 20,
+    num_keys: int = 16,
+    read_fraction: float = 0.7,
+    key_skew: float = 0.8,
+    pipeline_depth: int = 4,
+    seed: int = 0,
+) -> KVWorkload:
+    """A random read-heavy workload over ``num_keys`` Zipf-popular keys."""
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError("read_fraction must be within [0, 1]")
+    rng = SeededRng(seed)
+    keys = [f"k{i}" for i in range(1, num_keys + 1)]
+    sequences: Dict[str, List[KVOp]] = {}
+    for c in range(1, num_clients + 1):
+        client = f"c{c}"
+        ops: List[KVOp] = []
+        for index in range(ops_per_client):
+            if key_skew > 0:
+                key = keys[rng.zipf_index(len(keys), skew=key_skew)]
+            else:
+                key = rng.choice(keys)
+            if rng.random() < read_fraction and index > 0:
+                ops.append(KVOp("get", key))
+            else:
+                ops.append(KVOp("put", key, f"v-{client}-{index}"))
+        sequences[client] = ops
+    return KVWorkload(sequences=sequences, pipeline_depth=pipeline_depth)
+
+
+@dataclass
+class KVRunResult:
+    """What one kv-store run produces, on either backend.
+
+    ``duration`` is virtual time on the simulator and wall-clock seconds on
+    the asyncio backend; throughput is therefore comparable only within one
+    backend, which is all the scaling benchmark needs.  ``messages_sent``
+    counts frames in both directions (requests and acks) on both backends.
+    """
+
+    backend: str
+    num_shards: int
+    max_batch: int
+    histories: Dict[str, History] = field(default_factory=dict)
+    duration: float = 0.0
+    completed_ops: int = 0
+    messages_sent: int = 0
+    batch_stats: BatchStats = field(default_factory=BatchStats)
+    read_latencies: List[float] = field(default_factory=list)
+    write_latencies: List[float] = field(default_factory=list)
+
+    def throughput(self) -> float:
+        """Completed operations per time unit."""
+        return self.completed_ops / self.duration if self.duration > 0 else 0.0
+
+    def read_stats(self) -> LatencyStats:
+        return summarize(self.read_latencies)
+
+    def write_stats(self) -> LatencyStats:
+        return summarize(self.write_latencies)
+
+    def check(self) -> PerKeyAtomicity:
+        """Verify each key's sub-history independently."""
+        return check_per_key_atomicity(self.histories)
+
+    def as_row(self) -> Dict[str, object]:
+        verdict = self.check()
+        return {
+            "backend": self.backend,
+            "shards": self.num_shards,
+            "batch": self.max_batch,
+            "ops": self.completed_ops,
+            "throughput": self.throughput(),
+            "mean_batch": self.batch_stats.mean_batch_size,
+            "messages": self.messages_sent,
+            "read_p50": self.read_stats().p50,
+            "atomic": verdict.all_atomic,
+        }

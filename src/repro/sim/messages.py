@@ -1,12 +1,28 @@
-"""Message envelopes exchanged over the simulated (and real) network."""
+"""Message envelopes exchanged over the simulated (and real) network.
+
+Besides the plain :class:`Message` envelope this module defines the **batch
+frame** used by the sharded key-value store (:mod:`repro.kvstore`): several
+sub-requests destined for the same server are packed into one ``"batch"``
+message and answered with one ``"batch-ack"``, amortizing per-message
+overhead (framing, delivery scheduling, syscalls on the asyncio transport)
+across every operation coalesced into the round.
+"""
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Message"]
+__all__ = [
+    "Message",
+    "BATCH_KIND",
+    "BATCH_ACK_KIND",
+    "make_batch",
+    "unpack_batch",
+    "make_batch_ack",
+    "unpack_batch_ack",
+]
 
 _message_counter = itertools.count(1)
 
@@ -51,3 +67,94 @@ class Message:
             f"Message(#{self.msg_id} {self.sender}->{self.receiver} {self.kind} "
             f"op={self.op_id} rt={self.round_trip})"
         )
+
+
+# -- batch frames (repro.kvstore) ----------------------------------------------
+
+#: Kind of a request frame packing several sub-requests for one server.
+BATCH_KIND = "batch"
+#: Kind of the reply frame carrying the sub-replies of one batch.
+BATCH_ACK_KIND = "batch-ack"
+
+
+def _encode_sub(key: str, message: Message) -> Dict[str, Any]:
+    return {
+        "key": key,
+        "sender": message.sender,
+        "kind": message.kind,
+        "payload": message.payload,
+        "op_id": message.op_id,
+        "round_trip": message.round_trip,
+    }
+
+
+def _decode_sub(receiver: str, entry: Dict[str, Any]) -> Tuple[str, Message]:
+    return entry["key"], Message(
+        sender=entry["sender"],
+        receiver=receiver,
+        kind=entry["kind"],
+        payload=entry.get("payload", {}),
+        op_id=entry.get("op_id"),
+        round_trip=entry.get("round_trip", 0),
+    )
+
+
+def make_batch(
+    sender: str, receiver: str, sub_messages: Sequence[Tuple[str, Message]]
+) -> Message:
+    """Pack ``(key, sub-request)`` pairs into one batch frame for ``receiver``.
+
+    Each sub-message keeps its own ``op_id``/``round_trip`` so replies can be
+    routed back to the operation that issued it; the ``key`` names the
+    register the sub-message addresses on the multi-key server.
+    """
+    if not sub_messages:
+        raise ValueError("a batch frame must contain at least one sub-message")
+    return Message(
+        sender=sender,
+        receiver=receiver,
+        kind=BATCH_KIND,
+        payload={"ops": [_encode_sub(key, sub) for key, sub in sub_messages]},
+    )
+
+
+def unpack_batch(message: Message) -> List[Tuple[str, Message]]:
+    """Inverse of :func:`make_batch`: the ``(key, sub-request)`` pairs."""
+    if message.kind != BATCH_KIND:
+        raise ValueError(f"not a batch frame: kind={message.kind!r}")
+    return [_decode_sub(message.receiver, entry) for entry in message.payload["ops"]]
+
+
+def make_batch_ack(
+    request: Message, sub_replies: Sequence[Tuple[str, Optional[Message]]]
+) -> Message:
+    """Pack the per-sub-request replies of one batch into one ack frame.
+
+    ``sub_replies`` pairs each key with the reply the per-key server logic
+    produced (``None`` entries -- a logic that chose not to reply -- are
+    preserved positionally as ``null`` so the client can account for them).
+    """
+    entries: List[Optional[Dict[str, Any]]] = []
+    for key, reply in sub_replies:
+        entries.append(None if reply is None else _encode_sub(key, reply))
+    return Message(
+        sender=request.receiver,
+        receiver=request.sender,
+        kind=BATCH_ACK_KIND,
+        payload={"acks": entries},
+        op_id=request.op_id,
+        round_trip=request.round_trip,
+    )
+
+
+def unpack_batch_ack(message: Message) -> List[Tuple[str, Optional[Message]]]:
+    """Inverse of :func:`make_batch_ack`: ``(key, sub-reply | None)`` pairs."""
+    if message.kind != BATCH_ACK_KIND:
+        raise ValueError(f"not a batch ack frame: kind={message.kind!r}")
+    pairs: List[Tuple[str, Optional[Message]]] = []
+    for entry in message.payload["acks"]:
+        if entry is None:
+            pairs.append(("", None))
+        else:
+            pairs.append(_decode_sub(message.receiver, entry))
+    return pairs

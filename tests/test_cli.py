@@ -21,6 +21,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--protocol", "nope"])
 
+    def test_kv_defaults(self):
+        args = build_parser().parse_args(["kv"])
+        assert args.backend == "sim"
+        assert args.shards == 4 and args.batch == 8
+        assert args.protocol == "abd-mwmr"
+
+    def test_kv_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["kv", "--backend", "carrier-pigeon"])
+
 
 class TestCommands:
     def test_run_atomic_protocol_exit_zero(self, capsys):
@@ -70,3 +80,20 @@ class TestCommands:
         output = capsys.readouterr().out
         assert code == 0
         assert "mw-abd (W2R2)" in output
+
+    def test_kv_sim_backend(self, capsys):
+        code = main(["kv", "--shards", "2", "--clients", "2", "--ops", "8",
+                     "--keys", "8"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "backend            : sim" in output
+        assert "ATOMIC" in output
+        assert "batch rounds" in output
+
+    def test_kv_asyncio_backend(self, capsys):
+        code = main(["kv", "--backend", "asyncio", "--shards", "2",
+                     "--clients", "2", "--ops", "6", "--keys", "6"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "backend            : asyncio" in output
+        assert "ATOMIC" in output

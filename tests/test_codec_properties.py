@@ -1,0 +1,163 @@
+"""Property-based round-trip tests for the asyncio wire codec.
+
+Every message the transport can carry -- including the kv store's batch
+frames -- must survive ``encode -> frame -> decode`` bit-exactly, because the
+asyncio backend and the simulator share protocol logic that assumes payloads
+are preserved.  Hypothesis generates adversarial senders, kinds and payload
+trees (anything JSON can carry).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.asyncio_net.codec import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_batch_frame,
+    decode_message,
+    encode_batch_frame,
+    encode_message,
+)
+from repro.sim.messages import (
+    BATCH_ACK_KIND,
+    BATCH_KIND,
+    Message,
+    make_batch,
+    make_batch_ack,
+    unpack_batch,
+    unpack_batch_ack,
+)
+
+_codec = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+# JSON-safe payload values: what the protocols put into message payloads.
+# Floats are restricted to finite values (JSON has no NaN/Infinity) and ints
+# to the range JSON interoperates with.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+_json_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+_payloads = st.dictionaries(st.text(max_size=12), _json_values, max_size=5)
+_ids = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters="-_:"),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _messages(kinds=_ids):
+    return st.builds(
+        Message,
+        sender=_ids,
+        receiver=_ids,
+        kind=kinds,
+        payload=_payloads,
+        op_id=st.one_of(st.none(), _ids),
+        round_trip=st.integers(min_value=0, max_value=9),
+    )
+
+
+def _assert_same_message(left: Message, right: Message) -> None:
+    assert left.sender == right.sender
+    assert left.receiver == right.receiver
+    assert left.kind == right.kind
+    assert left.payload == right.payload
+    assert left.op_id == right.op_id
+    assert left.round_trip == right.round_trip
+
+
+class TestMessageFrames:
+    @_codec
+    @given(message=_messages())
+    def test_encode_decode_round_trip(self, message):
+        encoded = encode_message(message)
+        decoded = decode_message(encoded[4:])
+        _assert_same_message(message, decoded)
+
+    @_codec
+    @given(message=_messages())
+    def test_length_prefix_matches_body(self, message):
+        encoded = encode_message(message)
+        assert int.from_bytes(encoded[:4], "big") == len(encoded) - 4
+
+    def test_oversized_frame_rejected(self):
+        huge = Message("a", "b", "blob", {"data": "x" * (MAX_FRAME_BYTES + 1)})
+        with pytest.raises(FrameError):
+            encode_message(huge)
+
+
+class TestBatchFrames:
+    @_codec
+    @given(subs=st.lists(st.tuples(_ids, _messages()), min_size=1, max_size=5))
+    def test_batch_round_trip(self, subs):
+        batch = make_batch("client", "server", subs)
+        assert batch.kind == BATCH_KIND
+        recovered = unpack_batch(batch)
+        assert len(recovered) == len(subs)
+        for (key, original), (rkey, restored) in zip(subs, recovered):
+            assert key == rkey
+            assert restored.receiver == "server"
+            assert restored.sender == original.sender
+            assert restored.kind == original.kind
+            assert restored.payload == original.payload
+            assert restored.op_id == original.op_id
+            assert restored.round_trip == original.round_trip
+
+    @_codec
+    @given(subs=st.lists(st.tuples(_ids, _messages()), min_size=1, max_size=5))
+    def test_batch_survives_the_wire(self, subs):
+        encoded = encode_batch_frame("client", "server", subs)
+        recovered = decode_batch_frame(encoded[4:])
+        assert [key for key, _ in recovered] == [key for key, _ in subs]
+        for (_, original), (_, restored) in zip(subs, recovered):
+            assert restored.payload == original.payload
+
+    @_codec
+    @given(
+        subs=st.lists(st.tuples(_ids, _messages()), min_size=1, max_size=4),
+        missing=st.sets(st.integers(min_value=0, max_value=3)),
+    )
+    def test_batch_ack_round_trip_preserves_gaps(self, subs, missing):
+        request = make_batch("client", "server", subs)
+        replies = [
+            (key, None if index in missing else sub.reply("ack", {"i": index}))
+            for index, (key, sub) in enumerate(subs)
+        ]
+        ack = make_batch_ack(request, replies)
+        assert ack.kind == BATCH_ACK_KIND
+        # The ack also survives the wire codec.
+        recovered = unpack_batch_ack(decode_message(encode_message(ack)[4:]))
+        assert len(recovered) == len(subs)
+        for index, (_, restored) in enumerate(recovered):
+            if index in missing and index < len(subs):
+                assert restored is None
+            else:
+                assert restored is not None
+                assert restored.payload == {"i": index}
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            make_batch("client", "server", [])
+
+    def test_unpack_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_batch(Message("a", "b", "query"))
+        with pytest.raises(ValueError):
+            unpack_batch_ack(Message("a", "b", "query"))

@@ -1,0 +1,190 @@
+"""Tests for the kv store on the asyncio TCP backend (facade + sync wrapper)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.kvstore import (
+    AsyncKVCluster,
+    KVStore,
+    ShardMap,
+    SyncKVStore,
+    generate_workload,
+    run_asyncio_kv_workload,
+)
+from repro.kvstore._sync import LoopThread, run_sync
+
+
+class TestRunSync:
+    def test_returns_value(self):
+        async def compute():
+            await asyncio.sleep(0)
+            return 42
+
+        assert run_sync(compute()) == 42
+
+    def test_propagates_exception(self):
+        async def fail():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            run_sync(fail())
+
+    def test_refuses_inside_running_loop(self):
+        async def outer():
+            async def inner():
+                return 1
+
+            with pytest.raises(RuntimeError, match="running event loop"):
+                run_sync(inner())
+
+        asyncio.run(outer())
+
+
+class TestLoopThread:
+    def test_call_and_stop(self):
+        loop = LoopThread()
+
+        async def compute():
+            return "done"
+
+        assert loop.call(compute()) == "done"
+        loop.stop()
+        assert not loop.running
+
+        async def late():
+            return None  # pragma: no cover - never runs
+
+        with pytest.raises(RuntimeError):
+            loop.call(late())
+
+    def test_stop_is_idempotent(self):
+        loop = LoopThread()
+        loop.stop()
+        loop.stop()
+
+
+class TestKVStoreFacade:
+    def test_put_get_multi(self):
+        async def scenario():
+            cluster = AsyncKVCluster(ShardMap(2))
+            await cluster.start()
+            store = KVStore(cluster, client_id="c1")
+            await store.connect()
+            try:
+                await store.put("user:7", "ada")
+                assert await store.get("user:7") == "ada"
+                assert await store.get("missing") is None
+                await store.multi_put({"a": 1, "b": 2, "c": 3, "d": 4})
+                values = await store.multi_get(["a", "b", "c", "d"])
+                assert values == {"a": 1, "b": 2, "c": 3, "d": 4}
+                verdict = store.check()
+                assert verdict.all_atomic, verdict.summary()
+                # multi-ops submitted in one tick coalesce into shared rounds.
+                assert store.batch_stats().largest >= 2
+            finally:
+                await store.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_concurrent_clients_stay_atomic_per_key(self):
+        import time
+
+        from repro.kvstore import KVHistoryRecorder, check_per_key_atomicity
+
+        async def scenario():
+            shard_map = ShardMap(2, readers=3, writers=3)
+            cluster = AsyncKVCluster(shard_map)
+            await cluster.start()
+            base = time.monotonic()
+            # One recorder shared by all stores: contention on "shared" is
+            # only checkable over the combined history of all clients.
+            recorder = KVHistoryRecorder(lambda: time.monotonic() - base)
+            stores = []
+            try:
+                for index in range(3):
+                    store = KVStore(cluster, client_id=f"c{index + 1}",
+                                    recorder=recorder)
+                    await store.connect()
+                    stores.append(store)
+
+                async def hammer(store: KVStore, index: int) -> None:
+                    for i in range(6):
+                        await store.put("shared", f"v-{index}-{i}")
+                        await store.get("shared")
+
+                await asyncio.gather(*(hammer(s, i) for i, s in enumerate(stores)))
+                verdict = check_per_key_atomicity(recorder.histories())
+                assert verdict.all_atomic, verdict.summary()
+            finally:
+                for store in stores:
+                    await store.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_oversized_value_raises_instead_of_hanging(self):
+        from repro.asyncio_net.codec import MAX_FRAME_BYTES, FrameError
+
+        async def scenario():
+            cluster = AsyncKVCluster(ShardMap(1))
+            await cluster.start()
+            store = KVStore(cluster, client_id="c1")
+            await store.connect()
+            try:
+                huge = "x" * (MAX_FRAME_BYTES + 1)
+                with pytest.raises(FrameError):
+                    await asyncio.wait_for(store.put("k", huge), timeout=5.0)
+            finally:
+                await store.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_requires_connect(self):
+        async def scenario():
+            cluster = AsyncKVCluster(ShardMap(1))
+            await cluster.start()
+            store = KVStore(cluster)
+            try:
+                with pytest.raises(RuntimeError, match="not connected"):
+                    await store.put("k", "v")
+            finally:
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+
+class TestSyncKVStore:
+    def test_sync_wrapper_round_trip(self):
+        with SyncKVStore(num_shards=2) as store:
+            store.put("k1", "hello")
+            assert store.get("k1") == "hello"
+            store.multi_put({"x": "1", "y": "2"})
+            assert store.multi_get(["x", "y"]) == {"x": "1", "y": "2"}
+            verdict = store.check()
+            assert verdict.all_atomic
+        # close() is idempotent and the context manager already closed it.
+        store.close()
+
+    def test_sync_methods_are_plain_callables(self):
+        assert not asyncio.iscoroutinefunction(SyncKVStore.put)
+        assert not asyncio.iscoroutinefunction(SyncKVStore.get)
+        assert not asyncio.iscoroutinefunction(SyncKVStore.multi_get)
+        assert not asyncio.iscoroutinefunction(SyncKVStore.multi_put)
+
+
+class TestWorkloadRunner:
+    def test_closed_loop_run_is_atomic_and_batched(self):
+        workload = generate_workload(num_clients=2, ops_per_client=10, num_keys=8,
+                                     seed=4, pipeline_depth=4)
+        result = run_asyncio_kv_workload(workload, num_shards=2, max_batch=8)
+        assert result.backend == "asyncio"
+        assert result.completed_ops == workload.total_operations()
+        assert result.check().all_atomic
+        assert result.messages_sent > 0
+        assert result.batch_stats.rounds > 0
+        assert result.duration > 0

@@ -1,0 +1,146 @@
+"""Tests for the consistent-hash shard map and batch server logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.timestamps import Tag
+from repro.kvstore.batching import BatchShardServer, BatchStats
+from repro.kvstore.sharding import HashRing, ShardMap, stable_hash
+from repro.protocols.codec import encode_tag
+from repro.protocols.registry import build_protocol
+from repro.sim.messages import (
+    BATCH_ACK_KIND,
+    Message,
+    make_batch,
+    unpack_batch_ack,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("user:7") == stable_hash("user:7")
+
+    def test_spreads(self):
+        hashes = {stable_hash(f"k{i}") for i in range(100)}
+        assert len(hashes) == 100
+
+
+class TestHashRing:
+    def test_same_key_same_owner(self):
+        ring = HashRing(["sh1", "sh2", "sh3"])
+        assert ring.owner_of("alpha") == ring.owner_of("alpha")
+
+    def test_all_shards_get_keys(self):
+        ring = HashRing(["sh1", "sh2", "sh3", "sh4"])
+        owners = {ring.owner_of(f"k{i}") for i in range(200)}
+        assert owners == {"sh1", "sh2", "sh3", "sh4"}
+
+    def test_adding_a_shard_moves_few_keys(self):
+        keys = [f"k{i}" for i in range(300)]
+        before = HashRing(["sh1", "sh2", "sh3"])
+        after = HashRing(["sh1", "sh2", "sh3", "sh4"])
+        moved = sum(1 for k in keys if before.owner_of(k) != after.owner_of(k))
+        # Consistent hashing moves roughly 1/4 of the keys, never most of them.
+        assert moved < len(keys) // 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+class TestShardMap:
+    def test_builds_disjoint_replica_groups(self):
+        shard_map = ShardMap(3, servers_per_shard=3)
+        assert len(shard_map) == 3
+        servers = shard_map.all_servers
+        assert len(servers) == 9
+        assert len(set(servers)) == 9
+
+    def test_shard_for_is_stable(self):
+        shard_map = ShardMap(4)
+        spec = shard_map.shard_for("user:42")
+        assert shard_map.shard_for("user:42") is spec
+        assert "user:42" in shard_map.assignments(["user:42"])[spec.shard_id]
+
+    def test_assignments_cover_all_keys(self):
+        shard_map = ShardMap(2)
+        keys = [f"k{i}" for i in range(50)]
+        grouped = shard_map.assignments(keys)
+        assert sorted(k for ks in grouped.values() for k in ks) == sorted(keys)
+
+    def test_rejects_single_writer_protocol_with_many_clients(self):
+        with pytest.raises(ConfigurationError):
+            ShardMap(2, protocol_key="abd-swmr", servers_per_shard=3, writers=3)
+
+    def test_describe(self):
+        info = ShardMap(2, servers_per_shard=3).describe()
+        assert info["shards"] == 2 and info["total_servers"] == 6
+
+
+class TestBatchShardServer:
+    def _server(self):
+        protocol = build_protocol("abd-mwmr", ["s1", "s2", "s3"], 1)
+        return BatchShardServer("s1", protocol)
+
+    def test_routes_sub_requests_per_key(self):
+        server = self._server()
+        update_a = Message("w1", "s1", "update",
+                           {"tag": encode_tag(Tag(1, "w1")), "value": "A"},
+                           op_id="op-1", round_trip=2)
+        update_b = Message("w1", "s1", "update",
+                           {"tag": encode_tag(Tag(1, "w1")), "value": "B"},
+                           op_id="op-2", round_trip=2)
+        batch = make_batch("w1", "s1", [("ka", update_a), ("kb", update_b)])
+        ack = server.handle(batch)
+        assert ack.kind == BATCH_ACK_KIND
+        assert server.keys_hosted == 2
+
+        query_a = Message("r1", "s1", "query", op_id="op-3", round_trip=1)
+        ack = server.handle(make_batch("r1", "s1", [("ka", query_a)]))
+        (key, reply), = unpack_batch_ack(ack)
+        assert key == "ka"
+        assert reply.payload["value"] == "A"
+        assert reply.op_id == "op-3" and reply.round_trip == 1
+
+    def test_keys_are_independent_registers(self):
+        server = self._server()
+        update = Message("w1", "s1", "update",
+                         {"tag": encode_tag(Tag(5, "w1")), "value": "only-ka"})
+        server.handle(make_batch("w1", "s1", [("ka", update)]))
+        query = Message("r1", "s1", "query")
+        ack = server.handle(make_batch("r1", "s1", [("kb", query)]))
+        (_, reply), = unpack_batch_ack(ack)
+        assert reply.payload["value"] is None  # kb never written
+
+    def test_rejects_non_batch_messages(self):
+        server = self._server()
+        with pytest.raises(ValueError):
+            server.handle(Message("r1", "s1", "query"))
+
+    def test_counts_batches(self):
+        server = self._server()
+        query = Message("r1", "s1", "query")
+        server.handle(make_batch("r1", "s1", [("ka", query), ("kb", query)]))
+        assert server.batches_served == 1
+        assert server.sub_ops_served == 2
+        assert server.largest_batch == 2
+
+
+class TestBatchStats:
+    def test_mean_and_merge(self):
+        first = BatchStats()
+        first.record(2)
+        first.record(4)
+        second = BatchStats()
+        second.record(6)
+        first.merge(second)
+        assert first.rounds == 3
+        assert first.sub_operations == 12
+        assert first.mean_batch_size == pytest.approx(4.0)
+        assert first.largest == 6
+        assert "3 batch rounds" in first.summary()
+
+    def test_empty_mean(self):
+        assert BatchStats().mean_batch_size == 0.0

@@ -47,6 +47,14 @@ class TestQuickRun:
     def test_design_point_reexported(self):
         assert repro.DesignPoint is DesignPoint
 
+    def test_kvstore_reexported(self):
+        from repro.kvstore import KVStore, ShardMap, SyncKVStore
+
+        assert repro.KVStore is KVStore
+        assert repro.ShardMap is ShardMap
+        assert repro.SyncKVStore is SyncKVStore
+        assert "KVStore" in repro.__all__
+
 
 def _load_example(name: str):
     path = EXAMPLES_DIR / f"{name}.py"
@@ -86,11 +94,13 @@ class TestExamples:
 
     def test_geo_replicated_kv_runs(self, capsys, monkeypatch):
         module = _load_example("geo_replicated_kv")
-        monkeypatch.setattr(sys, "argv", ["geo_replicated_kv.py", "2", "4"])
+        monkeypatch.setattr(sys, "argv", ["geo_replicated_kv.py", "6", "10"])
         module.main()
         output = capsys.readouterr().out
         assert "fast-read-mwmr" in output
-        assert "violations across keys: 0" in output
+        assert "abd-mwmr" in output
+        assert "shards" in output
+        assert output.count("violations across keys: 0") == 2
 
     def test_byzantine_example_runs(self, capsys, monkeypatch):
         module = _load_example("byzantine_faults")
