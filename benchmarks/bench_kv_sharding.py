@@ -17,7 +17,7 @@ per-key atomicity.
 Run as a pytest-benchmark test or directly::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_kv_sharding.py -s
-    PYTHONPATH=src python benchmarks/bench_kv_sharding.py
+    PYTHONPATH=src python benchmarks/bench_kv_sharding.py [--quick]
 """
 
 from __future__ import annotations
@@ -38,23 +38,25 @@ SIM_BATCHES = (1, 8)
 NET_SHARDS = (1, 2, 4)
 
 
-def _sim_workload():
+def _sim_workload(clients=6, ops=30, keys=48):
     return generate_workload(
-        num_clients=6, ops_per_client=30, num_keys=48, seed=7, pipeline_depth=6
+        num_clients=clients, ops_per_client=ops, num_keys=keys, seed=7,
+        pipeline_depth=6,
     )
 
 
-def _net_workload():
+def _net_workload(clients=3, ops=30, keys=24):
     return generate_workload(
-        num_clients=3, ops_per_client=20, num_keys=24, seed=7, pipeline_depth=6
+        num_clients=clients, ops_per_client=ops, num_keys=keys, seed=7,
+        pipeline_depth=6,
     )
 
 
-def run_sim_sweep():
-    workload = _sim_workload()
+def run_sim_sweep(shard_counts=SIM_SHARDS, batches=SIM_BATCHES, workload=None):
+    workload = workload or _sim_workload()
     rows = []
-    for batch in SIM_BATCHES:
-        for shards in SIM_SHARDS:
+    for batch in batches:
+        for shards in shard_counts:
             result = run_sim_kv_workload(
                 workload,
                 num_shards=shards,
@@ -67,16 +69,16 @@ def run_sim_sweep():
     return rows
 
 
-def run_net_sweep():
-    workload = _net_workload()
+def run_net_sweep(shard_counts=NET_SHARDS, workload=None):
+    workload = workload or _net_workload()
     rows = []
-    for shards in NET_SHARDS:
+    for shards in shard_counts:
         result = run_asyncio_kv_workload(
             workload,
             num_shards=shards,
             max_batch=6,
-            service_overhead=0.0005,
-            service_per_op=0.0005,
+            service_overhead=0.001,
+            service_per_op=0.001,
         )
         rows.append(result)
     return rows
@@ -122,5 +124,13 @@ def test_kv_asyncio_sharding_sweep(benchmark):
 
 
 if __name__ == "__main__":
-    _print_sweep("KV store scaling — simulator (virtual time)", run_sim_sweep())
-    _print_sweep("KV store scaling — asyncio loopback TCP (wall clock)", run_net_sweep())
+    if "--quick" in sys.argv[1:]:
+        sim = run_sim_sweep(shard_counts=(1, 2), batches=(8,),
+                            workload=_sim_workload(clients=2, ops=8, keys=12))
+        net = run_net_sweep(shard_counts=(1, 2),
+                            workload=_net_workload(clients=2, ops=6, keys=8))
+    else:
+        sim = run_sim_sweep()
+        net = run_net_sweep()
+    _print_sweep("KV store scaling — simulator (virtual time)", sim)
+    _print_sweep("KV store scaling — asyncio loopback TCP (wall clock)", net)

@@ -4,9 +4,11 @@
 This is the deployment the paper's introduction motivates, now served by the
 first-class sharded store instead of a hand-rolled loop of single-register
 simulations: a :class:`~repro.kvstore.sharding.ShardMap` spreads the key
-space over several replica groups, clients pipeline operations so the
-batching layer can coalesce same-shard requests into shared quorum rounds,
-and the checker verifies every key's sub-history independently.
+space over six shards multiplexed onto three replica groups (one per site --
+the placement layer decouples shard count from cluster size), clients
+pipeline operations so the batching layer can coalesce same-group requests
+into shared quorum rounds, and the checker verifies every key's sub-history
+independently.
 
 The run compares the paper's fast-read register (W2R1) against the MW-ABD
 baseline (W2R2) under a geo delay model (local ~0.5 ms, WAN ~40 ms) on a
@@ -28,16 +30,18 @@ from repro.kvstore import ShardMap, generate_workload, run_sim_kv_workload
 from repro.sim import GeoDelay
 
 SITES = ("us-east", "eu-west", "ap-south")
-NUM_SHARDS = 3
-SERVERS_PER_SHARD = 5  # fast reads need R < S/t - 2, so 2 clients need S >= 5
+NUM_SHARDS = 6
+NUM_GROUPS = 3  # one replica group per site; each group hosts two shards
+SERVERS_PER_GROUP = 5  # fast reads need R < S/t - 2, so 2 clients need S >= 5
 NUM_CLIENTS = 2
 
 
 def _site_map(shard_map: ShardMap, clients) -> Dict[str, str]:
-    """Spread every replica and client across the three sites round-robin."""
+    """Place each replica group at one site; spread clients round-robin."""
     mapping: Dict[str, str] = {}
-    for index, server in enumerate(shard_map.all_servers):
-        mapping[server] = SITES[index % len(SITES)]
+    for index, group in enumerate(shard_map.groups.values()):
+        for server in group.servers:
+            mapping[server] = SITES[index % len(SITES)]
     for index, client in enumerate(clients):
         mapping[client] = SITES[index % len(SITES)]
     return mapping
@@ -47,10 +51,11 @@ def run_store(protocol_key: str, keys: int, ops_per_client: int, seed: int) -> N
     shard_map = ShardMap(
         NUM_SHARDS,
         protocol_key=protocol_key,
-        servers_per_shard=SERVERS_PER_SHARD,
+        servers_per_shard=SERVERS_PER_GROUP,
         max_faults=1,
         readers=NUM_CLIENTS,
         writers=NUM_CLIENTS,
+        num_groups=NUM_GROUPS,
     )
     workload = generate_workload(
         num_clients=NUM_CLIENTS,
@@ -77,7 +82,8 @@ def run_store(protocol_key: str, keys: int, ops_per_client: int, seed: int) -> N
     verdict = result.check()
     reads = result.read_stats()
     writes = result.write_stats()
-    print(f"--- {protocol_key} over {keys} keys on {NUM_SHARDS} shards ---")
+    print(f"--- {protocol_key} over {keys} keys on {NUM_SHARDS} shards / "
+          f"{NUM_GROUPS} groups ---")
     print(f"  operations        : {result.completed_ops} "
           f"({result.batch_stats.summary()})")
     print(f"  read  latency (ms): p50={reads.p50:.1f}  p95={reads.p95:.1f}  "
@@ -90,8 +96,8 @@ def run_store(protocol_key: str, keys: int, ops_per_client: int, seed: int) -> N
 def main() -> None:
     keys = int(sys.argv[1]) if len(sys.argv) > 1 else 12
     ops_per_client = int(sys.argv[2]) if len(sys.argv) > 2 else 20
-    print(f"geo-replicated KV store: {NUM_SHARDS} shards x {SERVERS_PER_SHARD} "
-          f"replicas across {', '.join(SITES)}")
+    print(f"geo-replicated KV store: {NUM_SHARDS} shards on {NUM_GROUPS} "
+          f"groups x {SERVERS_PER_GROUP} replicas across {', '.join(SITES)}")
     print("WAN one-way delay ~40 ms, read-heavy pipelined workload\n")
     run_store("fast-read-mwmr", keys, ops_per_client, seed=100)
     run_store("abd-mwmr", keys, ops_per_client, seed=100)

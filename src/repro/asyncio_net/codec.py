@@ -4,9 +4,10 @@ One frame is a 4-byte big-endian length header followed by a JSON body.  The
 body is a single :class:`~repro.sim.messages.Message`; batch frames (used by
 :mod:`repro.kvstore` to coalesce several sub-requests into one round) are
 ordinary messages of kind ``"batch"``/``"batch-ack"`` whose payload packs the
-sub-messages, so the wire format needs no second framing layer --
-:func:`encode_batch_frame`/:func:`decode_batch_frame` are the convenience
-composition of both layers.
+sub-messages -- including each sub-request's (shard, epoch) routing tag, the
+fence that makes live rebalancing safe -- so the wire format needs no second
+framing layer: :func:`encode_batch_frame`/:func:`decode_batch_frame` are the
+convenience composition of both layers.
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ import json
 import struct
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..sim.messages import Message, make_batch, unpack_batch
+from ..sim.messages import Message, SubRequest, make_batch, unpack_batch
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -76,13 +77,14 @@ def decode_message(body: bytes) -> Message:
 
 
 def encode_batch_frame(
-    sender: str, receiver: str, sub_messages: Sequence[Tuple[str, Message]]
+    sender: str, receiver: str, sub_messages: Sequence
 ) -> bytes:
-    """Pack ``(key, sub-request)`` pairs into one encoded batch frame."""
+    """Pack sub-requests (:class:`SubRequest` or ``(key, message)`` pairs)
+    into one encoded batch frame."""
     return encode_message(make_batch(sender, receiver, sub_messages))
 
 
-def decode_batch_frame(body: bytes) -> List[Tuple[str, Message]]:
+def decode_batch_frame(body: bytes) -> List[SubRequest]:
     """Inverse of :func:`encode_batch_frame` (body excludes the length header)."""
     return unpack_batch(decode_message(body))
 

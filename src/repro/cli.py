@@ -87,9 +87,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     kv.add_argument("--backend", choices=("sim", "asyncio"), default="sim")
     kv.add_argument("--shards", type=int, default=4)
+    kv.add_argument("--groups", type=int, default=None,
+                    help="replica groups hosting the shards (default: one per "
+                         "shard); fewer groups than shards multiplexes many "
+                         "shards per group")
     kv.add_argument("--protocol", default="abd-mwmr", choices=sorted(PROTOCOLS))
-    kv.add_argument("--servers-per-shard", type=int, default=3)
+    kv.add_argument("--servers-per-shard", type=int, default=3,
+                    help="replica servers per group")
     kv.add_argument("--faults", type=int, default=1)
+    kv.add_argument("--resize-to", type=int, default=None, metavar="N",
+                    help="live-resize the ring to N shards mid-run (the "
+                         "resize action: registers drain to the new owners "
+                         "while clients keep operating)")
+    kv.add_argument("--resize-after", type=int, default=None, metavar="OPS",
+                    help="trigger the live resize after OPS completed "
+                         "operations (default: half the workload)")
     kv.add_argument("--clients", type=int, default=4)
     kv.add_argument("--ops", type=int, default=30, help="operations per client")
     kv.add_argument("--keys", type=int, default=32)
@@ -215,6 +227,8 @@ def _command_latency(args: argparse.Namespace) -> int:
 
 
 def _command_kv(args: argparse.Namespace) -> int:
+    if args.resize_after is not None and args.resize_to is None:
+        raise SystemExit("--resize-after requires --resize-to")
     workload = generate_workload(
         num_clients=args.clients,
         ops_per_client=args.ops,
@@ -229,6 +243,9 @@ def _command_kv(args: argparse.Namespace) -> int:
         servers_per_shard=args.servers_per_shard,
         max_faults=args.faults,
         max_batch=args.batch,
+        num_groups=args.groups,
+        resize_to=args.resize_to,
+        resize_after_ops=args.resize_after,
     )
     if args.backend == "sim":
         result = run_sim_kv_workload(workload, **common)
@@ -238,10 +255,11 @@ def _command_kv(args: argparse.Namespace) -> int:
         time_unit = "seconds"
     verdict = result.check()
 
+    groups = result.num_groups or args.shards
     print(f"backend            : {result.backend}")
-    print(f"configuration      : {args.shards} shards x {args.servers_per_shard} replicas "
-          f"({args.protocol}, t={args.faults}), {args.clients} clients, "
-          f"{args.keys} keys, pipeline {args.pipeline}")
+    print(f"configuration      : {args.shards} shards on {groups} groups x "
+          f"{args.servers_per_shard} replicas ({args.protocol}, t={args.faults}), "
+          f"{args.clients} clients, {args.keys} keys, pipeline {args.pipeline}")
     print(f"operations         : {result.completed_ops} completed "
           f"({workload.total_operations()} scheduled)")
     print(f"duration           : {result.duration:.3f} {time_unit}")
@@ -249,6 +267,10 @@ def _command_kv(args: argparse.Namespace) -> int:
     print(f"batching           : {result.batch_stats.summary()}")
     print(f"messages sent      : {result.messages_sent} frames")
     print(f"read latency p50   : {result.read_stats().p50:.3f}")
+    if result.resize:
+        print(f"live resize        : -> {result.resize['to']} shards after "
+              f"{result.resize['at_ops']} ops; {result.resize['report']}; "
+              f"{result.stale_replays} rounds replayed")
     print(f"atomicity          : {verdict.summary()}")
     return 0 if verdict.all_atomic else 1
 

@@ -3,13 +3,22 @@
 The paper's protocols emulate one atomic register; this package scales them
 to a multi-key store:
 
+* **Placement** (:mod:`~repro.kvstore.placement`): shards are decoupled from
+  replica groups -- a :class:`PlacementPolicy` maps N logical shards onto M
+  :class:`ReplicaGroup`\\ s (N >> M allowed), so small clusters host many
+  shards and groups can be placed per site.
 * **Sharding** (:mod:`~repro.kvstore.sharding`): a consistent-hash
-  :class:`ShardMap` assigns each key to an independent replica group running
-  any registered protocol; every key gets its own register emulation, so
-  correctness decomposes key by key.
+  :class:`ShardMap` assigns each key to a shard; every key gets its own
+  register emulation, so correctness decomposes key by key.  The map is
+  *live*: :meth:`ShardMap.resize` and :meth:`ShardMap.move_shard` rebalance
+  under load with bounded key movement (~1/N per added shard), fenced by
+  per-shard epochs carried in every batch frame.
 * **Batching** (:mod:`~repro.kvstore.batching`): concurrent operations bound
-  for the same shard share one framed message round per replica, amortizing
-  quorum round-trips.
+  for the same replica group share one framed message round per replica; the
+  multiplexed :class:`BatchGroupServer` demultiplexes shard-tagged
+  sub-requests to per-key registers and bounces stale epochs.
+* **Migration** (:mod:`~repro.kvstore.migration`): the control-plane step
+  that drains per-key registers to their new owners when the ring changes.
 * **Two backends**: the discrete-event simulator
   (:func:`run_sim_kv_workload`) and real asyncio TCP
   (:class:`KVStore` / :class:`SyncKVStore`, :func:`run_asyncio_kv_workload`).
@@ -20,8 +29,15 @@ to a multi-key store:
 
 from __future__ import annotations
 
-from .batching import BatchShardServer, BatchStats
+from .batching import (
+    BatchGroupServer,
+    BatchShardServer,
+    BatchStats,
+    StaleShardError,
+)
+from .migration import MigrationReport, apply_move_plan, apply_resize_plan
 from .net_backend import (
+    AsyncGroupClient,
     AsyncKVCluster,
     AsyncShardClient,
     KVStore,
@@ -29,13 +45,32 @@ from .net_backend import (
     run_asyncio_kv_workload,
 )
 from .perkey import KVHistoryRecorder, PerKeyAtomicity, check_per_key_atomicity
-from .sharding import HashRing, ShardMap, ShardSpec, stable_hash
-from .sim_backend import KVClientProcess, SimKVCluster, run_sim_kv_workload
+from .placement import PlacementPolicy, ReplicaGroup, RoundRobinPlacement
+from .sharding import (
+    HashRing,
+    MovePlan,
+    ResizePlan,
+    ShardMap,
+    ShardSpec,
+    stable_hash,
+)
+from .sim_backend import (
+    KVClientProcess,
+    KVFailureInjector,
+    SimKVCluster,
+    run_sim_kv_workload,
+)
 from .workload import KVOp, KVRunResult, KVWorkload, generate_workload
 
 __all__ = [
+    "BatchGroupServer",
     "BatchShardServer",
     "BatchStats",
+    "StaleShardError",
+    "MigrationReport",
+    "apply_move_plan",
+    "apply_resize_plan",
+    "AsyncGroupClient",
     "AsyncKVCluster",
     "AsyncShardClient",
     "KVStore",
@@ -44,11 +79,17 @@ __all__ = [
     "KVHistoryRecorder",
     "PerKeyAtomicity",
     "check_per_key_atomicity",
+    "PlacementPolicy",
+    "ReplicaGroup",
+    "RoundRobinPlacement",
     "HashRing",
+    "MovePlan",
+    "ResizePlan",
     "ShardMap",
     "ShardSpec",
     "stable_hash",
     "KVClientProcess",
+    "KVFailureInjector",
     "SimKVCluster",
     "run_sim_kv_workload",
     "KVOp",

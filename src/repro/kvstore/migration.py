@@ -1,0 +1,187 @@
+"""Control-plane migration: applying resize/move plans to group servers.
+
+:meth:`~repro.kvstore.sharding.ShardMap.resize` and
+:meth:`~repro.kvstore.sharding.ShardMap.move_shard` only rewrite metadata
+(ring, placements, epochs).  This module performs the matching *data* step:
+draining per-key register objects out of the shards that lost ownership and
+installing them on the new owners, replica by replica.
+
+Both backends keep every group server's logic object in the coordinating
+process (the simulator by construction; the asyncio cluster because it owns
+the listening replicas), so a whole plan is applied in **one synchronous
+critical section** -- fence, drain, install, with no event or await in
+between.  That atomicity is what makes the cutover linearizable: a frame is
+either processed entirely before the migration (old epochs valid, old owners
+serve it) or entirely after (stale tags bounce, the client re-resolves and
+replays the round against the new owner).  In a multi-process deployment
+the same sequence would be a fence-then-transfer handshake; the epoch tags
+carried on every sub-request are exactly the fence such a handshake needs.
+
+Registers move replica-by-replica in index order: source replica ``i``'s
+state lands on destination replica ``i``.  Groups are uniform in size, so a
+value stored on ``>= S - t`` source replicas is stored on ``>= S - t``
+destination replicas after the move -- quorum intersection, and with it
+per-key atomicity, survives migration (even when some replicas hold stale
+state because they were crashed or missed updates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from .batching import BatchGroupServer
+from .sharding import MovePlan, ResizePlan, ShardMap
+
+__all__ = [
+    "MigrationReport",
+    "apply_resize_plan",
+    "apply_move_plan",
+    "make_resize_trigger",
+]
+
+
+@dataclass
+class MigrationReport:
+    """What one applied plan physically moved."""
+
+    keys_moved: int = 0
+    registers_moved: int = 0
+    shards_added: List[str] = field(default_factory=list)
+    shards_removed: List[str] = field(default_factory=list)
+    shards_fenced: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"moved {self.keys_moved} keys ({self.registers_moved} replica "
+            f"registers), +{len(self.shards_added)}/-{len(self.shards_removed)} "
+            f"shards, fenced {len(self.shards_fenced)}"
+        )
+
+
+def _drain_shard(
+    shard_map: ShardMap,
+    spec,
+    logics: Mapping[str, BatchGroupServer],
+    report: MigrationReport,
+    moved_keys: Set[str],
+) -> None:
+    """Move every key of ``spec`` whose ring owner changed to its new home."""
+    for index, server_id in enumerate(spec.group.servers):
+        source = logics[server_id]
+        relocations: Dict[str, List[str]] = {}
+        for key in source.keys_for(spec.shard_id):
+            owner = shard_map.ring.owner_of(key)
+            if owner != spec.shard_id:
+                relocations.setdefault(owner, []).append(key)
+        for owner, keys in relocations.items():
+            dest_spec = shard_map.shards[owner]
+            registers = source.extract_keys(spec.shard_id, keys)
+            logics[dest_spec.group.servers[index]].install_keys(owner, registers)
+            report.registers_moved += len(registers)
+            moved_keys.update(registers)
+
+
+def apply_resize_plan(
+    plan: ResizePlan,
+    shard_map: ShardMap,
+    logics: Mapping[str, BatchGroupServer],
+) -> MigrationReport:
+    """Apply one resize to the group servers: host, fence, drain, evict.
+
+    Must be called immediately after ``shard_map.resize(...)`` produced
+    ``plan``, with no intervening event processing (both cluster backends
+    wrap the two calls in one synchronous step).
+    """
+    report = MigrationReport(
+        shards_added=[spec.shard_id for spec in plan.added],
+        shards_removed=[spec.shard_id for spec in plan.removed],
+        shards_fenced=sorted(plan.fenced),
+    )
+    moved_keys: Set[str] = set()
+
+    # 1. Host the new shards (empty) on their groups' servers.
+    for spec in plan.added:
+        for server_id in spec.group.servers:
+            logics[server_id].host_shard(spec.shard_id, spec.epoch)
+
+    # 2. Fence every surviving shard that lost arcs: older epochs bounce.
+    for shard_id, epoch in plan.fenced.items():
+        spec = shard_map.shards[shard_id]
+        for server_id in spec.group.servers:
+            logics[server_id].set_epoch(shard_id, epoch)
+
+    # 3. Drain moved keys out of the donors (fenced survivors) and out of
+    #    every removed shard, into the new owners' hosting tables.
+    for shard_id in plan.fenced:
+        _drain_shard(shard_map, shard_map.shards[shard_id], logics, report, moved_keys)
+    for spec in plan.removed:
+        _drain_shard(shard_map, spec, logics, report, moved_keys)
+
+    # 4. Retire removed shards entirely; anything still addressed to them
+    #    now bounces as "not hosted".
+    for spec in plan.removed:
+        for server_id in spec.group.servers:
+            logics[server_id].evict_shard(spec.shard_id)
+
+    report.keys_moved = len(moved_keys)
+    return report
+
+
+def make_resize_trigger(
+    resize: Callable[[int], MigrationReport],
+    completed_ops: Callable[[], int],
+    resize_to: int,
+    threshold: int,
+    now: Optional[Callable[[], float]] = None,
+) -> Tuple[Callable[[], None], Dict[str, object]]:
+    """A fire-once completion hook that live-resizes mid-workload.
+
+    Both backend workload runners install the returned hook after every
+    completed operation; once ``completed_ops()`` reaches ``threshold`` it
+    calls ``resize(resize_to)`` exactly once and fills the returned record
+    with what happened (``to``, ``at_ops``, ``keys_moved``, ``report``, and
+    ``at_time`` when a clock is supplied).
+    """
+    record: Dict[str, object] = {}
+    state = {"fired": False}
+
+    def hook() -> None:
+        if state["fired"] or completed_ops() < threshold:
+            return
+        state["fired"] = True
+        report = resize(resize_to)
+        record.update(
+            {
+                "to": resize_to,
+                "at_ops": completed_ops(),
+                "keys_moved": report.keys_moved,
+                "report": report.summary(),
+            }
+        )
+        if now is not None:
+            record["at_time"] = now()
+
+    return hook, record
+
+
+def apply_move_plan(
+    plan: MovePlan, logics: Mapping[str, BatchGroupServer]
+) -> MigrationReport:
+    """Apply one shard move: evict from the old group, host on the new one.
+
+    Must be called immediately after ``shard_map.move_shard(...)``; the
+    spec's epoch is already bumped, so frames routed to the old group (or to
+    the new group with the old epoch) bounce.
+    """
+    report = MigrationReport(shards_fenced=[plan.spec.shard_id])
+    moved_keys: Set[str] = set()
+    for index, server_id in enumerate(plan.old_group.servers):
+        registers = logics[server_id].evict_shard(plan.spec.shard_id)
+        logics[plan.new_group.servers[index]].host_shard(
+            plan.spec.shard_id, plan.spec.epoch, registers
+        )
+        report.registers_moved += len(registers)
+        moved_keys.update(registers)
+    report.keys_moved = len(moved_keys)
+    return report

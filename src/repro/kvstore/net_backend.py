@@ -1,15 +1,24 @@
 """The key-value store on the real asyncio TCP transport.
 
-The same shard layout and batch frames as the simulator backend, over real
-sockets:
+The same placement layout and shard-tagged batch frames as the simulator
+backend, over real sockets:
 
 * :class:`AsyncKVCluster` starts one :class:`~repro.asyncio_net.server.ReplicaServer`
-  per shard replica, each hosting a multi-key :class:`~repro.kvstore.batching.BatchShardServer`.
-* :class:`AsyncShardClient` owns one connection per replica of one shard and
+  per *replica-group* server, each hosting a multiplexed
+  :class:`~repro.kvstore.batching.BatchGroupServer` that serves every shard
+  placed on its group.  The cluster is live: :meth:`AsyncKVCluster.resize`
+  and :meth:`AsyncKVCluster.move_shard` rebalance the ring while clients
+  keep operating -- metadata and register drain happen in one synchronous
+  step on the event loop, and in-flight frames carrying old epoch tags
+  bounce back to the clients.
+* :class:`AsyncGroupClient` owns one connection per replica of one group and
   coalesces sub-requests submitted in the same event-loop tick (or up to
   ``max_batch``) into one batch frame per replica -- ``multi_get``/``multi_put``
-  and pipelined workloads batch naturally.
+  and pipelined workloads batch naturally, across all shards of the group.
 * :class:`KVStore` is the client facade: ``await get/put/multi_get/multi_put``.
+  On a stale-shard bounce it re-resolves the ring and replays the bounced
+  round against the new owner group (round-trips are idempotent, so the
+  per-key register generator never notices the migration).
 * :class:`SyncKVStore` wraps a :class:`KVStore` for synchronous callers via a
   background event-loop thread.
 """
@@ -24,21 +33,40 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..core.errors import ProtocolError
 from ..core.operations import OpKind, new_op_id
 from ..protocols.base import Broadcast, ClientLogic, OperationOutcome
-from ..sim.messages import BATCH_ACK_KIND, Message, make_batch, unpack_batch_ack
+from ..sim.messages import (
+    BATCH_ACK_KIND,
+    Message,
+    SubRequest,
+    make_batch,
+    unpack_batch_ack,
+)
 from ..asyncio_net.codec import read_frame, write_frame
 from ..asyncio_net.server import ReplicaServer
-from .batching import BatchShardServer, BatchStats
+from .batching import (
+    MAX_STALE_RETRIES,
+    BatchGroupServer,
+    BatchStats,
+    StaleShardError,
+    is_stale_reply,
+)
+from .migration import (
+    MigrationReport,
+    apply_move_plan,
+    apply_resize_plan,
+    make_resize_trigger,
+)
 from .perkey import KVHistoryRecorder, PerKeyAtomicity, check_per_key_atomicity
+from .placement import ReplicaGroup
 from .sharding import ShardMap, ShardSpec
 from .workload import KVRunResult, KVWorkload
 from ._sync import LoopThread, run_sync
 
-__all__ = ["AsyncKVCluster", "AsyncShardClient", "KVStore", "SyncKVStore",
-           "run_asyncio_kv_workload"]
+__all__ = ["AsyncKVCluster", "AsyncGroupClient", "AsyncShardClient", "KVStore",
+           "SyncKVStore", "run_asyncio_kv_workload"]
 
 
 class AsyncKVCluster:
-    """All shard replicas of a :class:`ShardMap` listening on loopback TCP."""
+    """All group replicas of a :class:`ShardMap` listening on loopback TCP."""
 
     def __init__(
         self,
@@ -52,31 +80,65 @@ class AsyncKVCluster:
         self.service_overhead = service_overhead
         self.service_per_op = service_per_op
         self.replicas: Dict[str, ReplicaServer] = {}
+        self.migrations: List[MigrationReport] = []
+        self._logics: Dict[str, BatchGroupServer] = {}
         self._endpoints: Dict[str, Dict[str, Tuple[str, int]]] = {}
 
     async def start(self) -> None:
-        for spec in self.shard_map.shards.values():
+        for group in self.shard_map.groups.values():
+            hosted = {
+                spec.shard_id: spec.epoch
+                for spec in self.shard_map.shards_on(group.group_id)
+            }
             endpoints: Dict[str, Tuple[str, int]] = {}
-            for server_id in spec.servers:
+            for server_id in group.servers:
+                logic = BatchGroupServer(server_id, group.protocol, dict(hosted))
                 replica = ReplicaServer(
-                    BatchShardServer(server_id, spec.protocol),
+                    logic,
                     host=self.host,
                     service_overhead=self.service_overhead,
                     service_per_op=self.service_per_op,
                 )
                 await replica.start()
                 self.replicas[server_id] = replica
+                self._logics[server_id] = logic
                 endpoints[server_id] = (replica.host, replica.port)
-            self._endpoints[spec.shard_id] = endpoints
+            self._endpoints[group.group_id] = endpoints
 
     async def stop(self) -> None:
         for replica in self.replicas.values():
             await replica.stop()
         self.replicas.clear()
+        self._logics.clear()
         self._endpoints.clear()
 
-    def endpoints_for(self, shard_id: str) -> Dict[str, Tuple[str, int]]:
-        return dict(self._endpoints[shard_id])
+    def endpoints_for(self, group_id: str) -> Dict[str, Tuple[str, int]]:
+        return dict(self._endpoints[group_id])
+
+    # -- live control plane ----------------------------------------------------
+
+    @property
+    def server_logics(self) -> Dict[str, BatchGroupServer]:
+        return dict(self._logics)
+
+    def resize(self, new_num_shards: int) -> MigrationReport:
+        """Live-resize the ring: metadata + register drain, one loop step.
+
+        Synchronous on purpose: with no ``await`` between the metadata flip
+        and the register drain, no frame can be processed half-way through
+        the cutover.  Call from the event loop that owns the cluster.
+        """
+        plan = self.shard_map.resize(new_num_shards)
+        report = apply_resize_plan(plan, self.shard_map, self._logics)
+        self.migrations.append(report)
+        return report
+
+    def move_shard(self, shard_id: str, group_id: str) -> MigrationReport:
+        """Live-move one shard onto another group (same atomicity note)."""
+        plan = self.shard_map.move_shard(shard_id, group_id)
+        report = apply_move_plan(plan, self._logics)
+        self.migrations.append(report)
+        return report
 
 
 @dataclass
@@ -86,6 +148,8 @@ class _PendingRound:
     op_id: str
     round_trip: int
     key: str
+    shard: str
+    epoch: int
     request: Broadcast
     wait_for: int
     replies: List[Message] = field(default_factory=list)
@@ -97,25 +161,26 @@ class _PendingRound:
         self.ready.set()
 
 
-class AsyncShardClient:
-    """Connections to one shard's replicas, with batch coalescing.
+class AsyncGroupClient:
+    """Connections to one replica group, with batch coalescing.
 
     Sub-requests submitted while the event loop is busy (same tick) ride the
     same batch frame; a frame is also cut as soon as ``max_batch``
-    sub-requests are pending.
+    sub-requests are pending.  All shards hosted by the group share the same
+    frames -- coalescing improves as shards-per-group grows.
     """
 
     def __init__(
         self,
         client_id: str,
-        spec: ShardSpec,
+        group: ReplicaGroup,
         endpoints: Dict[str, Tuple[str, int]],
         max_batch: int = 8,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
         self.client_id = client_id
-        self.spec = spec
+        self.group = group
         self.endpoints = dict(endpoints)
         self.max_batch = max_batch
         self.batch_stats = BatchStats()
@@ -130,7 +195,7 @@ class AsyncShardClient:
 
     @property
     def quorum_size(self) -> int:
-        return self.spec.quorum_size
+        return self.group.quorum_size
 
     # -- connection management -------------------------------------------------
 
@@ -161,14 +226,27 @@ class AsyncShardClient:
     # -- the round-trip primitive ----------------------------------------------
 
     async def round_trip(
-        self, key: str, op_id: str, round_trip: int, request: Broadcast
+        self,
+        key: str,
+        shard: str,
+        epoch: int,
+        op_id: str,
+        round_trip: int,
+        request: Broadcast,
     ) -> List[Message]:
-        """Broadcast one sub-request (batched) and await its quorum."""
+        """Broadcast one shard-tagged sub-request (batched), await its quorum.
+
+        Raises :class:`StaleShardError` when the group bounces the round
+        because the (shard, epoch) tag went stale mid-flight -- the caller
+        re-resolves the ring and replays the round at the new owner.
+        """
         wait_for = request.wait_for if request.wait_for is not None else self.quorum_size
         pending = _PendingRound(
             op_id=op_id,
             round_trip=round_trip,
             key=key,
+            shard=shard,
+            epoch=epoch,
             request=request,
             wait_for=wait_for,
         )
@@ -178,7 +256,9 @@ class AsyncShardClient:
             await pending.ready.wait()
         finally:
             self._rounds.pop((op_id, round_trip), None)
-        if pending.error is not None:
+        # During a cutover some replicas may serve the round while others
+        # bounce it; a reached quorum wins over a late stale bounce.
+        if pending.error is not None and len(pending.replies) < wait_for:
             raise pending.error
         return list(pending.replies[:wait_for])
 
@@ -206,9 +286,9 @@ class AsyncShardClient:
     async def _send_batch(self, batch: List[_PendingRound]) -> None:
         async def send_to(server_id: str, writer: asyncio.StreamWriter) -> None:
             subs = [
-                (
-                    pending.key,
-                    Message(
+                SubRequest(
+                    key=pending.key,
+                    message=Message(
                         sender=self.client_id,
                         receiver=server_id,
                         kind=pending.request.kind,
@@ -216,6 +296,8 @@ class AsyncShardClient:
                         op_id=pending.op_id,
                         round_trip=pending.round_trip,
                     ),
+                    shard=pending.shard,
+                    epoch=pending.epoch,
                 )
                 for pending in batch
             ]
@@ -253,11 +335,24 @@ class AsyncShardClient:
                     pending = self._rounds.get((sub.op_id, sub.round_trip))
                     if pending is None:
                         continue  # straggler from a completed round-trip
+                    if is_stale_reply(sub):
+                        pending.fail(
+                            StaleShardError(
+                                pending.shard,
+                                pending.epoch,
+                                sub.payload.get("epoch"),
+                            )
+                        )
+                        continue
                     pending.replies.append(sub)
                     if len(pending.replies) >= pending.wait_for:
                         pending.ready.set()
         except (asyncio.IncompleteReadError, ConnectionResetError, asyncio.CancelledError):
             return
+
+
+#: Backwards-compatible alias from before placement was its own layer.
+AsyncShardClient = AsyncGroupClient
 
 
 class KVStore:
@@ -266,7 +361,9 @@ class KVStore:
     One store instance represents one logical client: operations on the same
     key are serialized per key (keeping per-key sub-histories well-formed)
     while operations on different keys run concurrently and share batch
-    rounds whenever they hash to the same shard.
+    rounds whenever their shards live on the same replica group.  Rounds
+    bounced by the epoch fence during a live resize/move are transparently
+    replayed against the key's new owner.
     """
 
     def __init__(
@@ -281,26 +378,29 @@ class KVStore:
         self.max_batch = max_batch
         base = time.monotonic()
         self.recorder = recorder or KVHistoryRecorder(lambda: time.monotonic() - base)
-        self._shard_clients: Dict[str, AsyncShardClient] = {}
+        self.stale_replays = 0
+        self.completion_hook: Optional[Any] = None
+        self._group_clients: Dict[str, AsyncGroupClient] = {}
         self._key_locks: Dict[str, asyncio.Lock] = {}
         self._readers: Dict[str, ClientLogic] = {}
         self._writers: Dict[str, ClientLogic] = {}
+        self._logic_homes: Dict[str, str] = {}
 
     async def connect(self) -> None:
-        for spec in self.cluster.shard_map.shards.values():
-            client = AsyncShardClient(
+        for group in self.cluster.shard_map.groups.values():
+            client = AsyncGroupClient(
                 self.client_id,
-                spec,
-                self.cluster.endpoints_for(spec.shard_id),
+                group,
+                self.cluster.endpoints_for(group.group_id),
                 max_batch=self.max_batch,
             )
             await client.connect()
-            self._shard_clients[spec.shard_id] = client
+            self._group_clients[group.group_id] = client
 
     async def close(self) -> None:
-        for client in self._shard_clients.values():
+        for client in self._group_clients.values():
             await client.close()
-        self._shard_clients.clear()
+        self._group_clients.clear()
 
     # -- operations -------------------------------------------------------------
 
@@ -314,18 +414,25 @@ class KVStore:
         return outcome.value
 
     async def multi_get(self, keys: Sequence[str]) -> Dict[str, Any]:
-        """Read many keys concurrently (same-shard keys share batch rounds)."""
+        """Read many keys concurrently (same-group keys share batch rounds)."""
         values = await asyncio.gather(*(self.get(key) for key in keys))
         return dict(zip(keys, values))
 
     async def multi_put(self, items: Mapping[str, Any]) -> None:
-        """Write many keys concurrently (same-shard keys share batch rounds)."""
+        """Write many keys concurrently (same-group keys share batch rounds)."""
         pairs = list(items.items())
         await asyncio.gather(*(self.put(key, value) for key, value in pairs))
 
     # -- internals --------------------------------------------------------------
 
     def _logic_for(self, kind: OpKind, key: str, spec: ShardSpec) -> ClientLogic:
+        # Cached per-key logic was built against one group's server list;
+        # rebuild when a move re-homed the shard (fresh readers/writers are
+        # always safe to introduce for every protocol in this library).
+        if self._logic_homes.get(key) != spec.group.group_id:
+            self._logic_homes[key] = spec.group.group_id
+            self._readers.pop(key, None)
+            self._writers.pop(key, None)
         cache = self._writers if kind is OpKind.WRITE else self._readers
         logic = cache.get(key)
         if logic is None:
@@ -336,11 +443,15 @@ class KVStore:
             cache[key] = logic
         return logic
 
-    async def _run_op(self, kind: OpKind, key: str, value: Any = None) -> OperationOutcome:
+    def _resolve(self, key: str) -> Tuple[ShardSpec, AsyncGroupClient]:
         spec = self.cluster.shard_map.shard_for(key)
-        shard_client = self._shard_clients.get(spec.shard_id)
-        if shard_client is None:
+        group_client = self._group_clients.get(spec.group.group_id)
+        if group_client is None:
             raise RuntimeError("KVStore is not connected; call connect() first")
+        return spec, group_client
+
+    async def _run_op(self, kind: OpKind, key: str, value: Any = None) -> OperationOutcome:
+        spec, _ = self._resolve(key)
         lock = self._key_locks.setdefault(key, asyncio.Lock())
         async with lock:
             op_id = new_op_id(f"{self.client_id}-{kind.value}")
@@ -350,11 +461,28 @@ class KVStore:
                 logic.write_protocol(value) if kind is OpKind.WRITE else logic.read_protocol()
             )
             round_trip = 0
+            stale_retries = 0
             try:
                 request = next(generator)
                 while True:
                     round_trip += 1
-                    replies = await shard_client.round_trip(key, op_id, round_trip, request)
+                    # Re-resolve every round: a live resize/move between
+                    # rounds re-routes the rest of the operation.
+                    spec, group_client = self._resolve(key)
+                    try:
+                        replies = await group_client.round_trip(
+                            key, spec.shard_id, spec.epoch, op_id, round_trip, request
+                        )
+                    except StaleShardError:
+                        # The shard was rebalanced while this round was in
+                        # flight.  Rounds are idempotent (queries trivially,
+                        # updates because servers only adopt larger tags),
+                        # so replay the same broadcast at the new owner.
+                        stale_retries += 1
+                        self.stale_replays += 1
+                        if stale_retries > MAX_STALE_RETRIES:
+                            raise
+                        continue
                     request = generator.send(replies)
             except StopIteration as stop:
                 outcome = stop.value
@@ -363,18 +491,20 @@ class KVStore:
             self.recorder.record_response(
                 op_id, value=outcome.value, tag=outcome.tag, round_trips=round_trip
             )
+            if self.completion_hook is not None:
+                self.completion_hook()
             return outcome
 
     # -- introspection ----------------------------------------------------------
 
     def batch_stats(self) -> BatchStats:
         merged = BatchStats()
-        for client in self._shard_clients.values():
+        for client in self._group_clients.values():
             merged.merge(client.batch_stats)
         return merged
 
     def frames_sent(self) -> int:
-        return sum(client.frames_sent for client in self._shard_clients.values())
+        return sum(client.frames_sent for client in self._group_clients.values())
 
     def frames_total(self) -> int:
         """Request frames sent plus ack frames received -- the same counting
@@ -382,7 +512,7 @@ class KVStore:
         message numbers are comparable."""
         return sum(
             client.frames_sent + client.frames_received
-            for client in self._shard_clients.values()
+            for client in self._group_clients.values()
         )
 
     def histories(self):
@@ -400,8 +530,9 @@ class SyncKVStore:
     event-loop thread, so plain synchronous code can use the sharded store
     without touching asyncio::
 
-        with SyncKVStore(num_shards=2) as store:
+        with SyncKVStore(num_shards=4, num_groups=2) as store:
             store.put("user:7", "ada")
+            store.resize(8)                      # live rebalance
             assert store.get("user:7") == "ada"
     """
 
@@ -414,6 +545,7 @@ class SyncKVStore:
         max_batch: int = 8,
         client_id: str = "kv-sync",
         shard_map: Optional[ShardMap] = None,
+        num_groups: Optional[int] = None,
     ) -> None:
         self._loop_thread = LoopThread()
         if shard_map is None:
@@ -422,6 +554,7 @@ class SyncKVStore:
                 protocol_key=protocol_key,
                 servers_per_shard=servers_per_shard,
                 max_faults=max_faults,
+                num_groups=num_groups,
             )
         self._cluster = AsyncKVCluster(shard_map)
         self._store = KVStore(self._cluster, client_id=client_id, max_batch=max_batch)
@@ -456,6 +589,22 @@ class SyncKVStore:
 
     def multi_put(self, items: Mapping[str, Any]) -> None:
         self._loop_thread.call(self._store.multi_put(items))
+
+    def resize(self, new_num_shards: int) -> MigrationReport:
+        """Live-resize the ring (runs on the cluster's event loop)."""
+
+        async def _do() -> MigrationReport:
+            return self._cluster.resize(new_num_shards)
+
+        return self._loop_thread.call(_do())
+
+    def move_shard(self, shard_id: str, group_id: str) -> MigrationReport:
+        """Live-move one shard onto another replica group."""
+
+        async def _do() -> MigrationReport:
+            return self._cluster.move_shard(shard_id, group_id)
+
+        return self._loop_thread.call(_do())
 
     def batch_stats(self) -> BatchStats:
         return self._store.batch_stats()
@@ -502,11 +651,17 @@ def run_asyncio_kv_workload(
     shard_map: Optional[ShardMap] = None,
     service_overhead: float = 0.0,
     service_per_op: float = 0.0,
+    num_groups: Optional[int] = None,
+    resize_to: Optional[int] = None,
+    resize_after_ops: Optional[int] = None,
 ) -> KVRunResult:
     """Run a closed-loop kv workload over loopback TCP and collect results.
 
     Every workload client becomes one :class:`KVStore` (its own connections
     and batching), all sharing one replica cluster and one history recorder.
+    ``resize_to`` triggers a *live* resize once ``resize_after_ops``
+    operations completed (default: half the workload), with the remaining
+    operations still in flight.
     """
     clients = workload.clients
     if shard_map is None:
@@ -517,6 +672,7 @@ def run_asyncio_kv_workload(
             max_faults=max_faults,
             readers=len(clients),
             writers=len(clients),
+            num_groups=num_groups,
         )
 
     async def _run() -> KVRunResult:
@@ -529,11 +685,25 @@ def run_asyncio_kv_workload(
         base = time.monotonic()
         recorder = KVHistoryRecorder(lambda: time.monotonic() - base)
         stores: Dict[str, KVStore] = {}
+
+        resize_info: Optional[Dict[str, object]] = None
+        hook = None
+        if resize_to is not None:
+            hook, resize_info = make_resize_trigger(
+                cluster.resize,
+                lambda: recorder.completed_operations,
+                resize_to,
+                resize_after_ops
+                if resize_after_ops is not None
+                else max(1, workload.total_operations() // 2),
+            )
+
         try:
             for client_id in clients:
                 store = KVStore(
                     cluster, client_id=client_id, max_batch=max_batch, recorder=recorder
                 )
+                store.completion_hook = hook
                 await store.connect()
                 stores[client_id] = store
 
@@ -557,9 +727,11 @@ def run_asyncio_kv_workload(
             duration = time.monotonic() - started
             batch_stats = BatchStats()
             frames = 0
+            stale = 0
             for store in stores.values():
                 batch_stats.merge(store.batch_stats())
                 frames += store.frames_total()
+                stale += store.stale_replays
         finally:
             for store in stores.values():
                 await store.close()
@@ -575,6 +747,9 @@ def run_asyncio_kv_workload(
             completed_ops=recorder.completed_operations,
             messages_sent=frames,
             batch_stats=batch_stats,
+            num_groups=len(shard_map.groups),
+            stale_replays=stale,
+            resize=resize_info,
         )
         for history in histories.values():
             result.read_latencies.extend(

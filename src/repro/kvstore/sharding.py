@@ -1,17 +1,26 @@
-"""Consistent-hash shard map: keys -> register-backed shards.
+"""Consistent-hash shard map: keys -> shards -> replica groups.
 
-The key-value store splits its key space over independent *shards*.  Each
-shard is a full quorum system of its own: a disjoint set of replica servers
-running one :class:`~repro.protocols.base.RegisterProtocol`, hosting one
-single-register emulation **per key** assigned to it.  Per-key registers are
-completely independent -- exactly the workload-independence the per-object
-protocols of the paper provide -- so shards scale the store horizontally
-without any cross-shard coordination.
+The key-value store splits its key space over independent *shards*.  A shard
+is a purely logical slice of the ring: its per-key register emulations are
+hosted by a :class:`~repro.kvstore.placement.ReplicaGroup`, and a
+:class:`~repro.kvstore.placement.PlacementPolicy` maps N shards onto M groups
+(N >> M allowed).  Per-key registers are completely independent -- exactly
+the workload-independence the per-object protocols of the paper provide --
+so shards scale the store horizontally without cross-shard coordination,
+and decoupling them from the replica groups lets the shard count grow (or a
+shard move between groups) while the cluster stays put.
 
 Key placement uses a consistent-hash ring (with virtual nodes) over a stable
 keyed hash, so the same key maps to the same shard on every backend, in every
 process, on every run -- a requirement for both history checking and for the
 asyncio backend whose clients hash keys independently of the servers.
+
+Live rebalancing is epoch-fenced: every shard carries an ``epoch`` that the
+map bumps whenever the shard's ownership changes (it loses ring arcs in a
+:meth:`ShardMap.resize`, or it is re-homed by :meth:`ShardMap.move_shard`).
+Clients tag every batched sub-request with the (shard, epoch) they resolved;
+group servers bounce stale tags so an in-flight operation can never read or
+write a register that has been drained to a new owner.
 """
 
 from __future__ import annotations
@@ -19,13 +28,22 @@ from __future__ import annotations
 import bisect
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..core.errors import ConfigurationError
 from ..protocols.base import RegisterProtocol
 from ..protocols.registry import build_protocol
+from .placement import PlacementPolicy, ReplicaGroup, RoundRobinPlacement
 
-__all__ = ["stable_hash", "HashRing", "ShardSpec", "ShardMap"]
+__all__ = [
+    "stable_hash",
+    "HashRing",
+    "ShardSpec",
+    "ShardMap",
+    "ResizePlan",
+    "MovePlan",
+]
 
 
 def stable_hash(text: str) -> int:
@@ -39,14 +57,30 @@ def stable_hash(text: str) -> int:
 
 
 class HashRing:
-    """A consistent-hash ring of shard ids with virtual nodes."""
+    """A consistent-hash ring of shard ids with virtual nodes.
 
-    def __init__(self, shard_ids: Sequence[str], virtual_nodes: int = 64) -> None:
+    Rings are immutable; a resize builds a *new* ring with ``epoch + 1``.
+    ``owner_of`` is memoized per ring instance with an LRU cache -- since the
+    ring never mutates, a cached entry is valid for the ring's whole
+    lifetime, so the effective cache key is (ring epoch, key).  The hash +
+    bisect resolution sits on the hot path of every operation in both
+    backends; the cache turns the repeated-key case (Zipf-popular workloads)
+    into a dict hit.
+    """
+
+    def __init__(
+        self,
+        shard_ids: Sequence[str],
+        virtual_nodes: int = 64,
+        epoch: int = 1,
+        owner_cache_size: int = 16384,
+    ) -> None:
         if not shard_ids:
             raise ValueError("a hash ring needs at least one shard")
         if virtual_nodes < 1:
             raise ValueError("virtual_nodes must be positive")
         self.virtual_nodes = virtual_nodes
+        self.epoch = epoch
         points: List[tuple] = []
         for shard_id in shard_ids:
             for replica in range(virtual_nodes):
@@ -54,38 +88,106 @@ class HashRing:
         points.sort()
         self._hashes = [point for point, _ in points]
         self._owners = [owner for _, owner in points]
+        self._owner_cached = lru_cache(maxsize=owner_cache_size)(self._resolve)
 
-    def owner_of(self, key: str) -> str:
-        """The shard owning ``key``: first ring point clockwise of its hash."""
-        index = bisect.bisect_right(self._hashes, stable_hash(key))
+    def points_of(self, shard_id: str) -> List[int]:
+        """The ring positions of ``shard_id``'s virtual nodes."""
+        return [
+            stable_hash(f"{shard_id}#{replica}")
+            for replica in range(self.virtual_nodes)
+        ]
+
+    def owner_of_hash(self, point: int) -> str:
+        """The shard owning ring position ``point``."""
+        index = bisect.bisect_right(self._hashes, point)
         if index == len(self._hashes):
             index = 0
         return self._owners[index]
 
+    def _resolve(self, key: str) -> str:
+        return self.owner_of_hash(stable_hash(key))
+
+    def owner_of(self, key: str) -> str:
+        """The shard owning ``key``: first ring point clockwise of its hash."""
+        return self._owner_cached(key)
+
+    def cache_info(self):
+        """LRU statistics of the memoized ``owner_of`` (for tests/benchmarks)."""
+        return self._owner_cached.cache_info()
+
 
 @dataclass
 class ShardSpec:
-    """One shard: its id, replica server ids, and register protocol factory."""
+    """One logical shard: its id, hosting group, and fencing epoch."""
 
     shard_id: str
-    protocol: RegisterProtocol
-    servers: List[str] = field(default_factory=list)
+    group: ReplicaGroup
+    epoch: int = 1
 
-    def __post_init__(self) -> None:
-        if not self.servers:
-            self.servers = list(self.protocol.servers)
+    @property
+    def servers(self) -> List[str]:
+        return self.group.servers
+
+    @property
+    def protocol(self) -> RegisterProtocol:
+        return self.group.protocol
 
     @property
     def quorum_size(self) -> int:
-        return len(self.servers) - self.protocol.max_faults
+        return self.group.quorum_size
+
+
+@dataclass
+class ResizePlan:
+    """What one :meth:`ShardMap.resize` changed (metadata only).
+
+    The backends feed this to :func:`repro.kvstore.migration.apply_resize_plan`
+    to actually drain per-key registers to their new owners.  ``fenced`` maps
+    every pre-existing shard whose ring arcs changed to its new epoch -- the
+    set of shards whose in-flight requests must bounce.
+    """
+
+    old_ring: HashRing
+    new_ring: HashRing
+    added: List[ShardSpec] = field(default_factory=list)
+    removed: List[ShardSpec] = field(default_factory=list)
+    fenced: Dict[str, int] = field(default_factory=dict)
+
+    def moved_keys(self, keys: Iterable[str]) -> List[str]:
+        """The subset of ``keys`` whose owning shard changed."""
+        return [k for k in keys if self.old_ring.owner_of(k) != self.new_ring.owner_of(k)]
+
+    def moved_fraction(self, keys: Sequence[str]) -> float:
+        """Fraction of ``keys`` that changed owner (the ~1/N guarantee)."""
+        if not keys:
+            return 0.0
+        return len(self.moved_keys(keys)) / len(keys)
+
+
+@dataclass
+class MovePlan:
+    """What one :meth:`ShardMap.move_shard` changed (metadata only)."""
+
+    spec: ShardSpec
+    old_group: ReplicaGroup
+    new_group: ReplicaGroup
 
 
 class ShardMap:
     """Assigns every key to one of ``num_shards`` register-backed shards.
 
-    Each shard gets its own disjoint replica group ``<shard>-s1 ..`` running
-    an independent instance of the chosen protocol; ``shard_for`` resolves a
-    key through the consistent-hash ring.
+    Shards are placed onto ``num_groups`` replica groups ``g1 .. gM`` (each
+    ``servers_per_shard`` servers running an independent instance of the
+    chosen protocol) by a :class:`PlacementPolicy`; ``num_groups`` defaults
+    to one group per shard, the original disjoint layout.  ``shard_for``
+    resolves a key through the consistent-hash ring.
+
+    The map is *live*: :meth:`resize` changes the shard count (bounded key
+    movement, ~1/N per added shard) and :meth:`move_shard` re-homes one shard
+    onto another group.  Both only rewrite metadata (ring, specs, epochs) and
+    return a plan; the cluster backends apply the plan to the group servers
+    -- draining per-key registers to the new owners -- inside one atomic
+    control-plane step.
     """
 
     def __init__(
@@ -97,37 +199,54 @@ class ShardMap:
         readers: int = 2,
         writers: int = 2,
         virtual_nodes: int = 64,
+        num_groups: Optional[int] = None,
+        placement: Optional[PlacementPolicy] = None,
         **protocol_kwargs,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be positive")
+        if num_groups is None:
+            num_groups = num_shards
+        if num_groups < 1:
+            raise ValueError("num_groups must be positive")
         self.protocol_key = protocol_key
         self.servers_per_shard = servers_per_shard
         self.max_faults = max_faults
-        self.shards: Dict[str, ShardSpec] = {}
-        for index in range(1, num_shards + 1):
-            shard_id = f"sh{index}"
-            servers = [f"{shard_id}-s{i}" for i in range(1, servers_per_shard + 1)]
+        self.virtual_nodes = virtual_nodes
+        self.placement = placement or RoundRobinPlacement()
+
+        self.groups: Dict[str, ReplicaGroup] = {}
+        for index in range(1, num_groups + 1):
+            group_id = f"g{index}"
+            servers = [f"{group_id}-s{i}" for i in range(1, servers_per_shard + 1)]
             protocol = build_protocol(
-                protocol_key,
-                servers,
-                max_faults,
-                readers=readers,
-                writers=writers,
-                **protocol_kwargs,
+                protocol_key, servers, max_faults,
+                readers=readers, writers=writers, **protocol_kwargs,
             )
             if writers > 1 and not protocol.multi_writer:
                 raise ConfigurationError(
                     f"protocol {protocol_key!r} is single-writer; a kv store with "
                     f"{writers} writing clients needs a multi-writer register"
                 )
-            self.shards[shard_id] = ShardSpec(shard_id, protocol, servers)
-        self.ring = HashRing(list(self.shards), virtual_nodes=virtual_nodes)
+            self.groups[group_id] = ReplicaGroup(group_id, protocol, servers)
+
+        shard_ids = [f"sh{i}" for i in range(1, num_shards + 1)]
+        assignment = self.placement.place(shard_ids, list(self.groups))
+        self.shards: Dict[str, ShardSpec] = {
+            shard_id: ShardSpec(shard_id, self.groups[assignment[shard_id]])
+            for shard_id in shard_ids
+        }
+        self.ring = HashRing(shard_ids, virtual_nodes=virtual_nodes, epoch=1)
+        self._next_shard_index = num_shards + 1
 
     # -- resolution ------------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self.shards)
+
+    @property
+    def ring_epoch(self) -> int:
+        return self.ring.epoch
 
     def shard_for(self, key: str) -> ShardSpec:
         """The shard owning ``key``."""
@@ -140,19 +259,122 @@ class ShardMap:
             grouped[self.ring.owner_of(key)].append(key)
         return grouped
 
+    def shards_on(self, group_id: str) -> List[ShardSpec]:
+        """The shards currently hosted by ``group_id``."""
+        return [
+            spec for spec in self.shards.values() if spec.group.group_id == group_id
+        ]
+
+    def shard_counts(self) -> Dict[str, int]:
+        """Shards hosted per group id."""
+        counts = {group_id: 0 for group_id in self.groups}
+        for spec in self.shards.values():
+            counts[spec.group.group_id] += 1
+        return counts
+
     @property
     def all_servers(self) -> List[str]:
-        """Every replica server id across all shards."""
+        """Every replica server id across all groups."""
         servers: List[str] = []
-        for spec in self.shards.values():
-            servers.extend(spec.servers)
+        for group in self.groups.values():
+            servers.extend(group.servers)
         return servers
 
     def describe(self) -> Dict[str, object]:
         return {
             "shards": len(self.shards),
+            "groups": len(self.groups),
             "protocol": self.protocol_key,
             "servers_per_shard": self.servers_per_shard,
             "max_faults": self.max_faults,
             "total_servers": len(self.all_servers),
+            "ring_epoch": self.ring_epoch,
         }
+
+    # -- live rebalancing ------------------------------------------------------
+
+    def _rebuild_ring(self) -> HashRing:
+        return HashRing(
+            list(self.shards),
+            virtual_nodes=self.virtual_nodes,
+            epoch=self.ring.epoch + 1,
+        )
+
+    def resize(self, new_num_shards: int) -> ResizePlan:
+        """Grow or shrink the ring to ``new_num_shards`` shards (metadata).
+
+        Growth creates fresh shard ids (never reusing old ones) placed on the
+        least-loaded groups; shrinkage retires the most recently added shards
+        and their arcs fall back to the survivors.  Consistent hashing bounds
+        key movement to ~(moved shards)/N.  Every pre-existing shard that
+        loses ring arcs gets its epoch bumped (recorded in ``fenced``) so
+        in-flight requests resolved against the old ring bounce instead of
+        touching drained registers.
+        """
+        if new_num_shards < 1:
+            raise ValueError("new_num_shards must be positive")
+        old_ring = self.ring
+        plan = ResizePlan(old_ring=old_ring, new_ring=old_ring)
+        if new_num_shards == len(self.shards):
+            return plan
+
+        if new_num_shards > len(self.shards):
+            counts = self.shard_counts()
+            for _ in range(new_num_shards - len(self.shards)):
+                shard_id = f"sh{self._next_shard_index}"
+                self._next_shard_index += 1
+                group_id = self.placement.place_one(
+                    shard_id, list(self.groups), counts
+                )
+                counts[group_id] = counts.get(group_id, 0) + 1
+                spec = ShardSpec(shard_id, self.groups[group_id])
+                self.shards[shard_id] = spec
+                plan.added.append(spec)
+            new_ring = self._rebuild_ring()
+            # A new virtual node at position h steals the arc ending at h
+            # from the shard that owned h on the old ring; those donors are
+            # exactly the shards whose in-flight traffic must be fenced.
+            donors = set()
+            for spec in plan.added:
+                for point in new_ring.points_of(spec.shard_id):
+                    donors.add(old_ring.owner_of_hash(point))
+            for shard_id in sorted(donors):
+                spec = self.shards[shard_id]
+                spec.epoch += 1
+                plan.fenced[shard_id] = spec.epoch
+        else:
+            victims = list(self.shards)[new_num_shards:]
+            for shard_id in victims:
+                plan.removed.append(self.shards.pop(shard_id))
+            new_ring = self._rebuild_ring()
+            # Removed arcs fall forward to survivors; the survivors keep
+            # serving their old keys unchanged, so only the removed shards
+            # need fencing -- and those bounce as "not hosted" after the
+            # migration evicts them.
+
+        self.ring = new_ring
+        plan.new_ring = new_ring
+        return plan
+
+    def move_shard(self, shard_id: str, group_id: str) -> MovePlan:
+        """Re-home ``shard_id`` onto ``group_id`` (metadata).
+
+        The ring (and therefore key->shard ownership) is unchanged; only the
+        hosting group differs.  The shard's epoch is bumped so requests
+        resolved against the old group bounce and re-resolve.
+        """
+        if shard_id not in self.shards:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        if group_id not in self.groups:
+            raise KeyError(f"unknown replica group {group_id!r}")
+        spec = self.shards[shard_id]
+        old_group = spec.group
+        new_group = self.groups[group_id]
+        if len(old_group.servers) != len(new_group.servers):
+            raise ConfigurationError(
+                "moving a shard requires equal-size replica groups "
+                f"({len(old_group.servers)} != {len(new_group.servers)})"
+            )
+        spec.group = new_group
+        spec.epoch += 1
+        return MovePlan(spec=spec, old_group=old_group, new_group=new_group)

@@ -2,23 +2,33 @@
 
 Everything the single-register simulator does -- virtual clock, delay
 models, deterministic event ordering -- carries over; this module adds the
-two kv-specific process types:
+kv-specific pieces:
 
-* :class:`BatchReplicaProcess` -- a shard replica with a simple queueing
-  model of server capacity: handling a batch costs ``overhead`` plus
-  ``per_op`` per sub-operation of *service time*, and a busy server queues
-  work.  This is what makes shard count matter in virtual time: a single
-  shard's replicas saturate under load that many shards absorb in parallel,
+* :class:`BatchReplicaProcess` -- a replica-group server with a simple
+  queueing model of server capacity: handling a batch costs ``overhead``
+  plus ``per_op`` per sub-operation of *service time*, and a busy server
+  queues work.  This is what makes group count matter in virtual time: one
+  group's replicas saturate under load that many groups absorb in parallel,
   and batching amortizes the per-frame ``overhead``.
 
 * :class:`KVClientProcess` -- one logical store client.  It may have many
   operations (on distinct keys) in flight at once; each operation drives the
   ordinary single-register client generator for its key, but instead of
   sending one frame per sub-request the client coalesces every sub-request
-  bound for the same shard into one batch frame per replica
-  (:func:`~repro.sim.messages.make_batch`).  Operations on the *same* key by
-  the same client are serialized through a per-key backlog so every per-key
-  sub-history stays well-formed.
+  bound for the same *replica group* into one batch frame per replica
+  (:func:`~repro.sim.messages.make_batch`) -- operations on different shards
+  hosted by the same group share rounds.  Every sub-request carries the
+  (shard, epoch) tag the client resolved; when a live resize or shard move
+  fences that epoch, the bounced round is replayed against the new owner
+  (round-trips are idempotent, so the per-key generator never notices).
+
+* :class:`SimKVCluster` -- the replica groups of a
+  :class:`~repro.kvstore.sharding.ShardMap` plus clients on one virtual
+  clock, with a live control plane: :meth:`SimKVCluster.resize` /
+  :meth:`SimKVCluster.move_shard` rebalance the ring mid-run, and
+  :class:`KVFailureInjector` crashes replicas within each group's fault
+  budget (usable during a resize -- migration models state surviving on the
+  replica, and quorums of ``S - t`` keep every key available).
 """
 
 from __future__ import annotations
@@ -32,29 +42,49 @@ from ..core.operations import OpKind, new_op_id
 from ..protocols.base import Broadcast, ClientLogic, OperationOutcome
 from ..sim.clock import EventQueue
 from ..sim.delays import ConstantDelay, DelayModel
+from ..sim.failures import CrashPlan, FailureInjector
 from ..sim.messages import (
     BATCH_ACK_KIND,
     Message,
+    SubRequest,
     make_batch,
     unpack_batch_ack,
 )
 from ..sim.network import Network
 from ..sim.process import Process
-from .batching import BatchShardServer, BatchStats
+from ..util.rng import SeededRng
+from .batching import (
+    MAX_STALE_RETRIES,
+    BatchGroupServer,
+    BatchStats,
+    is_stale_reply,
+)
+from .migration import (
+    MigrationReport,
+    apply_move_plan,
+    apply_resize_plan,
+    make_resize_trigger,
+)
 from .perkey import KVHistoryRecorder
 from .sharding import ShardMap, ShardSpec
 from .workload import KVRunResult, KVWorkload
 
-__all__ = ["BatchReplicaProcess", "KVClientProcess", "SimKVCluster", "run_sim_kv_workload"]
+__all__ = [
+    "BatchReplicaProcess",
+    "KVClientProcess",
+    "KVFailureInjector",
+    "SimKVCluster",
+    "run_sim_kv_workload",
+]
 
 
 class BatchReplicaProcess(Process):
-    """A shard replica with service-time queueing on the virtual clock."""
+    """A group replica with service-time queueing on the virtual clock."""
 
     def __init__(
         self,
         server_id: str,
-        logic: BatchShardServer,
+        logic: BatchGroupServer,
         events: EventQueue,
         overhead: float = 0.2,
         per_op: float = 0.1,
@@ -92,17 +122,19 @@ class _PendingKVOp:
     op_id: str
     key: str
     kind: OpKind
-    shard: ShardSpec
+    spec: ShardSpec
+    epoch: int
     generator: Any
     round_trip: int = 0
     wait_for: int = 0
+    stale_retries: int = 0
     request: Optional[Broadcast] = None
     replies: List[Message] = field(default_factory=list)
     on_complete: Optional[Callable[[OperationOutcome], None]] = None
 
 
 class KVClientProcess(Process):
-    """A store client multiplexing per-key operations into shard batches."""
+    """A store client multiplexing per-key operations into group batches."""
 
     def __init__(
         self,
@@ -112,6 +144,7 @@ class KVClientProcess(Process):
         events: EventQueue,
         max_batch: int = 8,
         flush_delay: float = 0.0,
+        completion_hook: Optional[Callable[[], None]] = None,
     ) -> None:
         super().__init__(client_id)
         if max_batch < 1:
@@ -121,29 +154,41 @@ class KVClientProcess(Process):
         self.events = events
         self.max_batch = max_batch
         self.flush_delay = flush_delay
+        self.completion_hook = completion_hook
         self.batch_stats = BatchStats()
         self.completed_operations = 0
+        self.stale_replays = 0
         self._readers: Dict[str, ClientLogic] = {}
         self._writers: Dict[str, ClientLogic] = {}
+        self._logic_homes: Dict[str, str] = {}
         self._active: Dict[str, _PendingKVOp] = {}
         self._key_inflight: Set[str] = set()
         self._key_backlog: Dict[str, Deque[tuple]] = {}
-        self._shard_queue: Dict[str, List[_PendingKVOp]] = {}
+        self._group_queue: Dict[str, List[_PendingKVOp]] = {}
         self._flush_scheduled: Set[str] = set()
 
     # -- per-key client logic --------------------------------------------------
 
-    def _writer_logic(self, key: str, shard: ShardSpec) -> ClientLogic:
+    def _refresh_home(self, key: str, spec: ShardSpec) -> None:
+        # Cached per-key client logic was built against a specific group's
+        # server list; when a move re-homes the shard, rebuild it (a fresh
+        # reader/writer joining is always safe for every protocol here).
+        if self._logic_homes.get(key) != spec.group.group_id:
+            self._logic_homes[key] = spec.group.group_id
+            self._readers.pop(key, None)
+            self._writers.pop(key, None)
+
+    def _writer_logic(self, key: str, spec: ShardSpec) -> ClientLogic:
         logic = self._writers.get(key)
         if logic is None:
-            logic = shard.protocol.make_writer(self.process_id)
+            logic = spec.protocol.make_writer(self.process_id)
             self._writers[key] = logic
         return logic
 
-    def _reader_logic(self, key: str, shard: ShardSpec) -> ClientLogic:
+    def _reader_logic(self, key: str, spec: ShardSpec) -> ClientLogic:
         logic = self._readers.get(key)
         if logic is None:
-            logic = shard.protocol.make_reader(self.process_id)
+            logic = spec.protocol.make_reader(self.process_id)
             self._readers[key] = logic
         return logic
 
@@ -177,18 +222,20 @@ class KVClientProcess(Process):
         return op_id
 
     def _start(self, op_id: str, kind: OpKind, key: str, value: Any, on_complete) -> None:
-        shard = self.shard_map.shard_for(key)
+        spec = self.shard_map.shard_for(key)
+        self._refresh_home(key, spec)
         if kind is OpKind.WRITE:
-            generator = self._writer_logic(key, shard).write_protocol(value)
+            generator = self._writer_logic(key, spec).write_protocol(value)
         else:
-            generator = self._reader_logic(key, shard).read_protocol()
+            generator = self._reader_logic(key, spec).read_protocol()
         self._key_inflight.add(key)
         self.recorder.record_invocation(key, op_id, self.process_id, kind, value=value)
         pending = _PendingKVOp(
             op_id=op_id,
             key=key,
             kind=kind,
-            shard=shard,
+            spec=spec,
+            epoch=spec.epoch,
             generator=generator,
             on_complete=on_complete,
         )
@@ -208,12 +255,39 @@ class KVClientProcess(Process):
             return
         if not isinstance(request, Broadcast):
             raise ProtocolError("client generators must yield Broadcast objects")
-        pending.round_trip += 1
         pending.request = request
+        self._dispatch_round(pending)
+
+    def _dispatch_round(self, pending: _PendingKVOp) -> None:
+        """Send the current round (fresh or replayed) to the owner group."""
+        pending.round_trip += 1
         pending.replies = []
-        quorum = len(pending.shard.servers) - pending.shard.protocol.max_faults
+        spec = self.shard_map.shard_for(pending.key)
+        pending.spec = spec
+        pending.epoch = spec.epoch
+        quorum = spec.quorum_size
+        request = pending.request
         pending.wait_for = request.wait_for if request.wait_for is not None else quorum
         self._enqueue(pending)
+
+    def _replay_round(self, pending: _PendingKVOp) -> None:
+        """Re-send the in-flight round after a stale-shard bounce.
+
+        Round-trips are idempotent (queries trivially; updates because
+        servers only adopt larger tags), so replaying the same broadcast
+        against the re-resolved owner group is always safe -- the per-key
+        generator never observes the bounce.  Bumping ``round_trip`` makes
+        any straggler replies from the stale attempt ignorable.
+        """
+        pending.stale_retries += 1
+        self.stale_replays += 1
+        if pending.stale_retries > MAX_STALE_RETRIES:
+            raise ProtocolError(
+                f"operation {pending.op_id} bounced {pending.stale_retries} times; "
+                "shard map never converged"
+            )
+        self._refresh_home(pending.key, self.shard_map.shard_for(pending.key))
+        self._dispatch_round(pending)
 
     def _complete(self, pending: _PendingKVOp, outcome: OperationOutcome) -> None:
         if not isinstance(outcome, OperationOutcome):
@@ -233,38 +307,40 @@ class KVClientProcess(Process):
             self._start(op_id, kind, pending.key, value, next_cb)
         if pending.on_complete is not None:
             pending.on_complete(outcome)
+        if self.completion_hook is not None:
+            self.completion_hook()
 
-    # -- shard batching --------------------------------------------------------
+    # -- group batching --------------------------------------------------------
 
     def _enqueue(self, pending: _PendingKVOp) -> None:
-        shard_id = pending.shard.shard_id
-        self._shard_queue.setdefault(shard_id, []).append(pending)
-        if shard_id not in self._flush_scheduled:
-            self._flush_scheduled.add(shard_id)
+        group_id = pending.spec.group.group_id
+        self._group_queue.setdefault(group_id, []).append(pending)
+        if group_id not in self._flush_scheduled:
+            self._flush_scheduled.add(group_id)
             self.events.schedule(
                 self.flush_delay,
-                lambda: self._flush(shard_id),
-                label=f"kv-flush:{self.process_id}:{shard_id}",
+                lambda: self._flush(group_id),
+                label=f"kv-flush:{self.process_id}:{group_id}",
             )
 
-    def _flush(self, shard_id: str) -> None:
-        self._flush_scheduled.discard(shard_id)
-        queue = self._shard_queue.get(shard_id, [])
+    def _flush(self, group_id: str) -> None:
+        self._flush_scheduled.discard(group_id)
+        queue = self._group_queue.get(group_id, [])
         if not queue:
             return
         batch, rest = queue[: self.max_batch], queue[self.max_batch :]
-        self._shard_queue[shard_id] = rest
+        self._group_queue[group_id] = rest
         if rest:
             # More coalesced work than one frame carries: flush again at once.
-            self._flush_scheduled.add(shard_id)
-            self.events.schedule(0.0, lambda: self._flush(shard_id), label="kv-flush")
-        shard = batch[0].shard
+            self._flush_scheduled.add(group_id)
+            self.events.schedule(0.0, lambda: self._flush(group_id), label="kv-flush")
+        group = batch[0].spec.group
         self.batch_stats.record(len(batch))
-        for server_id in shard.servers:
+        for server_id in group.servers:
             subs = [
-                (
-                    op.key,
-                    Message(
+                SubRequest(
+                    key=op.key,
+                    message=Message(
                         sender=self.process_id,
                         receiver=server_id,
                         kind=op.request.kind,
@@ -272,6 +348,8 @@ class KVClientProcess(Process):
                         op_id=op.op_id,
                         round_trip=op.round_trip,
                     ),
+                    shard=op.spec.shard_id,
+                    epoch=op.epoch,
                 )
                 for op in batch
             ]
@@ -288,13 +366,74 @@ class KVClientProcess(Process):
             pending = self._active.get(sub.op_id)
             if pending is None or sub.round_trip != pending.round_trip:
                 continue  # straggler from an earlier round-trip or operation
+            if is_stale_reply(sub):
+                # The shard was resized or moved while this round was in
+                # flight; re-resolve and replay the round.  Bouncing bumps
+                # round_trip, so the group's other (equally stale) replies
+                # to this attempt are ignored.
+                self._replay_round(pending)
+                continue
             pending.replies.append(sub)
             if len(pending.replies) == pending.wait_for:
                 self._advance(pending)
 
 
+class KVFailureInjector:
+    """Crash injection for a kv cluster, enforcing per-group fault budgets.
+
+    Wraps one :class:`~repro.sim.failures.FailureInjector` per replica group
+    so an experiment can crash up to ``t`` replicas *of each group* -- the
+    failure model every group's register protocol claims to tolerate --
+    without ever exceeding a budget by accident.
+    """
+
+    def __init__(self, cluster: "SimKVCluster") -> None:
+        self.cluster = cluster
+        self._by_group: Dict[str, FailureInjector] = {}
+        self._group_of: Dict[str, str] = {}
+        for group_id, group in cluster.shard_map.groups.items():
+            self._by_group[group_id] = FailureInjector(
+                cluster.events, cluster.network, group.servers, group.max_faults
+            )
+            for server_id in group.servers:
+                self._group_of[server_id] = group_id
+
+    def schedule_crash(self, server_id: str, time: float) -> CrashPlan:
+        """Crash one replica at ``time`` (within its group's budget)."""
+        return self._by_group[self._group_of[server_id]].schedule_crash(
+            server_id, time
+        )
+
+    def schedule_random_crashes(
+        self, per_group: int, horizon: float, rng: SeededRng
+    ) -> List[CrashPlan]:
+        """Crash up to ``per_group`` random replicas of every group within
+        ``horizon``, never exceeding what remains of a group's budget."""
+        plans: List[CrashPlan] = []
+        for injector in self._by_group.values():
+            doomed = {
+                plan.process_id
+                for plan in injector.plans
+                if plan.process_id in injector.server_ids
+            } | injector.crashed_servers
+            count = min(per_group, injector.max_server_faults - len(doomed))
+            candidates = [s for s in injector.server_ids if s not in doomed]
+            if count <= 0 or not candidates:
+                continue
+            for victim in rng.sample(candidates, min(count, len(candidates))):
+                plans.append(injector.schedule_crash(victim, rng.uniform(0, horizon)))
+        return plans
+
+    @property
+    def crashed_servers(self) -> Set[str]:
+        crashed: Set[str] = set()
+        for injector in self._by_group.values():
+            crashed |= injector.crashed_servers
+        return crashed
+
+
 class SimKVCluster:
-    """All shards of a :class:`ShardMap` plus clients on one virtual clock."""
+    """All replica groups of a :class:`ShardMap` plus clients on one clock."""
 
     def __init__(
         self,
@@ -310,12 +449,18 @@ class SimKVCluster:
         self.events = EventQueue()
         self.network = Network(self.events, delay_model or ConstantDelay())
         self.recorder = KVHistoryRecorder(lambda: self.events.clock.now)
+        self.migrations: List[MigrationReport] = []
+        self._completion_watchers: List[Callable[[], None]] = []
         self.replicas: Dict[str, BatchReplicaProcess] = {}
-        for spec in shard_map.shards.values():
-            for server_id in spec.servers:
+        for group in shard_map.groups.values():
+            hosted = {
+                spec.shard_id: spec.epoch
+                for spec in shard_map.shards_on(group.group_id)
+            }
+            for server_id in group.servers:
                 replica = BatchReplicaProcess(
                     server_id,
-                    BatchShardServer(server_id, spec.protocol),
+                    BatchGroupServer(server_id, group.protocol, dict(hosted)),
                     self.events,
                     overhead=server_overhead,
                     per_op=server_per_op,
@@ -331,9 +476,58 @@ class SimKVCluster:
                 self.events,
                 max_batch=max_batch,
                 flush_delay=flush_delay,
+                completion_hook=self._notify_completion,
             )
             client.attach(self.network)
             self.clients[client_id] = client
+
+    # -- live control plane ----------------------------------------------------
+
+    @property
+    def server_logics(self) -> Dict[str, BatchGroupServer]:
+        return {sid: replica.logic for sid, replica in self.replicas.items()}
+
+    def resize(self, new_num_shards: int) -> MigrationReport:
+        """Resize the ring *now*: metadata + register drain in one step."""
+        plan = self.shard_map.resize(new_num_shards)
+        report = apply_resize_plan(plan, self.shard_map, self.server_logics)
+        self.migrations.append(report)
+        return report
+
+    def schedule_resize(self, new_num_shards: int, at: float) -> None:
+        """Resize the ring at virtual time ``at`` (mid-run, under load)."""
+        self.events.schedule_at(
+            at, lambda: self.resize(new_num_shards), label=f"kv-resize:{new_num_shards}"
+        )
+
+    def move_shard(self, shard_id: str, group_id: str) -> MigrationReport:
+        """Re-home one shard onto another group *now*."""
+        plan = self.shard_map.move_shard(shard_id, group_id)
+        report = apply_move_plan(plan, self.server_logics)
+        self.migrations.append(report)
+        return report
+
+    def schedule_move(self, shard_id: str, group_id: str, at: float) -> None:
+        self.events.schedule_at(
+            at,
+            lambda: self.move_shard(shard_id, group_id),
+            label=f"kv-move:{shard_id}->{group_id}",
+        )
+
+    def failure_injector(self) -> KVFailureInjector:
+        """A crash injector enforcing each group's fault budget."""
+        return KVFailureInjector(self)
+
+    def add_completion_watcher(self, watcher: Callable[[], None]) -> None:
+        """Call ``watcher`` after every completed operation (e.g. to trigger
+        a resize once a threshold of the workload has run)."""
+        self._completion_watchers.append(watcher)
+
+    def _notify_completion(self) -> None:
+        for watcher in self._completion_watchers:
+            watcher()
+
+    # -- running ---------------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: int = 5_000_000) -> None:
         """Run the virtual clock to quiescence (or a deadline)."""
@@ -344,6 +538,9 @@ class SimKVCluster:
         for client in self.clients.values():
             merged.merge(client.batch_stats)
         return merged
+
+    def stale_replays(self) -> int:
+        return sum(client.stale_replays for client in self.clients.values())
 
 
 def run_sim_kv_workload(
@@ -358,8 +555,21 @@ def run_sim_kv_workload(
     server_overhead: float = 0.2,
     server_per_op: float = 0.1,
     shard_map: Optional[ShardMap] = None,
+    num_groups: Optional[int] = None,
+    resize_to: Optional[int] = None,
+    resize_after_ops: Optional[int] = None,
+    crashes_per_group: int = 0,
+    crash_horizon: float = 20.0,
+    crash_seed: int = 0,
 ) -> KVRunResult:
-    """Run a closed-loop kv workload on the simulator and collect results."""
+    """Run a closed-loop kv workload on the simulator and collect results.
+
+    ``resize_to`` triggers a *live* :meth:`SimKVCluster.resize` once
+    ``resize_after_ops`` operations have completed (default: half the
+    workload), while the remaining operations are still in flight.
+    ``crashes_per_group`` crashes that many random replicas of every group
+    (capped at each group's fault budget) within ``crash_horizon``.
+    """
     clients = workload.clients
     if shard_map is None:
         shard_map = ShardMap(
@@ -369,6 +579,7 @@ def run_sim_kv_workload(
             max_faults=max_faults,
             readers=len(clients),
             writers=len(clients),
+            num_groups=num_groups,
         )
     cluster = SimKVCluster(
         shard_map,
@@ -379,6 +590,25 @@ def run_sim_kv_workload(
         server_overhead=server_overhead,
         server_per_op=server_per_op,
     )
+
+    resize_info: Optional[Dict[str, object]] = None
+    if resize_to is not None:
+        hook, resize_info = make_resize_trigger(
+            cluster.resize,
+            lambda: cluster.recorder.completed_operations,
+            resize_to,
+            resize_after_ops
+            if resize_after_ops is not None
+            else max(1, workload.total_operations() // 2),
+            now=lambda: cluster.events.clock.now,
+        )
+        cluster.add_completion_watcher(hook)
+
+    if crashes_per_group > 0:
+        injector = cluster.failure_injector()
+        injector.schedule_random_crashes(
+            crashes_per_group, crash_horizon, SeededRng(crash_seed)
+        )
 
     def make_issuer(client: KVClientProcess, remaining: Deque) -> Callable:
         # A factory so each client's chain closes over its own issuer; a
@@ -413,6 +643,9 @@ def run_sim_kv_workload(
         completed_ops=cluster.recorder.completed_operations,
         messages_sent=cluster.network.sent_count,
         batch_stats=cluster.batch_stats(),
+        num_groups=len(shard_map.groups),
+        stale_replays=cluster.stale_replays(),
+        resize=resize_info,
     )
     for history in histories.values():
         result.read_latencies.extend(

@@ -110,6 +110,12 @@ class KVRunResult:
     batch_stats: BatchStats = field(default_factory=BatchStats)
     read_latencies: List[float] = field(default_factory=list)
     write_latencies: List[float] = field(default_factory=list)
+    #: Replica groups hosting the shards (None for pre-placement results).
+    num_groups: Optional[int] = None
+    #: Rounds replayed after a stale-epoch bounce (live rebalancing churn).
+    stale_replays: int = 0
+    #: Live-resize record ({"to", "at_ops", "keys_moved", ...}) when one ran.
+    resize: Optional[Dict[str, object]] = None
 
     def throughput(self) -> float:
         """Completed operations per time unit."""
@@ -130,6 +136,7 @@ class KVRunResult:
         return {
             "backend": self.backend,
             "shards": self.num_shards,
+            "groups": self.num_groups if self.num_groups is not None else self.num_shards,
             "batch": self.max_batch,
             "ops": self.completed_ops,
             "throughput": self.throughput(),

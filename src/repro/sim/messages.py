@@ -6,16 +6,25 @@ sub-requests destined for the same server are packed into one ``"batch"``
 message and answered with one ``"batch-ack"``, amortizing per-message
 overhead (framing, delivery scheduling, syscalls on the asyncio transport)
 across every operation coalesced into the round.
+
+Since the placement layer decoupled shards from replica groups, one group
+server multiplexes the per-key registers of *many* shards, so every
+sub-request is **shard-tagged**: it names the shard it believes owns its key
+and the per-shard epoch it resolved against (:class:`SubRequest`).  Servers
+fence requests whose epoch is stale -- the mechanism that makes live
+rebalancing (``ShardMap.resize`` / ``move_shard``) safe under concurrent
+client load.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "Message",
+    "SubRequest",
     "BATCH_KIND",
     "BATCH_ACK_KIND",
     "make_batch",
@@ -77,6 +86,35 @@ BATCH_KIND = "batch"
 BATCH_ACK_KIND = "batch-ack"
 
 
+class SubRequest(NamedTuple):
+    """One sub-request of a batch frame: a keyed message plus its route tag.
+
+    ``shard`` and ``epoch`` are the client's belief about the key's owner:
+    the shard it resolved through its hash ring and that shard's epoch at
+    resolution time.  A multiplexed group server fences the sub-request when
+    the belief is stale (shard not hosted, or epoch superseded by a resize or
+    move), bouncing it back so the client re-resolves.  ``shard=None`` (the
+    legacy single-shard form) is never considered fresh by a group server.
+    """
+
+    key: str
+    message: Message
+    shard: Optional[str] = None
+    epoch: int = 0
+
+
+#: What callers may pass to :func:`make_batch`: full route-tagged sub-requests
+#: or bare ``(key, message)`` pairs (coerced to untagged :class:`SubRequest`).
+SubRequestLike = Union[SubRequest, Tuple[str, Message]]
+
+
+def _coerce_sub(entry: SubRequestLike) -> SubRequest:
+    if isinstance(entry, SubRequest):
+        return entry
+    key, message = entry
+    return SubRequest(key, message)
+
+
 def _encode_sub(key: str, message: Message) -> Dict[str, Any]:
     return {
         "key": key,
@@ -88,8 +126,16 @@ def _encode_sub(key: str, message: Message) -> Dict[str, Any]:
     }
 
 
-def _decode_sub(receiver: str, entry: Dict[str, Any]) -> Tuple[str, Message]:
-    return entry["key"], Message(
+def _encode_sub_request(sub: SubRequest) -> Dict[str, Any]:
+    entry = _encode_sub(sub.key, sub.message)
+    if sub.shard is not None:
+        entry["shard"] = sub.shard
+        entry["epoch"] = sub.epoch
+    return entry
+
+
+def _decode_message(receiver: str, entry: Dict[str, Any]) -> Message:
+    return Message(
         sender=entry["sender"],
         receiver=receiver,
         kind=entry["kind"],
@@ -99,14 +145,24 @@ def _decode_sub(receiver: str, entry: Dict[str, Any]) -> Tuple[str, Message]:
     )
 
 
+def _decode_sub(receiver: str, entry: Dict[str, Any]) -> SubRequest:
+    return SubRequest(
+        key=entry["key"],
+        message=_decode_message(receiver, entry),
+        shard=entry.get("shard"),
+        epoch=entry.get("epoch", 0),
+    )
+
+
 def make_batch(
-    sender: str, receiver: str, sub_messages: Sequence[Tuple[str, Message]]
+    sender: str, receiver: str, sub_messages: Sequence[SubRequestLike]
 ) -> Message:
-    """Pack ``(key, sub-request)`` pairs into one batch frame for ``receiver``.
+    """Pack sub-requests into one batch frame for ``receiver``.
 
     Each sub-message keeps its own ``op_id``/``round_trip`` so replies can be
     routed back to the operation that issued it; the ``key`` names the
-    register the sub-message addresses on the multi-key server.
+    register the sub-message addresses and the optional ``shard``/``epoch``
+    tag names the owning shard the client resolved (see :class:`SubRequest`).
     """
     if not sub_messages:
         raise ValueError("a batch frame must contain at least one sub-message")
@@ -114,12 +170,14 @@ def make_batch(
         sender=sender,
         receiver=receiver,
         kind=BATCH_KIND,
-        payload={"ops": [_encode_sub(key, sub) for key, sub in sub_messages]},
+        payload={
+            "ops": [_encode_sub_request(_coerce_sub(sub)) for sub in sub_messages]
+        },
     )
 
 
-def unpack_batch(message: Message) -> List[Tuple[str, Message]]:
-    """Inverse of :func:`make_batch`: the ``(key, sub-request)`` pairs."""
+def unpack_batch(message: Message) -> List[SubRequest]:
+    """Inverse of :func:`make_batch`: the route-tagged sub-requests."""
     if message.kind != BATCH_KIND:
         raise ValueError(f"not a batch frame: kind={message.kind!r}")
     return [_decode_sub(message.receiver, entry) for entry in message.payload["ops"]]
@@ -156,5 +214,5 @@ def unpack_batch_ack(message: Message) -> List[Tuple[str, Optional[Message]]]:
         if entry is None:
             pairs.append(("", None))
         else:
-            pairs.append(_decode_sub(message.receiver, entry))
+            pairs.append((entry["key"], _decode_message(message.receiver, entry)))
     return pairs

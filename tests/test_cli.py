@@ -26,10 +26,15 @@ class TestParser:
         assert args.backend == "sim"
         assert args.shards == 4 and args.batch == 8
         assert args.protocol == "abd-mwmr"
+        assert args.groups is None and args.resize_to is None
 
     def test_kv_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["kv", "--backend", "carrier-pigeon"])
+
+    def test_kv_resize_after_requires_resize_to(self):
+        with pytest.raises(SystemExit, match="resize-to"):
+            main(["kv", "--resize-after", "5"])
 
 
 class TestCommands:
@@ -96,4 +101,13 @@ class TestCommands:
         output = capsys.readouterr().out
         assert code == 0
         assert "backend            : asyncio" in output
+        assert "ATOMIC" in output
+
+    def test_kv_groups_and_live_resize(self, capsys):
+        code = main(["kv", "--shards", "4", "--groups", "2", "--clients", "2",
+                     "--ops", "10", "--keys", "10", "--resize-to", "6"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "4 shards on 2 groups" in output
+        assert "live resize        : -> 6 shards" in output
         assert "ATOMIC" in output

@@ -24,6 +24,7 @@ from repro.sim.messages import (
     BATCH_ACK_KIND,
     BATCH_KIND,
     Message,
+    SubRequest,
     make_batch,
     make_batch_ack,
     unpack_batch,
@@ -103,6 +104,16 @@ class TestMessageFrames:
             encode_message(huge)
 
 
+#: Shard/epoch routing tags as the placement layer produces them.
+_sub_requests = st.builds(
+    SubRequest,
+    key=_ids,
+    message=_messages(),
+    shard=st.one_of(st.none(), _ids),
+    epoch=st.integers(min_value=0, max_value=2**31),
+)
+
+
 class TestBatchFrames:
     @_codec
     @given(subs=st.lists(st.tuples(_ids, _messages()), min_size=1, max_size=5))
@@ -111,8 +122,11 @@ class TestBatchFrames:
         assert batch.kind == BATCH_KIND
         recovered = unpack_batch(batch)
         assert len(recovered) == len(subs)
-        for (key, original), (rkey, restored) in zip(subs, recovered):
-            assert key == rkey
+        for (key, original), sub in zip(subs, recovered):
+            assert key == sub.key
+            # Bare (key, message) pairs coerce to untagged sub-requests.
+            assert sub.shard is None and sub.epoch == 0
+            restored = sub.message
             assert restored.receiver == "server"
             assert restored.sender == original.sender
             assert restored.kind == original.kind
@@ -125,9 +139,36 @@ class TestBatchFrames:
     def test_batch_survives_the_wire(self, subs):
         encoded = encode_batch_frame("client", "server", subs)
         recovered = decode_batch_frame(encoded[4:])
-        assert [key for key, _ in recovered] == [key for key, _ in subs]
-        for (_, original), (_, restored) in zip(subs, recovered):
-            assert restored.payload == original.payload
+        assert [sub.key for sub in recovered] == [key for key, _ in subs]
+        for (_, original), sub in zip(subs, recovered):
+            assert sub.message.payload == original.payload
+
+    @_codec
+    @given(subs=st.lists(_sub_requests, min_size=1, max_size=5))
+    def test_epoch_tags_round_trip_sim_codec(self, subs):
+        # The (shard, epoch) fence must survive pack/unpack bit-exactly:
+        # a mangled tag would either bounce a fresh request or -- far worse
+        # -- let a stale one through during a live resize.
+        recovered = unpack_batch(make_batch("client", "server", subs))
+        assert len(recovered) == len(subs)
+        for original, restored in zip(subs, recovered):
+            assert restored.key == original.key
+            assert restored.shard == original.shard
+            if original.shard is not None:
+                assert restored.epoch == original.epoch
+            assert restored.message.payload == original.message.payload
+            assert restored.message.op_id == original.message.op_id
+
+    @_codec
+    @given(subs=st.lists(_sub_requests, min_size=1, max_size=5))
+    def test_epoch_tags_round_trip_wire_codec(self, subs):
+        encoded = encode_batch_frame("client", "server", subs)
+        recovered = decode_batch_frame(encoded[4:])
+        for original, restored in zip(subs, recovered):
+            assert restored.shard == original.shard
+            if original.shard is not None:
+                assert restored.epoch == original.epoch
+            assert restored.message.payload == original.message.payload
 
     @_codec
     @given(

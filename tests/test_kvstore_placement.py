@@ -1,0 +1,166 @@
+"""Tests for the placement layer: replica groups, policies, live ShardMap."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.kvstore.placement import ReplicaGroup, RoundRobinPlacement
+from repro.kvstore.sharding import ShardMap
+from repro.protocols.registry import build_protocol
+
+
+class TestRoundRobinPlacement:
+    def test_spreads_shards_evenly(self):
+        policy = RoundRobinPlacement()
+        assignment = policy.place(
+            [f"sh{i}" for i in range(1, 7)], ["g1", "g2", "g3"]
+        )
+        loads = {}
+        for group_id in assignment.values():
+            loads[group_id] = loads.get(group_id, 0) + 1
+        assert loads == {"g1": 2, "g2": 2, "g3": 2}
+
+    def test_rejects_no_groups(self):
+        with pytest.raises(ValueError):
+            RoundRobinPlacement().place(["sh1"], [])
+
+    def test_place_one_is_least_loaded(self):
+        policy = RoundRobinPlacement()
+        chosen = policy.place_one("sh9", ["g1", "g2"], {"g1": 3, "g2": 1})
+        assert chosen == "g2"
+
+    def test_place_one_breaks_ties_in_group_order(self):
+        policy = RoundRobinPlacement()
+        assert policy.place_one("sh9", ["g1", "g2"], {"g1": 2, "g2": 2}) == "g1"
+
+
+class TestReplicaGroup:
+    def test_defaults_from_protocol(self):
+        protocol = build_protocol("abd-mwmr", ["a", "b", "c"], 1)
+        group = ReplicaGroup("g1", protocol)
+        assert group.servers == ["a", "b", "c"]
+        assert group.quorum_size == 2
+        assert group.max_faults == 1
+        assert group.describe()["quorum"] == 2
+
+
+class TestShardMapPlacement:
+    def test_default_is_one_group_per_shard(self):
+        shard_map = ShardMap(3)
+        assert len(shard_map.groups) == 3
+        homes = {spec.group.group_id for spec in shard_map.shards.values()}
+        assert len(homes) == 3
+
+    def test_shards_share_groups(self):
+        shard_map = ShardMap(6, num_groups=2, servers_per_shard=3)
+        assert len(shard_map.all_servers) == 6
+        assert all(count == 3 for count in shard_map.shard_counts().values())
+        for spec in shard_map.shards.values():
+            assert spec.group is shard_map.groups[spec.group.group_id]
+        assert len(shard_map.shards_on("g1")) == 3
+
+    def test_resolution_reaches_every_shard_through_groups(self):
+        shard_map = ShardMap(8, num_groups=2)
+        owners = {shard_map.shard_for(f"k{i}").shard_id for i in range(400)}
+        assert owners == set(shard_map.shards)
+
+    def test_rejects_bad_group_count(self):
+        with pytest.raises(ValueError):
+            ShardMap(2, num_groups=0)
+
+
+class TestMoveShard:
+    def test_move_re_homes_and_fences(self):
+        shard_map = ShardMap(4, num_groups=2)
+        spec = shard_map.shards["sh1"]
+        source = spec.group.group_id
+        target = "g2" if source == "g1" else "g1"
+        old_epoch = spec.epoch
+        plan = shard_map.move_shard("sh1", target)
+        assert spec.group.group_id == target
+        assert spec.epoch == old_epoch + 1
+        assert plan.old_group.group_id == source
+        assert plan.new_group.group_id == target
+        # The ring (key ownership) is untouched by a move.
+        assert shard_map.ring_epoch == 1
+
+    def test_move_rejects_unknown_ids(self):
+        shard_map = ShardMap(2, num_groups=2)
+        with pytest.raises(KeyError):
+            shard_map.move_shard("sh99", "g1")
+        with pytest.raises(KeyError):
+            shard_map.move_shard("sh1", "g99")
+
+
+class TestResizeMetadata:
+    def test_grow_adds_fresh_shard_ids(self):
+        shard_map = ShardMap(2, num_groups=2)
+        plan = shard_map.resize(4)
+        assert [spec.shard_id for spec in plan.added] == ["sh3", "sh4"]
+        assert len(shard_map) == 4
+        assert shard_map.ring_epoch == 2
+        # Growth lands on the least-loaded groups, keeping the balance.
+        assert all(count == 2 for count in shard_map.shard_counts().values())
+
+    def test_grow_fences_exactly_the_donors(self):
+        shard_map = ShardMap(4, num_groups=2)
+        keys = [f"k{i}" for i in range(500)]
+        owners_before = {k: shard_map.ring.owner_of(k) for k in keys}
+        plan = shard_map.resize(5)
+        for key in plan.moved_keys(keys):
+            donor = owners_before[key]
+            assert donor in plan.fenced
+            assert shard_map.shards[donor].epoch == plan.fenced[donor]
+
+    def test_shrink_retires_latest_shards(self):
+        shard_map = ShardMap(4, num_groups=2)
+        plan = shard_map.resize(2)
+        assert sorted(spec.shard_id for spec in plan.removed) == ["sh3", "sh4"]
+        assert sorted(shard_map.shards) == ["sh1", "sh2"]
+        # Keys of the removed shards fall back to survivors.
+        for key in (f"k{i}" for i in range(200)):
+            assert shard_map.ring.owner_of(key) in ("sh1", "sh2")
+
+    def test_resize_to_same_size_is_a_noop(self):
+        shard_map = ShardMap(3)
+        plan = shard_map.resize(3)
+        assert not plan.added and not plan.removed and not plan.fenced
+        assert shard_map.ring_epoch == 1
+
+    def test_shard_ids_are_never_reused(self):
+        shard_map = ShardMap(3, num_groups=1)
+        shard_map.resize(1)
+        plan = shard_map.resize(3)
+        assert [spec.shard_id for spec in plan.added] == ["sh4", "sh5"]
+
+
+class TestRingMonotonicity:
+    """Hypothesis: resizing N -> N+1 moves ~1/(N+1) of keys, only to the
+    added shard -- the bounded-movement guarantee live resize relies on."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=9),
+        prefix=st.text(
+            alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+            min_size=0,
+            max_size=8,
+        ),
+    )
+    def test_growth_moves_about_one_over_n_and_only_to_new_shards(self, n, prefix):
+        shard_map = ShardMap(n, num_groups=1, virtual_nodes=128)
+        keys = [f"{prefix}key-{i}" for i in range(300)]
+        owners_before = {k: shard_map.ring.owner_of(k) for k in keys}
+        plan = shard_map.resize(n + 1)
+        added = {spec.shard_id for spec in plan.added}
+        moved = plan.moved_keys(keys)
+        # Monotonicity: a key either keeps its owner or joins the new shard.
+        for key in keys:
+            after = shard_map.ring.owner_of(key)
+            assert after == owners_before[key] or after in added
+        # Bounded movement: ~1/(N+1) of keys, never a wholesale reshuffle.
+        expected = len(keys) / (n + 1)
+        assert len(moved) <= 3.0 * expected
+        assert plan.moved_fraction(keys) == len(moved) / len(keys)

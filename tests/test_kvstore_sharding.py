@@ -1,4 +1,4 @@
-"""Tests for the consistent-hash shard map and batch server logic."""
+"""Tests for the consistent-hash shard map and multiplexed group servers."""
 
 from __future__ import annotations
 
@@ -6,13 +6,19 @@ import pytest
 
 from repro.core.errors import ConfigurationError
 from repro.core.timestamps import Tag
-from repro.kvstore.batching import BatchShardServer, BatchStats
+from repro.kvstore.batching import (
+    STALE_SHARD_KIND,
+    BatchGroupServer,
+    BatchShardServer,
+    BatchStats,
+)
 from repro.kvstore.sharding import HashRing, ShardMap, stable_hash
 from repro.protocols.codec import encode_tag
 from repro.protocols.registry import build_protocol
 from repro.sim.messages import (
     BATCH_ACK_KIND,
     Message,
+    SubRequest,
     make_batch,
     unpack_batch_ack,
 )
@@ -49,6 +55,19 @@ class TestHashRing:
         with pytest.raises(ValueError):
             HashRing([])
 
+    def test_owner_lookup_is_memoized(self):
+        ring = HashRing(["sh1", "sh2"])
+        for _ in range(5):
+            ring.owner_of("hot-key")
+        info = ring.cache_info()
+        assert info.hits == 4 and info.misses == 1
+
+    def test_memoized_lookup_matches_uncached(self):
+        ring = HashRing(["sh1", "sh2", "sh3"])
+        for i in range(100):
+            key = f"k{i}"
+            assert ring.owner_of(key) == ring._resolve(key)
+
 
 class TestShardMap:
     def test_builds_disjoint_replica_groups(self):
@@ -77,14 +96,35 @@ class TestShardMap:
     def test_describe(self):
         info = ShardMap(2, servers_per_shard=3).describe()
         assert info["shards"] == 2 and info["total_servers"] == 6
+        assert info["groups"] == 2 and info["ring_epoch"] == 1
+
+    def test_many_shards_on_few_groups(self):
+        # The decoupling: shard count exceeds server capacity for disjoint
+        # groups, because groups are shared.
+        shard_map = ShardMap(8, num_groups=2, servers_per_shard=3)
+        assert len(shard_map) == 8
+        assert len(shard_map.groups) == 2
+        assert len(shard_map.all_servers) == 6
+        counts = shard_map.shard_counts()
+        assert sum(counts.values()) == 8
+        assert all(count == 4 for count in counts.values())  # round robin
 
 
-class TestBatchShardServer:
-    def _server(self):
+def _tagged(server: BatchGroupServer, shard: str, key: str, message: Message,
+            epoch=None) -> SubRequest:
+    resolved = epoch if epoch is not None else server.hosted_epoch(shard)
+    return SubRequest(key=key, message=message, shard=shard, epoch=resolved)
+
+
+class TestBatchGroupServer:
+    def _server(self, shards=("sha", "shb")):
         protocol = build_protocol("abd-mwmr", ["s1", "s2", "s3"], 1)
-        return BatchShardServer("s1", protocol)
+        return BatchGroupServer("s1", protocol, {shard: 1 for shard in shards})
 
-    def test_routes_sub_requests_per_key(self):
+    def test_alias_preserved(self):
+        assert BatchShardServer is BatchGroupServer
+
+    def test_routes_sub_requests_per_key_across_shards(self):
         server = self._server()
         update_a = Message("w1", "s1", "update",
                            {"tag": encode_tag(Tag(1, "w1")), "value": "A"},
@@ -92,27 +132,75 @@ class TestBatchShardServer:
         update_b = Message("w1", "s1", "update",
                            {"tag": encode_tag(Tag(1, "w1")), "value": "B"},
                            op_id="op-2", round_trip=2)
-        batch = make_batch("w1", "s1", [("ka", update_a), ("kb", update_b)])
+        batch = make_batch("w1", "s1", [
+            _tagged(server, "sha", "ka", update_a),
+            _tagged(server, "shb", "kb", update_b),
+        ])
         ack = server.handle(batch)
         assert ack.kind == BATCH_ACK_KIND
         assert server.keys_hosted == 2
+        assert server.keys_for("sha") == ["ka"]
 
         query_a = Message("r1", "s1", "query", op_id="op-3", round_trip=1)
-        ack = server.handle(make_batch("r1", "s1", [("ka", query_a)]))
+        ack = server.handle(
+            make_batch("r1", "s1", [_tagged(server, "sha", "ka", query_a)])
+        )
         (key, reply), = unpack_batch_ack(ack)
         assert key == "ka"
         assert reply.payload["value"] == "A"
         assert reply.op_id == "op-3" and reply.round_trip == 1
 
-    def test_keys_are_independent_registers(self):
+    def test_same_key_different_shards_are_independent_registers(self):
         server = self._server()
         update = Message("w1", "s1", "update",
-                         {"tag": encode_tag(Tag(5, "w1")), "value": "only-ka"})
-        server.handle(make_batch("w1", "s1", [("ka", update)]))
+                         {"tag": encode_tag(Tag(5, "w1")), "value": "only-sha"})
+        server.handle(make_batch("w1", "s1", [_tagged(server, "sha", "ka", update)]))
         query = Message("r1", "s1", "query")
-        ack = server.handle(make_batch("r1", "s1", [("kb", query)]))
+        ack = server.handle(make_batch("r1", "s1", [_tagged(server, "shb", "ka", query)]))
         (_, reply), = unpack_batch_ack(ack)
-        assert reply.payload["value"] is None  # kb never written
+        assert reply.payload["value"] is None  # shb's "ka" never written
+
+    def test_stale_epoch_bounces_without_touching_registers(self):
+        server = self._server()
+        server.set_epoch("sha", 3)
+        update = Message("w1", "s1", "update",
+                         {"tag": encode_tag(Tag(1, "w1")), "value": "A"},
+                         op_id="op-1", round_trip=2)
+        ack = server.handle(
+            make_batch("w1", "s1", [_tagged(server, "sha", "ka", update, epoch=2)])
+        )
+        (_, reply), = unpack_batch_ack(ack)
+        assert reply.kind == STALE_SHARD_KIND
+        assert reply.payload["epoch"] == 3 and reply.payload["sent_epoch"] == 2
+        assert reply.op_id == "op-1" and reply.round_trip == 2
+        assert server.keys_hosted == 0
+        assert server.stale_bounces == 1
+
+    def test_unhosted_and_untagged_shards_bounce(self):
+        server = self._server(shards=("sha",))
+        query = Message("r1", "s1", "query")
+        ack = server.handle(make_batch("r1", "s1", [
+            SubRequest("k", query, shard="nope", epoch=1),
+            SubRequest("k", query),  # legacy untagged form
+        ]))
+        for _, reply in unpack_batch_ack(ack):
+            assert reply.kind == STALE_SHARD_KIND
+            assert reply.payload["epoch"] is None
+
+    def test_evict_and_install_move_state(self):
+        source = self._server()
+        dest = self._server(shards=())
+        update = Message("w1", "s1", "update",
+                         {"tag": encode_tag(Tag(7, "w1")), "value": "moved"})
+        source.handle(make_batch("w1", "s1", [_tagged(source, "sha", "ka", update)]))
+        registers = source.evict_shard("sha")
+        assert source.hosted_epoch("sha") is None
+        dest.host_shard("sha", 2, registers)
+        query = Message("r1", "s1", "query")
+        ack = dest.handle(make_batch("r1", "s1", [_tagged(dest, "sha", "ka", query)]))
+        (_, reply), = unpack_batch_ack(ack)
+        assert reply.payload["value"] == "moved"
+        assert reply.sender == "s1"
 
     def test_rejects_non_batch_messages(self):
         server = self._server()
@@ -122,7 +210,10 @@ class TestBatchShardServer:
     def test_counts_batches(self):
         server = self._server()
         query = Message("r1", "s1", "query")
-        server.handle(make_batch("r1", "s1", [("ka", query), ("kb", query)]))
+        server.handle(make_batch("r1", "s1", [
+            _tagged(server, "sha", "ka", query),
+            _tagged(server, "sha", "kb", query),
+        ]))
         assert server.batches_served == 1
         assert server.sub_ops_served == 2
         assert server.largest_batch == 2
