@@ -16,7 +16,18 @@ import json
 import struct
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..sim.messages import Message, SubRequest, make_batch, unpack_batch
+from ..sim.messages import (
+    Message,
+    ProxySubReply,
+    ProxySubRequest,
+    SubRequest,
+    make_batch,
+    make_proxy_ack,
+    make_proxy_request,
+    unpack_batch,
+    unpack_proxy_ack,
+    unpack_proxy_request,
+)
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -25,6 +36,10 @@ __all__ = [
     "decode_message",
     "encode_batch_frame",
     "decode_batch_frame",
+    "encode_proxy_frame",
+    "decode_proxy_frame",
+    "encode_proxy_ack_frame",
+    "decode_proxy_ack_frame",
     "read_frame",
     "write_frame",
 ]
@@ -87,6 +102,30 @@ def encode_batch_frame(
 def decode_batch_frame(body: bytes) -> List[SubRequest]:
     """Inverse of :func:`encode_batch_frame` (body excludes the length header)."""
     return unpack_batch(decode_message(body))
+
+
+def encode_proxy_frame(
+    sender: str, receiver: str, subs: Sequence[ProxySubRequest]
+) -> bytes:
+    """Pack forwarded rounds into one encoded proxy frame (client -> proxy)."""
+    return encode_message(make_proxy_request(sender, receiver, subs))
+
+
+def decode_proxy_frame(body: bytes) -> List[ProxySubRequest]:
+    """Inverse of :func:`encode_proxy_frame` (body excludes the length header)."""
+    return unpack_proxy_request(decode_message(body))
+
+
+def encode_proxy_ack_frame(
+    sender: str, receiver: str, sub_replies: Sequence[ProxySubReply]
+) -> bytes:
+    """Pack completed rounds into one encoded proxy ack frame (proxy -> client)."""
+    return encode_message(make_proxy_ack(sender, receiver, sub_replies))
+
+
+def decode_proxy_ack_frame(body: bytes) -> List[ProxySubReply]:
+    """Inverse of :func:`encode_proxy_ack_frame` (body excludes the header)."""
+    return unpack_proxy_ack(decode_message(body))
 
 
 async def read_frame(reader) -> Message:

@@ -43,14 +43,25 @@ class ReplicaServer:
         self.service_overhead = service_overhead
         self.service_per_op = service_per_op
         self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: "set" = set()
         self.requests_served = 0
 
     @property
     def server_id(self) -> str:
         return self.logic.server_id
 
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
     async def start(self) -> None:
-        """Start listening; ``self.port`` is updated with the bound port."""
+        """(Re)start listening; ``self.port`` is updated with the bound port.
+
+        After a :meth:`stop`, calling ``start`` again rebinds the *same*
+        port with the *same* logic object -- the crash-recovery model of a
+        replica whose state survives on stable storage, which is what lets
+        clients reconnect to a known endpoint after a kill.
+        """
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -59,17 +70,26 @@ class ReplicaServer:
             self.port = sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
+        """Stop listening and sever every live connection (a process kill:
+        in-flight requests on those connections are simply lost)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for writer in list(self._connections):
+            writer.close()
 
     async def _handle_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
         try:
             while True:
                 try:
                     request = await read_frame(reader)
-                except (asyncio.IncompleteReadError, ConnectionResetError):
+                except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+                    break
+                except asyncio.CancelledError:
+                    # Event-loop teardown raced this connection's EOF; exit
+                    # cleanly so the streams machinery has nothing to log.
                     break
                 self.requests_served += 1
                 reply = self.logic.handle(request)
@@ -84,7 +104,10 @@ class ReplicaServer:
                     )
                 if reply is not None:
                     await write_frame(writer, reply)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # peer vanished mid-write; the connection is done either way
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()

@@ -102,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
     kv.add_argument("--resize-after", type=int, default=None, metavar="OPS",
                     help="trigger the live resize after OPS completed "
                          "operations (default: half the workload)")
+    kv.add_argument("--proxies", type=int, default=0, metavar="N",
+                    help="route clients through N site-local ingress proxies "
+                         "(round-robin) that merge quorum rounds across "
+                         "clients into shared replica frames; 0 = direct")
     kv.add_argument("--clients", type=int, default=4)
     kv.add_argument("--ops", type=int, default=30, help="operations per client")
     kv.add_argument("--keys", type=int, default=32)
@@ -246,6 +250,8 @@ def _command_kv(args: argparse.Namespace) -> int:
         num_groups=args.groups,
         resize_to=args.resize_to,
         resize_after_ops=args.resize_after,
+        use_proxy=args.proxies > 0,
+        num_proxies=max(args.proxies, 1),
     )
     if args.backend == "sim":
         result = run_sim_kv_workload(workload, **common)
@@ -266,6 +272,12 @@ def _command_kv(args: argparse.Namespace) -> int:
     print(f"throughput         : {result.throughput():.2f} ops per time unit")
     print(f"batching           : {result.batch_stats.summary()}")
     print(f"messages sent      : {result.messages_sent} frames")
+    print(f"frames             : {result.frames_sent} sent / {result.frames_total} "
+          f"total across tiers; {result.replica_frames} served by replicas "
+          f"({result.replica_frames_per_op():.2f} per op)")
+    if result.num_proxies:
+        print(f"proxy tier         : {result.num_proxies} proxies, "
+              f"{result.proxy_stats.summary()}")
     print(f"read latency p50   : {result.read_stats().p50:.3f}")
     if result.resize:
         print(f"live resize        : -> {result.resize['to']} shards after "

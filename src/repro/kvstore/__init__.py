@@ -19,6 +19,13 @@ to a multi-key store:
   sub-requests to per-key registers and bounces stale epochs.
 * **Migration** (:mod:`~repro.kvstore.migration`): the control-plane step
   that drains per-key registers to their new owners when the ring changes.
+* **Ingress proxies** (:mod:`~repro.kvstore.proxy`): an optional site-local
+  tier between clients and replica groups.  A proxy merges quorum rounds
+  *across client connections* into shared replica frames (replica-side
+  frames drop toward 1/K under K-client fan-in), routes reads through a
+  pluggable :class:`ReadRoutingPolicy` (:class:`NearestQuorum` picks the
+  closest quorum from site metadata), and hides live rebalancing behind a
+  :class:`CachedShardView` that refreshes on stale-epoch bounces.
 * **Two backends**: the discrete-event simulator
   (:func:`run_sim_kv_workload`) and real asyncio TCP
   (:class:`KVStore` / :class:`SyncKVStore`, :func:`run_asyncio_kv_workload`).
@@ -39,13 +46,22 @@ from .migration import MigrationReport, apply_move_plan, apply_resize_plan
 from .net_backend import (
     AsyncGroupClient,
     AsyncKVCluster,
+    AsyncProxyClient,
     AsyncShardClient,
     KVStore,
+    ProxyServer,
     SyncKVStore,
     run_asyncio_kv_workload,
 )
 from .perkey import KVHistoryRecorder, PerKeyAtomicity, check_per_key_atomicity
 from .placement import PlacementPolicy, ReplicaGroup, RoundRobinPlacement
+from .proxy import (
+    BroadcastReads,
+    CachedShardView,
+    NearestQuorum,
+    ProxyRoute,
+    ReadRoutingPolicy,
+)
 from .sharding import (
     HashRing,
     MovePlan,
@@ -57,6 +73,7 @@ from .sharding import (
 from .sim_backend import (
     KVClientProcess,
     KVFailureInjector,
+    ProxyProcess,
     SimKVCluster,
     run_sim_kv_workload,
 )
@@ -72,8 +89,10 @@ __all__ = [
     "apply_resize_plan",
     "AsyncGroupClient",
     "AsyncKVCluster",
+    "AsyncProxyClient",
     "AsyncShardClient",
     "KVStore",
+    "ProxyServer",
     "SyncKVStore",
     "run_asyncio_kv_workload",
     "KVHistoryRecorder",
@@ -82,6 +101,11 @@ __all__ = [
     "PlacementPolicy",
     "ReplicaGroup",
     "RoundRobinPlacement",
+    "BroadcastReads",
+    "CachedShardView",
+    "NearestQuorum",
+    "ProxyRoute",
+    "ReadRoutingPolicy",
     "HashRing",
     "MovePlan",
     "ResizePlan",
@@ -90,6 +114,7 @@ __all__ = [
     "stable_hash",
     "KVClientProcess",
     "KVFailureInjector",
+    "ProxyProcess",
     "SimKVCluster",
     "run_sim_kv_workload",
     "KVOp",

@@ -28,17 +28,25 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ProtocolError
 from ..core.operations import OpKind, new_op_id
 from ..protocols.base import Broadcast, ClientLogic, OperationOutcome
 from ..sim.messages import (
     BATCH_ACK_KIND,
+    PROXY_ACK_KIND,
+    PROXY_KIND,
     Message,
+    ProxySubReply,
+    ProxySubRequest,
     SubRequest,
     make_batch,
+    make_proxy_ack,
+    make_proxy_request,
     unpack_batch_ack,
+    unpack_proxy_ack,
+    unpack_proxy_request,
 )
 from ..asyncio_net.codec import read_frame, write_frame
 from ..asyncio_net.server import ReplicaServer
@@ -57,12 +65,36 @@ from .migration import (
 )
 from .perkey import KVHistoryRecorder, PerKeyAtomicity, check_per_key_atomicity
 from .placement import ReplicaGroup
+from .proxy import (
+    BroadcastReads,
+    CachedShardView,
+    ReadRoutingPolicy,
+    attempt_scoped_id,
+    plan_round,
+)
 from .sharding import ShardMap, ShardSpec
 from .workload import KVRunResult, KVWorkload
 from ._sync import LoopThread, run_sync
 
-__all__ = ["AsyncKVCluster", "AsyncGroupClient", "AsyncShardClient", "KVStore",
-           "SyncKVStore", "run_asyncio_kv_workload"]
+__all__ = ["AsyncKVCluster", "AsyncGroupClient", "AsyncShardClient",
+           "AsyncProxyClient", "ProxyServer", "KVStore", "SyncKVStore",
+           "run_asyncio_kv_workload"]
+
+#: How often a disconnected peer retries its connection, and how many times
+#: an operation round retries over a transient outage before giving up --
+#: together they bound the reconnect-and-replay window (~5 s) during a
+#: replica kill/restart.
+RECONNECT_INTERVAL = 0.05
+MAX_TRANSIENT_RETRIES = 100
+
+#: A proxy bounds each replica round-trip attempt.  A round whose frames all
+#: left the socket successfully can still lose a targeted replica to a kill
+#: before it acks (only possible with a restrictive read policy -- broadcast
+#: rounds always have ``S - t`` live repliers); the timeout turns that silent
+#: loss into a replay, and after MAX_ROUND_TIMEOUTS replays into an error
+#: ack, instead of a client hanging forever.
+PROXY_ROUND_TIMEOUT = 2.0
+MAX_ROUND_TIMEOUTS = 5
 
 
 class AsyncKVCluster:
@@ -80,9 +112,11 @@ class AsyncKVCluster:
         self.service_overhead = service_overhead
         self.service_per_op = service_per_op
         self.replicas: Dict[str, ReplicaServer] = {}
+        self.proxies: Dict[str, "ProxyServer"] = {}
         self.migrations: List[MigrationReport] = []
         self._logics: Dict[str, BatchGroupServer] = {}
         self._endpoints: Dict[str, Dict[str, Tuple[str, int]]] = {}
+        self._proxy_rr = 0
 
     async def start(self) -> None:
         for group in self.shard_map.groups.values():
@@ -106,6 +140,9 @@ class AsyncKVCluster:
             self._endpoints[group.group_id] = endpoints
 
     async def stop(self) -> None:
+        for proxy in self.proxies.values():
+            await proxy.stop()
+        self.proxies.clear()
         for replica in self.replicas.values():
             await replica.stop()
         self.replicas.clear()
@@ -114,6 +151,67 @@ class AsyncKVCluster:
 
     def endpoints_for(self, group_id: str) -> Dict[str, Tuple[str, int]]:
         return dict(self._endpoints[group_id])
+
+    # -- ingress proxies ---------------------------------------------------------
+
+    async def start_proxies(
+        self,
+        num_proxies: int = 1,
+        read_policy: Optional[ReadRoutingPolicy] = None,
+        max_batch: int = 64,
+    ) -> List[str]:
+        """Start ``num_proxies`` site-local ingress proxies; returns their ids.
+
+        Proxies are stateless, so they can be started (and pointed at) any
+        time after :meth:`start`; each owns its own connections to every
+        replica group and merges forwarded rounds across the client
+        connections it accepts.
+        """
+        started: List[str] = []
+        for _ in range(num_proxies):
+            proxy_id = f"p{len(self.proxies) + 1}"
+            proxy = ProxyServer(
+                proxy_id, self, read_policy=read_policy,
+                max_batch=max_batch, host=self.host,
+            )
+            await proxy.start()
+            self.proxies[proxy_id] = proxy
+            started.append(proxy_id)
+        return started
+
+    def assign_proxy(self) -> str:
+        """The next proxy id, round-robin (how ``use_proxy=True`` clients
+        spread over the proxy tier)."""
+        if not self.proxies:
+            raise RuntimeError("no proxies started; call start_proxies() first")
+        ids = list(self.proxies)
+        proxy_id = ids[self._proxy_rr % len(ids)]
+        self._proxy_rr += 1
+        return proxy_id
+
+    def proxy_endpoint(self, proxy_id: str) -> Tuple[str, int]:
+        proxy = self.proxies[proxy_id]
+        return (proxy.host, proxy.port)
+
+    # -- replica kill / restart --------------------------------------------------
+
+    async def kill_server(self, server_id: str) -> None:
+        """Kill one replica: stop listening and sever its live connections.
+
+        Clients and proxies ride it out: sends to the dead replica fail (a
+        quorum of ``S - t`` among the survivors still completes every
+        round), their receive loops go into reconnect, and rounds that lost
+        too many sends are replayed once a quorum is reachable again.
+        """
+        await self.replicas[server_id].stop()
+
+    async def restart_server(self, server_id: str) -> None:
+        """Restart a killed replica on its original port with its surviving
+        state (the crash-recovery model: register state is stable storage).
+        Reconnecting clients resume using it transparently."""
+        replica = self.replicas[server_id]
+        if not replica.running:
+            await replica.start()
 
     # -- live control plane ----------------------------------------------------
 
@@ -152,6 +250,8 @@ class _PendingRound:
     epoch: int
     request: Broadcast
     wait_for: int
+    sender: str = ""
+    targets: Optional[Tuple[str, ...]] = None
     replies: List[Message] = field(default_factory=list)
     ready: asyncio.Event = field(default_factory=asyncio.Event)
     error: Optional[BaseException] = None
@@ -167,7 +267,15 @@ class AsyncGroupClient:
     Sub-requests submitted while the event loop is busy (same tick) ride the
     same batch frame; a frame is also cut as soon as ``max_batch``
     sub-requests are pending.  All shards hosted by the group share the same
-    frames -- coalescing improves as shards-per-group grows.
+    frames -- coalescing improves as shards-per-group grows.  When a proxy
+    owns this client, sub-requests from *different* downstream clients all
+    funnel through it, which is exactly the cross-client merge of the
+    ingress tier.
+
+    A lost connection goes into reconnect-and-replay: the receive loop's
+    death schedules periodic redial of the replica's (stable) endpoint,
+    sends to the dead replica fail fast and count against each round's
+    quorum, and callers replay rounds that could not reach a quorum.
     """
 
     def __init__(
@@ -184,42 +292,87 @@ class AsyncGroupClient:
         self.endpoints = dict(endpoints)
         self.max_batch = max_batch
         self.batch_stats = BatchStats()
-        self.frames_sent = 0
-        self.frames_received = 0
         self._writers: Dict[str, asyncio.StreamWriter] = {}
-        self._receive_tasks: List[asyncio.Task] = []
+        self._receive_tasks: "set[asyncio.Task]" = set()
         self._send_tasks: "set[asyncio.Task]" = set()
+        self._reconnect_tasks: "set[asyncio.Task]" = set()
         self._queue: List[_PendingRound] = []
         self._rounds: Dict[Tuple[str, int], _PendingRound] = {}
         self._flush_scheduled = False
+        self._closing = False
 
     @property
     def quorum_size(self) -> int:
         return self.group.quorum_size
 
+    @property
+    def frames_sent(self) -> int:
+        return self.batch_stats.frames_sent
+
+    @property
+    def frames_received(self) -> int:
+        return self.batch_stats.frames_received
+
     # -- connection management -------------------------------------------------
 
     async def connect(self) -> None:
-        for server_id, (host, port) in self.endpoints.items():
-            reader, writer = await asyncio.open_connection(host, port)
-            self._writers[server_id] = writer
-            self._receive_tasks.append(
-                asyncio.create_task(self._receive_loop(reader))
-            )
+        for server_id in self.endpoints:
+            await self._open(server_id)
+
+    async def _open(self, server_id: str) -> None:
+        host, port = self.endpoints[server_id]
+        reader, writer = await asyncio.open_connection(host, port)
+        stale = self._writers.get(server_id)
+        if stale is not None and stale is not writer:
+            stale.close()  # release the dead transport a redial replaces
+        self._writers[server_id] = writer
+        task = asyncio.create_task(self._receive_loop(server_id, reader))
+        self._receive_tasks.add(task)
+        task.add_done_callback(self._receive_tasks.discard)
+
+    def _schedule_reconnect(self, server_id: str) -> None:
+        if self._closing:
+            return
+        task = asyncio.create_task(self._reconnect(server_id))
+        self._reconnect_tasks.add(task)
+        task.add_done_callback(self._reconnect_tasks.discard)
+
+    async def _reconnect(self, server_id: str) -> None:
+        """Redial a dead replica until it is back (or this client closes).
+
+        The endpoint is stable across kill/restart (the replica rebinds its
+        port), so reconnecting is pure persistence; in-flight rounds are not
+        touched -- they either complete on the surviving quorum or get
+        replayed by their caller.
+        """
+        while not self._closing:
+            await asyncio.sleep(RECONNECT_INTERVAL)
+            if self._closing:
+                return
+            try:
+                await self._open(server_id)
+                return
+            except OSError:
+                continue
 
     async def close(self) -> None:
-        for task in list(self._receive_tasks) + list(self._send_tasks):
-            task.cancel()
-        await asyncio.gather(
-            *self._receive_tasks, *self._send_tasks, return_exceptions=True
+        self._closing = True
+        tasks = (
+            list(self._receive_tasks)
+            + list(self._send_tasks)
+            + list(self._reconnect_tasks)
         )
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
         self._receive_tasks.clear()
         self._send_tasks.clear()
+        self._reconnect_tasks.clear()
         for writer in self._writers.values():
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (ConnectionResetError, BrokenPipeError, OSError):  # pragma: no cover
                 pass
         self._writers.clear()
 
@@ -233,8 +386,16 @@ class AsyncGroupClient:
         op_id: str,
         round_trip: int,
         request: Broadcast,
+        targets: Optional[Sequence[str]] = None,
+        sender: Optional[str] = None,
     ) -> List[Message]:
         """Broadcast one shard-tagged sub-request (batched), await its quorum.
+
+        ``targets`` restricts the round to a subset of the group's replicas
+        (how a proxy's read-routing policy lands on the wire); ``None``
+        broadcasts.  ``sender`` overrides the sub-message's sender identity
+        -- a proxy forwards its downstream client's id so the protocols'
+        per-client bookkeeping is preserved end to end.
 
         Raises :class:`StaleShardError` when the group bounces the round
         because the (shard, epoch) tag went stale mid-flight -- the caller
@@ -249,6 +410,8 @@ class AsyncGroupClient:
             epoch=epoch,
             request=request,
             wait_for=wait_for,
+            sender=sender if sender is not None else self.client_id,
+            targets=tuple(targets) if targets is not None else None,
         )
         self._rounds[(op_id, round_trip)] = pending
         self._submit(pending)
@@ -289,7 +452,7 @@ class AsyncGroupClient:
                 SubRequest(
                     key=pending.key,
                     message=Message(
-                        sender=self.client_id,
+                        sender=pending.sender,
                         receiver=server_id,
                         kind=pending.request.kind,
                         payload=pending.request.payload_for(server_id),
@@ -300,33 +463,54 @@ class AsyncGroupClient:
                     epoch=pending.epoch,
                 )
                 for pending in batch
+                if pending.targets is None or server_id in pending.targets
             ]
+            if not subs:
+                return
+            if writer.is_closing():
+                # The replica is down and its redial has not landed yet;
+                # fail this send fast instead of writing into a dead socket.
+                raise ConnectionResetError(f"connection to {server_id} is down")
             await write_frame(writer, make_batch(self.client_id, server_id, subs))
-            self.frames_sent += 1
+            self.batch_stats.record_frames(sent=1)
 
         # Writes go out concurrently so one backpressured replica cannot
         # delay the frames for the rest of the quorum.
+        servers = list(self._writers.items())
         results = await asyncio.gather(
-            *(send_to(server_id, writer) for server_id, writer in self._writers.items()),
+            *(send_to(server_id, writer) for server_id, writer in servers),
             return_exceptions=True,
         )
-        failures = [r for r in results if isinstance(r, BaseException)]
-        if not failures:
+        reached = {
+            server_id
+            for (server_id, _), result in zip(servers, results)
+            if not isinstance(result, BaseException)
+        }
+        first_failure = next(
+            (r for r in results if isinstance(r, BaseException)), None
+        )
+        if first_failure is None:
             return
-        # A round survives a minority of failed sends (quorum still
-        # reachable); when too few frames went out -- or none, as when the
-        # frame exceeds MAX_FRAME_BYTES -- fail the waiters instead of
-        # letting them block forever.
-        successes = len(results) - len(failures)
+        # A round survives failed sends to a minority of its targets (quorum
+        # still reachable); when too few frames went out -- a dead replica
+        # mid-kill, or none at all when the frame exceeds MAX_FRAME_BYTES --
+        # fail the waiters instead of letting them block forever, so the
+        # caller's replay logic takes over.
         for pending in batch:
+            eligible = (
+                pending.targets
+                if pending.targets is not None
+                else tuple(server_id for server_id, _ in servers)
+            )
+            successes = sum(1 for server_id in eligible if server_id in reached)
             if successes < pending.wait_for:
-                pending.fail(failures[0])
+                pending.fail(first_failure)
 
-    async def _receive_loop(self, reader: asyncio.StreamReader) -> None:
+    async def _receive_loop(self, server_id: str, reader: asyncio.StreamReader) -> None:
         try:
             while True:
                 message = await read_frame(reader)
-                self.frames_received += 1
+                self.batch_stats.record_frames(received=1)
                 if message.kind != BATCH_ACK_KIND:
                     continue
                 for _key, sub in unpack_batch_ack(message):
@@ -347,12 +531,375 @@ class AsyncGroupClient:
                     pending.replies.append(sub)
                     if len(pending.replies) >= pending.wait_for:
                         pending.ready.set()
-        except (asyncio.IncompleteReadError, ConnectionResetError, asyncio.CancelledError):
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            # The replica died (or was killed): keep redialing its endpoint
+            # so a restarted replica is picked back up transparently.
+            self._schedule_reconnect(server_id)
+        except asyncio.CancelledError:
             return
 
 
 #: Backwards-compatible alias from before placement was its own layer.
 AsyncShardClient = AsyncGroupClient
+
+
+class ProxyServer:
+    """One site-local ingress proxy over TCP (:mod:`repro.kvstore.proxy`).
+
+    Accepts client connections speaking ``"proxy"``/``"proxy-ack"`` frames
+    and drives each forwarded round against the owner replica group through
+    its own :class:`AsyncGroupClient` per group.  Because *every* client
+    connection's rounds funnel into those few group clients, sub-requests
+    from different clients coalesce into shared replica frames -- the
+    cross-client merge.  The proxy owns shard resolution (a
+    :class:`~repro.kvstore.proxy.CachedShardView` refreshed on stale-epoch
+    bounces, replaying transparently), applies its
+    :class:`~repro.kvstore.proxy.ReadRoutingPolicy` to pick read targets,
+    and forwards each downstream client's identity as the sub-message
+    sender so the register protocols' per-client bookkeeping is intact.
+    """
+
+    def __init__(
+        self,
+        proxy_id: str,
+        cluster: AsyncKVCluster,
+        read_policy: Optional[ReadRoutingPolicy] = None,
+        max_batch: int = 64,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.proxy_id = proxy_id
+        self.cluster = cluster
+        self.view = CachedShardView(cluster.shard_map)
+        self.read_policy = read_policy or BroadcastReads()
+        self.max_batch = max_batch
+        self.host = host
+        self.port = port
+        self.stale_replays = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._group_clients: Dict[str, AsyncGroupClient] = {}
+        self._connections: "set" = set()
+        self._serve_tasks: "set[asyncio.Task]" = set()
+        self._attempts = 0
+
+    async def start(self) -> None:
+        for group in self.cluster.shard_map.groups.values():
+            group_client = AsyncGroupClient(
+                self.proxy_id,
+                group,
+                self.cluster.endpoints_for(group.group_id),
+                max_batch=self.max_batch,
+            )
+            await group_client.connect()
+            self._group_clients[group.group_id] = group_client
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._serve_tasks):
+            task.cancel()
+        await asyncio.gather(*self._serve_tasks, return_exceptions=True)
+        self._serve_tasks.clear()
+        for writer in list(self._connections):
+            writer.close()
+        for group_client in self._group_clients.values():
+            await group_client.close()
+        self._group_clients.clear()
+
+    def batch_stats(self) -> BatchStats:
+        """Replica-side merging/frame statistics across all group clients."""
+        merged = BatchStats()
+        for group_client in self._group_clients.values():
+            merged.merge(group_client.batch_stats)
+        return merged
+
+    # -- client connections ------------------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        self._connections.add(writer)
+        # One writer lock per connection: ack frames for rounds completing
+        # concurrently must not interleave their bytes.
+        lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+                    break
+                except asyncio.CancelledError:
+                    break  # loop teardown raced this connection's EOF
+                if frame.kind != PROXY_KIND:
+                    continue
+                for sub in unpack_proxy_request(frame):
+                    task = asyncio.create_task(
+                        self._serve(frame.sender, sub, writer, lock)
+                    )
+                    self._serve_tasks.add(task)
+                    task.add_done_callback(self._serve_tasks.discard)
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError, asyncio.CancelledError):
+                pass
+
+    # -- driving one forwarded round ---------------------------------------------
+
+    async def _serve(
+        self,
+        client: str,
+        sub: ProxySubRequest,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        replies: Sequence[Message] = ()
+        error: Optional[str] = None
+        stale_retries = 0
+        transient_retries = 0
+        timeouts = 0
+        while True:
+            plan = plan_round(self.view, self.read_policy, self.proxy_id, sub)
+            group_client = self._group_clients[plan.route.group_id]
+            self._attempts += 1
+            request = Broadcast(
+                kind=sub.kind,
+                payload=sub.payload,
+                wait_for=plan.wait_for,
+                per_server_payload=sub.per_server or {},
+            )
+            try:
+                replies = await asyncio.wait_for(
+                    group_client.round_trip(
+                        sub.key,
+                        plan.route.shard_id,
+                        plan.route.epoch,
+                        attempt_scoped_id(sub.op_id, self._attempts),
+                        sub.round_trip,
+                        request,
+                        targets=plan.targets,
+                        sender=client,
+                    ),
+                    timeout=PROXY_ROUND_TIMEOUT,
+                )
+                break
+            except StaleShardError:
+                stale_retries += 1
+                self.stale_replays += 1
+                if stale_retries > MAX_STALE_RETRIES:
+                    error = (
+                        f"shard map never converged after {stale_retries} "
+                        "stale replays"
+                    )
+                    break
+                self.view.refresh()
+            except asyncio.TimeoutError:
+                # A targeted replica died after the frame left the socket
+                # (restrictive read policies only); replay the idempotent
+                # round -- the redial may have landed by now.
+                timeouts += 1
+                if timeouts > MAX_ROUND_TIMEOUTS:
+                    error = (
+                        f"round got no quorum within "
+                        f"{timeouts * PROXY_ROUND_TIMEOUT:.0f}s; with a "
+                        "restrictive read policy, give it spare >= the "
+                        "fault budget to ride out crashed replicas"
+                    )
+                    break
+            except (OSError, EOFError) as exc:
+                transient_retries += 1
+                if transient_retries > MAX_TRANSIENT_RETRIES:
+                    error = f"replica quorum unreachable: {exc}"
+                    break
+                await asyncio.sleep(RECONNECT_INTERVAL)
+            except Exception as exc:  # noqa: BLE001 - never leave the client hanging
+                # Anything unexpected (an oversized merged frame raising
+                # FrameError, a codec bug, ...) must still produce an error
+                # ack: a swallowed serve-task exception would leave the
+                # downstream client awaiting a reply that never comes.
+                error = f"{type(exc).__name__}: {exc}"
+                break
+        sub_reply = ProxySubReply(
+            op_id=sub.op_id,
+            round_trip=sub.round_trip,
+            replies=tuple(replies),
+            error=error,
+        )
+        try:
+            async with lock:
+                await write_frame(
+                    writer, make_proxy_ack(self.proxy_id, client, [sub_reply])
+                )
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # the client went away; nothing to deliver the round to
+
+
+@dataclass
+class _PendingProxyRound:
+    """One round forwarded to the proxy, awaiting its proxy-ack."""
+
+    sub: ProxySubRequest
+    replies: Tuple[Message, ...] = ()
+    error: Optional[str] = None
+    ready: asyncio.Event = field(default_factory=asyncio.Event)
+    exception: Optional[BaseException] = None
+
+    def fail(self, exc: BaseException) -> None:
+        self.exception = exc
+        self.ready.set()
+
+
+class AsyncProxyClient:
+    """A client's single connection to its site-local ingress proxy.
+
+    Replaces the per-group fan-out of :class:`AsyncGroupClient`: every round
+    of every operation -- regardless of owner group -- rides one connection,
+    coalesced per event-loop tick into ``"proxy"`` frames.  The proxy sends
+    each round back as one ``"proxy-ack"`` carrying the full quorum of
+    replica replies.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        proxy_id: str,
+        host: str,
+        port: int,
+        max_batch: int = 8,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.client_id = client_id
+        self.proxy_id = proxy_id
+        self.host = host
+        self.port = port
+        self.max_batch = max_batch
+        self.batch_stats = BatchStats()
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._receive_task: Optional[asyncio.Task] = None
+        self._send_tasks: "set[asyncio.Task]" = set()
+        self._queue: List[Tuple[Tuple[str, int], _PendingProxyRound]] = []
+        self._rounds: Dict[Tuple[str, int], _PendingProxyRound] = {}
+        self._flush_scheduled = False
+
+    async def connect(self) -> None:
+        reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        self._receive_task = asyncio.create_task(self._receive_loop(reader))
+
+    async def close(self) -> None:
+        tasks = list(self._send_tasks)
+        if self._receive_task is not None:
+            tasks.append(self._receive_task)
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        self._send_tasks.clear()
+        self._receive_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):  # pragma: no cover
+                pass
+            self._writer = None
+
+    async def round_trip(
+        self,
+        key: str,
+        op_kind: str,
+        op_id: str,
+        round_trip: int,
+        request: Broadcast,
+    ) -> List[Message]:
+        """Forward one round through the proxy and await its quorum replies."""
+        sub = ProxySubRequest(
+            key=key,
+            op_kind=op_kind,
+            kind=request.kind,
+            payload=request.payload,
+            op_id=op_id,
+            round_trip=round_trip,
+            wait_for=request.wait_for,
+            per_server=request.per_server_payload or None,
+        )
+        pending = _PendingProxyRound(sub=sub)
+        round_key = (op_id, round_trip)
+        self._rounds[round_key] = pending
+        self._submit(round_key, pending)
+        try:
+            await pending.ready.wait()
+        finally:
+            self._rounds.pop(round_key, None)
+        if pending.exception is not None:
+            raise pending.exception
+        if pending.error is not None:
+            raise ProtocolError(
+                f"proxy failed operation {op_id}: {pending.error}"
+            )
+        return list(pending.replies)
+
+    def _submit(self, round_key, pending: _PendingProxyRound) -> None:
+        self._queue.append((round_key, pending))
+        if len(self._queue) >= self.max_batch:
+            self._flush()
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if not self._queue:
+            return
+        batch, self._queue = self._queue[: self.max_batch], self._queue[self.max_batch :]
+        if self._queue and not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush)
+        self.batch_stats.record(len(batch))
+        task = asyncio.create_task(self._send_batch(batch))
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
+
+    async def _send_batch(self, batch) -> None:
+        frame = make_proxy_request(
+            self.client_id, self.proxy_id, [pending.sub for _, pending in batch]
+        )
+        try:
+            await write_frame(self._writer, frame)
+            self.batch_stats.record_frames(sent=1)
+        except Exception as exc:  # noqa: BLE001 - every send error fails the batch
+            for _, pending in batch:
+                pending.fail(exc)
+
+    async def _receive_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                message = await read_frame(reader)
+                self.batch_stats.record_frames(received=1)
+                if message.kind != PROXY_ACK_KIND:
+                    continue
+                for sub_reply in unpack_proxy_ack(message):
+                    pending = self._rounds.get(
+                        (sub_reply.op_id, sub_reply.round_trip)
+                    )
+                    if pending is None:
+                        continue  # straggler from a completed round-trip
+                    pending.replies = tuple(sub_reply.replies)
+                    pending.error = sub_reply.error
+                    pending.ready.set()
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            # The proxy vanished; fail every waiter rather than hanging.
+            for pending in list(self._rounds.values()):
+                pending.fail(ConnectionResetError("proxy connection lost"))
+        except asyncio.CancelledError:
+            return
 
 
 class KVStore:
@@ -364,6 +911,13 @@ class KVStore:
     rounds whenever their shards live on the same replica group.  Rounds
     bounced by the epoch fence during a live resize/move are transparently
     replayed against the key's new owner.
+
+    With ``use_proxy`` the store opens *one* connection -- to a site-local
+    ingress proxy started via :meth:`AsyncKVCluster.start_proxies` -- instead
+    of one per replica; pass ``True`` to be assigned a proxy round-robin or
+    a proxy id to pick one (e.g. the client's own site).  The proxy then
+    owns shard resolution, read routing and stale-epoch replay, and merges
+    this store's rounds with other clients' into shared replica frames.
     """
 
     def __init__(
@@ -372,6 +926,7 @@ class KVStore:
         client_id: str = "kv1",
         max_batch: int = 8,
         recorder: Optional[KVHistoryRecorder] = None,
+        use_proxy: Union[bool, str, None] = None,
     ) -> None:
         self.cluster = cluster
         self.client_id = client_id
@@ -380,6 +935,8 @@ class KVStore:
         self.recorder = recorder or KVHistoryRecorder(lambda: time.monotonic() - base)
         self.stale_replays = 0
         self.completion_hook: Optional[Any] = None
+        self.use_proxy = use_proxy
+        self._proxy_client: Optional[AsyncProxyClient] = None
         self._group_clients: Dict[str, AsyncGroupClient] = {}
         self._key_locks: Dict[str, asyncio.Lock] = {}
         self._readers: Dict[str, ClientLogic] = {}
@@ -387,6 +944,18 @@ class KVStore:
         self._logic_homes: Dict[str, str] = {}
 
     async def connect(self) -> None:
+        if self.use_proxy:
+            proxy_id = (
+                self.cluster.assign_proxy()
+                if self.use_proxy is True
+                else str(self.use_proxy)
+            )
+            host, port = self.cluster.proxy_endpoint(proxy_id)
+            self._proxy_client = AsyncProxyClient(
+                self.client_id, proxy_id, host, port, max_batch=self.max_batch
+            )
+            await self._proxy_client.connect()
+            return
         for group in self.cluster.shard_map.groups.values():
             client = AsyncGroupClient(
                 self.client_id,
@@ -398,6 +967,9 @@ class KVStore:
             self._group_clients[group.group_id] = client
 
     async def close(self) -> None:
+        if self._proxy_client is not None:
+            await self._proxy_client.close()
+            self._proxy_client = None
         for client in self._group_clients.values():
             await client.close()
         self._group_clients.clear()
@@ -451,7 +1023,10 @@ class KVStore:
         return spec, group_client
 
     async def _run_op(self, kind: OpKind, key: str, value: Any = None) -> OperationOutcome:
-        spec, _ = self._resolve(key)
+        if self._proxy_client is None:
+            spec, _ = self._resolve(key)
+        else:
+            spec = self.cluster.shard_map.shard_for(key)
         lock = self._key_locks.setdefault(key, asyncio.Lock())
         async with lock:
             op_id = new_op_id(f"{self.client_id}-{kind.value}")
@@ -462,17 +1037,25 @@ class KVStore:
             )
             round_trip = 0
             stale_retries = 0
+            transient_retries = 0
             try:
                 request = next(generator)
                 while True:
                     round_trip += 1
-                    # Re-resolve every round: a live resize/move between
-                    # rounds re-routes the rest of the operation.
-                    spec, group_client = self._resolve(key)
                     try:
-                        replies = await group_client.round_trip(
-                            key, spec.shard_id, spec.epoch, op_id, round_trip, request
-                        )
+                        if self._proxy_client is not None:
+                            # The proxy owns resolution, routing, and
+                            # stale-epoch replay for this round.
+                            replies = await self._proxy_client.round_trip(
+                                key, kind.value, op_id, round_trip, request
+                            )
+                        else:
+                            # Re-resolve every round: a live resize/move
+                            # between rounds re-routes the rest of the op.
+                            spec, group_client = self._resolve(key)
+                            replies = await group_client.round_trip(
+                                key, spec.shard_id, spec.epoch, op_id, round_trip, request
+                            )
                     except StaleShardError:
                         # The shard was rebalanced while this round was in
                         # flight.  Rounds are idempotent (queries trivially,
@@ -482,6 +1065,15 @@ class KVStore:
                         self.stale_replays += 1
                         if stale_retries > MAX_STALE_RETRIES:
                             raise
+                        continue
+                    except (OSError, EOFError):
+                        # Too many replicas were unreachable for this round
+                        # (a kill mid-flight).  Rounds are idempotent, so
+                        # wait out the reconnect window and replay.
+                        transient_retries += 1
+                        if transient_retries > MAX_TRANSIENT_RETRIES:
+                            raise
+                        await asyncio.sleep(RECONNECT_INTERVAL)
                         continue
                     request = generator.send(replies)
             except StopIteration as stop:
@@ -498,22 +1090,24 @@ class KVStore:
     # -- introspection ----------------------------------------------------------
 
     def batch_stats(self) -> BatchStats:
+        """This store's own coalescing/frame statistics (direct connections
+        or the proxy connection, whichever is in use -- each frame counted
+        once, so stores and proxies merge without double-counting)."""
         merged = BatchStats()
+        if self._proxy_client is not None:
+            merged.merge(self._proxy_client.batch_stats)
         for client in self._group_clients.values():
             merged.merge(client.batch_stats)
         return merged
 
     def frames_sent(self) -> int:
-        return sum(client.frames_sent for client in self._group_clients.values())
+        return self.batch_stats().frames_sent
 
     def frames_total(self) -> int:
         """Request frames sent plus ack frames received -- the same counting
         the simulator's ``Network.sent_count`` uses, so the two backends'
         message numbers are comparable."""
-        return sum(
-            client.frames_sent + client.frames_received
-            for client in self._group_clients.values()
-        )
+        return self.batch_stats().frames_total
 
     def histories(self):
         return self.recorder.histories()
@@ -654,6 +1248,10 @@ def run_asyncio_kv_workload(
     num_groups: Optional[int] = None,
     resize_to: Optional[int] = None,
     resize_after_ops: Optional[int] = None,
+    use_proxy: bool = False,
+    num_proxies: int = 1,
+    read_policy: Optional[ReadRoutingPolicy] = None,
+    proxy_max_batch: int = 64,
 ) -> KVRunResult:
     """Run a closed-loop kv workload over loopback TCP and collect results.
 
@@ -661,7 +1259,9 @@ def run_asyncio_kv_workload(
     and batching), all sharing one replica cluster and one history recorder.
     ``resize_to`` triggers a *live* resize once ``resize_after_ops``
     operations completed (default: half the workload), with the remaining
-    operations still in flight.
+    operations still in flight.  ``use_proxy`` starts ``num_proxies``
+    ingress proxies and routes every store through one (round-robin), with
+    reads routed per ``read_policy``.
     """
     clients = workload.clients
     if shard_map is None:
@@ -682,6 +1282,10 @@ def run_asyncio_kv_workload(
             service_per_op=service_per_op,
         )
         await cluster.start()
+        if use_proxy:
+            await cluster.start_proxies(
+                num_proxies, read_policy=read_policy, max_batch=proxy_max_batch
+            )
         base = time.monotonic()
         recorder = KVHistoryRecorder(lambda: time.monotonic() - base)
         stores: Dict[str, KVStore] = {}
@@ -701,7 +1305,11 @@ def run_asyncio_kv_workload(
         try:
             for client_id in clients:
                 store = KVStore(
-                    cluster, client_id=client_id, max_batch=max_batch, recorder=recorder
+                    cluster,
+                    client_id=client_id,
+                    max_batch=max_batch,
+                    recorder=recorder,
+                    use_proxy=True if use_proxy else None,
                 )
                 store.completion_hook = hook
                 await store.connect()
@@ -726,16 +1334,39 @@ def run_asyncio_kv_workload(
             await asyncio.gather(*(client_loop(client_id) for client_id in clients))
             duration = time.monotonic() - started
             batch_stats = BatchStats()
-            frames = 0
             stale = 0
             for store in stores.values():
                 batch_stats.merge(store.batch_stats())
-                frames += store.frames_total()
                 stale += store.stale_replays
+            proxy_stats: Optional[BatchStats] = None
+            proxies_used = len(cluster.proxies)
+            if cluster.proxies:
+                proxy_stats = BatchStats()
+                for proxy in cluster.proxies.values():
+                    proxy_stats.merge(proxy.batch_stats())
+                    stale += proxy.stale_replays
+            replica_frames = sum(
+                logic.batches_served for logic in cluster.server_logics.values()
+            )
+            replica_sub_ops = sum(
+                logic.sub_ops_served for logic in cluster.server_logics.values()
+            )
+            frames = batch_stats.frames_total + (
+                proxy_stats.frames_total if proxy_stats is not None else 0
+            )
         finally:
             for store in stores.values():
                 await store.close()
             await cluster.stop()
+            # Let the replicas' per-connection handler tasks observe EOF and
+            # finish before asyncio.run tears the loop down around them.
+            draining = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            if draining:
+                await asyncio.wait(draining, timeout=1.0)
 
         histories = recorder.histories()
         result = KVRunResult(
@@ -750,6 +1381,10 @@ def run_asyncio_kv_workload(
             num_groups=len(shard_map.groups),
             stale_replays=stale,
             resize=resize_info,
+            num_proxies=proxies_used,
+            proxy_stats=proxy_stats,
+            replica_frames=replica_frames,
+            replica_sub_ops=replica_sub_ops,
         )
         for history in histories.values():
             result.read_latencies.extend(

@@ -22,6 +22,15 @@ kv-specific pieces:
   fences that epoch, the bounced round is replayed against the new owner
   (round-trips are idempotent, so the per-key generator never notices).
 
+* :class:`ProxyProcess` -- one site-local ingress proxy
+  (:mod:`repro.kvstore.proxy`).  Clients constructed with a ``proxy_id``
+  send one ``"proxy"`` frame per flush instead of one batch frame per
+  replica; the proxy merges forwarded rounds *across clients* into shared
+  replica frames per replica group, routes reads through its
+  :class:`~repro.kvstore.proxy.ReadRoutingPolicy`, and absorbs stale-epoch
+  bounces (cached-view refresh + replay) so live rebalancing is invisible
+  end-to-end.
+
 * :class:`SimKVCluster` -- the replica groups of a
   :class:`~repro.kvstore.sharding.ShardMap` plus clients on one virtual
   clock, with a live control plane: :meth:`SimKVCluster.resize` /
@@ -45,10 +54,18 @@ from ..sim.delays import ConstantDelay, DelayModel
 from ..sim.failures import CrashPlan, FailureInjector
 from ..sim.messages import (
     BATCH_ACK_KIND,
+    PROXY_ACK_KIND,
+    PROXY_KIND,
     Message,
+    ProxySubReply,
+    ProxySubRequest,
     SubRequest,
     make_batch,
+    make_proxy_ack,
+    make_proxy_request,
     unpack_batch_ack,
+    unpack_proxy_ack,
+    unpack_proxy_request,
 )
 from ..sim.network import Network
 from ..sim.process import Process
@@ -58,6 +75,14 @@ from .batching import (
     BatchGroupServer,
     BatchStats,
     is_stale_reply,
+)
+from .proxy import (
+    BroadcastReads,
+    CachedShardView,
+    ProxyRoute,
+    ReadRoutingPolicy,
+    attempt_scoped_id,
+    plan_round,
 )
 from .migration import (
     MigrationReport,
@@ -72,6 +97,7 @@ from .workload import KVRunResult, KVWorkload
 __all__ = [
     "BatchReplicaProcess",
     "KVClientProcess",
+    "ProxyProcess",
     "KVFailureInjector",
     "SimKVCluster",
     "run_sim_kv_workload",
@@ -116,6 +142,176 @@ class BatchReplicaProcess(Process):
 
 
 @dataclass
+class _ProxyPending:
+    """One forwarded round the proxy is driving against a replica group."""
+
+    client: str
+    sub: ProxySubRequest
+    route: Optional[ProxyRoute] = None
+    scoped_id: str = ""
+    targets: tuple = ()
+    wait_for: int = 0
+    replies: List[Message] = field(default_factory=list)
+    stale_retries: int = 0
+
+
+class ProxyProcess(Process):
+    """A site-local ingress proxy on the virtual clock.
+
+    Holds no register state: every pending entry is one in-flight quorum
+    round, so a proxy can be added or removed per site without any data
+    migration.  Rounds forwarded by *different clients* that resolve to the
+    same replica group coalesce into one shared batch frame per targeted
+    replica -- the cross-client merge the per-client batching layer cannot
+    do.  Replica-bound sub-messages keep the **originating client** as
+    their sender (the protocols' crucial-info bookkeeping is per client),
+    while their op ids are attempt-scoped so a replayed round can never mix
+    replies from the pre- and post-rebalance owner groups.
+    """
+
+    def __init__(
+        self,
+        proxy_id: str,
+        shard_map: ShardMap,
+        events: EventQueue,
+        read_policy: Optional[ReadRoutingPolicy] = None,
+        max_batch: int = 64,
+        flush_delay: float = 0.0,
+    ) -> None:
+        super().__init__(proxy_id)
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.view = CachedShardView(shard_map)
+        self.read_policy = read_policy or BroadcastReads()
+        self.events = events
+        self.max_batch = max_batch
+        self.flush_delay = flush_delay
+        self.stats = BatchStats()
+        self.stale_replays = 0
+        self._attempts = 0
+        self._pending: Dict[tuple, _ProxyPending] = {}
+        self._group_queue: Dict[str, List[_ProxyPending]] = {}
+        self._flush_scheduled: Set[str] = set()
+
+    # -- admission and routing -------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == PROXY_KIND:
+            for sub in unpack_proxy_request(message):
+                self._dispatch(_ProxyPending(client=message.sender, sub=sub))
+        elif message.kind == BATCH_ACK_KIND:
+            self._on_replica_ack(message)
+
+    def _dispatch(self, pending: _ProxyPending) -> None:
+        """Route one round (fresh or replayed) through the current view."""
+        sub = pending.sub
+        plan = plan_round(self.view, self.read_policy, self.process_id, sub)
+        self._attempts += 1
+        pending.route = plan.route
+        pending.targets = plan.targets
+        pending.wait_for = plan.wait_for
+        pending.scoped_id = attempt_scoped_id(sub.op_id, self._attempts)
+        pending.replies = []
+        self._pending[(pending.scoped_id, sub.round_trip)] = pending
+        group_id = plan.route.group_id
+        self._group_queue.setdefault(group_id, []).append(pending)
+        if group_id not in self._flush_scheduled:
+            self._flush_scheduled.add(group_id)
+            self.events.schedule(
+                self.flush_delay,
+                lambda: self._flush(group_id),
+                label=f"proxy-flush:{self.process_id}:{group_id}",
+            )
+
+    # -- the shared replica rounds ----------------------------------------------
+
+    def _flush(self, group_id: str) -> None:
+        self._flush_scheduled.discard(group_id)
+        queue = self._group_queue.get(group_id, [])
+        if not queue:
+            return
+        batch, rest = queue[: self.max_batch], queue[self.max_batch :]
+        self._group_queue[group_id] = rest
+        if rest:
+            self._flush_scheduled.add(group_id)
+            self.events.schedule(0.0, lambda: self._flush(group_id), label="proxy-flush")
+        self.stats.record(len(batch))
+        # One frame per replica targeted by at least one round of the batch;
+        # reads restricted by the routing policy simply skip the far replicas.
+        servers: List[str] = []
+        seen: Set[str] = set()
+        for pending in batch:
+            for server in pending.targets:
+                if server not in seen:
+                    seen.add(server)
+                    servers.append(server)
+        for server_id in servers:
+            subs = [
+                SubRequest(
+                    key=p.sub.key,
+                    message=Message(
+                        sender=p.client,
+                        receiver=server_id,
+                        kind=p.sub.kind,
+                        payload=p.sub.payload_for(server_id),
+                        op_id=p.scoped_id,
+                        round_trip=p.sub.round_trip,
+                    ),
+                    shard=p.route.shard_id,
+                    epoch=p.route.epoch,
+                )
+                for p in batch
+                if server_id in p.targets
+            ]
+            self.stats.record_frames(sent=1)
+            self.send(make_batch(self.process_id, server_id, subs))
+
+    # -- replica replies ---------------------------------------------------------
+
+    def _on_replica_ack(self, message: Message) -> None:
+        self.stats.record_frames(received=1)
+        for _key, reply in unpack_batch_ack(message):
+            if reply is None or reply.op_id is None:
+                continue
+            pending = self._pending.get((reply.op_id, reply.round_trip))
+            if pending is None:
+                continue  # straggler from a completed or replayed attempt
+            if is_stale_reply(reply):
+                self._replay(pending)
+                continue
+            pending.replies.append(reply)
+            if len(pending.replies) == pending.wait_for:
+                self._finish(pending)
+
+    def _replay(self, pending: _ProxyPending) -> None:
+        """A replica fenced this round: refresh the view and re-route it."""
+        self._pending.pop((pending.scoped_id, pending.sub.round_trip), None)
+        pending.stale_retries += 1
+        self.stale_replays += 1
+        if pending.stale_retries > MAX_STALE_RETRIES:
+            self._finish(
+                pending,
+                error=(
+                    f"shard map never converged after {pending.stale_retries} "
+                    "stale replays"
+                ),
+            )
+            return
+        self.view.refresh()
+        self._dispatch(pending)
+
+    def _finish(self, pending: _ProxyPending, error: Optional[str] = None) -> None:
+        self._pending.pop((pending.scoped_id, pending.sub.round_trip), None)
+        sub_reply = ProxySubReply(
+            op_id=pending.sub.op_id,
+            round_trip=pending.sub.round_trip,
+            replies=tuple(pending.replies),
+            error=error,
+        )
+        self.send(make_proxy_ack(self.process_id, pending.client, [sub_reply]))
+
+
+@dataclass
 class _PendingKVOp:
     """One in-flight kv operation driving a per-key register generator."""
 
@@ -134,7 +330,14 @@ class _PendingKVOp:
 
 
 class KVClientProcess(Process):
-    """A store client multiplexing per-key operations into group batches."""
+    """A store client multiplexing per-key operations into group batches.
+
+    With a ``proxy_id`` the client routes *every* round through that ingress
+    proxy instead of broadcasting to replicas itself: its in-flight rounds
+    (for any shard, any group) coalesce into one ``"proxy"`` frame per
+    flush, the proxy owns shard resolution and stale-epoch replay, and each
+    round comes back as one ``"proxy-ack"`` carrying the whole quorum.
+    """
 
     def __init__(
         self,
@@ -145,6 +348,7 @@ class KVClientProcess(Process):
         max_batch: int = 8,
         flush_delay: float = 0.0,
         completion_hook: Optional[Callable[[], None]] = None,
+        proxy_id: Optional[str] = None,
     ) -> None:
         super().__init__(client_id)
         if max_batch < 1:
@@ -155,6 +359,7 @@ class KVClientProcess(Process):
         self.max_batch = max_batch
         self.flush_delay = flush_delay
         self.completion_hook = completion_hook
+        self.proxy_id = proxy_id
         self.batch_stats = BatchStats()
         self.completed_operations = 0
         self.stale_replays = 0
@@ -313,29 +518,50 @@ class KVClientProcess(Process):
     # -- group batching --------------------------------------------------------
 
     def _enqueue(self, pending: _PendingKVOp) -> None:
-        group_id = pending.spec.group.group_id
-        self._group_queue.setdefault(group_id, []).append(pending)
-        if group_id not in self._flush_scheduled:
-            self._flush_scheduled.add(group_id)
+        # Through a proxy every round shares one queue (the proxy does the
+        # per-group split), so rounds for different groups coalesce too.
+        queue_key = (
+            "@proxy" if self.proxy_id is not None else pending.spec.group.group_id
+        )
+        self._group_queue.setdefault(queue_key, []).append(pending)
+        if queue_key not in self._flush_scheduled:
+            self._flush_scheduled.add(queue_key)
             self.events.schedule(
                 self.flush_delay,
-                lambda: self._flush(group_id),
-                label=f"kv-flush:{self.process_id}:{group_id}",
+                lambda: self._flush(queue_key),
+                label=f"kv-flush:{self.process_id}:{queue_key}",
             )
 
-    def _flush(self, group_id: str) -> None:
-        self._flush_scheduled.discard(group_id)
-        queue = self._group_queue.get(group_id, [])
+    def _flush(self, queue_key: str) -> None:
+        self._flush_scheduled.discard(queue_key)
+        queue = self._group_queue.get(queue_key, [])
         if not queue:
             return
         batch, rest = queue[: self.max_batch], queue[self.max_batch :]
-        self._group_queue[group_id] = rest
+        self._group_queue[queue_key] = rest
         if rest:
             # More coalesced work than one frame carries: flush again at once.
-            self._flush_scheduled.add(group_id)
-            self.events.schedule(0.0, lambda: self._flush(group_id), label="kv-flush")
-        group = batch[0].spec.group
+            self._flush_scheduled.add(queue_key)
+            self.events.schedule(0.0, lambda: self._flush(queue_key), label="kv-flush")
         self.batch_stats.record(len(batch))
+        if self.proxy_id is not None:
+            subs = [
+                ProxySubRequest(
+                    key=op.key,
+                    op_kind=op.kind.value,
+                    kind=op.request.kind,
+                    payload=op.request.payload,
+                    op_id=op.op_id,
+                    round_trip=op.round_trip,
+                    wait_for=op.request.wait_for,
+                    per_server=op.request.per_server_payload or None,
+                )
+                for op in batch
+            ]
+            self.batch_stats.record_frames(sent=1)
+            self.send(make_proxy_request(self.process_id, self.proxy_id, subs))
+            return
+        group = batch[0].spec.group
         for server_id in group.servers:
             subs = [
                 SubRequest(
@@ -353,13 +579,32 @@ class KVClientProcess(Process):
                 )
                 for op in batch
             ]
+            self.batch_stats.record_frames(sent=1)
             self.send(make_batch(self.process_id, server_id, subs))
 
     # -- network events --------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
+        if message.kind == PROXY_ACK_KIND:
+            self.batch_stats.record_frames(received=1)
+            for sub_reply in unpack_proxy_ack(message):
+                pending = self._active.get(sub_reply.op_id)
+                if pending is None or sub_reply.round_trip != pending.round_trip:
+                    continue  # straggler from an earlier round-trip
+                if sub_reply.error is not None:
+                    raise ProtocolError(
+                        f"proxy failed operation {sub_reply.op_id}: {sub_reply.error}"
+                    )
+                # The proxy delivers the whole quorum at once (it already
+                # waited for wait_for distinct replicas and absorbed any
+                # stale-epoch replays).
+                pending.replies = list(sub_reply.replies)
+                pending.wait_for = len(pending.replies)
+                self._advance(pending)
+            return
         if message.kind != BATCH_ACK_KIND:
             return
+        self.batch_stats.record_frames(received=1)
         for _key, sub in unpack_batch_ack(message):
             if sub is None:
                 continue
@@ -444,6 +689,10 @@ class SimKVCluster:
         flush_delay: float = 0.0,
         server_overhead: float = 0.2,
         server_per_op: float = 0.1,
+        num_proxies: int = 0,
+        read_policy: Optional[ReadRoutingPolicy] = None,
+        proxy_max_batch: int = 64,
+        proxy_flush_delay: float = 0.0,
     ) -> None:
         self.shard_map = shard_map
         self.events = EventQueue()
@@ -467,8 +716,21 @@ class SimKVCluster:
                 )
                 replica.attach(self.network)
                 self.replicas[server_id] = replica
+        self.proxies: Dict[str, ProxyProcess] = {}
+        for index in range(1, num_proxies + 1):
+            proxy = ProxyProcess(
+                f"p{index}",
+                shard_map,
+                self.events,
+                read_policy=read_policy,
+                max_batch=proxy_max_batch,
+                flush_delay=proxy_flush_delay,
+            )
+            proxy.attach(self.network)
+            self.proxies[proxy.process_id] = proxy
+        proxy_ids = list(self.proxies)
         self.clients: Dict[str, KVClientProcess] = {}
-        for client_id in client_ids:
+        for index, client_id in enumerate(client_ids):
             client = KVClientProcess(
                 client_id,
                 shard_map,
@@ -477,6 +739,7 @@ class SimKVCluster:
                 max_batch=max_batch,
                 flush_delay=flush_delay,
                 completion_hook=self._notify_completion,
+                proxy_id=proxy_ids[index % len(proxy_ids)] if proxy_ids else None,
             )
             client.attach(self.network)
             self.clients[client_id] = client
@@ -539,8 +802,26 @@ class SimKVCluster:
             merged.merge(client.batch_stats)
         return merged
 
+    def proxy_stats(self) -> BatchStats:
+        """The proxies' merging/frame statistics (empty when direct)."""
+        merged = BatchStats()
+        for proxy in self.proxies.values():
+            merged.merge(proxy.stats)
+        return merged
+
+    def replica_request_frames(self) -> int:
+        """Request frames the replica servers served (the cost proxies cut)."""
+        return sum(replica.logic.batches_served for replica in self.replicas.values())
+
+    def replica_sub_ops(self) -> int:
+        """Sub-operations the replica servers processed (the replica work
+        read routing cuts)."""
+        return sum(replica.logic.sub_ops_served for replica in self.replicas.values())
+
     def stale_replays(self) -> int:
-        return sum(client.stale_replays for client in self.clients.values())
+        return sum(client.stale_replays for client in self.clients.values()) + sum(
+            proxy.stale_replays for proxy in self.proxies.values()
+        )
 
 
 def run_sim_kv_workload(
@@ -561,6 +842,11 @@ def run_sim_kv_workload(
     crashes_per_group: int = 0,
     crash_horizon: float = 20.0,
     crash_seed: int = 0,
+    use_proxy: bool = False,
+    num_proxies: int = 1,
+    read_policy: Optional[ReadRoutingPolicy] = None,
+    proxy_max_batch: int = 64,
+    proxy_flush_delay: float = 0.0,
 ) -> KVRunResult:
     """Run a closed-loop kv workload on the simulator and collect results.
 
@@ -569,6 +855,11 @@ def run_sim_kv_workload(
     workload), while the remaining operations are still in flight.
     ``crashes_per_group`` crashes that many random replicas of every group
     (capped at each group's fault budget) within ``crash_horizon``.
+    ``use_proxy`` routes every client through one of ``num_proxies``
+    site-local ingress proxies (assigned round-robin) which merge rounds
+    across clients and route reads per ``read_policy``; with crash
+    injection, keep the default broadcast policy (or a ``spare`` >= the
+    fault budget) so read rounds stay live.
     """
     clients = workload.clients
     if shard_map is None:
@@ -589,6 +880,10 @@ def run_sim_kv_workload(
         flush_delay=flush_delay,
         server_overhead=server_overhead,
         server_per_op=server_per_op,
+        num_proxies=num_proxies if use_proxy else 0,
+        read_policy=read_policy,
+        proxy_max_batch=proxy_max_batch,
+        proxy_flush_delay=proxy_flush_delay,
     )
 
     resize_info: Optional[Dict[str, object]] = None
@@ -646,6 +941,10 @@ def run_sim_kv_workload(
         num_groups=len(shard_map.groups),
         stale_replays=cluster.stale_replays(),
         resize=resize_info,
+        num_proxies=len(cluster.proxies),
+        proxy_stats=cluster.proxy_stats() if cluster.proxies else None,
+        replica_frames=cluster.replica_request_frames(),
+        replica_sub_ops=cluster.replica_sub_ops(),
     )
     for history in histories.values():
         result.read_latencies.extend(

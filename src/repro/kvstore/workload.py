@@ -116,10 +116,45 @@ class KVRunResult:
     stale_replays: int = 0
     #: Live-resize record ({"to", "at_ops", "keys_moved", ...}) when one ran.
     resize: Optional[Dict[str, object]] = None
+    #: Ingress proxies the clients were routed through (0 = direct).
+    num_proxies: int = 0
+    #: The proxies' own merging/frame statistics (None when direct).
+    proxy_stats: Optional[BatchStats] = None
+    #: Request frames the replica servers actually served -- the replica-side
+    #: message cost the proxy tier exists to shrink (both backends count it
+    #: the same way, off the group servers' ``batches_served``).
+    replica_frames: int = 0
+    #: Sub-operations the replica servers processed across all frames -- the
+    #: replica-side *work*; nearest-quorum read routing shrinks this even
+    #: when merge-window dynamics keep frame counts comparable.
+    replica_sub_ops: int = 0
 
     def throughput(self) -> float:
         """Completed operations per time unit."""
         return self.completed_ops / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def frames_sent(self) -> int:
+        """Request frames sent by the client tier plus the proxy tier."""
+        sent = self.batch_stats.frames_sent
+        if self.proxy_stats is not None:
+            sent += self.proxy_stats.frames_sent
+        return sent
+
+    @property
+    def frames_total(self) -> int:
+        """Every frame on the wire, counted once (requests at their sender,
+        acks at their receiver -- see :class:`BatchStats`)."""
+        total = self.batch_stats.frames_total
+        if self.proxy_stats is not None:
+            total += self.proxy_stats.frames_total
+        return total
+
+    def replica_frames_per_op(self) -> float:
+        """Replica-served request frames per completed operation."""
+        if self.completed_ops == 0:
+            return 0.0
+        return self.replica_frames / self.completed_ops
 
     def read_stats(self) -> LatencyStats:
         return summarize(self.read_latencies)
@@ -144,4 +179,7 @@ class KVRunResult:
             "messages": self.messages_sent,
             "read_p50": self.read_stats().p50,
             "atomic": verdict.all_atomic,
+            "proxies": self.num_proxies,
+            "rep_frames": self.replica_frames,
+            "rep_frames/op": round(self.replica_frames_per_op(), 2),
         }

@@ -14,6 +14,15 @@ and the per-shard epoch it resolved against (:class:`SubRequest`).  Servers
 fence requests whose epoch is stale -- the mechanism that makes live
 rebalancing (``ShardMap.resize`` / ``move_shard``) safe under concurrent
 client load.
+
+The **proxy frames** serve the site-local ingress tier
+(:mod:`repro.kvstore.proxy`): a client packs the quorum rounds it has in
+flight into one ``"proxy"`` frame for its proxy (:class:`ProxySubRequest` --
+no shard tag: routing is the proxy's job), and the proxy answers each round
+with a ``"proxy-ack"`` frame carrying the whole quorum of replica replies at
+once (:class:`ProxySubReply`).  Between the two, the proxy merges rounds
+*across client connections* into shared shard-tagged batch frames, which is
+where the replica-side message-cost drop comes from.
 """
 
 from __future__ import annotations
@@ -31,6 +40,14 @@ __all__ = [
     "unpack_batch",
     "make_batch_ack",
     "unpack_batch_ack",
+    "PROXY_KIND",
+    "PROXY_ACK_KIND",
+    "ProxySubRequest",
+    "ProxySubReply",
+    "make_proxy_request",
+    "unpack_proxy_request",
+    "make_proxy_ack",
+    "unpack_proxy_ack",
 ]
 
 _message_counter = itertools.count(1)
@@ -216,3 +233,171 @@ def unpack_batch_ack(message: Message) -> List[Tuple[str, Optional[Message]]]:
         else:
             pairs.append((entry["key"], _decode_message(message.receiver, entry)))
     return pairs
+
+
+# -- proxy frames (repro.kvstore.proxy) ----------------------------------------
+
+#: Kind of a client -> proxy frame packing several forwarded quorum rounds.
+PROXY_KIND = "proxy"
+#: Kind of a proxy -> client frame carrying completed rounds' quorum replies.
+PROXY_ACK_KIND = "proxy-ack"
+
+
+class ProxySubRequest(NamedTuple):
+    """One quorum round forwarded through the ingress proxy.
+
+    Unlike :class:`SubRequest` there is no (shard, epoch) tag: resolving the
+    key against the ring is the *proxy's* job (its cached shard-map view),
+    which is what lets the proxy absorb stale-epoch bounces without the
+    client ever noticing a live resize.  ``op_kind`` ("read" / "write") is
+    what the proxy's :class:`~repro.kvstore.proxy.ReadRoutingPolicy` keys on;
+    ``kind``/``payload``/``per_server`` are the protocol round exactly as the
+    per-key client generator yielded it, and ``wait_for`` is its explicit ack
+    threshold (``None`` means the owner group's quorum size, resolved by the
+    proxy so a client with a stale view cannot under-wait).
+    """
+
+    key: str
+    op_kind: str
+    kind: str
+    payload: Dict[str, Any]
+    op_id: str
+    round_trip: int
+    wait_for: Optional[int] = None
+    per_server: Optional[Dict[str, Dict[str, Any]]] = None
+
+    def payload_for(self, server_id: str) -> Dict[str, Any]:
+        if self.per_server and server_id in self.per_server:
+            return self.per_server[server_id]
+        return self.payload
+
+
+class ProxySubReply(NamedTuple):
+    """The completed round for one forwarded sub-request.
+
+    ``replies`` is the full quorum the proxy collected, each reply keeping
+    the *replica* as its sender (protocols count distinct servers and read
+    crucial info off ``reply.sender``).  ``error`` is set instead of replies
+    when the proxy gave up (e.g. the shard map never converged within
+    :data:`~repro.kvstore.batching.MAX_STALE_RETRIES` replays).
+    """
+
+    op_id: str
+    round_trip: int
+    replies: Tuple[Message, ...] = ()
+    error: Optional[str] = None
+
+
+def _encode_proxy_sub(sub: ProxySubRequest) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "key": sub.key,
+        "op_kind": sub.op_kind,
+        "kind": sub.kind,
+        "payload": sub.payload,
+        "op_id": sub.op_id,
+        "round_trip": sub.round_trip,
+    }
+    if sub.wait_for is not None:
+        entry["wait_for"] = sub.wait_for
+    if sub.per_server:
+        entry["per_server"] = sub.per_server
+    return entry
+
+
+def _decode_proxy_sub(entry: Dict[str, Any]) -> ProxySubRequest:
+    return ProxySubRequest(
+        key=entry["key"],
+        op_kind=entry["op_kind"],
+        kind=entry["kind"],
+        payload=entry.get("payload", {}),
+        op_id=entry["op_id"],
+        round_trip=entry.get("round_trip", 0),
+        wait_for=entry.get("wait_for"),
+        per_server=entry.get("per_server"),
+    )
+
+
+def make_proxy_request(
+    sender: str, receiver: str, subs: Sequence[ProxySubRequest]
+) -> Message:
+    """Pack forwarded rounds into one proxy frame (client -> proxy).
+
+    The frame's ``sender`` is the client's identity; the proxy propagates it
+    as the sender of every replica-bound sub-message so the per-reader /
+    per-writer bookkeeping the register protocols keep (``updated`` sets --
+    the paper's crucial info) is indistinguishable from a direct connection.
+    """
+    if not subs:
+        raise ValueError("a proxy frame must contain at least one sub-request")
+    return Message(
+        sender=sender,
+        receiver=receiver,
+        kind=PROXY_KIND,
+        payload={"ops": [_encode_proxy_sub(sub) for sub in subs]},
+    )
+
+
+def unpack_proxy_request(message: Message) -> List[ProxySubRequest]:
+    """Inverse of :func:`make_proxy_request`."""
+    if message.kind != PROXY_KIND:
+        raise ValueError(f"not a proxy frame: kind={message.kind!r}")
+    return [_decode_proxy_sub(entry) for entry in message.payload["ops"]]
+
+
+def make_proxy_ack(
+    sender: str, receiver: str, sub_replies: Sequence[ProxySubReply]
+) -> Message:
+    """Pack completed rounds into one proxy ack frame (proxy -> client).
+
+    Only (sender, kind, payload) of each replica reply go on the wire; the
+    round's identity travels once as (op_id, round_trip) on the
+    :class:`ProxySubReply`, so proxy-internal attempt-scoped ids never leak
+    back to the client.
+    """
+    if not sub_replies:
+        raise ValueError("a proxy ack frame must contain at least one reply")
+    entries: List[Dict[str, Any]] = []
+    for sub in sub_replies:
+        entry: Dict[str, Any] = {
+            "op_id": sub.op_id,
+            "round_trip": sub.round_trip,
+            "replies": [
+                {"sender": r.sender, "kind": r.kind, "payload": r.payload}
+                for r in sub.replies
+            ],
+        }
+        if sub.error is not None:
+            entry["error"] = sub.error
+        entries.append(entry)
+    return Message(
+        sender=sender, receiver=receiver, kind=PROXY_ACK_KIND, payload={"acks": entries}
+    )
+
+
+def unpack_proxy_ack(message: Message) -> List[ProxySubReply]:
+    """Inverse of :func:`make_proxy_ack`: replies re-tagged with the round's
+    (op_id, round_trip) and addressed to the receiving client."""
+    if message.kind != PROXY_ACK_KIND:
+        raise ValueError(f"not a proxy ack frame: kind={message.kind!r}")
+    subs: List[ProxySubReply] = []
+    for entry in message.payload["acks"]:
+        replies = tuple(
+            Message(
+                sender=r["sender"],
+                receiver=message.receiver,
+                kind=r["kind"],
+                payload=r.get("payload", {}),
+                op_id=entry["op_id"],
+                round_trip=entry.get("round_trip", 0),
+            )
+            for r in entry.get("replies", ())
+        )
+        subs.append(
+            ProxySubReply(
+                op_id=entry["op_id"],
+                round_trip=entry.get("round_trip", 0),
+                replies=replies,
+                error=entry.get("error"),
+            )
+        )
+    return subs

@@ -27,6 +27,7 @@ class TestParser:
         assert args.shards == 4 and args.batch == 8
         assert args.protocol == "abd-mwmr"
         assert args.groups is None and args.resize_to is None
+        assert args.proxies == 0
 
     def test_kv_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
@@ -111,3 +112,20 @@ class TestCommands:
         assert "4 shards on 2 groups" in output
         assert "live resize        : -> 6 shards" in output
         assert "ATOMIC" in output
+
+    def test_kv_through_proxies(self, capsys):
+        code = main(["kv", "--shards", "4", "--groups", "2", "--clients", "4",
+                     "--ops", "8", "--keys", "10", "--proxies", "2"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "proxy tier         : 2 proxies" in output
+        assert "served by replicas" in output
+        assert "ATOMIC" in output
+
+    def test_kv_direct_omits_proxy_line(self, capsys):
+        code = main(["kv", "--shards", "2", "--clients", "2", "--ops", "6",
+                     "--keys", "6"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "proxy tier" not in output
+        assert "frames             :" in output

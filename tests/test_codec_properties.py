@@ -17,18 +17,30 @@ from repro.asyncio_net.codec import (
     FrameError,
     decode_batch_frame,
     decode_message,
+    decode_proxy_ack_frame,
+    decode_proxy_frame,
     encode_batch_frame,
     encode_message,
+    encode_proxy_ack_frame,
+    encode_proxy_frame,
 )
 from repro.sim.messages import (
     BATCH_ACK_KIND,
     BATCH_KIND,
+    PROXY_ACK_KIND,
+    PROXY_KIND,
     Message,
+    ProxySubReply,
+    ProxySubRequest,
     SubRequest,
     make_batch,
     make_batch_ack,
+    make_proxy_ack,
+    make_proxy_request,
     unpack_batch,
     unpack_batch_ack,
+    unpack_proxy_ack,
+    unpack_proxy_request,
 )
 
 _codec = settings(
@@ -202,3 +214,101 @@ class TestBatchFrames:
             unpack_batch(Message("a", "b", "query"))
         with pytest.raises(ValueError):
             unpack_batch_ack(Message("a", "b", "query"))
+
+
+#: Forwarded rounds as the client drivers produce them for the ingress tier.
+_proxy_subs = st.builds(
+    ProxySubRequest,
+    key=_ids,
+    op_kind=st.sampled_from(["read", "write"]),
+    kind=_ids,
+    payload=_payloads,
+    op_id=_ids,
+    round_trip=st.integers(min_value=0, max_value=9),
+    wait_for=st.one_of(st.none(), st.integers(min_value=1, max_value=9)),
+    per_server=st.one_of(
+        st.none(), st.dictionaries(_ids, _payloads, min_size=1, max_size=3)
+    ),
+)
+
+#: Completed rounds as the proxy packs them: the quorum's replica replies.
+_proxy_replies = st.builds(
+    ProxySubReply,
+    op_id=_ids,
+    round_trip=st.integers(min_value=0, max_value=9),
+    replies=st.tuples(*[_messages()] * 2) | st.tuples(_messages()) | st.just(()),
+    error=st.one_of(st.none(), st.text(max_size=30)),
+)
+
+
+class TestProxyFrames:
+    @_codec
+    @given(subs=st.lists(_proxy_subs, min_size=1, max_size=5))
+    def test_proxy_request_round_trip_sim_codec(self, subs):
+        frame = make_proxy_request("client", "proxy", subs)
+        assert frame.kind == PROXY_KIND
+        assert frame.sender == "client"  # the identity proxies forward
+        recovered = unpack_proxy_request(frame)
+        assert recovered == subs  # NamedTuples: field-exact equality
+
+    @_codec
+    @given(subs=st.lists(_proxy_subs, min_size=1, max_size=5))
+    def test_proxy_request_survives_the_wire(self, subs):
+        encoded = encode_proxy_frame("client", "proxy", subs)
+        recovered = decode_proxy_frame(encoded[4:])
+        for original, restored in zip(subs, recovered):
+            assert restored.key == original.key
+            assert restored.op_kind == original.op_kind
+            assert restored.kind == original.kind
+            assert restored.payload == original.payload
+            assert restored.op_id == original.op_id
+            assert restored.round_trip == original.round_trip
+            # The ack threshold and per-server payloads drive quorum safety;
+            # a lossy round-trip here would corrupt routing silently.
+            assert restored.wait_for == original.wait_for
+            assert restored.per_server == original.per_server
+
+    @_codec
+    @given(sub_replies=st.lists(_proxy_replies, min_size=1, max_size=4))
+    def test_proxy_ack_round_trip_sim_codec(self, sub_replies):
+        ack = make_proxy_ack("proxy", "client", sub_replies)
+        assert ack.kind == PROXY_ACK_KIND
+        recovered = unpack_proxy_ack(ack)
+        assert len(recovered) == len(sub_replies)
+        for original, restored in zip(sub_replies, recovered):
+            assert restored.op_id == original.op_id
+            assert restored.round_trip == original.round_trip
+            assert restored.error == original.error
+            assert len(restored.replies) == len(original.replies)
+            for sent, back in zip(original.replies, restored.replies):
+                # Replica identity and payload are what the protocols read.
+                assert back.sender == sent.sender
+                assert back.kind == sent.kind
+                assert back.payload == sent.payload
+                # Routing identity is re-stamped from the sub-reply, so the
+                # proxy's attempt-scoped internal ids can never leak out.
+                assert back.op_id == original.op_id
+                assert back.receiver == "client"
+
+    @_codec
+    @given(sub_replies=st.lists(_proxy_replies, min_size=1, max_size=4))
+    def test_proxy_ack_survives_the_wire(self, sub_replies):
+        encoded = encode_proxy_ack_frame("proxy", "client", sub_replies)
+        recovered = decode_proxy_ack_frame(encoded[4:])
+        for original, restored in zip(sub_replies, recovered):
+            assert restored.op_id == original.op_id
+            assert restored.error == original.error
+            assert [r.payload for r in restored.replies] == \
+                [r.payload for r in original.replies]
+
+    def test_empty_proxy_frames_rejected(self):
+        with pytest.raises(ValueError):
+            make_proxy_request("client", "proxy", [])
+        with pytest.raises(ValueError):
+            make_proxy_ack("proxy", "client", [])
+
+    def test_unpack_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_proxy_request(Message("a", "b", "query"))
+        with pytest.raises(ValueError):
+            unpack_proxy_ack(Message("a", "b", "query"))

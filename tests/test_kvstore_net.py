@@ -177,6 +177,75 @@ class TestSyncKVStore:
         assert not asyncio.iscoroutinefunction(SyncKVStore.multi_put)
 
 
+class TestKillRestart:
+    def test_workload_survives_one_replica_kill_per_group(self):
+        """A read/write workload keeps completing (and stays atomic) across a
+        kill of one replica in every group, and the restarted replicas are
+        folded back in by the clients' reconnect loops."""
+
+        async def scenario():
+            shard_map = ShardMap(4, num_groups=2, servers_per_shard=3,
+                                 max_faults=1, readers=2, writers=2)
+            cluster = AsyncKVCluster(shard_map)
+            await cluster.start()
+            stores = []
+            try:
+                for index in range(2):
+                    store = KVStore(cluster, client_id=f"c{index + 1}")
+                    await store.connect()
+                    stores.append(store)
+
+                async def phase(tag: str) -> None:
+                    async def hammer(store: KVStore, index: int) -> None:
+                        for i in range(5):
+                            await store.put(f"k{index}-{i}", f"{tag}-{i}")
+                            assert await store.get(f"k{index}-{i}") == f"{tag}-{i}"
+
+                    await asyncio.gather(*(hammer(s, i) for i, s in enumerate(stores)))
+
+                await phase("before")
+                victims = [group.servers[0]
+                           for group in shard_map.groups.values()]
+                for victim in victims:
+                    await cluster.kill_server(victim)
+                served_at_kill = {
+                    v: cluster.replicas[v].requests_served for v in victims
+                }
+                await phase("during")  # quorums of S - t carry the load
+                for victim in victims:
+                    await cluster.restart_server(victim)
+                await asyncio.sleep(0.2)  # let the redial loops land
+                await phase("after")
+                # The restarted replicas are serving traffic again.
+                for victim in victims:
+                    assert cluster.replicas[victim].requests_served > \
+                        served_at_kill[victim]
+                for store in stores:
+                    verdict = store.check()
+                    assert verdict.all_atomic, verdict.summary()
+            finally:
+                for store in stores:
+                    await store.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_restart_is_a_no_op_for_a_running_replica(self):
+        async def scenario():
+            cluster = AsyncKVCluster(ShardMap(1))
+            await cluster.start()
+            try:
+                server_id = next(iter(cluster.replicas))
+                port = cluster.replicas[server_id].port
+                await cluster.restart_server(server_id)
+                assert cluster.replicas[server_id].port == port
+                assert cluster.replicas[server_id].running
+            finally:
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+
 class TestWorkloadRunner:
     def test_closed_loop_run_is_atomic_and_batched(self):
         workload = generate_workload(num_clients=2, ops_per_client=10, num_keys=8,

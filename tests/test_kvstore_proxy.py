@@ -1,0 +1,278 @@
+"""Tests for the site-local ingress proxy tier (repro.kvstore.proxy)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.kvstore import (
+    AsyncKVCluster,
+    BroadcastReads,
+    CachedShardView,
+    KVStore,
+    NearestQuorum,
+    ShardMap,
+    check_per_key_atomicity,
+    generate_workload,
+    run_asyncio_kv_workload,
+    run_sim_kv_workload,
+)
+from repro.sim.delays import GeoDelay
+
+
+class TestCachedShardView:
+    def test_resolves_like_the_map(self):
+        shard_map = ShardMap(4, num_groups=2)
+        view = CachedShardView(shard_map)
+        for key in ("a", "b", "user:7", "zz"):
+            spec = shard_map.shard_for(key)
+            route = view.resolve(key)
+            assert route.shard_id == spec.shard_id
+            assert route.epoch == spec.epoch
+            assert route.group_id == spec.group.group_id
+            assert route.servers == tuple(spec.group.servers)
+            assert route.quorum_size == spec.quorum_size
+
+    def test_stays_stale_until_refreshed(self):
+        shard_map = ShardMap(2, num_groups=2)
+        view = CachedShardView(shard_map)
+        before = view.ring_epoch
+        plan = shard_map.resize(6)
+        assert plan.fenced  # the resize really fenced donor shards
+        # The authoritative map moved on; the snapshot must not have.
+        assert view.ring_epoch == before
+        assert shard_map.ring_epoch == before + 1
+        stale = {key: view.resolve(key).epoch for key in ("a", "b", "c")}
+        view.refresh()
+        assert view.refreshes == 1
+        assert view.ring_epoch == shard_map.ring_epoch
+        for key in ("a", "b", "c"):
+            fresh = view.resolve(key)
+            assert fresh.epoch == shard_map.shard_for(key).epoch
+            assert fresh.epoch >= stale[key]
+
+
+class TestReadRoutingPolicies:
+    def _sites(self, servers):
+        # two replicas per site over three sites
+        return {server: ("us", "eu", "ap")[i // 2] for i, server in enumerate(servers)}
+
+    def test_broadcast_targets_everyone(self):
+        servers = [f"g1-s{i}" for i in range(1, 6)]
+        assert BroadcastReads().read_targets("p1", servers, 4) == servers
+
+    def test_nearest_prefers_local_replicas(self):
+        servers = [f"g1-s{i}" for i in range(1, 7)]
+        sites = self._sites(servers)
+        sites["p1"] = "eu"
+        policy = NearestQuorum.from_sites(sites)
+        targets = policy.read_targets("p1", servers, 4)
+        assert len(targets) == 4
+        # Both eu replicas come first; the two remote picks fill the quorum.
+        assert set(targets[:2]) == {"g1-s3", "g1-s4"}
+
+    def test_nearest_never_under_targets(self):
+        servers = [f"g1-s{i}" for i in range(1, 4)]
+        policy = NearestQuorum.from_sites({s: "us" for s in servers})
+        assert len(policy.read_targets("p1", servers, 3)) == 3
+        assert len(policy.read_targets("p1", servers, 5)) == 3  # capped at group
+
+    def test_spare_widens_the_pick(self):
+        servers = [f"g1-s{i}" for i in range(1, 7)]
+        sites = self._sites(servers)
+        sites["p1"] = "us"
+        policy = NearestQuorum.from_sites(sites, spare=1)
+        assert len(policy.read_targets("p1", servers, 4)) == 5
+
+    def test_origins_spread_their_remote_picks(self):
+        # 12 replicas all remote to both proxies: a naive lexicographic
+        # tie-break would make every proxy hammer the same quorum.
+        servers = [f"g1-s{i}" for i in range(1, 13)]
+        policy = NearestQuorum.from_sites({s: "x" for s in servers})
+        picks = {
+            origin: tuple(policy.read_targets(origin, servers, 4))
+            for origin in ("p1", "p2", "p3")
+        }
+        assert len(set(picks.values())) > 1
+        for origin, targets in picks.items():  # deterministic per origin
+            assert tuple(policy.read_targets(origin, servers, 4)) == targets
+
+    def test_rejects_negative_spare(self):
+        with pytest.raises(ValueError):
+            NearestQuorum(lambda a, b: 1.0, spare=-1)
+
+
+class TestSimProxiedWorkloads:
+    def test_proxied_workload_is_atomic_and_cheaper_replica_side(self):
+        workload = generate_workload(num_clients=4, ops_per_client=12,
+                                     num_keys=16, seed=11, pipeline_depth=4)
+        direct = run_sim_kv_workload(workload, num_shards=4, num_groups=2)
+        proxied = run_sim_kv_workload(
+            workload, num_shards=4, num_groups=2,
+            use_proxy=True, num_proxies=1, proxy_flush_delay=0.25,
+        )
+        for result in (direct, proxied):
+            assert result.completed_ops == workload.total_operations()
+            verdict = check_per_key_atomicity(result.histories)
+            assert verdict.all_atomic, verdict.summary()
+        assert proxied.num_proxies == 1
+        assert proxied.proxy_stats is not None
+        # Cross-client merging: the proxy's frames per op beat the K clients'
+        # direct fan-out decisively.
+        assert proxied.replica_frames < direct.replica_frames / 1.5
+        # The proxy merged rounds from more than one client into one frame.
+        assert proxied.proxy_stats.largest > proxied.batch_stats.largest or \
+            proxied.proxy_stats.mean_batch_size > 1.0
+
+    def test_per_key_atomicity_through_proxies_during_resize_with_crashes(self):
+        workload = generate_workload(num_clients=4, ops_per_client=15,
+                                     num_keys=16, seed=5, pipeline_depth=4)
+        result = run_sim_kv_workload(
+            workload, num_shards=4, num_groups=2,
+            use_proxy=True, num_proxies=2, proxy_flush_delay=0.25,
+            resize_to=8, crashes_per_group=1,
+        )
+        assert result.completed_ops == workload.total_operations()
+        assert result.resize is not None and result.resize["to"] == 8
+        # The proxies' cached views went stale at the cutover and recovered.
+        assert result.stale_replays >= 1
+        verdict = check_per_key_atomicity(result.histories)
+        assert verdict.all_atomic, verdict.summary()
+
+    def test_nearest_quorum_routing_stays_atomic_under_geo_delays(self):
+        workload = generate_workload(num_clients=3, ops_per_client=10,
+                                     num_keys=12, seed=7, pipeline_depth=4)
+        shard_map = ShardMap(4, num_groups=1, servers_per_shard=6, max_faults=2,
+                             readers=3, writers=3)
+        sites = {s: ("us", "eu", "ap")[i // 2]
+                 for i, s in enumerate(shard_map.all_servers)}
+        for i, client in enumerate(workload.clients):
+            sites[client] = ("us", "eu", "ap")[i % 3]
+        for i in range(1, 4):
+            sites[f"p{i}"] = ("us", "eu", "ap")[i - 1]
+        result = run_sim_kv_workload(
+            workload, shard_map=shard_map,
+            delay_model=GeoDelay(sites, local_delay=0.5, wan_delay=40.0, seed=1),
+            use_proxy=True, num_proxies=3,
+            read_policy=NearestQuorum.from_sites(sites),
+        )
+        assert result.completed_ops == workload.total_operations()
+        assert result.check().all_atomic
+        # Reads were restricted: replica-side frames stay below a broadcast's.
+        broadcast = run_sim_kv_workload(
+            workload, shard_map=ShardMap(4, num_groups=1, servers_per_shard=6,
+                                         max_faults=2, readers=3, writers=3),
+            delay_model=GeoDelay(sites, local_delay=0.5, wan_delay=40.0, seed=1),
+            use_proxy=True, num_proxies=3,
+        )
+        assert result.replica_frames < broadcast.replica_frames
+
+
+class TestAsyncioProxiedWorkloads:
+    def test_proxied_workload_is_atomic(self):
+        workload = generate_workload(num_clients=3, ops_per_client=10,
+                                     num_keys=12, seed=3, pipeline_depth=4)
+        result = run_asyncio_kv_workload(
+            workload, num_shards=4, num_groups=2, use_proxy=True, num_proxies=2,
+        )
+        assert result.completed_ops == workload.total_operations()
+        verdict = check_per_key_atomicity(result.histories)
+        assert verdict.all_atomic, verdict.summary()
+        assert result.num_proxies == 2
+        assert result.proxy_stats is not None
+        assert result.replica_frames > 0
+
+    def test_proxied_live_resize_replays_transparently(self):
+        workload = generate_workload(num_clients=2, ops_per_client=12,
+                                     num_keys=10, seed=9, pipeline_depth=4)
+        result = run_asyncio_kv_workload(
+            workload, num_shards=4, num_groups=2,
+            use_proxy=True, num_proxies=1, resize_to=8,
+        )
+        assert result.completed_ops == workload.total_operations()
+        assert result.resize is not None and result.resize["to"] == 8
+        assert result.check().all_atomic
+
+    def test_store_facade_through_proxy(self):
+        async def scenario():
+            cluster = AsyncKVCluster(ShardMap(2, num_groups=2))
+            await cluster.start()
+            await cluster.start_proxies(1)
+            store = KVStore(cluster, client_id="c1", use_proxy=True)
+            await store.connect()
+            try:
+                await store.put("user:7", "ada")
+                assert await store.get("user:7") == "ada"
+                assert await store.get("missing") is None
+                await store.multi_put({"a": 1, "b": 2, "c": 3, "d": 4})
+                assert await store.multi_get(["a", "b", "c", "d"]) == \
+                    {"a": 1, "b": 2, "c": 3, "d": 4}
+                verdict = store.check()
+                assert verdict.all_atomic, verdict.summary()
+                # One connection, no per-replica fan-out client-side: every
+                # frame this store sent went to the proxy.
+                assert store.frames_sent() < store.frames_total()
+            finally:
+                await store.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_use_proxy_requires_started_proxies(self):
+        async def scenario():
+            cluster = AsyncKVCluster(ShardMap(1))
+            await cluster.start()
+            store = KVStore(cluster, use_proxy=True)
+            try:
+                with pytest.raises(RuntimeError, match="no proxies"):
+                    await store.connect()
+            finally:
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_unexpected_serve_error_surfaces_instead_of_hanging(self):
+        from repro.core.errors import ProtocolError
+
+        async def scenario():
+            cluster = AsyncKVCluster(ShardMap(1))
+            await cluster.start()
+            await cluster.start_proxies(1)
+            store = KVStore(cluster, client_id="c1", use_proxy=True)
+            await store.connect()
+            try:
+                # Break the proxy's replica leg with an error outside the
+                # retryable classes: the client must get an error ack (and
+                # raise), never await a reply that can't come.
+                proxy = cluster.proxies["p1"]
+                for group_client in proxy._group_clients.values():
+                    async def boom(*args, **kwargs):
+                        raise ValueError("codec exploded")
+
+                    group_client.round_trip = boom
+                with pytest.raises(ProtocolError, match="ValueError"):
+                    await asyncio.wait_for(store.put("k", "v"), timeout=10.0)
+            finally:
+                await store.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_proxy_can_be_picked_by_id(self):
+        async def scenario():
+            cluster = AsyncKVCluster(ShardMap(1))
+            await cluster.start()
+            ids = await cluster.start_proxies(2)
+            assert ids == ["p1", "p2"]
+            store = KVStore(cluster, client_id="c1", use_proxy="p2")
+            await store.connect()
+            try:
+                await store.put("k", "v")
+                assert await store.get("k") == "v"
+                assert store._proxy_client.proxy_id == "p2"
+            finally:
+                await store.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
