@@ -24,9 +24,11 @@ from ..sim.messages import (
     make_batch,
     make_proxy_ack,
     make_proxy_request,
+    make_view_push,
     unpack_batch,
     unpack_proxy_ack,
     unpack_proxy_request,
+    unpack_view_push,
 )
 
 __all__ = [
@@ -40,6 +42,8 @@ __all__ = [
     "decode_proxy_frame",
     "encode_proxy_ack_frame",
     "decode_proxy_ack_frame",
+    "encode_view_push_frame",
+    "decode_view_push_frame",
     "read_frame",
     "write_frame",
 ]
@@ -126,6 +130,18 @@ def encode_proxy_ack_frame(
 def decode_proxy_ack_frame(body: bytes) -> List[ProxySubReply]:
     """Inverse of :func:`encode_proxy_ack_frame` (body excludes the header)."""
     return unpack_proxy_ack(decode_message(body))
+
+
+def encode_view_push_frame(
+    sender: str, receiver: str, view: Dict[str, Any]
+) -> bytes:
+    """Pack one shard-map view into an encoded control-plane push frame."""
+    return encode_message(make_view_push(sender, receiver, view))
+
+
+def decode_view_push_frame(body: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`encode_view_push_frame` (body excludes the header)."""
+    return unpack_view_push(decode_message(body))
 
 
 async def read_frame(reader) -> Message:

@@ -102,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
     kv.add_argument("--resize-after", type=int, default=None, metavar="OPS",
                     help="trigger the live resize after OPS completed "
                          "operations (default: half the workload)")
+    kv.add_argument("--kill-proxy-after", type=int, default=None, metavar="OPS",
+                    help="kill one ingress proxy per site after OPS completed "
+                         "operations (requires --proxies; clients fail over "
+                         "to a sibling proxy or to direct connections with "
+                         "no client-visible errors)")
+    kv.add_argument("--no-view-push", action="store_true",
+                    help="disable control-plane view pushes to the proxies "
+                         "(live rebalances are then discovered via "
+                         "stale-epoch bounces only)")
     kv.add_argument("--proxies", type=int, default=0, metavar="N",
                     help="route clients through N site-local ingress proxies "
                          "(round-robin) that merge quorum rounds across "
@@ -233,6 +242,8 @@ def _command_latency(args: argparse.Namespace) -> int:
 def _command_kv(args: argparse.Namespace) -> int:
     if args.resize_after is not None and args.resize_to is None:
         raise SystemExit("--resize-after requires --resize-to")
+    if args.kill_proxy_after is not None and args.proxies <= 0:
+        raise SystemExit("--kill-proxy-after requires --proxies")
     workload = generate_workload(
         num_clients=args.clients,
         ops_per_client=args.ops,
@@ -252,6 +263,8 @@ def _command_kv(args: argparse.Namespace) -> int:
         resize_after_ops=args.resize_after,
         use_proxy=args.proxies > 0,
         num_proxies=max(args.proxies, 1),
+        push_views=not args.no_view_push,
+        kill_proxy_after_ops=args.kill_proxy_after,
     )
     if args.backend == "sim":
         result = run_sim_kv_workload(workload, **common)
@@ -282,7 +295,14 @@ def _command_kv(args: argparse.Namespace) -> int:
     if result.resize:
         print(f"live resize        : -> {result.resize['to']} shards after "
               f"{result.resize['at_ops']} ops; {result.resize['report']}; "
-              f"{result.stale_replays} rounds replayed")
+              f"{result.stale_replays} rounds replayed; "
+              f"{result.view_pushes} view pushes applied")
+    if result.proxy_kill:
+        print(f"proxy kill         : killed {result.proxy_kill['killed']} after "
+              f"{result.proxy_kill['at_ops']} ops; "
+              f"{result.proxy_failovers} client failovers; "
+              f"{result.completed_ops}/{workload.total_operations()} ops "
+              f"completed")
     print(f"atomicity          : {verdict.summary()}")
     return 0 if verdict.all_atomic else 1
 

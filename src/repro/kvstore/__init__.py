@@ -49,7 +49,9 @@ from .net_backend import (
     AsyncProxyClient,
     AsyncShardClient,
     KVStore,
+    ProxyConnectionLost,
     ProxyServer,
+    RetryPolicy,
     SyncKVStore,
     run_asyncio_kv_workload,
 )
@@ -61,6 +63,8 @@ from .proxy import (
     NearestQuorum,
     ProxyRoute,
     ReadRoutingPolicy,
+    attempt_scoped_id,
+    parse_attempt_scoped_id,
 )
 from .sharding import (
     HashRing,
@@ -92,7 +96,9 @@ __all__ = [
     "AsyncProxyClient",
     "AsyncShardClient",
     "KVStore",
+    "ProxyConnectionLost",
     "ProxyServer",
+    "RetryPolicy",
     "SyncKVStore",
     "run_asyncio_kv_workload",
     "KVHistoryRecorder",
@@ -106,6 +112,8 @@ __all__ = [
     "NearestQuorum",
     "ProxyRoute",
     "ReadRoutingPolicy",
+    "attempt_scoped_id",
+    "parse_attempt_scoped_id",
     "HashRing",
     "MovePlan",
     "ResizePlan",

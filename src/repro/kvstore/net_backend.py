@@ -26,6 +26,7 @@ backend, over real sockets:
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -37,6 +38,8 @@ from ..sim.messages import (
     BATCH_ACK_KIND,
     PROXY_ACK_KIND,
     PROXY_KIND,
+    VIEW_PUSH_ACK_KIND,
+    VIEW_PUSH_KIND,
     Message,
     ProxySubReply,
     ProxySubRequest,
@@ -44,9 +47,11 @@ from ..sim.messages import (
     make_batch,
     make_proxy_ack,
     make_proxy_request,
+    make_view_push,
     unpack_batch_ack,
     unpack_proxy_ack,
     unpack_proxy_request,
+    unpack_view_push,
 )
 from ..asyncio_net.codec import read_frame, write_frame
 from ..asyncio_net.server import ReplicaServer
@@ -70,6 +75,8 @@ from .proxy import (
     CachedShardView,
     ReadRoutingPolicy,
     attempt_scoped_id,
+    make_proxy_kill_trigger,
+    pick_one_proxy_per_site,
     plan_round,
 )
 from .sharding import ShardMap, ShardSpec
@@ -78,12 +85,16 @@ from ._sync import LoopThread, run_sync
 
 __all__ = ["AsyncKVCluster", "AsyncGroupClient", "AsyncShardClient",
            "AsyncProxyClient", "ProxyServer", "KVStore", "SyncKVStore",
-           "run_asyncio_kv_workload"]
+           "RetryPolicy", "ProxyConnectionLost", "run_asyncio_kv_workload"]
+
+logger = logging.getLogger(__name__)
 
 #: How often a disconnected peer retries its connection, and how many times
 #: an operation round retries over a transient outage before giving up --
 #: together they bound the reconnect-and-replay window (~5 s) during a
-#: replica kill/restart.
+#: replica kill/restart.  These are the *defaults* of :class:`RetryPolicy`;
+#: pass a policy to shrink the window (tests do, so a kill/restart scenario
+#: fails in well under a second instead of sleeping out five).
 RECONNECT_INTERVAL = 0.05
 MAX_TRANSIENT_RETRIES = 100
 
@@ -97,6 +108,43 @@ PROXY_ROUND_TIMEOUT = 2.0
 MAX_ROUND_TIMEOUTS = 5
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timing knobs of the reconnect/replay/failover machinery.
+
+    One policy is owned by the cluster and inherited by every group client,
+    proxy and store built against it, so a whole deployment's failure windows
+    scale together: ``reconnect_interval * max_transient_retries`` bounds how
+    long a caller keeps replaying over a transient outage (the kill/restart
+    window), and ``round_timeout * max_round_timeouts`` bounds how long a
+    proxy waits on a silently-lost replica round before erroring the ack.
+    """
+
+    reconnect_interval: float = RECONNECT_INTERVAL
+    max_transient_retries: int = MAX_TRANSIENT_RETRIES
+    round_timeout: float = PROXY_ROUND_TIMEOUT
+    max_round_timeouts: int = MAX_ROUND_TIMEOUTS
+
+    @property
+    def transient_window(self) -> float:
+        """Upper bound on the reconnect-and-replay window, in seconds."""
+        return self.reconnect_interval * self.max_transient_retries
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+class ProxyConnectionLost(ConnectionError):
+    """The client's connection to its ingress proxy died mid-round.
+
+    Distinct from the plain ``OSError`` of a replica-leg hiccup because the
+    remedies differ: a replica outage is waited out (the endpoint is stable
+    across kill/restart), while a dead proxy triggers *failover* -- the store
+    re-dials the next proxy of its site, or falls back to direct replica
+    connections, and replays the round under a fresh attempt scope.
+    """
+
+
 class AsyncKVCluster:
     """All group replicas of a :class:`ShardMap` listening on loopback TCP."""
 
@@ -106,17 +154,23 @@ class AsyncKVCluster:
         host: str = "127.0.0.1",
         service_overhead: float = 0.0,
         service_per_op: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        push_views: bool = True,
     ) -> None:
         self.shard_map = shard_map
         self.host = host
         self.service_overhead = service_overhead
         self.service_per_op = service_per_op
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+        self.push_views = push_views
+        self.view_pushes_sent = 0
         self.replicas: Dict[str, ReplicaServer] = {}
         self.proxies: Dict[str, "ProxyServer"] = {}
         self.migrations: List[MigrationReport] = []
         self._logics: Dict[str, BatchGroupServer] = {}
         self._endpoints: Dict[str, Dict[str, Tuple[str, int]]] = {}
         self._proxy_rr = 0
+        self._view_push_tasks: "set[asyncio.Task]" = set()
 
     async def start(self) -> None:
         for group in self.shard_map.groups.values():
@@ -140,6 +194,10 @@ class AsyncKVCluster:
             self._endpoints[group.group_id] = endpoints
 
     async def stop(self) -> None:
+        for task in list(self._view_push_tasks):
+            task.cancel()
+        await asyncio.gather(*self._view_push_tasks, return_exceptions=True)
+        self._view_push_tasks.clear()
         for proxy in self.proxies.values():
             await proxy.stop()
         self.proxies.clear()
@@ -159,20 +217,24 @@ class AsyncKVCluster:
         num_proxies: int = 1,
         read_policy: Optional[ReadRoutingPolicy] = None,
         max_batch: int = 64,
+        site: Optional[str] = None,
     ) -> List[str]:
         """Start ``num_proxies`` site-local ingress proxies; returns their ids.
 
         Proxies are stateless, so they can be started (and pointed at) any
         time after :meth:`start`; each owns its own connections to every
         replica group and merges forwarded rounds across the client
-        connections it accepts.
+        connections it accepts.  ``site`` tags the started proxies with a
+        deployment site: failover (:meth:`proxy_candidates`) only re-dials
+        proxies of the *same* site, so call once per site to model a
+        multi-site ingress tier.  With no sites, all proxies form one.
         """
         started: List[str] = []
         for _ in range(num_proxies):
             proxy_id = f"p{len(self.proxies) + 1}"
             proxy = ProxyServer(
                 proxy_id, self, read_policy=read_policy,
-                max_batch=max_batch, host=self.host,
+                max_batch=max_batch, host=self.host, site=site,
             )
             await proxy.start()
             self.proxies[proxy_id] = proxy
@@ -192,6 +254,43 @@ class AsyncKVCluster:
     def proxy_endpoint(self, proxy_id: str) -> Tuple[str, int]:
         proxy = self.proxies[proxy_id]
         return (proxy.host, proxy.port)
+
+    def proxy_candidates(self, proxy_id: str) -> List[str]:
+        """Every proxy of ``proxy_id``'s site, starting with ``proxy_id``.
+
+        This is the failover list a connecting store learns: when its
+        current proxy dies it re-dials the next candidate, and when the list
+        is exhausted it falls back to direct replica connections.
+        """
+        site = self.proxies[proxy_id].site
+        same_site = [
+            candidate_id
+            for candidate_id, proxy in self.proxies.items()
+            if proxy.site == site
+        ]
+        start = same_site.index(proxy_id)
+        return same_site[start:] + same_site[:start]
+
+    async def kill_proxy(self, proxy_id: str) -> None:
+        """Kill one ingress proxy: stop listening and sever its connections.
+
+        Mirrors :meth:`kill_server`.  Stores connected to it observe the
+        severed connection and fail over to another proxy of the same site
+        (or to direct replica connections), replaying their in-flight rounds
+        under fresh attempt scopes; the replicas never notice.
+        """
+        await self.proxies[proxy_id].stop()
+
+    async def restart_proxy(self, proxy_id: str) -> None:
+        """Restart a killed proxy on its original port.
+
+        Proxies are stateless, so a restart is just a rebind -- plus a view
+        refresh, because rebalances during the outage are invisible to a
+        process that was not there to receive their pushes."""
+        proxy = self.proxies[proxy_id]
+        if not proxy.running:
+            await proxy.start()
+            proxy.view.refresh()
 
     # -- replica kill / restart --------------------------------------------------
 
@@ -229,6 +328,7 @@ class AsyncKVCluster:
         plan = self.shard_map.resize(new_num_shards)
         report = apply_resize_plan(plan, self.shard_map, self._logics)
         self.migrations.append(report)
+        self._push_view_update()
         return report
 
     def move_shard(self, shard_id: str, group_id: str) -> MigrationReport:
@@ -236,7 +336,58 @@ class AsyncKVCluster:
         plan = self.shard_map.move_shard(shard_id, group_id)
         report = apply_move_plan(plan, self._logics)
         self.migrations.append(report)
+        self._push_view_update()
         return report
+
+    # -- view push (control plane -> proxies) ------------------------------------
+
+    def _push_view_update(self) -> None:
+        """Push the fresh shard-map view to every running proxy.
+
+        Fired by :meth:`resize`/:meth:`move_shard`.  The cutover itself is
+        synchronous; the push rides a background task because it crosses the
+        wire (one ``view-push`` frame per proxy over TCP).  Until a proxy's
+        push lands, its stale routes bounce off the epoch fence exactly as
+        before -- the push removes the steady-state replays, the fence keeps
+        the race window safe.
+        """
+        if not self.push_views or not self.proxies:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:  # no loop: nothing can be in flight to push to
+            return
+        view = self.shard_map.view_snapshot()
+        task = loop.create_task(self._push_views(view))
+        self._view_push_tasks.add(task)
+        task.add_done_callback(self._view_push_tasks.discard)
+
+    async def _push_views(self, view: Dict[str, Any]) -> None:
+        for proxy_id, proxy in list(self.proxies.items()):
+            if not proxy.running:
+                continue  # killed: restart_proxy() refreshes its view anyway
+            try:
+                reader, writer = await asyncio.open_connection(proxy.host, proxy.port)
+                try:
+                    await write_frame(
+                        writer, make_view_push("control-plane", proxy_id, view)
+                    )
+                    await read_frame(reader)  # proxy acks once the view is applied
+                    self.view_pushes_sent += 1
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except OSError:  # pragma: no cover - teardown race
+                        pass
+            except (OSError, asyncio.IncompleteReadError):
+                continue  # proxy died mid-push; the bounce fence covers it
+
+    async def flush_view_pushes(self) -> None:
+        """Wait for every outstanding view push to be applied (or fail)."""
+        tasks = list(self._view_push_tasks)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
 
 
 @dataclass
@@ -284,6 +435,7 @@ class AsyncGroupClient:
         group: ReplicaGroup,
         endpoints: Dict[str, Tuple[str, int]],
         max_batch: int = 8,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -291,6 +443,7 @@ class AsyncGroupClient:
         self.group = group
         self.endpoints = dict(endpoints)
         self.max_batch = max_batch
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.batch_stats = BatchStats()
         self._writers: Dict[str, asyncio.StreamWriter] = {}
         self._receive_tasks: "set[asyncio.Task]" = set()
@@ -317,7 +470,14 @@ class AsyncGroupClient:
 
     async def connect(self) -> None:
         for server_id in self.endpoints:
-            await self._open(server_id)
+            try:
+                await self._open(server_id)
+            except OSError:
+                # The replica is down right now (connecting mid-kill is the
+                # norm on the failover-to-direct path).  Rounds complete on
+                # the surviving quorum; keep redialing the stable endpoint
+                # so the replica is folded back in when it returns.
+                self._schedule_reconnect(server_id)
 
     async def _open(self, server_id: str) -> None:
         host, port = self.endpoints[server_id]
@@ -335,7 +495,38 @@ class AsyncGroupClient:
             return
         task = asyncio.create_task(self._reconnect(server_id))
         self._reconnect_tasks.add(task)
-        task.add_done_callback(self._reconnect_tasks.discard)
+        task.add_done_callback(
+            lambda done, sid=server_id: self._reconnect_finished(sid, done)
+        )
+
+    def _reconnect_finished(self, server_id: str, task: asyncio.Task) -> None:
+        """Observe a finished redial task instead of discarding it blindly.
+
+        A redial that dies on an *unexpected* exception (anything outside
+        the ``OSError`` family the loop retries on) used to be swallowed by
+        the bare-discard callback: the server was never redialed again, and
+        rounds counting on it hung past the reconnect window with no trace.
+        Log the terminal failure and fail the rounds still waiting on that
+        server, so their callers' replay logic takes over immediately.
+        """
+        self._reconnect_tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None:
+            return
+        logger.warning(
+            "%s: reconnect to %s failed terminally: %r",
+            self.client_id, server_id, exc,
+        )
+        for pending in list(self._rounds.values()):
+            eligible = (
+                pending.targets
+                if pending.targets is not None
+                else tuple(self.endpoints)
+            )
+            if server_id in eligible and len(pending.replies) < pending.wait_for:
+                pending.fail(exc)
 
     async def _reconnect(self, server_id: str) -> None:
         """Redial a dead replica until it is back (or this client closes).
@@ -346,7 +537,7 @@ class AsyncGroupClient:
         replayed by their caller.
         """
         while not self._closing:
-            await asyncio.sleep(RECONNECT_INTERVAL)
+            await asyncio.sleep(self.retry_policy.reconnect_interval)
             if self._closing:
                 return
             try:
@@ -489,22 +680,26 @@ class AsyncGroupClient:
         first_failure = next(
             (r for r in results if isinstance(r, BaseException)), None
         )
-        if first_failure is None:
+        if first_failure is None and len(self._writers) == len(self.endpoints):
             return
         # A round survives failed sends to a minority of its targets (quorum
         # still reachable); when too few frames went out -- a dead replica
-        # mid-kill, or none at all when the frame exceeds MAX_FRAME_BYTES --
-        # fail the waiters instead of letting them block forever, so the
-        # caller's replay logic takes over.
+        # mid-kill, a replica still unconnected (no writer yet, so never
+        # even attempted), or none at all when the frame exceeds
+        # MAX_FRAME_BYTES -- fail the waiters instead of letting them block
+        # forever, so the caller's replay logic takes over.
+        failure = first_failure or ConnectionResetError(
+            "not enough replica connections for a quorum"
+        )
         for pending in batch:
             eligible = (
                 pending.targets
                 if pending.targets is not None
-                else tuple(server_id for server_id, _ in servers)
+                else tuple(self.endpoints)
             )
             successes = sum(1 for server_id in eligible if server_id in reached)
             if successes < pending.wait_for:
-                pending.fail(first_failure)
+                pending.fail(failure)
 
     async def _receive_loop(self, server_id: str, reader: asyncio.StreamReader) -> None:
         try:
@@ -567,28 +762,41 @@ class ProxyServer:
         max_batch: int = 64,
         host: str = "127.0.0.1",
         port: int = 0,
+        site: Optional[str] = None,
     ) -> None:
         self.proxy_id = proxy_id
         self.cluster = cluster
+        self.site = site
         self.view = CachedShardView(cluster.shard_map)
         self.read_policy = read_policy or BroadcastReads()
         self.max_batch = max_batch
         self.host = host
         self.port = port
+        self.retry_policy = cluster.retry_policy
         self.stale_replays = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._group_clients: Dict[str, AsyncGroupClient] = {}
+        self._retired_stats = BatchStats()
         self._connections: "set" = set()
         self._serve_tasks: "set[asyncio.Task]" = set()
         self._attempts = 0
 
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
     async def start(self) -> None:
+        """(Re)start the proxy; after a kill, the same port is rebound so
+        the cluster's advertised proxy endpoint stays stable."""
+        if self.running:
+            return
         for group in self.cluster.shard_map.groups.values():
             group_client = AsyncGroupClient(
                 self.proxy_id,
                 group,
                 self.cluster.endpoints_for(group.group_id),
                 max_batch=self.max_batch,
+                retry_policy=self.retry_policy,
             )
             await group_client.connect()
             self._group_clients[group.group_id] = group_client
@@ -611,12 +819,18 @@ class ProxyServer:
         for writer in list(self._connections):
             writer.close()
         for group_client in self._group_clients.values():
+            # Keep the retired connections' frame accounting: a killed
+            # proxy's pre-kill traffic was real wire cost and must survive
+            # into the run totals (each frame still counted exactly once).
+            self._retired_stats.merge(group_client.batch_stats)
             await group_client.close()
         self._group_clients.clear()
 
     def batch_stats(self) -> BatchStats:
-        """Replica-side merging/frame statistics across all group clients."""
+        """Replica-side merging/frame statistics across all group clients
+        (including connections retired by an earlier kill/restart)."""
         merged = BatchStats()
+        merged.merge(self._retired_stats)
         for group_client in self._group_clients.values():
             merged.merge(group_client.batch_stats)
         return merged
@@ -636,6 +850,21 @@ class ProxyServer:
                     break
                 except asyncio.CancelledError:
                     break  # loop teardown raced this connection's EOF
+                if frame.kind == VIEW_PUSH_KIND:
+                    # Control-plane push: adopt the fresh view, then ack so
+                    # the pusher knows routing is current before it returns.
+                    self.view.apply_push(unpack_view_push(frame))
+                    async with lock:
+                        await write_frame(
+                            writer,
+                            Message(
+                                sender=self.proxy_id,
+                                receiver=frame.sender,
+                                kind=VIEW_PUSH_ACK_KIND,
+                                payload={"ring_epoch": self.view.ring_epoch},
+                            ),
+                        )
+                    continue
                 if frame.kind != PROXY_KIND:
                     continue
                 for sub in unpack_proxy_request(frame):
@@ -666,6 +895,7 @@ class ProxyServer:
         stale_retries = 0
         transient_retries = 0
         timeouts = 0
+        retry = self.retry_policy
         while True:
             plan = plan_round(self.view, self.read_policy, self.proxy_id, sub)
             group_client = self._group_clients[plan.route.group_id]
@@ -688,7 +918,7 @@ class ProxyServer:
                         targets=plan.targets,
                         sender=client,
                     ),
-                    timeout=PROXY_ROUND_TIMEOUT,
+                    timeout=retry.round_timeout,
                 )
                 break
             except StaleShardError:
@@ -706,20 +936,20 @@ class ProxyServer:
                 # (restrictive read policies only); replay the idempotent
                 # round -- the redial may have landed by now.
                 timeouts += 1
-                if timeouts > MAX_ROUND_TIMEOUTS:
+                if timeouts > retry.max_round_timeouts:
                     error = (
                         f"round got no quorum within "
-                        f"{timeouts * PROXY_ROUND_TIMEOUT:.0f}s; with a "
+                        f"{timeouts * retry.round_timeout:.0f}s; with a "
                         "restrictive read policy, give it spare >= the "
                         "fault budget to ride out crashed replicas"
                     )
                     break
             except (OSError, EOFError) as exc:
                 transient_retries += 1
-                if transient_retries > MAX_TRANSIENT_RETRIES:
+                if transient_retries > retry.max_transient_retries:
                     error = f"replica quorum unreachable: {exc}"
                     break
-                await asyncio.sleep(RECONNECT_INTERVAL)
+                await asyncio.sleep(retry.reconnect_interval)
             except Exception as exc:  # noqa: BLE001 - never leave the client hanging
                 # Anything unexpected (an oversized merged frame raising
                 # FrameError, a codec bug, ...) must still produce an error
@@ -783,6 +1013,10 @@ class AsyncProxyClient:
         self.port = port
         self.max_batch = max_batch
         self.batch_stats = BatchStats()
+        #: Set (to the underlying error) once the proxy connection is known
+        #: dead; every subsequent round fails fast with
+        #: :class:`ProxyConnectionLost` so the owning store can fail over.
+        self.lost: Optional[BaseException] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._receive_task: Optional[asyncio.Task] = None
         self._send_tasks: "set[asyncio.Task]" = set()
@@ -793,6 +1027,12 @@ class AsyncProxyClient:
     async def connect(self) -> None:
         reader, self._writer = await asyncio.open_connection(self.host, self.port)
         self._receive_task = asyncio.create_task(self._receive_loop(reader))
+
+    def _mark_lost(self, exc: BaseException) -> None:
+        if self.lost is None:
+            self.lost = exc
+        for pending in list(self._rounds.values()):
+            pending.fail(ProxyConnectionLost(f"proxy {self.proxy_id} lost: {exc!r}"))
 
     async def close(self) -> None:
         tasks = list(self._send_tasks)
@@ -819,7 +1059,16 @@ class AsyncProxyClient:
         round_trip: int,
         request: Broadcast,
     ) -> List[Message]:
-        """Forward one round through the proxy and await its quorum replies."""
+        """Forward one round through the proxy and await its quorum replies.
+
+        Raises :class:`ProxyConnectionLost` (immediately once the connection
+        is known dead, or when it dies mid-round) so the caller can fail
+        over to another proxy and replay under a fresh attempt scope.
+        """
+        if self.lost is not None:
+            raise ProxyConnectionLost(
+                f"proxy {self.proxy_id} lost: {self.lost!r}"
+            )
         sub = ProxySubRequest(
             key=key,
             op_kind=op_kind,
@@ -872,9 +1121,23 @@ class AsyncProxyClient:
             self.client_id, self.proxy_id, [pending.sub for _, pending in batch]
         )
         try:
+            if self._writer is None or self._writer.is_closing():
+                raise ConnectionResetError(
+                    f"connection to proxy {self.proxy_id} is down"
+                )
             await write_frame(self._writer, frame)
             self.batch_stats.record_frames(sent=1)
+        except (ConnectionResetError, BrokenPipeError, EOFError, OSError) as exc:
+            # The proxy itself is gone: flag the whole connection so every
+            # round (this batch and all future ones) fails over promptly.
+            self._mark_lost(exc)
+            for _, pending in batch:
+                pending.fail(
+                    ProxyConnectionLost(f"proxy {self.proxy_id} lost: {exc!r}")
+                )
         except Exception as exc:  # noqa: BLE001 - every send error fails the batch
+            # Not a connection death (e.g. an oversized frame): fail these
+            # rounds with the real error, but keep the connection usable.
             for _, pending in batch:
                 pending.fail(exc)
 
@@ -894,10 +1157,10 @@ class AsyncProxyClient:
                     pending.replies = tuple(sub_reply.replies)
                     pending.error = sub_reply.error
                     pending.ready.set()
-        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
-            # The proxy vanished; fail every waiter rather than hanging.
-            for pending in list(self._rounds.values()):
-                pending.fail(ConnectionResetError("proxy connection lost"))
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError) as exc:
+            # The proxy vanished; fail every waiter with the failover signal
+            # rather than hanging (the store re-dials a sibling proxy).
+            self._mark_lost(exc)
         except asyncio.CancelledError:
             return
 
@@ -918,6 +1181,18 @@ class KVStore:
     a proxy id to pick one (e.g. the client's own site).  The proxy then
     owns shard resolution, read routing and stale-epoch replay, and merges
     this store's rounds with other clients' into shared replica frames.
+
+    The proxy connection is *fault-tolerant*: at connect time the store
+    learns the full proxy list of its proxy's site
+    (:meth:`AsyncKVCluster.proxy_candidates`), and when the connection dies
+    -- the proxy crashed, was killed via :meth:`AsyncKVCluster.kill_proxy`,
+    or the network dropped it -- the store re-dials the next candidate and
+    replays its in-flight rounds.  Every round forwarded through a proxy is
+    scoped by the store's *failover generation*
+    (:func:`~repro.kvstore.proxy.attempt_scoped_id`), so a straggler reply
+    relayed by the previous proxy can never be counted into a quorum
+    assembled through the next one.  When the site's proxies are exhausted
+    the store falls back to direct replica connections and keeps operating.
     """
 
     def __init__(
@@ -934,9 +1209,16 @@ class KVStore:
         base = time.monotonic()
         self.recorder = recorder or KVHistoryRecorder(lambda: time.monotonic() - base)
         self.stale_replays = 0
+        self.proxy_failovers = 0
         self.completion_hook: Optional[Any] = None
         self.use_proxy = use_proxy
+        self.retry_policy = cluster.retry_policy
         self._proxy_client: Optional[AsyncProxyClient] = None
+        self._proxy_candidates: List[str] = []
+        self._proxy_cursor = 0
+        self._proxy_generation = 0
+        self._failover_lock = asyncio.Lock()
+        self._retired_stats = BatchStats()
         self._group_clients: Dict[str, AsyncGroupClient] = {}
         self._key_locks: Dict[str, asyncio.Lock] = {}
         self._readers: Dict[str, ClientLogic] = {}
@@ -950,21 +1232,65 @@ class KVStore:
                 if self.use_proxy is True
                 else str(self.use_proxy)
             )
-            host, port = self.cluster.proxy_endpoint(proxy_id)
-            self._proxy_client = AsyncProxyClient(
-                self.client_id, proxy_id, host, port, max_batch=self.max_batch
-            )
-            await self._proxy_client.connect()
+            self._proxy_candidates = self.cluster.proxy_candidates(proxy_id)
+            self._proxy_cursor = 0
+            await self._dial_proxy(proxy_id)
             return
+        await self._connect_direct()
+
+    async def _dial_proxy(self, proxy_id: str) -> None:
+        host, port = self.cluster.proxy_endpoint(proxy_id)
+        client = AsyncProxyClient(
+            self.client_id, proxy_id, host, port, max_batch=self.max_batch
+        )
+        await client.connect()
+        self._proxy_client = client
+
+    async def _connect_direct(self) -> None:
+        # Idempotent per group (not all-or-nothing): the failover path may
+        # land here while a replica is also down, and a partial first pass
+        # must not wedge the store -- missing groups are retried on the
+        # next call, connected ones are kept.
         for group in self.cluster.shard_map.groups.values():
+            if group.group_id in self._group_clients:
+                continue
             client = AsyncGroupClient(
                 self.client_id,
                 group,
                 self.cluster.endpoints_for(group.group_id),
                 max_batch=self.max_batch,
+                retry_policy=self.retry_policy,
             )
             await client.connect()
             self._group_clients[group.group_id] = client
+
+    async def _handle_proxy_loss(self, lost_client: AsyncProxyClient) -> None:
+        """Fail over after ``lost_client`` died: next proxy, else direct.
+
+        Many concurrent operations observe the same dead connection; the
+        lock plus the identity check make the failover single-flight -- the
+        first caller moves the store, the rest see it already moved and just
+        replay.  Advancing ``_proxy_generation`` before any replay is what
+        gives the replays fresh attempt-scoped ids.
+        """
+        async with self._failover_lock:
+            if self._proxy_client is not lost_client:
+                return  # another operation already failed this client over
+            self.proxy_failovers += 1
+            self._proxy_generation += 1
+            self._proxy_client = None
+            self._retired_stats.merge(lost_client.batch_stats)
+            await lost_client.close()
+            while self._proxy_cursor + 1 < len(self._proxy_candidates):
+                self._proxy_cursor += 1
+                candidate = self._proxy_candidates[self._proxy_cursor]
+                try:
+                    await self._dial_proxy(candidate)
+                    return
+                except OSError:
+                    continue  # candidate is dead too; keep walking the site
+            # The site's proxy list is exhausted: direct replica connections.
+            await self._connect_direct()
 
     async def close(self) -> None:
         if self._proxy_client is not None:
@@ -1023,7 +1349,7 @@ class KVStore:
         return spec, group_client
 
     async def _run_op(self, kind: OpKind, key: str, value: Any = None) -> OperationOutcome:
-        if self._proxy_client is None:
+        if self._proxy_client is None and not self.use_proxy:
             spec, _ = self._resolve(key)
         else:
             spec = self.cluster.shard_map.shard_for(key)
@@ -1043,11 +1369,26 @@ class KVStore:
                 while True:
                     round_trip += 1
                     try:
-                        if self._proxy_client is not None:
+                        proxy_client = self._proxy_client
+                        if proxy_client is None and self.use_proxy and not self._group_clients:
+                            # A failover is mid-flight on another operation;
+                            # queue behind it, then route this round through
+                            # whatever ingress it settled on.
+                            async with self._failover_lock:
+                                pass
+                            continue
+                        if proxy_client is not None:
                             # The proxy owns resolution, routing, and
-                            # stale-epoch replay for this round.
-                            replies = await self._proxy_client.round_trip(
-                                key, kind.value, op_id, round_trip, request
+                            # stale-epoch replay for this round.  The op id
+                            # is scoped by the failover generation so rounds
+                            # replayed through a *different* proxy can never
+                            # mix straggler replies across proxies.
+                            replies = await proxy_client.round_trip(
+                                key,
+                                kind.value,
+                                attempt_scoped_id(op_id, self._proxy_generation),
+                                round_trip,
+                                request,
                             )
                         else:
                             # Re-resolve every round: a live resize/move
@@ -1056,6 +1397,12 @@ class KVStore:
                             replies = await group_client.round_trip(
                                 key, spec.shard_id, spec.epoch, op_id, round_trip, request
                             )
+                    except ProxyConnectionLost:
+                        # The proxy died mid-round: fail over (next proxy of
+                        # the site, else direct connections) and replay the
+                        # idempotent round through the new ingress path.
+                        await self._handle_proxy_loss(proxy_client)
+                        continue
                     except StaleShardError:
                         # The shard was rebalanced while this round was in
                         # flight.  Rounds are idempotent (queries trivially,
@@ -1071,9 +1418,9 @@ class KVStore:
                         # (a kill mid-flight).  Rounds are idempotent, so
                         # wait out the reconnect window and replay.
                         transient_retries += 1
-                        if transient_retries > MAX_TRANSIENT_RETRIES:
+                        if transient_retries > self.retry_policy.max_transient_retries:
                             raise
-                        await asyncio.sleep(RECONNECT_INTERVAL)
+                        await asyncio.sleep(self.retry_policy.reconnect_interval)
                         continue
                     request = generator.send(replies)
             except StopIteration as stop:
@@ -1094,6 +1441,7 @@ class KVStore:
         or the proxy connection, whichever is in use -- each frame counted
         once, so stores and proxies merge without double-counting)."""
         merged = BatchStats()
+        merged.merge(self._retired_stats)  # connections retired by failover
         if self._proxy_client is not None:
             merged.merge(self._proxy_client.batch_stats)
         for client in self._group_clients.values():
@@ -1252,6 +1600,9 @@ def run_asyncio_kv_workload(
     num_proxies: int = 1,
     read_policy: Optional[ReadRoutingPolicy] = None,
     proxy_max_batch: int = 64,
+    push_views: bool = True,
+    kill_proxy_after_ops: Optional[int] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> KVRunResult:
     """Run a closed-loop kv workload over loopback TCP and collect results.
 
@@ -1261,7 +1612,13 @@ def run_asyncio_kv_workload(
     operations completed (default: half the workload), with the remaining
     operations still in flight.  ``use_proxy`` starts ``num_proxies``
     ingress proxies and routes every store through one (round-robin), with
-    reads routed per ``read_policy``.
+    reads routed per ``read_policy``.  ``push_views`` has the control plane
+    push the fresh shard-map view to every proxy at each rebalance (off: the
+    proxies rely purely on stale-epoch bounces).  ``kill_proxy_after_ops``
+    kills one proxy per site once that many operations completed -- the
+    stores behind it fail over (next proxy of the site, else direct replica
+    connections) with no client-visible errors.  ``retry_policy`` tunes the
+    reconnect/failover windows of every component in the run.
     """
     clients = workload.clients
     if shard_map is None:
@@ -1280,6 +1637,8 @@ def run_asyncio_kv_workload(
             shard_map,
             service_overhead=service_overhead,
             service_per_op=service_per_op,
+            retry_policy=retry_policy,
+            push_views=push_views,
         )
         await cluster.start()
         if use_proxy:
@@ -1290,10 +1649,10 @@ def run_asyncio_kv_workload(
         recorder = KVHistoryRecorder(lambda: time.monotonic() - base)
         stores: Dict[str, KVStore] = {}
 
+        hooks: List[Any] = []
         resize_info: Optional[Dict[str, object]] = None
-        hook = None
         if resize_to is not None:
-            hook, resize_info = make_resize_trigger(
+            resize_hook, resize_info = make_resize_trigger(
                 cluster.resize,
                 lambda: recorder.completed_operations,
                 resize_to,
@@ -1301,6 +1660,35 @@ def run_asyncio_kv_workload(
                 if resize_after_ops is not None
                 else max(1, workload.total_operations() // 2),
             )
+            hooks.append(resize_hook)
+
+        kill_record: Dict[str, object] = {}
+        kill_tasks: "set[asyncio.Task]" = set()
+        if kill_proxy_after_ops is not None and use_proxy:
+
+            def kill(victim: str) -> None:
+                # Keep a strong reference: the loop holds tasks weakly, and
+                # a collected kill task would silently never sever the proxy.
+                task = asyncio.get_running_loop().create_task(
+                    cluster.kill_proxy(victim)
+                )
+                kill_tasks.add(task)
+                task.add_done_callback(kill_tasks.discard)
+
+            kill_hook, kill_record = make_proxy_kill_trigger(
+                lambda: recorder.completed_operations,
+                kill_proxy_after_ops,
+                lambda: pick_one_proxy_per_site(
+                    [(pid, proxy.site, proxy.running)
+                     for pid, proxy in cluster.proxies.items()]
+                ),
+                kill,
+            )
+            hooks.append(kill_hook)
+
+        def run_hooks() -> None:
+            for hook in hooks:
+                hook()
 
         try:
             for client_id in clients:
@@ -1311,7 +1699,7 @@ def run_asyncio_kv_workload(
                     recorder=recorder,
                     use_proxy=True if use_proxy else None,
                 )
-                store.completion_hook = hook
+                store.completion_hook = run_hooks if hooks else None
                 await store.connect()
                 stores[client_id] = store
 
@@ -1335,16 +1723,20 @@ def run_asyncio_kv_workload(
             duration = time.monotonic() - started
             batch_stats = BatchStats()
             stale = 0
+            failovers = 0
             for store in stores.values():
                 batch_stats.merge(store.batch_stats())
                 stale += store.stale_replays
+                failovers += store.proxy_failovers
             proxy_stats: Optional[BatchStats] = None
+            pushes_applied = 0
             proxies_used = len(cluster.proxies)
             if cluster.proxies:
                 proxy_stats = BatchStats()
                 for proxy in cluster.proxies.values():
                     proxy_stats.merge(proxy.batch_stats())
                     stale += proxy.stale_replays
+                    pushes_applied += proxy.view.pushes_applied
             replica_frames = sum(
                 logic.batches_served for logic in cluster.server_logics.values()
             )
@@ -1385,6 +1777,9 @@ def run_asyncio_kv_workload(
             proxy_stats=proxy_stats,
             replica_frames=replica_frames,
             replica_sub_ops=replica_sub_ops,
+            proxy_failovers=failovers,
+            view_pushes=pushes_applied,
+            proxy_kill=kill_record or None,
         )
         for history in histories.values():
             result.read_latencies.extend(

@@ -43,11 +43,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.operations import OpKind
 from ..sim.messages import ProxySubRequest
-from .sharding import ShardMap, stable_hash
+from .sharding import HashRing, ShardMap, stable_hash
 
 __all__ = [
     "ProxyRoute",
@@ -58,6 +58,9 @@ __all__ = [
     "NearestQuorum",
     "plan_round",
     "attempt_scoped_id",
+    "parse_attempt_scoped_id",
+    "pick_one_proxy_per_site",
+    "make_proxy_kill_trigger",
 ]
 
 
@@ -89,6 +92,7 @@ class CachedShardView:
     def __init__(self, shard_map: ShardMap) -> None:
         self._map = shard_map
         self.refreshes = 0
+        self.pushes_applied = 0
         self._ring = shard_map.ring
         self._routes: Dict[str, ProxyRoute] = {}
         self._take_snapshot()
@@ -124,6 +128,49 @@ class CachedShardView:
         """Re-snapshot the authoritative map after a stale-epoch bounce."""
         self.refreshes += 1
         self._take_snapshot()
+
+    def apply_push(self, view: Mapping[str, Any]) -> bool:
+        """Adopt a control-plane view push; returns ``False`` for stale pushes.
+
+        ``view`` is a :meth:`~repro.kvstore.sharding.ShardMap.view_snapshot`
+        payload carried by a :data:`~repro.sim.messages.VIEW_PUSH_KIND`
+        frame.  Unlike :meth:`refresh` this needs *no* access to the
+        authoritative map -- the push carries everything the view routes on,
+        which is what makes it a real state transfer in a multi-process
+        deployment.  Pushes may be reordered against refreshes and against
+        each other, so the view only moves forward: a push whose ring epoch
+        is behind the snapshot's is dropped, and per shard the fresher of
+        the pushed and cached fencing epochs wins.
+        """
+        pushed_ring_epoch = int(view["ring_epoch"])
+        if pushed_ring_epoch < self._ring.epoch:
+            return False
+        shard_ids = list(view["shard_ids"])
+        if pushed_ring_epoch > self._ring.epoch or set(shard_ids) != set(self._routes):
+            # Ring construction is deterministic in (shard ids, virtual
+            # nodes), so the rebuilt ring is identical to the control plane's.
+            self._ring = HashRing(
+                shard_ids,
+                virtual_nodes=int(view.get("virtual_nodes", self._ring.virtual_nodes)),
+                epoch=pushed_ring_epoch,
+            )
+        routes: Dict[str, ProxyRoute] = {}
+        for shard_id in shard_ids:
+            entry = view["routes"][shard_id]
+            pushed = ProxyRoute(
+                shard_id=shard_id,
+                epoch=int(entry["epoch"]),
+                group_id=str(entry["group"]),
+                servers=tuple(entry["servers"]),
+                quorum_size=int(entry["quorum"]),
+            )
+            cached = self._routes.get(shard_id)
+            routes[shard_id] = (
+                cached if cached is not None and cached.epoch > pushed.epoch else pushed
+            )
+        self._routes = routes
+        self.pushes_applied += 1
+        return True
 
 
 class ReadRoutingPolicy(abc.ABC):
@@ -270,10 +317,82 @@ def plan_round(
 
 
 def attempt_scoped_id(op_id: str, attempt: int) -> str:
-    """The replica-leg operation id for one attempt of one forwarded round.
+    """The downstream operation id for one attempt of one forwarded round.
 
     Scoping the id per attempt is what keeps replays safe: a straggler reply
     to an earlier attempt (possibly served by the *pre*-rebalance owner
-    group) can never be counted into a later attempt's quorum.
+    group, or relayed by a since-failed proxy) can never be counted into a
+    later attempt's quorum.
+
+    The encoding must be injective over ``(op_id, attempt)`` pairs even when
+    the caller-supplied id itself contains the separator -- which happens
+    routinely now that scoping *nests*: a client scopes per proxy-failover
+    generation and the proxy scopes the result again per replay attempt.  A
+    naive ``f"{op_id}@a{attempt}"`` makes ``("x", 1)`` scoped by a second
+    level indistinguishable from ``("x@a1", ...)`` scoped once, so the op id
+    is percent-escaped first (``%`` then ``@``), leaving the final ``@`` as
+    the one unambiguous separator.  :func:`parse_attempt_scoped_id` inverts
+    it exactly.
     """
-    return f"{op_id}@a{attempt}"
+    if attempt < 0:
+        raise ValueError("attempt must be non-negative")
+    encoded = op_id.replace("%", "%25").replace("@", "%40")
+    return f"{encoded}@a{attempt}"
+
+
+def parse_attempt_scoped_id(scoped: str) -> Tuple[str, int]:
+    """Inverse of :func:`attempt_scoped_id`: the ``(op_id, attempt)`` pair."""
+    encoded, separator, attempt = scoped.partition("@")
+    if not separator or not attempt.startswith("a") or not attempt[1:].isdigit():
+        raise ValueError(f"not an attempt-scoped id: {scoped!r}")
+    return encoded.replace("%40", "@").replace("%25", "%"), int(attempt[1:])
+
+
+def pick_one_proxy_per_site(
+    proxies: Sequence[Tuple[str, Optional[str], bool]],
+) -> List[str]:
+    """One live proxy id per site from ``(proxy_id, site, alive)`` triples.
+
+    The victim-selection rule of the proxy-kill fault experiments: killing
+    one proxy *per site* exercises every site's failover path while leaving
+    each site's remaining candidates (or the direct fallback) to absorb the
+    traffic.  ``site=None`` rows all share one implicit site.
+    """
+    victims: List[str] = []
+    sites_hit = set()
+    for proxy_id, site, alive in proxies:
+        if not alive or site in sites_hit:
+            continue
+        sites_hit.add(site)
+        victims.append(proxy_id)
+    return victims
+
+
+def make_proxy_kill_trigger(
+    completed_ops: Callable[[], int],
+    threshold: int,
+    victims: Callable[[], List[str]],
+    kill: Callable[[str], None],
+) -> Tuple[Callable[[], None], Dict[str, object]]:
+    """A fire-once completion hook that kills proxies mid-workload.
+
+    The shared shape of both backends' ``kill_proxy_after_ops`` option
+    (mirroring :func:`~repro.kvstore.migration.make_resize_trigger`): once
+    ``completed_ops()`` reaches ``threshold`` it calls ``kill`` for each id
+    ``victims()`` returns -- typically :func:`pick_one_proxy_per_site` over
+    the cluster's live proxies -- exactly once, and fills the returned
+    record with ``{"killed": [...], "at_ops": N}``.
+    """
+    record: Dict[str, object] = {}
+    state = {"fired": False}
+
+    def hook() -> None:
+        if state["fired"] or completed_ops() < threshold:
+            return
+        state["fired"] = True
+        chosen = victims()
+        record.update({"killed": chosen, "at_ops": completed_ops()})
+        for victim in chosen:
+            kill(victim)
+
+    return hook, record

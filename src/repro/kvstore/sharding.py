@@ -28,8 +28,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 from dataclasses import dataclass, field
-from functools import lru_cache
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Sequence
 
 from ..core.errors import ConfigurationError
 from ..protocols.base import RegisterProtocol
@@ -39,6 +38,7 @@ from .placement import PlacementPolicy, ReplicaGroup, RoundRobinPlacement
 __all__ = [
     "stable_hash",
     "HashRing",
+    "OwnerCacheInfo",
     "ShardSpec",
     "ShardMap",
     "ResizePlan",
@@ -56,16 +56,31 @@ def stable_hash(text: str) -> int:
     return int.from_bytes(digest, "big")
 
 
+class OwnerCacheInfo(NamedTuple):
+    """Statistics of the memoized ``HashRing.owner_of`` lookup."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
 class HashRing:
     """A consistent-hash ring of shard ids with virtual nodes.
 
     Rings are immutable; a resize builds a *new* ring with ``epoch + 1``.
-    ``owner_of`` is memoized per ring instance with an LRU cache -- since the
+    ``owner_of`` is memoized per ring instance in a plain dict -- since the
     ring never mutates, a cached entry is valid for the ring's whole
-    lifetime, so the effective cache key is (ring epoch, key).  The hash +
+    lifetime, so the memo is scoped to exactly one ring epoch.  The hash +
     bisect resolution sits on the hot path of every operation in both
     backends; the cache turns the repeated-key case (Zipf-popular workloads)
     into a dict hit.
+
+    The memo deliberately avoids ``functools.lru_cache`` over a bound
+    method: that wrapper closes over ``self`` and is stored *on* ``self``,
+    a reference cycle that kept superseded rings (and their point arrays)
+    alive past an epoch change until a full gc pass.  A dict of plain
+    strings has no back-reference, so a replaced ring frees on refcount.
     """
 
     def __init__(
@@ -88,7 +103,10 @@ class HashRing:
         points.sort()
         self._hashes = [point for point, _ in points]
         self._owners = [owner for _, owner in points]
-        self._owner_cached = lru_cache(maxsize=owner_cache_size)(self._resolve)
+        self._owner_cache: Dict[str, str] = {}
+        self._owner_cache_size = owner_cache_size
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     def points_of(self, shard_id: str) -> List[int]:
         """The ring positions of ``shard_id``'s virtual nodes."""
@@ -109,11 +127,31 @@ class HashRing:
 
     def owner_of(self, key: str) -> str:
         """The shard owning ``key``: first ring point clockwise of its hash."""
-        return self._owner_cached(key)
+        owner = self._owner_cache.get(key)
+        if owner is not None:
+            self._cache_hits += 1
+            return owner
+        self._cache_misses += 1
+        if len(self._owner_cache) >= self._owner_cache_size:
+            self._owner_cache.clear()
+        owner = self._resolve(key)
+        self._owner_cache[key] = owner
+        return owner
 
-    def cache_info(self):
-        """LRU statistics of the memoized ``owner_of`` (for tests/benchmarks)."""
-        return self._owner_cached.cache_info()
+    def clear_owner_cache(self) -> None:
+        """Drop the memo (``ShardMap`` calls this when a ring is superseded,
+        so a retained old ring -- e.g. inside a :class:`ResizePlan` -- holds
+        only its point arrays, not a key cache nobody will hit again)."""
+        self._owner_cache.clear()
+
+    def cache_info(self) -> OwnerCacheInfo:
+        """Statistics of the memoized ``owner_of`` (for tests/benchmarks)."""
+        return OwnerCacheInfo(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            maxsize=self._owner_cache_size,
+            currsize=len(self._owner_cache),
+        )
 
 
 @dataclass
@@ -291,6 +329,32 @@ class ShardMap:
             "ring_epoch": self.ring_epoch,
         }
 
+    def view_snapshot(self) -> Dict[str, Any]:
+        """The routing state a remote view cache needs, as a JSON-safe dict.
+
+        This is the payload of a control-plane *view push*
+        (:func:`repro.sim.messages.make_view_push`): the ring's shard ids and
+        epoch (enough to rebuild an identical :class:`HashRing` -- ring
+        construction is deterministic) plus each shard's fencing epoch,
+        hosting group and quorum size.  A
+        :class:`~repro.kvstore.proxy.CachedShardView` applies it with
+        :meth:`~repro.kvstore.proxy.CachedShardView.apply_push`.
+        """
+        return {
+            "ring_epoch": self.ring.epoch,
+            "virtual_nodes": self.virtual_nodes,
+            "shard_ids": list(self.shards),
+            "routes": {
+                shard_id: {
+                    "epoch": spec.epoch,
+                    "group": spec.group.group_id,
+                    "servers": list(spec.group.servers),
+                    "quorum": spec.quorum_size,
+                }
+                for shard_id, spec in self.shards.items()
+            },
+        }
+
     # -- live rebalancing ------------------------------------------------------
 
     def _rebuild_ring(self) -> HashRing:
@@ -352,6 +416,7 @@ class ShardMap:
             # need fencing -- and those bounce as "not hosted" after the
             # migration evicts them.
 
+        old_ring.clear_owner_cache()  # the superseded epoch's memo is dead weight
         self.ring = new_ring
         plan.new_ring = new_ring
         return plan
@@ -377,4 +442,8 @@ class ShardMap:
             )
         spec.group = new_group
         spec.epoch += 1
+        # Key->shard ownership is untouched, but drop the memo anyway so a
+        # view rebuilt from this map can never pair a cached owner with a
+        # pre-move route by accident.
+        self.ring.clear_owner_cache()
         return MovePlan(spec=spec, old_group=old_group, new_group=new_group)

@@ -44,18 +44,19 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional, Set
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..core.errors import ProtocolError
 from ..core.operations import OpKind, new_op_id
 from ..protocols.base import Broadcast, ClientLogic, OperationOutcome
-from ..sim.clock import EventQueue
+from ..sim.clock import EventQueue, ScheduledEvent
 from ..sim.delays import ConstantDelay, DelayModel
 from ..sim.failures import CrashPlan, FailureInjector
 from ..sim.messages import (
     BATCH_ACK_KIND,
     PROXY_ACK_KIND,
     PROXY_KIND,
+    VIEW_PUSH_KIND,
     Message,
     ProxySubReply,
     ProxySubRequest,
@@ -63,9 +64,11 @@ from ..sim.messages import (
     make_batch,
     make_proxy_ack,
     make_proxy_request,
+    make_view_push,
     unpack_batch_ack,
     unpack_proxy_ack,
     unpack_proxy_request,
+    unpack_view_push,
 )
 from ..sim.network import Network
 from ..sim.process import Process
@@ -82,6 +85,8 @@ from .proxy import (
     ProxyRoute,
     ReadRoutingPolicy,
     attempt_scoped_id,
+    make_proxy_kill_trigger,
+    pick_one_proxy_per_site,
     plan_round,
 )
 from .migration import (
@@ -201,6 +206,11 @@ class ProxyProcess(Process):
                 self._dispatch(_ProxyPending(client=message.sender, sub=sub))
         elif message.kind == BATCH_ACK_KIND:
             self._on_replica_ack(message)
+        elif message.kind == VIEW_PUSH_KIND:
+            # Control-plane push at a live rebalance: adopt the fresh view
+            # so subsequent rounds route correctly on the first attempt
+            # instead of paying a stale-epoch bounce each.
+            self.view.apply_push(unpack_view_push(message))
 
     def _dispatch(self, pending: _ProxyPending) -> None:
         """Route one round (fresh or replayed) through the current view."""
@@ -327,6 +337,17 @@ class _PendingKVOp:
     request: Optional[Broadcast] = None
     replies: List[Message] = field(default_factory=list)
     on_complete: Optional[Callable[[OperationOutcome], None]] = None
+    #: The failover-generation-scoped op id this round was last forwarded
+    #: under (proxy mode only); the key into the proxy-rounds table.
+    proxy_op_id: Optional[str] = None
+
+
+#: How long (virtual time) a client waits with proxy rounds outstanding and
+#: no proxy ack arriving before it declares the proxy dead and fails over.
+#: Generous by design: a merely *slow* proxy (e.g. WAN replica legs under a
+#: geo delay model) resets the watchdog with every ack it does deliver, so
+#: only a silent proxy -- crashed, its traffic dropped -- trips it.
+PROXY_FAILOVER_TIMEOUT = 200.0
 
 
 class KVClientProcess(Process):
@@ -337,6 +358,18 @@ class KVClientProcess(Process):
     (for any shard, any group) coalesce into one ``"proxy"`` frame per
     flush, the proxy owns shard resolution and stale-epoch replay, and each
     round comes back as one ``"proxy-ack"`` carrying the whole quorum.
+
+    The proxy leg is fault-tolerant: ``proxy_candidates`` is the full proxy
+    list of the client's site, and a watchdog on the virtual clock detects a
+    proxy that stops answering (crashed via the failure injector -- the
+    simulated network drops its traffic silently, so there is no connection
+    reset to observe).  On failover the client advances to the next
+    candidate -- or to **direct replica connections** when the site's list
+    is exhausted -- and replays every in-flight round.  Replayed rounds are
+    forwarded under a fresh failover *generation* scope
+    (:func:`~repro.kvstore.proxy.attempt_scoped_id`), so an ack relayed by
+    the previous proxy can never complete a round re-issued through the
+    next one.
     """
 
     def __init__(
@@ -349,20 +382,38 @@ class KVClientProcess(Process):
         flush_delay: float = 0.0,
         completion_hook: Optional[Callable[[], None]] = None,
         proxy_id: Optional[str] = None,
+        proxy_candidates: Optional[List[str]] = None,
+        proxy_timeout: float = PROXY_FAILOVER_TIMEOUT,
     ) -> None:
         super().__init__(client_id)
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
+        if proxy_timeout <= 0:
+            raise ValueError("proxy_timeout must be positive")
         self.shard_map = shard_map
         self.recorder = recorder
         self.events = events
         self.max_batch = max_batch
         self.flush_delay = flush_delay
         self.completion_hook = completion_hook
-        self.proxy_id = proxy_id
+        if proxy_candidates:
+            self._proxy_candidates = list(proxy_candidates)
+            self.proxy_id: Optional[str] = self._proxy_candidates[0]
+            if proxy_id is not None and proxy_id != self.proxy_id:
+                raise ValueError("proxy_id must head proxy_candidates")
+        else:
+            self._proxy_candidates = [proxy_id] if proxy_id is not None else []
+            self.proxy_id = proxy_id
+        self.proxy_timeout = proxy_timeout
+        self.proxy_failovers = 0
         self.batch_stats = BatchStats()
         self.completed_operations = 0
         self.stale_replays = 0
+        self._proxy_cursor = 0
+        self._proxy_generation = 0
+        self._proxy_rounds: Dict[Tuple[str, int], _PendingKVOp] = {}
+        self._proxy_acks_seen = 0
+        self._watchdog: Optional[ScheduledEvent] = None
         self._readers: Dict[str, ClientLogic] = {}
         self._writers: Dict[str, ClientLogic] = {}
         self._logic_homes: Dict[str, str] = {}
@@ -545,21 +596,28 @@ class KVClientProcess(Process):
             self.events.schedule(0.0, lambda: self._flush(queue_key), label="kv-flush")
         self.batch_stats.record(len(batch))
         if self.proxy_id is not None:
-            subs = [
-                ProxySubRequest(
-                    key=op.key,
-                    op_kind=op.kind.value,
-                    kind=op.request.kind,
-                    payload=op.request.payload,
-                    op_id=op.op_id,
-                    round_trip=op.round_trip,
-                    wait_for=op.request.wait_for,
-                    per_server=op.request.per_server_payload or None,
+            subs = []
+            for op in batch:
+                # Scope the forwarded id by the failover generation: should
+                # this round be replayed through a different proxy, replies
+                # relayed by the old one miss the new key and are dropped.
+                op.proxy_op_id = attempt_scoped_id(op.op_id, self._proxy_generation)
+                self._proxy_rounds[(op.proxy_op_id, op.round_trip)] = op
+                subs.append(
+                    ProxySubRequest(
+                        key=op.key,
+                        op_kind=op.kind.value,
+                        kind=op.request.kind,
+                        payload=op.request.payload,
+                        op_id=op.proxy_op_id,
+                        round_trip=op.round_trip,
+                        wait_for=op.request.wait_for,
+                        per_server=op.request.per_server_payload or None,
+                    )
                 )
-                for op in batch
-            ]
             self.batch_stats.record_frames(sent=1)
             self.send(make_proxy_request(self.process_id, self.proxy_id, subs))
+            self._arm_watchdog()
             return
         group = batch[0].spec.group
         for server_id in group.servers:
@@ -582,15 +640,86 @@ class KVClientProcess(Process):
             self.batch_stats.record_frames(sent=1)
             self.send(make_batch(self.process_id, server_id, subs))
 
+    # -- proxy failover ----------------------------------------------------------
+
+    def _arm_watchdog(self) -> None:
+        """Watch for a proxy that stops answering while rounds are out.
+
+        The simulated network drops a crashed process's traffic *silently*,
+        so proxy death has no connection-reset edge to observe; instead, a
+        single cancellable event fires ``proxy_timeout`` after the last arm.
+        Progress (any proxy ack) re-arms it; rounds all completing cancels
+        it (so an idle client schedules nothing and quiescence-driven runs
+        terminate at the workload's natural end).  Only a proxy that is
+        silent for the whole window -- with rounds still outstanding --
+        trips failover, and a spurious trip is merely wasteful, never
+        unsafe: rounds are idempotent and replays are generation-scoped.
+        """
+        if self._watchdog is not None or self.proxy_id is None or not self._proxy_rounds:
+            return
+        acks_at_arm = self._proxy_acks_seen
+
+        def check() -> None:
+            self._watchdog = None
+            if self.proxy_id is None or not self._proxy_rounds:
+                return
+            if self._proxy_acks_seen > acks_at_arm:
+                self._arm_watchdog()  # alive, just slow: watch another window
+                return
+            self._failover_proxy()
+
+        self._watchdog = self.events.schedule(
+            self.proxy_timeout, check, label=f"proxy-watchdog:{self.process_id}"
+        )
+
+    def _disarm_watchdog(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
+
+    def _failover_proxy(self) -> None:
+        """The current proxy is dead: advance the ingress path and replay.
+
+        The next candidate of the site takes over; with the list exhausted,
+        ``proxy_id`` drops to ``None`` and the client broadcasts to replica
+        groups directly (the pre-proxy data path, always available because
+        proxies hold no register state).  Every in-flight round is
+        re-dispatched -- re-resolved against the live shard map, re-batched,
+        and forwarded under the bumped generation scope.
+        """
+        self.proxy_failovers += 1
+        self._proxy_generation += 1
+        self._disarm_watchdog()
+        self._proxy_cursor += 1
+        if self._proxy_cursor < len(self._proxy_candidates):
+            self.proxy_id = self._proxy_candidates[self._proxy_cursor]
+        else:
+            self.proxy_id = None
+        inflight = list(self._proxy_rounds.values())
+        self._proxy_rounds.clear()
+        queued = self._group_queue.pop("@proxy", [])
+        self._flush_scheduled.discard("@proxy")
+        for pending in inflight:
+            pending.proxy_op_id = None
+            self._dispatch_round(pending)
+        for pending in queued:
+            # Never sent: no fresh attempt needed, just requeue at the new
+            # ingress (or the owner group, when falling back to direct).
+            pending.proxy_op_id = None
+            self._enqueue(pending)
+
     # -- network events --------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
         if message.kind == PROXY_ACK_KIND:
             self.batch_stats.record_frames(received=1)
+            self._proxy_acks_seen += 1
             for sub_reply in unpack_proxy_ack(message):
-                pending = self._active.get(sub_reply.op_id)
-                if pending is None or sub_reply.round_trip != pending.round_trip:
-                    continue  # straggler from an earlier round-trip
+                pending = self._proxy_rounds.pop(
+                    (sub_reply.op_id, sub_reply.round_trip), None
+                )
+                if pending is None:
+                    continue  # straggler from a completed or replayed attempt
                 if sub_reply.error is not None:
                     raise ProtocolError(
                         f"proxy failed operation {sub_reply.op_id}: {sub_reply.error}"
@@ -601,6 +730,8 @@ class KVClientProcess(Process):
                 pending.replies = list(sub_reply.replies)
                 pending.wait_for = len(pending.replies)
                 self._advance(pending)
+            if not self._proxy_rounds:
+                self._disarm_watchdog()
             return
         if message.kind != BATCH_ACK_KIND:
             return
@@ -649,6 +780,16 @@ class KVFailureInjector:
             server_id, time
         )
 
+    def schedule_proxy_crash(self, proxy_id: str, time: float) -> CrashPlan:
+        """Crash an ingress proxy at ``time``.
+
+        Proxies are stateless relays outside every group's ``t`` budget --
+        killing one loses no register state and no quorum member, which is
+        exactly why clients can ride it out by failing over.
+        """
+        self.cluster.schedule_proxy_crash(proxy_id, time)
+        return CrashPlan(proxy_id, time)
+
     def schedule_random_crashes(
         self, per_group: int, horizon: float, rng: SeededRng
     ) -> List[CrashPlan]:
@@ -678,7 +819,21 @@ class KVFailureInjector:
 
 
 class SimKVCluster:
-    """All replica groups of a :class:`ShardMap` plus clients on one clock."""
+    """All replica groups of a :class:`ShardMap` plus clients on one clock.
+
+    ``sites`` (optional, the process->site shape ``GeoDelay`` takes) makes
+    the ingress tier site-aware: each client is assigned a proxy of its own
+    site when one exists, and its failover candidate list is restricted to
+    that site's proxies -- exhausting them drops the client to direct
+    replica connections.  Without sites, all proxies form one site.
+
+    ``push_views`` has the control plane push the fresh shard-map view to
+    every live proxy at each :meth:`resize`/:meth:`move_shard` (one
+    ``view-push`` frame per proxy through the simulated network), so in the
+    steady state a rebalance costs the proxies zero stale-epoch replays;
+    the epoch-fence bounce remains as the safety net for rounds already in
+    flight and for pushes racing them.
+    """
 
     def __init__(
         self,
@@ -693,12 +848,19 @@ class SimKVCluster:
         read_policy: Optional[ReadRoutingPolicy] = None,
         proxy_max_batch: int = 64,
         proxy_flush_delay: float = 0.0,
+        sites: Optional[Mapping[str, str]] = None,
+        push_views: bool = True,
+        proxy_timeout: float = PROXY_FAILOVER_TIMEOUT,
     ) -> None:
         self.shard_map = shard_map
         self.events = EventQueue()
         self.network = Network(self.events, delay_model or ConstantDelay())
         self.recorder = KVHistoryRecorder(lambda: self.events.clock.now)
         self.migrations: List[MigrationReport] = []
+        self.sites = dict(sites) if sites else {}
+        self.push_views = push_views
+        self.view_pushes_sent = 0
+        self.crashed_proxies: Set[str] = set()
         self._completion_watchers: List[Callable[[], None]] = []
         self.replicas: Dict[str, BatchReplicaProcess] = {}
         for group in shard_map.groups.values():
@@ -728,7 +890,6 @@ class SimKVCluster:
             )
             proxy.attach(self.network)
             self.proxies[proxy.process_id] = proxy
-        proxy_ids = list(self.proxies)
         self.clients: Dict[str, KVClientProcess] = {}
         for index, client_id in enumerate(client_ids):
             client = KVClientProcess(
@@ -739,10 +900,29 @@ class SimKVCluster:
                 max_batch=max_batch,
                 flush_delay=flush_delay,
                 completion_hook=self._notify_completion,
-                proxy_id=proxy_ids[index % len(proxy_ids)] if proxy_ids else None,
+                proxy_candidates=self._candidates_for(client_id, index),
+                proxy_timeout=proxy_timeout,
             )
             client.attach(self.network)
             self.clients[client_id] = client
+
+    def _candidates_for(self, client_id: str, index: int) -> List[str]:
+        """The client's proxy failover list: its site's proxies, rotated.
+
+        Rotation by client index both spreads the initial assignment
+        (round-robin, as before) and staggers failover targets so one proxy
+        death does not stampede every orphaned client onto the same sibling.
+        """
+        proxy_ids = list(self.proxies)
+        if not proxy_ids:
+            return []
+        site = self.sites.get(client_id)
+        if site is not None:
+            same_site = [p for p in proxy_ids if self.sites.get(p) == site]
+            if same_site:
+                proxy_ids = same_site
+        start = index % len(proxy_ids)
+        return proxy_ids[start:] + proxy_ids[:start]
 
     # -- live control plane ----------------------------------------------------
 
@@ -755,6 +935,7 @@ class SimKVCluster:
         plan = self.shard_map.resize(new_num_shards)
         report = apply_resize_plan(plan, self.shard_map, self.server_logics)
         self.migrations.append(report)
+        self._push_view_update()
         return report
 
     def schedule_resize(self, new_num_shards: int, at: float) -> None:
@@ -768,7 +949,45 @@ class SimKVCluster:
         plan = self.shard_map.move_shard(shard_id, group_id)
         report = apply_move_plan(plan, self.server_logics)
         self.migrations.append(report)
+        self._push_view_update()
         return report
+
+    def _push_view_update(self) -> None:
+        """One ``view-push`` frame per proxy through the simulated network.
+
+        Sent at the cutover, delivered per the delay model: pushes scheduled
+        *before* any post-cutover client round at the same timestamp are
+        processed first (the event queue is FIFO among simultaneous events),
+        so steady-state traffic after a rebalance routes fresh on its first
+        attempt.  Crashed proxies' pushes are dropped by the network like
+        all their traffic.
+        """
+        if not self.push_views or not self.proxies:
+            return
+        view = self.shard_map.view_snapshot()
+        for proxy_id in self.proxies:
+            self.view_pushes_sent += 1
+            self.network.send(make_view_push("control-plane", proxy_id, view))
+
+    def crash_proxy(self, proxy_id: str) -> None:
+        """Crash an ingress proxy *now*: the network drops its traffic.
+
+        Proxies hold no register state, so no drain is needed; clients
+        behind it detect the silence via their failover watchdog, re-dial a
+        sibling of the site (or go direct), and replay in-flight rounds.
+        """
+        if proxy_id not in self.proxies:
+            raise KeyError(f"unknown proxy {proxy_id!r}")
+        self.network.crash(proxy_id)
+        self.crashed_proxies.add(proxy_id)
+
+    def schedule_proxy_crash(self, proxy_id: str, at: float) -> None:
+        """Crash ``proxy_id`` at virtual time ``at`` (mid-run, under load)."""
+        if proxy_id not in self.proxies:
+            raise KeyError(f"unknown proxy {proxy_id!r}")
+        self.events.schedule_at(
+            at, lambda: self.crash_proxy(proxy_id), label=f"crash:{proxy_id}"
+        )
 
     def schedule_move(self, shard_id: str, group_id: str, at: float) -> None:
         self.events.schedule_at(
@@ -823,6 +1042,12 @@ class SimKVCluster:
             proxy.stale_replays for proxy in self.proxies.values()
         )
 
+    def proxy_failovers(self) -> int:
+        return sum(client.proxy_failovers for client in self.clients.values())
+
+    def view_pushes_applied(self) -> int:
+        return sum(proxy.view.pushes_applied for proxy in self.proxies.values())
+
 
 def run_sim_kv_workload(
     workload: KVWorkload,
@@ -847,6 +1072,10 @@ def run_sim_kv_workload(
     read_policy: Optional[ReadRoutingPolicy] = None,
     proxy_max_batch: int = 64,
     proxy_flush_delay: float = 0.0,
+    sites: Optional[Mapping[str, str]] = None,
+    push_views: bool = True,
+    kill_proxy_after_ops: Optional[int] = None,
+    proxy_timeout: float = PROXY_FAILOVER_TIMEOUT,
 ) -> KVRunResult:
     """Run a closed-loop kv workload on the simulator and collect results.
 
@@ -859,7 +1088,11 @@ def run_sim_kv_workload(
     site-local ingress proxies (assigned round-robin) which merge rounds
     across clients and route reads per ``read_policy``; with crash
     injection, keep the default broadcast policy (or a ``spare`` >= the
-    fault budget) so read rounds stay live.
+    fault budget) so read rounds stay live.  ``push_views`` pushes the
+    shard-map view to every proxy at each live rebalance (off: bounce-only
+    refresh); ``kill_proxy_after_ops`` crashes one proxy per site once that
+    many operations completed, exercising the clients' failover path --
+    operations keep completing with no client-visible errors.
     """
     clients = workload.clients
     if shard_map is None:
@@ -884,7 +1117,23 @@ def run_sim_kv_workload(
         read_policy=read_policy,
         proxy_max_batch=proxy_max_batch,
         proxy_flush_delay=proxy_flush_delay,
+        sites=sites,
+        push_views=push_views,
+        proxy_timeout=proxy_timeout,
     )
+
+    kill_record: Dict[str, object] = {}
+    if kill_proxy_after_ops is not None and use_proxy:
+        kill_hook, kill_record = make_proxy_kill_trigger(
+            lambda: cluster.recorder.completed_operations,
+            kill_proxy_after_ops,
+            lambda: pick_one_proxy_per_site(
+                [(pid, cluster.sites.get(pid), pid not in cluster.crashed_proxies)
+                 for pid in cluster.proxies]
+            ),
+            cluster.crash_proxy,
+        )
+        cluster.add_completion_watcher(kill_hook)
 
     resize_info: Optional[Dict[str, object]] = None
     if resize_to is not None:
@@ -945,6 +1194,9 @@ def run_sim_kv_workload(
         proxy_stats=cluster.proxy_stats() if cluster.proxies else None,
         replica_frames=cluster.replica_request_frames(),
         replica_sub_ops=cluster.replica_sub_ops(),
+        proxy_failovers=cluster.proxy_failovers(),
+        view_pushes=cluster.view_pushes_applied(),
+        proxy_kill=kill_record or None,
     )
     for history in histories.values():
         result.read_latencies.extend(

@@ -128,6 +128,15 @@ class KVRunResult:
     #: replica-side *work*; nearest-quorum read routing shrinks this even
     #: when merge-window dynamics keep frame counts comparable.
     replica_sub_ops: int = 0
+    #: Proxy failovers the clients performed (a dead proxy re-dialed to a
+    #: sibling of its site, or a fall-back to direct replica connections).
+    proxy_failovers: int = 0
+    #: Control-plane view pushes the proxies applied (live rebalances made
+    #: visible proactively instead of via stale-epoch bounces).
+    view_pushes: int = 0
+    #: Record of an injected proxy kill ({"killed": [...], "at_ops": N})
+    #: when the run was asked to kill one proxy per site mid-run.
+    proxy_kill: Optional[Dict[str, object]] = None
 
     def throughput(self) -> float:
         """Completed operations per time unit."""

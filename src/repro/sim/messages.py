@@ -48,6 +48,10 @@ __all__ = [
     "unpack_proxy_request",
     "make_proxy_ack",
     "unpack_proxy_ack",
+    "VIEW_PUSH_KIND",
+    "VIEW_PUSH_ACK_KIND",
+    "make_view_push",
+    "unpack_view_push",
 ]
 
 _message_counter = itertools.count(1)
@@ -401,3 +405,42 @@ def unpack_proxy_ack(message: Message) -> List[ProxySubReply]:
             )
         )
     return subs
+
+
+# -- view push frames (control plane -> proxies) --------------------------------
+
+#: Kind of a control-plane frame pushing a fresh shard-map view to a proxy.
+VIEW_PUSH_KIND = "view-push"
+#: Kind of the proxy's acknowledgement that the pushed view was applied.
+VIEW_PUSH_ACK_KIND = "view-push-ack"
+
+#: The fields a pushed view must carry (see ``ShardMap.view_snapshot``).
+_VIEW_FIELDS = ("ring_epoch", "virtual_nodes", "shard_ids", "routes")
+
+
+def make_view_push(sender: str, receiver: str, view: Dict[str, Any]) -> Message:
+    """Pack one shard-map view delta into a control-plane push frame.
+
+    ``view`` is a :meth:`~repro.kvstore.sharding.ShardMap.view_snapshot`
+    dict.  The control plane sends one push per proxy on every live
+    ``resize()``/``move_shard()`` so proxies re-route *proactively* -- one
+    message per proxy per rebalance instead of one stale-epoch bounce (and
+    replayed round) per proxy; the bounce fence stays in place as the safety
+    net for pushes that race in-flight frames or get lost.
+    """
+    missing = [field_name for field_name in _VIEW_FIELDS if field_name not in view]
+    if missing:
+        raise ValueError(f"view push is missing fields: {missing}")
+    return Message(
+        sender=sender,
+        receiver=receiver,
+        kind=VIEW_PUSH_KIND,
+        payload={"view": view},
+    )
+
+
+def unpack_view_push(message: Message) -> Dict[str, Any]:
+    """Inverse of :func:`make_view_push`: the pushed view snapshot."""
+    if message.kind != VIEW_PUSH_KIND:
+        raise ValueError(f"not a view push frame: kind={message.kind!r}")
+    return message.payload["view"]

@@ -1,0 +1,413 @@
+"""Tests for resilient ingress: proxy failover + control-plane view push.
+
+Covers the two halves of the fault-tolerant proxy tier on both backends:
+
+* **Failover** -- a client whose ingress proxy dies mid-round re-dials
+  another proxy of the same site (or falls back to direct replica
+  connections when the site's list is exhausted) and replays its in-flight
+  rounds under a fresh attempt scope, with per-key atomicity intact -- also
+  concurrently with a live resize and replica crash injection.
+* **View push** -- the control plane pushes ring/epoch deltas to the
+  proxies at each rebalance, so a steady-state resize costs zero
+  stale-epoch replays (the bounce fence stays on as the safety net).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kvstore import (
+    AsyncKVCluster,
+    KVOp,
+    KVStore,
+    KVWorkload,
+    RetryPolicy,
+    ShardMap,
+    SimKVCluster,
+    attempt_scoped_id,
+    check_per_key_atomicity,
+    generate_workload,
+    parse_attempt_scoped_id,
+    run_asyncio_kv_workload,
+    run_sim_kv_workload,
+)
+
+#: Shrinks every reconnect/failover window so kill/restart scenarios settle
+#: in well under a second instead of sleeping out the ~5 s default.
+FAST_RETRY = RetryPolicy(
+    reconnect_interval=0.02,
+    max_transient_retries=50,
+    round_timeout=1.0,
+    max_round_timeouts=3,
+)
+
+
+class TestAttemptScopedIds:
+    @settings(max_examples=80, deadline=None)
+    @given(op_id=st.text(max_size=40), attempt=st.integers(0, 10**9))
+    def test_round_trip(self, op_id, attempt):
+        scoped = attempt_scoped_id(op_id, attempt)
+        assert parse_attempt_scoped_id(scoped) == (op_id, attempt)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(st.text(max_size=20), st.integers(0, 999)),
+            min_size=2,
+            max_size=6,
+            unique=True,
+        )
+    )
+    def test_distinct_pairs_never_collide(self, pairs):
+        scoped = [attempt_scoped_id(op_id, attempt) for op_id, attempt in pairs]
+        assert len(set(scoped)) == len(pairs)
+
+    def test_nested_scoping_parses_level_by_level(self):
+        # The client scopes per failover generation, the proxy scopes the
+        # result again per replay attempt; each level must peel off exactly.
+        once = attempt_scoped_id("c1-read-7", 3)
+        twice = attempt_scoped_id(once, 5)
+        assert parse_attempt_scoped_id(twice) == (once, 5)
+        assert parse_attempt_scoped_id(once) == ("c1-read-7", 3)
+
+    def test_separator_in_op_id_stays_unambiguous(self):
+        # An op id that *looks* already scoped must not be confused with a
+        # genuinely nested scope of its prefix.
+        assert attempt_scoped_id("op@a1", 2) != f"op@a1@a2"
+        assert parse_attempt_scoped_id(attempt_scoped_id("op@a1", 2)) == ("op@a1", 2)
+        assert parse_attempt_scoped_id(attempt_scoped_id("%40@a", 0)) == ("%40@a", 0)
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_attempt_scoped_id("no-separator")
+        with pytest.raises(ValueError):
+            parse_attempt_scoped_id("op@anan")
+        with pytest.raises(ValueError):
+            attempt_scoped_id("op", -1)
+
+
+def _manual_sim_ops(cluster: SimKVCluster, plan):
+    """Issue ``(client_id, kind, key, value)`` ops closed-loop per client."""
+    by_client = {}
+    for client_id, kind, key, value in plan:
+        by_client.setdefault(client_id, []).append((kind, key, value))
+
+    def make_issuer(client, remaining):
+        def issue_next(_outcome=None):
+            if not remaining:
+                return
+            kind, key, value = remaining.pop(0)
+            if kind == "put":
+                client.put(key, value, on_complete=issue_next)
+            else:
+                client.get(key, on_complete=issue_next)
+
+        return issue_next
+
+    for client_id, remaining in by_client.items():
+        issuer = make_issuer(cluster.clients[client_id], remaining)
+        cluster.events.schedule(0.0, issuer, label=f"start:{client_id}")
+
+
+class TestSimProxyFailover:
+    def test_workload_survives_proxy_kill_mid_run(self):
+        workload = generate_workload(num_clients=4, ops_per_client=12,
+                                     num_keys=16, seed=3, pipeline_depth=4)
+        result = run_sim_kv_workload(
+            workload, num_shards=4, num_groups=2,
+            use_proxy=True, num_proxies=2, kill_proxy_after_ops=10,
+        )
+        # Zero client-visible errors: every scheduled op completed.
+        assert result.completed_ops == workload.total_operations()
+        assert result.proxy_kill is not None
+        assert result.proxy_kill["killed"] == ["p1"]
+        assert result.proxy_failovers >= 1
+        verdict = check_per_key_atomicity(result.histories)
+        assert verdict.all_atomic, verdict.summary()
+
+    def test_exhausted_proxy_list_falls_back_to_direct(self):
+        shard_map = ShardMap(2, num_groups=2, readers=2, writers=2)
+        cluster = SimKVCluster(shard_map, ["c1", "c2"], num_proxies=1,
+                               proxy_timeout=30.0)
+        plan = []
+        for i in range(8):
+            plan.append(("c1", "put", f"k{i % 3}", f"a{i}"))
+            plan.append(("c2", "put", f"k{i % 3}", f"b{i}"))
+            plan.append(("c1", "get", f"k{i % 3}", None))
+        _manual_sim_ops(cluster, plan)
+        cluster.schedule_proxy_crash("p1", at=5.0)
+        cluster.run()
+        assert cluster.recorder.completed_operations == len(plan)
+        # The only proxy of the site is dead: both clients went direct.
+        for client in cluster.clients.values():
+            assert client.proxy_id is None
+            assert client.proxy_failovers >= 1
+        verdict = check_per_key_atomicity(cluster.recorder.histories())
+        assert verdict.all_atomic, verdict.summary()
+
+    def test_failover_stays_within_the_site(self):
+        shard_map = ShardMap(2, num_groups=2, readers=2, writers=2)
+        sites = {"c1": "us", "c2": "eu", "p1": "us", "p2": "us", "p3": "eu"}
+        cluster = SimKVCluster(shard_map, ["c1", "c2"], num_proxies=3,
+                               sites=sites, proxy_timeout=30.0)
+        assert cluster.clients["c1"].proxy_id in ("p1", "p2")
+        assert cluster.clients["c2"].proxy_id == "p3"
+        plan = [("c1", "put", f"u{i}", f"v{i}") for i in range(10)]
+        plan += [("c2", "put", f"e{i}", f"w{i}") for i in range(10)]
+        _manual_sim_ops(cluster, plan)
+        # Kill every client's current proxy mid-run.
+        cluster.schedule_proxy_crash(cluster.clients["c1"].proxy_id, at=4.0)
+        cluster.schedule_proxy_crash("p3", at=4.0)
+        cluster.run()
+        assert cluster.recorder.completed_operations == len(plan)
+        # c1 re-dialed the us sibling; c2's site was exhausted -> direct.
+        assert cluster.clients["c1"].proxy_id in ("p1", "p2")
+        assert cluster.clients["c1"].proxy_id not in cluster.crashed_proxies
+        assert cluster.clients["c2"].proxy_id is None
+        verdict = check_per_key_atomicity(cluster.recorder.histories())
+        assert verdict.all_atomic, verdict.summary()
+
+    def test_failover_concurrent_with_resize_and_replica_crashes(self):
+        workload = generate_workload(num_clients=4, ops_per_client=15,
+                                     num_keys=16, seed=8, pipeline_depth=4)
+        result = run_sim_kv_workload(
+            workload, num_shards=4, num_groups=2,
+            use_proxy=True, num_proxies=2,
+            resize_to=8, crashes_per_group=1,
+            kill_proxy_after_ops=20,
+        )
+        assert result.completed_ops == workload.total_operations()
+        assert result.resize is not None and result.resize["to"] == 8
+        assert result.proxy_failovers >= 1
+        verdict = check_per_key_atomicity(result.histories)
+        assert verdict.all_atomic, verdict.summary()
+
+
+class TestSimViewPush:
+    def _two_phase(self, push_views: bool):
+        """Ops, quiesce, live resize, more ops -- steady-state staleness."""
+        shard_map = ShardMap(4, num_groups=2, readers=2, writers=2)
+        cluster = SimKVCluster(shard_map, ["c1", "c2"], num_proxies=2,
+                               push_views=push_views)
+        phase1 = [("c1", "put", f"k{i}", f"v{i}") for i in range(6)]
+        phase1 += [("c2", "put", f"q{i}", f"w{i}") for i in range(6)]
+        _manual_sim_ops(cluster, phase1)
+        cluster.run()
+        cluster.resize(8)
+        phase2 = [("c1", "get", f"k{i}", None) for i in range(6)]
+        phase2 += [("c2", "get", f"q{i}", None) for i in range(6)]
+        _manual_sim_ops(cluster, phase2)
+        cluster.run()
+        assert cluster.recorder.completed_operations == len(phase1) + len(phase2)
+        verdict = check_per_key_atomicity(cluster.recorder.histories())
+        assert verdict.all_atomic, verdict.summary()
+        return cluster
+
+    def test_push_makes_a_steady_state_resize_bounce_free(self):
+        cluster = self._two_phase(push_views=True)
+        assert cluster.view_pushes_sent == 2
+        assert cluster.view_pushes_applied() == 2
+        assert cluster.stale_replays() == 0
+
+    def test_without_push_the_bounce_safety_net_pays_per_proxy(self):
+        cluster = self._two_phase(push_views=False)
+        assert cluster.view_pushes_applied() == 0
+        assert cluster.stale_replays() >= 1
+
+    def test_crashed_proxy_misses_the_push_harmlessly(self):
+        shard_map = ShardMap(2, num_groups=2, readers=2, writers=2)
+        cluster = SimKVCluster(shard_map, ["c1"], num_proxies=2,
+                               proxy_timeout=30.0)
+        cluster.crash_proxy("p2")
+        cluster.resize(4)
+        cluster.run()
+        assert cluster.proxies["p1"].view.pushes_applied == 1
+        assert cluster.proxies["p2"].view.pushes_applied == 0
+
+
+class TestAsyncioProxyFailover:
+    def test_store_fails_over_to_site_sibling_mid_round(self):
+        async def scenario():
+            shard_map = ShardMap(4, num_groups=2, readers=2, writers=2)
+            cluster = AsyncKVCluster(shard_map, retry_policy=FAST_RETRY)
+            await cluster.start()
+            await cluster.start_proxies(2)
+            store = KVStore(cluster, client_id="c1", use_proxy="p1")
+            await store.connect()
+            try:
+                async def hammer(tag: str) -> None:
+                    for i in range(6):
+                        await store.put(f"k{i % 3}", f"{tag}-{i}")
+                        assert await store.get(f"k{i % 3}") == f"{tag}-{i}"
+
+                await hammer("before")
+                # Kill the proxy with operations in flight.
+                killer = asyncio.create_task(cluster.kill_proxy("p1"))
+                await hammer("during")
+                await killer
+                await hammer("after")
+                assert store.proxy_failovers == 1
+                assert store._proxy_client is not None
+                assert store._proxy_client.proxy_id == "p2"
+                verdict = store.check()
+                assert verdict.all_atomic, verdict.summary()
+            finally:
+                await store.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_exhausted_site_falls_back_to_direct_connections(self):
+        async def scenario():
+            cluster = AsyncKVCluster(ShardMap(2, num_groups=2),
+                                     retry_policy=FAST_RETRY)
+            await cluster.start()
+            await cluster.start_proxies(1)
+            store = KVStore(cluster, client_id="c1", use_proxy=True)
+            await store.connect()
+            try:
+                await store.put("k", "v1")
+                await cluster.kill_proxy("p1")
+                await store.put("k", "v2")
+                assert await store.get("k") == "v2"
+                assert store.proxy_failovers == 1
+                assert store._proxy_client is None
+                assert store._group_clients  # direct replica connections
+                verdict = store.check()
+                assert verdict.all_atomic, verdict.summary()
+            finally:
+                await store.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_direct_fallback_with_a_replica_down_does_not_wedge(self):
+        # The nasty coincidence failover exists for: the site's last proxy
+        # dies while a replica is ALSO down.  The fallback's direct dials
+        # must ride out the dead replica (quorums of S - t survive) instead
+        # of erroring the client or wedging the store half-connected.
+        async def scenario():
+            shard_map = ShardMap(2, num_groups=2, readers=2, writers=2)
+            cluster = AsyncKVCluster(shard_map, retry_policy=FAST_RETRY)
+            await cluster.start()
+            await cluster.start_proxies(1)
+            store = KVStore(cluster, client_id="c1", use_proxy=True)
+            await store.connect()
+            try:
+                await store.put("k", "v1")
+                victim = shard_map.groups["g1"].servers[0]
+                await cluster.kill_server(victim)
+                await cluster.kill_proxy("p1")
+                for i in range(4):
+                    await store.put(f"k{i}", f"v{i}")
+                    assert await store.get(f"k{i}") == f"v{i}"
+                assert store.proxy_failovers == 1
+                assert store._proxy_client is None
+                # Fully connected direct: one group client per group.
+                assert set(store._group_clients) == set(shard_map.groups)
+                verdict = store.check()
+                assert verdict.all_atomic, verdict.summary()
+            finally:
+                await store.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_kill_and_restart_proxy_rebinds_the_same_endpoint(self):
+        async def scenario():
+            cluster = AsyncKVCluster(ShardMap(2), retry_policy=FAST_RETRY)
+            await cluster.start()
+            await cluster.start_proxies(1)
+            endpoint = cluster.proxy_endpoint("p1")
+            await cluster.kill_proxy("p1")
+            assert not cluster.proxies["p1"].running
+            await cluster.restart_proxy("p1")
+            assert cluster.proxies["p1"].running
+            assert cluster.proxy_endpoint("p1") == endpoint
+            # A fresh store connects to the restarted proxy and operates.
+            store = KVStore(cluster, client_id="c1", use_proxy="p1")
+            await store.connect()
+            try:
+                await store.put("k", "v")
+                assert await store.get("k") == "v"
+            finally:
+                await store.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_candidates_are_scoped_per_site(self):
+        async def scenario():
+            cluster = AsyncKVCluster(ShardMap(1))
+            await cluster.start()
+            us = await cluster.start_proxies(2, site="us")
+            eu = await cluster.start_proxies(1, site="eu")
+            assert us == ["p1", "p2"] and eu == ["p3"]
+            assert cluster.proxy_candidates("p2") == ["p2", "p1"]
+            assert cluster.proxy_candidates("p3") == ["p3"]
+            await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_workload_runner_survives_a_proxy_kill(self):
+        workload = generate_workload(num_clients=3, ops_per_client=10,
+                                     num_keys=12, seed=6, pipeline_depth=4)
+        result = run_asyncio_kv_workload(
+            workload, num_shards=4, num_groups=2,
+            use_proxy=True, num_proxies=2,
+            kill_proxy_after_ops=10, retry_policy=FAST_RETRY,
+        )
+        assert result.completed_ops == workload.total_operations()
+        assert result.proxy_kill is not None and result.proxy_kill["killed"]
+        assert result.proxy_failovers >= 1
+        verdict = check_per_key_atomicity(result.histories)
+        assert verdict.all_atomic, verdict.summary()
+
+
+class TestAsyncioViewPush:
+    def _two_phase(self, push_views: bool):
+        async def scenario():
+            shard_map = ShardMap(4, num_groups=2, readers=2, writers=2)
+            cluster = AsyncKVCluster(shard_map, retry_policy=FAST_RETRY,
+                                     push_views=push_views)
+            await cluster.start()
+            await cluster.start_proxies(2)
+            stores = []
+            try:
+                for index in range(2):
+                    store = KVStore(cluster, client_id=f"c{index + 1}",
+                                    use_proxy=True)
+                    await store.connect()
+                    stores.append(store)
+                for i in range(6):
+                    await stores[i % 2].put(f"k{i}", f"v{i}")
+                cluster.resize(8)
+                await cluster.flush_view_pushes()
+                for i in range(6):
+                    assert await stores[i % 2].get(f"k{i}") == f"v{i}"
+                stale = sum(p.stale_replays for p in cluster.proxies.values())
+                pushes = sum(p.view.pushes_applied
+                             for p in cluster.proxies.values())
+                for store in stores:
+                    verdict = store.check()
+                    assert verdict.all_atomic, verdict.summary()
+                return stale, pushes
+            finally:
+                for store in stores:
+                    await store.close()
+                await cluster.stop()
+
+        return asyncio.run(scenario())
+
+    def test_push_makes_a_steady_state_resize_replay_free(self):
+        stale, pushes = self._two_phase(push_views=True)
+        assert pushes == 2
+        assert stale == 0
+
+    def test_without_push_stale_bounces_do_the_refresh(self):
+        stale, pushes = self._two_phase(push_views=False)
+        assert pushes == 0
+        assert stale >= 1

@@ -52,6 +52,46 @@ class TestCachedShardView:
             assert fresh.epoch == shard_map.shard_for(key).epoch
             assert fresh.epoch >= stale[key]
 
+    def test_apply_push_adopts_the_pushed_view(self):
+        shard_map = ShardMap(2, num_groups=2)
+        view = CachedShardView(shard_map)
+        stale_epoch = view.ring_epoch
+        shard_map.resize(6)
+        # The push alone (no refresh -- no access to the map) must bring the
+        # view fully current: same routes as the authoritative map.
+        assert view.apply_push(shard_map.view_snapshot()) is True
+        assert view.pushes_applied == 1
+        assert view.ring_epoch == shard_map.ring_epoch > stale_epoch
+        for key in ("a", "b", "user:7", "zz"):
+            spec = shard_map.shard_for(key)
+            route = view.resolve(key)
+            assert route.shard_id == spec.shard_id
+            assert route.epoch == spec.epoch
+            assert route.servers == tuple(spec.group.servers)
+
+    def test_apply_push_drops_reordered_stale_pushes(self):
+        shard_map = ShardMap(2, num_groups=2)
+        old_view = shard_map.view_snapshot()
+        view = CachedShardView(shard_map)
+        shard_map.resize(4)
+        fresh_view = shard_map.view_snapshot()
+        assert view.apply_push(fresh_view) is True
+        # A delayed pre-resize push arriving late must not roll routing back.
+        assert view.apply_push(old_view) is False
+        assert view.ring_epoch == shard_map.ring_epoch
+        assert view.pushes_applied == 1
+
+    def test_apply_push_keeps_fresher_cached_shard_epochs(self):
+        shard_map = ShardMap(2, num_groups=2)
+        view = CachedShardView(shard_map)
+        snapshot = shard_map.view_snapshot()  # ring epoch unchanged by a move
+        shard_map.move_shard("sh1", "g2")
+        view.refresh()
+        # Same ring epoch, but the view already knows sh1's bumped epoch; the
+        # older per-shard route in the push must not win.
+        assert view.apply_push(snapshot) is True
+        assert view._routes["sh1"].epoch == shard_map.shards["sh1"].epoch
+
 
 class TestReadRoutingPolicies:
     def _sites(self, servers):
@@ -128,10 +168,12 @@ class TestSimProxiedWorkloads:
     def test_per_key_atomicity_through_proxies_during_resize_with_crashes(self):
         workload = generate_workload(num_clients=4, ops_per_client=15,
                                      num_keys=16, seed=5, pipeline_depth=4)
+        # push_views off: this test exercises the *bounce* path (the safety
+        # net), so the proxies must discover the cutover the hard way.
         result = run_sim_kv_workload(
             workload, num_shards=4, num_groups=2,
             use_proxy=True, num_proxies=2, proxy_flush_delay=0.25,
-            resize_to=8, crashes_per_group=1,
+            resize_to=8, crashes_per_group=1, push_views=False,
         )
         assert result.completed_ops == workload.total_operations()
         assert result.resize is not None and result.resize["to"] == 8

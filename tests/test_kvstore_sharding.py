@@ -68,6 +68,43 @@ class TestHashRing:
             key = f"k{i}"
             assert ring.owner_of(key) == ring._resolve(key)
 
+    def test_full_memo_resets_and_stays_correct(self):
+        ring = HashRing(["sh1", "sh2"], owner_cache_size=8)
+        owners = {f"k{i}": ring.owner_of(f"k{i}") for i in range(30)}
+        assert ring.cache_info().currsize <= 8
+        for key, owner in owners.items():
+            assert ring.owner_of(key) == owner
+
+    def test_ring_is_freed_on_refcount_without_gc(self):
+        # The old lru_cache-over-a-bound-method memo closed over the ring
+        # and was stored on it: a reference cycle that pinned superseded
+        # rings until a gc pass.  A plain dict memo must not -- the weakref
+        # dies the moment the last reference does, no collector involved.
+        import weakref
+
+        ring = HashRing(["sh1", "sh2"])
+        ring.owner_of("hot-key")
+        ref = weakref.ref(ring)
+        del ring
+        assert ref() is None
+
+    def test_resize_clears_the_superseded_rings_memo(self):
+        shard_map = ShardMap(2)
+        old_ring = shard_map.ring
+        old_ring.owner_of("k1")
+        assert old_ring.cache_info().currsize == 1
+        plan = shard_map.resize(4)
+        assert old_ring.cache_info().currsize == 0
+        # The plan's retained old ring still resolves (memo refills lazily).
+        assert plan.moved_fraction([f"k{i}" for i in range(50)]) < 1.0
+
+    def test_move_shard_clears_the_memo(self):
+        shard_map = ShardMap(2, num_groups=2)
+        shard_map.ring.owner_of("k1")
+        shard_map.move_shard("sh1", "g2")
+        assert shard_map.ring.cache_info().currsize == 0
+        assert shard_map.shards["sh1"].group.group_id == "g2"
+
 
 class TestShardMap:
     def test_builds_disjoint_replica_groups(self):
