@@ -22,7 +22,6 @@ Expected shape:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.report import format_rows
 from repro.consistency import check_atomicity

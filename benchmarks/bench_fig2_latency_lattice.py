@@ -14,7 +14,6 @@ design point and checks the ordering the figure depicts:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import sweep_protocols
 from repro.bench.report import format_metrics_table

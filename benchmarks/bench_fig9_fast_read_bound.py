@@ -11,7 +11,6 @@ observed.  The expected shape: the measured boundary coincides exactly with
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.report import format_rows
 from repro.core.conditions import fast_read_bound

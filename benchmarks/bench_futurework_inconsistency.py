@@ -14,7 +14,6 @@ metrics of :mod:`repro.consistency.staleness`:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.report import format_rows
 from repro.consistency import check_atomicity, measure_staleness

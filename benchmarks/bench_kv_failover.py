@@ -40,7 +40,7 @@ from repro.kvstore import (
     run_sim_kv_workload,
 )
 
-from _bench_utils import print_section
+from _bench_utils import bench_json_path, print_section, result_row, write_bench_json
 
 #: Tight windows so the kill scenario settles in milliseconds of wall clock.
 FAST_RETRY = RetryPolicy(
@@ -246,4 +246,21 @@ if __name__ == "__main__":
                        "pushes applied", "atomic"]))
     check_failover(*failover)
     check_view_push(*pushes)
+    json_path = bench_json_path(sys.argv[1:])
+    if json_path:
+        steady, loaded = pushes
+        write_bench_json(json_path, "kv_failover", {
+            "failover": [result_row(failover[1], "baseline"),
+                         result_row(failover[2], "proxy-killed")],
+            "view_push_steady": {
+                "with-push": {"stale_replays": steady[True].stale_replays(),
+                              "pushes_applied": steady[True].view_pushes_applied()},
+                "no-push": {"stale_replays": steady[False].stale_replays(),
+                            "pushes_applied": steady[False].view_pushes_applied()},
+            },
+            "view_push_loaded": {
+                "with-push": result_row(loaded[True]),
+                "no-push": result_row(loaded[False]),
+            },
+        })
     print("\nall failover/view-push checks passed")

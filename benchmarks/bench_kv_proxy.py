@@ -41,7 +41,7 @@ from repro.kvstore import (
 )
 from repro.sim.delays import ConstantDelay, GeoDelay
 
-from _bench_utils import print_section
+from _bench_utils import bench_json_path, print_section, result_row, write_bench_json
 
 TOTAL_OPS = 96
 FANIN_CLIENTS = (1, 2, 4, 8)
@@ -278,4 +278,16 @@ if __name__ == "__main__":
         for result in geo.values():
             assert result.check().all_atomic
     check_asyncio(*net)
+    json_path = bench_json_path(sys.argv[1:])
+    if json_path:
+        write_bench_json(json_path, "kv_proxy", {
+            "fanin": [
+                {"clients_per_proxy": clients,
+                 "proxied": result_row(proxied),
+                 "direct": result_row(direct)}
+                for clients, proxied, direct in fanin
+            ],
+            "geo": {policy: result_row(result) for policy, result in geo.items()},
+            "asyncio": [result_row(net[0], "proxied"), result_row(net[1], "direct")],
+        })
     print("\nall proxy-tier checks passed")

@@ -36,7 +36,7 @@ from repro.kvstore import (
 )
 from repro.sim.delays import ConstantDelay
 
-from _bench_utils import print_section
+from _bench_utils import bench_json_path, print_section, rows_for, write_bench_json
 
 MOVE_SWEEP = (2, 4, 8, 16)
 MOVE_SAMPLE = 2000
@@ -168,22 +168,26 @@ def test_asyncio_throughput_survives_live_resize(benchmark):
 if __name__ == "__main__":
     quick = "--quick" in sys.argv[1:]
     if quick:
-        _print_move_sweep(run_move_sweep(shard_counts=(2, 4), sample=400))
-        _print_comparison(
-            "Live resize under load — simulator (virtual time)",
-            *run_sim_resize_comparison(clients=2, ops=10, keys=12),
-        )
-        _print_comparison(
-            "Live resize under load — asyncio loopback TCP",
-            *run_net_resize_comparison(clients=2, ops=8, keys=12),
-        )
+        moves = run_move_sweep(shard_counts=(2, 4), sample=400)
+        sim_pair = run_sim_resize_comparison(clients=2, ops=10, keys=12)
+        net_pair = run_net_resize_comparison(clients=2, ops=8, keys=12)
     else:
-        _print_move_sweep(run_move_sweep())
-        _print_comparison(
-            "Live resize under load — simulator (virtual time)",
-            *run_sim_resize_comparison(),
-        )
-        _print_comparison(
-            "Live resize under load — asyncio loopback TCP",
-            *run_net_resize_comparison(),
-        )
+        moves = run_move_sweep()
+        sim_pair = run_sim_resize_comparison()
+        net_pair = run_net_resize_comparison()
+    _print_move_sweep(moves)
+    _print_comparison(
+        "Live resize under load — simulator (virtual time)", *sim_pair
+    )
+    _print_comparison(
+        "Live resize under load — asyncio loopback TCP", *net_pair
+    )
+    json_path = bench_json_path(sys.argv[1:])
+    if json_path:
+        labels = ["steady", "live-resize"]
+        write_bench_json(json_path, "kv_resize", {
+            "moves": [{k: v for k, v in row.items() if not k.startswith("_")}
+                      for row in moves],
+            "sim": rows_for(sim_pair, labels),
+            "asyncio": rows_for(net_pair, labels),
+        })

@@ -31,7 +31,7 @@ from repro.bench.report import format_rows
 from repro.kvstore import generate_workload, run_asyncio_kv_workload, run_sim_kv_workload
 from repro.sim.delays import ConstantDelay
 
-from _bench_utils import print_section
+from _bench_utils import bench_json_path, print_section, rows_for, write_bench_json
 
 SIM_SHARDS = (1, 2, 4, 8)
 SIM_BATCHES = (1, 8)
@@ -134,3 +134,7 @@ if __name__ == "__main__":
         net = run_net_sweep()
     _print_sweep("KV store scaling — simulator (virtual time)", sim)
     _print_sweep("KV store scaling — asyncio loopback TCP (wall clock)", net)
+    json_path = bench_json_path(sys.argv[1:])
+    if json_path:
+        write_bench_json(json_path, "kv_sharding",
+                         {"sim": rows_for(sim), "asyncio": rows_for(net)})

@@ -15,7 +15,6 @@ and recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.asyncio_net import run_closed_loop_workload
 from repro.bench.report import format_rows

@@ -15,7 +15,6 @@ faults with fast reads requires disproportionally more servers
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import BenchConfig, run_simulated_benchmark
 from repro.bench.report import format_rows

@@ -8,7 +8,9 @@ The library has two halves:
 * **Executable protocols** (:mod:`repro.protocols`) running on a
   discrete-event simulator (:mod:`repro.sim`) or a real asyncio transport
   (:mod:`repro.asyncio_net`), checked for atomicity by
-  :mod:`repro.consistency`.
+  :mod:`repro.consistency`.  On top sits a sharded key-value store
+  (:mod:`repro.kvstore`) whose protocol core is a transport-free engine
+  (:mod:`repro.kvstore.engine`).
 * **Executable proofs** (:mod:`repro.theory`): the chain-argument machinery
   behind the W1R2 impossibility theorem, the crucial-info model and sieve,
   and the ``R < S/t - 2`` fast-read bound.
@@ -21,61 +23,95 @@ Quickstart::
                        readers=2, writers=2, seed=1)
     print(result.history)            # the recorded operation history
     print(result.atomicity.summary())  # "ATOMIC (cluster): no anomalies"
+
+Exports resolve lazily (PEP 562): ``import repro`` (or any one submodule)
+pulls in only what is actually used -- in particular, the sans-I/O
+:mod:`repro.kvstore.engine` can be imported without dragging in asyncio or
+the simulator runtime.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-from .consistency import AtomicityResult, History, check_atomicity
-from .core import (
-    BOTTOM_TAG,
-    DesignPoint,
-    SystemParameters,
-    Tag,
-    TaggedValue,
-    fast_read_possible,
-    fast_write_possible,
-    is_feasible,
-)
-from .kvstore import KVStore, ShardMap, SyncKVStore, check_per_key_atomicity
-from .protocols import build_protocol
-from .sim import Simulation, UniformDelay
-from .util.ids import client_ids, server_ids
-from .workloads import apply_open_loop, uniform_open_loop
+from importlib import import_module
+from typing import TYPE_CHECKING
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "__version__",
-    "AtomicityResult",
-    "History",
-    "check_atomicity",
-    "BOTTOM_TAG",
-    "DesignPoint",
-    "SystemParameters",
-    "Tag",
-    "TaggedValue",
-    "fast_read_possible",
-    "fast_write_possible",
-    "is_feasible",
-    "build_protocol",
-    "Simulation",
-    "QuickRunResult",
-    "quick_run",
-    "KVStore",
-    "ShardMap",
-    "SyncKVStore",
-    "check_per_key_atomicity",
-]
+#: Public name -> defining submodule; attribute access imports on demand.
+_EXPORTS = {
+    "AtomicityResult": ".consistency",
+    "History": ".consistency",
+    "check_atomicity": ".consistency",
+    "BOTTOM_TAG": ".core",
+    "DesignPoint": ".core",
+    "SystemParameters": ".core",
+    "Tag": ".core",
+    "TaggedValue": ".core",
+    "fast_read_possible": ".core",
+    "fast_write_possible": ".core",
+    "is_feasible": ".core",
+    "KVStore": ".kvstore",
+    "ShardMap": ".kvstore",
+    "SyncKVStore": ".kvstore",
+    "check_per_key_atomicity": ".kvstore",
+    "build_protocol": ".protocols",
+    "Simulation": ".sim",
+}
+
+__all__ = ["__version__", "QuickRunResult", "quick_run", *list(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is not None:
+        value = getattr(import_module(module_name, __name__), name)
+        globals()[name] = value  # cache: later lookups skip __getattr__
+        return value
+    # Submodule access (``import repro; repro.sim...``): the eager imports
+    # used to bind these as a side effect, so keep them reachable lazily.
+    try:
+        return import_module(f".{name}", __name__)
+    except ModuleNotFoundError as exc:
+        if exc.name != f"{__name__}.{name}":
+            raise  # the submodule exists but one of *its* imports is missing
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .consistency import AtomicityResult, History, check_atomicity  # noqa: F401
+    from .core import (  # noqa: F401
+        BOTTOM_TAG,
+        DesignPoint,
+        SystemParameters,
+        Tag,
+        TaggedValue,
+        fast_read_possible,
+        fast_write_possible,
+        is_feasible,
+    )
+    from .kvstore import (  # noqa: F401
+        KVStore,
+        ShardMap,
+        SyncKVStore,
+        check_per_key_atomicity,
+    )
+    from .protocols import build_protocol  # noqa: F401
+    from .sim import Simulation  # noqa: F401
 
 
 @dataclass
 class QuickRunResult:
     """What :func:`quick_run` returns: the history and its atomicity verdict."""
 
-    history: History
-    atomicity: AtomicityResult
+    history: "History"
+    atomicity: "AtomicityResult"
     messages_sent: int
     virtual_duration: float
 
@@ -96,6 +132,12 @@ def quick_run(
     This is the one-call entry point used by the README quickstart and the
     ``examples/quickstart.py`` script.
     """
+    from .consistency import check_atomicity
+    from .protocols import build_protocol
+    from .sim import Simulation, UniformDelay
+    from .util.ids import client_ids, server_ids
+    from .workloads import apply_open_loop, uniform_open_loop
+
     ids = server_ids(servers)
     protocol = build_protocol(
         protocol_key, ids, max_faults, readers=readers, writers=writers, **protocol_kwargs

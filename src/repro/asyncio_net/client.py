@@ -21,7 +21,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.errors import ProtocolError
 from ..core.operations import OpKind, new_op_id
 from ..protocols.base import Broadcast, ClientLogic, OperationOutcome
-from ..sim.messages import Message
+from ..messages import Message
 from .codec import read_frame, write_frame
 
 __all__ = ["TimedOutcome", "AsyncRegisterClient"]

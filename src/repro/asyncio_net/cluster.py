@@ -15,10 +15,10 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
 from ..consistency.history import History
-from ..core.operations import Operation, OpKind, new_op_id
+from ..core.operations import Operation, new_op_id
 from ..protocols.base import RegisterProtocol
 from ..util.ids import client_ids
 from ..util.stats import LatencyStats, summarize

@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence
 
-from ..sim.messages import (
+from ..messages import (
     Message,
     ProxySubReply,
     ProxySubRequest,

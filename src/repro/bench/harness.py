@@ -9,10 +9,9 @@ atomicity, summarising latencies) live here and are unit-tested.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..consistency.atomicity import check_atomicity
-from ..core.conditions import SystemParameters
 from ..protocols.base import RegisterProtocol
 from ..protocols.registry import build_protocol
 from ..sim.delays import DelayModel, UniformDelay

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .bench.harness import BenchConfig, run_simulated_benchmark
 from .bench.report import format_metrics_table, format_rows
@@ -122,7 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
     kv.add_argument("--batch", type=int, default=8, help="max sub-ops per batch frame")
     kv.add_argument("--pipeline", type=int, default=4,
                     help="operations in flight per client")
-    kv.add_argument("--seed", type=int, default=0)
+    kv.add_argument("--crashes", type=int, default=0, metavar="N",
+                    help="crash N random replicas per group mid-run (sim "
+                         "backend only; capped at each group's fault budget, "
+                         "victims drawn from the run's --seed)")
+    kv.add_argument("--seed", type=int, default=0,
+                    help="seed for workload generation and crash-victim "
+                         "selection; the same seed reproduces the same run "
+                         "on either backend")
     return parser
 
 
@@ -244,6 +251,11 @@ def _command_kv(args: argparse.Namespace) -> int:
         raise SystemExit("--resize-after requires --resize-to")
     if args.kill_proxy_after is not None and args.proxies <= 0:
         raise SystemExit("--kill-proxy-after requires --proxies")
+    if args.crashes > 0 and args.backend != "sim":
+        raise SystemExit("--crashes requires the sim backend")
+    # One seed drives every RNG of the run -- the workload shape here and
+    # (on the simulator) the crash-victim draw below -- so a CLI run is
+    # reproduced exactly by repeating its --seed.
     workload = generate_workload(
         num_clients=args.clients,
         ops_per_client=args.ops,
@@ -267,7 +279,12 @@ def _command_kv(args: argparse.Namespace) -> int:
         kill_proxy_after_ops=args.kill_proxy_after,
     )
     if args.backend == "sim":
-        result = run_sim_kv_workload(workload, **common)
+        result = run_sim_kv_workload(
+            workload,
+            crashes_per_group=args.crashes,
+            crash_seed=args.seed,
+            **common,
+        )
         time_unit = "virtual time units"
     else:
         result = run_asyncio_kv_workload(workload, **common)
@@ -302,7 +319,7 @@ def _command_kv(args: argparse.Namespace) -> int:
               f"{result.proxy_kill['at_ops']} ops; "
               f"{result.proxy_failovers} client failovers; "
               f"{result.completed_ops}/{workload.total_operations()} ops "
-              f"completed")
+              "completed")
     print(f"atomicity          : {verdict.summary()}")
     return 0 if verdict.all_atomic else 1
 

@@ -9,7 +9,7 @@ consume this type.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.operations import Event, EventKind, Operation, OpKind
 from ..core.timestamps import Tag

@@ -29,10 +29,10 @@ suite to cross-validate this implementation on small histories.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..core.operations import Operation, OpKind
+from ..core.operations import Operation
 from ..core.timestamps import BOTTOM_TAG, Tag
 from .anomalies import Anomaly, AnomalyKind, AnomalyReport
 from .history import History

@@ -35,7 +35,7 @@ They complement, not replace, the sound-and-complete checker in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from ..core.operations import Operation
 from ..core.timestamps import BOTTOM_TAG, Tag

@@ -18,9 +18,9 @@ operations, so use it only on small histories (tens of operations).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
-from ..core.operations import Operation, OpKind
+from ..core.operations import Operation
 from .history import History
 
 __all__ = ["WGLResult", "check_linearizable_exhaustive"]

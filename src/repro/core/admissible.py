@@ -22,7 +22,7 @@ reused by the simulator-based protocol, the asyncio protocol, and the tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .timestamps import Tag

@@ -21,7 +21,7 @@ callers discover bad sweeps early.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator
 
 from .errors import ConfigurationError
 from .fastness import DesignPoint

@@ -3,6 +3,14 @@
 The paper's protocols emulate one atomic register; this package scales them
 to a multi-key store:
 
+* **The sans-I/O engine** (:mod:`~repro.kvstore.engine`): every piece of
+  protocol behaviour -- round lifecycle, batching, stale-epoch replay,
+  cross-client merging, read routing, proxy failover, view-push adoption,
+  epoch fencing -- lives in three pure state machines
+  (:class:`ClientSessionEngine`, :class:`ProxyEngine`,
+  :class:`GroupServerEngine`) that consume decoded frames and emit
+  ``(destination, frame)`` effects plus timer requests.  Both backends are
+  thin adapters around them, so they cannot drift apart by construction.
 * **Placement** (:mod:`~repro.kvstore.placement`): shards are decoupled from
   replica groups -- a :class:`PlacementPolicy` maps N logical shards onto M
   :class:`ReplicaGroup`\\ s (N >> M allowed), so small clusters host many
@@ -12,121 +20,190 @@ to a multi-key store:
   register emulation, so correctness decomposes key by key.  The map is
   *live*: :meth:`ShardMap.resize` and :meth:`ShardMap.move_shard` rebalance
   under load with bounded key movement (~1/N per added shard), fenced by
-  per-shard epochs carried in every batch frame.
-* **Batching** (:mod:`~repro.kvstore.batching`): concurrent operations bound
-  for the same replica group share one framed message round per replica; the
-  multiplexed :class:`BatchGroupServer` demultiplexes shard-tagged
-  sub-requests to per-key registers and bounces stale epochs.
+  per-shard epochs carried in every batch frame, and announced to the
+  ingress tier with O(moved) **delta view pushes**.
 * **Migration** (:mod:`~repro.kvstore.migration`): the control-plane step
   that drains per-key registers to their new owners when the ring changes.
-* **Ingress proxies** (:mod:`~repro.kvstore.proxy`): an optional site-local
-  tier between clients and replica groups.  A proxy merges quorum rounds
-  *across client connections* into shared replica frames (replica-side
-  frames drop toward 1/K under K-client fan-in), routes reads through a
-  pluggable :class:`ReadRoutingPolicy` (:class:`NearestQuorum` picks the
-  closest quorum from site metadata), and hides live rebalancing behind a
-  :class:`CachedShardView` that refreshes on stale-epoch bounces.
+* **Ingress proxies**: an optional site-local tier between clients and
+  replica groups.  A proxy merges quorum rounds *across client connections*
+  into shared replica frames (replica-side frames drop toward 1/K under
+  K-client fan-in), routes reads through a pluggable
+  :class:`ReadRoutingPolicy` (:class:`NearestQuorum` picks the closest
+  quorum from site metadata), and hides live rebalancing behind a
+  :class:`CachedShardView` fed by view pushes and stale-epoch bounces.
 * **Two backends**: the discrete-event simulator
   (:func:`run_sim_kv_workload`) and real asyncio TCP
   (:class:`KVStore` / :class:`SyncKVStore`, :func:`run_asyncio_kv_workload`).
 * **Per-key checking** (:mod:`~repro.kvstore.perkey`): every run's history is
   split per key and each sub-history is verified with the library's
   atomicity checker.
+
+Exports resolve lazily (PEP 562): importing :mod:`repro.kvstore.engine`
+never drags in a transport, which is what lets a unit test *prove* the
+engine imports neither :mod:`asyncio` nor :mod:`repro.sim`.
 """
 
 from __future__ import annotations
 
-from .batching import (
-    BatchGroupServer,
-    BatchShardServer,
-    BatchStats,
-    StaleShardError,
-)
-from .migration import MigrationReport, apply_move_plan, apply_resize_plan
-from .net_backend import (
-    AsyncGroupClient,
-    AsyncKVCluster,
-    AsyncProxyClient,
-    AsyncShardClient,
-    KVStore,
-    ProxyConnectionLost,
-    ProxyServer,
-    RetryPolicy,
-    SyncKVStore,
-    run_asyncio_kv_workload,
-)
-from .perkey import KVHistoryRecorder, PerKeyAtomicity, check_per_key_atomicity
-from .placement import PlacementPolicy, ReplicaGroup, RoundRobinPlacement
-from .proxy import (
-    BroadcastReads,
-    CachedShardView,
-    NearestQuorum,
-    ProxyRoute,
-    ReadRoutingPolicy,
-    attempt_scoped_id,
-    parse_attempt_scoped_id,
-)
-from .sharding import (
-    HashRing,
-    MovePlan,
-    ResizePlan,
-    ShardMap,
-    ShardSpec,
-    stable_hash,
-)
-from .sim_backend import (
-    KVClientProcess,
-    KVFailureInjector,
-    ProxyProcess,
-    SimKVCluster,
-    run_sim_kv_workload,
-)
-from .workload import KVOp, KVRunResult, KVWorkload, generate_workload
+from importlib import import_module
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "BatchGroupServer",
-    "BatchShardServer",
-    "BatchStats",
-    "StaleShardError",
-    "MigrationReport",
-    "apply_move_plan",
-    "apply_resize_plan",
-    "AsyncGroupClient",
-    "AsyncKVCluster",
-    "AsyncProxyClient",
-    "AsyncShardClient",
-    "KVStore",
-    "ProxyConnectionLost",
-    "ProxyServer",
-    "RetryPolicy",
-    "SyncKVStore",
-    "run_asyncio_kv_workload",
-    "KVHistoryRecorder",
-    "PerKeyAtomicity",
-    "check_per_key_atomicity",
-    "PlacementPolicy",
-    "ReplicaGroup",
-    "RoundRobinPlacement",
-    "BroadcastReads",
-    "CachedShardView",
-    "NearestQuorum",
-    "ProxyRoute",
-    "ReadRoutingPolicy",
-    "attempt_scoped_id",
-    "parse_attempt_scoped_id",
-    "HashRing",
-    "MovePlan",
-    "ResizePlan",
-    "ShardMap",
-    "ShardSpec",
-    "stable_hash",
-    "KVClientProcess",
-    "KVFailureInjector",
-    "ProxyProcess",
-    "SimKVCluster",
-    "run_sim_kv_workload",
-    "KVOp",
-    "KVRunResult",
-    "KVWorkload",
-    "generate_workload",
-]
+#: Public name -> defining submodule; attribute access imports on demand.
+_EXPORTS = {
+    # batching (compat shims over the engine)
+    "BatchGroupServer": ".batching",
+    "BatchShardServer": ".batching",
+    "BatchStats": ".batching",
+    "StaleShardError": ".batching",
+    # the sans-I/O engine
+    "ClientSessionEngine": ".engine",
+    "GroupServerEngine": ".engine",
+    "ProxyEngine": ".engine",
+    "view_push_frames": ".engine",
+    # migration
+    "MigrationReport": ".migration",
+    "apply_move_plan": ".migration",
+    "apply_resize_plan": ".migration",
+    # asyncio backend
+    "AsyncGroupClient": ".net_backend",
+    "AsyncKVCluster": ".net_backend",
+    "AsyncProxyClient": ".net_backend",
+    "AsyncShardClient": ".net_backend",
+    "KVStore": ".net_backend",
+    "ProxyConnectionLost": ".net_backend",
+    "ProxyServer": ".net_backend",
+    "RetryPolicy": ".net_backend",
+    "SyncKVStore": ".net_backend",
+    "run_asyncio_kv_workload": ".net_backend",
+    # per-key checking
+    "KVHistoryRecorder": ".perkey",
+    "PerKeyAtomicity": ".perkey",
+    "check_per_key_atomicity": ".perkey",
+    # placement
+    "PlacementPolicy": ".placement",
+    "ReplicaGroup": ".placement",
+    "RoundRobinPlacement": ".placement",
+    # proxy routing (compat shims over the engine)
+    "BroadcastReads": ".proxy",
+    "CachedShardView": ".proxy",
+    "NearestQuorum": ".proxy",
+    "ProxyRoute": ".proxy",
+    "ReadRoutingPolicy": ".proxy",
+    "attempt_scoped_id": ".proxy",
+    "parse_attempt_scoped_id": ".proxy",
+    # sharding
+    "HashRing": ".sharding",
+    "MovePlan": ".sharding",
+    "ResizePlan": ".sharding",
+    "ShardMap": ".sharding",
+    "ShardSpec": ".sharding",
+    "stable_hash": ".sharding",
+    # simulator backend
+    "KVClientProcess": ".sim_backend",
+    "KVFailureInjector": ".sim_backend",
+    "ProxyProcess": ".sim_backend",
+    "SimKVCluster": ".sim_backend",
+    "run_sim_kv_workload": ".sim_backend",
+    # workloads
+    "KVOp": ".workload",
+    "KVRunResult": ".workload",
+    "KVWorkload": ".workload",
+    "generate_workload": ".workload",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is not None:
+        value = getattr(import_module(module_name, __name__), name)
+        globals()[name] = value  # cache: later lookups skip __getattr__
+        return value
+    # Submodule access (``import repro.kvstore; repro.kvstore.sharding...``):
+    # the eager imports used to bind these as a side effect, so keep them
+    # reachable lazily.
+    try:
+        return import_module(f".{name}", __name__)
+    except ModuleNotFoundError as exc:
+        if exc.name != f"{__name__}.{name}":
+            raise  # the submodule exists but one of *its* imports is missing
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .batching import (  # noqa: F401
+        BatchGroupServer,
+        BatchShardServer,
+        BatchStats,
+        StaleShardError,
+    )
+    from .engine import (  # noqa: F401
+        ClientSessionEngine,
+        GroupServerEngine,
+        ProxyEngine,
+        view_push_frames,
+    )
+    from .migration import (  # noqa: F401
+        MigrationReport,
+        apply_move_plan,
+        apply_resize_plan,
+    )
+    from .net_backend import (  # noqa: F401
+        AsyncGroupClient,
+        AsyncKVCluster,
+        AsyncProxyClient,
+        AsyncShardClient,
+        KVStore,
+        ProxyConnectionLost,
+        ProxyServer,
+        RetryPolicy,
+        SyncKVStore,
+        run_asyncio_kv_workload,
+    )
+    from .perkey import (  # noqa: F401
+        KVHistoryRecorder,
+        PerKeyAtomicity,
+        check_per_key_atomicity,
+    )
+    from .placement import (  # noqa: F401
+        PlacementPolicy,
+        ReplicaGroup,
+        RoundRobinPlacement,
+    )
+    from .proxy import (  # noqa: F401
+        BroadcastReads,
+        CachedShardView,
+        NearestQuorum,
+        ProxyRoute,
+        ReadRoutingPolicy,
+        attempt_scoped_id,
+        parse_attempt_scoped_id,
+    )
+    from .sharding import (  # noqa: F401
+        HashRing,
+        MovePlan,
+        ResizePlan,
+        ShardMap,
+        ShardSpec,
+        stable_hash,
+    )
+    from .sim_backend import (  # noqa: F401
+        KVClientProcess,
+        KVFailureInjector,
+        ProxyProcess,
+        SimKVCluster,
+        run_sim_kv_workload,
+    )
+    from .workload import (  # noqa: F401
+        KVOp,
+        KVRunResult,
+        KVWorkload,
+        generate_workload,
+    )

@@ -1,45 +1,27 @@
-"""Request batching: multiplexed group servers and batch accounting.
+"""Compatibility shim: the batching layer moved into the sans-I/O engine.
 
-The batching layer amortizes quorum round-trips: operations that are in
-flight *concurrently* and address the same replica group share one framed
-message round per server instead of one frame each.  The wire format is the
-batch frame of :mod:`repro.sim.messages`; this module supplies the pieces
-both backends share:
-
-* :class:`BatchGroupServer` -- the server side.  One instance runs per
-  replica of a *replica group* and hosts the per-key registers of every
-  shard placed on that group, demultiplexing each shard-tagged sub-request
-  to per-key single-register server logic (created on demand from the
-  group's protocol), then packing the sub-replies into one ``batch-ack``.
-  Because the per-key logic objects are the unmodified ones the
-  single-register emulations use, every correctness property (and every
-  proof obligation) carries over key by key.
-
-  The server also enforces the **epoch fence** that makes live rebalancing
-  safe: a sub-request whose (shard, epoch) tag does not match a hosted shard
-  is answered with a ``"stale-shard"`` bounce instead of touching any
-  register, and the client re-resolves its ring and replays the round.  The
-  hosting table is a control-plane surface (``host_shard`` / ``evict_shard``
-  / ``extract_keys`` / ``install_keys``) driven by the migration module.
-
-* :class:`BatchStats` -- client-side accounting of how well coalescing is
-  working (rounds sent, sub-operations carried, mean batch size).
+The multiplexed group server is
+:class:`repro.kvstore.engine.server.GroupServerEngine` (the historical
+names :class:`BatchGroupServer` / :class:`BatchShardServer` are kept as
+aliases), and the accounting is
+:class:`repro.kvstore.engine.stats.BatchStats`.  Note the semantics that
+moved with the old ``BatchShardServer`` name remain: the server only serves
+shard-tagged sub-requests for shards it has been told to host
+(``host_shard``/``shard_epochs``) -- untagged legacy frames bounce as stale
+instead of being served, by design of the epoch fence.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
-
-from ..core.errors import ProtocolError
-from ..protocols.base import RegisterProtocol, ServerLogic
-from ..sim.messages import (
-    BATCH_KIND,
-    Message,
-    SubRequest,
-    make_batch_ack,
-    unpack_batch,
+from .engine.server import (
+    MAX_STALE_RETRIES,
+    STALE_SHARD_KIND,
+    GroupServerEngine,
+    StaleShardError,
+    is_stale_reply,
+    make_stale_reply,
 )
+from .engine.stats import BatchStats
 
 __all__ = [
     "STALE_SHARD_KIND",
@@ -52,237 +34,5 @@ __all__ = [
     "BatchStats",
 ]
 
-#: Reply kind bouncing a sub-request whose (shard, epoch) tag is stale.
-STALE_SHARD_KIND = "stale-shard"
-
-#: Stale-epoch bounces one operation may absorb (re-resolving and replaying
-#: its round each time) before the driver gives up -- shared by both
-#: backends so they tolerate the same amount of rebalancing churn.
-MAX_STALE_RETRIES = 16
-
-
-class StaleShardError(ProtocolError):
-    """A round-trip hit a server that no longer serves the shard at that epoch.
-
-    Raised client-side so drivers re-resolve the ring and replay the round
-    against the shard's current owner group.
-    """
-
-    def __init__(self, shard: Optional[str], sent_epoch: int,
-                 current_epoch: Optional[int]) -> None:
-        super().__init__(
-            f"shard {shard!r} epoch {sent_epoch} is stale "
-            f"(server hosts epoch {current_epoch})"
-        )
-        self.shard = shard
-        self.sent_epoch = sent_epoch
-        self.current_epoch = current_epoch
-
-
-def make_stale_reply(sub: SubRequest, current_epoch: Optional[int]) -> Message:
-    """The bounce for one stale sub-request, echoing its routing tag."""
-    return sub.message.reply(
-        STALE_SHARD_KIND,
-        {"shard": sub.shard, "sent_epoch": sub.epoch, "epoch": current_epoch},
-    )
-
-
-def is_stale_reply(message: Optional[Message]) -> bool:
-    return message is not None and message.kind == STALE_SHARD_KIND
-
-
-@dataclass
-class _HostedShard:
-    """One shard's slice of a group server: its epoch and per-key registers."""
-
-    epoch: int
-    registers: Dict[str, ServerLogic] = field(default_factory=dict)
-
-
-class BatchGroupServer(ServerLogic):
-    """One replica of a replica group, serving many shards' keys.
-
-    The only message kind it accepts is ``"batch"``; the kv-store client
-    drivers wrap even solitary sub-requests in a batch of one, so the wire
-    protocol stays uniform.  Sub-requests of different shards hosted by the
-    same group coalesce into the same frame.
-    """
-
-    def __init__(
-        self,
-        server_id: str,
-        protocol: RegisterProtocol,
-        shard_epochs: Optional[Dict[str, int]] = None,
-    ) -> None:
-        super().__init__(server_id)
-        self.protocol = protocol
-        self._shards: Dict[str, _HostedShard] = {}
-        for shard_id, epoch in (shard_epochs or {}).items():
-            self.host_shard(shard_id, epoch)
-        self.batches_served = 0
-        self.sub_ops_served = 0
-        self.largest_batch = 0
-        self.stale_bounces = 0
-
-    # -- control plane (hosting table) -----------------------------------------
-
-    def host_shard(
-        self,
-        shard_id: str,
-        epoch: int,
-        registers: Optional[Dict[str, ServerLogic]] = None,
-    ) -> None:
-        """Start serving ``shard_id`` at ``epoch`` (with migrated registers)."""
-        hosted = _HostedShard(epoch=epoch)
-        if registers:
-            for logic in registers.values():
-                logic.server_id = self.server_id
-            hosted.registers.update(registers)
-        self._shards[shard_id] = hosted
-
-    def evict_shard(self, shard_id: str) -> Dict[str, ServerLogic]:
-        """Stop serving ``shard_id``; returns its registers for migration."""
-        hosted = self._shards.pop(shard_id, None)
-        return hosted.registers if hosted is not None else {}
-
-    def set_epoch(self, shard_id: str, epoch: int) -> None:
-        """Fence ``shard_id`` at a new epoch (older tags bounce from now on)."""
-        self._shards[shard_id].epoch = epoch
-
-    def hosted_epoch(self, shard_id: str) -> Optional[int]:
-        hosted = self._shards.get(shard_id)
-        return hosted.epoch if hosted is not None else None
-
-    def hosted_shards(self) -> List[str]:
-        return list(self._shards)
-
-    def keys_for(self, shard_id: str) -> List[str]:
-        """The keys with materialized registers under ``shard_id`` here."""
-        hosted = self._shards.get(shard_id)
-        return list(hosted.registers) if hosted is not None else []
-
-    def extract_keys(
-        self, shard_id: str, keys: Iterable[str]
-    ) -> Dict[str, ServerLogic]:
-        """Remove and return the registers of ``keys`` (for migration)."""
-        hosted = self._shards[shard_id]
-        extracted: Dict[str, ServerLogic] = {}
-        for key in keys:
-            logic = hosted.registers.pop(key, None)
-            if logic is not None:
-                extracted[key] = logic
-        return extracted
-
-    def install_keys(self, shard_id: str, registers: Dict[str, ServerLogic]) -> None:
-        """Adopt migrated registers under ``shard_id`` (which must be hosted)."""
-        hosted = self._shards[shard_id]
-        for key, logic in registers.items():
-            logic.server_id = self.server_id
-            hosted.registers[key] = logic
-
-    # -- data plane -------------------------------------------------------------
-
-    def register_for(self, shard_id: str, key: str) -> ServerLogic:
-        """The per-key single-register server logic, created on first use."""
-        hosted = self._shards[shard_id]
-        logic = hosted.registers.get(key)
-        if logic is None:
-            logic = self.protocol.make_server(self.server_id)
-            hosted.registers[key] = logic
-        return logic
-
-    @property
-    def keys_hosted(self) -> int:
-        return sum(len(hosted.registers) for hosted in self._shards.values())
-
-    def handle(self, message: Message) -> Optional[Message]:
-        if message.kind != BATCH_KIND:
-            raise ValueError(
-                f"BatchGroupServer only handles batch frames, got {message.kind!r}"
-            )
-        subs = unpack_batch(message)
-        self.batches_served += 1
-        self.sub_ops_served += len(subs)
-        self.largest_batch = max(self.largest_batch, len(subs))
-        replies: List[Tuple[str, Optional[Message]]] = []
-        for sub in subs:
-            hosted = self._shards.get(sub.shard) if sub.shard is not None else None
-            if hosted is None or sub.epoch != hosted.epoch:
-                self.stale_bounces += 1
-                current = hosted.epoch if hosted is not None else None
-                replies.append((sub.key, make_stale_reply(sub, current)))
-                continue
-            replies.append(
-                (sub.key, self.register_for(sub.shard, sub.key).handle(sub.message))
-            )
-        return make_batch_ack(message, replies)
-
-
-#: Historical name for :class:`BatchGroupServer`, from before placement was
-#: its own layer.  Note the semantics moved with the name: the server now
-#: only serves shard-tagged sub-requests for shards it has been told to host
-#: (``host_shard``/``shard_epochs``) -- untagged legacy frames bounce as
-#: stale instead of being served, by design of the epoch fence.
-BatchShardServer = BatchGroupServer
-
-
-@dataclass
-class BatchStats:
-    """Coalescing and frame statistics for one component of one run.
-
-    One instance belongs to one *component* -- a client driver or a proxy --
-    and the frame counters follow a convention that makes merging safe
-    across any set of components: every frame on the wire is counted
-    **exactly once**, request frames by the component that *sent* them
-    (``frames_sent``) and reply frames by the component that *received* them
-    (``frames_received``).  A client behind a proxy counts its client->proxy
-    requests and proxy->client acks; the proxy counts its proxy->replica
-    requests and replica->proxy acks; summing the four numbers is the exact
-    frame total of the deployment, with nothing counted twice.  (The
-    previous scheme kept frame counts as ad-hoc attributes on the asyncio
-    group client only, which both undercounted the simulator and would have
-    double-counted any merge that included an intermediary tier.)
-
-    ``rounds``/``sub_operations`` describe this component's own coalescing
-    (how many framed rounds it cut, carrying how many sub-operations), so
-    merging client stats with proxy stats would conflate two different
-    meanings -- keep tiers in separate instances and merge within a tier.
-    """
-
-    rounds: int = 0
-    sub_operations: int = 0
-    largest: int = 0
-    frames_sent: int = 0
-    frames_received: int = 0
-
-    def record(self, batch_size: int) -> None:
-        self.rounds += 1
-        self.sub_operations += batch_size
-        self.largest = max(self.largest, batch_size)
-
-    def record_frames(self, sent: int = 0, received: int = 0) -> None:
-        self.frames_sent += sent
-        self.frames_received += received
-
-    @property
-    def mean_batch_size(self) -> float:
-        return self.sub_operations / self.rounds if self.rounds else 0.0
-
-    @property
-    def frames_total(self) -> int:
-        """Frames this component put on or took off the wire."""
-        return self.frames_sent + self.frames_received
-
-    def merge(self, other: "BatchStats") -> None:
-        self.rounds += other.rounds
-        self.sub_operations += other.sub_operations
-        self.largest = max(self.largest, other.largest)
-        self.frames_sent += other.frames_sent
-        self.frames_received += other.frames_received
-
-    def summary(self) -> str:
-        return (
-            f"{self.rounds} batch rounds, {self.sub_operations} sub-ops, "
-            f"mean batch {self.mean_batch_size:.2f}, largest {self.largest}, "
-            f"{self.frames_sent} frames sent"
-        )
+BatchGroupServer = GroupServerEngine
+BatchShardServer = GroupServerEngine

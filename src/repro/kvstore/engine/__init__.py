@@ -1,0 +1,117 @@
+"""The sans-I/O protocol core of the key-value store.
+
+Every piece of kvstore behaviour that is *about the protocol* -- round
+lifecycle, batch coalescing, stale-epoch replay, proxy failover, read
+routing, view-push adoption, epoch fencing -- lives here as pure,
+event-driven state machines:
+
+* :class:`~repro.kvstore.engine.client.ClientSessionEngine` -- one logical
+  store client;
+* :class:`~repro.kvstore.engine.proxy.ProxyEngine` -- one site-local
+  ingress proxy;
+* :class:`~repro.kvstore.engine.server.GroupServerEngine` -- one replica of
+  a replica group.
+
+The engines consume decoded frames (:mod:`repro.messages`), timer fires,
+and transport notifications, and emit :mod:`~repro.kvstore.engine.effects`
+-- ``(destination, frame)`` sends, timer requests, connection requests, and
+operation completions.  They import neither :mod:`asyncio` nor
+:mod:`repro.sim` (enforced by a unit test): the transports are *adapters*
+that feed the engines and execute their effects --
+:mod:`repro.kvstore.sim_backend` on the virtual clock and simulated
+network, :mod:`repro.kvstore.net_backend` on asyncio TCP.  A feature
+implemented here (delta view pushes, say) works on both backends with no
+backend-specific code, and the two backends cannot drift apart on protocol
+behaviour by construction.
+"""
+
+from __future__ import annotations
+
+from .client import PROXY_QUEUE, ClientSessionEngine
+from .effects import (
+    DEFAULT_RETRY_POLICY,
+    DIRECT_INGRESS,
+    MAX_ROUND_TIMEOUTS,
+    MAX_TRANSIENT_RETRIES,
+    PROXY_FAILOVER_TIMEOUT,
+    PROXY_ROUND_TIMEOUT,
+    RECONNECT_INTERVAL,
+    SIM_RETRY_POLICY,
+    CancelTimer,
+    Connect,
+    Effect,
+    OpCompleted,
+    OpFailed,
+    RetryPolicy,
+    SendFrame,
+    StartTimer,
+    TimerId,
+)
+from .proxy import ProxyEngine
+from .routing import (
+    CONTROL_PLANE,
+    BroadcastReads,
+    CachedShardView,
+    NearestQuorum,
+    ProxyRoute,
+    ReadRoutingPolicy,
+    RoundPlan,
+    attempt_scoped_id,
+    make_proxy_kill_trigger,
+    parse_attempt_scoped_id,
+    pick_one_proxy_per_site,
+    plan_round,
+    view_push_frames,
+)
+from .server import (
+    MAX_STALE_RETRIES,
+    STALE_SHARD_KIND,
+    GroupServerEngine,
+    StaleShardError,
+    is_stale_reply,
+    make_stale_reply,
+)
+from .stats import BatchStats
+
+__all__ = [
+    "ClientSessionEngine",
+    "ProxyEngine",
+    "GroupServerEngine",
+    "PROXY_QUEUE",
+    "Effect",
+    "SendFrame",
+    "StartTimer",
+    "CancelTimer",
+    "Connect",
+    "OpCompleted",
+    "OpFailed",
+    "TimerId",
+    "DIRECT_INGRESS",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "SIM_RETRY_POLICY",
+    "RECONNECT_INTERVAL",
+    "MAX_TRANSIENT_RETRIES",
+    "PROXY_ROUND_TIMEOUT",
+    "MAX_ROUND_TIMEOUTS",
+    "PROXY_FAILOVER_TIMEOUT",
+    "CONTROL_PLANE",
+    "BroadcastReads",
+    "CachedShardView",
+    "NearestQuorum",
+    "ProxyRoute",
+    "ReadRoutingPolicy",
+    "RoundPlan",
+    "attempt_scoped_id",
+    "parse_attempt_scoped_id",
+    "plan_round",
+    "pick_one_proxy_per_site",
+    "make_proxy_kill_trigger",
+    "view_push_frames",
+    "STALE_SHARD_KIND",
+    "MAX_STALE_RETRIES",
+    "StaleShardError",
+    "is_stale_reply",
+    "make_stale_reply",
+    "BatchStats",
+]

@@ -1,0 +1,196 @@
+"""The effect vocabulary of the sans-I/O kvstore engines.
+
+Every engine in :mod:`repro.kvstore.engine` is a pure state machine: it
+consumes decoded frames (and timer fires, and transport notifications) and
+returns a list of *effects* describing what should happen in the outside
+world.  The engines never touch a socket, a simulator runtime, or a clock --
+executing effects is the adapter's job:
+
+* the simulator backend maps :class:`SendFrame` onto the simulated network
+  and :class:`StartTimer` onto the virtual-clock event queue;
+* the asyncio backend maps :class:`SendFrame` onto stream writers and
+  :class:`StartTimer` onto ``loop.call_later``.
+
+Because both backends execute the *same* effect stream emitted by the *same*
+engine classes, a feature implemented in the engine (stale-epoch replay,
+proxy failover, delta view-push adoption, ...) works identically on both
+transports by construction.
+
+:class:`RetryPolicy` collects every timing knob the engines request timers
+with.  The numbers are in the *adapter's* time unit -- seconds on asyncio,
+virtual time units on the simulator -- so each backend configures windows
+that make sense for its transport while the state machines stay shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple, Union
+
+from ...messages import Message
+from ...protocols.base import OperationOutcome
+
+__all__ = [
+    "DIRECT_INGRESS",
+    "TimerId",
+    "SendFrame",
+    "StartTimer",
+    "CancelTimer",
+    "Connect",
+    "OpCompleted",
+    "OpFailed",
+    "Effect",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "SIM_RETRY_POLICY",
+    "RECONNECT_INTERVAL",
+    "MAX_TRANSIENT_RETRIES",
+    "PROXY_ROUND_TIMEOUT",
+    "MAX_ROUND_TIMEOUTS",
+    "PROXY_FAILOVER_TIMEOUT",
+]
+
+#: The :class:`Connect` target meaning "no proxy: direct replica
+#: connections" -- the ingress path of last resort once a client's proxy
+#: candidate list is exhausted.
+DIRECT_INGRESS = "@direct"
+
+#: Timers are identified by tuples (kind first, then discriminators), so an
+#: adapter can keep them in one dict and an engine can cancel exactly the
+#: timer it armed.
+TimerId = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class SendFrame:
+    """Put one frame on the wire toward ``destination``.
+
+    ``frame.receiver`` always equals ``destination``; the field is explicit
+    so adapters route without re-inspecting the frame.  An adapter that
+    cannot deliver the frame reports back via the engine's
+    ``on_frame_undeliverable`` hook (transports with silent loss -- the
+    simulated network -- simply never report).
+    """
+
+    destination: str
+    frame: Message
+
+
+@dataclass(frozen=True)
+class StartTimer:
+    """Arm (or re-arm) the timer ``timer_id`` to fire after ``delay``."""
+
+    timer_id: TimerId
+    delay: float
+
+
+@dataclass(frozen=True)
+class CancelTimer:
+    """Disarm ``timer_id`` (a no-op if it already fired or never existed)."""
+
+    timer_id: TimerId
+
+
+@dataclass(frozen=True)
+class Connect:
+    """(Re)establish the ingress path ``target``.
+
+    ``target`` is a proxy id, or :data:`DIRECT_INGRESS` for direct replica
+    connections.  A connection-oriented adapter dials and then reports
+    ``on_connected(target)`` / ``on_connect_failed(target)``; the simulator
+    adapter, whose network needs no dialing, acknowledges immediately.
+    """
+
+    target: str
+
+
+@dataclass(frozen=True)
+class OpCompleted:
+    """One client operation finished with ``outcome``."""
+
+    op_id: str
+    key: str
+    outcome: OperationOutcome
+    round_trips: int
+
+
+@dataclass(frozen=True)
+class OpFailed:
+    """One client operation failed terminally with ``error``."""
+
+    op_id: str
+    key: str
+    error: BaseException
+
+
+Effect = Union[SendFrame, StartTimer, CancelTimer, Connect, OpCompleted, OpFailed]
+
+
+#: Asyncio-backend defaults (seconds); see :class:`RetryPolicy`.
+RECONNECT_INTERVAL = 0.05
+MAX_TRANSIENT_RETRIES = 100
+PROXY_ROUND_TIMEOUT = 2.0
+MAX_ROUND_TIMEOUTS = 5
+
+#: Simulator default (virtual time units) for the client's proxy-failover
+#: watchdog.  Generous by design: a merely *slow* proxy resets the watchdog
+#: with every ack it does deliver, so only a silent proxy -- crashed, its
+#: traffic dropped -- trips it.
+PROXY_FAILOVER_TIMEOUT = 200.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timing knobs of the reconnect/replay/failover machinery.
+
+    One policy is owned by a cluster and inherited by every engine built
+    against it, so a whole deployment's failure windows scale together:
+
+    * ``reconnect_interval * max_transient_retries`` bounds how long a
+      caller keeps replaying over a transient outage (the kill/restart
+      window);
+    * ``round_timeout * max_round_timeouts`` bounds how long a proxy waits
+      on a silently-lost replica round before erroring the ack
+      (``round_timeout=None`` disables round timers -- the simulator's
+      choice, where a lost round can only mean a crashed replica that the
+      quorum already tolerates);
+    * ``failover_timeout`` arms the client's proxy-death watchdog
+      (``None`` disables it -- the asyncio backend's choice, where a dead
+      proxy is observed as a severed TCP connection instead).
+
+    Units are the owning backend's: seconds on asyncio, virtual time units
+    on the simulator.
+    """
+
+    reconnect_interval: float = RECONNECT_INTERVAL
+    max_transient_retries: int = MAX_TRANSIENT_RETRIES
+    round_timeout: Optional[float] = PROXY_ROUND_TIMEOUT
+    max_round_timeouts: int = MAX_ROUND_TIMEOUTS
+    failover_timeout: Optional[float] = None
+
+    @property
+    def transient_window(self) -> float:
+        """Upper bound on the reconnect-and-replay window."""
+        return self.reconnect_interval * self.max_transient_retries
+
+    def with_failover_timeout(self, timeout: Optional[float]) -> "RetryPolicy":
+        """This policy with the watchdog window replaced."""
+        return RetryPolicy(
+            reconnect_interval=self.reconnect_interval,
+            max_transient_retries=self.max_transient_retries,
+            round_timeout=self.round_timeout,
+            max_round_timeouts=self.max_round_timeouts,
+            failover_timeout=timeout,
+        )
+
+
+#: What the asyncio backend runs with unless told otherwise.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: What the simulator runs with: no round timers (the virtual network never
+#: loses frames silently except at a crash the quorum covers), and the
+#: watchdog armed in virtual time.
+SIM_RETRY_POLICY = RetryPolicy(
+    round_timeout=None,
+    failover_timeout=PROXY_FAILOVER_TIMEOUT,
+)

@@ -1,0 +1,410 @@
+"""The proxy engine: cross-client merging behind a cached shard view.
+
+One :class:`ProxyEngine` is one site-local ingress proxy.  It holds no
+register state: every pending entry is one in-flight quorum round, so a
+proxy can be added or removed per site without any data migration.  Rounds
+forwarded by *different clients* that resolve to the same replica group
+coalesce into one shared batch frame per targeted replica -- the
+cross-client merge the per-client batching layer cannot do.  Replica-bound
+sub-messages keep the **originating client** as their sender (the
+protocols' crucial-info bookkeeping is per client), while their op ids are
+attempt-scoped so a replayed round can never mix replies from the pre- and
+post-rebalance owner groups.
+
+The engine consumes decoded frames -- ``"proxy"`` requests from clients,
+``"batch-ack"`` replies from replicas, ``"view-push"`` frames from the
+control plane -- plus timer fires and transport notifications, and emits
+:mod:`~repro.kvstore.engine.effects`.  Stale-epoch bounces refresh the
+:class:`~repro.kvstore.engine.routing.CachedShardView` and replay
+transparently; view pushes (full or delta) are adopted through the same
+view, so live rebalancing is handled *once* here for both backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...messages import (
+    BATCH_ACK_KIND,
+    BATCH_KIND,
+    PROXY_KIND,
+    VIEW_PUSH_ACK_KIND,
+    VIEW_PUSH_KIND,
+    Message,
+    ProxySubReply,
+    ProxySubRequest,
+    SubRequest,
+    make_batch,
+    make_proxy_ack,
+    unpack_batch,
+    unpack_batch_ack,
+    unpack_proxy_request,
+    unpack_view_push,
+)
+from .effects import (
+    DEFAULT_RETRY_POLICY,
+    CancelTimer,
+    Effect,
+    RetryPolicy,
+    SendFrame,
+    StartTimer,
+    TimerId,
+)
+from .routing import (
+    BroadcastReads,
+    CachedShardView,
+    ProxyRoute,
+    ReadRoutingPolicy,
+    attempt_scoped_id,
+    plan_round,
+)
+from .server import MAX_STALE_RETRIES, is_stale_reply
+from .stats import BatchStats
+
+__all__ = ["ProxyEngine"]
+
+
+@dataclass
+class _ProxyPending:
+    """One forwarded round the proxy is driving against a replica group."""
+
+    client: str
+    sub: ProxySubRequest
+    route: Optional[ProxyRoute] = None
+    scoped_id: str = ""
+    targets: Tuple[str, ...] = ()
+    wait_for: int = 0
+    replies: List[Message] = field(default_factory=list)
+    lost_targets: Set[str] = field(default_factory=set)
+    stale_retries: int = 0
+    timeouts: int = 0
+    transient_retries: int = 0
+    queued: bool = False
+    awaiting_retry: bool = False
+
+
+class ProxyEngine:
+    """One ingress proxy's protocol state machine (transport-agnostic)."""
+
+    def __init__(
+        self,
+        proxy_id: str,
+        view: CachedShardView,
+        read_policy: Optional[ReadRoutingPolicy] = None,
+        policy: Optional[RetryPolicy] = None,
+        max_batch: int = 64,
+        flush_delay: float = 0.0,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.proxy_id = proxy_id
+        self.view = view
+        self.read_policy = read_policy or BroadcastReads()
+        self.policy = policy or DEFAULT_RETRY_POLICY
+        self.max_batch = max_batch
+        self.flush_delay = flush_delay
+        self.stats = BatchStats()
+        self.stale_replays = 0
+        self._attempts = 0
+        self._pending: Dict[Tuple[str, int], _ProxyPending] = {}
+        self._queues: Dict[str, List[_ProxyPending]] = {}
+        self._flush_scheduled: Set[str] = set()
+
+    # -- admission and routing --------------------------------------------------
+
+    def on_frame(self, message: Message) -> List[Effect]:
+        out: List[Effect] = []
+        if message.kind == PROXY_KIND:
+            for sub in unpack_proxy_request(message):
+                pending = _ProxyPending(client=message.sender, sub=sub)
+                try:
+                    self._dispatch(pending, out)
+                except Exception as exc:  # noqa: BLE001 - never strand a client
+                    # Anything unexpected (a routing bug, a policy raising,
+                    # ...) must still produce an error ack: a swallowed
+                    # dispatch exception would leave the downstream client
+                    # awaiting a reply that never comes.
+                    self._finish(pending, out, error=f"{type(exc).__name__}: {exc}")
+        elif message.kind == BATCH_ACK_KIND:
+            self._on_replica_ack(message, out)
+        elif message.kind == VIEW_PUSH_KIND:
+            # Control-plane push at a live rebalance: adopt the fresh view
+            # (snapshot or delta) so subsequent rounds route correctly on
+            # the first attempt instead of paying a stale-epoch bounce
+            # each, then ack so the pusher knows routing is current.
+            self.view.apply_push(unpack_view_push(message))
+            out.append(
+                SendFrame(
+                    message.sender,
+                    Message(
+                        sender=self.proxy_id,
+                        receiver=message.sender,
+                        kind=VIEW_PUSH_ACK_KIND,
+                        payload={"ring_epoch": self.view.ring_epoch},
+                    ),
+                )
+            )
+        return out
+
+    def _dispatch(self, pending: _ProxyPending, out: List[Effect]) -> None:
+        """Route one round (fresh or replayed) through the current view."""
+        sub = pending.sub
+        plan = plan_round(self.view, self.read_policy, self.proxy_id, sub)
+        self._attempts += 1
+        pending.route = plan.route
+        pending.targets = plan.targets
+        pending.wait_for = plan.wait_for
+        pending.scoped_id = attempt_scoped_id(sub.op_id, self._attempts)
+        pending.replies = []
+        pending.lost_targets = set()
+        pending.awaiting_retry = False
+        self._pending[(pending.scoped_id, sub.round_trip)] = pending
+        if self.policy.round_timeout is not None:
+            # Bound the attempt: a targeted replica can die after the frame
+            # left the socket (restrictive read policies only -- broadcast
+            # rounds always have a live quorum), and on transports with
+            # silent loss the timer turns that into a replay.
+            out.append(
+                StartTimer(self._round_timer(pending), self.policy.round_timeout)
+            )
+        group_id = plan.route.group_id
+        queue = self._queues.setdefault(group_id, [])
+        pending.queued = True
+        queue.append(pending)
+        if len(queue) >= self.max_batch:
+            self._flush(group_id, out)
+        elif group_id not in self._flush_scheduled:
+            self._flush_scheduled.add(group_id)
+            out.append(StartTimer(("flush", group_id), self.flush_delay))
+
+    def _round_timer(self, pending: _ProxyPending) -> TimerId:
+        return ("round", pending.scoped_id, pending.sub.round_trip)
+
+    # -- the shared replica rounds ----------------------------------------------
+
+    def _flush(self, group_id: str, out: List[Effect]) -> None:
+        self._flush_scheduled.discard(group_id)
+        queue = [
+            p
+            for p in self._queues.get(group_id, [])
+            if self._pending.get((p.scoped_id, p.sub.round_trip)) is p
+        ]
+        if not queue:
+            self._queues.pop(group_id, None)
+            return
+        batch, rest = queue[: self.max_batch], queue[self.max_batch :]
+        self._queues[group_id] = rest
+        if rest and group_id not in self._flush_scheduled:
+            self._flush_scheduled.add(group_id)
+            out.append(StartTimer(("flush", group_id), 0.0))
+        for pending in batch:
+            pending.queued = False
+        self.stats.record(len(batch))
+        # One frame per replica targeted by at least one round of the batch;
+        # reads restricted by the routing policy simply skip the far replicas.
+        servers: List[str] = []
+        seen: Set[str] = set()
+        for pending in batch:
+            for server in pending.targets:
+                if server not in seen:
+                    seen.add(server)
+                    servers.append(server)
+        for server_id in servers:
+            subs = [
+                SubRequest(
+                    key=p.sub.key,
+                    message=Message(
+                        sender=p.client,
+                        receiver=server_id,
+                        kind=p.sub.kind,
+                        payload=p.sub.payload_for(server_id),
+                        op_id=p.scoped_id,
+                        round_trip=p.sub.round_trip,
+                    ),
+                    shard=p.route.shard_id,
+                    epoch=p.route.epoch,
+                )
+                for p in batch
+                if server_id in p.targets
+            ]
+            self.stats.record_frames(sent=1)
+            out.append(
+                SendFrame(server_id, make_batch(self.proxy_id, server_id, subs))
+            )
+
+    # -- replica replies --------------------------------------------------------
+
+    def _on_replica_ack(self, message: Message, out: List[Effect]) -> None:
+        self.stats.record_frames(received=1)
+        for _key, reply in unpack_batch_ack(message):
+            if reply is None or reply.op_id is None:
+                continue
+            pending = self._pending.get((reply.op_id, reply.round_trip))
+            if pending is None or pending.awaiting_retry:
+                continue  # straggler from a completed or replayed attempt
+            if is_stale_reply(reply):
+                self._replay(pending, out)
+                continue
+            pending.replies.append(reply)
+            if len(pending.replies) == pending.wait_for:
+                self._finish(pending, out)
+
+    def _replay(self, pending: _ProxyPending, out: List[Effect]) -> None:
+        """A replica fenced this round: refresh the view and re-route it."""
+        self._drop(pending, out)
+        pending.stale_retries += 1
+        self.stale_replays += 1
+        if pending.stale_retries > MAX_STALE_RETRIES:
+            self._finish(
+                pending,
+                out,
+                error=(
+                    f"shard map never converged after {pending.stale_retries} "
+                    "stale replays"
+                ),
+            )
+            return
+        self.view.refresh()
+        self._dispatch(pending, out)
+
+    def _drop(self, pending: _ProxyPending, out: List[Effect]) -> None:
+        """Forget the current attempt (cancelling its round timer)."""
+        if self._pending.pop((pending.scoped_id, pending.sub.round_trip), None):
+            if self.policy.round_timeout is not None:
+                out.append(CancelTimer(self._round_timer(pending)))
+
+    def _finish(
+        self, pending: _ProxyPending, out: List[Effect], error: Optional[str] = None
+    ) -> None:
+        self._drop(pending, out)
+        sub_reply = ProxySubReply(
+            op_id=pending.sub.op_id,
+            round_trip=pending.sub.round_trip,
+            replies=tuple(pending.replies),
+            error=error,
+        )
+        out.append(
+            SendFrame(
+                pending.client,
+                make_proxy_ack(self.proxy_id, pending.client, [sub_reply]),
+            )
+        )
+
+    # -- transport notifications ------------------------------------------------
+
+    def on_frame_undeliverable(
+        self, frame: Message, error: BaseException, retryable: bool = True
+    ) -> List[Effect]:
+        """A replica-bound batch frame could not be delivered."""
+        out: List[Effect] = []
+        if frame.kind != BATCH_KIND:
+            return out
+        # The frame never reached the wire: uncount it (replays count their
+        # own frames), preserving the counted-exactly-once invariant.
+        self.stats.record_frames(sent=-1)
+        for sub in unpack_batch(frame):
+            op_id, round_trip = sub.message.op_id, sub.message.round_trip
+            pending = self._pending.get((op_id, round_trip)) if op_id else None
+            if pending is None:
+                continue
+            self._lose_target(pending, frame.receiver, error, retryable, out)
+        return out
+
+    def on_peer_lost(self, server_id: str) -> List[Effect]:
+        """A replica connection died terminally (reconnect gave up)."""
+        out: List[Effect] = []
+        for pending in list(self._pending.values()):
+            if (
+                not pending.queued
+                and server_id in pending.targets
+                and len(pending.replies) < pending.wait_for
+            ):
+                self._lose_target(
+                    pending, server_id,
+                    ConnectionError(f"replica {server_id} is unreachable"),
+                    retryable=True, out=out,
+                )
+        return out
+
+    def _lose_target(
+        self,
+        pending: _ProxyPending,
+        server_id: str,
+        error: BaseException,
+        retryable: bool,
+        out: List[Effect],
+    ) -> None:
+        if pending.awaiting_retry:
+            return
+        pending.lost_targets.add(server_id)
+        reachable = len(pending.targets) - len(pending.lost_targets)
+        if reachable >= pending.wait_for:
+            return  # a quorum is still possible on the surviving targets
+        if not retryable:
+            self._finish(pending, out, error=f"{type(error).__name__}: {error}")
+            return
+        pending.transient_retries += 1
+        if pending.transient_retries > self.policy.max_transient_retries:
+            self._finish(pending, out, error=f"replica quorum unreachable: {error}")
+            return
+        # Wait out the reconnect window, then re-plan the idempotent round
+        # (the redial may have landed by then, or the view moved on).
+        pending.awaiting_retry = True
+        out.append(
+            StartTimer(
+                ("pretry", pending.scoped_id, pending.sub.round_trip),
+                self.policy.reconnect_interval,
+            )
+        )
+
+    # -- timer fires ------------------------------------------------------------
+
+    def on_timer(self, timer_id: TimerId) -> List[Effect]:
+        out: List[Effect] = []
+        kind = timer_id[0]
+        if kind == "flush":
+            self._flush(timer_id[1], out)
+        elif kind == "pretry":
+            pending = self._pending.get((timer_id[1], timer_id[2]))
+            if pending is not None and pending.awaiting_retry:
+                self._drop(pending, out)
+                self._dispatch(pending, out)
+        elif kind == "round":
+            pending = self._pending.get((timer_id[1], timer_id[2]))
+            if pending is None or pending.queued or pending.awaiting_retry:
+                return out
+            # The attempt went silent: a targeted replica died after the
+            # frame left the socket.  Replay the idempotent round -- the
+            # redial may have landed by now -- or error the ack after
+            # max_round_timeouts so the client is never left hanging.
+            pending.timeouts += 1
+            self._drop(pending, out)
+            if pending.timeouts > self.policy.max_round_timeouts:
+                self._finish(
+                    pending,
+                    out,
+                    error=(
+                        "round got no quorum within "
+                        f"{pending.timeouts * self.policy.round_timeout:.0f}s; "
+                        "with a restrictive read policy, give it spare >= the "
+                        "fault budget to ride out crashed replicas"
+                    ),
+                )
+            else:
+                self._dispatch(pending, out)
+        return out
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def sever(self) -> None:
+        """Drop every in-flight round and queue (the proxy was killed).
+
+        Clients behind a killed proxy fail over and replay under fresh
+        attempt scopes, so the stranded rounds here can never complete --
+        clearing them keeps a restarted proxy from acking ghosts.  The
+        adapter cancels its own outstanding timers alongside.
+        """
+        self._pending.clear()
+        self._queues.clear()
+        self._flush_scheduled.clear()

@@ -1,0 +1,218 @@
+"""The group-server engine: batch multiplexing behind the epoch fence.
+
+One :class:`GroupServerEngine` runs per replica of a *replica group* and
+hosts the per-key registers of every shard placed on that group,
+demultiplexing each shard-tagged sub-request to per-key single-register
+server logic (created on demand from the group's protocol), then packing the
+sub-replies into one ``batch-ack``.  Because the per-key logic objects are
+the unmodified ones the single-register emulations use, every correctness
+property (and every proof obligation) carries over key by key.
+
+The engine also enforces the **epoch fence** that makes live rebalancing
+safe: a sub-request whose (shard, epoch) tag does not match a hosted shard
+is answered with a ``"stale-shard"`` bounce instead of touching any
+register, and the client re-resolves its ring and replays the round.  The
+hosting table is a control-plane surface (``host_shard`` / ``evict_shard``
+/ ``extract_keys`` / ``install_keys``) driven by the migration module.
+
+This is the server third of the sans-I/O core: ``handle`` consumes one
+decoded frame and returns the reply frame (or ``None``), with no transport,
+runtime, or clock anywhere in sight.  The simulator wraps it in a process
+that models service time; the asyncio backend serves it behind a TCP
+listener; the tests drive it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...core.errors import ProtocolError
+from ...messages import (
+    BATCH_KIND,
+    Message,
+    SubRequest,
+    make_batch_ack,
+    unpack_batch,
+)
+from ...protocols.base import RegisterProtocol, ServerLogic
+from .effects import Effect, SendFrame
+
+__all__ = [
+    "STALE_SHARD_KIND",
+    "MAX_STALE_RETRIES",
+    "StaleShardError",
+    "make_stale_reply",
+    "is_stale_reply",
+    "GroupServerEngine",
+]
+
+#: Reply kind bouncing a sub-request whose (shard, epoch) tag is stale.
+STALE_SHARD_KIND = "stale-shard"
+
+#: Stale-epoch bounces one operation may absorb (re-resolving and replaying
+#: its round each time) before the driver gives up -- shared by both
+#: backends so they tolerate the same amount of rebalancing churn.
+MAX_STALE_RETRIES = 16
+
+
+class StaleShardError(ProtocolError):
+    """A round-trip hit a server that no longer serves the shard at that epoch.
+
+    Raised client-side so drivers re-resolve the ring and replay the round
+    against the shard's current owner group.
+    """
+
+    def __init__(self, shard: Optional[str], sent_epoch: int,
+                 current_epoch: Optional[int]) -> None:
+        super().__init__(
+            f"shard {shard!r} epoch {sent_epoch} is stale "
+            f"(server hosts epoch {current_epoch})"
+        )
+        self.shard = shard
+        self.sent_epoch = sent_epoch
+        self.current_epoch = current_epoch
+
+
+def make_stale_reply(sub: SubRequest, current_epoch: Optional[int]) -> Message:
+    """The bounce for one stale sub-request, echoing its routing tag."""
+    return sub.message.reply(
+        STALE_SHARD_KIND,
+        {"shard": sub.shard, "sent_epoch": sub.epoch, "epoch": current_epoch},
+    )
+
+
+def is_stale_reply(message: Optional[Message]) -> bool:
+    return message is not None and message.kind == STALE_SHARD_KIND
+
+
+@dataclass
+class _HostedShard:
+    """One shard's slice of a group server: its epoch and per-key registers."""
+
+    epoch: int
+    registers: Dict[str, ServerLogic] = field(default_factory=dict)
+
+
+class GroupServerEngine(ServerLogic):
+    """One replica of a replica group, serving many shards' keys.
+
+    The only message kind it accepts is ``"batch"``; the kv-store client
+    drivers wrap even solitary sub-requests in a batch of one, so the wire
+    protocol stays uniform.  Sub-requests of different shards hosted by the
+    same group coalesce into the same frame.
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        protocol: RegisterProtocol,
+        shard_epochs: Optional[Dict[str, int]] = None,
+    ) -> None:
+        super().__init__(server_id)
+        self.protocol = protocol
+        self._shards: Dict[str, _HostedShard] = {}
+        for shard_id, epoch in (shard_epochs or {}).items():
+            self.host_shard(shard_id, epoch)
+        self.batches_served = 0
+        self.sub_ops_served = 0
+        self.largest_batch = 0
+        self.stale_bounces = 0
+
+    # -- control plane (hosting table) -----------------------------------------
+
+    def host_shard(
+        self,
+        shard_id: str,
+        epoch: int,
+        registers: Optional[Dict[str, ServerLogic]] = None,
+    ) -> None:
+        """Start serving ``shard_id`` at ``epoch`` (with migrated registers)."""
+        hosted = _HostedShard(epoch=epoch)
+        if registers:
+            for logic in registers.values():
+                logic.server_id = self.server_id
+            hosted.registers.update(registers)
+        self._shards[shard_id] = hosted
+
+    def evict_shard(self, shard_id: str) -> Dict[str, ServerLogic]:
+        """Stop serving ``shard_id``; returns its registers for migration."""
+        hosted = self._shards.pop(shard_id, None)
+        return hosted.registers if hosted is not None else {}
+
+    def set_epoch(self, shard_id: str, epoch: int) -> None:
+        """Fence ``shard_id`` at a new epoch (older tags bounce from now on)."""
+        self._shards[shard_id].epoch = epoch
+
+    def hosted_epoch(self, shard_id: str) -> Optional[int]:
+        hosted = self._shards.get(shard_id)
+        return hosted.epoch if hosted is not None else None
+
+    def hosted_shards(self) -> List[str]:
+        return list(self._shards)
+
+    def keys_for(self, shard_id: str) -> List[str]:
+        """The keys with materialized registers under ``shard_id`` here."""
+        hosted = self._shards.get(shard_id)
+        return list(hosted.registers) if hosted is not None else []
+
+    def extract_keys(
+        self, shard_id: str, keys: Iterable[str]
+    ) -> Dict[str, ServerLogic]:
+        """Remove and return the registers of ``keys`` (for migration)."""
+        hosted = self._shards[shard_id]
+        extracted: Dict[str, ServerLogic] = {}
+        for key in keys:
+            logic = hosted.registers.pop(key, None)
+            if logic is not None:
+                extracted[key] = logic
+        return extracted
+
+    def install_keys(self, shard_id: str, registers: Dict[str, ServerLogic]) -> None:
+        """Adopt migrated registers under ``shard_id`` (which must be hosted)."""
+        hosted = self._shards[shard_id]
+        for key, logic in registers.items():
+            logic.server_id = self.server_id
+            hosted.registers[key] = logic
+
+    # -- data plane -------------------------------------------------------------
+
+    def register_for(self, shard_id: str, key: str) -> ServerLogic:
+        """The per-key single-register server logic, created on first use."""
+        hosted = self._shards[shard_id]
+        logic = hosted.registers.get(key)
+        if logic is None:
+            logic = self.protocol.make_server(self.server_id)
+            hosted.registers[key] = logic
+        return logic
+
+    @property
+    def keys_hosted(self) -> int:
+        return sum(len(hosted.registers) for hosted in self._shards.values())
+
+    def handle(self, message: Message) -> Optional[Message]:
+        if message.kind != BATCH_KIND:
+            raise ValueError(
+                f"GroupServerEngine only handles batch frames, got {message.kind!r}"
+            )
+        subs = unpack_batch(message)
+        self.batches_served += 1
+        self.sub_ops_served += len(subs)
+        self.largest_batch = max(self.largest_batch, len(subs))
+        replies: List[Tuple[str, Optional[Message]]] = []
+        for sub in subs:
+            hosted = self._shards.get(sub.shard) if sub.shard is not None else None
+            if hosted is None or sub.epoch != hosted.epoch:
+                self.stale_bounces += 1
+                current = hosted.epoch if hosted is not None else None
+                replies.append((sub.key, make_stale_reply(sub, current)))
+                continue
+            replies.append(
+                (sub.key, self.register_for(sub.shard, sub.key).handle(sub.message))
+            )
+        return make_batch_ack(message, replies)
+
+    def on_frame(self, frame: Message) -> List[Effect]:
+        """Effect-style entry point: the batch-ack as a send effect."""
+        reply = self.handle(frame)
+        return [SendFrame(reply.receiver, reply)] if reply is not None else []

@@ -1,26 +1,25 @@
-"""The key-value store on the real asyncio TCP transport.
+"""The key-value store on the real asyncio TCP transport: the net adapter.
 
-The same placement layout and shard-tagged batch frames as the simulator
-backend, over real sockets:
+All protocol behaviour -- round lifecycle, batching, stale-epoch replay,
+proxy merging, failover, view-push adoption -- lives in the shared sans-I/O
+engines of :mod:`repro.kvstore.engine`; this module only *adapts* them to
+asyncio streams:
 
-* :class:`AsyncKVCluster` starts one :class:`~repro.asyncio_net.server.ReplicaServer`
-  per *replica-group* server, each hosting a multiplexed
-  :class:`~repro.kvstore.batching.BatchGroupServer` that serves every shard
-  placed on its group.  The cluster is live: :meth:`AsyncKVCluster.resize`
-  and :meth:`AsyncKVCluster.move_shard` rebalance the ring while clients
-  keep operating -- metadata and register drain happen in one synchronous
-  step on the event loop, and in-flight frames carrying old epoch tags
-  bounce back to the clients.
-* :class:`AsyncGroupClient` owns one connection per replica of one group and
-  coalesces sub-requests submitted in the same event-loop tick (or up to
-  ``max_batch``) into one batch frame per replica -- ``multi_get``/``multi_put``
-  and pipelined workloads batch naturally, across all shards of the group.
-* :class:`KVStore` is the client facade: ``await get/put/multi_get/multi_put``.
-  On a stale-shard bounce it re-resolves the ring and replays the bounced
-  round against the new owner group (round-trips are idempotent, so the
-  per-key register generator never notices the migration).
-* :class:`SyncKVStore` wraps a :class:`KVStore` for synchronous callers via a
-  background event-loop thread.
+* :class:`AsyncKVCluster` starts one
+  :class:`~repro.asyncio_net.server.ReplicaServer` per replica-group server
+  (each hosting a :class:`~repro.kvstore.engine.server.GroupServerEngine`),
+  plus optional :class:`ProxyServer` ingress proxies, and runs the live
+  control plane (:meth:`AsyncKVCluster.resize` / ``move_shard`` with delta
+  view pushes over TCP).
+* :class:`KVStore` is the client facade: ``await get/put/multi_get/multi_put``
+  drive a :class:`~repro.kvstore.engine.client.ClientSessionEngine`; emitted
+  frames ride per-replica connections (or the single proxy connection), and
+  emitted timers ride ``loop.call_later``.  Connection losses are reported
+  back into the engine, which owns replay and proxy failover.
+* :class:`AsyncGroupClient` / :class:`AsyncProxyClient` are pure transport:
+  connection pools with reconnect-and-redial, no round bookkeeping.
+* :class:`SyncKVStore` wraps a :class:`KVStore` for synchronous callers via
+  a background event-loop thread.
 """
 
 from __future__ import annotations
@@ -28,39 +27,35 @@ from __future__ import annotations
 import asyncio
 import logging
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..core.errors import ProtocolError
-from ..core.operations import OpKind, new_op_id
-from ..protocols.base import Broadcast, ClientLogic, OperationOutcome
-from ..sim.messages import (
-    BATCH_ACK_KIND,
-    PROXY_ACK_KIND,
-    PROXY_KIND,
-    VIEW_PUSH_ACK_KIND,
-    VIEW_PUSH_KIND,
-    Message,
-    ProxySubReply,
-    ProxySubRequest,
-    SubRequest,
-    make_batch,
-    make_proxy_ack,
-    make_proxy_request,
-    make_view_push,
-    unpack_batch_ack,
-    unpack_proxy_ack,
-    unpack_proxy_request,
-    unpack_view_push,
-)
-from ..asyncio_net.codec import read_frame, write_frame
+from ..asyncio_net.codec import FrameError, encode_message, read_frame, write_frame
 from ..asyncio_net.server import ReplicaServer
-from .batching import (
-    MAX_STALE_RETRIES,
-    BatchGroupServer,
+from ..core.operations import OpKind
+from ..messages import Message
+from ..protocols.base import OperationOutcome
+from .engine import (
+    DEFAULT_RETRY_POLICY,
+    DIRECT_INGRESS,
     BatchStats,
-    StaleShardError,
-    is_stale_reply,
+    CachedShardView,
+    CancelTimer,
+    ClientSessionEngine,
+    Connect,
+    Effect,
+    GroupServerEngine,
+    OpCompleted,
+    OpFailed,
+    ProxyEngine,
+    ReadRoutingPolicy,
+    RetryPolicy,
+    SendFrame,
+    StartTimer,
+    TimerId,
+    make_proxy_kill_trigger,
+    pick_one_proxy_per_site,
+    view_push_frames,
 )
 from .migration import (
     MigrationReport,
@@ -70,16 +65,7 @@ from .migration import (
 )
 from .perkey import KVHistoryRecorder, PerKeyAtomicity, check_per_key_atomicity
 from .placement import ReplicaGroup
-from .proxy import (
-    BroadcastReads,
-    CachedShardView,
-    ReadRoutingPolicy,
-    attempt_scoped_id,
-    make_proxy_kill_trigger,
-    pick_one_proxy_per_site,
-    plan_round,
-)
-from .sharding import ShardMap, ShardSpec
+from .sharding import ShardMap
 from .workload import KVRunResult, KVWorkload
 from ._sync import LoopThread, run_sync
 
@@ -89,49 +75,14 @@ __all__ = ["AsyncKVCluster", "AsyncGroupClient", "AsyncShardClient",
 
 logger = logging.getLogger(__name__)
 
-#: How often a disconnected peer retries its connection, and how many times
-#: an operation round retries over a transient outage before giving up --
-#: together they bound the reconnect-and-replay window (~5 s) during a
-#: replica kill/restart.  These are the *defaults* of :class:`RetryPolicy`;
-#: pass a policy to shrink the window (tests do, so a kill/restart scenario
-#: fails in well under a second instead of sleeping out five).
-RECONNECT_INTERVAL = 0.05
-MAX_TRANSIENT_RETRIES = 100
-
-#: A proxy bounds each replica round-trip attempt.  A round whose frames all
-#: left the socket successfully can still lose a targeted replica to a kill
-#: before it acks (only possible with a restrictive read policy -- broadcast
-#: rounds always have ``S - t`` live repliers); the timeout turns that silent
-#: loss into a replay, and after MAX_ROUND_TIMEOUTS replays into an error
-#: ack, instead of a client hanging forever.
-PROXY_ROUND_TIMEOUT = 2.0
-MAX_ROUND_TIMEOUTS = 5
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Timing knobs of the reconnect/replay/failover machinery.
-
-    One policy is owned by the cluster and inherited by every group client,
-    proxy and store built against it, so a whole deployment's failure windows
-    scale together: ``reconnect_interval * max_transient_retries`` bounds how
-    long a caller keeps replaying over a transient outage (the kill/restart
-    window), and ``round_timeout * max_round_timeouts`` bounds how long a
-    proxy waits on a silently-lost replica round before erroring the ack.
-    """
-
-    reconnect_interval: float = RECONNECT_INTERVAL
-    max_transient_retries: int = MAX_TRANSIENT_RETRIES
-    round_timeout: float = PROXY_ROUND_TIMEOUT
-    max_round_timeouts: int = MAX_ROUND_TIMEOUTS
-
-    @property
-    def transient_window(self) -> float:
-        """Upper bound on the reconnect-and-replay window, in seconds."""
-        return self.reconnect_interval * self.max_transient_retries
-
-
-DEFAULT_RETRY_POLICY = RetryPolicy()
+#: Connection-death errors the transport maps onto engine notifications.
+_CONNECTION_ERRORS = (
+    asyncio.IncompleteReadError,
+    ConnectionResetError,
+    BrokenPipeError,
+    EOFError,
+    OSError,
+)
 
 
 class ProxyConnectionLost(ConnectionError):
@@ -139,10 +90,319 @@ class ProxyConnectionLost(ConnectionError):
 
     Distinct from the plain ``OSError`` of a replica-leg hiccup because the
     remedies differ: a replica outage is waited out (the endpoint is stable
-    across kill/restart), while a dead proxy triggers *failover* -- the store
-    re-dials the next proxy of its site, or falls back to direct replica
-    connections, and replays the round under a fresh attempt scope.
+    across kill/restart), while a dead proxy triggers *failover* -- the
+    client engine re-dials the next proxy of its site, or falls back to
+    direct replica connections, and replays the round under a fresh attempt
+    scope.
     """
+
+
+class _EffectRunner:
+    """Executes engine effects on the asyncio event loop.
+
+    Subclasses supply the engine, writer resolution, and operation
+    completion handling.  Effects returned by re-entrant engine calls (an
+    undeliverable frame reported while another effect is executing) join
+    the same FIFO, so execution order matches emission order.
+    """
+
+    def __init__(self) -> None:
+        self._timers: Dict[TimerId, asyncio.TimerHandle] = {}
+        self._effect_queue: Deque[Effect] = deque()
+        self._running_effects = False
+        self._io_tasks: "set[asyncio.Task]" = set()
+
+    # -- subclass surface --------------------------------------------------------
+
+    @property
+    def engine(self):
+        raise NotImplementedError
+
+    def _writer_for(self, destination: str) -> Optional[asyncio.StreamWriter]:
+        raise NotImplementedError
+
+    def _on_operation(self, effect) -> None:  # pragma: no cover - client only
+        raise NotImplementedError
+
+    def _connect_ingress(self, target: str) -> None:  # pragma: no cover - client only
+        raise NotImplementedError
+
+    # -- the effect pump ---------------------------------------------------------
+
+    def run_effects(self, effects: Sequence[Effect]) -> None:
+        self._effect_queue.extend(effects)
+        if self._running_effects:
+            return
+        self._running_effects = True
+        try:
+            while self._effect_queue:
+                self._execute(self._effect_queue.popleft())
+        finally:
+            self._running_effects = False
+
+    def _execute(self, effect: Effect) -> None:
+        if isinstance(effect, SendFrame):
+            self._send(effect)
+        elif isinstance(effect, StartTimer):
+            stale = self._timers.pop(effect.timer_id, None)
+            if stale is not None:
+                stale.cancel()
+            self._timers[effect.timer_id] = asyncio.get_running_loop().call_later(
+                effect.delay, self._fire_timer, effect.timer_id
+            )
+        elif isinstance(effect, CancelTimer):
+            timer = self._timers.pop(effect.timer_id, None)
+            if timer is not None:
+                timer.cancel()
+        elif isinstance(effect, Connect):
+            self._connect_ingress(effect.target)
+        elif isinstance(effect, (OpCompleted, OpFailed)):
+            self._on_operation(effect)
+        else:  # pragma: no cover - future effect kinds
+            raise TypeError(f"unknown effect {effect!r}")
+
+    def _fire_timer(self, timer_id: TimerId) -> None:
+        self._timers.pop(timer_id, None)
+        self.run_effects(self.engine.on_timer(timer_id))
+
+    def _send(self, effect: SendFrame) -> None:
+        writer = self._writer_for(effect.destination)
+        if writer is None or writer.is_closing():
+            # The peer is down and its redial has not landed yet; report the
+            # loss instead of writing into a dead socket -- the engine's
+            # replay (or failover) logic takes over.
+            self._effect_queue.extend(
+                self.engine.on_frame_undeliverable(
+                    effect.frame,
+                    ConnectionResetError(
+                        f"connection to {effect.destination} is down"
+                    ),
+                    retryable=True,
+                )
+            )
+            return
+        try:
+            data = encode_message(effect.frame)
+        except FrameError as exc:
+            # Not a connection death (an oversized frame): fail the affected
+            # rounds with the real error, but keep the connection usable.
+            self._effect_queue.extend(
+                self.engine.on_frame_undeliverable(effect.frame, exc, retryable=False)
+            )
+            return
+        # write() appends the whole frame synchronously (no interleaving with
+        # concurrent sends on this writer); only backpressure is awaited.
+        writer.write(data)
+        self._track(self._drain(writer, effect.frame))
+
+    async def _drain(self, writer: asyncio.StreamWriter, frame: Message) -> None:
+        try:
+            await writer.drain()
+        except _CONNECTION_ERRORS as exc:
+            self.run_effects(
+                self.engine.on_frame_undeliverable(frame, exc, retryable=True)
+            )
+
+    def _track(self, coroutine) -> asyncio.Task:
+        task = asyncio.create_task(coroutine)
+        self._io_tasks.add(task)
+        task.add_done_callback(self._io_tasks.discard)
+        return task
+
+    async def _shutdown_runner(self) -> None:
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        tasks = list(self._io_tasks)
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        self._io_tasks.clear()
+
+
+class AsyncGroupClient:
+    """Connections to one replica group: pure transport, no round logic.
+
+    Decoded frames are handed to ``on_frame`` (the owner routes them into
+    its engine).  A lost connection goes into reconnect: the receive loop's
+    death schedules periodic redial of the replica's (stable) endpoint.  A
+    redial that dies on an *unexpected* exception (anything outside the
+    ``OSError`` family the loop retries on) is reported via ``on_peer_lost``
+    so rounds counting on that replica are failed over to the engines'
+    replay logic instead of hanging with no trace.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        group: ReplicaGroup,
+        endpoints: Dict[str, Tuple[str, int]],
+        retry_policy: Optional[RetryPolicy] = None,
+        on_frame: Optional[Callable[[Message], None]] = None,
+        on_peer_lost: Optional[Callable[[str, BaseException], None]] = None,
+    ) -> None:
+        self.client_id = client_id
+        self.group = group
+        self.endpoints = dict(endpoints)
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+        self._on_frame = on_frame or (lambda message: None)
+        self._on_peer_lost = on_peer_lost or (lambda server_id, exc: None)
+        self._writers: Dict[str, asyncio.StreamWriter] = {}
+        self._receive_tasks: "set[asyncio.Task]" = set()
+        self._reconnect_tasks: "set[asyncio.Task]" = set()
+        self._closing = False
+
+    async def connect(self) -> None:
+        for server_id in self.endpoints:
+            try:
+                await self._open(server_id)
+            except OSError:
+                # The replica is down right now (connecting mid-kill is the
+                # norm on the failover-to-direct path).  Rounds complete on
+                # the surviving quorum; keep redialing the stable endpoint
+                # so the replica is folded back in when it returns.
+                self._schedule_reconnect(server_id)
+
+    def writer_for(self, server_id: str) -> Optional[asyncio.StreamWriter]:
+        return self._writers.get(server_id)
+
+    async def _open(self, server_id: str) -> None:
+        host, port = self.endpoints[server_id]
+        reader, writer = await asyncio.open_connection(host, port)
+        stale = self._writers.get(server_id)
+        if stale is not None and stale is not writer:
+            stale.close()  # release the dead transport a redial replaces
+        self._writers[server_id] = writer
+        task = asyncio.create_task(self._receive_loop(server_id, reader))
+        self._receive_tasks.add(task)
+        task.add_done_callback(self._receive_tasks.discard)
+
+    async def _receive_loop(self, server_id: str, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                message = await read_frame(reader)
+                self._on_frame(message)
+        except _CONNECTION_ERRORS:
+            # The replica died (or was killed): keep redialing its endpoint
+            # so a restarted replica is picked back up transparently.
+            self._schedule_reconnect(server_id)
+        except asyncio.CancelledError:
+            return
+
+    def _schedule_reconnect(self, server_id: str) -> None:
+        if self._closing:
+            return
+        task = asyncio.create_task(self._reconnect(server_id))
+        self._reconnect_tasks.add(task)
+        task.add_done_callback(
+            lambda done, sid=server_id: self._reconnect_finished(sid, done)
+        )
+
+    async def _reconnect(self, server_id: str) -> None:
+        """Redial a dead replica until it is back (or this client closes)."""
+        while not self._closing:
+            await asyncio.sleep(self.retry_policy.reconnect_interval)
+            if self._closing:
+                return
+            try:
+                await self._open(server_id)
+                return
+            except OSError:
+                continue
+
+    def _reconnect_finished(self, server_id: str, task: asyncio.Task) -> None:
+        self._reconnect_tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None:
+            return
+        logger.warning(
+            "%s: reconnect to %s failed terminally: %r",
+            self.client_id, server_id, exc,
+        )
+        self._on_peer_lost(server_id, exc)
+
+    async def close(self) -> None:
+        self._closing = True
+        tasks = list(self._receive_tasks) + list(self._reconnect_tasks)
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        self._receive_tasks.clear()
+        self._reconnect_tasks.clear()
+        for writer in self._writers.values():
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except _CONNECTION_ERRORS:  # pragma: no cover - teardown race
+                pass
+        self._writers.clear()
+
+
+#: Backwards-compatible alias from before placement was its own layer.
+AsyncShardClient = AsyncGroupClient
+
+
+class AsyncProxyClient:
+    """A client's single connection to its site-local ingress proxy.
+
+    Pure transport: decoded frames go to ``on_frame``; a dead connection is
+    reported once via ``on_lost`` (the owning store's engine then fails over
+    to the next proxy of the site, or to direct replica connections).
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        proxy_id: str,
+        host: str,
+        port: int,
+        on_frame: Optional[Callable[[Message], None]] = None,
+        on_lost: Optional[Callable[["AsyncProxyClient", BaseException], None]] = None,
+    ) -> None:
+        self.client_id = client_id
+        self.proxy_id = proxy_id
+        self.host = host
+        self.port = port
+        self._on_frame = on_frame or (lambda message: None)
+        self._on_lost = on_lost or (lambda link, exc: None)
+        self.lost: Optional[BaseException] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self._receive_task: Optional[asyncio.Task] = None
+
+    async def connect(self) -> None:
+        reader, self.writer = await asyncio.open_connection(self.host, self.port)
+        self._receive_task = asyncio.create_task(self._receive_loop(reader))
+
+    async def _receive_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                message = await read_frame(reader)
+                self._on_frame(message)
+        except _CONNECTION_ERRORS as exc:
+            self._mark_lost(exc)
+        except asyncio.CancelledError:
+            return
+
+    def _mark_lost(self, exc: BaseException) -> None:
+        if self.lost is not None:
+            return
+        self.lost = ProxyConnectionLost(f"proxy {self.proxy_id} lost: {exc!r}")
+        self._on_lost(self, self.lost)
+
+    async def close(self) -> None:
+        if self._receive_task is not None:
+            self._receive_task.cancel()
+            await asyncio.gather(self._receive_task, return_exceptions=True)
+            self._receive_task = None
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except _CONNECTION_ERRORS:  # pragma: no cover - teardown race
+                pass
+            self.writer = None
 
 
 class AsyncKVCluster:
@@ -156,6 +416,7 @@ class AsyncKVCluster:
         service_per_op: float = 0.0,
         retry_policy: Optional[RetryPolicy] = None,
         push_views: bool = True,
+        delta_views: bool = True,
     ) -> None:
         self.shard_map = shard_map
         self.host = host
@@ -163,11 +424,12 @@ class AsyncKVCluster:
         self.service_per_op = service_per_op
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.push_views = push_views
+        self.delta_views = delta_views
         self.view_pushes_sent = 0
         self.replicas: Dict[str, ReplicaServer] = {}
         self.proxies: Dict[str, "ProxyServer"] = {}
         self.migrations: List[MigrationReport] = []
-        self._logics: Dict[str, BatchGroupServer] = {}
+        self._logics: Dict[str, GroupServerEngine] = {}
         self._endpoints: Dict[str, Dict[str, Tuple[str, int]]] = {}
         self._proxy_rr = 0
         self._view_push_tasks: "set[asyncio.Task]" = set()
@@ -180,7 +442,7 @@ class AsyncKVCluster:
             }
             endpoints: Dict[str, Tuple[str, int]] = {}
             for server_id in group.servers:
-                logic = BatchGroupServer(server_id, group.protocol, dict(hosted))
+                logic = GroupServerEngine(server_id, group.protocol, dict(hosted))
                 replica = ReplicaServer(
                     logic,
                     host=self.host,
@@ -312,10 +574,10 @@ class AsyncKVCluster:
         if not replica.running:
             await replica.start()
 
-    # -- live control plane ----------------------------------------------------
+    # -- live control plane ------------------------------------------------------
 
     @property
-    def server_logics(self) -> Dict[str, BatchGroupServer]:
+    def server_logics(self) -> Dict[str, GroupServerEngine]:
         return dict(self._logics)
 
     def resize(self, new_num_shards: int) -> MigrationReport:
@@ -328,7 +590,7 @@ class AsyncKVCluster:
         plan = self.shard_map.resize(new_num_shards)
         report = apply_resize_plan(plan, self.shard_map, self._logics)
         self.migrations.append(report)
-        self._push_view_update()
+        self._push_view_update(plan)
         return report
 
     def move_shard(self, shard_id: str, group_id: str) -> MigrationReport:
@@ -336,13 +598,13 @@ class AsyncKVCluster:
         plan = self.shard_map.move_shard(shard_id, group_id)
         report = apply_move_plan(plan, self._logics)
         self.migrations.append(report)
-        self._push_view_update()
+        self._push_view_update(plan)
         return report
 
     # -- view push (control plane -> proxies) ------------------------------------
 
-    def _push_view_update(self) -> None:
-        """Push the fresh shard-map view to every running proxy.
+    def _push_view_update(self, plan) -> None:
+        """Push the rebalance's view (delta) to every running proxy.
 
         Fired by :meth:`resize`/:meth:`move_shard`.  The cutover itself is
         synchronous; the push rides a background task because it crosses the
@@ -357,21 +619,27 @@ class AsyncKVCluster:
             loop = asyncio.get_running_loop()
         except RuntimeError:  # no loop: nothing can be in flight to push to
             return
-        view = self.shard_map.view_snapshot()
-        task = loop.create_task(self._push_views(view))
+        frames = view_push_frames(
+            self.shard_map,
+            [pid for pid, proxy in self.proxies.items() if proxy.running],
+            plan=plan,
+            delta=self.delta_views,
+        )
+        if not frames:
+            return
+        task = loop.create_task(self._push_views(frames))
         self._view_push_tasks.add(task)
         task.add_done_callback(self._view_push_tasks.discard)
 
-    async def _push_views(self, view: Dict[str, Any]) -> None:
-        for proxy_id, proxy in list(self.proxies.items()):
-            if not proxy.running:
+    async def _push_views(self, frames: List[Message]) -> None:
+        for frame in frames:
+            proxy = self.proxies.get(frame.receiver)
+            if proxy is None or not proxy.running:
                 continue  # killed: restart_proxy() refreshes its view anyway
             try:
                 reader, writer = await asyncio.open_connection(proxy.host, proxy.port)
                 try:
-                    await write_frame(
-                        writer, make_view_push("control-plane", proxy_id, view)
-                    )
+                    await write_frame(writer, frame)
                     await read_frame(reader)  # proxy acks once the view is applied
                     self.view_pushes_sent += 1
                 finally:
@@ -390,368 +658,17 @@ class AsyncKVCluster:
             await asyncio.gather(*tasks, return_exceptions=True)
 
 
-@dataclass
-class _PendingRound:
-    """One round-trip of one operation, awaiting its quorum of sub-replies."""
-
-    op_id: str
-    round_trip: int
-    key: str
-    shard: str
-    epoch: int
-    request: Broadcast
-    wait_for: int
-    sender: str = ""
-    targets: Optional[Tuple[str, ...]] = None
-    replies: List[Message] = field(default_factory=list)
-    ready: asyncio.Event = field(default_factory=asyncio.Event)
-    error: Optional[BaseException] = None
-
-    def fail(self, exc: BaseException) -> None:
-        self.error = exc
-        self.ready.set()
-
-
-class AsyncGroupClient:
-    """Connections to one replica group, with batch coalescing.
-
-    Sub-requests submitted while the event loop is busy (same tick) ride the
-    same batch frame; a frame is also cut as soon as ``max_batch``
-    sub-requests are pending.  All shards hosted by the group share the same
-    frames -- coalescing improves as shards-per-group grows.  When a proxy
-    owns this client, sub-requests from *different* downstream clients all
-    funnel through it, which is exactly the cross-client merge of the
-    ingress tier.
-
-    A lost connection goes into reconnect-and-replay: the receive loop's
-    death schedules periodic redial of the replica's (stable) endpoint,
-    sends to the dead replica fail fast and count against each round's
-    quorum, and callers replay rounds that could not reach a quorum.
-    """
-
-    def __init__(
-        self,
-        client_id: str,
-        group: ReplicaGroup,
-        endpoints: Dict[str, Tuple[str, int]],
-        max_batch: int = 8,
-        retry_policy: Optional[RetryPolicy] = None,
-    ) -> None:
-        if max_batch < 1:
-            raise ValueError("max_batch must be positive")
-        self.client_id = client_id
-        self.group = group
-        self.endpoints = dict(endpoints)
-        self.max_batch = max_batch
-        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
-        self.batch_stats = BatchStats()
-        self._writers: Dict[str, asyncio.StreamWriter] = {}
-        self._receive_tasks: "set[asyncio.Task]" = set()
-        self._send_tasks: "set[asyncio.Task]" = set()
-        self._reconnect_tasks: "set[asyncio.Task]" = set()
-        self._queue: List[_PendingRound] = []
-        self._rounds: Dict[Tuple[str, int], _PendingRound] = {}
-        self._flush_scheduled = False
-        self._closing = False
-
-    @property
-    def quorum_size(self) -> int:
-        return self.group.quorum_size
-
-    @property
-    def frames_sent(self) -> int:
-        return self.batch_stats.frames_sent
-
-    @property
-    def frames_received(self) -> int:
-        return self.batch_stats.frames_received
-
-    # -- connection management -------------------------------------------------
-
-    async def connect(self) -> None:
-        for server_id in self.endpoints:
-            try:
-                await self._open(server_id)
-            except OSError:
-                # The replica is down right now (connecting mid-kill is the
-                # norm on the failover-to-direct path).  Rounds complete on
-                # the surviving quorum; keep redialing the stable endpoint
-                # so the replica is folded back in when it returns.
-                self._schedule_reconnect(server_id)
-
-    async def _open(self, server_id: str) -> None:
-        host, port = self.endpoints[server_id]
-        reader, writer = await asyncio.open_connection(host, port)
-        stale = self._writers.get(server_id)
-        if stale is not None and stale is not writer:
-            stale.close()  # release the dead transport a redial replaces
-        self._writers[server_id] = writer
-        task = asyncio.create_task(self._receive_loop(server_id, reader))
-        self._receive_tasks.add(task)
-        task.add_done_callback(self._receive_tasks.discard)
-
-    def _schedule_reconnect(self, server_id: str) -> None:
-        if self._closing:
-            return
-        task = asyncio.create_task(self._reconnect(server_id))
-        self._reconnect_tasks.add(task)
-        task.add_done_callback(
-            lambda done, sid=server_id: self._reconnect_finished(sid, done)
-        )
-
-    def _reconnect_finished(self, server_id: str, task: asyncio.Task) -> None:
-        """Observe a finished redial task instead of discarding it blindly.
-
-        A redial that dies on an *unexpected* exception (anything outside
-        the ``OSError`` family the loop retries on) used to be swallowed by
-        the bare-discard callback: the server was never redialed again, and
-        rounds counting on it hung past the reconnect window with no trace.
-        Log the terminal failure and fail the rounds still waiting on that
-        server, so their callers' replay logic takes over immediately.
-        """
-        self._reconnect_tasks.discard(task)
-        if task.cancelled():
-            return
-        exc = task.exception()
-        if exc is None:
-            return
-        logger.warning(
-            "%s: reconnect to %s failed terminally: %r",
-            self.client_id, server_id, exc,
-        )
-        for pending in list(self._rounds.values()):
-            eligible = (
-                pending.targets
-                if pending.targets is not None
-                else tuple(self.endpoints)
-            )
-            if server_id in eligible and len(pending.replies) < pending.wait_for:
-                pending.fail(exc)
-
-    async def _reconnect(self, server_id: str) -> None:
-        """Redial a dead replica until it is back (or this client closes).
-
-        The endpoint is stable across kill/restart (the replica rebinds its
-        port), so reconnecting is pure persistence; in-flight rounds are not
-        touched -- they either complete on the surviving quorum or get
-        replayed by their caller.
-        """
-        while not self._closing:
-            await asyncio.sleep(self.retry_policy.reconnect_interval)
-            if self._closing:
-                return
-            try:
-                await self._open(server_id)
-                return
-            except OSError:
-                continue
-
-    async def close(self) -> None:
-        self._closing = True
-        tasks = (
-            list(self._receive_tasks)
-            + list(self._send_tasks)
-            + list(self._reconnect_tasks)
-        )
-        for task in tasks:
-            task.cancel()
-        await asyncio.gather(*tasks, return_exceptions=True)
-        self._receive_tasks.clear()
-        self._send_tasks.clear()
-        self._reconnect_tasks.clear()
-        for writer in self._writers.values():
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):  # pragma: no cover
-                pass
-        self._writers.clear()
-
-    # -- the round-trip primitive ----------------------------------------------
-
-    async def round_trip(
-        self,
-        key: str,
-        shard: str,
-        epoch: int,
-        op_id: str,
-        round_trip: int,
-        request: Broadcast,
-        targets: Optional[Sequence[str]] = None,
-        sender: Optional[str] = None,
-    ) -> List[Message]:
-        """Broadcast one shard-tagged sub-request (batched), await its quorum.
-
-        ``targets`` restricts the round to a subset of the group's replicas
-        (how a proxy's read-routing policy lands on the wire); ``None``
-        broadcasts.  ``sender`` overrides the sub-message's sender identity
-        -- a proxy forwards its downstream client's id so the protocols'
-        per-client bookkeeping is preserved end to end.
-
-        Raises :class:`StaleShardError` when the group bounces the round
-        because the (shard, epoch) tag went stale mid-flight -- the caller
-        re-resolves the ring and replays the round at the new owner.
-        """
-        wait_for = request.wait_for if request.wait_for is not None else self.quorum_size
-        pending = _PendingRound(
-            op_id=op_id,
-            round_trip=round_trip,
-            key=key,
-            shard=shard,
-            epoch=epoch,
-            request=request,
-            wait_for=wait_for,
-            sender=sender if sender is not None else self.client_id,
-            targets=tuple(targets) if targets is not None else None,
-        )
-        self._rounds[(op_id, round_trip)] = pending
-        self._submit(pending)
-        try:
-            await pending.ready.wait()
-        finally:
-            self._rounds.pop((op_id, round_trip), None)
-        # During a cutover some replicas may serve the round while others
-        # bounce it; a reached quorum wins over a late stale bounce.
-        if pending.error is not None and len(pending.replies) < wait_for:
-            raise pending.error
-        return list(pending.replies[:wait_for])
-
-    def _submit(self, pending: _PendingRound) -> None:
-        self._queue.append(pending)
-        if len(self._queue) >= self.max_batch:
-            self._flush()
-        elif not self._flush_scheduled:
-            self._flush_scheduled = True
-            asyncio.get_running_loop().call_soon(self._flush)
-
-    def _flush(self) -> None:
-        self._flush_scheduled = False
-        if not self._queue:
-            return
-        batch, self._queue = self._queue[: self.max_batch], self._queue[self.max_batch :]
-        if self._queue and not self._flush_scheduled:
-            self._flush_scheduled = True
-            asyncio.get_running_loop().call_soon(self._flush)
-        self.batch_stats.record(len(batch))
-        task = asyncio.create_task(self._send_batch(batch))
-        self._send_tasks.add(task)
-        task.add_done_callback(self._send_tasks.discard)
-
-    async def _send_batch(self, batch: List[_PendingRound]) -> None:
-        async def send_to(server_id: str, writer: asyncio.StreamWriter) -> None:
-            subs = [
-                SubRequest(
-                    key=pending.key,
-                    message=Message(
-                        sender=pending.sender,
-                        receiver=server_id,
-                        kind=pending.request.kind,
-                        payload=pending.request.payload_for(server_id),
-                        op_id=pending.op_id,
-                        round_trip=pending.round_trip,
-                    ),
-                    shard=pending.shard,
-                    epoch=pending.epoch,
-                )
-                for pending in batch
-                if pending.targets is None or server_id in pending.targets
-            ]
-            if not subs:
-                return
-            if writer.is_closing():
-                # The replica is down and its redial has not landed yet;
-                # fail this send fast instead of writing into a dead socket.
-                raise ConnectionResetError(f"connection to {server_id} is down")
-            await write_frame(writer, make_batch(self.client_id, server_id, subs))
-            self.batch_stats.record_frames(sent=1)
-
-        # Writes go out concurrently so one backpressured replica cannot
-        # delay the frames for the rest of the quorum.
-        servers = list(self._writers.items())
-        results = await asyncio.gather(
-            *(send_to(server_id, writer) for server_id, writer in servers),
-            return_exceptions=True,
-        )
-        reached = {
-            server_id
-            for (server_id, _), result in zip(servers, results)
-            if not isinstance(result, BaseException)
-        }
-        first_failure = next(
-            (r for r in results if isinstance(r, BaseException)), None
-        )
-        if first_failure is None and len(self._writers) == len(self.endpoints):
-            return
-        # A round survives failed sends to a minority of its targets (quorum
-        # still reachable); when too few frames went out -- a dead replica
-        # mid-kill, a replica still unconnected (no writer yet, so never
-        # even attempted), or none at all when the frame exceeds
-        # MAX_FRAME_BYTES -- fail the waiters instead of letting them block
-        # forever, so the caller's replay logic takes over.
-        failure = first_failure or ConnectionResetError(
-            "not enough replica connections for a quorum"
-        )
-        for pending in batch:
-            eligible = (
-                pending.targets
-                if pending.targets is not None
-                else tuple(self.endpoints)
-            )
-            successes = sum(1 for server_id in eligible if server_id in reached)
-            if successes < pending.wait_for:
-                pending.fail(failure)
-
-    async def _receive_loop(self, server_id: str, reader: asyncio.StreamReader) -> None:
-        try:
-            while True:
-                message = await read_frame(reader)
-                self.batch_stats.record_frames(received=1)
-                if message.kind != BATCH_ACK_KIND:
-                    continue
-                for _key, sub in unpack_batch_ack(message):
-                    if sub is None:
-                        continue
-                    pending = self._rounds.get((sub.op_id, sub.round_trip))
-                    if pending is None:
-                        continue  # straggler from a completed round-trip
-                    if is_stale_reply(sub):
-                        pending.fail(
-                            StaleShardError(
-                                pending.shard,
-                                pending.epoch,
-                                sub.payload.get("epoch"),
-                            )
-                        )
-                        continue
-                    pending.replies.append(sub)
-                    if len(pending.replies) >= pending.wait_for:
-                        pending.ready.set()
-        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
-            # The replica died (or was killed): keep redialing its endpoint
-            # so a restarted replica is picked back up transparently.
-            self._schedule_reconnect(server_id)
-        except asyncio.CancelledError:
-            return
-
-
-#: Backwards-compatible alias from before placement was its own layer.
-AsyncShardClient = AsyncGroupClient
-
-
-class ProxyServer:
-    """One site-local ingress proxy over TCP (:mod:`repro.kvstore.proxy`).
+class ProxyServer(_EffectRunner):
+    """One site-local ingress proxy over TCP: one proxy engine.
 
     Accepts client connections speaking ``"proxy"``/``"proxy-ack"`` frames
-    and drives each forwarded round against the owner replica group through
-    its own :class:`AsyncGroupClient` per group.  Because *every* client
-    connection's rounds funnel into those few group clients, sub-requests
-    from different clients coalesce into shared replica frames -- the
-    cross-client merge.  The proxy owns shard resolution (a
-    :class:`~repro.kvstore.proxy.CachedShardView` refreshed on stale-epoch
-    bounces, replaying transparently), applies its
-    :class:`~repro.kvstore.proxy.ReadRoutingPolicy` to pick read targets,
-    and forwards each downstream client's identity as the sub-message
-    sender so the register protocols' per-client bookkeeping is intact.
+    and feeds them (plus control-plane ``"view-push"`` frames and the
+    replicas' ``"batch-ack"`` replies) into a shared
+    :class:`~repro.kvstore.engine.proxy.ProxyEngine`, which owns shard
+    resolution, read routing, cross-client merging, stale-epoch replay and
+    round timeouts.  This class only manages connections: one
+    :class:`AsyncGroupClient` per replica group, and a sender->writer map
+    for routing ack frames back to the connection they belong to.
     """
 
     def __init__(
@@ -764,26 +681,47 @@ class ProxyServer:
         port: int = 0,
         site: Optional[str] = None,
     ) -> None:
+        super().__init__()
         self.proxy_id = proxy_id
         self.cluster = cluster
         self.site = site
-        self.view = CachedShardView(cluster.shard_map)
-        self.read_policy = read_policy or BroadcastReads()
-        self.max_batch = max_batch
         self.host = host
         self.port = port
         self.retry_policy = cluster.retry_policy
-        self.stale_replays = 0
+        self.view = CachedShardView(cluster.shard_map)
+        self._engine = ProxyEngine(
+            proxy_id,
+            self.view,
+            read_policy=read_policy,
+            policy=cluster.retry_policy,
+            max_batch=max_batch,
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._group_clients: Dict[str, AsyncGroupClient] = {}
-        self._retired_stats = BatchStats()
-        self._connections: "set" = set()
-        self._serve_tasks: "set[asyncio.Task]" = set()
-        self._attempts = 0
+        self._server_home: Dict[str, AsyncGroupClient] = {}
+        self._client_writers: Dict[str, asyncio.StreamWriter] = {}
+        self._connections: "set[asyncio.StreamWriter]" = set()
+
+    @property
+    def engine(self) -> ProxyEngine:
+        return self._engine
+
+    @property
+    def read_policy(self) -> ReadRoutingPolicy:
+        return self._engine.read_policy
+
+    @property
+    def stale_replays(self) -> int:
+        return self._engine.stale_replays
 
     @property
     def running(self) -> bool:
         return self._server is not None
+
+    def batch_stats(self) -> BatchStats:
+        """Replica-side merging/frame statistics (cumulative across any
+        kill/restart -- the engine outlives the connections)."""
+        return self._engine.stats.copy()
 
     async def start(self) -> None:
         """(Re)start the proxy; after a kill, the same port is rebound so
@@ -795,11 +733,18 @@ class ProxyServer:
                 self.proxy_id,
                 group,
                 self.cluster.endpoints_for(group.group_id),
-                max_batch=self.max_batch,
                 retry_policy=self.retry_policy,
+                on_frame=lambda message: self.run_effects(
+                    self._engine.on_frame(message)
+                ),
+                on_peer_lost=lambda server_id, exc: self.run_effects(
+                    self._engine.on_peer_lost(server_id)
+                ),
             )
             await group_client.connect()
             self._group_clients[group.group_id] = group_client
+            for server_id in group_client.endpoints:
+                self._server_home[server_id] = group_client
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port
         )
@@ -812,387 +757,76 @@ class ProxyServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        for task in list(self._serve_tasks):
-            task.cancel()
-        await asyncio.gather(*self._serve_tasks, return_exceptions=True)
-        self._serve_tasks.clear()
+        await self._shutdown_runner()
         for writer in list(self._connections):
             writer.close()
         for group_client in self._group_clients.values():
-            # Keep the retired connections' frame accounting: a killed
-            # proxy's pre-kill traffic was real wire cost and must survive
-            # into the run totals (each frame still counted exactly once).
-            self._retired_stats.merge(group_client.batch_stats)
             await group_client.close()
         self._group_clients.clear()
+        self._server_home.clear()
+        self._client_writers.clear()
+        # Clients behind a killed proxy fail over and replay under fresh
+        # attempt scopes; drop the stranded rounds so a restart acks no
+        # ghosts (frame accounting lives in the engine and survives).
+        self._engine.sever()
 
-    def batch_stats(self) -> BatchStats:
-        """Replica-side merging/frame statistics across all group clients
-        (including connections retired by an earlier kill/restart)."""
-        merged = BatchStats()
-        merged.merge(self._retired_stats)
-        for group_client in self._group_clients.values():
-            merged.merge(group_client.batch_stats)
-        return merged
-
-    # -- client connections ------------------------------------------------------
+    def _writer_for(self, destination: str) -> Optional[asyncio.StreamWriter]:
+        group_client = self._server_home.get(destination)
+        if group_client is not None:
+            return group_client.writer_for(destination)
+        return self._client_writers.get(destination)
 
     async def _handle_client(self, reader, writer) -> None:
+        senders: "set[str]" = set()
         self._connections.add(writer)
-        # One writer lock per connection: ack frames for rounds completing
-        # concurrently must not interleave their bytes.
-        lock = asyncio.Lock()
         try:
             while True:
                 try:
                     frame = await read_frame(reader)
-                except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+                except _CONNECTION_ERRORS:
                     break
                 except asyncio.CancelledError:
                     break  # loop teardown raced this connection's EOF
-                if frame.kind == VIEW_PUSH_KIND:
-                    # Control-plane push: adopt the fresh view, then ack so
-                    # the pusher knows routing is current before it returns.
-                    self.view.apply_push(unpack_view_push(frame))
-                    async with lock:
-                        await write_frame(
-                            writer,
-                            Message(
-                                sender=self.proxy_id,
-                                receiver=frame.sender,
-                                kind=VIEW_PUSH_ACK_KIND,
-                                payload={"ring_epoch": self.view.ring_epoch},
-                            ),
-                        )
-                    continue
-                if frame.kind != PROXY_KIND:
-                    continue
-                for sub in unpack_proxy_request(frame):
-                    task = asyncio.create_task(
-                        self._serve(frame.sender, sub, writer, lock)
-                    )
-                    self._serve_tasks.add(task)
-                    task.add_done_callback(self._serve_tasks.discard)
+                # Ack frames route back over the connection the request (or
+                # view push) arrived on: remember who speaks through it.
+                if frame.sender not in senders:
+                    senders.add(frame.sender)
+                    self._client_writers[frame.sender] = writer
+                self.run_effects(self._engine.on_frame(frame))
         finally:
             self._connections.discard(writer)
+            for sender in senders:
+                if self._client_writers.get(sender) is writer:
+                    del self._client_writers[sender]
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError, asyncio.CancelledError):
+            except (*_CONNECTION_ERRORS, asyncio.CancelledError):
                 pass
 
-    # -- driving one forwarded round ---------------------------------------------
 
-    async def _serve(
-        self,
-        client: str,
-        sub: ProxySubRequest,
-        writer: asyncio.StreamWriter,
-        lock: asyncio.Lock,
-    ) -> None:
-        replies: Sequence[Message] = ()
-        error: Optional[str] = None
-        stale_retries = 0
-        transient_retries = 0
-        timeouts = 0
-        retry = self.retry_policy
-        while True:
-            plan = plan_round(self.view, self.read_policy, self.proxy_id, sub)
-            group_client = self._group_clients[plan.route.group_id]
-            self._attempts += 1
-            request = Broadcast(
-                kind=sub.kind,
-                payload=sub.payload,
-                wait_for=plan.wait_for,
-                per_server_payload=sub.per_server or {},
-            )
-            try:
-                replies = await asyncio.wait_for(
-                    group_client.round_trip(
-                        sub.key,
-                        plan.route.shard_id,
-                        plan.route.epoch,
-                        attempt_scoped_id(sub.op_id, self._attempts),
-                        sub.round_trip,
-                        request,
-                        targets=plan.targets,
-                        sender=client,
-                    ),
-                    timeout=retry.round_timeout,
-                )
-                break
-            except StaleShardError:
-                stale_retries += 1
-                self.stale_replays += 1
-                if stale_retries > MAX_STALE_RETRIES:
-                    error = (
-                        f"shard map never converged after {stale_retries} "
-                        "stale replays"
-                    )
-                    break
-                self.view.refresh()
-            except asyncio.TimeoutError:
-                # A targeted replica died after the frame left the socket
-                # (restrictive read policies only); replay the idempotent
-                # round -- the redial may have landed by now.
-                timeouts += 1
-                if timeouts > retry.max_round_timeouts:
-                    error = (
-                        f"round got no quorum within "
-                        f"{timeouts * retry.round_timeout:.0f}s; with a "
-                        "restrictive read policy, give it spare >= the "
-                        "fault budget to ride out crashed replicas"
-                    )
-                    break
-            except (OSError, EOFError) as exc:
-                transient_retries += 1
-                if transient_retries > retry.max_transient_retries:
-                    error = f"replica quorum unreachable: {exc}"
-                    break
-                await asyncio.sleep(retry.reconnect_interval)
-            except Exception as exc:  # noqa: BLE001 - never leave the client hanging
-                # Anything unexpected (an oversized merged frame raising
-                # FrameError, a codec bug, ...) must still produce an error
-                # ack: a swallowed serve-task exception would leave the
-                # downstream client awaiting a reply that never comes.
-                error = f"{type(exc).__name__}: {exc}"
-                break
-        sub_reply = ProxySubReply(
-            op_id=sub.op_id,
-            round_trip=sub.round_trip,
-            replies=tuple(replies),
-            error=error,
-        )
-        try:
-            async with lock:
-                await write_frame(
-                    writer, make_proxy_ack(self.proxy_id, client, [sub_reply])
-                )
-        except (ConnectionResetError, BrokenPipeError, OSError):
-            pass  # the client went away; nothing to deliver the round to
-
-
-@dataclass
-class _PendingProxyRound:
-    """One round forwarded to the proxy, awaiting its proxy-ack."""
-
-    sub: ProxySubRequest
-    replies: Tuple[Message, ...] = ()
-    error: Optional[str] = None
-    ready: asyncio.Event = field(default_factory=asyncio.Event)
-    exception: Optional[BaseException] = None
-
-    def fail(self, exc: BaseException) -> None:
-        self.exception = exc
-        self.ready.set()
-
-
-class AsyncProxyClient:
-    """A client's single connection to its site-local ingress proxy.
-
-    Replaces the per-group fan-out of :class:`AsyncGroupClient`: every round
-    of every operation -- regardless of owner group -- rides one connection,
-    coalesced per event-loop tick into ``"proxy"`` frames.  The proxy sends
-    each round back as one ``"proxy-ack"`` carrying the full quorum of
-    replica replies.
-    """
-
-    def __init__(
-        self,
-        client_id: str,
-        proxy_id: str,
-        host: str,
-        port: int,
-        max_batch: int = 8,
-    ) -> None:
-        if max_batch < 1:
-            raise ValueError("max_batch must be positive")
-        self.client_id = client_id
-        self.proxy_id = proxy_id
-        self.host = host
-        self.port = port
-        self.max_batch = max_batch
-        self.batch_stats = BatchStats()
-        #: Set (to the underlying error) once the proxy connection is known
-        #: dead; every subsequent round fails fast with
-        #: :class:`ProxyConnectionLost` so the owning store can fail over.
-        self.lost: Optional[BaseException] = None
-        self._writer: Optional[asyncio.StreamWriter] = None
-        self._receive_task: Optional[asyncio.Task] = None
-        self._send_tasks: "set[asyncio.Task]" = set()
-        self._queue: List[Tuple[Tuple[str, int], _PendingProxyRound]] = []
-        self._rounds: Dict[Tuple[str, int], _PendingProxyRound] = {}
-        self._flush_scheduled = False
-
-    async def connect(self) -> None:
-        reader, self._writer = await asyncio.open_connection(self.host, self.port)
-        self._receive_task = asyncio.create_task(self._receive_loop(reader))
-
-    def _mark_lost(self, exc: BaseException) -> None:
-        if self.lost is None:
-            self.lost = exc
-        for pending in list(self._rounds.values()):
-            pending.fail(ProxyConnectionLost(f"proxy {self.proxy_id} lost: {exc!r}"))
-
-    async def close(self) -> None:
-        tasks = list(self._send_tasks)
-        if self._receive_task is not None:
-            tasks.append(self._receive_task)
-        for task in tasks:
-            task.cancel()
-        await asyncio.gather(*tasks, return_exceptions=True)
-        self._send_tasks.clear()
-        self._receive_task = None
-        if self._writer is not None:
-            self._writer.close()
-            try:
-                await self._writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):  # pragma: no cover
-                pass
-            self._writer = None
-
-    async def round_trip(
-        self,
-        key: str,
-        op_kind: str,
-        op_id: str,
-        round_trip: int,
-        request: Broadcast,
-    ) -> List[Message]:
-        """Forward one round through the proxy and await its quorum replies.
-
-        Raises :class:`ProxyConnectionLost` (immediately once the connection
-        is known dead, or when it dies mid-round) so the caller can fail
-        over to another proxy and replay under a fresh attempt scope.
-        """
-        if self.lost is not None:
-            raise ProxyConnectionLost(
-                f"proxy {self.proxy_id} lost: {self.lost!r}"
-            )
-        sub = ProxySubRequest(
-            key=key,
-            op_kind=op_kind,
-            kind=request.kind,
-            payload=request.payload,
-            op_id=op_id,
-            round_trip=round_trip,
-            wait_for=request.wait_for,
-            per_server=request.per_server_payload or None,
-        )
-        pending = _PendingProxyRound(sub=sub)
-        round_key = (op_id, round_trip)
-        self._rounds[round_key] = pending
-        self._submit(round_key, pending)
-        try:
-            await pending.ready.wait()
-        finally:
-            self._rounds.pop(round_key, None)
-        if pending.exception is not None:
-            raise pending.exception
-        if pending.error is not None:
-            raise ProtocolError(
-                f"proxy failed operation {op_id}: {pending.error}"
-            )
-        return list(pending.replies)
-
-    def _submit(self, round_key, pending: _PendingProxyRound) -> None:
-        self._queue.append((round_key, pending))
-        if len(self._queue) >= self.max_batch:
-            self._flush()
-        elif not self._flush_scheduled:
-            self._flush_scheduled = True
-            asyncio.get_running_loop().call_soon(self._flush)
-
-    def _flush(self) -> None:
-        self._flush_scheduled = False
-        if not self._queue:
-            return
-        batch, self._queue = self._queue[: self.max_batch], self._queue[self.max_batch :]
-        if self._queue and not self._flush_scheduled:
-            self._flush_scheduled = True
-            asyncio.get_running_loop().call_soon(self._flush)
-        self.batch_stats.record(len(batch))
-        task = asyncio.create_task(self._send_batch(batch))
-        self._send_tasks.add(task)
-        task.add_done_callback(self._send_tasks.discard)
-
-    async def _send_batch(self, batch) -> None:
-        frame = make_proxy_request(
-            self.client_id, self.proxy_id, [pending.sub for _, pending in batch]
-        )
-        try:
-            if self._writer is None or self._writer.is_closing():
-                raise ConnectionResetError(
-                    f"connection to proxy {self.proxy_id} is down"
-                )
-            await write_frame(self._writer, frame)
-            self.batch_stats.record_frames(sent=1)
-        except (ConnectionResetError, BrokenPipeError, EOFError, OSError) as exc:
-            # The proxy itself is gone: flag the whole connection so every
-            # round (this batch and all future ones) fails over promptly.
-            self._mark_lost(exc)
-            for _, pending in batch:
-                pending.fail(
-                    ProxyConnectionLost(f"proxy {self.proxy_id} lost: {exc!r}")
-                )
-        except Exception as exc:  # noqa: BLE001 - every send error fails the batch
-            # Not a connection death (e.g. an oversized frame): fail these
-            # rounds with the real error, but keep the connection usable.
-            for _, pending in batch:
-                pending.fail(exc)
-
-    async def _receive_loop(self, reader: asyncio.StreamReader) -> None:
-        try:
-            while True:
-                message = await read_frame(reader)
-                self.batch_stats.record_frames(received=1)
-                if message.kind != PROXY_ACK_KIND:
-                    continue
-                for sub_reply in unpack_proxy_ack(message):
-                    pending = self._rounds.get(
-                        (sub_reply.op_id, sub_reply.round_trip)
-                    )
-                    if pending is None:
-                        continue  # straggler from a completed round-trip
-                    pending.replies = tuple(sub_reply.replies)
-                    pending.error = sub_reply.error
-                    pending.ready.set()
-        except (asyncio.IncompleteReadError, ConnectionResetError, OSError) as exc:
-            # The proxy vanished; fail every waiter with the failover signal
-            # rather than hanging (the store re-dials a sibling proxy).
-            self._mark_lost(exc)
-        except asyncio.CancelledError:
-            return
-
-
-class KVStore:
+class KVStore(_EffectRunner):
     """The async client facade of the sharded store.
 
     One store instance represents one logical client: operations on the same
     key are serialized per key (keeping per-key sub-histories well-formed)
     while operations on different keys run concurrently and share batch
-    rounds whenever their shards live on the same replica group.  Rounds
-    bounced by the epoch fence during a live resize/move are transparently
-    replayed against the key's new owner.
+    rounds whenever their shards live on the same replica group.  All of
+    that -- and stale-epoch replay, and proxy failover -- is the shared
+    :class:`~repro.kvstore.engine.client.ClientSessionEngine`; this class
+    adapts it to asyncio: frames ride per-replica connections (or the
+    single proxy connection), timers ride the event loop, and each
+    operation awaits a future resolved by the engine's completion effect.
 
     With ``use_proxy`` the store opens *one* connection -- to a site-local
     ingress proxy started via :meth:`AsyncKVCluster.start_proxies` -- instead
     of one per replica; pass ``True`` to be assigned a proxy round-robin or
-    a proxy id to pick one (e.g. the client's own site).  The proxy then
-    owns shard resolution, read routing and stale-epoch replay, and merges
-    this store's rounds with other clients' into shared replica frames.
-
-    The proxy connection is *fault-tolerant*: at connect time the store
-    learns the full proxy list of its proxy's site
-    (:meth:`AsyncKVCluster.proxy_candidates`), and when the connection dies
-    -- the proxy crashed, was killed via :meth:`AsyncKVCluster.kill_proxy`,
-    or the network dropped it -- the store re-dials the next candidate and
-    replays its in-flight rounds.  Every round forwarded through a proxy is
-    scoped by the store's *failover generation*
-    (:func:`~repro.kvstore.proxy.attempt_scoped_id`), so a straggler reply
-    relayed by the previous proxy can never be counted into a quorum
-    assembled through the next one.  When the site's proxies are exhausted
-    the store falls back to direct replica connections and keeps operating.
+    a proxy id to pick one (e.g. the client's own site).  At connect time
+    the store learns the full proxy list of its proxy's site
+    (:meth:`AsyncKVCluster.proxy_candidates`); when the connection dies the
+    engine re-dials the next candidate (through :class:`Connect` effects)
+    and replays its in-flight rounds under a fresh failover generation,
+    falling back to direct replica connections when the site is exhausted.
     """
 
     def __init__(
@@ -1203,27 +837,36 @@ class KVStore:
         recorder: Optional[KVHistoryRecorder] = None,
         use_proxy: Union[bool, str, None] = None,
     ) -> None:
+        super().__init__()
         self.cluster = cluster
         self.client_id = client_id
         self.max_batch = max_batch
         base = time.monotonic()
         self.recorder = recorder or KVHistoryRecorder(lambda: time.monotonic() - base)
-        self.stale_replays = 0
-        self.proxy_failovers = 0
-        self.completion_hook: Optional[Any] = None
         self.use_proxy = use_proxy
         self.retry_policy = cluster.retry_policy
+        self.completion_hook: Optional[Any] = None
+        self._engine: Optional[ClientSessionEngine] = None
         self._proxy_client: Optional[AsyncProxyClient] = None
-        self._proxy_candidates: List[str] = []
-        self._proxy_cursor = 0
-        self._proxy_generation = 0
-        self._failover_lock = asyncio.Lock()
-        self._retired_stats = BatchStats()
         self._group_clients: Dict[str, AsyncGroupClient] = {}
-        self._key_locks: Dict[str, asyncio.Lock] = {}
-        self._readers: Dict[str, ClientLogic] = {}
-        self._writers: Dict[str, ClientLogic] = {}
-        self._logic_homes: Dict[str, str] = {}
+        self._server_home: Dict[str, AsyncGroupClient] = {}
+        self._op_futures: Dict[str, asyncio.Future] = {}
+
+    @property
+    def engine(self) -> ClientSessionEngine:
+        if self._engine is None:
+            raise RuntimeError("KVStore is not connected; call connect() first")
+        return self._engine
+
+    @property
+    def stale_replays(self) -> int:
+        return self._engine.stale_replays if self._engine is not None else 0
+
+    @property
+    def proxy_failovers(self) -> int:
+        return self._engine.proxy_failovers if self._engine is not None else 0
+
+    # -- connecting --------------------------------------------------------------
 
     async def connect(self) -> None:
         if self.use_proxy:
@@ -1232,19 +875,39 @@ class KVStore:
                 if self.use_proxy is True
                 else str(self.use_proxy)
             )
-            self._proxy_candidates = self.cluster.proxy_candidates(proxy_id)
-            self._proxy_cursor = 0
+            candidates = self.cluster.proxy_candidates(proxy_id)
+            self._engine = self._make_engine(candidates)
             await self._dial_proxy(proxy_id)
+            self.run_effects(self._engine.on_connected(proxy_id))
             return
+        self._engine = self._make_engine([])
         await self._connect_direct()
+
+    def _make_engine(self, candidates: List[str]) -> ClientSessionEngine:
+        return ClientSessionEngine(
+            self.client_id,
+            self.cluster.shard_map,
+            self.recorder,
+            policy=self.retry_policy,
+            max_batch=self.max_batch,
+            proxy_candidates=candidates,
+        )
 
     async def _dial_proxy(self, proxy_id: str) -> None:
         host, port = self.cluster.proxy_endpoint(proxy_id)
-        client = AsyncProxyClient(
-            self.client_id, proxy_id, host, port, max_batch=self.max_batch
+        link = AsyncProxyClient(
+            self.client_id, proxy_id, host, port,
+            on_frame=lambda message: self.run_effects(self.engine.on_frame(message)),
+            on_lost=self._proxy_lost,
         )
-        await client.connect()
-        self._proxy_client = client
+        await link.connect()
+        self._proxy_client = link
+
+    def _proxy_lost(self, link: AsyncProxyClient, exc: BaseException) -> None:
+        if self._proxy_client is link:
+            # The engine's ingress state makes concurrent reports
+            # single-flight: the first moves the store, the rest are no-ops.
+            self.run_effects(self.engine.on_peer_lost(link.proxy_id))
 
     async def _connect_direct(self) -> None:
         # Idempotent per group (not all-or-nothing): the failover path may
@@ -1258,49 +921,51 @@ class KVStore:
                 self.client_id,
                 group,
                 self.cluster.endpoints_for(group.group_id),
-                max_batch=self.max_batch,
                 retry_policy=self.retry_policy,
+                on_frame=lambda message: self.run_effects(
+                    self.engine.on_frame(message)
+                ),
+                on_peer_lost=lambda server_id, exc: self.run_effects(
+                    self.engine.on_peer_lost(server_id)
+                ),
             )
             await client.connect()
             self._group_clients[group.group_id] = client
+            for server_id in client.endpoints:
+                self._server_home[server_id] = client
 
-    async def _handle_proxy_loss(self, lost_client: AsyncProxyClient) -> None:
-        """Fail over after ``lost_client`` died: next proxy, else direct.
+    def _connect_ingress(self, target: str) -> None:
+        """Execute a :class:`Connect` effect: dial off the effect pump."""
+        self._track(self._do_connect(target))
 
-        Many concurrent operations observe the same dead connection; the
-        lock plus the identity check make the failover single-flight -- the
-        first caller moves the store, the rest see it already moved and just
-        replay.  Advancing ``_proxy_generation`` before any replay is what
-        gives the replays fresh attempt-scoped ids.
-        """
-        async with self._failover_lock:
-            if self._proxy_client is not lost_client:
-                return  # another operation already failed this client over
-            self.proxy_failovers += 1
-            self._proxy_generation += 1
-            self._proxy_client = None
-            self._retired_stats.merge(lost_client.batch_stats)
-            await lost_client.close()
-            while self._proxy_cursor + 1 < len(self._proxy_candidates):
-                self._proxy_cursor += 1
-                candidate = self._proxy_candidates[self._proxy_cursor]
-                try:
-                    await self._dial_proxy(candidate)
-                    return
-                except OSError:
-                    continue  # candidate is dead too; keep walking the site
-            # The site's proxy list is exhausted: direct replica connections.
+    async def _do_connect(self, target: str) -> None:
+        stale = self._proxy_client
+        self._proxy_client = None
+        if stale is not None:
+            await stale.close()
+        if target == DIRECT_INGRESS:
             await self._connect_direct()
+            self.run_effects(self.engine.on_connected(DIRECT_INGRESS))
+            return
+        try:
+            await self._dial_proxy(target)
+        except OSError:
+            # The candidate is dead too; the engine keeps walking the site.
+            self.run_effects(self.engine.on_connect_failed(target))
+            return
+        self.run_effects(self.engine.on_connected(target))
 
     async def close(self) -> None:
+        await self._shutdown_runner()
         if self._proxy_client is not None:
             await self._proxy_client.close()
             self._proxy_client = None
         for client in self._group_clients.values():
             await client.close()
         self._group_clients.clear()
+        self._server_home.clear()
 
-    # -- operations -------------------------------------------------------------
+    # -- operations --------------------------------------------------------------
 
     async def put(self, key: str, value: Any) -> OperationOutcome:
         """Write ``value`` to ``key`` through the key's register."""
@@ -1321,132 +986,48 @@ class KVStore:
         pairs = list(items.items())
         await asyncio.gather(*(self.put(key, value) for key, value in pairs))
 
-    # -- internals --------------------------------------------------------------
-
-    def _logic_for(self, kind: OpKind, key: str, spec: ShardSpec) -> ClientLogic:
-        # Cached per-key logic was built against one group's server list;
-        # rebuild when a move re-homed the shard (fresh readers/writers are
-        # always safe to introduce for every protocol in this library).
-        if self._logic_homes.get(key) != spec.group.group_id:
-            self._logic_homes[key] = spec.group.group_id
-            self._readers.pop(key, None)
-            self._writers.pop(key, None)
-        cache = self._writers if kind is OpKind.WRITE else self._readers
-        logic = cache.get(key)
-        if logic is None:
-            if kind is OpKind.WRITE:
-                logic = spec.protocol.make_writer(self.client_id)
-            else:
-                logic = spec.protocol.make_reader(self.client_id)
-            cache[key] = logic
-        return logic
-
-    def _resolve(self, key: str) -> Tuple[ShardSpec, AsyncGroupClient]:
-        spec = self.cluster.shard_map.shard_for(key)
-        group_client = self._group_clients.get(spec.group.group_id)
-        if group_client is None:
-            raise RuntimeError("KVStore is not connected; call connect() first")
-        return spec, group_client
-
     async def _run_op(self, kind: OpKind, key: str, value: Any = None) -> OperationOutcome:
-        if self._proxy_client is None and not self.use_proxy:
-            spec, _ = self._resolve(key)
-        else:
-            spec = self.cluster.shard_map.shard_for(key)
-        lock = self._key_locks.setdefault(key, asyncio.Lock())
-        async with lock:
-            op_id = new_op_id(f"{self.client_id}-{kind.value}")
-            self.recorder.record_invocation(key, op_id, self.client_id, kind, value=value)
-            logic = self._logic_for(kind, key, spec)
-            generator = (
-                logic.write_protocol(value) if kind is OpKind.WRITE else logic.read_protocol()
-            )
-            round_trip = 0
-            stale_retries = 0
-            transient_retries = 0
-            try:
-                request = next(generator)
-                while True:
-                    round_trip += 1
-                    try:
-                        proxy_client = self._proxy_client
-                        if proxy_client is None and self.use_proxy and not self._group_clients:
-                            # A failover is mid-flight on another operation;
-                            # queue behind it, then route this round through
-                            # whatever ingress it settled on.
-                            async with self._failover_lock:
-                                pass
-                            continue
-                        if proxy_client is not None:
-                            # The proxy owns resolution, routing, and
-                            # stale-epoch replay for this round.  The op id
-                            # is scoped by the failover generation so rounds
-                            # replayed through a *different* proxy can never
-                            # mix straggler replies across proxies.
-                            replies = await proxy_client.round_trip(
-                                key,
-                                kind.value,
-                                attempt_scoped_id(op_id, self._proxy_generation),
-                                round_trip,
-                                request,
-                            )
-                        else:
-                            # Re-resolve every round: a live resize/move
-                            # between rounds re-routes the rest of the op.
-                            spec, group_client = self._resolve(key)
-                            replies = await group_client.round_trip(
-                                key, spec.shard_id, spec.epoch, op_id, round_trip, request
-                            )
-                    except ProxyConnectionLost:
-                        # The proxy died mid-round: fail over (next proxy of
-                        # the site, else direct connections) and replay the
-                        # idempotent round through the new ingress path.
-                        await self._handle_proxy_loss(proxy_client)
-                        continue
-                    except StaleShardError:
-                        # The shard was rebalanced while this round was in
-                        # flight.  Rounds are idempotent (queries trivially,
-                        # updates because servers only adopt larger tags),
-                        # so replay the same broadcast at the new owner.
-                        stale_retries += 1
-                        self.stale_replays += 1
-                        if stale_retries > MAX_STALE_RETRIES:
-                            raise
-                        continue
-                    except (OSError, EOFError):
-                        # Too many replicas were unreachable for this round
-                        # (a kill mid-flight).  Rounds are idempotent, so
-                        # wait out the reconnect window and replay.
-                        transient_retries += 1
-                        if transient_retries > self.retry_policy.max_transient_retries:
-                            raise
-                        await asyncio.sleep(self.retry_policy.reconnect_interval)
-                        continue
-                    request = generator.send(replies)
-            except StopIteration as stop:
-                outcome = stop.value
-            if not isinstance(outcome, OperationOutcome):
-                raise ProtocolError("operation generator must return an OperationOutcome")
-            self.recorder.record_response(
-                op_id, value=outcome.value, tag=outcome.tag, round_trips=round_trip
-            )
-            if self.completion_hook is not None:
-                self.completion_hook()
-            return outcome
+        engine = self.engine  # raises if not connected
+        future = asyncio.get_running_loop().create_future()
+        op_id, effects = engine.invoke(kind, key, value)
+        self._op_futures[op_id] = future
+        self.run_effects(effects)
+        try:
+            return await future
+        finally:
+            self._op_futures.pop(op_id, None)
 
-    # -- introspection ----------------------------------------------------------
+    # -- effect execution hooks --------------------------------------------------
+
+    def _writer_for(self, destination: str) -> Optional[asyncio.StreamWriter]:
+        link = self._proxy_client
+        if link is not None and destination == link.proxy_id:
+            return link.writer
+        group_client = self._server_home.get(destination)
+        if group_client is not None:
+            return group_client.writer_for(destination)
+        return None
+
+    def _on_operation(self, effect) -> None:
+        future = self._op_futures.pop(effect.op_id, None)
+        if future is None or future.done():
+            return
+        if isinstance(effect, OpFailed):
+            future.set_exception(effect.error)
+            return
+        future.set_result(effect.outcome)
+        if self.completion_hook is not None:
+            self.completion_hook()
+
+    # -- introspection -----------------------------------------------------------
 
     def batch_stats(self) -> BatchStats:
         """This store's own coalescing/frame statistics (direct connections
         or the proxy connection, whichever is in use -- each frame counted
         once, so stores and proxies merge without double-counting)."""
-        merged = BatchStats()
-        merged.merge(self._retired_stats)  # connections retired by failover
-        if self._proxy_client is not None:
-            merged.merge(self._proxy_client.batch_stats)
-        for client in self._group_clients.values():
-            merged.merge(client.batch_stats)
-        return merged
+        if self._engine is None:
+            return BatchStats()
+        return self._engine.stats.copy()
 
     def frames_sent(self) -> int:
         return self.batch_stats().frames_sent
@@ -1601,6 +1182,7 @@ def run_asyncio_kv_workload(
     read_policy: Optional[ReadRoutingPolicy] = None,
     proxy_max_batch: int = 64,
     push_views: bool = True,
+    delta_views: bool = True,
     kill_proxy_after_ops: Optional[int] = None,
     retry_policy: Optional[RetryPolicy] = None,
 ) -> KVRunResult:
@@ -1613,12 +1195,13 @@ def run_asyncio_kv_workload(
     operations still in flight.  ``use_proxy`` starts ``num_proxies``
     ingress proxies and routes every store through one (round-robin), with
     reads routed per ``read_policy``.  ``push_views`` has the control plane
-    push the fresh shard-map view to every proxy at each rebalance (off: the
-    proxies rely purely on stale-epoch bounces).  ``kill_proxy_after_ops``
-    kills one proxy per site once that many operations completed -- the
-    stores behind it fail over (next proxy of the site, else direct replica
-    connections) with no client-visible errors.  ``retry_policy`` tunes the
-    reconnect/failover windows of every component in the run.
+    push the shard-map view to every proxy at each rebalance (off: the
+    proxies rely purely on stale-epoch bounces), as O(moved) deltas unless
+    ``delta_views`` is off.  ``kill_proxy_after_ops`` kills one proxy per
+    site once that many operations completed -- the stores behind it fail
+    over (next proxy of the site, else direct replica connections) with no
+    client-visible errors.  ``retry_policy`` tunes the reconnect/failover
+    windows of every component in the run.
     """
     clients = workload.clients
     if shard_map is None:
@@ -1639,6 +1222,7 @@ def run_asyncio_kv_workload(
             service_per_op=service_per_op,
             retry_policy=retry_policy,
             push_views=push_views,
+            delta_views=delta_views,
         )
         await cluster.start()
         if use_proxy:

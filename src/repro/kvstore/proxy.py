@@ -1,53 +1,30 @@
-"""Site-local ingress tier: shared routing state for the kv-store proxies.
+"""Compatibility shim: the proxy routing brain moved into the sans-I/O engine.
 
-The register emulations charge their message cost per client round: every
-operation pays one frame per replica, so K clients hammering the same shard
-cost K times the quorum fan-out even when their rounds are concurrent.  The
-proxy tier fixes that at the datacenter boundary.  A *proxy* is a stateless
-(no register state -- all durable state stays on the replicas) ingress
-process, one per site, that
-
-* accepts :data:`~repro.sim.messages.PROXY_KIND` frames from many client
-  connections,
-* merges the forwarded rounds **across clients** into shared shard-tagged
-  batch frames per ``(replica group, shard)`` -- one replica-side frame where
-  a direct deployment sends K,
-* resolves keys through a :class:`CachedShardView` -- a possibly-stale
-  snapshot of the shard map whose staleness is *detected* by the replicas'
-  epoch fence: a ``stale-shard`` bounce refreshes the snapshot and the proxy
-  replays the round at the new owner, invisibly to the client,
-* routes read rounds through a pluggable :class:`ReadRoutingPolicy`:
-  :class:`BroadcastReads` (every replica, the classic emulation) or
-  :class:`NearestQuorum` (only the closest quorum per the deployment's
-  site/link metadata -- fewer WAN frames, and under load less wasted replica
-  service time).
-
-The transport-specific halves live with their backends
-(:class:`~repro.kvstore.sim_backend.ProxyProcess` on the simulator,
-:class:`~repro.kvstore.net_backend.ProxyServer` on asyncio TCP); this module
-is the routing brain they share.
-
-Correctness notes.  The proxy preserves each forwarded sub-message's
-*original client* as its sender, because the protocols' server logic records
-senders in per-tag ``updated`` sets (the paper's crucial info) -- collapsing
-clients into the proxy's identity would starve the fast-read admissibility
-predicate.  Replayed rounds are isolated by attempt-scoped operation ids so
-a quorum can never mix replies from the pre- and post-rebalance owner
-groups.  Restricting a read round to any ``S - t`` replicas is always safe
-for atomicity (every quorum of that size intersects every write quorum); it
-trades the broadcast's redundancy for frame cost, so :class:`NearestQuorum`
-takes a ``spare`` margin for deployments that want crash headroom on reads.
+The cached shard view, read-routing policies, round planning, attempt
+scoping and the proxy-kill trigger live in
+:mod:`repro.kvstore.engine.routing`; the proxy *state machine* (cross-client
+merging, stale-epoch replay, view-push adoption) is
+:class:`repro.kvstore.engine.proxy.ProxyEngine`.  The transport halves are
+the backends' adapters (:class:`~repro.kvstore.sim_backend.ProxyProcess` on
+the simulator, :class:`~repro.kvstore.net_backend.ProxyServer` on asyncio
+TCP).
 """
 
 from __future__ import annotations
 
-import abc
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
-
-from ..core.operations import OpKind
-from ..sim.messages import ProxySubRequest
-from .sharding import HashRing, ShardMap, stable_hash
+from .engine.routing import (
+    BroadcastReads,
+    CachedShardView,
+    NearestQuorum,
+    ProxyRoute,
+    ReadRoutingPolicy,
+    RoundPlan,
+    attempt_scoped_id,
+    make_proxy_kill_trigger,
+    parse_attempt_scoped_id,
+    pick_one_proxy_per_site,
+    plan_round,
+)
 
 __all__ = [
     "ProxyRoute",
@@ -62,337 +39,3 @@ __all__ = [
     "pick_one_proxy_per_site",
     "make_proxy_kill_trigger",
 ]
-
-
-@dataclass(frozen=True)
-class ProxyRoute:
-    """One key's resolved route at snapshot time: shard, fence, and group."""
-
-    shard_id: str
-    epoch: int
-    group_id: str
-    servers: Tuple[str, ...]
-    quorum_size: int
-
-
-class CachedShardView:
-    """A proxy's snapshot of a :class:`ShardMap`, refreshed on invalidation.
-
-    The authoritative map lives with the cluster control plane; a proxy
-    routes against a *copy* of the ring and the per-shard (epoch, group)
-    assignments taken at the last refresh.  Nothing pushes updates: after a
-    live ``resize()``/``move_shard()`` the proxy keeps routing on stale
-    state until a replica bounces one of its sub-requests with
-    ``stale-shard``, at which point the proxy calls :meth:`refresh` and
-    replays.  (In a multi-process deployment ``refresh`` would be an RPC to
-    the control plane; here the map object is reachable in-process, and the
-    snapshot boundary is what keeps the proxy honest about staleness.)
-    """
-
-    def __init__(self, shard_map: ShardMap) -> None:
-        self._map = shard_map
-        self.refreshes = 0
-        self.pushes_applied = 0
-        self._ring = shard_map.ring
-        self._routes: Dict[str, ProxyRoute] = {}
-        self._take_snapshot()
-
-    def _take_snapshot(self) -> None:
-        self._ring = self._map.ring
-        self._routes = {
-            shard_id: ProxyRoute(
-                shard_id=shard_id,
-                epoch=spec.epoch,
-                group_id=spec.group.group_id,
-                servers=tuple(spec.group.servers),
-                quorum_size=spec.quorum_size,
-            )
-            for shard_id, spec in self._map.shards.items()
-        }
-
-    @property
-    def ring_epoch(self) -> int:
-        """The snapshot's ring epoch (lags the map's after a live resize)."""
-        return self._ring.epoch
-
-    @property
-    def group_ids(self) -> List[str]:
-        """Every replica group id (groups are fixed; only shards move)."""
-        return list(self._map.groups)
-
-    def resolve(self, key: str) -> ProxyRoute:
-        """Route ``key`` through the snapshot (possibly stale -- by design)."""
-        return self._routes[self._ring.owner_of(key)]
-
-    def refresh(self) -> None:
-        """Re-snapshot the authoritative map after a stale-epoch bounce."""
-        self.refreshes += 1
-        self._take_snapshot()
-
-    def apply_push(self, view: Mapping[str, Any]) -> bool:
-        """Adopt a control-plane view push; returns ``False`` for stale pushes.
-
-        ``view`` is a :meth:`~repro.kvstore.sharding.ShardMap.view_snapshot`
-        payload carried by a :data:`~repro.sim.messages.VIEW_PUSH_KIND`
-        frame.  Unlike :meth:`refresh` this needs *no* access to the
-        authoritative map -- the push carries everything the view routes on,
-        which is what makes it a real state transfer in a multi-process
-        deployment.  Pushes may be reordered against refreshes and against
-        each other, so the view only moves forward: a push whose ring epoch
-        is behind the snapshot's is dropped, and per shard the fresher of
-        the pushed and cached fencing epochs wins.
-        """
-        pushed_ring_epoch = int(view["ring_epoch"])
-        if pushed_ring_epoch < self._ring.epoch:
-            return False
-        shard_ids = list(view["shard_ids"])
-        if pushed_ring_epoch > self._ring.epoch or set(shard_ids) != set(self._routes):
-            # Ring construction is deterministic in (shard ids, virtual
-            # nodes), so the rebuilt ring is identical to the control plane's.
-            self._ring = HashRing(
-                shard_ids,
-                virtual_nodes=int(view.get("virtual_nodes", self._ring.virtual_nodes)),
-                epoch=pushed_ring_epoch,
-            )
-        routes: Dict[str, ProxyRoute] = {}
-        for shard_id in shard_ids:
-            entry = view["routes"][shard_id]
-            pushed = ProxyRoute(
-                shard_id=shard_id,
-                epoch=int(entry["epoch"]),
-                group_id=str(entry["group"]),
-                servers=tuple(entry["servers"]),
-                quorum_size=int(entry["quorum"]),
-            )
-            cached = self._routes.get(shard_id)
-            routes[shard_id] = (
-                cached if cached is not None and cached.epoch > pushed.epoch else pushed
-            )
-        self._routes = routes
-        self.pushes_applied += 1
-        return True
-
-
-class ReadRoutingPolicy(abc.ABC):
-    """Chooses which replicas of the owner group a *read* round targets.
-
-    Write rounds always broadcast: a write must land on every replica it can
-    reach for the ``S - t`` storage bound to hold under crashes.  Reads only
-    need *some* quorum, and which one is a pure performance choice -- any
-    ``wait_for``-sized subset intersects every write quorum.
-    """
-
-    name = "policy"
-
-    @abc.abstractmethod
-    def read_targets(
-        self,
-        origin: str,
-        servers: Sequence[str],
-        wait_for: int,
-        key: Optional[str] = None,
-    ) -> List[str]:
-        """The replicas ``origin``'s read round for ``key`` should go to.
-
-        Must return at least ``wait_for`` servers, else the round can never
-        complete; policies widen their pick to the whole group before they
-        would ever under-target.  ``key`` lets a policy shed load
-        deterministically per key; stateless policies may ignore it.
-        """
-
-
-class BroadcastReads(ReadRoutingPolicy):
-    """Send every read round to every replica (the classic emulation)."""
-
-    name = "broadcast"
-
-    def read_targets(
-        self,
-        origin: str,
-        servers: Sequence[str],
-        wait_for: int,
-        key: Optional[str] = None,
-    ) -> List[str]:
-        return list(servers)
-
-
-class NearestQuorum(ReadRoutingPolicy):
-    """Send each read round to the closest quorum only.
-
-    ``link_cost(origin, server)`` is static deployment metadata (site
-    distances), *not* a live latency probe -- the same information a
-    :class:`~repro.sim.delays.GeoDelay` model encodes.  Equidistant picks
-    are tie-broken by a stable hash over ``(origin, key, server)``: each
-    (proxy, key) pair keeps a deterministic quorum, while *across* keys the
-    picks spread uniformly over the equidistant replicas.  Both halves
-    matter -- determinism keeps a key's read path cacheable and debuggable,
-    and the spreading is where the under-load latency win over broadcast
-    comes from (each replica serves a fraction of the read volume instead
-    of all of it, so every read's quorum queues behind less work).
-
-    ``spare`` targets that many replicas beyond the quorum so reads stay
-    live with up to ``spare`` crashed replicas among the nearest; the
-    default of 0 maximizes the frame saving and suits crash-free runs.
-    """
-
-    name = "nearest-quorum"
-
-    def __init__(
-        self, link_cost: Callable[[str, str], float], spare: int = 0
-    ) -> None:
-        if spare < 0:
-            raise ValueError("spare must be non-negative")
-        self.link_cost = link_cost
-        self.spare = spare
-
-    @classmethod
-    def from_sites(
-        cls,
-        sites: Mapping[str, str],
-        local_cost: float = 0.5,
-        wan_cost: float = 40.0,
-        spare: int = 0,
-    ) -> "NearestQuorum":
-        """Build from a process->site map (same shape ``GeoDelay`` takes)."""
-        site_of = dict(sites)
-
-        def cost(origin: str, server: str) -> float:
-            same = site_of.get(origin) == site_of.get(server)
-            return local_cost if same else wan_cost
-
-        return cls(cost, spare=spare)
-
-    def read_targets(
-        self,
-        origin: str,
-        servers: Sequence[str],
-        wait_for: int,
-        key: Optional[str] = None,
-    ) -> List[str]:
-        need = min(len(servers), wait_for + self.spare)
-        ranked = sorted(
-            servers,
-            key=lambda server: (
-                self.link_cost(origin, server),
-                stable_hash(f"{origin}/{key}->{server}"),
-            ),
-        )
-        return ranked[:need]
-
-
-@dataclass(frozen=True)
-class RoundPlan:
-    """One attempt's routing decision for a forwarded round."""
-
-    route: ProxyRoute
-    targets: Tuple[str, ...]
-    wait_for: int
-
-
-def plan_round(
-    view: CachedShardView,
-    policy: ReadRoutingPolicy,
-    origin: str,
-    sub: ProxySubRequest,
-) -> RoundPlan:
-    """Route one forwarded round through ``view`` and ``policy``.
-
-    The single decision sequence both backends' proxies share: resolve the
-    key, settle the ack threshold (``None`` means the owner group's quorum),
-    and pick the targets -- writes broadcast, reads go through the policy
-    but fall back to the whole group if a policy ever under-targets (a
-    round with fewer targets than ``wait_for`` could never complete).
-    """
-    route = view.resolve(sub.key)
-    wait_for = sub.wait_for if sub.wait_for is not None else route.quorum_size
-    if sub.op_kind == OpKind.READ.value:
-        targets = tuple(
-            policy.read_targets(origin, route.servers, wait_for, key=sub.key)
-        )
-        if len(targets) < wait_for:
-            targets = route.servers
-    else:
-        targets = route.servers
-    return RoundPlan(route=route, targets=targets, wait_for=wait_for)
-
-
-def attempt_scoped_id(op_id: str, attempt: int) -> str:
-    """The downstream operation id for one attempt of one forwarded round.
-
-    Scoping the id per attempt is what keeps replays safe: a straggler reply
-    to an earlier attempt (possibly served by the *pre*-rebalance owner
-    group, or relayed by a since-failed proxy) can never be counted into a
-    later attempt's quorum.
-
-    The encoding must be injective over ``(op_id, attempt)`` pairs even when
-    the caller-supplied id itself contains the separator -- which happens
-    routinely now that scoping *nests*: a client scopes per proxy-failover
-    generation and the proxy scopes the result again per replay attempt.  A
-    naive ``f"{op_id}@a{attempt}"`` makes ``("x", 1)`` scoped by a second
-    level indistinguishable from ``("x@a1", ...)`` scoped once, so the op id
-    is percent-escaped first (``%`` then ``@``), leaving the final ``@`` as
-    the one unambiguous separator.  :func:`parse_attempt_scoped_id` inverts
-    it exactly.
-    """
-    if attempt < 0:
-        raise ValueError("attempt must be non-negative")
-    encoded = op_id.replace("%", "%25").replace("@", "%40")
-    return f"{encoded}@a{attempt}"
-
-
-def parse_attempt_scoped_id(scoped: str) -> Tuple[str, int]:
-    """Inverse of :func:`attempt_scoped_id`: the ``(op_id, attempt)`` pair."""
-    encoded, separator, attempt = scoped.partition("@")
-    if not separator or not attempt.startswith("a") or not attempt[1:].isdigit():
-        raise ValueError(f"not an attempt-scoped id: {scoped!r}")
-    return encoded.replace("%40", "@").replace("%25", "%"), int(attempt[1:])
-
-
-def pick_one_proxy_per_site(
-    proxies: Sequence[Tuple[str, Optional[str], bool]],
-) -> List[str]:
-    """One live proxy id per site from ``(proxy_id, site, alive)`` triples.
-
-    The victim-selection rule of the proxy-kill fault experiments: killing
-    one proxy *per site* exercises every site's failover path while leaving
-    each site's remaining candidates (or the direct fallback) to absorb the
-    traffic.  ``site=None`` rows all share one implicit site.
-    """
-    victims: List[str] = []
-    sites_hit = set()
-    for proxy_id, site, alive in proxies:
-        if not alive or site in sites_hit:
-            continue
-        sites_hit.add(site)
-        victims.append(proxy_id)
-    return victims
-
-
-def make_proxy_kill_trigger(
-    completed_ops: Callable[[], int],
-    threshold: int,
-    victims: Callable[[], List[str]],
-    kill: Callable[[str], None],
-) -> Tuple[Callable[[], None], Dict[str, object]]:
-    """A fire-once completion hook that kills proxies mid-workload.
-
-    The shared shape of both backends' ``kill_proxy_after_ops`` option
-    (mirroring :func:`~repro.kvstore.migration.make_resize_trigger`): once
-    ``completed_ops()`` reaches ``threshold`` it calls ``kill`` for each id
-    ``victims()`` returns -- typically :func:`pick_one_proxy_per_site` over
-    the cluster's live proxies -- exactly once, and fills the returned
-    record with ``{"killed": [...], "at_ops": N}``.
-    """
-    record: Dict[str, object] = {}
-    state = {"fired": False}
-
-    def hook() -> None:
-        if state["fired"] or completed_ops() < threshold:
-            return
-        state["fired"] = True
-        chosen = victims()
-        record.update({"killed": chosen, "at_ops": completed_ops()})
-        for victim in chosen:
-            kill(victim)
-
-    return hook, record

@@ -345,14 +345,57 @@ class ShardMap:
             "virtual_nodes": self.virtual_nodes,
             "shard_ids": list(self.shards),
             "routes": {
-                shard_id: {
-                    "epoch": spec.epoch,
-                    "group": spec.group.group_id,
-                    "servers": list(spec.group.servers),
-                    "quorum": spec.quorum_size,
-                }
-                for shard_id, spec in self.shards.items()
+                shard_id: self._route_entry(shard_id) for shard_id in self.shards
             },
+        }
+
+    def _route_entry(self, shard_id: str) -> Dict[str, Any]:
+        spec = self.shards[shard_id]
+        return {
+            "epoch": spec.epoch,
+            "group": spec.group.group_id,
+            "servers": list(spec.group.servers),
+            "quorum": spec.quorum_size,
+        }
+
+    def view_delta(self, plan: "ResizePlan | MovePlan") -> Optional[Dict[str, Any]]:
+        """The routing delta of one rebalance, as a JSON-safe push payload.
+
+        Where :meth:`view_snapshot` carries every shard's route (O(shards)
+        per push), the delta carries only what ``plan`` changed: the shards
+        the rebalance *fenced* (epoch bumped), *added*, *removed*, or
+        *moved* -- O(moved) entries, which is what keeps the control-plane
+        frame small when thousands of shards resize by a handful.  The
+        payload names the ring epoch it was computed against
+        (``base_ring_epoch``), so a
+        :class:`~repro.kvstore.engine.routing.CachedShardView` can refuse a
+        delta whose base it never adopted (a predecessor push was dropped)
+        and fall back to the epoch-fence bounce.  Returns ``None`` when the
+        plan changed nothing (no push needed).
+        """
+        if isinstance(plan, MovePlan):
+            return {
+                "delta": True,
+                "ring_epoch": self.ring.epoch,
+                "base_ring_epoch": self.ring.epoch,
+                "virtual_nodes": self.virtual_nodes,
+                "added": [],
+                "removed": [],
+                "routes": {plan.spec.shard_id: self._route_entry(plan.spec.shard_id)},
+            }
+        added = [spec.shard_id for spec in plan.added]
+        removed = [spec.shard_id for spec in plan.removed]
+        changed = set(added) | set(plan.fenced)
+        if not added and not removed and not changed:
+            return None
+        return {
+            "delta": True,
+            "ring_epoch": plan.new_ring.epoch,
+            "base_ring_epoch": plan.old_ring.epoch,
+            "virtual_nodes": self.virtual_nodes,
+            "added": added,
+            "removed": removed,
+            "routes": {shard_id: self._route_entry(shard_id) for shard_id in changed},
         }
 
     # -- live rebalancing ------------------------------------------------------

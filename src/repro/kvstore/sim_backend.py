@@ -1,93 +1,70 @@
-"""The key-value store on the discrete-event simulator.
+"""The key-value store on the discrete-event simulator: the sim adapter.
 
-Everything the single-register simulator does -- virtual clock, delay
-models, deterministic event ordering -- carries over; this module adds the
-kv-specific pieces:
+All protocol behaviour -- round lifecycle, batching, stale-epoch replay,
+proxy merging, failover, view-push adoption -- lives in the shared sans-I/O
+engines of :mod:`repro.kvstore.engine`.  This module only *adapts* them to
+the simulator runtime:
 
-* :class:`BatchReplicaProcess` -- a replica-group server with a simple
+* :class:`KVClientProcess` / :class:`ProxyProcess` wrap a
+  :class:`~repro.kvstore.engine.client.ClientSessionEngine` /
+  :class:`~repro.kvstore.engine.proxy.ProxyEngine` in a network
+  :class:`~repro.sim.process.Process`, executing emitted effects by sending
+  frames through the simulated network and mapping timer effects onto the
+  virtual-clock event queue.  ``Connect`` effects succeed immediately (the
+  simulated network needs no dialing), and the network reports no delivery
+  failures -- a crashed process's traffic is dropped *silently*, which is
+  exactly why the client engine's watchdog timer
+  (:data:`~repro.kvstore.engine.effects.SIM_RETRY_POLICY`) carries proxy
+  failover here.
+
+* :class:`BatchReplicaProcess` wraps a
+  :class:`~repro.kvstore.engine.server.GroupServerEngine` with a simple
   queueing model of server capacity: handling a batch costs ``overhead``
   plus ``per_op`` per sub-operation of *service time*, and a busy server
-  queues work.  This is what makes group count matter in virtual time: one
-  group's replicas saturate under load that many groups absorb in parallel,
-  and batching amortizes the per-frame ``overhead``.
+  queues work.  This is what makes group count matter in virtual time.
 
-* :class:`KVClientProcess` -- one logical store client.  It may have many
-  operations (on distinct keys) in flight at once; each operation drives the
-  ordinary single-register client generator for its key, but instead of
-  sending one frame per sub-request the client coalesces every sub-request
-  bound for the same *replica group* into one batch frame per replica
-  (:func:`~repro.sim.messages.make_batch`) -- operations on different shards
-  hosted by the same group share rounds.  Every sub-request carries the
-  (shard, epoch) tag the client resolved; when a live resize or shard move
-  fences that epoch, the bounced round is replayed against the new owner
-  (round-trips are idempotent, so the per-key generator never notices).
-
-* :class:`ProxyProcess` -- one site-local ingress proxy
-  (:mod:`repro.kvstore.proxy`).  Clients constructed with a ``proxy_id``
-  send one ``"proxy"`` frame per flush instead of one batch frame per
-  replica; the proxy merges forwarded rounds *across clients* into shared
-  replica frames per replica group, routes reads through its
-  :class:`~repro.kvstore.proxy.ReadRoutingPolicy`, and absorbs stale-epoch
-  bounces (cached-view refresh + replay) so live rebalancing is invisible
-  end-to-end.
-
-* :class:`SimKVCluster` -- the replica groups of a
+* :class:`SimKVCluster` assembles the replica groups of a
   :class:`~repro.kvstore.sharding.ShardMap` plus clients on one virtual
   clock, with a live control plane: :meth:`SimKVCluster.resize` /
-  :meth:`SimKVCluster.move_shard` rebalance the ring mid-run, and
-  :class:`KVFailureInjector` crashes replicas within each group's fault
-  budget (usable during a resize -- migration models state surviving on the
-  replica, and quorums of ``S - t`` keep every key available).
+  :meth:`SimKVCluster.move_shard` rebalance the ring mid-run (pushing view
+  deltas to the proxies), and :class:`KVFailureInjector` crashes replicas
+  within each group's fault budget.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Set
 
-from ..core.errors import ProtocolError
-from ..core.operations import OpKind, new_op_id
-from ..protocols.base import Broadcast, ClientLogic, OperationOutcome
+from ..core.operations import OpKind
+from ..messages import VIEW_PUSH_ACK_KIND, Message
+from ..protocols.base import OperationOutcome
 from ..sim.clock import EventQueue, ScheduledEvent
 from ..sim.delays import ConstantDelay, DelayModel
 from ..sim.failures import CrashPlan, FailureInjector
-from ..sim.messages import (
-    BATCH_ACK_KIND,
-    PROXY_ACK_KIND,
-    PROXY_KIND,
-    VIEW_PUSH_KIND,
-    Message,
-    ProxySubReply,
-    ProxySubRequest,
-    SubRequest,
-    make_batch,
-    make_proxy_ack,
-    make_proxy_request,
-    make_view_push,
-    unpack_batch_ack,
-    unpack_proxy_ack,
-    unpack_proxy_request,
-    unpack_view_push,
-)
 from ..sim.network import Network
 from ..sim.process import Process
 from ..util.rng import SeededRng
-from .batching import (
-    MAX_STALE_RETRIES,
-    BatchGroupServer,
+from .engine import (
+    PROXY_FAILOVER_TIMEOUT,
+    SIM_RETRY_POLICY,
     BatchStats,
-    is_stale_reply,
-)
-from .proxy import (
-    BroadcastReads,
     CachedShardView,
-    ProxyRoute,
+    CancelTimer,
+    ClientSessionEngine,
+    Connect,
+    Effect,
+    GroupServerEngine,
+    OpCompleted,
+    OpFailed,
+    ProxyEngine,
     ReadRoutingPolicy,
-    attempt_scoped_id,
+    SendFrame,
+    StartTimer,
+    TimerId,
     make_proxy_kill_trigger,
     pick_one_proxy_per_site,
-    plan_round,
+    view_push_frames,
 )
 from .migration import (
     MigrationReport,
@@ -96,7 +73,7 @@ from .migration import (
     make_resize_trigger,
 )
 from .perkey import KVHistoryRecorder
-from .sharding import ShardMap, ShardSpec
+from .sharding import ShardMap
 from .workload import KVRunResult, KVWorkload
 
 __all__ = [
@@ -115,7 +92,7 @@ class BatchReplicaProcess(Process):
     def __init__(
         self,
         server_id: str,
-        logic: BatchGroupServer,
+        logic: GroupServerEngine,
         events: EventQueue,
         overhead: float = 0.2,
         per_op: float = 0.1,
@@ -146,230 +123,70 @@ class BatchReplicaProcess(Process):
             )
 
 
-@dataclass
-class _ProxyPending:
-    """One forwarded round the proxy is driving against a replica group."""
+class _EngineProcess(Process):
+    """A process that feeds a sans-I/O engine and executes its effects.
 
-    client: str
-    sub: ProxySubRequest
-    route: Optional[ProxyRoute] = None
-    scoped_id: str = ""
-    targets: tuple = ()
-    wait_for: int = 0
-    replies: List[Message] = field(default_factory=list)
-    stale_retries: int = 0
-
-
-class ProxyProcess(Process):
-    """A site-local ingress proxy on the virtual clock.
-
-    Holds no register state: every pending entry is one in-flight quorum
-    round, so a proxy can be added or removed per site without any data
-    migration.  Rounds forwarded by *different clients* that resolve to the
-    same replica group coalesce into one shared batch frame per targeted
-    replica -- the cross-client merge the per-client batching layer cannot
-    do.  Replica-bound sub-messages keep the **originating client** as
-    their sender (the protocols' crucial-info bookkeeping is per client),
-    while their op ids are attempt-scoped so a replayed round can never mix
-    replies from the pre- and post-rebalance owner groups.
+    Effects map onto the simulator runtime: ``SendFrame`` goes through the
+    simulated network, ``StartTimer``/``CancelTimer`` onto the virtual-clock
+    event queue, and ``Connect`` succeeds immediately (there is nothing to
+    dial -- the network routes by process id).
     """
 
-    def __init__(
-        self,
-        proxy_id: str,
-        shard_map: ShardMap,
-        events: EventQueue,
-        read_policy: Optional[ReadRoutingPolicy] = None,
-        max_batch: int = 64,
-        flush_delay: float = 0.0,
-    ) -> None:
-        super().__init__(proxy_id)
-        if max_batch < 1:
-            raise ValueError("max_batch must be positive")
-        self.view = CachedShardView(shard_map)
-        self.read_policy = read_policy or BroadcastReads()
+    def __init__(self, process_id: str, events: EventQueue) -> None:
+        super().__init__(process_id)
         self.events = events
-        self.max_batch = max_batch
-        self.flush_delay = flush_delay
-        self.stats = BatchStats()
-        self.stale_replays = 0
-        self._attempts = 0
-        self._pending: Dict[tuple, _ProxyPending] = {}
-        self._group_queue: Dict[str, List[_ProxyPending]] = {}
-        self._flush_scheduled: Set[str] = set()
+        self._timers: Dict[TimerId, ScheduledEvent] = {}
 
-    # -- admission and routing -------------------------------------------------
+    @property
+    def engine(self):
+        raise NotImplementedError
 
     def on_message(self, message: Message) -> None:
-        if message.kind == PROXY_KIND:
-            for sub in unpack_proxy_request(message):
-                self._dispatch(_ProxyPending(client=message.sender, sub=sub))
-        elif message.kind == BATCH_ACK_KIND:
-            self._on_replica_ack(message)
-        elif message.kind == VIEW_PUSH_KIND:
-            # Control-plane push at a live rebalance: adopt the fresh view
-            # so subsequent rounds route correctly on the first attempt
-            # instead of paying a stale-epoch bounce each.
-            self.view.apply_push(unpack_view_push(message))
+        self.run_effects(self.engine.on_frame(message))
 
-    def _dispatch(self, pending: _ProxyPending) -> None:
-        """Route one round (fresh or replayed) through the current view."""
-        sub = pending.sub
-        plan = plan_round(self.view, self.read_policy, self.process_id, sub)
-        self._attempts += 1
-        pending.route = plan.route
-        pending.targets = plan.targets
-        pending.wait_for = plan.wait_for
-        pending.scoped_id = attempt_scoped_id(sub.op_id, self._attempts)
-        pending.replies = []
-        self._pending[(pending.scoped_id, sub.round_trip)] = pending
-        group_id = plan.route.group_id
-        self._group_queue.setdefault(group_id, []).append(pending)
-        if group_id not in self._flush_scheduled:
-            self._flush_scheduled.add(group_id)
-            self.events.schedule(
-                self.flush_delay,
-                lambda: self._flush(group_id),
-                label=f"proxy-flush:{self.process_id}:{group_id}",
-            )
-
-    # -- the shared replica rounds ----------------------------------------------
-
-    def _flush(self, group_id: str) -> None:
-        self._flush_scheduled.discard(group_id)
-        queue = self._group_queue.get(group_id, [])
-        if not queue:
-            return
-        batch, rest = queue[: self.max_batch], queue[self.max_batch :]
-        self._group_queue[group_id] = rest
-        if rest:
-            self._flush_scheduled.add(group_id)
-            self.events.schedule(0.0, lambda: self._flush(group_id), label="proxy-flush")
-        self.stats.record(len(batch))
-        # One frame per replica targeted by at least one round of the batch;
-        # reads restricted by the routing policy simply skip the far replicas.
-        servers: List[str] = []
-        seen: Set[str] = set()
-        for pending in batch:
-            for server in pending.targets:
-                if server not in seen:
-                    seen.add(server)
-                    servers.append(server)
-        for server_id in servers:
-            subs = [
-                SubRequest(
-                    key=p.sub.key,
-                    message=Message(
-                        sender=p.client,
-                        receiver=server_id,
-                        kind=p.sub.kind,
-                        payload=p.sub.payload_for(server_id),
-                        op_id=p.scoped_id,
-                        round_trip=p.sub.round_trip,
-                    ),
-                    shard=p.route.shard_id,
-                    epoch=p.route.epoch,
+    def run_effects(self, effects: List[Effect]) -> None:
+        queue: Deque[Effect] = deque(effects)
+        while queue:
+            effect = queue.popleft()
+            if isinstance(effect, SendFrame):
+                self.send(effect.frame)
+            elif isinstance(effect, StartTimer):
+                stale = self._timers.pop(effect.timer_id, None)
+                if stale is not None:
+                    stale.cancel()
+                self._timers[effect.timer_id] = self.events.schedule(
+                    effect.delay,
+                    lambda tid=effect.timer_id: self._fire(tid),
+                    label=f"{self.process_id}:{effect.timer_id[0]}",
                 )
-                for p in batch
-                if server_id in p.targets
-            ]
-            self.stats.record_frames(sent=1)
-            self.send(make_batch(self.process_id, server_id, subs))
+            elif isinstance(effect, CancelTimer):
+                timer = self._timers.pop(effect.timer_id, None)
+                if timer is not None:
+                    timer.cancel()
+            elif isinstance(effect, Connect):
+                queue.extend(self.engine.on_connected(effect.target))
+            elif isinstance(effect, (OpCompleted, OpFailed)):
+                self._on_operation(effect)
+            else:  # pragma: no cover - future effect kinds
+                raise TypeError(f"unknown effect {effect!r}")
 
-    # -- replica replies ---------------------------------------------------------
+    def _fire(self, timer_id: TimerId) -> None:
+        self._timers.pop(timer_id, None)
+        self.run_effects(self.engine.on_timer(timer_id))
 
-    def _on_replica_ack(self, message: Message) -> None:
-        self.stats.record_frames(received=1)
-        for _key, reply in unpack_batch_ack(message):
-            if reply is None or reply.op_id is None:
-                continue
-            pending = self._pending.get((reply.op_id, reply.round_trip))
-            if pending is None:
-                continue  # straggler from a completed or replayed attempt
-            if is_stale_reply(reply):
-                self._replay(pending)
-                continue
-            pending.replies.append(reply)
-            if len(pending.replies) == pending.wait_for:
-                self._finish(pending)
-
-    def _replay(self, pending: _ProxyPending) -> None:
-        """A replica fenced this round: refresh the view and re-route it."""
-        self._pending.pop((pending.scoped_id, pending.sub.round_trip), None)
-        pending.stale_retries += 1
-        self.stale_replays += 1
-        if pending.stale_retries > MAX_STALE_RETRIES:
-            self._finish(
-                pending,
-                error=(
-                    f"shard map never converged after {pending.stale_retries} "
-                    "stale replays"
-                ),
-            )
-            return
-        self.view.refresh()
-        self._dispatch(pending)
-
-    def _finish(self, pending: _ProxyPending, error: Optional[str] = None) -> None:
-        self._pending.pop((pending.scoped_id, pending.sub.round_trip), None)
-        sub_reply = ProxySubReply(
-            op_id=pending.sub.op_id,
-            round_trip=pending.sub.round_trip,
-            replies=tuple(pending.replies),
-            error=error,
-        )
-        self.send(make_proxy_ack(self.process_id, pending.client, [sub_reply]))
+    def _on_operation(self, effect) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
 
 
-@dataclass
-class _PendingKVOp:
-    """One in-flight kv operation driving a per-key register generator."""
+class KVClientProcess(_EngineProcess):
+    """A store client on the virtual clock: one client-session engine.
 
-    op_id: str
-    key: str
-    kind: OpKind
-    spec: ShardSpec
-    epoch: int
-    generator: Any
-    round_trip: int = 0
-    wait_for: int = 0
-    stale_retries: int = 0
-    request: Optional[Broadcast] = None
-    replies: List[Message] = field(default_factory=list)
-    on_complete: Optional[Callable[[OperationOutcome], None]] = None
-    #: The failover-generation-scoped op id this round was last forwarded
-    #: under (proxy mode only); the key into the proxy-rounds table.
-    proxy_op_id: Optional[str] = None
-
-
-#: How long (virtual time) a client waits with proxy rounds outstanding and
-#: no proxy ack arriving before it declares the proxy dead and fails over.
-#: Generous by design: a merely *slow* proxy (e.g. WAN replica legs under a
-#: geo delay model) resets the watchdog with every ack it does deliver, so
-#: only a silent proxy -- crashed, its traffic dropped -- trips it.
-PROXY_FAILOVER_TIMEOUT = 200.0
-
-
-class KVClientProcess(Process):
-    """A store client multiplexing per-key operations into group batches.
-
-    With a ``proxy_id`` the client routes *every* round through that ingress
-    proxy instead of broadcasting to replicas itself: its in-flight rounds
-    (for any shard, any group) coalesce into one ``"proxy"`` frame per
-    flush, the proxy owns shard resolution and stale-epoch replay, and each
-    round comes back as one ``"proxy-ack"`` carrying the whole quorum.
-
-    The proxy leg is fault-tolerant: ``proxy_candidates`` is the full proxy
-    list of the client's site, and a watchdog on the virtual clock detects a
-    proxy that stops answering (crashed via the failure injector -- the
-    simulated network drops its traffic silently, so there is no connection
-    reset to observe).  On failover the client advances to the next
-    candidate -- or to **direct replica connections** when the site's list
-    is exhausted -- and replays every in-flight round.  Replayed rounds are
-    forwarded under a fresh failover *generation* scope
-    (:func:`~repro.kvstore.proxy.attempt_scoped_id`), so an ack relayed by
-    the previous proxy can never complete a round re-issued through the
-    next one.
+    The engine multiplexes per-key operations into group batches (or one
+    ``"proxy"`` frame per flush through the client's ingress proxy) and owns
+    proxy failover: ``proxy_candidates`` is the full proxy list of the
+    client's site, and the engine's watchdog timer detects a proxy that
+    stops answering -- a crashed sim process drops traffic silently, so
+    there is no connection reset to observe.
     """
 
     def __init__(
@@ -385,75 +202,40 @@ class KVClientProcess(Process):
         proxy_candidates: Optional[List[str]] = None,
         proxy_timeout: float = PROXY_FAILOVER_TIMEOUT,
     ) -> None:
-        super().__init__(client_id)
-        if max_batch < 1:
-            raise ValueError("max_batch must be positive")
+        super().__init__(client_id, events)
         if proxy_timeout <= 0:
             raise ValueError("proxy_timeout must be positive")
-        self.shard_map = shard_map
-        self.recorder = recorder
-        self.events = events
-        self.max_batch = max_batch
-        self.flush_delay = flush_delay
-        self.completion_hook = completion_hook
         if proxy_candidates:
-            self._proxy_candidates = list(proxy_candidates)
-            self.proxy_id: Optional[str] = self._proxy_candidates[0]
-            if proxy_id is not None and proxy_id != self.proxy_id:
+            candidates = list(proxy_candidates)
+            if proxy_id is not None and proxy_id != candidates[0]:
                 raise ValueError("proxy_id must head proxy_candidates")
         else:
-            self._proxy_candidates = [proxy_id] if proxy_id is not None else []
-            self.proxy_id = proxy_id
-        self.proxy_timeout = proxy_timeout
-        self.proxy_failovers = 0
-        self.batch_stats = BatchStats()
-        self.completed_operations = 0
-        self.stale_replays = 0
-        self._proxy_cursor = 0
-        self._proxy_generation = 0
-        self._proxy_rounds: Dict[Tuple[str, int], _PendingKVOp] = {}
-        self._proxy_acks_seen = 0
-        self._watchdog: Optional[ScheduledEvent] = None
-        self._readers: Dict[str, ClientLogic] = {}
-        self._writers: Dict[str, ClientLogic] = {}
-        self._logic_homes: Dict[str, str] = {}
-        self._active: Dict[str, _PendingKVOp] = {}
-        self._key_inflight: Set[str] = set()
-        self._key_backlog: Dict[str, Deque[tuple]] = {}
-        self._group_queue: Dict[str, List[_PendingKVOp]] = {}
-        self._flush_scheduled: Set[str] = set()
+            candidates = [proxy_id] if proxy_id is not None else []
+        self.completion_hook = completion_hook
+        self._engine = ClientSessionEngine(
+            client_id,
+            shard_map,
+            recorder,
+            policy=SIM_RETRY_POLICY.with_failover_timeout(proxy_timeout),
+            max_batch=max_batch,
+            flush_delay=flush_delay,
+            proxy_candidates=candidates,
+        )
+        self._callbacks: Dict[str, Callable[[OperationOutcome], None]] = {}
+        if self._engine.proxy_id is not None:
+            # The simulated network needs no dialing: confirm the ingress.
+            self.run_effects(self._engine.on_connected(self._engine.proxy_id))
 
-    # -- per-key client logic --------------------------------------------------
+    @property
+    def engine(self) -> ClientSessionEngine:
+        return self._engine
 
-    def _refresh_home(self, key: str, spec: ShardSpec) -> None:
-        # Cached per-key client logic was built against a specific group's
-        # server list; when a move re-homes the shard, rebuild it (a fresh
-        # reader/writer joining is always safe for every protocol here).
-        if self._logic_homes.get(key) != spec.group.group_id:
-            self._logic_homes[key] = spec.group.group_id
-            self._readers.pop(key, None)
-            self._writers.pop(key, None)
-
-    def _writer_logic(self, key: str, spec: ShardSpec) -> ClientLogic:
-        logic = self._writers.get(key)
-        if logic is None:
-            logic = spec.protocol.make_writer(self.process_id)
-            self._writers[key] = logic
-        return logic
-
-    def _reader_logic(self, key: str, spec: ShardSpec) -> ClientLogic:
-        logic = self._readers.get(key)
-        if logic is None:
-            logic = spec.protocol.make_reader(self.process_id)
-            self._readers[key] = logic
-        return logic
-
-    # -- invoking operations ---------------------------------------------------
+    # -- invoking operations ----------------------------------------------------
 
     def put(
         self,
         key: str,
-        value: Any,
+        value,
         on_complete: Optional[Callable[[OperationOutcome], None]] = None,
     ) -> str:
         """Invoke ``put(key, value)``; returns the operation id."""
@@ -465,293 +247,84 @@ class KVClientProcess(Process):
         """Invoke ``get(key)``; returns the operation id."""
         return self._invoke(OpKind.READ, key, None, on_complete)
 
-    def _invoke(self, kind: OpKind, key: str, value: Any, on_complete) -> str:
-        op_id = new_op_id(f"{self.process_id}-{kind.value}")
-        if key in self._key_inflight:
-            # Same client, same key: queue behind the in-flight operation so
-            # the key's sub-history stays sequential for this client.
-            self._key_backlog.setdefault(key, deque()).append(
-                (op_id, kind, value, on_complete)
-            )
-            return op_id
-        self._start(op_id, kind, key, value, on_complete)
+    def _invoke(self, kind: OpKind, key: str, value, on_complete) -> str:
+        op_id, effects = self._engine.invoke(kind, key, value)
+        if on_complete is not None:
+            self._callbacks[op_id] = on_complete
+        self.run_effects(effects)
         return op_id
 
-    def _start(self, op_id: str, kind: OpKind, key: str, value: Any, on_complete) -> None:
-        spec = self.shard_map.shard_for(key)
-        self._refresh_home(key, spec)
-        if kind is OpKind.WRITE:
-            generator = self._writer_logic(key, spec).write_protocol(value)
-        else:
-            generator = self._reader_logic(key, spec).read_protocol()
-        self._key_inflight.add(key)
-        self.recorder.record_invocation(key, op_id, self.process_id, kind, value=value)
-        pending = _PendingKVOp(
-            op_id=op_id,
-            key=key,
-            kind=kind,
-            spec=spec,
-            epoch=spec.epoch,
-            generator=generator,
-            on_complete=on_complete,
-        )
-        self._active[op_id] = pending
-        self._advance(pending, first=True)
-
-    # -- driving the generators ------------------------------------------------
-
-    def _advance(self, pending: _PendingKVOp, first: bool = False) -> None:
-        try:
-            if first:
-                request = next(pending.generator)
-            else:
-                request = pending.generator.send(list(pending.replies[: pending.wait_for]))
-        except StopIteration as stop:
-            self._complete(pending, stop.value)
-            return
-        if not isinstance(request, Broadcast):
-            raise ProtocolError("client generators must yield Broadcast objects")
-        pending.request = request
-        self._dispatch_round(pending)
-
-    def _dispatch_round(self, pending: _PendingKVOp) -> None:
-        """Send the current round (fresh or replayed) to the owner group."""
-        pending.round_trip += 1
-        pending.replies = []
-        spec = self.shard_map.shard_for(pending.key)
-        pending.spec = spec
-        pending.epoch = spec.epoch
-        quorum = spec.quorum_size
-        request = pending.request
-        pending.wait_for = request.wait_for if request.wait_for is not None else quorum
-        self._enqueue(pending)
-
-    def _replay_round(self, pending: _PendingKVOp) -> None:
-        """Re-send the in-flight round after a stale-shard bounce.
-
-        Round-trips are idempotent (queries trivially; updates because
-        servers only adopt larger tags), so replaying the same broadcast
-        against the re-resolved owner group is always safe -- the per-key
-        generator never observes the bounce.  Bumping ``round_trip`` makes
-        any straggler replies from the stale attempt ignorable.
-        """
-        pending.stale_retries += 1
-        self.stale_replays += 1
-        if pending.stale_retries > MAX_STALE_RETRIES:
-            raise ProtocolError(
-                f"operation {pending.op_id} bounced {pending.stale_retries} times; "
-                "shard map never converged"
-            )
-        self._refresh_home(pending.key, self.shard_map.shard_for(pending.key))
-        self._dispatch_round(pending)
-
-    def _complete(self, pending: _PendingKVOp, outcome: OperationOutcome) -> None:
-        if not isinstance(outcome, OperationOutcome):
-            raise ProtocolError("operation generator must return an OperationOutcome")
-        self.recorder.record_response(
-            pending.op_id,
-            value=outcome.value,
-            tag=outcome.tag,
-            round_trips=pending.round_trip,
-        )
-        del self._active[pending.op_id]
-        self._key_inflight.discard(pending.key)
-        self.completed_operations += 1
-        backlog = self._key_backlog.get(pending.key)
-        if backlog:
-            op_id, kind, value, next_cb = backlog.popleft()
-            self._start(op_id, kind, pending.key, value, next_cb)
-        if pending.on_complete is not None:
-            pending.on_complete(outcome)
+    def _on_operation(self, effect) -> None:
+        if isinstance(effect, OpFailed):
+            self._callbacks.pop(effect.op_id, None)
+            raise effect.error
+        callback = self._callbacks.pop(effect.op_id, None)
+        if callback is not None:
+            callback(effect.outcome)
         if self.completion_hook is not None:
             self.completion_hook()
 
-    # -- group batching --------------------------------------------------------
+    # -- introspection (the engine owns the state) ------------------------------
 
-    def _enqueue(self, pending: _PendingKVOp) -> None:
-        # Through a proxy every round shares one queue (the proxy does the
-        # per-group split), so rounds for different groups coalesce too.
-        queue_key = (
-            "@proxy" if self.proxy_id is not None else pending.spec.group.group_id
-        )
-        self._group_queue.setdefault(queue_key, []).append(pending)
-        if queue_key not in self._flush_scheduled:
-            self._flush_scheduled.add(queue_key)
-            self.events.schedule(
-                self.flush_delay,
-                lambda: self._flush(queue_key),
-                label=f"kv-flush:{self.process_id}:{queue_key}",
-            )
+    @property
+    def proxy_id(self) -> Optional[str]:
+        return self._engine.proxy_id
 
-    def _flush(self, queue_key: str) -> None:
-        self._flush_scheduled.discard(queue_key)
-        queue = self._group_queue.get(queue_key, [])
-        if not queue:
-            return
-        batch, rest = queue[: self.max_batch], queue[self.max_batch :]
-        self._group_queue[queue_key] = rest
-        if rest:
-            # More coalesced work than one frame carries: flush again at once.
-            self._flush_scheduled.add(queue_key)
-            self.events.schedule(0.0, lambda: self._flush(queue_key), label="kv-flush")
-        self.batch_stats.record(len(batch))
-        if self.proxy_id is not None:
-            subs = []
-            for op in batch:
-                # Scope the forwarded id by the failover generation: should
-                # this round be replayed through a different proxy, replies
-                # relayed by the old one miss the new key and are dropped.
-                op.proxy_op_id = attempt_scoped_id(op.op_id, self._proxy_generation)
-                self._proxy_rounds[(op.proxy_op_id, op.round_trip)] = op
-                subs.append(
-                    ProxySubRequest(
-                        key=op.key,
-                        op_kind=op.kind.value,
-                        kind=op.request.kind,
-                        payload=op.request.payload,
-                        op_id=op.proxy_op_id,
-                        round_trip=op.round_trip,
-                        wait_for=op.request.wait_for,
-                        per_server=op.request.per_server_payload or None,
-                    )
-                )
-            self.batch_stats.record_frames(sent=1)
-            self.send(make_proxy_request(self.process_id, self.proxy_id, subs))
-            self._arm_watchdog()
-            return
-        group = batch[0].spec.group
-        for server_id in group.servers:
-            subs = [
-                SubRequest(
-                    key=op.key,
-                    message=Message(
-                        sender=self.process_id,
-                        receiver=server_id,
-                        kind=op.request.kind,
-                        payload=op.request.payload_for(server_id),
-                        op_id=op.op_id,
-                        round_trip=op.round_trip,
-                    ),
-                    shard=op.spec.shard_id,
-                    epoch=op.epoch,
-                )
-                for op in batch
-            ]
-            self.batch_stats.record_frames(sent=1)
-            self.send(make_batch(self.process_id, server_id, subs))
+    @property
+    def proxy_failovers(self) -> int:
+        return self._engine.proxy_failovers
 
-    # -- proxy failover ----------------------------------------------------------
+    @property
+    def stale_replays(self) -> int:
+        return self._engine.stale_replays
 
-    def _arm_watchdog(self) -> None:
-        """Watch for a proxy that stops answering while rounds are out.
+    @property
+    def batch_stats(self) -> BatchStats:
+        return self._engine.stats
 
-        The simulated network drops a crashed process's traffic *silently*,
-        so proxy death has no connection-reset edge to observe; instead, a
-        single cancellable event fires ``proxy_timeout`` after the last arm.
-        Progress (any proxy ack) re-arms it; rounds all completing cancels
-        it (so an idle client schedules nothing and quiescence-driven runs
-        terminate at the workload's natural end).  Only a proxy that is
-        silent for the whole window -- with rounds still outstanding --
-        trips failover, and a spurious trip is merely wasteful, never
-        unsafe: rounds are idempotent and replays are generation-scoped.
-        """
-        if self._watchdog is not None or self.proxy_id is None or not self._proxy_rounds:
-            return
-        acks_at_arm = self._proxy_acks_seen
+    @property
+    def completed_operations(self) -> int:
+        return self._engine.completed_operations
 
-        def check() -> None:
-            self._watchdog = None
-            if self.proxy_id is None or not self._proxy_rounds:
-                return
-            if self._proxy_acks_seen > acks_at_arm:
-                self._arm_watchdog()  # alive, just slow: watch another window
-                return
-            self._failover_proxy()
 
-        self._watchdog = self.events.schedule(
-            self.proxy_timeout, check, label=f"proxy-watchdog:{self.process_id}"
+class ProxyProcess(_EngineProcess):
+    """A site-local ingress proxy on the virtual clock: one proxy engine."""
+
+    def __init__(
+        self,
+        proxy_id: str,
+        shard_map: ShardMap,
+        events: EventQueue,
+        read_policy: Optional[ReadRoutingPolicy] = None,
+        max_batch: int = 64,
+        flush_delay: float = 0.0,
+    ) -> None:
+        super().__init__(proxy_id, events)
+        self.view = CachedShardView(shard_map)
+        self._engine = ProxyEngine(
+            proxy_id,
+            self.view,
+            read_policy=read_policy,
+            policy=SIM_RETRY_POLICY,
+            max_batch=max_batch,
+            flush_delay=flush_delay,
         )
 
-    def _disarm_watchdog(self) -> None:
-        if self._watchdog is not None:
-            self._watchdog.cancel()
-            self._watchdog = None
+    @property
+    def engine(self) -> ProxyEngine:
+        return self._engine
 
-    def _failover_proxy(self) -> None:
-        """The current proxy is dead: advance the ingress path and replay.
+    @property
+    def read_policy(self) -> ReadRoutingPolicy:
+        return self._engine.read_policy
 
-        The next candidate of the site takes over; with the list exhausted,
-        ``proxy_id`` drops to ``None`` and the client broadcasts to replica
-        groups directly (the pre-proxy data path, always available because
-        proxies hold no register state).  Every in-flight round is
-        re-dispatched -- re-resolved against the live shard map, re-batched,
-        and forwarded under the bumped generation scope.
-        """
-        self.proxy_failovers += 1
-        self._proxy_generation += 1
-        self._disarm_watchdog()
-        self._proxy_cursor += 1
-        if self._proxy_cursor < len(self._proxy_candidates):
-            self.proxy_id = self._proxy_candidates[self._proxy_cursor]
-        else:
-            self.proxy_id = None
-        inflight = list(self._proxy_rounds.values())
-        self._proxy_rounds.clear()
-        queued = self._group_queue.pop("@proxy", [])
-        self._flush_scheduled.discard("@proxy")
-        for pending in inflight:
-            pending.proxy_op_id = None
-            self._dispatch_round(pending)
-        for pending in queued:
-            # Never sent: no fresh attempt needed, just requeue at the new
-            # ingress (or the owner group, when falling back to direct).
-            pending.proxy_op_id = None
-            self._enqueue(pending)
+    @property
+    def stats(self) -> BatchStats:
+        return self._engine.stats
 
-    # -- network events --------------------------------------------------------
-
-    def on_message(self, message: Message) -> None:
-        if message.kind == PROXY_ACK_KIND:
-            self.batch_stats.record_frames(received=1)
-            self._proxy_acks_seen += 1
-            for sub_reply in unpack_proxy_ack(message):
-                pending = self._proxy_rounds.pop(
-                    (sub_reply.op_id, sub_reply.round_trip), None
-                )
-                if pending is None:
-                    continue  # straggler from a completed or replayed attempt
-                if sub_reply.error is not None:
-                    raise ProtocolError(
-                        f"proxy failed operation {sub_reply.op_id}: {sub_reply.error}"
-                    )
-                # The proxy delivers the whole quorum at once (it already
-                # waited for wait_for distinct replicas and absorbed any
-                # stale-epoch replays).
-                pending.replies = list(sub_reply.replies)
-                pending.wait_for = len(pending.replies)
-                self._advance(pending)
-            if not self._proxy_rounds:
-                self._disarm_watchdog()
-            return
-        if message.kind != BATCH_ACK_KIND:
-            return
-        self.batch_stats.record_frames(received=1)
-        for _key, sub in unpack_batch_ack(message):
-            if sub is None:
-                continue
-            pending = self._active.get(sub.op_id)
-            if pending is None or sub.round_trip != pending.round_trip:
-                continue  # straggler from an earlier round-trip or operation
-            if is_stale_reply(sub):
-                # The shard was resized or moved while this round was in
-                # flight; re-resolve and replay the round.  Bouncing bumps
-                # round_trip, so the group's other (equally stale) replies
-                # to this attempt are ignored.
-                self._replay_round(pending)
-                continue
-            pending.replies.append(sub)
-            if len(pending.replies) == pending.wait_for:
-                self._advance(pending)
+    @property
+    def stale_replays(self) -> int:
+        return self._engine.stale_replays
 
 
 class KVFailureInjector:
@@ -832,7 +405,9 @@ class SimKVCluster:
     ``view-push`` frame per proxy through the simulated network), so in the
     steady state a rebalance costs the proxies zero stale-epoch replays;
     the epoch-fence bounce remains as the safety net for rounds already in
-    flight and for pushes racing them.
+    flight and for pushes racing them.  ``delta_views`` (the default) sends
+    each push as a per-rebalance *delta* -- only the fenced/added/removed
+    entries, O(moved) instead of O(shards) -- rather than a full snapshot.
     """
 
     def __init__(
@@ -850,6 +425,7 @@ class SimKVCluster:
         proxy_flush_delay: float = 0.0,
         sites: Optional[Mapping[str, str]] = None,
         push_views: bool = True,
+        delta_views: bool = True,
         proxy_timeout: float = PROXY_FAILOVER_TIMEOUT,
     ) -> None:
         self.shard_map = shard_map
@@ -859,9 +435,12 @@ class SimKVCluster:
         self.migrations: List[MigrationReport] = []
         self.sites = dict(sites) if sites else {}
         self.push_views = push_views
+        self.delta_views = delta_views
         self.view_pushes_sent = 0
+        self.view_push_acks = 0
         self.crashed_proxies: Set[str] = set()
         self._completion_watchers: List[Callable[[], None]] = []
+        self.network.register("control-plane", self._on_control_plane_frame)
         self.replicas: Dict[str, BatchReplicaProcess] = {}
         for group in shard_map.groups.values():
             hosted = {
@@ -871,7 +450,7 @@ class SimKVCluster:
             for server_id in group.servers:
                 replica = BatchReplicaProcess(
                     server_id,
-                    BatchGroupServer(server_id, group.protocol, dict(hosted)),
+                    GroupServerEngine(server_id, group.protocol, dict(hosted)),
                     self.events,
                     overhead=server_overhead,
                     per_op=server_per_op,
@@ -906,6 +485,11 @@ class SimKVCluster:
             client.attach(self.network)
             self.clients[client_id] = client
 
+    def _on_control_plane_frame(self, message: Message) -> None:
+        """The control plane's mailbox: proxies ack applied view pushes."""
+        if message.kind == VIEW_PUSH_ACK_KIND:
+            self.view_push_acks += 1
+
     def _candidates_for(self, client_id: str, index: int) -> List[str]:
         """The client's proxy failover list: its site's proxies, rotated.
 
@@ -924,10 +508,10 @@ class SimKVCluster:
         start = index % len(proxy_ids)
         return proxy_ids[start:] + proxy_ids[:start]
 
-    # -- live control plane ----------------------------------------------------
+    # -- live control plane -----------------------------------------------------
 
     @property
-    def server_logics(self) -> Dict[str, BatchGroupServer]:
+    def server_logics(self) -> Dict[str, GroupServerEngine]:
         return {sid: replica.logic for sid, replica in self.replicas.items()}
 
     def resize(self, new_num_shards: int) -> MigrationReport:
@@ -935,7 +519,7 @@ class SimKVCluster:
         plan = self.shard_map.resize(new_num_shards)
         report = apply_resize_plan(plan, self.shard_map, self.server_logics)
         self.migrations.append(report)
-        self._push_view_update()
+        self._push_view_update(plan)
         return report
 
     def schedule_resize(self, new_num_shards: int, at: float) -> None:
@@ -949,10 +533,10 @@ class SimKVCluster:
         plan = self.shard_map.move_shard(shard_id, group_id)
         report = apply_move_plan(plan, self.server_logics)
         self.migrations.append(report)
-        self._push_view_update()
+        self._push_view_update(plan)
         return report
 
-    def _push_view_update(self) -> None:
+    def _push_view_update(self, plan) -> None:
         """One ``view-push`` frame per proxy through the simulated network.
 
         Sent at the cutover, delivered per the delay model: pushes scheduled
@@ -964,10 +548,12 @@ class SimKVCluster:
         """
         if not self.push_views or not self.proxies:
             return
-        view = self.shard_map.view_snapshot()
-        for proxy_id in self.proxies:
+        frames = view_push_frames(
+            self.shard_map, list(self.proxies), plan=plan, delta=self.delta_views
+        )
+        for frame in frames:
             self.view_pushes_sent += 1
-            self.network.send(make_view_push("control-plane", proxy_id, view))
+            self.network.send(frame)
 
     def crash_proxy(self, proxy_id: str) -> None:
         """Crash an ingress proxy *now*: the network drops its traffic.
@@ -1009,7 +595,7 @@ class SimKVCluster:
         for watcher in self._completion_watchers:
             watcher()
 
-    # -- running ---------------------------------------------------------------
+    # -- running ----------------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: int = 5_000_000) -> None:
         """Run the virtual clock to quiescence (or a deadline)."""
@@ -1074,6 +660,7 @@ def run_sim_kv_workload(
     proxy_flush_delay: float = 0.0,
     sites: Optional[Mapping[str, str]] = None,
     push_views: bool = True,
+    delta_views: bool = True,
     kill_proxy_after_ops: Optional[int] = None,
     proxy_timeout: float = PROXY_FAILOVER_TIMEOUT,
 ) -> KVRunResult:
@@ -1090,8 +677,9 @@ def run_sim_kv_workload(
     injection, keep the default broadcast policy (or a ``spare`` >= the
     fault budget) so read rounds stay live.  ``push_views`` pushes the
     shard-map view to every proxy at each live rebalance (off: bounce-only
-    refresh); ``kill_proxy_after_ops`` crashes one proxy per site once that
-    many operations completed, exercising the clients' failover path --
+    refresh) -- as O(moved) deltas unless ``delta_views`` is off;
+    ``kill_proxy_after_ops`` crashes one proxy per site once that many
+    operations completed, exercising the clients' failover path --
     operations keep completing with no client-visible errors.
     """
     clients = workload.clients
@@ -1119,6 +707,7 @@ def run_sim_kv_workload(
         proxy_flush_delay=proxy_flush_delay,
         sites=sites,
         push_views=push_views,
+        delta_views=delta_views,
         proxy_timeout=proxy_timeout,
     )
 

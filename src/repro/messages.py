@@ -1,0 +1,465 @@
+"""Message envelopes and frames, shared by every transport.
+
+This module is deliberately transport-neutral: the simulator delivers these
+objects directly, the asyncio codec (:mod:`repro.asyncio_net.codec`) puts
+them on the wire as length-prefixed JSON, and the sans-I/O kvstore engines
+(:mod:`repro.kvstore.engine`) consume and emit them without knowing which
+transport is underneath.  (It lived at ``repro.sim.messages`` before the
+engine extraction; that path remains as a re-export shim.)
+
+Besides the plain :class:`Message` envelope this module defines the **batch
+frame** used by the sharded key-value store (:mod:`repro.kvstore`): several
+sub-requests destined for the same server are packed into one ``"batch"``
+message and answered with one ``"batch-ack"``, amortizing per-message
+overhead (framing, delivery scheduling, syscalls on the asyncio transport)
+across every operation coalesced into the round.
+
+Since the placement layer decoupled shards from replica groups, one group
+server multiplexes the per-key registers of *many* shards, so every
+sub-request is **shard-tagged**: it names the shard it believes owns its key
+and the per-shard epoch it resolved against (:class:`SubRequest`).  Servers
+fence requests whose epoch is stale -- the mechanism that makes live
+rebalancing (``ShardMap.resize`` / ``move_shard``) safe under concurrent
+client load.
+
+The **proxy frames** serve the site-local ingress tier
+(:mod:`repro.kvstore.proxy`): a client packs the quorum rounds it has in
+flight into one ``"proxy"`` frame for its proxy (:class:`ProxySubRequest` --
+no shard tag: routing is the proxy's job), and the proxy answers each round
+with a ``"proxy-ack"`` frame carrying the whole quorum of replica replies at
+once (:class:`ProxySubReply`).  Between the two, the proxy merges rounds
+*across client connections* into shared shard-tagged batch frames, which is
+where the replica-side message-cost drop comes from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Message",
+    "SubRequest",
+    "BATCH_KIND",
+    "BATCH_ACK_KIND",
+    "make_batch",
+    "unpack_batch",
+    "make_batch_ack",
+    "unpack_batch_ack",
+    "PROXY_KIND",
+    "PROXY_ACK_KIND",
+    "ProxySubRequest",
+    "ProxySubReply",
+    "make_proxy_request",
+    "unpack_proxy_request",
+    "make_proxy_ack",
+    "unpack_proxy_ack",
+    "VIEW_PUSH_KIND",
+    "VIEW_PUSH_ACK_KIND",
+    "make_view_push",
+    "unpack_view_push",
+]
+
+_message_counter = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A network message.
+
+    Attributes:
+        sender: id of the sending process.
+        receiver: id of the destination process.
+        kind: message kind, e.g. ``"read"``, ``"write"``, ``"READACK"``,
+            ``"WRITEACK"`` (following the names in Algorithms 1 and 2).
+        payload: protocol-specific dictionary.
+        op_id: the client operation this message belongs to, if any.
+        round_trip: 1-based index of the round-trip within the operation.
+        msg_id: globally unique message id (assigned automatically).
+    """
+
+    sender: str
+    receiver: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    op_id: Optional[str] = None
+    round_trip: int = 0
+    msg_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def reply(self, kind: str, payload: Optional[Dict[str, Any]] = None) -> "Message":
+        """Construct a reply addressed back to the sender, tagged with the
+        same operation id and round-trip index."""
+        return Message(
+            sender=self.receiver,
+            receiver=self.sender,
+            kind=kind,
+            payload=payload if payload is not None else {},
+            op_id=self.op_id,
+            round_trip=self.round_trip,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(#{self.msg_id} {self.sender}->{self.receiver} {self.kind} "
+            f"op={self.op_id} rt={self.round_trip})"
+        )
+
+
+# -- batch frames (repro.kvstore) ----------------------------------------------
+
+#: Kind of a request frame packing several sub-requests for one server.
+BATCH_KIND = "batch"
+#: Kind of the reply frame carrying the sub-replies of one batch.
+BATCH_ACK_KIND = "batch-ack"
+
+
+class SubRequest(NamedTuple):
+    """One sub-request of a batch frame: a keyed message plus its route tag.
+
+    ``shard`` and ``epoch`` are the client's belief about the key's owner:
+    the shard it resolved through its hash ring and that shard's epoch at
+    resolution time.  A multiplexed group server fences the sub-request when
+    the belief is stale (shard not hosted, or epoch superseded by a resize or
+    move), bouncing it back so the client re-resolves.  ``shard=None`` (the
+    legacy single-shard form) is never considered fresh by a group server.
+    """
+
+    key: str
+    message: Message
+    shard: Optional[str] = None
+    epoch: int = 0
+
+
+#: What callers may pass to :func:`make_batch`: full route-tagged sub-requests
+#: or bare ``(key, message)`` pairs (coerced to untagged :class:`SubRequest`).
+SubRequestLike = Union[SubRequest, Tuple[str, Message]]
+
+
+def _coerce_sub(entry: SubRequestLike) -> SubRequest:
+    if isinstance(entry, SubRequest):
+        return entry
+    key, message = entry
+    return SubRequest(key, message)
+
+
+def _encode_sub(key: str, message: Message) -> Dict[str, Any]:
+    return {
+        "key": key,
+        "sender": message.sender,
+        "kind": message.kind,
+        "payload": message.payload,
+        "op_id": message.op_id,
+        "round_trip": message.round_trip,
+    }
+
+
+def _encode_sub_request(sub: SubRequest) -> Dict[str, Any]:
+    entry = _encode_sub(sub.key, sub.message)
+    if sub.shard is not None:
+        entry["shard"] = sub.shard
+        entry["epoch"] = sub.epoch
+    return entry
+
+
+def _decode_message(receiver: str, entry: Dict[str, Any]) -> Message:
+    return Message(
+        sender=entry["sender"],
+        receiver=receiver,
+        kind=entry["kind"],
+        payload=entry.get("payload", {}),
+        op_id=entry.get("op_id"),
+        round_trip=entry.get("round_trip", 0),
+    )
+
+
+def _decode_sub(receiver: str, entry: Dict[str, Any]) -> SubRequest:
+    return SubRequest(
+        key=entry["key"],
+        message=_decode_message(receiver, entry),
+        shard=entry.get("shard"),
+        epoch=entry.get("epoch", 0),
+    )
+
+
+def make_batch(
+    sender: str, receiver: str, sub_messages: Sequence[SubRequestLike]
+) -> Message:
+    """Pack sub-requests into one batch frame for ``receiver``.
+
+    Each sub-message keeps its own ``op_id``/``round_trip`` so replies can be
+    routed back to the operation that issued it; the ``key`` names the
+    register the sub-message addresses and the optional ``shard``/``epoch``
+    tag names the owning shard the client resolved (see :class:`SubRequest`).
+    """
+    if not sub_messages:
+        raise ValueError("a batch frame must contain at least one sub-message")
+    return Message(
+        sender=sender,
+        receiver=receiver,
+        kind=BATCH_KIND,
+        payload={
+            "ops": [_encode_sub_request(_coerce_sub(sub)) for sub in sub_messages]
+        },
+    )
+
+
+def unpack_batch(message: Message) -> List[SubRequest]:
+    """Inverse of :func:`make_batch`: the route-tagged sub-requests."""
+    if message.kind != BATCH_KIND:
+        raise ValueError(f"not a batch frame: kind={message.kind!r}")
+    return [_decode_sub(message.receiver, entry) for entry in message.payload["ops"]]
+
+
+def make_batch_ack(
+    request: Message, sub_replies: Sequence[Tuple[str, Optional[Message]]]
+) -> Message:
+    """Pack the per-sub-request replies of one batch into one ack frame.
+
+    ``sub_replies`` pairs each key with the reply the per-key server logic
+    produced (``None`` entries -- a logic that chose not to reply -- are
+    preserved positionally as ``null`` so the client can account for them).
+    """
+    entries: List[Optional[Dict[str, Any]]] = []
+    for key, reply in sub_replies:
+        entries.append(None if reply is None else _encode_sub(key, reply))
+    return Message(
+        sender=request.receiver,
+        receiver=request.sender,
+        kind=BATCH_ACK_KIND,
+        payload={"acks": entries},
+        op_id=request.op_id,
+        round_trip=request.round_trip,
+    )
+
+
+def unpack_batch_ack(message: Message) -> List[Tuple[str, Optional[Message]]]:
+    """Inverse of :func:`make_batch_ack`: ``(key, sub-reply | None)`` pairs."""
+    if message.kind != BATCH_ACK_KIND:
+        raise ValueError(f"not a batch ack frame: kind={message.kind!r}")
+    pairs: List[Tuple[str, Optional[Message]]] = []
+    for entry in message.payload["acks"]:
+        if entry is None:
+            pairs.append(("", None))
+        else:
+            pairs.append((entry["key"], _decode_message(message.receiver, entry)))
+    return pairs
+
+
+# -- proxy frames (repro.kvstore.proxy) ----------------------------------------
+
+#: Kind of a client -> proxy frame packing several forwarded quorum rounds.
+PROXY_KIND = "proxy"
+#: Kind of a proxy -> client frame carrying completed rounds' quorum replies.
+PROXY_ACK_KIND = "proxy-ack"
+
+
+class ProxySubRequest(NamedTuple):
+    """One quorum round forwarded through the ingress proxy.
+
+    Unlike :class:`SubRequest` there is no (shard, epoch) tag: resolving the
+    key against the ring is the *proxy's* job (its cached shard-map view),
+    which is what lets the proxy absorb stale-epoch bounces without the
+    client ever noticing a live resize.  ``op_kind`` ("read" / "write") is
+    what the proxy's :class:`~repro.kvstore.proxy.ReadRoutingPolicy` keys on;
+    ``kind``/``payload``/``per_server`` are the protocol round exactly as the
+    per-key client generator yielded it, and ``wait_for`` is its explicit ack
+    threshold (``None`` means the owner group's quorum size, resolved by the
+    proxy so a client with a stale view cannot under-wait).
+    """
+
+    key: str
+    op_kind: str
+    kind: str
+    payload: Dict[str, Any]
+    op_id: str
+    round_trip: int
+    wait_for: Optional[int] = None
+    per_server: Optional[Dict[str, Dict[str, Any]]] = None
+
+    def payload_for(self, server_id: str) -> Dict[str, Any]:
+        if self.per_server and server_id in self.per_server:
+            return self.per_server[server_id]
+        return self.payload
+
+
+class ProxySubReply(NamedTuple):
+    """The completed round for one forwarded sub-request.
+
+    ``replies`` is the full quorum the proxy collected, each reply keeping
+    the *replica* as its sender (protocols count distinct servers and read
+    crucial info off ``reply.sender``).  ``error`` is set instead of replies
+    when the proxy gave up (e.g. the shard map never converged within
+    :data:`~repro.kvstore.batching.MAX_STALE_RETRIES` replays).
+    """
+
+    op_id: str
+    round_trip: int
+    replies: Tuple[Message, ...] = ()
+    error: Optional[str] = None
+
+
+def _encode_proxy_sub(sub: ProxySubRequest) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "key": sub.key,
+        "op_kind": sub.op_kind,
+        "kind": sub.kind,
+        "payload": sub.payload,
+        "op_id": sub.op_id,
+        "round_trip": sub.round_trip,
+    }
+    if sub.wait_for is not None:
+        entry["wait_for"] = sub.wait_for
+    if sub.per_server:
+        entry["per_server"] = sub.per_server
+    return entry
+
+
+def _decode_proxy_sub(entry: Dict[str, Any]) -> ProxySubRequest:
+    return ProxySubRequest(
+        key=entry["key"],
+        op_kind=entry["op_kind"],
+        kind=entry["kind"],
+        payload=entry.get("payload", {}),
+        op_id=entry["op_id"],
+        round_trip=entry.get("round_trip", 0),
+        wait_for=entry.get("wait_for"),
+        per_server=entry.get("per_server"),
+    )
+
+
+def make_proxy_request(
+    sender: str, receiver: str, subs: Sequence[ProxySubRequest]
+) -> Message:
+    """Pack forwarded rounds into one proxy frame (client -> proxy).
+
+    The frame's ``sender`` is the client's identity; the proxy propagates it
+    as the sender of every replica-bound sub-message so the per-reader /
+    per-writer bookkeeping the register protocols keep (``updated`` sets --
+    the paper's crucial info) is indistinguishable from a direct connection.
+    """
+    if not subs:
+        raise ValueError("a proxy frame must contain at least one sub-request")
+    return Message(
+        sender=sender,
+        receiver=receiver,
+        kind=PROXY_KIND,
+        payload={"ops": [_encode_proxy_sub(sub) for sub in subs]},
+    )
+
+
+def unpack_proxy_request(message: Message) -> List[ProxySubRequest]:
+    """Inverse of :func:`make_proxy_request`."""
+    if message.kind != PROXY_KIND:
+        raise ValueError(f"not a proxy frame: kind={message.kind!r}")
+    return [_decode_proxy_sub(entry) for entry in message.payload["ops"]]
+
+
+def make_proxy_ack(
+    sender: str, receiver: str, sub_replies: Sequence[ProxySubReply]
+) -> Message:
+    """Pack completed rounds into one proxy ack frame (proxy -> client).
+
+    Only (sender, kind, payload) of each replica reply go on the wire; the
+    round's identity travels once as (op_id, round_trip) on the
+    :class:`ProxySubReply`, so proxy-internal attempt-scoped ids never leak
+    back to the client.
+    """
+    if not sub_replies:
+        raise ValueError("a proxy ack frame must contain at least one reply")
+    entries: List[Dict[str, Any]] = []
+    for sub in sub_replies:
+        entry: Dict[str, Any] = {
+            "op_id": sub.op_id,
+            "round_trip": sub.round_trip,
+            "replies": [
+                {"sender": r.sender, "kind": r.kind, "payload": r.payload}
+                for r in sub.replies
+            ],
+        }
+        if sub.error is not None:
+            entry["error"] = sub.error
+        entries.append(entry)
+    return Message(
+        sender=sender, receiver=receiver, kind=PROXY_ACK_KIND, payload={"acks": entries}
+    )
+
+
+def unpack_proxy_ack(message: Message) -> List[ProxySubReply]:
+    """Inverse of :func:`make_proxy_ack`: replies re-tagged with the round's
+    (op_id, round_trip) and addressed to the receiving client."""
+    if message.kind != PROXY_ACK_KIND:
+        raise ValueError(f"not a proxy ack frame: kind={message.kind!r}")
+    subs: List[ProxySubReply] = []
+    for entry in message.payload["acks"]:
+        replies = tuple(
+            Message(
+                sender=r["sender"],
+                receiver=message.receiver,
+                kind=r["kind"],
+                payload=r.get("payload", {}),
+                op_id=entry["op_id"],
+                round_trip=entry.get("round_trip", 0),
+            )
+            for r in entry.get("replies", ())
+        )
+        subs.append(
+            ProxySubReply(
+                op_id=entry["op_id"],
+                round_trip=entry.get("round_trip", 0),
+                replies=replies,
+                error=entry.get("error"),
+            )
+        )
+    return subs
+
+
+# -- view push frames (control plane -> proxies) --------------------------------
+
+#: Kind of a control-plane frame pushing a fresh shard-map view to a proxy.
+VIEW_PUSH_KIND = "view-push"
+#: Kind of the proxy's acknowledgement that the pushed view was applied.
+VIEW_PUSH_ACK_KIND = "view-push-ack"
+
+#: The fields a pushed view must carry: a full snapshot
+#: (``ShardMap.view_snapshot``) or a per-rebalance delta
+#: (``ShardMap.view_delta``, marked by ``"delta": True``).
+_VIEW_FIELDS = ("ring_epoch", "virtual_nodes", "shard_ids", "routes")
+_DELTA_FIELDS = (
+    "ring_epoch",
+    "base_ring_epoch",
+    "virtual_nodes",
+    "added",
+    "removed",
+    "routes",
+)
+
+
+def make_view_push(sender: str, receiver: str, view: Dict[str, Any]) -> Message:
+    """Pack one shard-map view (snapshot or delta) into a push frame.
+
+    The control plane sends one push per proxy on every live
+    ``resize()``/``move_shard()`` so proxies re-route *proactively* -- one
+    message per proxy per rebalance instead of one stale-epoch bounce (and
+    replayed round) per proxy; the bounce fence stays in place as the safety
+    net for pushes that race in-flight frames or get lost.  A delta push
+    carries only the entries the rebalance touched (O(moved), not
+    O(shards)) plus the ring epoch it was computed against.
+    """
+    fields = _DELTA_FIELDS if view.get("delta") else _VIEW_FIELDS
+    missing = [field_name for field_name in fields if field_name not in view]
+    if missing:
+        raise ValueError(f"view push is missing fields: {missing}")
+    return Message(
+        sender=sender,
+        receiver=receiver,
+        kind=VIEW_PUSH_KIND,
+        payload={"view": view},
+    )
+
+
+def unpack_view_push(message: Message) -> Dict[str, Any]:
+    """Inverse of :func:`make_view_push`: the pushed view snapshot."""
+    if message.kind != VIEW_PUSH_KIND:
+        raise ValueError(f"not a view push frame: kind={message.kind!r}")
+    return message.payload["view"]

@@ -18,8 +18,8 @@ from typing import Any, List
 
 from ..core.errors import ConfigurationError
 from ..core.operations import OpKind
-from ..core.timestamps import BOTTOM_TAG, Tag, max_tag
-from ..sim.messages import Message
+from ..core.timestamps import BOTTOM_TAG, max_tag
+from ..messages import Message
 from .base import Broadcast, ClientLogic, OperationOutcome, RegisterProtocol, ServerLogic
 from .codec import decode_tag, encode_tag
 from .server_state import TagValueServer

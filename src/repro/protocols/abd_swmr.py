@@ -16,7 +16,7 @@ from typing import Any
 from ..core.errors import ConfigurationError
 from ..core.operations import OpKind
 from ..core.timestamps import Tag
-from .abd_mwmr import AbdMwmrReader, _best_from_query_acks
+from .abd_mwmr import AbdMwmrReader
 from .base import Broadcast, ClientLogic, OperationOutcome, RegisterProtocol, ServerLogic
 from .codec import encode_tag
 from .server_state import TagValueServer

@@ -25,12 +25,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from ..core.errors import ProtocolError, QuorumUnavailableError
 from ..core.operations import OpKind
 from ..core.timestamps import Tag
-from ..sim.messages import Message
+from ..messages import Message
 
 __all__ = [
     "Broadcast",

@@ -33,12 +33,12 @@ scope for this reproduction (recorded in DESIGN.md).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..core.errors import ConfigurationError
 from ..core.operations import OpKind
 from ..core.timestamps import BOTTOM_TAG, Tag
-from ..sim.messages import Message
+from ..messages import Message
 from .base import Broadcast, ClientLogic, OperationOutcome, RegisterProtocol, ServerLogic
 from .codec import decode_tag, encode_tag
 from .server_state import TagValueServer

@@ -32,7 +32,7 @@ from ..core.admissible import ReadAck, ValueReport, select_return_value
 from ..core.errors import ConfigurationError
 from ..core.operations import OpKind
 from ..core.timestamps import BOTTOM_TAG, Tag, max_tag
-from ..sim.messages import Message
+from ..messages import Message
 from .base import Broadcast, ClientLogic, OperationOutcome, RegisterProtocol, ServerLogic
 from .codec import decode_tag, encode_tag
 from .server_state import ValueVectorServer

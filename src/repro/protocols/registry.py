@@ -8,9 +8,8 @@ everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
-from ..core.errors import ConfigurationError
 from ..core.fastness import DesignPoint
 from .abd_mwmr import AbdMwmrProtocol
 from .abd_swmr import AbdSwmrProtocol

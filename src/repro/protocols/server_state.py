@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set
 
 from ..core.timestamps import BOTTOM_TAG, Tag
-from ..sim.messages import Message
+from ..messages import Message
 from .base import ServerLogic
 from .codec import decode_tag, encode_tag
 

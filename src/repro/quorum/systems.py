@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, Sequence, Tuple
 
 from ..core.errors import ConfigurationError
 

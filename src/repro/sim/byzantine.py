@@ -24,8 +24,7 @@ injector does.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 from ..core.errors import ConfigurationError
 from ..core.timestamps import Tag

@@ -12,13 +12,12 @@ the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from ..core.errors import ProtocolError
 from ..core.operations import OpKind, new_op_id
 from ..protocols.base import Broadcast, ClientLogic, OperationOutcome
 from .messages import Message
-from .network import Network
 from .process import Process
 from .tracing import HistoryRecorder
 

@@ -11,8 +11,8 @@ difference the paper motivates shows up in wall-clock numbers.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from ..util.rng import SeededRng
 

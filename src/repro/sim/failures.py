@@ -8,8 +8,8 @@ accidentally exceed the failure model it claims to run under.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import List, Sequence, Set
 
 from ..core.errors import ConfigurationError
 from ..util.rng import SeededRng

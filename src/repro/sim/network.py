@@ -19,8 +19,8 @@ injector need:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
 
 from ..core.errors import SimulationError
 from .clock import EventQueue

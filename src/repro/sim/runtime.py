@@ -25,13 +25,12 @@ from ..consistency.history import History
 from ..core.conditions import SystemParameters
 from ..core.errors import ConfigurationError, SimulationError
 from ..protocols.base import OperationOutcome, RegisterProtocol
-from ..util.ids import client_ids, server_ids
+from ..util.ids import client_ids
 from .byzantine import ByzantineBehavior, ByzantineInjector
 from .clock import EventQueue
 from .client import ClientProcess
 from .delays import ConstantDelay, DelayModel
 from .failures import FailureInjector
-from .messages import Message
 from .network import Network, SkipRule
 from .process import ServerProcess
 from .tracing import HistoryRecorder

@@ -7,7 +7,6 @@ clock).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..consistency.history import History

@@ -17,10 +17,9 @@ flips), which is the input to the sieve construction of Section 4.2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence
 
-from ..core.errors import ProofError
-from .executions import AbstractExecution, Phase, R1_1, R2_1, W1, W2
+from .executions import AbstractExecution, W1, W2
 
 __all__ = [
     "CRUCIAL_12",

@@ -20,13 +20,12 @@ protocols.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..consistency.atomicity import check_atomicity
-from ..consistency.anomalies import AnomalyKind
-from ..core.conditions import SystemParameters, fast_read_bound, is_feasible
-from ..core.fastness import DesignPoint, classify_round_trips
-from ..protocols.registry import PROTOCOLS, ProtocolSpec, protocol_for_point
+from ..core.conditions import SystemParameters, is_feasible
+from ..core.fastness import DesignPoint
+from ..protocols.registry import ProtocolSpec, protocol_for_point
 from ..sim.delays import UniformDelay
 from ..sim.runtime import Simulation
 from ..util.ids import client_ids, server_ids

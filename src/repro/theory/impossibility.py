@@ -25,7 +25,7 @@ argument still applies after eliminating the affected servers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.errors import ProofError
 from ..util.ids import server_ids
@@ -40,7 +40,7 @@ from .chains import (
     verify_chain_argument,
 )
 from .executions import AbstractExecution
-from .fullinfo import FullInfoView, ReadRule, full_info_view
+from .fullinfo import ReadRule, full_info_view
 from .sieve import SieveCertificate, run_sieve
 
 __all__ = [

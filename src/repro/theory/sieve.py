@@ -27,11 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ..core.errors import ProofError
 from ..util.ids import server_ids
 from .chains import verify_chain_argument
 from .crucialinfo import (
-    CRUCIAL_12,
     CRUCIAL_21,
     CrucialInfoState,
     FirstRoundEffect,

@@ -8,7 +8,7 @@ found by the checker) can be reproduced exactly from its seed.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, TypeVar
+from typing import List, Sequence, TypeVar
 
 T = TypeVar("T")
 

@@ -6,7 +6,6 @@ import asyncio
 
 import pytest
 
-from repro.asyncio_net.client import AsyncRegisterClient
 from repro.asyncio_net.cluster import LocalCluster, run_closed_loop_workload
 from repro.asyncio_net.codec import decode_message, encode_message
 from repro.asyncio_net.server import ReplicaServer

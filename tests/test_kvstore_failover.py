@@ -21,9 +21,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.kvstore import (
     AsyncKVCluster,
-    KVOp,
     KVStore,
-    KVWorkload,
     RetryPolicy,
     ShardMap,
     SimKVCluster,
@@ -76,7 +74,7 @@ class TestAttemptScopedIds:
     def test_separator_in_op_id_stays_unambiguous(self):
         # An op id that *looks* already scoped must not be confused with a
         # genuinely nested scope of its prefix.
-        assert attempt_scoped_id("op@a1", 2) != f"op@a1@a2"
+        assert attempt_scoped_id("op@a1", 2) != "op@a1@a2"
         assert parse_attempt_scoped_id(attempt_scoped_id("op@a1", 2)) == ("op@a1", 2)
         assert parse_attempt_scoped_id(attempt_scoped_id("%40@a", 0)) == ("%40@a", 0)
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.errors import ConfigurationError
 from repro.kvstore.placement import ReplicaGroup, RoundRobinPlacement
 from repro.kvstore.sharding import ShardMap
 from repro.protocols.registry import build_protocol

@@ -284,15 +284,16 @@ class TestAsyncioProxiedWorkloads:
             store = KVStore(cluster, client_id="c1", use_proxy=True)
             await store.connect()
             try:
-                # Break the proxy's replica leg with an error outside the
-                # retryable classes: the client must get an error ack (and
-                # raise), never await a reply that can't come.
+                # Break the proxy engine's dispatch path with an error
+                # outside the retryable classes: the client must get an
+                # error ack (and raise), never await a reply that can't
+                # come.
                 proxy = cluster.proxies["p1"]
-                for group_client in proxy._group_clients.values():
-                    async def boom(*args, **kwargs):
-                        raise ValueError("codec exploded")
 
-                    group_client.round_trip = boom
+                def boom(*args, **kwargs):
+                    raise ValueError("codec exploded")
+
+                proxy.view.resolve = boom
                 with pytest.raises(ProtocolError, match="ValueError"):
                     await asyncio.wait_for(store.put("k", "v"), timeout=10.0)
             finally:

@@ -9,7 +9,7 @@ from repro.core.operations import Event, EventKind, Operation, OpKind, new_op_id
 from repro.core.timestamps import Tag
 from repro.util.ids import IdGenerator, client_ids, server_ids
 from repro.util.rng import SeededRng
-from repro.util.stats import LatencyStats, percentile, summarize
+from repro.util.stats import percentile, summarize
 
 
 class TestOperations:

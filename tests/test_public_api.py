@@ -11,7 +11,6 @@ import importlib.util
 import pathlib
 import sys
 
-import pytest
 
 import repro
 from repro import quick_run

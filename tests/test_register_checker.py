@@ -7,7 +7,6 @@ caught; canonical atomic histories must pass and yield a valid linearization.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.consistency.anomalies import AnomalyKind
 from repro.consistency.history import History

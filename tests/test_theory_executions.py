@@ -7,7 +7,6 @@ import pytest
 from repro.core.errors import ProofError
 from repro.theory.executions import (
     AbstractExecution,
-    Phase,
     R1_1,
     R1_2,
     R2_1,

@@ -15,7 +15,7 @@ from repro.theory.crucialinfo import (
     crucial_info_vector,
 )
 from repro.theory.chains import build_alpha_chain
-from repro.theory.executions import AbstractExecution, R1_1, R1_2, W1, W2
+from repro.theory.executions import W1, W2
 from repro.theory.fullinfo import (
     NATURAL_RULES,
     FullInfoView,

@@ -16,7 +16,6 @@ from repro.sim.runtime import Simulation
 from repro.util.ids import client_ids, server_ids
 from repro.workloads.generators import (
     apply_closed_loop,
-    apply_open_loop,
     asymmetric_write_contention,
     bursty_contention,
     read_heavy_closed_loop,
