@@ -34,6 +34,7 @@ def result_row(result, scenario: Optional[str] = None) -> Dict[str, Any]:
     resilience features are judged by.
     """
     ops = result.completed_ops or 1
+    batching = result.batch_stats.as_dict()
     row: Dict[str, Any] = {
         "backend": result.backend,
         "shards": result.num_shards,
@@ -47,17 +48,56 @@ def result_row(result, scenario: Optional[str] = None) -> Dict[str, Any]:
         "frames_per_op": round(result.frames_total / ops, 3),
         "replica_frames_per_op": round(result.replica_frames_per_op(), 3),
         "replica_sub_ops_per_op": round(result.replica_sub_ops / ops, 3),
-        "mean_batch": round(result.batch_stats.mean_batch_size, 3),
+        "mean_batch": round(batching["mean_batch"], 3),
+        "batching": batching,
         "stale_replays": result.stale_replays,
+        "stale_bounces": result.stale_bounces,
         "proxy_failovers": result.proxy_failovers,
         "view_pushes": result.view_pushes,
         "read_p50": round(result.read_stats().p50, 6),
         "read_p99": round(result.read_stats().p99, 6),
         "atomic": bool(result.check().all_atomic),
     }
+    if result.proxy_stats is not None:
+        row["proxy_batching"] = result.proxy_stats.as_dict()
     if scenario is not None:
         row["scenario"] = scenario
     return row
+
+
+def metrics_json_path(json_path: Optional[str]) -> Optional[str]:
+    """The metrics sidecar path for a ``--json PATH`` (``None`` without one).
+
+    ``BENCH_kv.json`` gets ``BENCH_kv_metrics.json`` next to it, so CI can
+    upload both and schema-check the sidecar without parsing the main report.
+    """
+    if json_path is None:
+        return None
+    target = Path(json_path)
+    return str(target.with_name(target.stem + "_metrics" + target.suffix))
+
+
+def write_metrics_json(json_path: Optional[str], section: str, result) -> None:
+    """Merge one run's per-tier metrics snapshot into the metrics sidecar.
+
+    Mirrors :func:`write_bench_json`'s one-section-per-bench layout; no-op
+    when ``--json`` was not requested or the result carries no snapshot.
+    """
+    sidecar = metrics_json_path(json_path)
+    if sidecar is None or result.metrics is None:
+        return
+    target = Path(sidecar)
+    data: Dict[str, Any] = {}
+    if target.exists():
+        try:
+            data = json.loads(target.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            data = {}
+    data[section] = result.metrics
+    target.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote metrics section {section!r} -> {target}")
 
 
 def write_bench_json(path: str, section: str, payload: Any) -> None:

@@ -40,7 +40,13 @@ from repro.kvstore import (
     run_sim_kv_workload,
 )
 
-from _bench_utils import bench_json_path, print_section, result_row, write_bench_json
+from _bench_utils import (
+    bench_json_path,
+    print_section,
+    result_row,
+    write_bench_json,
+    write_metrics_json,
+)
 
 #: Tight windows so the kill scenario settles in milliseconds of wall clock.
 FAST_RETRY = RetryPolicy(
@@ -263,4 +269,5 @@ if __name__ == "__main__":
                 "no-push": result_row(loaded[False]),
             },
         })
+        write_metrics_json(json_path, "kv_failover_asyncio", failover[2])
     print("\nall failover/view-push checks passed")

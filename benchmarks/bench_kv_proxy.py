@@ -41,7 +41,13 @@ from repro.kvstore import (
 )
 from repro.sim.delays import ConstantDelay, GeoDelay
 
-from _bench_utils import bench_json_path, print_section, result_row, write_bench_json
+from _bench_utils import (
+    bench_json_path,
+    print_section,
+    result_row,
+    write_bench_json,
+    write_metrics_json,
+)
 
 TOTAL_OPS = 96
 FANIN_CLIENTS = (1, 2, 4, 8)
@@ -290,4 +296,6 @@ if __name__ == "__main__":
             "geo": {policy: result_row(result) for policy, result in geo.items()},
             "asyncio": [result_row(net[0], "proxied"), result_row(net[1], "direct")],
         })
+        write_metrics_json(json_path, "kv_proxy_sim", next(iter(geo.values())))
+        write_metrics_json(json_path, "kv_proxy_asyncio", net[0])
     print("\nall proxy-tier checks passed")

@@ -36,7 +36,13 @@ from repro.kvstore import (
 )
 from repro.sim.delays import ConstantDelay
 
-from _bench_utils import bench_json_path, print_section, rows_for, write_bench_json
+from _bench_utils import (
+    bench_json_path,
+    print_section,
+    rows_for,
+    write_bench_json,
+    write_metrics_json,
+)
 
 MOVE_SWEEP = (2, 4, 8, 16)
 MOVE_SAMPLE = 2000
@@ -191,3 +197,5 @@ if __name__ == "__main__":
             "sim": rows_for(sim_pair, labels),
             "asyncio": rows_for(net_pair, labels),
         })
+        write_metrics_json(json_path, "kv_resize_sim", sim_pair[1])
+        write_metrics_json(json_path, "kv_resize_asyncio", net_pair[1])

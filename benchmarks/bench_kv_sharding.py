@@ -31,7 +31,13 @@ from repro.bench.report import format_rows
 from repro.kvstore import generate_workload, run_asyncio_kv_workload, run_sim_kv_workload
 from repro.sim.delays import ConstantDelay
 
-from _bench_utils import bench_json_path, print_section, rows_for, write_bench_json
+from _bench_utils import (
+    bench_json_path,
+    print_section,
+    rows_for,
+    write_bench_json,
+    write_metrics_json,
+)
 
 SIM_SHARDS = (1, 2, 4, 8)
 SIM_BATCHES = (1, 8)
@@ -138,3 +144,5 @@ if __name__ == "__main__":
     if json_path:
         write_bench_json(json_path, "kv_sharding",
                          {"sim": rows_for(sim), "asyncio": rows_for(net)})
+        write_metrics_json(json_path, "kv_sharding_sim", sim[-1])
+        write_metrics_json(json_path, "kv_sharding_asyncio", net[-1])

@@ -62,18 +62,20 @@ class FrameError(ValueError):
 
 def encode_message(message: Message) -> bytes:
     """Serialize a message to a length-prefixed JSON frame."""
-    body = json.dumps(
-        {
-            "sender": message.sender,
-            "receiver": message.receiver,
-            "kind": message.kind,
-            "payload": message.payload,
-            "op_id": message.op_id,
-            "round_trip": message.round_trip,
-            "msg_id": message.msg_id,
-        },
-        separators=(",", ":"),
-    ).encode("utf-8")
+    fields = {
+        "sender": message.sender,
+        "receiver": message.receiver,
+        "kind": message.kind,
+        "payload": message.payload,
+        "op_id": message.op_id,
+        "round_trip": message.round_trip,
+        "msg_id": message.msg_id,
+    }
+    # The trace-context id is optional on the wire: frames from peers that
+    # predate it stay byte-identical, and decoders default it to None.
+    if message.trace is not None:
+        fields["trace"] = message.trace
+    body = json.dumps(fields, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise FrameError(
             f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES"
@@ -92,6 +94,7 @@ def decode_message(body: bytes) -> Message:
         op_id=data.get("op_id"),
         round_trip=data.get("round_trip", 0),
         msg_id=data.get("msg_id", 0),
+        trace=data.get("trace"),
     )
 
 

@@ -20,6 +20,7 @@ Exposes the most common workflows without writing any Python:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -28,6 +29,7 @@ from .bench.report import format_metrics_table, format_rows
 from .consistency import check_atomicity, measure_staleness
 from .core.conditions import SystemParameters, fast_read_bound
 from .kvstore import generate_workload, run_asyncio_kv_workload, run_sim_kv_workload
+from .observe import TraceCollector
 from .protocols.registry import PROTOCOLS, build_protocol
 from .sim.delays import GeoDelay, UniformDelay
 from .sim.runtime import Simulation
@@ -130,6 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="seed for workload generation and crash-victim "
                          "selection; the same seed reproduces the same run "
                          "on either backend")
+    kv.add_argument("--trace-dump", metavar="PATH", default=None,
+                    help="write cross-tier span trees (one per operation, "
+                         "client -> proxy -> replica) to PATH as JSON")
+    kv.add_argument("--metrics-dump", metavar="PATH", default=None,
+                    help="write the run's per-tier metrics snapshot "
+                         "(counters + latency histograms) to PATH as JSON")
     return parser
 
 
@@ -278,6 +286,9 @@ def _command_kv(args: argparse.Namespace) -> int:
         push_views=not args.no_view_push,
         kill_proxy_after_ops=args.kill_proxy_after,
     )
+    trace_collector = TraceCollector() if args.trace_dump else None
+    if trace_collector is not None:
+        common["trace_collector"] = trace_collector
     if args.backend == "sim":
         result = run_sim_kv_workload(
             workload,
@@ -309,6 +320,15 @@ def _command_kv(args: argparse.Namespace) -> int:
         print(f"proxy tier         : {result.num_proxies} proxies, "
               f"{result.proxy_stats.summary()}")
     print(f"read latency p50   : {result.read_stats().p50:.3f}")
+    if result.metrics and "client" in result.metrics:
+        latency = result.metrics["client"]["histograms"]["op_latency"]
+        print(f"op latency         : p50 {latency['p50']:.3f} / "
+              f"p95 {latency['p95']:.3f} / p99 {latency['p99']:.3f}")
+    # Resilience counters print unconditionally (zeroes included) on both
+    # backends -- a quiet run should say so, not hide the line.
+    print(f"resilience         : {result.stale_replays} stale replays, "
+          f"{result.proxy_failovers} proxy failovers, "
+          f"{result.stale_bounces} replica bounces")
     if result.resize:
         print(f"live resize        : -> {result.resize['to']} shards after "
               f"{result.resize['at_ops']} ops; {result.resize['report']}; "
@@ -320,6 +340,15 @@ def _command_kv(args: argparse.Namespace) -> int:
               f"{result.proxy_failovers} client failovers; "
               f"{result.completed_ops}/{workload.total_operations()} ops "
               "completed")
+    if trace_collector is not None:
+        dumped = trace_collector.dump(args.trace_dump)
+        print(f"trace dump         : {dumped} span trees -> {args.trace_dump}")
+    if args.metrics_dump and result.metrics is not None:
+        with open(args.metrics_dump, "w", encoding="utf-8") as handle:
+            json.dump(result.metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics dump       : {sorted(result.metrics)} tiers "
+              f"-> {args.metrics_dump}")
     print(f"atomicity          : {verdict.summary()}")
     return 0 if verdict.all_atomic else 1
 

@@ -39,6 +39,19 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ...core.errors import ProtocolError
 from ...core.operations import OpKind, new_op_id
+from ...observe.events import (
+    BATCH_CUT,
+    FAILOVER_HOP,
+    FRAME_RECEIVED,
+    FRAME_SENT,
+    NULL_OBSERVER,
+    OP_COMPLETED,
+    OP_FAILED,
+    OP_INVOKED,
+    ROUND_OPENED,
+    ROUND_REPLAYED,
+    EngineObserver,
+)
 from ...messages import (
     BATCH_ACK_KIND,
     BATCH_KIND,
@@ -105,6 +118,10 @@ class _PendingKVOp:
     #: The failover-generation-scoped op id this round was last forwarded
     #: under (proxy mode only); the key into the proxy-rounds table.
     proxy_op_id: Optional[str] = None
+    #: Cross-tier trace-context id: stamped once at invocation, carried in
+    #: frame metadata through every tier (attempt-scoped ids are rewritten on
+    #: retries, the trace id never is).
+    trace: Optional[str] = None
 
 
 class ClientSessionEngine:
@@ -119,6 +136,7 @@ class ClientSessionEngine:
         max_batch: int = 8,
         flush_delay: float = 0.0,
         proxy_candidates: Optional[Sequence[str]] = None,
+        observer: Optional[EngineObserver] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -128,6 +146,7 @@ class ClientSessionEngine:
         self.policy = policy or DEFAULT_RETRY_POLICY
         self.max_batch = max_batch
         self.flush_delay = flush_delay
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.stats = BatchStats()
         self.completed_operations = 0
         self.stale_replays = 0
@@ -187,6 +206,12 @@ class ClientSessionEngine:
         """Start ``get``/``put``; returns the operation id and the effects."""
         out: List[Effect] = []
         op_id = new_op_id(f"{self.client_id}-{kind.value}")
+        # The op id doubles as the trace-context id: it is unique, compact,
+        # and -- unlike the attempt-scoped ids derived from it -- never
+        # rewritten on retry or failover.
+        self.observer.emit(
+            OP_INVOKED, op_id=op_id, key=key, trace=op_id, kind=kind.value
+        )
         if key in self._key_inflight:
             # Same client, same key: queue behind the in-flight operation so
             # the key's sub-history stays sequential for this client.
@@ -208,7 +233,7 @@ class ClientSessionEngine:
         self.recorder.record_invocation(key, op_id, self.client_id, kind, value=value)
         pending = _PendingKVOp(
             op_id=op_id, key=key, kind=kind, spec=spec, epoch=spec.epoch,
-            generator=generator,
+            generator=generator, trace=op_id,
         )
         self._active[op_id] = pending
         self._advance(pending, out, first=True)
@@ -246,6 +271,10 @@ class ClientSessionEngine:
         pending.wait_for = (
             request.wait_for if request.wait_for is not None else spec.quorum_size
         )
+        self.observer.emit(
+            ROUND_OPENED, op_id=pending.op_id, key=pending.key,
+            trace=pending.trace, round_trip=pending.round_trip,
+        )
         self._enqueue(pending, out)
 
     def _replay_round(self, pending: _PendingKVOp, out: List[Effect]) -> None:
@@ -259,6 +288,10 @@ class ClientSessionEngine:
         """
         pending.stale_retries += 1
         self.stale_replays += 1
+        self.observer.emit(
+            ROUND_REPLAYED, op_id=pending.op_id, key=pending.key,
+            trace=pending.trace, retries=pending.stale_retries,
+        )
         if pending.stale_retries > MAX_STALE_RETRIES:
             self._fail(
                 pending,
@@ -285,6 +318,10 @@ class ClientSessionEngine:
         )
         self._retire(pending, out)
         self.completed_operations += 1
+        self.observer.emit(
+            OP_COMPLETED, op_id=pending.op_id, key=pending.key,
+            trace=pending.trace, round_trips=pending.round_trip,
+        )
         out.append(
             OpCompleted(pending.op_id, pending.key, outcome, pending.round_trip)
         )
@@ -293,6 +330,10 @@ class ClientSessionEngine:
         self, pending: _PendingKVOp, error: BaseException, out: List[Effect]
     ) -> None:
         self._retire(pending, out)
+        self.observer.emit(
+            OP_FAILED, op_id=pending.op_id, key=pending.key,
+            trace=pending.trace, error=type(error).__name__,
+        )
         out.append(OpFailed(pending.op_id, pending.key, error))
 
     def _retire(self, pending: _PendingKVOp, out: List[Effect]) -> None:
@@ -346,6 +387,7 @@ class ClientSessionEngine:
             self._flush_scheduled.add(queue_key)
             out.append(StartTimer(("flush", queue_key), 0.0))
         self.stats.record(len(batch))
+        self.observer.emit(BATCH_CUT, size=len(batch), queue=queue_key)
         if queue_key == PROXY_QUEUE:
             self._flush_proxy(batch, out)
             return
@@ -361,6 +403,7 @@ class ClientSessionEngine:
                         payload=op.request.payload_for(server_id),
                         op_id=op.op_id,
                         round_trip=op.round_trip,
+                        trace=op.trace,
                     ),
                     shard=op.spec.shard_id,
                     epoch=op.epoch,
@@ -368,6 +411,7 @@ class ClientSessionEngine:
                 for op in batch
             ]
             self.stats.record_frames(sent=1)
+            self.observer.emit(FRAME_SENT, kind=BATCH_KIND, dest=server_id)
             out.append(
                 SendFrame(server_id, make_batch(self.client_id, server_id, subs))
             )
@@ -390,9 +434,11 @@ class ClientSessionEngine:
                     round_trip=op.round_trip,
                     wait_for=op.request.wait_for,
                     per_server=op.request.per_server_payload or None,
+                    trace=op.trace,
                 )
             )
         self.stats.record_frames(sent=1)
+        self.observer.emit(FRAME_SENT, kind=PROXY_KIND, dest=self.proxy_id)
         out.append(
             SendFrame(
                 self.proxy_id, make_proxy_request(self.client_id, self.proxy_id, subs)
@@ -447,6 +493,11 @@ class ClientSessionEngine:
         """
         self.proxy_failovers += 1
         self._proxy_generation += 1
+        self.observer.emit(
+            FAILOVER_HOP,
+            abandoned=self.proxy_id,
+            generation=self._proxy_generation,
+        )
         self._disarm_watchdog(out)
         inflight = list(self._proxy_rounds.values())
         self._proxy_rounds.clear()
@@ -623,6 +674,9 @@ class ClientSessionEngine:
         out: List[Effect] = []
         if message.kind == PROXY_ACK_KIND:
             self.stats.record_frames(received=1)
+            self.observer.emit(
+                FRAME_RECEIVED, kind=PROXY_ACK_KIND, source=message.sender
+            )
             self._proxy_acks_seen += 1
             for sub_reply in unpack_proxy_ack(message):
                 pending = self._proxy_rounds.pop(
@@ -652,6 +706,9 @@ class ClientSessionEngine:
         if message.kind != BATCH_ACK_KIND:
             return out
         self.stats.record_frames(received=1)
+        self.observer.emit(
+            FRAME_RECEIVED, kind=BATCH_ACK_KIND, source=message.sender
+        )
         for _key, sub in unpack_batch_ack(message):
             if sub is None or sub.op_id is None:
                 continue

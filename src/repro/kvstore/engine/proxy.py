@@ -25,6 +25,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ...observe.events import (
+    BATCH_CUT,
+    FRAME_RECEIVED,
+    FRAME_SENT,
+    NULL_OBSERVER,
+    ROUND_CLOSED,
+    ROUND_OPENED,
+    ROUND_REPLAYED,
+    EngineObserver,
+)
 from ...messages import (
     BATCH_ACK_KIND,
     BATCH_KIND,
@@ -95,6 +105,7 @@ class ProxyEngine:
         policy: Optional[RetryPolicy] = None,
         max_batch: int = 64,
         flush_delay: float = 0.0,
+        observer: Optional[EngineObserver] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -104,6 +115,7 @@ class ProxyEngine:
         self.policy = policy or DEFAULT_RETRY_POLICY
         self.max_batch = max_batch
         self.flush_delay = flush_delay
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.stats = BatchStats()
         self.stale_replays = 0
         self._attempts = 0
@@ -116,6 +128,9 @@ class ProxyEngine:
     def on_frame(self, message: Message) -> List[Effect]:
         out: List[Effect] = []
         if message.kind == PROXY_KIND:
+            self.observer.emit(
+                FRAME_RECEIVED, kind=PROXY_KIND, source=message.sender
+            )
             for sub in unpack_proxy_request(message):
                 pending = _ProxyPending(client=message.sender, sub=sub)
                 try:
@@ -160,6 +175,10 @@ class ProxyEngine:
         pending.lost_targets = set()
         pending.awaiting_retry = False
         self._pending[(pending.scoped_id, sub.round_trip)] = pending
+        self.observer.emit(
+            ROUND_OPENED, op_id=sub.op_id, key=sub.key, trace=sub.trace,
+            round_trip=sub.round_trip, targets=len(plan.targets),
+        )
         if self.policy.round_timeout is not None:
             # Bound the attempt: a targeted replica can die after the frame
             # left the socket (restrictive read policies only -- broadcast
@@ -201,6 +220,7 @@ class ProxyEngine:
         for pending in batch:
             pending.queued = False
         self.stats.record(len(batch))
+        self.observer.emit(BATCH_CUT, size=len(batch), queue=group_id)
         # One frame per replica targeted by at least one round of the batch;
         # reads restricted by the routing policy simply skip the far replicas.
         servers: List[str] = []
@@ -221,6 +241,7 @@ class ProxyEngine:
                         payload=p.sub.payload_for(server_id),
                         op_id=p.scoped_id,
                         round_trip=p.sub.round_trip,
+                        trace=p.sub.trace,
                     ),
                     shard=p.route.shard_id,
                     epoch=p.route.epoch,
@@ -229,6 +250,7 @@ class ProxyEngine:
                 if server_id in p.targets
             ]
             self.stats.record_frames(sent=1)
+            self.observer.emit(FRAME_SENT, kind=BATCH_KIND, dest=server_id)
             out.append(
                 SendFrame(server_id, make_batch(self.proxy_id, server_id, subs))
             )
@@ -237,6 +259,9 @@ class ProxyEngine:
 
     def _on_replica_ack(self, message: Message, out: List[Effect]) -> None:
         self.stats.record_frames(received=1)
+        self.observer.emit(
+            FRAME_RECEIVED, kind=BATCH_ACK_KIND, source=message.sender
+        )
         for _key, reply in unpack_batch_ack(message):
             if reply is None or reply.op_id is None:
                 continue
@@ -255,6 +280,10 @@ class ProxyEngine:
         self._drop(pending, out)
         pending.stale_retries += 1
         self.stale_replays += 1
+        self.observer.emit(
+            ROUND_REPLAYED, op_id=pending.sub.op_id, key=pending.sub.key,
+            trace=pending.sub.trace, retries=pending.stale_retries,
+        )
         if pending.stale_retries > MAX_STALE_RETRIES:
             self._finish(
                 pending,
@@ -278,12 +307,20 @@ class ProxyEngine:
         self, pending: _ProxyPending, out: List[Effect], error: Optional[str] = None
     ) -> None:
         self._drop(pending, out)
+        self.observer.emit(
+            ROUND_CLOSED, op_id=pending.sub.op_id, key=pending.sub.key,
+            trace=pending.sub.trace, error=error,
+        )
         sub_reply = ProxySubReply(
             op_id=pending.sub.op_id,
             round_trip=pending.sub.round_trip,
             replies=tuple(pending.replies),
             error=error,
         )
+        # Not counted in stats: proxy acks are tallied once, at the client
+        # receiver (the counted-exactly-once invariant); the observer event
+        # still records the frame leaving this component.
+        self.observer.emit(FRAME_SENT, kind="proxy-ack", dest=pending.client)
         out.append(
             SendFrame(
                 pending.client,

@@ -35,6 +35,14 @@ from ...messages import (
     make_batch_ack,
     unpack_batch,
 )
+from ...observe.events import (
+    FRAME_RECEIVED,
+    FRAME_SENT,
+    NULL_OBSERVER,
+    STALE_BOUNCE,
+    SUB_SERVED,
+    EngineObserver,
+)
 from ...protocols.base import RegisterProtocol, ServerLogic
 from .effects import Effect, SendFrame
 
@@ -108,9 +116,11 @@ class GroupServerEngine(ServerLogic):
         server_id: str,
         protocol: RegisterProtocol,
         shard_epochs: Optional[Dict[str, int]] = None,
+        observer: Optional[EngineObserver] = None,
     ) -> None:
         super().__init__(server_id)
         self.protocol = protocol
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self._shards: Dict[str, _HostedShard] = {}
         for shard_id, epoch in (shard_epochs or {}).items():
             self.host_shard(shard_id, epoch)
@@ -199,17 +209,30 @@ class GroupServerEngine(ServerLogic):
         self.batches_served += 1
         self.sub_ops_served += len(subs)
         self.largest_batch = max(self.largest_batch, len(subs))
+        self.observer.emit(
+            FRAME_RECEIVED, kind=BATCH_KIND, source=message.sender, size=len(subs)
+        )
         replies: List[Tuple[str, Optional[Message]]] = []
         for sub in subs:
             hosted = self._shards.get(sub.shard) if sub.shard is not None else None
             if hosted is None or sub.epoch != hosted.epoch:
                 self.stale_bounces += 1
                 current = hosted.epoch if hosted is not None else None
+                self.observer.emit(
+                    STALE_BOUNCE, op_id=sub.message.op_id, key=sub.key,
+                    trace=sub.message.trace, shard=sub.shard,
+                    sent_epoch=sub.epoch, epoch=current,
+                )
                 replies.append((sub.key, make_stale_reply(sub, current)))
                 continue
+            self.observer.emit(
+                SUB_SERVED, op_id=sub.message.op_id, key=sub.key,
+                trace=sub.message.trace, shard=sub.shard,
+            )
             replies.append(
                 (sub.key, self.register_for(sub.shard, sub.key).handle(sub.message))
             )
+        self.observer.emit(FRAME_SENT, kind="batch-ack", dest=message.sender)
         return make_batch_ack(message, replies)
 
     def on_frame(self, frame: Message) -> List[Effect]:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Union
 
 __all__ = ["BatchStats"]
 
@@ -63,6 +64,19 @@ class BatchStats:
         snapshot = BatchStats()
         snapshot.merge(self)
         return snapshot
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """The canonical reporting shape, shared by the benchmark JSON and
+        the CLI so every consumer assembles the same keys from one place."""
+        return {
+            "rounds": self.rounds,
+            "sub_ops": self.sub_operations,
+            "mean_batch": self.mean_batch_size,
+            "largest_batch": self.largest,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "frames_total": self.frames_total,
+        }
 
     def summary(self) -> str:
         return (

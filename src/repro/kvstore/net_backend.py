@@ -34,6 +34,16 @@ from ..asyncio_net.codec import FrameError, encode_message, read_frame, write_fr
 from ..asyncio_net.server import ReplicaServer
 from ..core.operations import OpKind
 from ..messages import Message
+from ..observe.events import (
+    NULL_OBSERVER,
+    TIMER_ARMED,
+    TIMER_CANCELLED,
+    TIMER_FIRED,
+    EngineObserver,
+    ObserverHub,
+)
+from ..observe.metrics import MetricsObserver, MetricsRegistry
+from ..observe.trace import TraceCollector
 from ..protocols.base import OperationOutcome
 from .engine import (
     DEFAULT_RETRY_POLICY,
@@ -106,7 +116,8 @@ class _EffectRunner:
     the same FIFO, so execution order matches emission order.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, observer: Optional[EngineObserver] = None) -> None:
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self._timers: Dict[TimerId, asyncio.TimerHandle] = {}
         self._effect_queue: Deque[Effect] = deque()
         self._running_effects = False
@@ -147,13 +158,20 @@ class _EffectRunner:
             stale = self._timers.pop(effect.timer_id, None)
             if stale is not None:
                 stale.cancel()
+                self.observer.emit(
+                    TIMER_CANCELLED, timer=effect.timer_id[0], reason="rearm"
+                )
             self._timers[effect.timer_id] = asyncio.get_running_loop().call_later(
                 effect.delay, self._fire_timer, effect.timer_id
             )
+            self.observer.emit(TIMER_ARMED, timer=effect.timer_id[0])
         elif isinstance(effect, CancelTimer):
             timer = self._timers.pop(effect.timer_id, None)
             if timer is not None:
                 timer.cancel()
+                self.observer.emit(
+                    TIMER_CANCELLED, timer=effect.timer_id[0], reason="cancel"
+                )
         elif isinstance(effect, Connect):
             self._connect_ingress(effect.target)
         elif isinstance(effect, (OpCompleted, OpFailed)):
@@ -163,6 +181,7 @@ class _EffectRunner:
 
     def _fire_timer(self, timer_id: TimerId) -> None:
         self._timers.pop(timer_id, None)
+        self.observer.emit(TIMER_FIRED, timer=timer_id[0])
         self.run_effects(self.engine.on_timer(timer_id))
 
     def _send(self, effect: SendFrame) -> None:
@@ -210,8 +229,11 @@ class _EffectRunner:
         return task
 
     async def _shutdown_runner(self) -> None:
-        for timer in self._timers.values():
+        for timer_id, timer in self._timers.items():
             timer.cancel()
+            self.observer.emit(
+                TIMER_CANCELLED, timer=timer_id[0], reason="shutdown"
+            )
         self._timers.clear()
         tasks = list(self._io_tasks)
         for task in tasks:
@@ -417,6 +439,7 @@ class AsyncKVCluster:
         retry_policy: Optional[RetryPolicy] = None,
         push_views: bool = True,
         delta_views: bool = True,
+        trace_collector: Optional[TraceCollector] = None,
     ) -> None:
         self.shard_map = shard_map
         self.host = host
@@ -426,6 +449,13 @@ class AsyncKVCluster:
         self.push_views = push_views
         self.delta_views = delta_views
         self.view_pushes_sent = 0
+        # One observer hub per cluster: wall-clock timestamps, a metrics
+        # registry fed by every tier, and (optionally) a trace collector.
+        self.hub = ObserverHub(clock=time.monotonic)
+        self.metrics = MetricsRegistry()
+        self.hub.add_sink(MetricsObserver(self.metrics))
+        if trace_collector is not None:
+            self.hub.add_sink(trace_collector)
         self.replicas: Dict[str, ReplicaServer] = {}
         self.proxies: Dict[str, "ProxyServer"] = {}
         self.migrations: List[MigrationReport] = []
@@ -442,7 +472,10 @@ class AsyncKVCluster:
             }
             endpoints: Dict[str, Tuple[str, int]] = {}
             for server_id in group.servers:
-                logic = GroupServerEngine(server_id, group.protocol, dict(hosted))
+                logic = GroupServerEngine(
+                    server_id, group.protocol, dict(hosted),
+                    observer=self.hub.scoped("replica", server_id),
+                )
                 replica = ReplicaServer(
                     logic,
                     host=self.host,
@@ -681,7 +714,7 @@ class ProxyServer(_EffectRunner):
         port: int = 0,
         site: Optional[str] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(observer=cluster.hub.scoped("proxy", proxy_id))
         self.proxy_id = proxy_id
         self.cluster = cluster
         self.site = site
@@ -695,6 +728,7 @@ class ProxyServer(_EffectRunner):
             read_policy=read_policy,
             policy=cluster.retry_policy,
             max_batch=max_batch,
+            observer=self.observer,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._group_clients: Dict[str, AsyncGroupClient] = {}
@@ -837,7 +871,7 @@ class KVStore(_EffectRunner):
         recorder: Optional[KVHistoryRecorder] = None,
         use_proxy: Union[bool, str, None] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(observer=cluster.hub.scoped("client", client_id))
         self.cluster = cluster
         self.client_id = client_id
         self.max_batch = max_batch
@@ -891,6 +925,7 @@ class KVStore(_EffectRunner):
             policy=self.retry_policy,
             max_batch=self.max_batch,
             proxy_candidates=candidates,
+            observer=self.observer,
         )
 
     async def _dial_proxy(self, proxy_id: str) -> None:
@@ -1185,6 +1220,7 @@ def run_asyncio_kv_workload(
     delta_views: bool = True,
     kill_proxy_after_ops: Optional[int] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    trace_collector: Optional[TraceCollector] = None,
 ) -> KVRunResult:
     """Run a closed-loop kv workload over loopback TCP and collect results.
 
@@ -1201,7 +1237,9 @@ def run_asyncio_kv_workload(
     site once that many operations completed -- the stores behind it fail
     over (next proxy of the site, else direct replica connections) with no
     client-visible errors.  ``retry_policy`` tunes the reconnect/failover
-    windows of every component in the run.
+    windows of every component in the run.  ``trace_collector`` subscribes a
+    :class:`~repro.observe.trace.TraceCollector` to the run's observer hub
+    so cross-tier span trees can be reconstructed afterwards.
     """
     clients = workload.clients
     if shard_map is None:
@@ -1223,6 +1261,7 @@ def run_asyncio_kv_workload(
             retry_policy=retry_policy,
             push_views=push_views,
             delta_views=delta_views,
+            trace_collector=trace_collector,
         )
         await cluster.start()
         if use_proxy:
@@ -1327,6 +1366,9 @@ def run_asyncio_kv_workload(
             replica_sub_ops = sum(
                 logic.sub_ops_served for logic in cluster.server_logics.values()
             )
+            bounces = sum(
+                logic.stale_bounces for logic in cluster.server_logics.values()
+            )
             frames = batch_stats.frames_total + (
                 proxy_stats.frames_total if proxy_stats is not None else 0
             )
@@ -1364,6 +1406,8 @@ def run_asyncio_kv_workload(
             proxy_failovers=failovers,
             view_pushes=pushes_applied,
             proxy_kill=kill_record or None,
+            stale_bounces=bounces,
+            metrics=cluster.metrics.snapshot(),
         )
         for history in histories.values():
             result.read_latencies.extend(

@@ -38,6 +38,16 @@ from typing import Callable, Deque, Dict, List, Mapping, Optional, Set
 
 from ..core.operations import OpKind
 from ..messages import VIEW_PUSH_ACK_KIND, Message
+from ..observe.events import (
+    NULL_OBSERVER,
+    TIMER_ARMED,
+    TIMER_CANCELLED,
+    TIMER_FIRED,
+    EngineObserver,
+    ObserverHub,
+)
+from ..observe.metrics import MetricsObserver, MetricsRegistry
+from ..observe.trace import TraceCollector
 from ..protocols.base import OperationOutcome
 from ..sim.clock import EventQueue, ScheduledEvent
 from ..sim.delays import ConstantDelay, DelayModel
@@ -132,9 +142,15 @@ class _EngineProcess(Process):
     dial -- the network routes by process id).
     """
 
-    def __init__(self, process_id: str, events: EventQueue) -> None:
+    def __init__(
+        self,
+        process_id: str,
+        events: EventQueue,
+        observer: Optional[EngineObserver] = None,
+    ) -> None:
         super().__init__(process_id)
         self.events = events
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self._timers: Dict[TimerId, ScheduledEvent] = {}
 
     @property
@@ -154,15 +170,22 @@ class _EngineProcess(Process):
                 stale = self._timers.pop(effect.timer_id, None)
                 if stale is not None:
                     stale.cancel()
+                    self.observer.emit(
+                        TIMER_CANCELLED, timer=effect.timer_id[0], reason="rearm"
+                    )
                 self._timers[effect.timer_id] = self.events.schedule(
                     effect.delay,
                     lambda tid=effect.timer_id: self._fire(tid),
                     label=f"{self.process_id}:{effect.timer_id[0]}",
                 )
+                self.observer.emit(TIMER_ARMED, timer=effect.timer_id[0])
             elif isinstance(effect, CancelTimer):
                 timer = self._timers.pop(effect.timer_id, None)
                 if timer is not None:
                     timer.cancel()
+                    self.observer.emit(
+                        TIMER_CANCELLED, timer=effect.timer_id[0], reason="cancel"
+                    )
             elif isinstance(effect, Connect):
                 queue.extend(self.engine.on_connected(effect.target))
             elif isinstance(effect, (OpCompleted, OpFailed)):
@@ -172,6 +195,7 @@ class _EngineProcess(Process):
 
     def _fire(self, timer_id: TimerId) -> None:
         self._timers.pop(timer_id, None)
+        self.observer.emit(TIMER_FIRED, timer=timer_id[0])
         self.run_effects(self.engine.on_timer(timer_id))
 
     def _on_operation(self, effect) -> None:  # pragma: no cover - overridden
@@ -201,8 +225,9 @@ class KVClientProcess(_EngineProcess):
         proxy_id: Optional[str] = None,
         proxy_candidates: Optional[List[str]] = None,
         proxy_timeout: float = PROXY_FAILOVER_TIMEOUT,
+        observer: Optional[EngineObserver] = None,
     ) -> None:
-        super().__init__(client_id, events)
+        super().__init__(client_id, events, observer=observer)
         if proxy_timeout <= 0:
             raise ValueError("proxy_timeout must be positive")
         if proxy_candidates:
@@ -220,6 +245,7 @@ class KVClientProcess(_EngineProcess):
             max_batch=max_batch,
             flush_delay=flush_delay,
             proxy_candidates=candidates,
+            observer=self.observer,
         )
         self._callbacks: Dict[str, Callable[[OperationOutcome], None]] = {}
         if self._engine.proxy_id is not None:
@@ -298,8 +324,9 @@ class ProxyProcess(_EngineProcess):
         read_policy: Optional[ReadRoutingPolicy] = None,
         max_batch: int = 64,
         flush_delay: float = 0.0,
+        observer: Optional[EngineObserver] = None,
     ) -> None:
-        super().__init__(proxy_id, events)
+        super().__init__(proxy_id, events, observer=observer)
         self.view = CachedShardView(shard_map)
         self._engine = ProxyEngine(
             proxy_id,
@@ -308,6 +335,7 @@ class ProxyProcess(_EngineProcess):
             policy=SIM_RETRY_POLICY,
             max_batch=max_batch,
             flush_delay=flush_delay,
+            observer=self.observer,
         )
 
     @property
@@ -427,11 +455,20 @@ class SimKVCluster:
         push_views: bool = True,
         delta_views: bool = True,
         proxy_timeout: float = PROXY_FAILOVER_TIMEOUT,
+        trace_collector: Optional[TraceCollector] = None,
     ) -> None:
         self.shard_map = shard_map
         self.events = EventQueue()
         self.network = Network(self.events, delay_model or ConstantDelay())
         self.recorder = KVHistoryRecorder(lambda: self.events.clock.now)
+        # The observability hub runs on the virtual clock; the metrics sink
+        # is always on (it is cheap and gives every run a snapshot), the
+        # trace collector only when a caller wants span trees.
+        self.hub = ObserverHub(clock=lambda: self.events.clock.now)
+        self.metrics = MetricsRegistry()
+        self.hub.add_sink(MetricsObserver(self.metrics))
+        if trace_collector is not None:
+            self.hub.add_sink(trace_collector)
         self.migrations: List[MigrationReport] = []
         self.sites = dict(sites) if sites else {}
         self.push_views = push_views
@@ -450,7 +487,10 @@ class SimKVCluster:
             for server_id in group.servers:
                 replica = BatchReplicaProcess(
                     server_id,
-                    GroupServerEngine(server_id, group.protocol, dict(hosted)),
+                    GroupServerEngine(
+                        server_id, group.protocol, dict(hosted),
+                        observer=self.hub.scoped("replica", server_id),
+                    ),
                     self.events,
                     overhead=server_overhead,
                     per_op=server_per_op,
@@ -466,6 +506,7 @@ class SimKVCluster:
                 read_policy=read_policy,
                 max_batch=proxy_max_batch,
                 flush_delay=proxy_flush_delay,
+                observer=self.hub.scoped("proxy", f"p{index}"),
             )
             proxy.attach(self.network)
             self.proxies[proxy.process_id] = proxy
@@ -481,6 +522,7 @@ class SimKVCluster:
                 completion_hook=self._notify_completion,
                 proxy_candidates=self._candidates_for(client_id, index),
                 proxy_timeout=proxy_timeout,
+                observer=self.hub.scoped("client", client_id),
             )
             client.attach(self.network)
             self.clients[client_id] = client
@@ -628,6 +670,10 @@ class SimKVCluster:
             proxy.stale_replays for proxy in self.proxies.values()
         )
 
+    def stale_bounces(self) -> int:
+        """Sub-ops the replica tier fenced on a stale (shard, epoch) tag."""
+        return sum(replica.logic.stale_bounces for replica in self.replicas.values())
+
     def proxy_failovers(self) -> int:
         return sum(client.proxy_failovers for client in self.clients.values())
 
@@ -663,6 +709,7 @@ def run_sim_kv_workload(
     delta_views: bool = True,
     kill_proxy_after_ops: Optional[int] = None,
     proxy_timeout: float = PROXY_FAILOVER_TIMEOUT,
+    trace_collector: Optional[TraceCollector] = None,
 ) -> KVRunResult:
     """Run a closed-loop kv workload on the simulator and collect results.
 
@@ -709,6 +756,7 @@ def run_sim_kv_workload(
         push_views=push_views,
         delta_views=delta_views,
         proxy_timeout=proxy_timeout,
+        trace_collector=trace_collector,
     )
 
     kill_record: Dict[str, object] = {}
@@ -778,6 +826,7 @@ def run_sim_kv_workload(
         batch_stats=cluster.batch_stats(),
         num_groups=len(shard_map.groups),
         stale_replays=cluster.stale_replays(),
+        stale_bounces=cluster.stale_bounces(),
         resize=resize_info,
         num_proxies=len(cluster.proxies),
         proxy_stats=cluster.proxy_stats() if cluster.proxies else None,
@@ -786,6 +835,7 @@ def run_sim_kv_workload(
         proxy_failovers=cluster.proxy_failovers(),
         view_pushes=cluster.view_pushes_applied(),
         proxy_kill=kill_record or None,
+        metrics=cluster.metrics.snapshot(),
     )
     for history in histories.values():
         result.read_latencies.extend(

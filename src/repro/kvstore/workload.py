@@ -137,6 +137,12 @@ class KVRunResult:
     #: Record of an injected proxy kill ({"killed": [...], "at_ops": N})
     #: when the run was asked to kill one proxy per site mid-run.
     proxy_kill: Optional[Dict[str, object]] = None
+    #: Sub-operations the replica tier fenced on a stale (shard, epoch) tag
+    #: and bounced for replay -- the replica-side face of ``stale_replays``.
+    stale_bounces: int = 0
+    #: Per-tier metrics snapshot (``MetricsRegistry.snapshot()``): counters,
+    #: gauges, and latency/batch-size histograms keyed by tier.
+    metrics: Optional[Dict[str, object]] = None
 
     def throughput(self) -> float:
         """Completed operations per time unit."""

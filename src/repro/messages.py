@@ -77,6 +77,13 @@ class Message:
         op_id: the client operation this message belongs to, if any.
         round_trip: 1-based index of the round-trip within the operation.
         msg_id: globally unique message id (assigned automatically).
+        trace: cross-tier trace-context id.  Unlike ``op_id`` -- which both
+            the client and the proxy rewrite to attempt-scoped ids on retry
+            and failover -- the trace id is stamped once when the application
+            op enters the system and carried verbatim through every tier, so
+            observability tooling can stitch one op's full journey.  Peers
+            that predate the field simply omit it (decoders default to
+            ``None``).
     """
 
     sender: str
@@ -86,10 +93,11 @@ class Message:
     op_id: Optional[str] = None
     round_trip: int = 0
     msg_id: int = field(default_factory=lambda: next(_message_counter))
+    trace: Optional[str] = None
 
     def reply(self, kind: str, payload: Optional[Dict[str, Any]] = None) -> "Message":
         """Construct a reply addressed back to the sender, tagged with the
-        same operation id and round-trip index."""
+        same operation id, round-trip index, and trace context."""
         return Message(
             sender=self.receiver,
             receiver=self.sender,
@@ -97,6 +105,7 @@ class Message:
             payload=payload if payload is not None else {},
             op_id=self.op_id,
             round_trip=self.round_trip,
+            trace=self.trace,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -144,7 +153,7 @@ def _coerce_sub(entry: SubRequestLike) -> SubRequest:
 
 
 def _encode_sub(key: str, message: Message) -> Dict[str, Any]:
-    return {
+    entry = {
         "key": key,
         "sender": message.sender,
         "kind": message.kind,
@@ -152,6 +161,9 @@ def _encode_sub(key: str, message: Message) -> Dict[str, Any]:
         "op_id": message.op_id,
         "round_trip": message.round_trip,
     }
+    if message.trace is not None:
+        entry["trace"] = message.trace
+    return entry
 
 
 def _encode_sub_request(sub: SubRequest) -> Dict[str, Any]:
@@ -170,6 +182,7 @@ def _decode_message(receiver: str, entry: Dict[str, Any]) -> Message:
         payload=entry.get("payload", {}),
         op_id=entry.get("op_id"),
         round_trip=entry.get("round_trip", 0),
+        trace=entry.get("trace"),
     )
 
 
@@ -265,7 +278,9 @@ class ProxySubRequest(NamedTuple):
     ``kind``/``payload``/``per_server`` are the protocol round exactly as the
     per-key client generator yielded it, and ``wait_for`` is its explicit ack
     threshold (``None`` means the owner group's quorum size, resolved by the
-    proxy so a client with a stale view cannot under-wait).
+    proxy so a client with a stale view cannot under-wait).  ``trace`` is the
+    op's cross-tier trace-context id (see :class:`Message`); the proxy stamps
+    it on the replica-bound sub-messages it fans out.
     """
 
     key: str
@@ -276,6 +291,7 @@ class ProxySubRequest(NamedTuple):
     round_trip: int
     wait_for: Optional[int] = None
     per_server: Optional[Dict[str, Dict[str, Any]]] = None
+    trace: Optional[str] = None
 
     def payload_for(self, server_id: str) -> Dict[str, Any]:
         if self.per_server and server_id in self.per_server:
@@ -312,6 +328,8 @@ def _encode_proxy_sub(sub: ProxySubRequest) -> Dict[str, Any]:
         entry["wait_for"] = sub.wait_for
     if sub.per_server:
         entry["per_server"] = sub.per_server
+    if sub.trace is not None:
+        entry["trace"] = sub.trace
     return entry
 
 
@@ -325,6 +343,7 @@ def _decode_proxy_sub(entry: Dict[str, Any]) -> ProxySubRequest:
         round_trip=entry.get("round_trip", 0),
         wait_for=entry.get("wait_for"),
         per_server=entry.get("per_server"),
+        trace=entry.get("trace"),
     )
 
 

@@ -1,0 +1,205 @@
+"""Structured engine events and the observer seam.
+
+The engines (:mod:`repro.kvstore.engine`) are pure state machines: they never
+read a clock or touch a transport.  Observation follows the same discipline --
+an engine is handed an :class:`EngineObserver` at construction and calls
+``observer.emit(kind, ...)`` at protocol-significant points (round opened,
+frame sent, stale bounce, ...).  The observer is supplied by the *adapter*,
+which also owns the timestamp source, so the same engine run produces
+virtual-clock timestamps on the simulator and wall-clock timestamps on
+asyncio without the engine knowing the difference.
+
+Emitting events must never perturb the engine's effect stream: observers only
+record, they do not return anything the engine acts on.  The cross-backend
+effect-trace equivalence tests run with and without observers attached to
+enforce this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "OP_INVOKED",
+    "OP_COMPLETED",
+    "OP_FAILED",
+    "ROUND_OPENED",
+    "ROUND_CLOSED",
+    "ROUND_REPLAYED",
+    "FRAME_SENT",
+    "FRAME_RECEIVED",
+    "TIMER_ARMED",
+    "TIMER_FIRED",
+    "TIMER_CANCELLED",
+    "STALE_BOUNCE",
+    "FAILOVER_HOP",
+    "BATCH_CUT",
+    "SUB_SERVED",
+    "EVENT_KINDS",
+    "TraceEvent",
+    "EngineObserver",
+    "NULL_OBSERVER",
+    "ObserverHub",
+]
+
+# -- event taxonomy -----------------------------------------------------------
+#
+# Op lifecycle (client tier): an application call enters the engine and later
+# resolves.  Round lifecycle (client + proxy tiers): one quorum round of an
+# op, possibly replayed after a stale-shard bounce.  Frame/timer events are
+# the engine <-> adapter boundary; timer armed/fired/cancelled are emitted by
+# the adapter because only it knows when a scheduled callback actually runs.
+
+OP_INVOKED = "op.invoked"          # client accepted an application op
+OP_COMPLETED = "op.completed"      # op resolved with a value
+OP_FAILED = "op.failed"            # op resolved with an error
+ROUND_OPENED = "round.opened"      # a quorum round was dispatched
+ROUND_CLOSED = "round.closed"      # a proxy finished serving a sub-op
+ROUND_REPLAYED = "round.replayed"  # stale-shard bounce forced a replay
+FRAME_SENT = "frame.sent"          # a wire frame left this component
+FRAME_RECEIVED = "frame.received"  # a wire frame arrived at this component
+TIMER_ARMED = "timer.armed"        # adapter scheduled a StartTimer effect
+TIMER_FIRED = "timer.fired"        # the scheduled callback ran
+TIMER_CANCELLED = "timer.cancelled"  # CancelTimer / re-arm / shutdown
+STALE_BOUNCE = "stale.bounce"      # replica fenced a sub-op on epoch
+FAILOVER_HOP = "failover.hop"      # client abandoned a proxy for the next
+BATCH_CUT = "batch.cut"            # a batch was sealed for dispatch
+SUB_SERVED = "sub.served"          # replica served one sub-op
+
+EVENT_KINDS = (
+    OP_INVOKED, OP_COMPLETED, OP_FAILED,
+    ROUND_OPENED, ROUND_CLOSED, ROUND_REPLAYED,
+    FRAME_SENT, FRAME_RECEIVED,
+    TIMER_ARMED, TIMER_FIRED, TIMER_CANCELLED,
+    STALE_BOUNCE, FAILOVER_HOP, BATCH_CUT, SUB_SERVED,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured observation, stamped with tier/component/timestamp.
+
+    ``trace`` is the cross-tier trace-context id carried in frame metadata;
+    events that belong to a specific application op carry it so a
+    :class:`~repro.observe.trace.TraceCollector` can stitch the op's journey
+    across tiers.  ``attrs`` holds kind-specific detail (batch size, timer
+    id, destination, ...).
+    """
+
+    ts: float
+    tier: str
+    component: str
+    kind: str
+    op_id: Optional[str] = None
+    key: Optional[str] = None
+    trace: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "ts": self.ts,
+            "tier": self.tier,
+            "component": self.component,
+            "kind": self.kind,
+        }
+        if self.op_id is not None:
+            out["op_id"] = self.op_id
+        if self.key is not None:
+            out["key"] = self.key
+        if self.trace is not None:
+            out["trace"] = self.trace
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class EngineObserver:
+    """The observer protocol engines call; the base class observes nothing.
+
+    Engines hold exactly one of these and call :meth:`emit` with an event
+    kind plus optional op/key/trace correlation ids and kind-specific
+    attributes.  The default instance is a no-op so un-instrumented engines
+    pay one cheap method call per event and nothing else.
+    """
+
+    def emit(
+        self,
+        event: str,
+        *,
+        op_id: Optional[str] = None,
+        key: Optional[str] = None,
+        trace: Optional[str] = None,
+        **attrs: Any,
+    ) -> None:
+        """Record one event.  The no-op base discards it.
+
+        The first parameter is named ``event`` (not ``kind``) so ``kind``
+        stays available as an attribute -- frame events use it for the
+        frame kind and op events for the operation kind.
+        """
+
+
+#: Shared no-op observer used as the default for every engine.
+NULL_OBSERVER = EngineObserver()
+
+
+class _ScopedObserver(EngineObserver):
+    """An observer bound to one (tier, component); stamps and publishes."""
+
+    __slots__ = ("_hub", "_tier", "_component")
+
+    def __init__(self, hub: "ObserverHub", tier: str, component: str) -> None:
+        self._hub = hub
+        self._tier = tier
+        self._component = component
+
+    def emit(
+        self,
+        event: str,
+        *,
+        op_id: Optional[str] = None,
+        key: Optional[str] = None,
+        trace: Optional[str] = None,
+        **attrs: Any,
+    ) -> None:
+        self._hub.publish(TraceEvent(
+            ts=self._hub.clock(),
+            tier=self._tier,
+            component=self._component,
+            kind=event,
+            op_id=op_id,
+            key=key,
+            trace=trace,
+            attrs=attrs,
+        ))
+
+
+class ObserverHub:
+    """Fan-out point owned by a backend run.
+
+    The backend constructs one hub with its clock (``events.clock.now`` on
+    the simulator, ``time.monotonic`` on asyncio), registers sinks
+    (:class:`~repro.observe.metrics.MetricsObserver`,
+    :class:`~repro.observe.trace.TraceCollector`), and hands each engine a
+    :meth:`scoped` observer that stamps tier, component, and timestamp before
+    publishing.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self._sinks: List[Any] = []
+
+    def add_sink(self, sink: Any) -> Any:
+        """Register a sink (an object with ``handle(event)``); returns it."""
+        if sink is not None and sink not in self._sinks:
+            self._sinks.append(sink)
+        return sink
+
+    def scoped(self, tier: str, component: str) -> EngineObserver:
+        """An observer that stamps every event with ``(tier, component)``."""
+        return _ScopedObserver(self, tier, component)
+
+    def publish(self, event: TraceEvent) -> None:
+        for sink in self._sinks:
+            sink.handle(event)

@@ -1,0 +1,365 @@
+"""Counters, gauges, and fixed-bucket latency histograms.
+
+The registry is keyed by ``(tier, component, name)`` so one registry serves a
+whole cluster run: every client, proxy, and replica writes its own series and
+``snapshot()`` aggregates them per tier for reporting.  Buckets are fixed and
+geometric so histograms from different components (and different runs) merge
+exactly; the span is wide enough to cover both simulator virtual-time units
+and asyncio seconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .events import (
+    BATCH_CUT,
+    FAILOVER_HOP,
+    FRAME_RECEIVED,
+    FRAME_SENT,
+    OP_COMPLETED,
+    OP_FAILED,
+    OP_INVOKED,
+    ROUND_CLOSED,
+    ROUND_OPENED,
+    ROUND_REPLAYED,
+    STALE_BOUNCE,
+    SUB_SERVED,
+    TIMER_ARMED,
+    TIMER_CANCELLED,
+    TIMER_FIRED,
+    TraceEvent,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsObserver",
+    "validate_metrics_snapshot",
+    "REQUIRED_TIER_KEYS",
+]
+
+# Geometric bucket upper bounds: 1e-5 .. ~5.5e6 doubling each step.  Asyncio
+# op latencies land around 1e-3..1 s, simulator ones around 1..1e3 virtual
+# units; both fit with room on either side.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(1e-5 * (2.0 ** i) for i in range(40))
+
+
+class Histogram:
+    """A fixed-bucket histogram with exact merge and estimated percentiles."""
+
+    __slots__ = ("bounds", "counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        # counts[i] tallies values <= bounds[i]; the final slot is overflow.
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            self.minimum = (other.minimum if self.minimum is None
+                            else min(self.minimum, other.minimum))
+        if other.maximum is not None:
+            self.maximum = (other.maximum if self.maximum is None
+                            else max(self.maximum, other.maximum))
+
+    def percentile(self, p: float) -> float:
+        """Estimate the p-th percentile by interpolating within a bucket."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = (p / 100.0) * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = (self.bounds[i] if i < len(self.bounds)
+                         else (self.maximum or lower))
+                frac = (target - (cumulative - bucket_count)) / bucket_count
+                estimate = lower + (upper - lower) * frac
+                break
+        else:  # pragma: no cover - counts always sum to self.count
+            estimate = self.maximum or 0.0
+        # Clamp to the observed range: interpolation never beats exact bounds.
+        if self.minimum is not None:
+            estimate = max(estimate, self.minimum)
+        if self.maximum is not None:
+            estimate = min(estimate, self.maximum)
+        return estimate
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms keyed by ``(tier, component, name)``."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, str, str], float] = {}
+        self._gauges: Dict[Tuple[str, str, str], float] = {}
+        self._histograms: Dict[Tuple[str, str, str], Histogram] = {}
+
+    # -- writers --------------------------------------------------------------
+
+    def counter(self, tier: str, component: str, name: str, delta: float = 1) -> None:
+        key = (tier, component, name)
+        self._counters[key] = self._counters.get(key, 0) + delta
+
+    def declare_counter(self, tier: str, component: str, name: str) -> None:
+        """Ensure a counter exists (at zero) so snapshots have stable keys."""
+        self._counters.setdefault((tier, component, name), 0)
+
+    def gauge(self, tier: str, component: str, name: str, value: float) -> None:
+        self._gauges[(tier, component, name)] = value
+
+    def histogram(self, tier: str, component: str, name: str) -> Histogram:
+        key = (tier, component, name)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram()
+        return hist
+
+    def observe(self, tier: str, component: str, name: str, value: float) -> None:
+        self.histogram(tier, component, name).observe(value)
+
+    # -- readers --------------------------------------------------------------
+
+    def counter_value(self, tier: str, name: str) -> float:
+        """Sum of one counter across every component of a tier."""
+        return sum(v for (t, _c, n), v in self._counters.items()
+                   if t == tier and n == name)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one (same keys add)."""
+        for key, value in other._counters.items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        self._gauges.update(other._gauges)
+        for key, hist in other._histograms.items():
+            tier, component, name = key
+            self.histogram(tier, component, name).merge(hist)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Aggregate all series per tier: counters sum, histograms merge."""
+        tiers: Dict[str, Any] = {}
+
+        def tier_entry(tier: str) -> Dict[str, Any]:
+            return tiers.setdefault(
+                tier, {"counters": {}, "gauges": {}, "histograms": {}}
+            )
+
+        for (tier, _component, name), value in sorted(self._counters.items()):
+            counters = tier_entry(tier)["counters"]
+            counters[name] = counters.get(name, 0) + value
+        for (tier, component, name), value in sorted(self._gauges.items()):
+            tier_entry(tier)["gauges"][f"{component}.{name}"] = value
+        merged: Dict[Tuple[str, str], Histogram] = {}
+        for (tier, _component, name), hist in sorted(self._histograms.items()):
+            target = merged.get((tier, name))
+            if target is None:
+                target = merged[(tier, name)] = Histogram(hist.bounds)
+            target.merge(hist)
+        for (tier, name), hist in merged.items():
+            tier_entry(tier)["histograms"][name] = hist.as_dict()
+        return tiers
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+# -- event -> metric translation ----------------------------------------------
+
+# Counters every component of a tier is expected to report even when zero;
+# seeded on the first event from a (tier, component) so snapshots keep a
+# stable schema regardless of what a particular run exercised.
+_BASELINE_COUNTERS: Dict[str, Tuple[str, ...]] = {
+    "client": (
+        "ops_invoked", "ops_completed", "ops_failed",
+        "rounds_opened", "stale_replays", "proxy_failovers",
+        "frames_sent", "frames_received",
+        "timers_armed", "timers_fired", "timers_cancelled",
+    ),
+    "proxy": (
+        "rounds_opened", "rounds_closed", "stale_replays",
+        "frames_sent", "frames_received",
+        "timers_armed", "timers_fired", "timers_cancelled",
+    ),
+    "replica": (
+        "subs_served", "stale_bounces",
+        "frames_sent", "frames_received",
+    ),
+}
+
+# Histograms seeded empty per tier for the same schema-stability reason.
+_BASELINE_HISTOGRAMS: Dict[str, Tuple[str, ...]] = {
+    "client": ("op_latency", "batch_size"),
+    "proxy": ("op_latency", "batch_size"),
+    "replica": ("batch_size",),
+}
+
+_COUNTER_FOR_KIND = {
+    OP_INVOKED: "ops_invoked",
+    OP_COMPLETED: "ops_completed",
+    OP_FAILED: "ops_failed",
+    ROUND_OPENED: "rounds_opened",
+    ROUND_CLOSED: "rounds_closed",
+    ROUND_REPLAYED: "stale_replays",
+    FRAME_SENT: "frames_sent",
+    FRAME_RECEIVED: "frames_received",
+    TIMER_ARMED: "timers_armed",
+    TIMER_FIRED: "timers_fired",
+    TIMER_CANCELLED: "timers_cancelled",
+    STALE_BOUNCE: "stale_bounces",
+    FAILOVER_HOP: "proxy_failovers",
+    SUB_SERVED: "subs_served",
+}
+
+
+class MetricsObserver:
+    """A hub sink that folds :class:`TraceEvent` streams into a registry.
+
+    Op latency is measured here, not in the engines: the first ``op.invoked``
+    (client) or ``round.opened`` (proxy) for an op records its start
+    timestamp, and the matching completion event turns the difference into an
+    ``op_latency`` histogram sample.  Engines therefore stay clockless.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._op_starts: Dict[Tuple[str, str, str], float] = {}
+        self._seeded: set = set()
+
+    def handle(self, event: TraceEvent) -> None:
+        registry = self.registry
+        scope = (event.tier, event.component)
+        if scope not in self._seeded:
+            self._seeded.add(scope)
+            for name in _BASELINE_COUNTERS.get(event.tier, ()):
+                registry.declare_counter(event.tier, event.component, name)
+            for name in _BASELINE_HISTOGRAMS.get(event.tier, ()):
+                registry.histogram(event.tier, event.component, name)
+
+        counter = _COUNTER_FOR_KIND.get(event.kind)
+        if counter is not None:
+            registry.counter(event.tier, event.component, counter)
+
+        if event.kind == BATCH_CUT:
+            size = event.attrs.get("size")
+            if size is not None:
+                registry.observe(event.tier, event.component, "batch_size", size)
+        elif event.kind == OP_INVOKED and event.op_id is not None:
+            self._op_starts.setdefault(
+                (event.tier, event.component, event.op_id), event.ts)
+        elif event.kind == ROUND_OPENED and event.tier == "proxy" \
+                and event.op_id is not None:
+            self._op_starts.setdefault(
+                (event.tier, event.component, event.op_id), event.ts)
+        elif event.kind in (OP_COMPLETED, OP_FAILED, ROUND_CLOSED) \
+                and event.op_id is not None:
+            start = self._op_starts.pop(
+                (event.tier, event.component, event.op_id), None)
+            if start is not None:
+                registry.observe(
+                    event.tier, event.component, "op_latency", event.ts - start)
+
+
+# -- snapshot schema check ----------------------------------------------------
+
+REQUIRED_TIER_KEYS: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "client": {
+        "counters": ("ops_invoked", "ops_completed", "stale_replays",
+                     "proxy_failovers", "frames_sent", "frames_received",
+                     "timers_armed", "timers_fired", "timers_cancelled"),
+        "histograms": ("op_latency", "batch_size"),
+    },
+    "proxy": {
+        "counters": ("rounds_opened", "rounds_closed", "stale_replays",
+                     "frames_sent", "frames_received",
+                     "timers_armed", "timers_fired", "timers_cancelled"),
+        "histograms": ("op_latency", "batch_size"),
+    },
+    "replica": {
+        "counters": ("subs_served", "stale_bounces",
+                     "frames_sent", "frames_received"),
+        "histograms": (),
+    },
+}
+
+_HISTOGRAM_KEYS = ("count", "sum", "mean", "min", "max", "p50", "p95", "p99")
+
+
+def validate_metrics_snapshot(
+    snapshot: Dict[str, Any],
+    require_tiers: Sequence[str] = ("client", "replica"),
+) -> None:
+    """Raise ``ValueError`` listing every schema violation in a snapshot.
+
+    Used by the CI artifact check so exporter drift (a renamed counter, a
+    dropped percentile key) fails fast instead of silently producing holes in
+    BENCH_kv_metrics.json.
+    """
+    problems: List[str] = []
+    for tier in require_tiers:
+        if tier not in snapshot:
+            problems.append(f"missing tier {tier!r}")
+    for tier, entry in snapshot.items():
+        spec = REQUIRED_TIER_KEYS.get(tier)
+        if spec is None:
+            continue
+        counters = entry.get("counters", {})
+        for name in spec["counters"]:
+            if name not in counters:
+                problems.append(f"{tier}: missing counter {name!r}")
+        histograms = entry.get("histograms", {})
+        for name in spec["histograms"]:
+            hist = histograms.get(name)
+            if hist is None:
+                problems.append(f"{tier}: missing histogram {name!r}")
+                continue
+            for key in _HISTOGRAM_KEYS:
+                if key not in hist:
+                    problems.append(f"{tier}: histogram {name!r} missing {key!r}")
+    if problems:
+        raise ValueError("metrics snapshot schema: " + "; ".join(problems))

@@ -1,0 +1,151 @@
+"""Cross-tier op tracing: reconstruct one op's journey through the tiers.
+
+Every client op carries a compact trace-context id (the ``trace`` field on
+:class:`repro.messages.Message` and the proxy sub-request encoding) from the
+client through the proxy to the replicas and back.  Engines stamp that id on
+the events they emit, so a :class:`TraceCollector` attached to the observer
+hub can group events per trace and rebuild the op's span tree:
+
+    client span (op.invoked .. op.completed)
+      └── proxy span per proxy component (round.opened .. round.closed)
+            └── replica span per replica component (sub.served / stale.bounce)
+
+The tree works identically on both backends because the ids travel in frame
+metadata, surviving the attempt-scoped op-id rewriting the client and proxy
+perform on retries and failover.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .events import TraceEvent
+
+__all__ = ["TraceCollector", "TIER_ORDER"]
+
+#: Parent-to-child ordering of tiers in a span tree.
+TIER_ORDER = ("client", "proxy", "replica")
+
+
+class TraceCollector:
+    """A hub sink that groups trace-tagged events into per-op span trees."""
+
+    def __init__(self) -> None:
+        # trace id -> events in arrival order (arrival order is causal enough
+        # on the simulator and monotonic-enough on asyncio for span bounds).
+        self._events: Dict[str, List[TraceEvent]] = {}
+
+    def handle(self, event: TraceEvent) -> None:
+        if event.trace is not None:
+            self._events.setdefault(event.trace, []).append(event)
+
+    # -- queries ---------------------------------------------------------------
+
+    def trace_ids(self) -> List[str]:
+        return list(self._events)
+
+    def events_for(self, trace_id: str) -> List[TraceEvent]:
+        return list(self._events.get(trace_id, ()))
+
+    def tiers_for(self, trace_id: str) -> List[str]:
+        """The distinct tiers a trace touched, in TIER_ORDER."""
+        seen = {event.tier for event in self._events.get(trace_id, ())}
+        return [tier for tier in TIER_ORDER if tier in seen]
+
+    def span_tree(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """Rebuild one op's client -> proxy -> replica span tree.
+
+        Returns ``None`` for unknown trace ids.  Each node covers one
+        ``(tier, component)`` pair with its event list and time bounds;
+        children are the nodes of the next tier downstream.
+        """
+        events = self._events.get(trace_id)
+        if not events:
+            return None
+        # Group events per (tier, component), preserving arrival order.
+        spans: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        for event in events:
+            tier_spans = spans.setdefault(event.tier, {})
+            node = tier_spans.get(event.component)
+            if node is None:
+                node = tier_spans[event.component] = {
+                    "tier": event.tier,
+                    "component": event.component,
+                    "start": event.ts,
+                    "end": event.ts,
+                    "events": [],
+                    "children": [],
+                }
+            node["start"] = min(node["start"], event.ts)
+            node["end"] = max(node["end"], event.ts)
+            node["events"].append(event.as_dict())
+        # Stitch tiers into a tree: each tier's nodes become children of the
+        # nearest populated tier above it.
+        populated = [tier for tier in TIER_ORDER if tier in spans]
+        for parent_tier, child_tier in zip(populated, populated[1:]):
+            children = list(spans[child_tier].values())
+            for parent in spans[parent_tier].values():
+                parent["children"].extend(children)
+            # Only attach each child set once even with several parents; the
+            # common case is a single client component per trace.
+            if len(spans[parent_tier]) > 1:
+                for extra in list(spans[parent_tier].values())[1:]:
+                    extra["children"] = []
+        roots = list(spans[populated[0]].values())
+        root = roots[0] if len(roots) == 1 else {
+            "tier": populated[0], "component": "*",
+            "start": min(r["start"] for r in roots),
+            "end": max(r["end"] for r in roots),
+            "events": [], "children": roots,
+        }
+        return {"trace": trace_id, "root": root}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "traces": [self.span_tree(tid) for tid in self._events],
+        }
+
+    def dump(self, path: str, indent: int = 2) -> int:
+        """Write every reconstructed span tree to ``path`` as JSON.
+
+        Returns the number of traces written.
+        """
+        payload = self.as_dict()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent, sort_keys=False)
+            handle.write("\n")
+        return len(payload["traces"])
+
+    # -- pytest helper ---------------------------------------------------------
+
+    def format(self, trace_id: Optional[str] = None, limit: int = 5) -> str:
+        """Human-readable span trees, for attaching to failing assertions.
+
+        Use as ``assert verdict.all_atomic, collector.format()`` so a failing
+        equivalence or fuzzer run ships the op journeys that led to the bad
+        state instead of a bare ``False``.
+        """
+        ids = [trace_id] if trace_id is not None else list(self._events)[:limit]
+        lines: List[str] = []
+        for tid in ids:
+            tree = self.span_tree(tid)
+            if tree is None:
+                lines.append(f"trace {tid}: <no events>")
+                continue
+            lines.append(f"trace {tid}:")
+            _format_node(tree["root"], lines, depth=1)
+        if trace_id is None and len(self._events) > limit:
+            lines.append(f"... {len(self._events) - limit} more traces")
+        return "\n".join(lines) if lines else "<no traces collected>"
+
+
+def _format_node(node: Dict[str, Any], lines: List[str], depth: int) -> None:
+    pad = "  " * depth
+    kinds = ", ".join(event["kind"] for event in node["events"])
+    lines.append(
+        f"{pad}{node['tier']}/{node['component']} "
+        f"[{node['start']:.6g} .. {node['end']:.6g}] {kinds}"
+    )
+    for child in node["children"]:
+        _format_node(child, lines, depth + 1)

@@ -163,3 +163,52 @@ class TestCommands:
     def test_kv_crashes_require_sim_backend(self):
         with pytest.raises(SystemExit, match="sim backend"):
             main(["kv", "--backend", "asyncio", "--crashes", "1"])
+
+    def test_kv_resilience_line_on_both_backends(self, capsys):
+        # The replay/failover/bounce counters print on every run (zeroes
+        # included) -- on asyncio too, where they used to be invisible.
+        assert main(["kv", "--shards", "2", "--clients", "2", "--ops", "6",
+                     "--keys", "6"]) == 0
+        sim_output = capsys.readouterr().out
+        assert main(["kv", "--backend", "asyncio", "--shards", "2",
+                     "--clients", "2", "--ops", "6", "--keys", "6"]) == 0
+        net_output = capsys.readouterr().out
+        for output in (sim_output, net_output):
+            assert "resilience         : " in output
+            assert "stale replays" in output
+            assert "proxy failovers" in output
+            assert "replica bounces" in output
+            assert "op latency         : p50" in output
+
+    def test_kv_trace_dump_reconstructs_cross_tier_spans(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["kv", "--shards", "4", "--groups", "2", "--clients", "2",
+                     "--ops", "8", "--keys", "8", "--proxies", "2",
+                     "--trace-dump", str(trace_path),
+                     "--metrics-dump", str(metrics_path)]) == 0
+        output = capsys.readouterr().out
+        assert "trace dump         : " in output
+        assert "metrics dump       : " in output
+
+        def tiers_of(node, acc):
+            acc.add(node["tier"])
+            for child in node["children"]:
+                tiers_of(child, acc)
+            return acc
+
+        data = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert data["traces"], "trace dump carries no span trees"
+        full = [tree for tree in data["traces"]
+                if tiers_of(tree["root"], set()) ==
+                {"client", "proxy", "replica"}]
+        assert full, "no op's span tree crosses all three tiers"
+
+        from repro.observe import validate_metrics_snapshot
+
+        metrics = json.loads(metrics_path.read_text(encoding="utf-8"))
+        validate_metrics_snapshot(
+            metrics, require_tiers=("client", "proxy", "replica")
+        )

@@ -9,6 +9,8 @@ trees (anything JSON can carry).
 
 from __future__ import annotations
 
+import json
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
@@ -89,6 +91,7 @@ def _messages(kinds=_ids):
         payload=_payloads,
         op_id=st.one_of(st.none(), _ids),
         round_trip=st.integers(min_value=0, max_value=9),
+        trace=st.one_of(st.none(), _ids),
     )
 
 
@@ -99,6 +102,21 @@ def _assert_same_message(left: Message, right: Message) -> None:
     assert left.payload == right.payload
     assert left.op_id == right.op_id
     assert left.round_trip == right.round_trip
+    assert left.trace == right.trace
+
+
+def _scrub_trace(value):
+    """Drop every ``"trace"`` key, emulating a frame from a peer that
+    predates the trace-context field (cross-version tolerance)."""
+    if isinstance(value, dict):
+        return {
+            key: _scrub_trace(item)
+            for key, item in value.items()
+            if key != "trace"
+        }
+    if isinstance(value, list):
+        return [_scrub_trace(item) for item in value]
+    return value
 
 
 class TestMessageFrames:
@@ -119,6 +137,31 @@ class TestMessageFrames:
         huge = Message("a", "b", "blob", {"data": "x" * (MAX_FRAME_BYTES + 1)})
         with pytest.raises(FrameError):
             encode_message(huge)
+
+    @_codec
+    @given(message=_messages())
+    def test_traceless_frames_stay_byte_identical(self, message):
+        # A message without a trace id must encode exactly as it did before
+        # the field existed: no "trace" key on the wire at all.
+        bare = Message(
+            message.sender, message.receiver, message.kind, message.payload,
+            op_id=message.op_id, round_trip=message.round_trip,
+        )
+        assert b'"trace"' not in encode_message(bare)
+
+    @_codec
+    @given(message=_messages())
+    def test_legacy_frame_without_trace_decodes(self, message):
+        # Frames from peers that predate the trace field decode cleanly:
+        # the trace comes back None, everything else bit-exact.
+        raw = encode_message(message)[4:]
+        legacy = json.dumps(_scrub_trace(json.loads(raw))).encode("utf-8")
+        decoded = decode_message(legacy)
+        assert decoded.trace is None
+        assert decoded.sender == message.sender
+        assert decoded.kind == message.kind
+        assert decoded.payload == message.payload
+        assert decoded.op_id == message.op_id
 
 
 #: Shard/epoch routing tags as the placement layer produces them.
@@ -175,6 +218,7 @@ class TestBatchFrames:
                 assert restored.epoch == original.epoch
             assert restored.message.payload == original.message.payload
             assert restored.message.op_id == original.message.op_id
+            assert restored.message.trace == original.message.trace
 
     @_codec
     @given(subs=st.lists(_sub_requests, min_size=1, max_size=5))
@@ -186,6 +230,7 @@ class TestBatchFrames:
             if original.shard is not None:
                 assert restored.epoch == original.epoch
             assert restored.message.payload == original.message.payload
+            assert restored.message.trace == original.message.trace
 
     @_codec
     @given(
@@ -234,6 +279,7 @@ _proxy_subs = st.builds(
     per_server=st.one_of(
         st.none(), st.dictionaries(_ids, _payloads, min_size=1, max_size=3)
     ),
+    trace=st.one_of(st.none(), _ids),
 )
 
 #: Completed rounds as the proxy packs them: the quorum's replica replies.
@@ -272,6 +318,19 @@ class TestProxyFrames:
             # a lossy round-trip here would corrupt routing silently.
             assert restored.wait_for == original.wait_for
             assert restored.per_server == original.per_server
+            assert restored.trace == original.trace
+
+    @_codec
+    @given(subs=st.lists(_proxy_subs, min_size=1, max_size=5))
+    def test_legacy_proxy_frame_without_trace_decodes(self, subs):
+        raw = encode_proxy_frame("client", "proxy", subs)[4:]
+        legacy = json.dumps(_scrub_trace(json.loads(raw))).encode("utf-8")
+        recovered = decode_proxy_frame(legacy)
+        for original, restored in zip(subs, recovered):
+            assert restored.trace is None
+            assert restored.key == original.key
+            assert restored.payload == original.payload
+            assert restored.op_id == original.op_id
 
     @_codec
     @given(sub_replies=st.lists(_proxy_replies, min_size=1, max_size=4))

@@ -50,6 +50,14 @@ from repro.kvstore.engine import (
 )
 from repro.kvstore.perkey import KVHistoryRecorder
 from repro.core.operations import OpKind
+from repro.observe import (
+    NULL_OBSERVER,
+    TIMER_ARMED,
+    TIMER_CANCELLED,
+    TIMER_FIRED,
+    MetricsObserver,
+    ObserverHub,
+)
 
 import repro.kvstore.engine as engine_package
 
@@ -76,9 +84,11 @@ class MemoryFabric:
         self._timers = {}
         self.callbacks = {}
         self.failures = []
+        self.observers = {}
 
-    def register(self, process_id, engine) -> None:
+    def register(self, process_id, engine, observer=None) -> None:
         self._engines[process_id] = engine
+        self.observers[process_id] = observer if observer is not None else NULL_OBSERVER
 
     def _push(self, delay, action) -> None:
         heapq.heappush(self._heap, (self.now + delay, next(self._seq), action))
@@ -90,16 +100,21 @@ class MemoryFabric:
                 self._push(1.0, lambda eff=effect: self._deliver(eff))
             elif isinstance(effect, StartTimer):
                 key = (owner_id, effect.timer_id)
+                observer = self.observers[owner_id]
                 old = self._timers.get(key)
                 if old is not None:
                     old["cancelled"] = True
+                    observer.emit(TIMER_CANCELLED, timer=effect.timer_id[0],
+                                  reason="rearm")
                 entry = {"cancelled": False}
                 self._timers[key] = entry
+                observer.emit(TIMER_ARMED, timer=effect.timer_id[0])
 
                 def fire(key=key, entry=entry, owner=owner_id):
                     if entry["cancelled"]:
                         return
                     self._timers.pop(key, None)
+                    self.observers[owner].emit(TIMER_FIRED, timer=key[1][0])
                     self.execute(owner, self._engines[owner].on_timer(key[1]))
 
                 self._push(effect.delay, fire)
@@ -107,6 +122,9 @@ class MemoryFabric:
                 entry = self._timers.pop((owner_id, effect.timer_id), None)
                 if entry is not None:
                     entry["cancelled"] = True
+                    self.observers[owner_id].emit(
+                        TIMER_CANCELLED, timer=effect.timer_id[0], reason="cancel"
+                    )
             elif isinstance(effect, Connect):
                 self.execute(owner_id, engine.on_connected(effect.target))
             elif isinstance(effect, OpCompleted):
@@ -130,10 +148,21 @@ class MemoryFabric:
             action()
 
 
-def build_memory_stack(num_shards=1, num_groups=1, use_proxy=False):
-    """A full client/proxy/servers stack wired through a MemoryFabric."""
+def build_memory_stack(num_shards=1, num_groups=1, use_proxy=False, hub=None):
+    """A full client/proxy/servers stack wired through a MemoryFabric.
+
+    ``hub`` optionally attaches an :class:`~repro.observe.ObserverHub`: every
+    engine gets a scoped observer and the fabric emits timer lifecycle events
+    the way the real adapters do.
+    """
     shard_map = ShardMap(num_shards, num_groups=num_groups, readers=1, writers=1)
     fabric = MemoryFabric()
+    if hub is not None:
+        hub.clock = lambda: fabric.now
+
+    def scoped(tier, component):
+        return hub.scoped(tier, component) if hub is not None else None
+
     ticks = itertools.count()
     recorder = KVHistoryRecorder(lambda: float(next(ticks)))
     for group in shard_map.groups.values():
@@ -141,23 +170,31 @@ def build_memory_stack(num_shards=1, num_groups=1, use_proxy=False):
             spec.shard_id: spec.epoch for spec in shard_map.shards_on(group.group_id)
         }
         for server_id in group.servers:
+            observer = scoped("replica", server_id)
             fabric.register(
-                server_id, GroupServerEngine(server_id, group.protocol, dict(hosted))
+                server_id,
+                GroupServerEngine(server_id, group.protocol, dict(hosted),
+                                  observer=observer),
+                observer=observer,
             )
     proxy = None
     if use_proxy:
+        proxy_observer = scoped("proxy", "p1")
         proxy = ProxyEngine(
-            "p1", CachedShardView(shard_map), policy=SIM_RETRY_POLICY
+            "p1", CachedShardView(shard_map), policy=SIM_RETRY_POLICY,
+            observer=proxy_observer,
         )
-        fabric.register("p1", proxy)
+        fabric.register("p1", proxy, observer=proxy_observer)
+    client_observer = scoped("client", "c1")
     client = ClientSessionEngine(
         "c1",
         shard_map,
         recorder,
         policy=SIM_RETRY_POLICY,
         proxy_candidates=["p1"] if use_proxy else [],
+        observer=client_observer,
     )
-    fabric.register("c1", client)
+    fabric.register("c1", client, observer=client_observer)
     if use_proxy:
         fabric.execute("c1", client.on_connected("p1"))
     return shard_map, fabric, client, proxy, recorder
@@ -241,8 +278,10 @@ def tap(engine, trace):
         setattr(engine, name, wrapper)
 
 
-def memory_trace(use_proxy=False):
-    _, fabric, client, proxy, recorder = build_memory_stack(use_proxy=use_proxy)
+def memory_trace(use_proxy=False, hub=None):
+    _, fabric, client, proxy, recorder = build_memory_stack(
+        use_proxy=use_proxy, hub=hub
+    )
     client_trace, proxy_trace = [], []
     tap(client, client_trace)
     if proxy is not None:
@@ -388,6 +427,91 @@ class TestFrameAccounting:
         )
         assert client.stats.frames_sent == 2
         assert client.stats.rounds == before_rounds  # coalescing stats intact
+
+
+# -- the observer seam ----------------------------------------------------------
+
+
+def _timer_counters(snapshot, tier):
+    counters = snapshot[tier]["counters"]
+    return (counters["timers_armed"], counters["timers_fired"],
+            counters["timers_cancelled"])
+
+
+def _assert_timer_lifecycle(snapshot, tiers=("client", "proxy")):
+    """Every armed timer is accounted exactly once: fired or cancelled."""
+    for tier in tiers:
+        if tier not in snapshot:
+            continue
+        armed, fired, cancelled = _timer_counters(snapshot, tier)
+        assert armed == fired + cancelled, (
+            f"{tier}: {armed} armed != {fired} fired + {cancelled} cancelled"
+        )
+
+
+class TestObserverSeam:
+    """Observation is a side channel: attaching observers must not change a
+    single engine effect, and every armed timer must resolve exactly once."""
+
+    def test_observer_does_not_perturb_direct_effects(self):
+        plain = memory_trace(use_proxy=False)
+        hub = ObserverHub()
+        hub.add_sink(MetricsObserver())
+        observed = memory_trace(use_proxy=False, hub=hub)
+        assert plain == observed
+
+    def test_observer_does_not_perturb_proxied_effects(self):
+        plain = memory_trace(use_proxy=True)
+        hub = ObserverHub()
+        hub.add_sink(MetricsObserver())
+        observed = memory_trace(use_proxy=True, hub=hub)
+        assert plain == observed
+
+    def test_memory_timer_lifecycle_direct(self):
+        hub = ObserverHub()
+        metrics = hub.add_sink(MetricsObserver())
+        memory_trace(use_proxy=False, hub=hub)
+        snapshot = metrics.registry.snapshot()
+        armed, _, _ = _timer_counters(snapshot, "client")
+        assert armed > 0  # flush timers at least
+        _assert_timer_lifecycle(snapshot)
+
+    def test_memory_timer_lifecycle_proxied_includes_watchdog(self):
+        hub = ObserverHub()
+        metrics = hub.add_sink(MetricsObserver())
+        memory_trace(use_proxy=True, hub=hub)
+        snapshot = metrics.registry.snapshot()
+        # The sim retry policy arms the proxy-failover watchdog on every
+        # proxied dispatch; a healthy proxy means it must be *cancelled*,
+        # never leaked.
+        _, _, cancelled = _timer_counters(snapshot, "client")
+        assert cancelled > 0
+        _assert_timer_lifecycle(snapshot)
+
+    def test_sim_timer_lifecycle_proxied_resize(self):
+        workload = generate_workload(num_clients=2, ops_per_client=12,
+                                     num_keys=12, seed=3)
+        result = run_sim_kv_workload(
+            workload, num_shards=4, num_groups=2, use_proxy=True,
+            num_proxies=2, resize_to=6,
+        )
+        assert result.check().all_atomic
+        assert result.metrics is not None
+        _assert_timer_lifecycle(result.metrics)
+
+    def test_asyncio_timer_lifecycle_proxied(self):
+        from repro.kvstore import run_asyncio_kv_workload
+
+        workload = generate_workload(num_clients=2, ops_per_client=8,
+                                     num_keys=8, seed=3)
+        result = run_asyncio_kv_workload(
+            workload, num_shards=2, use_proxy=True, num_proxies=1
+        )
+        assert result.check().all_atomic
+        assert result.metrics is not None
+        # Round timeouts armed by the asyncio policy resolve through the
+        # cancel path; watchdogs stranded at close resolve through shutdown.
+        _assert_timer_lifecycle(result.metrics)
 
 
 # -- delta view pushes ----------------------------------------------------------
