@@ -22,10 +22,14 @@ from ..messages import (
     ProxySubRequest,
     SubRequest,
     make_batch,
+    make_drain_install,
+    make_drain_transfer,
     make_proxy_ack,
     make_proxy_request,
     make_view_push,
     unpack_batch,
+    unpack_drain_install,
+    unpack_drain_transfer,
     unpack_proxy_ack,
     unpack_proxy_request,
     unpack_view_push,
@@ -44,6 +48,10 @@ __all__ = [
     "decode_proxy_ack_frame",
     "encode_view_push_frame",
     "decode_view_push_frame",
+    "encode_drain_transfer_frame",
+    "decode_drain_transfer_frame",
+    "encode_drain_install_frame",
+    "decode_drain_install_frame",
     "read_frame",
     "write_frame",
 ]
@@ -145,6 +153,37 @@ def encode_view_push_frame(
 def decode_view_push_frame(body: bytes) -> Dict[str, Any]:
     """Inverse of :func:`encode_view_push_frame` (body excludes the header)."""
     return unpack_view_push(decode_message(body))
+
+
+def encode_drain_transfer_frame(
+    sender: str, receiver: str, mig: str, token: str, shard: str,
+    keys: Sequence[str],
+) -> bytes:
+    """One incremental-drain transfer request as a wire frame."""
+    return encode_message(
+        make_drain_transfer(sender, receiver, mig, token, shard, keys)
+    )
+
+
+def decode_drain_transfer_frame(body: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`encode_drain_transfer_frame` (no length header)."""
+    return unpack_drain_transfer(decode_message(body))
+
+
+def encode_drain_install_frame(
+    sender: str, receiver: str, mig: str, token: str, shard: str, epoch: int,
+    keys: Sequence[str], states: Dict[str, List[Dict[str, Any]]],
+) -> bytes:
+    """One incremental-drain install request as a wire frame."""
+    return encode_message(
+        make_drain_install(sender, receiver, mig, token, shard, epoch, keys,
+                           states)
+    )
+
+
+def decode_drain_install_frame(body: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`encode_drain_install_frame` (no length header)."""
+    return unpack_drain_install(decode_message(body))
 
 
 async def read_frame(reader) -> Message:

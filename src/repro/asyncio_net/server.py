@@ -94,10 +94,12 @@ class ReplicaServer:
                 self.requests_served += 1
                 reply = self.logic.handle(request)
                 if self.service_overhead > 0 or self.service_per_op > 0:
-                    sub_ops = (
-                        len(request.payload.get("ops", []))
-                        if request.kind == "batch"
-                        else 1
+                    # Batch frames charge per sub-op, drain frames per key:
+                    # the pause a migration imposes on a replica grows with
+                    # the range size, matching the simulator's cost model.
+                    payload = request.payload
+                    sub_ops = len(
+                        payload.get("ops", ()) or payload.get("keys", ())
                     ) or 1
                     await asyncio.sleep(
                         self.service_overhead + self.service_per_op * sub_ops

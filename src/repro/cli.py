@@ -29,6 +29,7 @@ from .bench.report import format_metrics_table, format_rows
 from .consistency import check_atomicity, measure_staleness
 from .core.conditions import SystemParameters, fast_read_bound
 from .kvstore import generate_workload, run_asyncio_kv_workload, run_sim_kv_workload
+from .kvstore.engine import DRAIN_RANGE_SIZE
 from .observe import TraceCollector
 from .protocols.registry import PROTOCOLS, build_protocol
 from .sim.delays import GeoDelay, UniformDelay
@@ -117,6 +118,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="route clients through N site-local ingress proxies "
                          "(round-robin) that merge quorum rounds across "
                          "clients into shared replica frames; 0 = direct")
+    kv.add_argument("--autoscale", action="store_true",
+                    help="arm the metrics-driven autoscaler: the control "
+                         "plane folds per-group served-op counts and moves "
+                         "the hottest group's hottest shard to the coldest "
+                         "group via incremental drains")
+    kv.add_argument("--drain-range-size", type=int, default=None, metavar="K",
+                    help="keys per drained range during live rebalances; "
+                         "bounds the per-range cutover pause (default: "
+                         f"{DRAIN_RANGE_SIZE})")
+    kv.add_argument("--workload", default="zipf:0.8", metavar="SHAPE",
+                    help="key-popularity shape: 'uniform' or 'zipf:<s>' "
+                         "with skew exponent s, e.g. zipf:1.2 (default: "
+                         "zipf:0.8)")
     kv.add_argument("--clients", type=int, default=4)
     kv.add_argument("--ops", type=int, default=30, help="operations per client")
     kv.add_argument("--keys", type=int, default=32)
@@ -254,6 +268,22 @@ def _command_latency(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_workload_shape(shape: str) -> float:
+    """``uniform`` or ``zipf:<s>`` -> the key-skew exponent."""
+    if shape == "uniform":
+        return 0.0
+    if shape.startswith("zipf:"):
+        try:
+            skew = float(shape.split(":", 1)[1])
+        except ValueError:
+            raise SystemExit(f"--workload: bad zipf skew in {shape!r}")
+        if skew <= 0:
+            raise SystemExit("--workload: zipf skew must be positive "
+                             "(use 'uniform' for no skew)")
+        return skew
+    raise SystemExit(f"--workload must be 'uniform' or 'zipf:<s>', got {shape!r}")
+
+
 def _command_kv(args: argparse.Namespace) -> int:
     if args.resize_after is not None and args.resize_to is None:
         raise SystemExit("--resize-after requires --resize-to")
@@ -269,6 +299,7 @@ def _command_kv(args: argparse.Namespace) -> int:
         ops_per_client=args.ops,
         num_keys=args.keys,
         read_fraction=args.read_fraction,
+        key_skew=_parse_workload_shape(args.workload),
         pipeline_depth=args.pipeline,
         seed=args.seed,
     )
@@ -285,7 +316,10 @@ def _command_kv(args: argparse.Namespace) -> int:
         num_proxies=max(args.proxies, 1),
         push_views=not args.no_view_push,
         kill_proxy_after_ops=args.kill_proxy_after,
+        autoscale=args.autoscale,
     )
+    if args.drain_range_size is not None:
+        common["drain_range_size"] = args.drain_range_size
     trace_collector = TraceCollector() if args.trace_dump else None
     if trace_collector is not None:
         common["trace_collector"] = trace_collector
@@ -334,6 +368,14 @@ def _command_kv(args: argparse.Namespace) -> int:
               f"{result.resize['at_ops']} ops; {result.resize['report']}; "
               f"{result.stale_replays} rounds replayed; "
               f"{result.view_pushes} view pushes applied")
+    if result.autoscale is not None:
+        actions = result.autoscale["actions"]
+        moved = ", ".join(
+            f"{a['shard']}: {a['from']} -> {a['to']}" for a in actions
+        ) or "no moves (load stayed balanced)"
+        print(f"autoscaler         : {len(actions)} actions; "
+              f"{result.autoscale['drains_completed']} drains / "
+              f"{result.autoscale['ranges_drained']} ranges; {moved}")
     if result.proxy_kill:
         print(f"proxy kill         : killed {result.proxy_kill['killed']} after "
               f"{result.proxy_kill['at_ops']} ops; "

@@ -22,8 +22,13 @@ to a multi-key store:
   under load with bounded key movement (~1/N per added shard), fenced by
   per-shard epochs carried in every batch frame, and announced to the
   ingress tier with O(moved) **delta view pushes**.
-* **Migration** (:mod:`~repro.kvstore.migration`): the control-plane step
-  that drains per-key registers to their new owners when the ring changes.
+* **Migration**: when the ring changes, the
+  :class:`~repro.kvstore.engine.control.ControlPlaneEngine` drains per-key
+  register state to the new owners *incrementally* -- fence, transfer, and
+  install one key range at a time over ``drain-*`` frames -- so the cutover
+  pause is bounded by the range size, not the shard size
+  (:mod:`~repro.kvstore.migration` keeps the shared
+  :class:`MigrationReport` and workload triggers).
 * **Ingress proxies**: an optional site-local tier between clients and
   replica groups.  A proxy merges quorum rounds *across client connections*
   into shared replica frames (replica-side frames drop toward 1/K under
@@ -57,13 +62,13 @@ _EXPORTS = {
     "StaleShardError": ".batching",
     # the sans-I/O engine
     "ClientSessionEngine": ".engine",
+    "ControlPlaneEngine": ".engine",
     "GroupServerEngine": ".engine",
     "ProxyEngine": ".engine",
     "view_push_frames": ".engine",
     # migration
     "MigrationReport": ".migration",
-    "apply_move_plan": ".migration",
-    "apply_resize_plan": ".migration",
+    "make_resize_trigger": ".migration",
     # asyncio backend
     "AsyncGroupClient": ".net_backend",
     "AsyncKVCluster": ".net_backend",
@@ -146,14 +151,14 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
     from .engine import (  # noqa: F401
         ClientSessionEngine,
+        ControlPlaneEngine,
         GroupServerEngine,
         ProxyEngine,
         view_push_frames,
     )
     from .migration import (  # noqa: F401
         MigrationReport,
-        apply_move_plan,
-        apply_resize_plan,
+        make_resize_trigger,
     )
     from .net_backend import (  # noqa: F401
         AsyncGroupClient,

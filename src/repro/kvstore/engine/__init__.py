@@ -10,7 +10,10 @@ event-driven state machines:
 * :class:`~repro.kvstore.engine.proxy.ProxyEngine` -- one site-local
   ingress proxy;
 * :class:`~repro.kvstore.engine.server.GroupServerEngine` -- one replica of
-  a replica group.
+  a replica group;
+* :class:`~repro.kvstore.engine.control.ControlPlaneEngine` -- the cluster
+  control plane: incremental key-range drains for live rebalancing, view
+  pushes, and the metrics-driven autoscaler.
 
 The engines consume decoded frames (:mod:`repro.messages`), timer fires,
 and transport notifications, and emit :mod:`~repro.kvstore.engine.effects`
@@ -28,6 +31,16 @@ behaviour by construction.
 from __future__ import annotations
 
 from .client import PROXY_QUEUE, ClientSessionEngine
+from .control import (
+    AUTOSCALE_INTERVAL,
+    AUTOSCALE_MIN_OPS,
+    AUTOSCALE_RATIO,
+    DRAIN_MAX_RETRIES,
+    DRAIN_RANGE_SIZE,
+    DRAIN_RETRY_DELAY,
+    AutoscaleFeed,
+    ControlPlaneEngine,
+)
 from .effects import (
     DEFAULT_RETRY_POLICY,
     DIRECT_INGRESS,
@@ -77,6 +90,14 @@ __all__ = [
     "ClientSessionEngine",
     "ProxyEngine",
     "GroupServerEngine",
+    "ControlPlaneEngine",
+    "AutoscaleFeed",
+    "DRAIN_RANGE_SIZE",
+    "DRAIN_RETRY_DELAY",
+    "DRAIN_MAX_RETRIES",
+    "AUTOSCALE_INTERVAL",
+    "AUTOSCALE_RATIO",
+    "AUTOSCALE_MIN_OPS",
     "PROXY_QUEUE",
     "Effect",
     "SendFrame",

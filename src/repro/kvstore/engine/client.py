@@ -110,6 +110,7 @@ class _PendingKVOp:
     wait_for: int = 0
     stale_retries: int = 0
     transient_retries: int = 0
+    drain_backoffs: int = 0
     awaiting_retry: bool = False
     queued: bool = False
     request: Optional[Broadcast] = None
@@ -150,6 +151,7 @@ class ClientSessionEngine:
         self.stats = BatchStats()
         self.completed_operations = 0
         self.stale_replays = 0
+        self.drain_backoffs = 0
         self.proxy_failovers = 0
         self._proxy_candidates = list(proxy_candidates or [])
         self.proxy_id: Optional[str] = (
@@ -285,7 +287,46 @@ class ClientSessionEngine:
         against the re-resolved owner group is always safe -- the per-key
         generator never observes the bounce.  Bumping ``round_trip`` makes
         any straggler replies from the stale attempt ignorable.
+
+        A bounce that re-resolves to the *same* route (group and epoch
+        unchanged) is not staleness at all: the view already matches the
+        authoritative map, so the key is mid-drain -- fenced on its donor
+        or still pending on its receiver.  Replaying immediately would spin
+        against the fence until the key's range installs; back off on the
+        retry timer instead (without charging ``stale_retries`` -- the map
+        has converged, the data just has not landed yet).
         """
+        spec = self.shard_map.shard_for(pending.key)
+        if (
+            spec.group.group_id == pending.spec.group.group_id
+            and spec.epoch == pending.epoch
+        ):
+            pending.drain_backoffs += 1
+            self.drain_backoffs += 1
+            self.observer.emit(
+                ROUND_REPLAYED, op_id=pending.op_id, key=pending.key,
+                trace=pending.trace, retries=pending.drain_backoffs,
+                reason="drain-backoff",
+            )
+            if pending.drain_backoffs > self.policy.max_transient_retries:
+                self._fail(
+                    pending,
+                    ProtocolError(
+                        f"operation {pending.op_id} bounced off a draining "
+                        f"range {pending.drain_backoffs} times; the drain "
+                        "never completed"
+                    ),
+                    out,
+                )
+                return
+            pending.awaiting_retry = True
+            out.append(
+                StartTimer(
+                    ("retry", pending.op_id),
+                    self.policy.drain_backoff_interval,
+                )
+            )
+            return
         pending.stale_retries += 1
         self.stale_replays += 1
         self.observer.emit(
@@ -302,7 +343,7 @@ class ClientSessionEngine:
                 out,
             )
             return
-        self._refresh_home(pending.key, self.shard_map.shard_for(pending.key))
+        self._refresh_home(pending.key, spec)
         self._dispatch_round(pending, out)
 
     def _complete(

@@ -167,11 +167,25 @@ class RetryPolicy:
     round_timeout: Optional[float] = PROXY_ROUND_TIMEOUT
     max_round_timeouts: int = MAX_ROUND_TIMEOUTS
     failover_timeout: Optional[float] = None
+    #: How long a caller backs off before replaying a round that bounced
+    #: off a *draining* key range (its shard view was already fresh, so
+    #: replaying immediately would spin against the fence until the range
+    #: installs).  ``None`` falls back to ``reconnect_interval``.
+    drain_backoff: Optional[float] = None
 
     @property
     def transient_window(self) -> float:
         """Upper bound on the reconnect-and-replay window."""
         return self.reconnect_interval * self.max_transient_retries
+
+    @property
+    def drain_backoff_interval(self) -> float:
+        """The resolved drain-bounce backoff window."""
+        return (
+            self.drain_backoff
+            if self.drain_backoff is not None
+            else self.reconnect_interval
+        )
 
     def with_failover_timeout(self, timeout: Optional[float]) -> "RetryPolicy":
         """This policy with the watchdog window replaced."""
@@ -181,6 +195,7 @@ class RetryPolicy:
             round_timeout=self.round_timeout,
             max_round_timeouts=self.max_round_timeouts,
             failover_timeout=timeout,
+            drain_backoff=self.drain_backoff,
         )
 
 
@@ -193,4 +208,7 @@ DEFAULT_RETRY_POLICY = RetryPolicy()
 SIM_RETRY_POLICY = RetryPolicy(
     round_timeout=None,
     failover_timeout=PROXY_FAILOVER_TIMEOUT,
+    # At the default 0.05 a long drain would be polled hundreds of times
+    # per range; ~10 virtual units is a couple of network round trips.
+    drain_backoff=10.0,
 )

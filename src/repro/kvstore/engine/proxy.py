@@ -88,6 +88,7 @@ class _ProxyPending:
     replies: List[Message] = field(default_factory=list)
     lost_targets: Set[str] = field(default_factory=set)
     stale_retries: int = 0
+    drain_backoffs: int = 0
     timeouts: int = 0
     transient_retries: int = 0
     queued: bool = False
@@ -118,6 +119,7 @@ class ProxyEngine:
         self.observer = observer if observer is not None else NULL_OBSERVER
         self.stats = BatchStats()
         self.stale_replays = 0
+        self.drain_backoffs = 0
         self._attempts = 0
         self._pending: Dict[Tuple[str, int], _ProxyPending] = {}
         self._queues: Dict[str, List[_ProxyPending]] = {}
@@ -277,6 +279,45 @@ class ProxyEngine:
 
     def _replay(self, pending: _ProxyPending, out: List[Effect]) -> None:
         """A replica fenced this round: refresh the view and re-route it."""
+        self.view.refresh()
+        route = pending.route
+        fresh = self.view.resolve(pending.sub.key)
+        if (
+            route is not None
+            and fresh.group_id == route.group_id
+            and fresh.epoch == route.epoch
+        ):
+            # The refreshed view still routes the key exactly where the
+            # bounce came from, so the fence belongs to a *draining* key
+            # range (donor fenced, receiver not yet installed) -- not to a
+            # stale view.  Replaying immediately would spin against the
+            # fence until the range installs; back off instead.
+            pending.drain_backoffs += 1
+            self.drain_backoffs += 1
+            self.observer.emit(
+                ROUND_REPLAYED, op_id=pending.sub.op_id, key=pending.sub.key,
+                trace=pending.sub.trace, retries=pending.drain_backoffs,
+                reason="drain-backoff",
+            )
+            if pending.drain_backoffs > self.policy.max_transient_retries:
+                self._finish(
+                    pending,
+                    out,
+                    error=(
+                        "round bounced off a draining range "
+                        f"{pending.drain_backoffs} times; the drain never "
+                        "completed"
+                    ),
+                )
+                return
+            pending.awaiting_retry = True
+            out.append(
+                StartTimer(
+                    ("pretry", pending.scoped_id, pending.sub.round_trip),
+                    self.policy.drain_backoff_interval,
+                )
+            )
+            return
         self._drop(pending, out)
         pending.stale_retries += 1
         self.stale_replays += 1
@@ -294,7 +335,6 @@ class ProxyEngine:
                 ),
             )
             return
-        self.view.refresh()
         self._dispatch(pending, out)
 
     def _drop(self, pending: _ProxyPending, out: List[Effect]) -> None:

@@ -25,15 +25,28 @@ listener; the tests drive it directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ...core.errors import ProtocolError
 from ...messages import (
     BATCH_KIND,
+    DRAIN_ACK_KIND,
+    DRAIN_COMPLETE_KIND,
+    DRAIN_FENCE_ACK_KIND,
+    DRAIN_FENCE_KIND,
+    DRAIN_HOST_KIND,
+    DRAIN_INSTALL_KIND,
+    DRAIN_TRANSFER_ACK_KIND,
+    DRAIN_TRANSFER_KIND,
     Message,
     SubRequest,
     make_batch_ack,
     unpack_batch,
+    unpack_drain_complete,
+    unpack_drain_fence,
+    unpack_drain_host,
+    unpack_drain_install,
+    unpack_drain_transfer,
 )
 from ...observe.events import (
     FRAME_RECEIVED,
@@ -96,10 +109,20 @@ def is_stale_reply(message: Optional[Message]) -> bool:
 
 @dataclass
 class _HostedShard:
-    """One shard's slice of a group server: its epoch and per-key registers."""
+    """One shard's slice of a group server: its epoch and per-key registers.
+
+    During an incremental drain, ``pending`` holds the keys whose state is
+    still in flight from the donor replicas: a sub-request for a pending key
+    bounces exactly like a stale epoch (the client replays after a delay)
+    until the key's range is installed.  ``installed`` remembers which keys
+    a drain already delivered, so a retried ``drain-host`` frame cannot
+    resurrect pending-ness for a key that has already arrived.
+    """
 
     epoch: int
     registers: Dict[str, ServerLogic] = field(default_factory=dict)
+    pending: Set[str] = field(default_factory=set)
+    installed: Set[str] = field(default_factory=set)
 
 
 class GroupServerEngine(ServerLogic):
@@ -201,6 +224,12 @@ class GroupServerEngine(ServerLogic):
         return sum(len(hosted.registers) for hosted in self._shards.values())
 
     def handle(self, message: Message) -> Optional[Message]:
+        drain_handler = self._DRAIN_HANDLERS.get(message.kind)
+        if drain_handler is not None:
+            self.observer.emit(
+                FRAME_RECEIVED, kind=message.kind, source=message.sender
+            )
+            return drain_handler(self, message)
         if message.kind != BATCH_KIND:
             raise ValueError(
                 f"GroupServerEngine only handles batch frames, got {message.kind!r}"
@@ -215,7 +244,8 @@ class GroupServerEngine(ServerLogic):
         replies: List[Tuple[str, Optional[Message]]] = []
         for sub in subs:
             hosted = self._shards.get(sub.shard) if sub.shard is not None else None
-            if hosted is None or sub.epoch != hosted.epoch:
+            if (hosted is None or sub.epoch != hosted.epoch
+                    or sub.key in hosted.pending):
                 self.stale_bounces += 1
                 current = hosted.epoch if hosted is not None else None
                 self.observer.emit(
@@ -234,6 +264,134 @@ class GroupServerEngine(ServerLogic):
             )
         self.observer.emit(FRAME_SENT, kind="batch-ack", dest=message.sender)
         return make_batch_ack(message, replies)
+
+    # -- the incremental drain protocol (control plane -> this replica) ----------
+    #
+    # Every handler is idempotent: the control plane retries unacked frames
+    # on a timer, so a frame can arrive twice (or after a duplicate raced a
+    # slow ack) and must leave the same state behind.
+
+    def _drain_ack(self, message: Message, kind: str,
+                   extra: Optional[Dict[str, Any]] = None) -> Message:
+        payload = {
+            "mig": message.payload["mig"],
+            "token": message.payload["token"],
+            "shard": message.payload["shard"],
+        }
+        if extra:
+            payload.update(extra)
+        self.observer.emit(FRAME_SENT, kind=kind, dest=message.sender)
+        return message.reply(kind, payload)
+
+    def _handle_drain_fence(self, message: Message) -> Message:
+        """Fence a donor shard and answer with this replica's key census.
+
+        The epoch only moves forward (``max``), so duplicated or reordered
+        fence frames cannot roll a shard back behind a later rebalance.
+        Once the fence is applied, no sub-request can create or mutate a
+        register under the old epoch, so the census in the ack is complete
+        for this replica.
+        """
+        p = unpack_drain_fence(message)
+        hosted = self._shards.get(p["shard"])
+        if hosted is not None:
+            hosted.epoch = max(hosted.epoch, p["epoch"])
+            keys = sorted(hosted.registers)
+        else:
+            keys = []
+        return self._drain_ack(
+            message, DRAIN_FENCE_ACK_KIND,
+            {"epoch": self.hosted_epoch(p["shard"]), "keys": keys},
+        )
+
+    def _handle_drain_host(self, message: Message) -> Message:
+        """Start hosting a receiver shard with its incoming keys pending.
+
+        Unlike :meth:`host_shard` this never replaces existing registers:
+        a retried host frame on a replica that already absorbed some ranges
+        must not wipe them, and the ``installed`` set keeps already-arrived
+        keys from going pending again.
+        """
+        p = unpack_drain_host(message)
+        hosted = self._shards.get(p["shard"])
+        if hosted is None:
+            hosted = _HostedShard(epoch=p["epoch"])
+            self._shards[p["shard"]] = hosted
+        else:
+            hosted.epoch = max(hosted.epoch, p["epoch"])
+        hosted.pending |= set(p["keys"]) - hosted.installed
+        return self._drain_ack(message, DRAIN_ACK_KIND)
+
+    def _handle_drain_transfer(self, message: Message) -> Message:
+        """Export (copies of) one key range's register state.
+
+        The registers stay in place until ``drain-complete`` -- exporting a
+        copy keeps the transfer idempotent and the donor authoritative if
+        the migration has to retry.  Keys with no materialized register here
+        are simply absent from the ack; the control plane still clears them
+        from the paired receiver's pending set via the install frame's
+        explicit key list.
+        """
+        p = unpack_drain_transfer(message)
+        hosted = self._shards.get(p["shard"])
+        states: Dict[str, Dict[str, Any]] = {}
+        if hosted is not None:
+            for key in p["keys"]:
+                logic = hosted.registers.get(key)
+                if logic is not None:
+                    states[key] = logic.export_state()
+        return self._drain_ack(
+            message, DRAIN_TRANSFER_ACK_KIND, {"states": states}
+        )
+
+    def _handle_drain_install(self, message: Message) -> Message:
+        """Absorb one range's state blobs and un-pend every key of the range.
+
+        ``absorb_state`` on a fresh register is a restore and merging the
+        same blob twice is a no-op, so a duplicated install frame is
+        harmless.  All of the range's keys leave ``pending`` -- including
+        keys whose state existed on no donor replica paired with this one
+        (a partial write): the per-replica pairing preserves exactly the
+        replica counts the quorum-intersection arguments need.
+        """
+        p = unpack_drain_install(message)
+        hosted = self._shards.get(p["shard"])
+        if hosted is None:
+            hosted = _HostedShard(epoch=p["epoch"])
+            self._shards[p["shard"]] = hosted
+        else:
+            hosted.epoch = max(hosted.epoch, p["epoch"])
+        absorbed = 0
+        for key, blobs in p["states"].items():
+            logic = self.register_for(p["shard"], key)
+            for blob in blobs:
+                logic.absorb_state(blob)
+                absorbed += 1
+        for key in p["keys"]:
+            hosted.pending.discard(key)
+            hosted.installed.add(key)
+        return self._drain_ack(message, DRAIN_ACK_KIND, {"absorbed": absorbed})
+
+    def _handle_drain_complete(self, message: Message) -> Message:
+        """Finish a migration at this replica (donor or receiver role)."""
+        p = unpack_drain_complete(message)
+        hosted = self._shards.get(p["shard"])
+        if hosted is not None:
+            for key in p["drop_keys"]:
+                hosted.registers.pop(key, None)
+            hosted.pending.clear()
+            hosted.installed.clear()
+            if p["evict"]:
+                self.evict_shard(p["shard"])
+        return self._drain_ack(message, DRAIN_ACK_KIND)
+
+    _DRAIN_HANDLERS = {
+        DRAIN_FENCE_KIND: _handle_drain_fence,
+        DRAIN_HOST_KIND: _handle_drain_host,
+        DRAIN_TRANSFER_KIND: _handle_drain_transfer,
+        DRAIN_INSTALL_KIND: _handle_drain_install,
+        DRAIN_COMPLETE_KIND: _handle_drain_complete,
+    }
 
     def on_frame(self, frame: Message) -> List[Effect]:
         """Effect-style entry point: the batch-ack as a send effect."""

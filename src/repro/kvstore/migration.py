@@ -1,55 +1,56 @@
-"""Control-plane migration: applying resize/move plans to group servers.
+"""Control-plane migration reporting and workload triggers.
 
-:meth:`~repro.kvstore.sharding.ShardMap.resize` and
-:meth:`~repro.kvstore.sharding.ShardMap.move_shard` only rewrite metadata
-(ring, placements, epochs).  This module performs the matching *data* step:
-draining per-key register objects out of the shards that lost ownership and
-installing them on the new owners, replica by replica.
+The data-plane side of a rebalance -- fencing donors, transferring per-key
+register state, installing it on the new owners -- is the frame-based
+incremental drain run by
+:class:`~repro.kvstore.engine.control.ControlPlaneEngine`.  Earlier versions
+applied a whole plan in one synchronous critical section (every group
+server's logic object was reachable in the coordinating process); that
+single-process assumption is gone, and with it the shard-sized cutover
+pause: the engine drains one key *range* at a time, so client ops on keys
+outside the range in flight keep completing throughout.
 
-Both backends keep every group server's logic object in the coordinating
-process (the simulator by construction; the asyncio cluster because it owns
-the listening replicas), so a whole plan is applied in **one synchronous
-critical section** -- fence, drain, install, with no event or await in
-between.  That atomicity is what makes the cutover linearizable: a frame is
-either processed entirely before the migration (old epochs valid, old owners
-serve it) or entirely after (stale tags bounce, the client re-resolves and
-replays the round against the new owner).  In a multi-process deployment
-the same sequence would be a fence-then-transfer handshake; the epoch tags
-carried on every sub-request are exactly the fence such a handshake needs.
+This module keeps the two pieces both backends still share:
 
-Registers move replica-by-replica in index order: source replica ``i``'s
-state lands on destination replica ``i``.  Groups are uniform in size, so a
-value stored on ``>= S - t`` source replicas is stored on ``>= S - t``
-destination replicas after the move -- quorum intersection, and with it
-per-key atomicity, survives migration (even when some replicas hold stale
-state because they were crashed or missed updates).
+* :class:`MigrationReport` -- what one rebalance moved.  Because the drain
+  is now asynchronous, a report is returned *before* the data has moved;
+  ``done`` flips (and ``on_done`` callbacks fire) when the drain completes
+  and the counters are final.
+* :func:`make_resize_trigger` -- the fire-once completion hook the workload
+  runners install to live-resize mid-run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
-
-from .batching import BatchGroupServer
-from .sharding import MovePlan, ResizePlan, ShardMap
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "MigrationReport",
-    "apply_resize_plan",
-    "apply_move_plan",
     "make_resize_trigger",
 ]
 
 
 @dataclass
 class MigrationReport:
-    """What one applied plan physically moved."""
+    """What one applied plan physically moved.
+
+    The shard-set fields (``shards_added``/``shards_removed``/
+    ``shards_fenced``) are metadata and are final as soon as the report is
+    returned -- the shard map flips synchronously.  The data counters
+    (``keys_moved``, ``registers_moved``) are filled when the incremental
+    drain finishes; watch ``done`` or register an ``on_done`` callback.
+    """
 
     keys_moved: int = 0
     registers_moved: int = 0
     shards_added: List[str] = field(default_factory=list)
     shards_removed: List[str] = field(default_factory=list)
     shards_fenced: List[str] = field(default_factory=list)
+    done: bool = False
+    _done_callbacks: List[Callable[["MigrationReport"], None]] = field(
+        default_factory=list, repr=False
+    )
 
     def summary(self) -> str:
         return (
@@ -58,74 +59,27 @@ class MigrationReport:
             f"shards, fenced {len(self.shards_fenced)}"
         )
 
+    def on_done(self, callback: Callable[["MigrationReport"], None]) -> None:
+        """Run ``callback(report)`` once the drain completes.
 
-def _drain_shard(
-    shard_map: ShardMap,
-    spec,
-    logics: Mapping[str, BatchGroupServer],
-    report: MigrationReport,
-    moved_keys: Set[str],
-) -> None:
-    """Move every key of ``spec`` whose ring owner changed to its new home."""
-    for index, server_id in enumerate(spec.group.servers):
-        source = logics[server_id]
-        relocations: Dict[str, List[str]] = {}
-        for key in source.keys_for(spec.shard_id):
-            owner = shard_map.ring.owner_of(key)
-            if owner != spec.shard_id:
-                relocations.setdefault(owner, []).append(key)
-        for owner, keys in relocations.items():
-            dest_spec = shard_map.shards[owner]
-            registers = source.extract_keys(spec.shard_id, keys)
-            logics[dest_spec.group.servers[index]].install_keys(owner, registers)
-            report.registers_moved += len(registers)
-            moved_keys.update(registers)
+        Fires immediately when the report is already complete, so callers
+        need not care whether the backend drained synchronously (the
+        simulator pumping its own event queue) or in the background (the
+        asyncio cluster).
+        """
+        if self.done:
+            callback(self)
+        else:
+            self._done_callbacks.append(callback)
 
-
-def apply_resize_plan(
-    plan: ResizePlan,
-    shard_map: ShardMap,
-    logics: Mapping[str, BatchGroupServer],
-) -> MigrationReport:
-    """Apply one resize to the group servers: host, fence, drain, evict.
-
-    Must be called immediately after ``shard_map.resize(...)`` produced
-    ``plan``, with no intervening event processing (both cluster backends
-    wrap the two calls in one synchronous step).
-    """
-    report = MigrationReport(
-        shards_added=[spec.shard_id for spec in plan.added],
-        shards_removed=[spec.shard_id for spec in plan.removed],
-        shards_fenced=sorted(plan.fenced),
-    )
-    moved_keys: Set[str] = set()
-
-    # 1. Host the new shards (empty) on their groups' servers.
-    for spec in plan.added:
-        for server_id in spec.group.servers:
-            logics[server_id].host_shard(spec.shard_id, spec.epoch)
-
-    # 2. Fence every surviving shard that lost arcs: older epochs bounce.
-    for shard_id, epoch in plan.fenced.items():
-        spec = shard_map.shards[shard_id]
-        for server_id in spec.group.servers:
-            logics[server_id].set_epoch(shard_id, epoch)
-
-    # 3. Drain moved keys out of the donors (fenced survivors) and out of
-    #    every removed shard, into the new owners' hosting tables.
-    for shard_id in plan.fenced:
-        _drain_shard(shard_map, shard_map.shards[shard_id], logics, report, moved_keys)
-    for spec in plan.removed:
-        _drain_shard(shard_map, spec, logics, report, moved_keys)
-
-    # 4. Retire removed shards entirely; anything still addressed to them
-    #    now bounces as "not hosted".
-    for spec in plan.removed:
-        for server_id in spec.group.servers:
-            logics[server_id].evict_shard(spec.shard_id)
-
-    report.keys_moved = len(moved_keys)
-    return report
+    def _complete(self) -> None:
+        """Mark the drain finished and fire the completion callbacks."""
+        if self.done:
+            return
+        self.done = True
+        callbacks, self._done_callbacks = self._done_callbacks, []
+        for callback in callbacks:
+            callback(self)
 
 
 def make_resize_trigger(
@@ -141,7 +95,10 @@ def make_resize_trigger(
     completed operation; once ``completed_ops()`` reaches ``threshold`` it
     calls ``resize(resize_to)`` exactly once and fills the returned record
     with what happened (``to``, ``at_ops``, ``keys_moved``, ``report``, and
-    ``at_time`` when a clock is supplied).
+    ``at_time`` when a clock is supplied).  The data counters are refreshed
+    when the report's drain completes, so a record read after the run ended
+    always shows the final numbers even on a backend that drains in the
+    background.
     """
     record: Dict[str, object] = {}
     state = {"fired": False}
@@ -162,26 +119,10 @@ def make_resize_trigger(
         if now is not None:
             record["at_time"] = now()
 
+        def refresh(final: MigrationReport) -> None:
+            record["keys_moved"] = final.keys_moved
+            record["report"] = final.summary()
+
+        report.on_done(refresh)
+
     return hook, record
-
-
-def apply_move_plan(
-    plan: MovePlan, logics: Mapping[str, BatchGroupServer]
-) -> MigrationReport:
-    """Apply one shard move: evict from the old group, host on the new one.
-
-    Must be called immediately after ``shard_map.move_shard(...)``; the
-    spec's epoch is already bumped, so frames routed to the old group (or to
-    the new group with the old epoch) bounce.
-    """
-    report = MigrationReport(shards_fenced=[plan.spec.shard_id])
-    moved_keys: Set[str] = set()
-    for index, server_id in enumerate(plan.old_group.servers):
-        registers = logics[server_id].evict_shard(plan.spec.shard_id)
-        logics[plan.new_group.servers[index]].host_shard(
-            plan.spec.shard_id, plan.spec.epoch, registers
-        )
-        report.registers_moved += len(registers)
-        moved_keys.update(registers)
-    report.keys_moved = len(moved_keys)
-    return report

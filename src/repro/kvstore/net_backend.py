@@ -48,11 +48,14 @@ from ..protocols.base import OperationOutcome
 from .engine import (
     DEFAULT_RETRY_POLICY,
     DIRECT_INGRESS,
+    DRAIN_RANGE_SIZE,
+    AutoscaleFeed,
     BatchStats,
     CachedShardView,
     CancelTimer,
     ClientSessionEngine,
     Connect,
+    ControlPlaneEngine,
     Effect,
     GroupServerEngine,
     OpCompleted,
@@ -65,14 +68,8 @@ from .engine import (
     TimerId,
     make_proxy_kill_trigger,
     pick_one_proxy_per_site,
-    view_push_frames,
 )
-from .migration import (
-    MigrationReport,
-    apply_move_plan,
-    apply_resize_plan,
-    make_resize_trigger,
-)
+from .migration import MigrationReport, make_resize_trigger
 from .perkey import KVHistoryRecorder, PerKeyAtomicity, check_per_key_atomicity
 from .placement import ReplicaGroup
 from .sharding import ShardMap
@@ -427,6 +424,99 @@ class AsyncProxyClient:
             self.writer = None
 
 
+#: Default autoscale window on the asyncio backend (wall-clock seconds;
+#: loopback rounds are sub-millisecond, so a quarter second is many
+#: thousands of ops of signal).
+NET_AUTOSCALE_INTERVAL = 0.25
+
+
+class _ControlPlaneDriver:
+    """Executes the control engine's effects on the asyncio event loop.
+
+    Unlike clients and proxies the control plane keeps no persistent
+    connections: each drain or view-push frame rides its own short-lived
+    connection -- write the frame, await the peer's ack on the same stream,
+    feed it back into the engine.  A failed dial or read produces no ack,
+    which is indistinguishable from a lost frame: the engine's retry timer
+    resends, and after ``max_retries`` the replica is treated as dead for
+    the rest of the migration (the same ``t``-fault budget the quorums
+    tolerate).  Timers ride ``loop.call_later``.
+    """
+
+    def __init__(self, cluster: "AsyncKVCluster", engine: ControlPlaneEngine) -> None:
+        self.cluster = cluster
+        self.engine = engine
+        self._timers: Dict[TimerId, asyncio.TimerHandle] = {}
+        self._tasks: "set[asyncio.Task]" = set()
+
+    def run_effects(self, effects: Sequence[Effect]) -> None:
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            # No loop: nothing is listening, so there is nothing to drain
+            # to.  The metadata flip already happened; drop the effects.
+            return
+        for effect in effects:
+            if isinstance(effect, SendFrame):
+                task = loop.create_task(
+                    self._deliver(effect.destination, effect.frame)
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+            elif isinstance(effect, StartTimer):
+                stale = self._timers.pop(effect.timer_id, None)
+                if stale is not None:
+                    stale.cancel()
+                self._timers[effect.timer_id] = loop.call_later(
+                    effect.delay, self._fire_timer, effect.timer_id
+                )
+            elif isinstance(effect, CancelTimer):
+                timer = self._timers.pop(effect.timer_id, None)
+                if timer is not None:
+                    timer.cancel()
+            else:  # pragma: no cover - future effect kinds
+                raise TypeError(f"unknown control-plane effect {effect!r}")
+
+    def _fire_timer(self, timer_id: TimerId) -> None:
+        self._timers.pop(timer_id, None)
+        self.run_effects(self.engine.on_timer(timer_id))
+
+    async def _deliver(self, destination: str, frame: Message) -> None:
+        endpoint = self.cluster.endpoint_of(destination)
+        if endpoint is None:
+            return  # killed proxy or unknown peer; retries/fences cover it
+        try:
+            reader, writer = await asyncio.open_connection(*endpoint)
+            try:
+                await write_frame(writer, frame)
+                reply = await read_frame(reader)
+                self.run_effects(self.engine.on_frame(reply))
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except OSError:  # pragma: no cover - teardown race
+                    pass
+        except (OSError, asyncio.IncompleteReadError, FrameError):
+            pass  # no ack: the engine's retry timer covers it
+
+    async def flush(self) -> None:
+        """Wait for every in-flight delivery task (not for retries)."""
+        tasks = list(self._tasks)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def shutdown(self) -> None:
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        tasks = list(self._tasks)
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        self._tasks.clear()
+
+
 class AsyncKVCluster:
     """All group replicas of a :class:`ShardMap` listening on loopback TCP."""
 
@@ -440,6 +530,8 @@ class AsyncKVCluster:
         push_views: bool = True,
         delta_views: bool = True,
         trace_collector: Optional[TraceCollector] = None,
+        drain_range_size: int = DRAIN_RANGE_SIZE,
+        autoscale_interval: float = NET_AUTOSCALE_INTERVAL,
     ) -> None:
         self.shard_map = shard_map
         self.host = host
@@ -448,7 +540,6 @@ class AsyncKVCluster:
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.push_views = push_views
         self.delta_views = delta_views
-        self.view_pushes_sent = 0
         # One observer hub per cluster: wall-clock timestamps, a metrics
         # registry fed by every tier, and (optionally) a trace collector.
         self.hub = ObserverHub(clock=time.monotonic)
@@ -462,7 +553,15 @@ class AsyncKVCluster:
         self._logics: Dict[str, GroupServerEngine] = {}
         self._endpoints: Dict[str, Dict[str, Tuple[str, int]]] = {}
         self._proxy_rr = 0
-        self._view_push_tasks: "set[asyncio.Task]" = set()
+        self.control = ControlPlaneEngine(
+            shard_map,
+            delta_views=delta_views,
+            drain_range_size=drain_range_size,
+            autoscale_interval=autoscale_interval,
+            observer=self.hub.scoped("control", "control-plane"),
+        )
+        self._driver = _ControlPlaneDriver(self, self.control)
+        self.hub.add_sink(AutoscaleFeed(self.control))
 
     async def start(self) -> None:
         for group in self.shard_map.groups.values():
@@ -489,10 +588,7 @@ class AsyncKVCluster:
             self._endpoints[group.group_id] = endpoints
 
     async def stop(self) -> None:
-        for task in list(self._view_push_tasks):
-            task.cancel()
-        await asyncio.gather(*self._view_push_tasks, return_exceptions=True)
-        self._view_push_tasks.clear()
+        await self._driver.shutdown()
         for proxy in self.proxies.values():
             await proxy.stop()
         self.proxies.clear()
@@ -533,6 +629,8 @@ class AsyncKVCluster:
             )
             await proxy.start()
             self.proxies[proxy_id] = proxy
+            if self.push_views:
+                self.control.proxy_ids.append(proxy_id)
             started.append(proxy_id)
         return started
 
@@ -614,81 +712,73 @@ class AsyncKVCluster:
         return dict(self._logics)
 
     def resize(self, new_num_shards: int) -> MigrationReport:
-        """Live-resize the ring: metadata + register drain, one loop step.
+        """Live-resize the ring: metadata flips now, the drain runs as frames.
 
-        Synchronous on purpose: with no ``await`` between the metadata flip
-        and the register drain, no frame can be processed half-way through
-        the cutover.  Call from the event loop that owns the cluster.
+        The metadata flip is synchronous -- no ``await`` between the ring
+        change and the epoch bumps, so no frame can be processed half-way
+        through the cutover -- and the returned report's shard-set fields
+        are final immediately.  The register drain then proceeds in the
+        background over ``drain-*`` frames, one key range at a time;
+        ``report.on_done`` fires (and the data counters fill) when the last
+        range installs.  Await :meth:`flush_migrations` to block on it.
         """
-        plan = self.shard_map.resize(new_num_shards)
-        report = apply_resize_plan(plan, self.shard_map, self._logics)
+        report, effects = self.control.start_resize(new_num_shards)
         self.migrations.append(report)
-        self._push_view_update(plan)
+        self._driver.run_effects(effects)
         return report
 
     def move_shard(self, shard_id: str, group_id: str) -> MigrationReport:
-        """Live-move one shard onto another group (same atomicity note)."""
-        plan = self.shard_map.move_shard(shard_id, group_id)
-        report = apply_move_plan(plan, self._logics)
+        """Live-move one shard onto another group (same contract)."""
+        report, effects = self.control.start_move(shard_id, group_id)
         self.migrations.append(report)
-        self._push_view_update(plan)
+        self._driver.run_effects(effects)
         return report
 
-    # -- view push (control plane -> proxies) ------------------------------------
+    async def flush_migrations(self, timeout: float = 30.0) -> None:
+        """Wait until every started migration's drain has completed."""
+        deadline = time.monotonic() + timeout
+        while any(not report.done for report in self.migrations):
+            if time.monotonic() >= deadline:
+                raise TimeoutError("migration drain did not complete in time")
+            await asyncio.sleep(0.005)
 
-    def _push_view_update(self, plan) -> None:
-        """Push the rebalance's view (delta) to every running proxy.
+    # -- the autoscaler ----------------------------------------------------------
 
-        Fired by :meth:`resize`/:meth:`move_shard`.  The cutover itself is
-        synchronous; the push rides a background task because it crosses the
-        wire (one ``view-push`` frame per proxy over TCP).  Until a proxy's
-        push lands, its stale routes bounce off the epoch fence exactly as
-        before -- the push removes the steady-state replays, the fence keeps
-        the race window safe.
+    def start_autoscaler(self) -> None:
+        """Arm the control plane's recurring autoscale tick."""
+        self._driver.run_effects(self.control.start_autoscaler())
+
+    def stop_autoscaler(self) -> None:
+        self._driver.run_effects(self.control.stop_autoscaler())
+
+    # -- control-plane transport hooks -------------------------------------------
+
+    def endpoint_of(self, destination: str) -> Optional[Tuple[str, int]]:
+        """Where the control plane dials ``destination`` (replica or proxy).
+
+        ``None`` for a killed proxy or an unknown id -- the caller treats it
+        like a failed dial (view pushes: ``restart_proxy`` refreshes the
+        view anyway; drains: the retry/give-up path handles it).
         """
-        if not self.push_views or not self.proxies:
-            return
-        try:
-            loop = asyncio.get_running_loop()
-        except RuntimeError:  # no loop: nothing can be in flight to push to
-            return
-        frames = view_push_frames(
-            self.shard_map,
-            [pid for pid, proxy in self.proxies.items() if proxy.running],
-            plan=plan,
-            delta=self.delta_views,
-        )
-        if not frames:
-            return
-        task = loop.create_task(self._push_views(frames))
-        self._view_push_tasks.add(task)
-        task.add_done_callback(self._view_push_tasks.discard)
+        proxy = self.proxies.get(destination)
+        if proxy is not None:
+            return (proxy.host, proxy.port) if proxy.running else None
+        for endpoints in self._endpoints.values():
+            if destination in endpoints:
+                return endpoints[destination]
+        return None
 
-    async def _push_views(self, frames: List[Message]) -> None:
-        for frame in frames:
-            proxy = self.proxies.get(frame.receiver)
-            if proxy is None or not proxy.running:
-                continue  # killed: restart_proxy() refreshes its view anyway
-            try:
-                reader, writer = await asyncio.open_connection(proxy.host, proxy.port)
-                try:
-                    await write_frame(writer, frame)
-                    await read_frame(reader)  # proxy acks once the view is applied
-                    self.view_pushes_sent += 1
-                finally:
-                    writer.close()
-                    try:
-                        await writer.wait_closed()
-                    except OSError:  # pragma: no cover - teardown race
-                        pass
-            except (OSError, asyncio.IncompleteReadError):
-                continue  # proxy died mid-push; the bounce fence covers it
+    @property
+    def view_pushes_sent(self) -> int:
+        return self.control.view_pushes_sent
+
+    @property
+    def view_push_acks(self) -> int:
+        return self.control.view_push_acks
 
     async def flush_view_pushes(self) -> None:
         """Wait for every outstanding view push to be applied (or fail)."""
-        tasks = list(self._view_push_tasks)
-        if tasks:
-            await asyncio.gather(*tasks, return_exceptions=True)
+        await self._driver.flush()
 
 
 class ProxyServer(_EffectRunner):
@@ -1149,18 +1239,27 @@ class SyncKVStore:
         self._loop_thread.call(self._store.multi_put(items))
 
     def resize(self, new_num_shards: int) -> MigrationReport:
-        """Live-resize the ring (runs on the cluster's event loop)."""
+        """Live-resize the ring and wait for its drain to complete.
+
+        The async cluster drains in the background; a synchronous caller
+        has nothing else to overlap with, so block until the report's data
+        counters are final -- the old synchronous contract.
+        """
 
         async def _do() -> MigrationReport:
-            return self._cluster.resize(new_num_shards)
+            report = self._cluster.resize(new_num_shards)
+            await self._cluster.flush_migrations()
+            return report
 
         return self._loop_thread.call(_do())
 
     def move_shard(self, shard_id: str, group_id: str) -> MigrationReport:
-        """Live-move one shard onto another replica group."""
+        """Live-move one shard onto another replica group (blocking)."""
 
         async def _do() -> MigrationReport:
-            return self._cluster.move_shard(shard_id, group_id)
+            report = self._cluster.move_shard(shard_id, group_id)
+            await self._cluster.flush_migrations()
+            return report
 
         return self._loop_thread.call(_do())
 
@@ -1221,6 +1320,9 @@ def run_asyncio_kv_workload(
     kill_proxy_after_ops: Optional[int] = None,
     retry_policy: Optional[RetryPolicy] = None,
     trace_collector: Optional[TraceCollector] = None,
+    autoscale: bool = False,
+    drain_range_size: int = DRAIN_RANGE_SIZE,
+    autoscale_interval: float = NET_AUTOSCALE_INTERVAL,
 ) -> KVRunResult:
     """Run a closed-loop kv workload over loopback TCP and collect results.
 
@@ -1262,12 +1364,16 @@ def run_asyncio_kv_workload(
             push_views=push_views,
             delta_views=delta_views,
             trace_collector=trace_collector,
+            drain_range_size=drain_range_size,
+            autoscale_interval=autoscale_interval,
         )
         await cluster.start()
         if use_proxy:
             await cluster.start_proxies(
                 num_proxies, read_policy=read_policy, max_batch=proxy_max_batch
             )
+        if autoscale:
+            cluster.start_autoscaler()
         base = time.monotonic()
         recorder = KVHistoryRecorder(lambda: time.monotonic() - base)
         stores: Dict[str, KVStore] = {}
@@ -1344,6 +1450,12 @@ def run_asyncio_kv_workload(
             started = time.monotonic()
             await asyncio.gather(*(client_loop(client_id) for client_id in clients))
             duration = time.monotonic() - started
+            if autoscale:
+                cluster.stop_autoscaler()
+            # A resize trigger (or a late autoscale move) may still be
+            # draining in the background; finish it before teardown so the
+            # reports' counters are final and no drain frame races stop().
+            await cluster.flush_migrations()
             batch_stats = BatchStats()
             stale = 0
             failovers = 0
@@ -1408,6 +1520,18 @@ def run_asyncio_kv_workload(
             proxy_kill=kill_record or None,
             stale_bounces=bounces,
             metrics=cluster.metrics.snapshot(),
+            autoscale=(
+                {
+                    "actions": [
+                        {k: v for k, v in action.items() if k != "report"}
+                        for action in cluster.control.autoscale_actions
+                    ],
+                    "drains_completed": cluster.control.drains_completed,
+                    "ranges_drained": cluster.control.ranges_drained,
+                }
+                if autoscale
+                else None
+            ),
         )
         for history in histories.values():
             result.read_latencies.extend(

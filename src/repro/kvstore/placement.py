@@ -27,11 +27,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Collection, Dict, List, Mapping, Optional, Sequence
 
 from ..protocols.base import RegisterProtocol
 
-__all__ = ["ReplicaGroup", "PlacementPolicy", "RoundRobinPlacement"]
+__all__ = [
+    "ReplicaGroup",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "pick_coldest_group",
+]
 
 
 @dataclass
@@ -92,6 +97,23 @@ class PlacementPolicy(abc.ABC):
         """
         return min(group_ids, key=lambda gid: (shard_counts.get(gid, 0),
                                                group_ids.index(gid)))
+
+
+def pick_coldest_group(
+    loads: Mapping[str, float], exclude: Collection[str] = ()
+) -> Optional[str]:
+    """The least-loaded group id, by *observed load* rather than shard count.
+
+    ``loads`` maps every candidate group id to a load figure (typically
+    recent served-op counts, as folded by the control plane's autoscaler);
+    ties break by the mapping's iteration order so repeated calls stay
+    deterministic.  Returns ``None`` when ``exclude`` leaves no candidate.
+    """
+    order = {group_id: index for index, group_id in enumerate(loads)}
+    candidates = [gid for gid in loads if gid not in set(exclude)]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda gid: (loads[gid], order[gid]))
 
 
 class RoundRobinPlacement(PlacementPolicy):

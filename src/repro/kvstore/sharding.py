@@ -179,8 +179,9 @@ class ShardSpec:
 class ResizePlan:
     """What one :meth:`ShardMap.resize` changed (metadata only).
 
-    The backends feed this to :func:`repro.kvstore.migration.apply_resize_plan`
-    to actually drain per-key registers to their new owners.  ``fenced`` maps
+    The :class:`~repro.kvstore.engine.control.ControlPlaneEngine` turns this
+    into an incremental key-range drain that physically moves per-key
+    registers to their new owners.  ``fenced`` maps
     every pre-existing shard whose ring arcs changed to its new epoch -- the
     set of shards whose in-flight requests must bounce.
     """
@@ -454,10 +455,28 @@ class ShardMap:
             for shard_id in victims:
                 plan.removed.append(self.shards.pop(shard_id))
             new_ring = self._rebuild_ring()
-            # Removed arcs fall forward to survivors; the survivors keep
-            # serving their old keys unchanged, so only the removed shards
-            # need fencing -- and those bounce as "not hosted" after the
-            # migration evicts them.
+            # Removed arcs fall forward to survivors.  Each receiving
+            # survivor must be fenced: until the incoming keys are drained
+            # onto it, a request for one of them would otherwise materialize
+            # a fresh empty register there and read ⊥ past live state still
+            # sitting on the removed shard.  The epoch bump bounces those
+            # requests until the drain hosts the keys as pending.  A removed
+            # arc ending at point ``p`` falls to the new ring's owner of
+            # ``p`` (no surviving point lies inside the arc, by definition).
+            receivers = set()
+            for spec in plan.removed:
+                for point in old_ring.points_of(spec.shard_id):
+                    receivers.add(new_ring.owner_of_hash(point))
+            for shard_id in sorted(receivers):
+                spec = self.shards[shard_id]
+                spec.epoch += 1
+                plan.fenced[shard_id] = spec.epoch
+            # The removed shards themselves fence at one past their final
+            # epoch: the drain raises their replicas there, so requests
+            # resolved against the pre-shrink ring bounce instead of
+            # touching registers that are mid-transfer.
+            for spec in plan.removed:
+                spec.epoch += 1
 
         old_ring.clear_owner_cache()  # the superseded epoch's memo is dead weight
         self.ring = new_ring

@@ -34,10 +34,10 @@ the simulator runtime:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Mapping, Optional, Set
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..core.operations import OpKind
-from ..messages import VIEW_PUSH_ACK_KIND, Message
+from ..messages import Message
 from ..observe.events import (
     NULL_OBSERVER,
     TIMER_ARMED,
@@ -56,6 +56,8 @@ from ..sim.network import Network
 from ..sim.process import Process
 from ..util.rng import SeededRng
 from .engine import (
+    DRAIN_RANGE_SIZE,
+    AutoscaleFeed,
     PROXY_FAILOVER_TIMEOUT,
     SIM_RETRY_POLICY,
     BatchStats,
@@ -63,6 +65,7 @@ from .engine import (
     CancelTimer,
     ClientSessionEngine,
     Connect,
+    ControlPlaneEngine,
     Effect,
     GroupServerEngine,
     OpCompleted,
@@ -74,14 +77,8 @@ from .engine import (
     TimerId,
     make_proxy_kill_trigger,
     pick_one_proxy_per_site,
-    view_push_frames,
 )
-from .migration import (
-    MigrationReport,
-    apply_move_plan,
-    apply_resize_plan,
-    make_resize_trigger,
-)
+from .migration import MigrationReport, make_resize_trigger
 from .perkey import KVHistoryRecorder
 from .sharding import ShardMap
 from .workload import KVRunResult, KVWorkload
@@ -90,10 +87,19 @@ __all__ = [
     "BatchReplicaProcess",
     "KVClientProcess",
     "ProxyProcess",
+    "ControlPlaneProcess",
     "KVFailureInjector",
     "SimKVCluster",
     "run_sim_kv_workload",
+    "SIM_DRAIN_RETRY_DELAY",
+    "SIM_AUTOSCALE_INTERVAL",
 ]
+
+#: Control-plane timing on the virtual clock: how long the drain waits for
+#: a replica's ack before resending (hops are ~1 unit, service tenths), and
+#: how often the autoscaler folds its served-op window.
+SIM_DRAIN_RETRY_DELAY = 40.0
+SIM_AUTOSCALE_INTERVAL = 150.0
 
 
 class BatchReplicaProcess(Process):
@@ -116,8 +122,12 @@ class BatchReplicaProcess(Process):
 
     def on_message(self, message: Message) -> None:
         # State transitions apply at delivery (preserving arrival order);
-        # only the *reply* is held back by the modeled service time.
-        batch_size = len(message.payload.get("ops", [])) or 1
+        # only the *reply* is held back by the modeled service time.  Drain
+        # frames charge per key exactly like batches charge per sub-op, so
+        # the pause a migration imposes on a replica grows with the range
+        # size -- the knob the incremental drain exists to bound.
+        payload = message.payload
+        batch_size = len(payload.get("ops", ()) or payload.get("keys", ())) or 1
         reply = self.logic.handle(message)
         if reply is None:
             return
@@ -355,6 +365,29 @@ class ProxyProcess(_EngineProcess):
         return self._engine.stale_replays
 
 
+class ControlPlaneProcess(_EngineProcess):
+    """The cluster control plane on the virtual clock: one control engine.
+
+    Registered on the network as ``"control-plane"``, it receives the
+    replicas' drain acks and the proxies' view-push acks, and executes the
+    engine's effects -- drain frames through the simulated network, retry
+    and autoscale timers on the virtual-clock event queue.
+    """
+
+    def __init__(
+        self,
+        engine: ControlPlaneEngine,
+        events: EventQueue,
+        observer: Optional[EngineObserver] = None,
+    ) -> None:
+        super().__init__(engine.control_id, events, observer=observer)
+        self._engine = engine
+
+    @property
+    def engine(self) -> ControlPlaneEngine:
+        return self._engine
+
+
 class KVFailureInjector:
     """Crash injection for a kv cluster, enforcing per-group fault budgets.
 
@@ -456,6 +489,8 @@ class SimKVCluster:
         delta_views: bool = True,
         proxy_timeout: float = PROXY_FAILOVER_TIMEOUT,
         trace_collector: Optional[TraceCollector] = None,
+        drain_range_size: int = DRAIN_RANGE_SIZE,
+        autoscale_interval: float = SIM_AUTOSCALE_INTERVAL,
     ) -> None:
         self.shard_map = shard_map
         self.events = EventQueue()
@@ -471,13 +506,10 @@ class SimKVCluster:
             self.hub.add_sink(trace_collector)
         self.migrations: List[MigrationReport] = []
         self.sites = dict(sites) if sites else {}
-        self.push_views = push_views
+        self._push_views = push_views
         self.delta_views = delta_views
-        self.view_pushes_sent = 0
-        self.view_push_acks = 0
         self.crashed_proxies: Set[str] = set()
         self._completion_watchers: List[Callable[[], None]] = []
-        self.network.register("control-plane", self._on_control_plane_frame)
         self.replicas: Dict[str, BatchReplicaProcess] = {}
         for group in shard_map.groups.values():
             hosted = {
@@ -510,6 +542,25 @@ class SimKVCluster:
             )
             proxy.attach(self.network)
             self.proxies[proxy.process_id] = proxy
+        control_engine = ControlPlaneEngine(
+            shard_map,
+            proxy_ids=list(self.proxies) if push_views else [],
+            delta_views=delta_views,
+            drain_range_size=drain_range_size,
+            retry_delay=SIM_DRAIN_RETRY_DELAY,
+            autoscale_interval=autoscale_interval,
+            observer=self.hub.scoped("control", "control-plane"),
+        )
+        self.control = ControlPlaneProcess(
+            control_engine,
+            self.events,
+            observer=self.hub.scoped("control", "control-plane"),
+        )
+        self.control.attach(self.network)
+        # The autoscaler's signal is the existing metrics stream: every
+        # sub.served event feeds a per-shard counter the control engine
+        # folds at each tick.
+        self.hub.add_sink(AutoscaleFeed(control_engine))
         self.clients: Dict[str, KVClientProcess] = {}
         for index, client_id in enumerate(client_ids):
             client = KVClientProcess(
@@ -527,10 +578,22 @@ class SimKVCluster:
             client.attach(self.network)
             self.clients[client_id] = client
 
-    def _on_control_plane_frame(self, message: Message) -> None:
-        """The control plane's mailbox: proxies ack applied view pushes."""
-        if message.kind == VIEW_PUSH_ACK_KIND:
-            self.view_push_acks += 1
+    @property
+    def push_views(self) -> bool:
+        """Whether rebalances push fresh views to the proxies.
+
+        Togglable mid-run (tests drop a delta this way): the setter swaps
+        the control engine's live proxy set, which is what pushes route to.
+        """
+        return self._push_views
+
+    @push_views.setter
+    def push_views(self, value: bool) -> None:
+        self._push_views = bool(value)
+        ids = self.control.engine.proxy_ids
+        ids.clear()
+        if self._push_views:
+            ids.extend(self.proxies)
 
     def _candidates_for(self, client_id: str, index: int) -> List[str]:
         """The client's proxy failover list: its site's proxies, rotated.
@@ -557,11 +620,21 @@ class SimKVCluster:
         return {sid: replica.logic for sid, replica in self.replicas.items()}
 
     def resize(self, new_num_shards: int) -> MigrationReport:
-        """Resize the ring *now*: metadata + register drain in one step."""
-        plan = self.shard_map.resize(new_num_shards)
-        report = apply_resize_plan(plan, self.shard_map, self.server_logics)
+        """Resize the ring *now*: metadata flips, the drain runs as frames.
+
+        The shard map and view pushes update synchronously; the register
+        drain proceeds over ``drain-*`` frames on the virtual clock.  Called
+        from quiescence (no :meth:`run` on the stack) this pumps the event
+        queue until the drain completes, so the returned report's counters
+        are final -- the old synchronous contract.  Called mid-run (e.g.
+        from a workload trigger) it returns immediately and the drain
+        interleaves with client traffic; ``report.on_done`` fires when the
+        last range installs.
+        """
+        report, effects = self.control.engine.start_resize(new_num_shards)
         self.migrations.append(report)
-        self._push_view_update(plan)
+        self.control.run_effects(effects)
+        self._settle(report)
         return report
 
     def schedule_resize(self, new_num_shards: int, at: float) -> None:
@@ -572,30 +645,35 @@ class SimKVCluster:
 
     def move_shard(self, shard_id: str, group_id: str) -> MigrationReport:
         """Re-home one shard onto another group *now*."""
-        plan = self.shard_map.move_shard(shard_id, group_id)
-        report = apply_move_plan(plan, self.server_logics)
+        report, effects = self.control.engine.start_move(shard_id, group_id)
         self.migrations.append(report)
-        self._push_view_update(plan)
+        self.control.run_effects(effects)
+        self._settle(report)
         return report
 
-    def _push_view_update(self, plan) -> None:
-        """One ``view-push`` frame per proxy through the simulated network.
+    def _settle(self, report: MigrationReport) -> None:
+        """Pump the queue to drain completion -- only from quiescence.
 
-        Sent at the cutover, delivered per the delay model: pushes scheduled
-        *before* any post-cutover client round at the same timestamp are
-        processed first (the event queue is FIFO among simultaneous events),
-        so steady-state traffic after a rebalance routes fresh on its first
-        attempt.  Crashed proxies' pushes are dropped by the network like
-        all their traffic.
+        Inside :meth:`run` the already-running loop delivers the drain
+        frames; pumping here too would double-execute events.
         """
-        if not self.push_views or not self.proxies:
+        if self.events.running:
             return
-        frames = view_push_frames(
-            self.shard_map, list(self.proxies), plan=plan, delta=self.delta_views
-        )
-        for frame in frames:
-            self.view_pushes_sent += 1
-            self.network.send(frame)
+        while not report.done:
+            event = self.events.pop()
+            if event is None:
+                break
+            event.action()
+
+    # -- the autoscaler ---------------------------------------------------------
+
+    def start_autoscaler(self) -> None:
+        """Arm the control plane's recurring autoscale tick."""
+        self.control.run_effects(self.control.engine.start_autoscaler())
+
+    def stop_autoscaler(self) -> None:
+        """Disarm the tick so the event queue can drain to quiescence."""
+        self.control.run_effects(self.control.engine.stop_autoscaler())
 
     def crash_proxy(self, proxy_id: str) -> None:
         """Crash an ingress proxy *now*: the network drops its traffic.
@@ -680,6 +758,14 @@ class SimKVCluster:
     def view_pushes_applied(self) -> int:
         return sum(proxy.view.pushes_applied for proxy in self.proxies.values())
 
+    @property
+    def view_pushes_sent(self) -> int:
+        return self.control.engine.view_pushes_sent
+
+    @property
+    def view_push_acks(self) -> int:
+        return self.control.engine.view_push_acks
+
 
 def run_sim_kv_workload(
     workload: KVWorkload,
@@ -696,6 +782,8 @@ def run_sim_kv_workload(
     num_groups: Optional[int] = None,
     resize_to: Optional[int] = None,
     resize_after_ops: Optional[int] = None,
+    move_to: Optional[Tuple[str, str]] = None,
+    move_after_ops: Optional[int] = None,
     crashes_per_group: int = 0,
     crash_horizon: float = 20.0,
     crash_seed: int = 0,
@@ -710,12 +798,18 @@ def run_sim_kv_workload(
     kill_proxy_after_ops: Optional[int] = None,
     proxy_timeout: float = PROXY_FAILOVER_TIMEOUT,
     trace_collector: Optional[TraceCollector] = None,
+    autoscale: bool = False,
+    drain_range_size: int = DRAIN_RANGE_SIZE,
+    autoscale_interval: float = SIM_AUTOSCALE_INTERVAL,
 ) -> KVRunResult:
     """Run a closed-loop kv workload on the simulator and collect results.
 
     ``resize_to`` triggers a *live* :meth:`SimKVCluster.resize` once
     ``resize_after_ops`` operations have completed (default: half the
     workload), while the remaining operations are still in flight.
+    ``move_to=(shard_id, group_id)`` instead triggers a live
+    :meth:`SimKVCluster.move_shard` of one shard under the same
+    half-the-workload (or ``move_after_ops``) trigger.
     ``crashes_per_group`` crashes that many random replicas of every group
     (capped at each group's fault budget) within ``crash_horizon``.
     ``use_proxy`` routes every client through one of ``num_proxies``
@@ -728,6 +822,12 @@ def run_sim_kv_workload(
     ``kill_proxy_after_ops`` crashes one proxy per site once that many
     operations completed, exercising the clients' failover path --
     operations keep completing with no client-visible errors.
+    ``autoscale`` arms the control plane's metrics-driven autoscaler for
+    the duration of the run: every ``autoscale_interval`` virtual time
+    units it folds the served-op counts per group and moves the hottest
+    group's hottest shard to the coldest group when the imbalance exceeds
+    the ratio threshold; ``drain_range_size`` bounds the per-range cutover
+    pause of every migration (autoscaler-launched or explicit).
     """
     clients = workload.clients
     if shard_map is None:
@@ -757,7 +857,26 @@ def run_sim_kv_workload(
         delta_views=delta_views,
         proxy_timeout=proxy_timeout,
         trace_collector=trace_collector,
+        drain_range_size=drain_range_size,
+        autoscale_interval=autoscale_interval,
     )
+
+    if autoscale:
+        cluster.start_autoscaler()
+        # The tick rearms itself forever; disarm it once the workload is
+        # done so the event queue can drain to quiescence (any migration
+        # the last tick launched still completes -- its frames and retry
+        # timers are ordinary events).
+        total_ops = workload.total_operations()
+
+        def stop_when_done() -> None:
+            if (
+                cluster.control.engine.autoscaling
+                and cluster.recorder.completed_operations >= total_ops
+            ):
+                cluster.stop_autoscaler()
+
+        cluster.add_completion_watcher(stop_when_done)
 
     kill_record: Dict[str, object] = {}
     if kill_proxy_after_ops is not None and use_proxy:
@@ -784,6 +903,24 @@ def run_sim_kv_workload(
             now=lambda: cluster.events.clock.now,
         )
         cluster.add_completion_watcher(hook)
+
+    if move_to is not None:
+        move_shard_id, move_group_id = move_to
+        # The resize trigger is just "call this once past the threshold";
+        # reuse it for a single-shard move.  The record's ``to`` field
+        # carries the moved shard instead of a shard count.
+        hook, move_info = make_resize_trigger(
+            lambda _target: cluster.move_shard(move_shard_id, move_group_id),
+            lambda: cluster.recorder.completed_operations,
+            move_shard_id,
+            move_after_ops
+            if move_after_ops is not None
+            else max(1, workload.total_operations() // 2),
+            now=lambda: cluster.events.clock.now,
+        )
+        cluster.add_completion_watcher(hook)
+        if resize_info is None:
+            resize_info = move_info
 
     if crashes_per_group > 0:
         injector = cluster.failure_injector()
@@ -836,6 +973,18 @@ def run_sim_kv_workload(
         view_pushes=cluster.view_pushes_applied(),
         proxy_kill=kill_record or None,
         metrics=cluster.metrics.snapshot(),
+        autoscale=(
+            {
+                "actions": [
+                    {k: v for k, v in action.items() if k != "report"}
+                    for action in cluster.control.engine.autoscale_actions
+                ],
+                "drains_completed": cluster.control.engine.drains_completed,
+                "ranges_drained": cluster.control.engine.ranges_drained,
+            }
+            if autoscale
+            else None
+        ),
     )
     for history in histories.values():
         result.read_latencies.extend(

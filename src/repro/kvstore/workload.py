@@ -143,6 +143,9 @@ class KVRunResult:
     #: Per-tier metrics snapshot (``MetricsRegistry.snapshot()``): counters,
     #: gauges, and latency/batch-size histograms keyed by tier.
     metrics: Optional[Dict[str, object]] = None
+    #: Autoscaler record ({"actions": [...], "drains_completed": N,
+    #: "ranges_drained": N}) when the run armed the autoscaler.
+    autoscale: Optional[Dict[str, object]] = None
 
     def throughput(self) -> float:
         """Completed operations per time unit."""

@@ -59,6 +59,24 @@ __all__ = [
     "VIEW_PUSH_ACK_KIND",
     "make_view_push",
     "unpack_view_push",
+    "DRAIN_FENCE_KIND",
+    "DRAIN_FENCE_ACK_KIND",
+    "DRAIN_HOST_KIND",
+    "DRAIN_TRANSFER_KIND",
+    "DRAIN_TRANSFER_ACK_KIND",
+    "DRAIN_INSTALL_KIND",
+    "DRAIN_COMPLETE_KIND",
+    "DRAIN_ACK_KIND",
+    "make_drain_fence",
+    "unpack_drain_fence",
+    "make_drain_host",
+    "unpack_drain_host",
+    "make_drain_transfer",
+    "unpack_drain_transfer",
+    "make_drain_install",
+    "unpack_drain_install",
+    "make_drain_complete",
+    "unpack_drain_complete",
 ]
 
 _message_counter = itertools.count(1)
@@ -482,3 +500,121 @@ def unpack_view_push(message: Message) -> Dict[str, Any]:
     if message.kind != VIEW_PUSH_KIND:
         raise ValueError(f"not a view push frame: kind={message.kind!r}")
     return message.payload["view"]
+
+
+# -- drain frames (control plane <-> replicas, incremental migration) ------------
+#
+# The incremental key-range drain replaces the old single-process migration
+# critical section with a frame protocol the control plane drives against
+# the replicas of the donor and receiver groups:
+#
+#   fence    -> donor replicas bump the shard's epoch (older tags bounce from
+#               now on) and answer with their key census;
+#   host     -> receiver replicas start hosting the shard at its new epoch
+#               with the incoming keys marked *pending* (served requests for
+#               a pending key bounce until its range is installed);
+#   transfer -> one donor replica exports copies of a key range's register
+#               state (the registers stay in place until ``complete``);
+#   install  -> the paired receiver replica absorbs the exported blobs and
+#               clears the range's keys from its pending set;
+#   complete -> donors drop the moved registers (or evict the whole shard),
+#               receivers clear their migration bookkeeping.
+#
+# Every frame carries the migration id (``mig``) and a per-send ``token`` so
+# the control plane can match acks and drive per-frame retry timers; every
+# handler is idempotent, so a retried frame that raced its ack is harmless.
+
+#: Control plane -> donor replica: fence a shard at a new epoch, return census.
+DRAIN_FENCE_KIND = "drain-fence"
+#: Donor's fence acknowledgement, carrying its key census for the shard.
+DRAIN_FENCE_ACK_KIND = "drain-fence-ack"
+#: Control plane -> receiver replica: host a shard with pending incoming keys.
+DRAIN_HOST_KIND = "drain-host"
+#: Control plane -> donor replica: export one key range's register state.
+DRAIN_TRANSFER_KIND = "drain-transfer"
+#: Donor's transfer acknowledgement, carrying the exported state blobs.
+DRAIN_TRANSFER_ACK_KIND = "drain-transfer-ack"
+#: Control plane -> receiver replica: install one key range's state blobs.
+DRAIN_INSTALL_KIND = "drain-install"
+#: Control plane -> replica: the migration is over for this shard.
+DRAIN_COMPLETE_KIND = "drain-complete"
+#: Generic acknowledgement for host/install/complete frames.
+DRAIN_ACK_KIND = "drain-ack"
+
+
+def _make_drain(sender: str, receiver: str, kind: str, mig: str, token: str,
+                shard: str, extra: Dict[str, Any]) -> Message:
+    payload = {"mig": mig, "token": token, "shard": shard}
+    payload.update(extra)
+    return Message(sender=sender, receiver=receiver, kind=kind, payload=payload)
+
+
+def _unpack_drain(message: Message, kind: str) -> Dict[str, Any]:
+    if message.kind != kind:
+        raise ValueError(f"not a {kind} frame: kind={message.kind!r}")
+    for field_name in ("mig", "token", "shard"):
+        if field_name not in message.payload:
+            raise ValueError(f"{kind} frame is missing field {field_name!r}")
+    return message.payload
+
+
+def make_drain_fence(sender: str, receiver: str, mig: str, token: str,
+                     shard: str, epoch: int) -> Message:
+    """Fence ``shard`` at ``epoch`` on one donor replica."""
+    return _make_drain(sender, receiver, DRAIN_FENCE_KIND, mig, token, shard,
+                       {"epoch": epoch})
+
+
+def unpack_drain_fence(message: Message) -> Dict[str, Any]:
+    return _unpack_drain(message, DRAIN_FENCE_KIND)
+
+
+def make_drain_host(sender: str, receiver: str, mig: str, token: str,
+                    shard: str, epoch: int, keys: Sequence[str]) -> Message:
+    """Host ``shard`` at ``epoch`` with ``keys`` pending on one receiver."""
+    return _make_drain(sender, receiver, DRAIN_HOST_KIND, mig, token, shard,
+                       {"epoch": epoch, "keys": list(keys)})
+
+
+def unpack_drain_host(message: Message) -> Dict[str, Any]:
+    return _unpack_drain(message, DRAIN_HOST_KIND)
+
+
+def make_drain_transfer(sender: str, receiver: str, mig: str, token: str,
+                        shard: str, keys: Sequence[str]) -> Message:
+    """Export the state of ``keys`` under ``shard`` from one donor replica."""
+    return _make_drain(sender, receiver, DRAIN_TRANSFER_KIND, mig, token,
+                       shard, {"keys": list(keys)})
+
+
+def unpack_drain_transfer(message: Message) -> Dict[str, Any]:
+    return _unpack_drain(message, DRAIN_TRANSFER_KIND)
+
+
+def make_drain_install(sender: str, receiver: str, mig: str, token: str,
+                       shard: str, epoch: int, keys: Sequence[str],
+                       states: Dict[str, List[Dict[str, Any]]]) -> Message:
+    """Install one range: ``keys`` lists every key of the range (all leave
+    the receiver's pending set), ``states`` maps the subset with exported
+    blobs to the (possibly several, one per donor replica) blobs to absorb."""
+    return _make_drain(sender, receiver, DRAIN_INSTALL_KIND, mig, token,
+                       shard, {"epoch": epoch, "keys": list(keys),
+                               "states": states})
+
+
+def unpack_drain_install(message: Message) -> Dict[str, Any]:
+    return _unpack_drain(message, DRAIN_INSTALL_KIND)
+
+
+def make_drain_complete(sender: str, receiver: str, mig: str, token: str,
+                        shard: str, drop_keys: Sequence[str] = (),
+                        evict: bool = False) -> Message:
+    """Finish the migration at one replica: drop the moved registers (donor),
+    evict the shard outright (removed/moved-away donor), and clear
+    pending/installed bookkeeping (receiver)."""
+    return _make_drain(sender, receiver, DRAIN_COMPLETE_KIND, mig, token,
+                       shard, {"drop_keys": list(drop_keys), "evict": evict})
+
+
+def unpack_drain_complete(message: Message) -> Dict[str, Any]:
+    return _unpack_drain(message, DRAIN_COMPLETE_KIND)

@@ -36,6 +36,11 @@ __all__ = [
     "FAILOVER_HOP",
     "BATCH_CUT",
     "SUB_SERVED",
+    "DRAIN_STARTED",
+    "DRAIN_COMPLETED",
+    "DRAIN_RANGE_OPENED",
+    "DRAIN_RANGE_CLOSED",
+    "AUTOSCALE_ACTION",
     "EVENT_KINDS",
     "TraceEvent",
     "EngineObserver",
@@ -67,12 +72,24 @@ FAILOVER_HOP = "failover.hop"      # client abandoned a proxy for the next
 BATCH_CUT = "batch.cut"            # a batch was sealed for dispatch
 SUB_SERVED = "sub.served"          # replica served one sub-op
 
+# Control-plane lifecycle (emitted by the ControlPlaneEngine): one started/
+# completed pair per migration, one opened/closed pair per drained key range
+# (their timestamp gap is the range's cutover pause), and one action event
+# per rebalance the autoscaler triggers.
+DRAIN_STARTED = "drain.started"            # a migration began draining
+DRAIN_COMPLETED = "drain.completed"        # a migration finished
+DRAIN_RANGE_OPENED = "drain.range.opened"  # one key range entered transfer
+DRAIN_RANGE_CLOSED = "drain.range.closed"  # the range installed on receivers
+AUTOSCALE_ACTION = "autoscale.action"      # the autoscaler triggered a move
+
 EVENT_KINDS = (
     OP_INVOKED, OP_COMPLETED, OP_FAILED,
     ROUND_OPENED, ROUND_CLOSED, ROUND_REPLAYED,
     FRAME_SENT, FRAME_RECEIVED,
     TIMER_ARMED, TIMER_FIRED, TIMER_CANCELLED,
     STALE_BOUNCE, FAILOVER_HOP, BATCH_CUT, SUB_SERVED,
+    DRAIN_STARTED, DRAIN_COMPLETED,
+    DRAIN_RANGE_OPENED, DRAIN_RANGE_CLOSED, AUTOSCALE_ACTION,
 )
 
 

@@ -14,7 +14,12 @@ import json
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .events import (
+    AUTOSCALE_ACTION,
     BATCH_CUT,
+    DRAIN_COMPLETED,
+    DRAIN_RANGE_CLOSED,
+    DRAIN_RANGE_OPENED,
+    DRAIN_STARTED,
     FAILOVER_HOP,
     FRAME_RECEIVED,
     FRAME_SENT,
@@ -230,6 +235,11 @@ _BASELINE_COUNTERS: Dict[str, Tuple[str, ...]] = {
         "subs_served", "stale_bounces",
         "frames_sent", "frames_received",
     ),
+    "control": (
+        "drains_started", "drains_completed", "ranges_drained",
+        "autoscale_actions", "frames_sent", "frames_received",
+        "timers_armed", "timers_fired", "timers_cancelled",
+    ),
 }
 
 # Histograms seeded empty per tier for the same schema-stability reason.
@@ -237,6 +247,7 @@ _BASELINE_HISTOGRAMS: Dict[str, Tuple[str, ...]] = {
     "client": ("op_latency", "batch_size"),
     "proxy": ("op_latency", "batch_size"),
     "replica": ("batch_size",),
+    "control": ("cutover_pause",),
 }
 
 _COUNTER_FOR_KIND = {
@@ -254,6 +265,10 @@ _COUNTER_FOR_KIND = {
     STALE_BOUNCE: "stale_bounces",
     FAILOVER_HOP: "proxy_failovers",
     SUB_SERVED: "subs_served",
+    DRAIN_STARTED: "drains_started",
+    DRAIN_COMPLETED: "drains_completed",
+    DRAIN_RANGE_CLOSED: "ranges_drained",
+    AUTOSCALE_ACTION: "autoscale_actions",
 }
 
 
@@ -269,6 +284,7 @@ class MetricsObserver:
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self._op_starts: Dict[Tuple[str, str, str], float] = {}
+        self._range_starts: Dict[Tuple[str, str, Any, Any], float] = {}
         self._seeded: set = set()
 
     def handle(self, event: TraceEvent) -> None:
@@ -303,6 +319,21 @@ class MetricsObserver:
             if start is not None:
                 registry.observe(
                     event.tier, event.component, "op_latency", event.ts - start)
+        elif event.kind == DRAIN_RANGE_OPENED:
+            # The open->close gap of one drained range is the cutover pause
+            # that range imposed on its keys: the drain holds them fenced
+            # from transfer start until install completes.
+            self._range_starts[(event.tier, event.component,
+                               event.attrs.get("mig"),
+                               event.attrs.get("range"))] = event.ts
+        elif event.kind == DRAIN_RANGE_CLOSED:
+            start = self._range_starts.pop(
+                (event.tier, event.component,
+                 event.attrs.get("mig"), event.attrs.get("range")), None)
+            if start is not None:
+                registry.observe(
+                    event.tier, event.component, "cutover_pause",
+                    event.ts - start)
 
 
 # -- snapshot schema check ----------------------------------------------------
@@ -324,6 +355,11 @@ REQUIRED_TIER_KEYS: Dict[str, Dict[str, Tuple[str, ...]]] = {
         "counters": ("subs_served", "stale_bounces",
                      "frames_sent", "frames_received"),
         "histograms": (),
+    },
+    "control": {
+        "counters": ("drains_started", "drains_completed", "ranges_drained",
+                     "autoscale_actions"),
+        "histograms": ("cutover_pause",),
     },
 }
 

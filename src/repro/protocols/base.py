@@ -122,6 +122,26 @@ class ServerLogic(abc.ABC):
     def handle(self, message: Message) -> Optional[Message]:
         """Process one request and return the reply (or None)."""
 
+    # -- state migration (live rebalancing) ------------------------------------
+    #
+    # The kv-store's incremental drain moves per-key register state between
+    # replicas as JSON-safe blobs: ``export_state`` snapshots this replica's
+    # contribution, ``absorb_state`` merges a blob into the local state (on a
+    # fresh register this is a restore; merging the same blob twice is a
+    # no-op, which is what makes duplicated transfer frames harmless).
+
+    def export_state(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot of this replica's register state."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state migration"
+        )
+
+    def absorb_state(self, blob: Dict[str, Any]) -> None:
+        """Merge an exported snapshot into the local state (idempotent)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state migration"
+        )
+
 
 class RegisterProtocol(abc.ABC):
     """A factory bundling the client and server logic of one implementation.

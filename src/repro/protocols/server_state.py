@@ -70,6 +70,17 @@ class TagValueServer(ServerLogic):
             )
         raise ValueError(f"TagValueServer cannot handle message kind {message.kind!r}")
 
+    # -- state migration ------------------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        return {"tag": encode_tag(self.tag), "value": self.value}
+
+    def absorb_state(self, blob: Dict[str, Any]) -> None:
+        incoming = decode_tag(blob["tag"])
+        if incoming > self.tag:
+            self.tag = incoming
+            self.value = blob.get("value")
+
 
 @dataclass
 class ValueVectorEntry:
@@ -163,3 +174,26 @@ class ValueVectorServer(ServerLogic):
                 "updated": sorted(entry.updated),
             }
         return encoded
+
+    # -- state migration ------------------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        return {
+            "current": encode_tag(self.current),
+            "vector": self._encode_vector(),
+        }
+
+    def absorb_state(self, blob: Dict[str, Any]) -> None:
+        for encoded, fields in blob.get("vector", {}).items():
+            tag = decode_tag(encoded)
+            entry = self.vector.get(tag)
+            if entry is None:
+                entry = ValueVectorEntry(value=None, updated=set())
+                self.vector[tag] = entry
+            if entry.value is None and fields.get("value") is not None:
+                entry.value = fields["value"]
+            entry.updated.update(fields.get("updated", ()))
+        incoming = decode_tag(blob["current"])
+        if incoming > self.current:
+            self.current = incoming
+        self._prune()

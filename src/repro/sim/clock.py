@@ -63,6 +63,17 @@ class EventQueue:
         self.clock = clock if clock is not None else SimClock()
         self._heap: List[ScheduledEvent] = []
         self._sequence = itertools.count()
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """True while :meth:`run` is on the stack.
+
+        Lets code that may be called either from quiescence or from inside
+        an event handler (e.g. a live resize) decide whether it must pump
+        the queue itself or can rely on the already-running loop.
+        """
+        return self._running
 
     def __len__(self) -> int:
         return sum(1 for event in self._heap if not event.cancelled)
@@ -109,19 +120,23 @@ class EventQueue:
         accidental livelock in protocol code.
         """
         executed = 0
-        while True:
-            if executed >= max_events:
-                raise SimulationError(
-                    f"event cap of {max_events} exceeded; likely livelock"
-                )
-            if until is not None and self._peek_time() is not None:
-                if self._peek_time() > until:
+        was_running, self._running = self._running, True
+        try:
+            while True:
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"event cap of {max_events} exceeded; likely livelock"
+                    )
+                if until is not None and self._peek_time() is not None:
+                    if self._peek_time() > until:
+                        break
+                event = self.pop()
+                if event is None:
                     break
-            event = self.pop()
-            if event is None:
-                break
-            event.action()
-            executed += 1
+                event.action()
+                executed += 1
+        finally:
+            self._running = was_running
         return executed
 
     def _peek_time(self) -> Optional[float]:

@@ -18,11 +18,15 @@ from repro.asyncio_net.codec import (
     MAX_FRAME_BYTES,
     FrameError,
     decode_batch_frame,
+    decode_drain_install_frame,
+    decode_drain_transfer_frame,
     decode_message,
     decode_proxy_ack_frame,
     decode_proxy_frame,
     decode_view_push_frame,
     encode_batch_frame,
+    encode_drain_install_frame,
+    encode_drain_transfer_frame,
     encode_message,
     encode_proxy_ack_frame,
     encode_proxy_frame,
@@ -147,7 +151,9 @@ class TestMessageFrames:
             message.sender, message.receiver, message.kind, message.payload,
             op_id=message.op_id, round_trip=message.round_trip,
         )
-        assert b'"trace"' not in encode_message(bare)
+        # Parse rather than substring-match: "trace" is a legal kind/payload
+        # *value*; only the top-level field must stay off the wire.
+        assert "trace" not in json.loads(encode_message(bare)[4:])
 
     @_codec
     @given(message=_messages())
@@ -423,3 +429,60 @@ class TestViewPushFrames:
     def test_unpack_wrong_kind_rejected(self):
         with pytest.raises(ValueError):
             unpack_view_push(Message("a", "b", "query"))
+
+
+#: Register-state blobs as the drain carries them: per-key lists of JSON
+#: dicts, one blob per donor replica the key was exported from.
+_state_blobs = st.dictionaries(
+    _ids,
+    st.lists(st.dictionaries(st.text(max_size=8), _scalars, max_size=3),
+             min_size=1, max_size=3),
+    max_size=4,
+)
+
+
+class TestDrainFrames:
+    @_codec
+    @given(mig=_ids, token=_ids, shard=_ids,
+           keys=st.lists(_ids, max_size=8))
+    def test_drain_transfer_survives_the_wire(self, mig, token, shard, keys):
+        encoded = encode_drain_transfer_frame(
+            "control-plane", "g1-s1", mig, token, shard, keys
+        )
+        decoded = decode_drain_transfer_frame(encoded[4:])
+        assert decoded["mig"] == mig
+        assert decoded["token"] == token
+        assert decoded["shard"] == shard
+        assert decoded["keys"] == list(keys)
+
+    @_codec
+    @given(mig=_ids, token=_ids, shard=_ids,
+           epoch=st.integers(min_value=1, max_value=2**31),
+           keys=st.lists(_ids, max_size=8), states=_state_blobs)
+    def test_drain_install_survives_the_wire(
+        self, mig, token, shard, epoch, keys, states
+    ):
+        # The exported register blobs must survive bit-exactly: a mangled
+        # timestamp or value inside a blob would corrupt the receiver's
+        # absorbed state and break per-key atomicity after the cutover.
+        encoded = encode_drain_install_frame(
+            "control-plane", "g2-s1", mig, token, shard, epoch, keys, states
+        )
+        decoded = decode_drain_install_frame(encoded[4:])
+        assert decoded["epoch"] == epoch
+        assert decoded["keys"] == list(keys)
+        assert decoded["states"] == states
+
+    def test_unpack_wrong_kind_rejected(self):
+        from repro.messages import unpack_drain_transfer
+
+        with pytest.raises(ValueError, match="not a drain-transfer"):
+            unpack_drain_transfer(Message("a", "b", "query"))
+
+    def test_missing_field_rejected(self):
+        from repro.messages import DRAIN_TRANSFER_KIND, unpack_drain_transfer
+
+        with pytest.raises(ValueError, match="missing field"):
+            unpack_drain_transfer(
+                Message("a", "b", DRAIN_TRANSFER_KIND, {"mig": "m1"})
+            )

@@ -35,9 +35,11 @@ from repro.kvstore import (
     run_sim_kv_workload,
 )
 from repro.kvstore.engine import (
+    CONTROL_PLANE,
     CancelTimer,
     ClientSessionEngine,
     Connect,
+    ControlPlaneEngine,
     GroupServerEngine,
     OpCompleted,
     OpFailed,
@@ -387,17 +389,18 @@ class TestCrossBackendEquivalence:
             num_shards=4, num_groups=2, use_proxy=True
         )
         run_script(fabric, client, [(OpKind.WRITE, f"k{i}", f"v{i}") for i in range(8)])
-        # Live rebalance: drain registers and push the delta through the
-        # fabric -- the identical call sequence both cluster backends make.
-        from repro.kvstore.migration import apply_resize_plan
-
-        logics = {pid: eng for pid, eng in fabric._engines.items()
-                  if isinstance(eng, GroupServerEngine)}
-        plan = shard_map.resize(8)
-        apply_resize_plan(plan, shard_map, logics)
-        for frame in view_push_frames(shard_map, ["p1"], plan=plan):
-            fabric.execute("c1", [SendFrame("p1", frame)])
+        # Live rebalance: the control engine drives the frame-based drain and
+        # the delta push through the fabric -- the identical frame/effect
+        # sequence both cluster backends execute.  The retry delay must sit
+        # above the fabric's 2.0-unit round trip or resends declare live
+        # replicas dead.
+        control = ControlPlaneEngine(shard_map, proxy_ids=["p1"], retry_delay=10.0)
+        fabric.register(CONTROL_PLANE, control)
+        report, effects = control.start_resize(8)
+        fabric.execute(CONTROL_PLANE, effects)
         fabric.run()
+        assert report.done
+        assert control.drains_completed == 1
         run_script(fabric, client, [(OpKind.READ, f"k{i}", None) for i in range(8)])
         verdict = check_per_key_atomicity(recorder.histories())
         assert verdict.all_atomic, verdict.summary()
