@@ -24,12 +24,18 @@ from ..messages import (
     make_batch,
     make_drain_install,
     make_drain_transfer,
+    make_lease_grant,
+    make_lease_invalidate,
+    make_lease_release,
     make_proxy_ack,
     make_proxy_request,
     make_view_push,
     unpack_batch,
     unpack_drain_install,
     unpack_drain_transfer,
+    unpack_lease_grant,
+    unpack_lease_invalidate,
+    unpack_lease_release,
     unpack_proxy_ack,
     unpack_proxy_request,
     unpack_view_push,
@@ -52,6 +58,12 @@ __all__ = [
     "decode_drain_transfer_frame",
     "encode_drain_install_frame",
     "decode_drain_install_frame",
+    "encode_lease_grant_frame",
+    "decode_lease_grant_frame",
+    "encode_lease_invalidate_frame",
+    "decode_lease_invalidate_frame",
+    "encode_lease_release_frame",
+    "decode_lease_release_frame",
     "read_frame",
     "write_frame",
 ]
@@ -184,6 +196,42 @@ def encode_drain_install_frame(
 def decode_drain_install_frame(body: bytes) -> Dict[str, Any]:
     """Inverse of :func:`encode_drain_install_frame` (no length header)."""
     return unpack_drain_install(decode_message(body))
+
+
+def encode_lease_grant_frame(
+    sender: str, receiver: str, keys: Sequence[str], ttl: float
+) -> bytes:
+    """One read-lease grant (replica -> proxy) as a wire frame."""
+    return encode_message(make_lease_grant(sender, receiver, keys, ttl))
+
+
+def decode_lease_grant_frame(body: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`encode_lease_grant_frame` (no length header)."""
+    return unpack_lease_grant(decode_message(body))
+
+
+def encode_lease_invalidate_frame(
+    sender: str, receiver: str, keys: Sequence[str]
+) -> bytes:
+    """One lease invalidation (replica -> holder) as a wire frame."""
+    return encode_message(make_lease_invalidate(sender, receiver, keys))
+
+
+def decode_lease_invalidate_frame(body: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`encode_lease_invalidate_frame` (no length header)."""
+    return unpack_lease_invalidate(decode_message(body))
+
+
+def encode_lease_release_frame(
+    sender: str, receiver: str, keys: Sequence[str]
+) -> bytes:
+    """One lease release (holder -> replica) as a wire frame."""
+    return encode_message(make_lease_release(sender, receiver, keys))
+
+
+def decode_lease_release_frame(body: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`encode_lease_release_frame` (no length header)."""
+    return unpack_lease_release(decode_message(body))
 
 
 async def read_frame(reader) -> Message:

@@ -4,13 +4,23 @@ The server wraps the *same* :class:`~repro.protocols.base.ServerLogic` object
 that the simulator uses; the only difference is the transport.  Each client
 connection is a stream of length-prefixed JSON messages; every request gets
 exactly one reply frame (or none when the logic returns ``None``).
+
+Logic objects that expose the effect-driven interface (``on_frame`` /
+``on_timer``, i.e. :class:`~repro.kvstore.engine.server.GroupServerEngine`)
+are driven through it instead: one inbound frame may produce several sends
+-- a batch-ack plus a lease grant, or lease invalidations chasing a *third*
+party -- and timer effects (server-side lease expiry) land on the event
+loop via ``call_later``.  Outbound frames route over the inbound connection
+of their destination peer (peers dial replicas, never the reverse), tracked
+by the sender id of the frames each connection delivers.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
+from ..kvstore.engine.effects import CancelTimer, SendFrame, StartTimer
 from ..protocols.base import ServerLogic
 from .codec import read_frame, write_frame
 
@@ -45,6 +55,10 @@ class ReplicaServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: "set" = set()
         self.requests_served = 0
+        # Effect-driven logics only: inbound connection per peer id (keyed by
+        # the sender of the frames it delivers) and live lease timers.
+        self._peers: Dict[str, asyncio.StreamWriter] = {}
+        self._timers: Dict[Tuple, asyncio.TimerHandle] = {}
 
     @property
     def server_id(self) -> str:
@@ -76,11 +90,16 @@ class ReplicaServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        self._peers.clear()
         for writer in list(self._connections):
             writer.close()
 
     async def _handle_connection(self, reader, writer) -> None:
         self._connections.add(writer)
+        effect_driven = hasattr(self.logic, "on_frame")
         try:
             while True:
                 try:
@@ -92,7 +111,14 @@ class ReplicaServer:
                     # cleanly so the streams machinery has nothing to log.
                     break
                 self.requests_served += 1
-                reply = self.logic.handle(request)
+                if effect_driven:
+                    # Route later out-of-band frames (lease grants and
+                    # invalidations, deferred batch-acks) back over this
+                    # peer's own inbound connection.
+                    self._peers[request.sender] = writer
+                    effects = self.logic.on_frame(request)
+                else:
+                    reply = self.logic.handle(request)
                 if self.service_overhead > 0 or self.service_per_op > 0:
                     # Batch frames charge per sub-op, drain frames per key:
                     # the pause a migration imposes on a replica grows with
@@ -104,12 +130,17 @@ class ReplicaServer:
                     await asyncio.sleep(
                         self.service_overhead + self.service_per_op * sub_ops
                     )
-                if reply is not None:
+                if effect_driven:
+                    await self._run_effects(effects)
+                elif reply is not None:
                     await write_frame(writer, reply)
         except (ConnectionResetError, BrokenPipeError):
             pass  # peer vanished mid-write; the connection is done either way
         finally:
             self._connections.discard(writer)
+            for peer, peer_writer in list(self._peers.items()):
+                if peer_writer is writer:
+                    del self._peers[peer]
             writer.close()
             try:
                 await writer.wait_closed()
@@ -117,3 +148,40 @@ class ReplicaServer:
                 # Teardown path: the peer (or the server itself) is going
                 # away; there is nothing left to clean up on this connection.
                 pass
+
+    async def _run_effects(self, effects) -> None:
+        """Execute an effect batch: frames go out over the destination peer's
+        inbound connection (in order -- a lease grant emitted before the
+        batch-ack stays before it on the wire); timers land on the event
+        loop.  A frame for a peer with no live connection is dropped, the
+        same fate the simulator gives sends to a severed process."""
+        for effect in effects:
+            if isinstance(effect, SendFrame):
+                peer = self._peers.get(effect.destination)
+                if peer is None:
+                    continue
+                try:
+                    await write_frame(peer, effect.frame)
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass  # peer died between frames; leases expire on timers
+            elif isinstance(effect, StartTimer):
+                stale = self._timers.pop(effect.timer_id, None)
+                if stale is not None:
+                    stale.cancel()
+                self._timers[effect.timer_id] = asyncio.get_event_loop().call_later(
+                    effect.delay, self._on_timer_fired, effect.timer_id
+                )
+            elif isinstance(effect, CancelTimer):
+                handle = self._timers.pop(effect.timer_id, None)
+                if handle is not None:
+                    handle.cancel()
+            else:
+                raise TypeError(
+                    f"replica server cannot execute effect {effect!r}"
+                )
+
+    def _on_timer_fired(self, timer_id) -> None:
+        self._timers.pop(timer_id, None)
+        effects = self.logic.on_timer(timer_id)
+        if effects:
+            asyncio.ensure_future(self._run_effects(effects))

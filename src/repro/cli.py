@@ -118,6 +118,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="route clients through N site-local ingress proxies "
                          "(round-robin) that merge quorum rounds across "
                          "clients into shared replica frames; 0 = direct")
+    kv.add_argument("--read-cache", type=int, default=0, metavar="N",
+                    help="give each ingress proxy an N-entry LRU read cache "
+                         "backed by server-granted leases (requires "
+                         "--proxies); hot-key reads are served at the proxy "
+                         "with no replica round, writes invalidate before "
+                         "they ack, so atomicity is preserved")
+    kv.add_argument("--lease-ttl", type=float, default=None, metavar="T",
+                    help="read-lease duration (sim: virtual time units, "
+                         "default 60; asyncio: wall-clock seconds, default "
+                         "1.0); longer leases raise the hit rate but extend "
+                         "how long a crashed proxy can defer writers")
+    kv.add_argument("--bounded-staleness", action="store_true",
+                    help="serve expired-but-uninvalidated cache entries for "
+                         "another half lease TTL: reads trade atomicity for "
+                         "a staleness bound (checked by the staleness "
+                         "checker instead of the atomicity checker)")
     kv.add_argument("--autoscale", action="store_true",
                     help="arm the metrics-driven autoscaler: the control "
                          "plane folds per-group served-op counts and moves "
@@ -291,6 +307,10 @@ def _command_kv(args: argparse.Namespace) -> int:
         raise SystemExit("--kill-proxy-after requires --proxies")
     if args.crashes > 0 and args.backend != "sim":
         raise SystemExit("--crashes requires the sim backend")
+    if args.read_cache > 0 and args.proxies <= 0:
+        raise SystemExit("--read-cache requires --proxies")
+    if (args.lease_ttl is not None or args.bounded_staleness) and args.read_cache <= 0:
+        raise SystemExit("--lease-ttl/--bounded-staleness require --read-cache")
     # One seed drives every RNG of the run -- the workload shape here and
     # (on the simulator) the crash-victim draw below -- so a CLI run is
     # reproduced exactly by repeating its --seed.
@@ -317,7 +337,13 @@ def _command_kv(args: argparse.Namespace) -> int:
         push_views=not args.no_view_push,
         kill_proxy_after_ops=args.kill_proxy_after,
         autoscale=args.autoscale,
+        read_cache=args.read_cache,
+        bounded_staleness=args.bounded_staleness,
     )
+    if args.lease_ttl is not None:
+        # Only forwarded when given: the backends' defaults differ (the
+        # sim's virtual clock vs. wall-clock seconds on asyncio).
+        common["lease_ttl"] = args.lease_ttl
     if args.drain_range_size is not None:
         common["drain_range_size"] = args.drain_range_size
     trace_collector = TraceCollector() if args.trace_dump else None
@@ -358,11 +384,20 @@ def _command_kv(args: argparse.Namespace) -> int:
         latency = result.metrics["client"]["histograms"]["op_latency"]
         print(f"op latency         : p50 {latency['p50']:.3f} / "
               f"p95 {latency['p95']:.3f} / p99 {latency['p99']:.3f}")
+    if result.cache is not None:
+        print(f"read cache         : {result.cache_hit_rate():.1%} hit rate "
+              f"({result.cache['hits']} hits / {result.cache['misses']} "
+              f"misses), {result.cache['invalidations']} invalidations, "
+              f"{result.cache['lease_expiries']} lease expiries")
     # Resilience counters print unconditionally (zeroes included) on both
-    # backends -- a quiet run should say so, not hide the line.
+    # backends -- a quiet run should say so, not hide the line.  Drain
+    # bounces (rounds parked behind a draining range) and cache
+    # invalidations are distinct churn sources and are reported apart.
     print(f"resilience         : {result.stale_replays} stale replays, "
           f"{result.proxy_failovers} proxy failovers, "
-          f"{result.stale_bounces} replica bounces")
+          f"{result.stale_bounces} replica bounces, "
+          f"{result.drain_backoffs} drain bounces, "
+          f"{(result.cache or {}).get('invalidations', 0)} cache invalidations")
     if result.resize:
         print(f"live resize        : -> {result.resize['to']} shards after "
               f"{result.resize['at_ops']} ops; {result.resize['report']}; "

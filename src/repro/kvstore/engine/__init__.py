@@ -30,6 +30,7 @@ behaviour by construction.
 
 from __future__ import annotations
 
+from .cache import CacheEntry, ReadCache, payload_fingerprint
 from .client import PROXY_QUEUE, ClientSessionEngine
 from .control import (
     AUTOSCALE_INTERVAL,
@@ -135,4 +136,7 @@ __all__ = [
     "is_stale_reply",
     "make_stale_reply",
     "BatchStats",
+    "CacheEntry",
+    "ReadCache",
+    "payload_fingerprint",
 ]

@@ -18,6 +18,22 @@ control plane -- plus timer fires and transport notifications, and emits
 :class:`~repro.kvstore.engine.routing.CachedShardView` and replay
 transparently; view pushes (full or delta) are adopted through the same
 view, so live rebalancing is handled *once* here for both backends.
+
+With ``read_cache`` enabled the proxy also keeps a bounded (key -> quorum
+replies) **read cache** backed by server-granted leases.  A read that
+misses becomes the entry's *fill*: its sub-requests carry the lease mark,
+each serving replica registers this proxy as a lease holder (confirmed by
+a ``"lease-grant"`` frame ordered before the batch-ack), and the recorded
+quorum replies of every round-trip are replayed verbatim to later reads of
+the same key -- zero replica sub-ops per hit.  Atomicity rides the quorum
+intersection: replicas defer (and withhold acks for) any write against a
+leased key, so while grants from a write-blocking set of replicas stand,
+no superseding write can complete, and a cached read linearizes before it.
+``"lease-invalidate"`` frames evict the entry and trigger a
+``"lease-release"``, unblocking the writer; the proxy self-expires entries
+at half the lease TTL (clock-skew margin against the server-side expiry),
+optionally serving expired-but-recent entries when ``bounded_staleness``
+is on.
 """
 
 from __future__ import annotations
@@ -27,8 +43,12 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ...observe.events import (
     BATCH_CUT,
+    CACHE_HIT,
+    CACHE_INVALIDATE,
+    CACHE_MISS,
     FRAME_RECEIVED,
     FRAME_SENT,
+    LEASE_EXPIRED,
     NULL_OBSERVER,
     ROUND_CLOSED,
     ROUND_OPENED,
@@ -38,6 +58,9 @@ from ...observe.events import (
 from ...messages import (
     BATCH_ACK_KIND,
     BATCH_KIND,
+    DEFAULT_LEASE_TTL,
+    LEASE_GRANT_KIND,
+    LEASE_INVALIDATE_KIND,
     PROXY_KIND,
     VIEW_PUSH_ACK_KIND,
     VIEW_PUSH_KIND,
@@ -46,12 +69,16 @@ from ...messages import (
     ProxySubRequest,
     SubRequest,
     make_batch,
+    make_lease_release,
     make_proxy_ack,
     unpack_batch,
     unpack_batch_ack,
+    unpack_lease_grant,
+    unpack_lease_invalidate,
     unpack_proxy_request,
     unpack_view_push,
 )
+from .cache import CacheEntry, ReadCache, payload_fingerprint
 from .effects import (
     DEFAULT_RETRY_POLICY,
     CancelTimer,
@@ -93,6 +120,10 @@ class _ProxyPending:
     transient_retries: int = 0
     queued: bool = False
     awaiting_retry: bool = False
+    #: The cache entry this round is filling, if any.  Detached (set back to
+    #: None) when the entry is evicted mid-flight; the round then completes
+    #: as an ordinary leaseless read.
+    fill_entry: Optional[CacheEntry] = None
 
 
 class ProxyEngine:
@@ -107,9 +138,19 @@ class ProxyEngine:
         max_batch: int = 64,
         flush_delay: float = 0.0,
         observer: Optional[EngineObserver] = None,
+        read_cache: int = 0,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        bounded_staleness: bool = False,
+        read_round_trips: int = 2,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
+        if read_cache < 0:
+            raise ValueError("read_cache capacity cannot be negative")
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if read_round_trips < 1:
+            raise ValueError("read_round_trips must be positive")
         self.proxy_id = proxy_id
         self.view = view
         self.read_policy = read_policy or BroadcastReads()
@@ -124,6 +165,20 @@ class ProxyEngine:
         self._pending: Dict[Tuple[str, int], _ProxyPending] = {}
         self._queues: Dict[str, List[_ProxyPending]] = {}
         self._flush_scheduled: Set[str] = set()
+        # -- read cache (0 capacity disables it entirely) -----------------------
+        self._cache: Optional[ReadCache] = (
+            ReadCache(read_cache) if read_cache else None
+        )
+        self.lease_ttl = lease_ttl
+        self.bounded_staleness = bounded_staleness
+        self.read_round_trips = read_round_trips
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
+        self.leases_expired = 0
+        #: Replica-bound sub-requests belonging to *read* ops -- the traffic
+        #: the cache exists to remove (the benchmark's sub-ops/op metric).
+        self.read_subs_sent = 0
 
     # -- admission and routing --------------------------------------------------
 
@@ -134,23 +189,27 @@ class ProxyEngine:
                 FRAME_RECEIVED, kind=PROXY_KIND, source=message.sender
             )
             for sub in unpack_proxy_request(message):
-                pending = _ProxyPending(client=message.sender, sub=sub)
-                try:
-                    self._dispatch(pending, out)
-                except Exception as exc:  # noqa: BLE001 - never strand a client
-                    # Anything unexpected (a routing bug, a policy raising,
-                    # ...) must still produce an error ack: a swallowed
-                    # dispatch exception would leave the downstream client
-                    # awaiting a reply that never comes.
-                    self._finish(pending, out, error=f"{type(exc).__name__}: {exc}")
+                self._admit(message.sender, sub, out)
         elif message.kind == BATCH_ACK_KIND:
             self._on_replica_ack(message, out)
+        elif message.kind == LEASE_GRANT_KIND:
+            self._on_lease_grant(message, out)
+        elif message.kind == LEASE_INVALIDATE_KIND:
+            self._on_lease_invalidate(message, out)
         elif message.kind == VIEW_PUSH_KIND:
             # Control-plane push at a live rebalance: adopt the fresh view
             # (snapshot or delta) so subsequent rounds route correctly on
             # the first attempt instead of paying a stale-epoch bounce
             # each, then ack so the pusher knows routing is current.
             self.view.apply_push(unpack_view_push(message))
+            if self._cache is not None:
+                # Entries whose key no longer routes to the group that
+                # granted the lease cannot stay servable: the new owner
+                # group knows nothing about our lease.
+                for entry in self._cache.entries():
+                    if not self._route_current(entry):
+                        self._cache.pop(entry.key)
+                        self._evict(entry, out, reason="route-changed")
             out.append(
                 SendFrame(
                     message.sender,
@@ -163,6 +222,267 @@ class ProxyEngine:
                 )
             )
         return out
+
+    def _dispatch_safe(self, pending: _ProxyPending, out: List[Effect]) -> None:
+        """Dispatch one round, turning any failure into an error ack.
+
+        Anything unexpected (a routing bug, a policy raising, ...) must
+        still produce an error ack: a swallowed dispatch exception would
+        leave the downstream client awaiting a reply that never comes.
+        """
+        try:
+            self._dispatch(pending, out)
+        except Exception as exc:  # noqa: BLE001 - never strand a client
+            self._finish(pending, out, error=f"{type(exc).__name__}: {exc}")
+
+    # -- the read cache ---------------------------------------------------------
+
+    def _admit(self, client: str, sub: ProxySubRequest, out: List[Effect]) -> None:
+        """Route one forwarded round through the cache (when enabled)."""
+        pending = _ProxyPending(client=client, sub=sub)
+        cache = self._cache
+        if cache is None:
+            self._dispatch_safe(pending, out)
+            return
+        if sub.op_kind == "write":
+            # Write-through: our own cached copy is about to be superseded,
+            # and releasing *before* the write's rounds hit the replicas
+            # (per-destination ordering again) keeps the write from
+            # deferring against our own lease.
+            entry = cache.pop(sub.key)
+            if entry is not None:
+                self._evict(entry, out, reason="local-write")
+            self._dispatch_safe(pending, out)
+            return
+        if sub.op_kind != "read" or sub.per_server:
+            self._dispatch_safe(pending, out)
+            return
+        entry = cache.get(sub.key)
+        if entry is not None and not self._route_current(entry):
+            cache.pop(sub.key)
+            self._evict(entry, out, reason="route-changed")
+            entry = None
+        rt = sub.round_trip
+        if entry is not None:
+            if rt in entry.rounds:
+                serves = (
+                    self.bounded_staleness if entry.stale else entry.granted
+                )
+                replies = (
+                    entry.replies_for(rt, sub.wait_for)
+                    if serves and entry.matches(rt, sub)
+                    else None
+                )
+                if replies is not None:
+                    if rt == 1:
+                        self.cache_hits += 1
+                        self.observer.emit(
+                            CACHE_HIT, op_id=sub.op_id, key=sub.key,
+                            trace=sub.trace, stale=entry.stale,
+                        )
+                    self._serve_cached(client, sub, replies, out)
+                    return
+                self._dispatch_safe(pending, out)
+                return
+            if (entry.fill_client == client and entry.fill_op_id == sub.op_id
+                    and not entry.stale):
+                # The fill read's next round-trip: drive it with the lease
+                # mark (replicas exempt it from deferral -- it can only
+                # re-write the tag the lease already covers).
+                entry.round_payloads[rt] = (
+                    sub.kind, payload_fingerprint(sub.payload)
+                )
+                entry.inflight.add(rt)
+                pending.fill_entry = entry
+                entry.fill_pending = pending
+                self._dispatch_safe(pending, out)
+                return
+            if not entry.stale and rt <= self.read_round_trips:
+                # Single-flight: ride the fill already in the air instead of
+                # opening a second identical quorum round.
+                entry.followers.setdefault(rt, []).append((client, sub))
+                if rt == 1:
+                    self.cache_misses += 1
+                    self.observer.emit(
+                        CACHE_MISS, op_id=sub.op_id, key=sub.key,
+                        trace=sub.trace, shared=True,
+                    )
+                return
+            self._dispatch_safe(pending, out)
+            return
+        if rt != 1:
+            # A later round of an op whose entry is gone (evicted mid-read):
+            # complete it as an ordinary leaseless round.
+            self._dispatch_safe(pending, out)
+            return
+        # Miss: this read becomes the fill.
+        self.cache_misses += 1
+        self.observer.emit(
+            CACHE_MISS, op_id=sub.op_id, key=sub.key, trace=sub.trace
+        )
+        entry = CacheEntry(key=sub.key, fill_client=client, fill_op_id=sub.op_id)
+        pending.fill_entry = entry
+        entry.fill_pending = pending
+        try:
+            self._dispatch(pending, out)
+        except Exception as exc:  # noqa: BLE001 - never strand a client
+            pending.fill_entry = None
+            entry.fill_pending = None
+            self._finish(pending, out, error=f"{type(exc).__name__}: {exc}")
+            return
+        entry.route = pending.route
+        entry.wait_for = pending.wait_for
+        entry.round_payloads[1] = (sub.kind, payload_fingerprint(sub.payload))
+        entry.inflight.add(1)
+        displaced = cache.insert(sub.key, entry)
+        if displaced is not None:
+            self._evict(displaced, out, reason="capacity")
+        # Self-expire at *half* the lease TTL: the server expires at the
+        # full TTL from a later start (its serve time), so the margin
+        # absorbs clock skew and frame latency -- the proxy always stops
+        # serving before any replica stops deferring.
+        out.append(StartTimer(("lease", sub.key), self.lease_ttl * 0.5))
+
+    def _route_current(self, entry: CacheEntry) -> bool:
+        """Whether the view still routes the entry's key where it was filled."""
+        if entry.route is None:
+            return True
+        try:
+            fresh = self.view.resolve(entry.key)
+        except Exception:  # noqa: BLE001 - unresolvable == not current
+            return False
+        return (fresh.group_id == entry.route.group_id
+                and fresh.epoch == entry.route.epoch)
+
+    def _serve_cached(
+        self,
+        client: str,
+        sub: ProxySubRequest,
+        replies: List[Message],
+        out: List[Effect],
+    ) -> None:
+        """Answer one round from the cache: no pending, no replica traffic."""
+        self.observer.emit(
+            ROUND_CLOSED, op_id=sub.op_id, key=sub.key, trace=sub.trace,
+            cached=True,
+        )
+        sub_reply = ProxySubReply(
+            op_id=sub.op_id,
+            round_trip=sub.round_trip,
+            replies=tuple(replies),
+        )
+        self.observer.emit(FRAME_SENT, kind="proxy-ack", dest=client)
+        out.append(
+            SendFrame(
+                client, make_proxy_ack(self.proxy_id, client, [sub_reply])
+            )
+        )
+
+    def _record_fill(
+        self, entry: CacheEntry, pending: _ProxyPending, out: List[Effect]
+    ) -> None:
+        """A fill round completed: record its quorum and flush followers."""
+        rt = pending.sub.round_trip
+        entry.inflight.discard(rt)
+        entry.rounds[rt] = list(pending.replies)
+        for client, fsub in entry.followers.pop(rt, []):
+            serves = self.bounded_staleness if entry.stale else entry.granted
+            replies = (
+                entry.replies_for(rt, fsub.wait_for)
+                if serves and entry.matches(rt, fsub)
+                else None
+            )
+            if replies is not None:
+                self._serve_cached(client, fsub, replies, out)
+            else:
+                # The lease never reached a write-blocking quorum (or the
+                # follower asked a different round): fall back to a plain
+                # quorum round for this follower.
+                self._dispatch_safe(
+                    _ProxyPending(client=client, sub=fsub), out
+                )
+
+    def _evict(
+        self, entry: CacheEntry, out: List[Effect], *, reason: str
+    ) -> None:
+        """Run the protocol side of dropping one cache entry.
+
+        The caller has already removed (or never inserted) the map slot;
+        this releases the lease at every route replica, detaches an
+        in-flight fill, cancels the entry's timers, and re-dispatches any
+        parked followers as ordinary rounds.
+        """
+        current = self._cache.peek(entry.key) if self._cache is not None else None
+        if current is entry:
+            self._cache.pop(entry.key)
+        out.append(CancelTimer(("lease", entry.key)))
+        if entry.stale:
+            out.append(CancelTimer(("stale", entry.key)))
+        pending = entry.fill_pending
+        if pending is not None:
+            entry.fill_pending = None
+            pending.fill_entry = None
+        if not entry.stale and entry.route is not None:
+            # A stale entry already handed its lease back when it expired.
+            self._release_lease(entry.route.servers, [entry.key], out)
+        self.cache_invalidations += 1
+        self.observer.emit(CACHE_INVALIDATE, key=entry.key, reason=reason)
+        followers = entry.followers
+        entry.followers = {}
+        for subs in followers.values():
+            for client, fsub in subs:
+                self._dispatch_safe(_ProxyPending(client=client, sub=fsub), out)
+
+    def _release_lease(
+        self, servers: Tuple[str, ...], keys: List[str], out: List[Effect]
+    ) -> None:
+        for server_id in servers:
+            self.observer.emit(
+                FRAME_SENT, kind="lease-release", dest=server_id
+            )
+            out.append(
+                SendFrame(
+                    server_id,
+                    make_lease_release(self.proxy_id, server_id, keys),
+                )
+            )
+
+    def _on_lease_grant(self, message: Message, out: List[Effect]) -> None:
+        self.observer.emit(
+            FRAME_RECEIVED, kind=message.kind, source=message.sender
+        )
+        payload = unpack_lease_grant(message)
+        orphaned: List[str] = []
+        for key in payload["keys"]:
+            entry = self._cache.peek(key) if self._cache is not None else None
+            if (entry is not None and not entry.stale
+                    and entry.route is not None
+                    and message.sender in entry.route.servers):
+                entry.grants.add(message.sender)
+            else:
+                # The entry died before the grant landed (eviction raced the
+                # fill): hand the lease straight back so the replica does
+                # not defer writers against a ghost holder for a full TTL.
+                orphaned.append(key)
+        if orphaned:
+            self._release_lease((message.sender,), orphaned, out)
+
+    def _on_lease_invalidate(self, message: Message, out: List[Effect]) -> None:
+        self.observer.emit(
+            FRAME_RECEIVED, kind=message.kind, source=message.sender
+        )
+        payload = unpack_lease_invalidate(message)
+        unheld: List[str] = []
+        for key in payload["keys"]:
+            entry = self._cache.pop(key) if self._cache is not None else None
+            if entry is not None:
+                self._evict(entry, out, reason="invalidated")
+            else:
+                # Nothing cached here; answer anyway so the chasing
+                # replica's deferral clears (releases are idempotent).
+                unheld.append(key)
+        if unheld:
+            self._release_lease((message.sender,), unheld, out)
 
     def _dispatch(self, pending: _ProxyPending, out: List[Effect]) -> None:
         """Route one round (fresh or replayed) through the current view."""
@@ -247,10 +567,17 @@ class ProxyEngine:
                     ),
                     shard=p.route.shard_id,
                     epoch=p.route.epoch,
+                    # Evictions detach fills before this point, so the mark
+                    # reflects the entry's liveness at flush time.
+                    lease=p.fill_entry is not None,
                 )
                 for p in batch
                 if server_id in p.targets
             ]
+            self.read_subs_sent += sum(
+                1 for p in batch
+                if server_id in p.targets and p.sub.op_kind == "read"
+            )
             self.stats.record_frames(sent=1)
             self.observer.emit(FRAME_SENT, kind=BATCH_KIND, dest=server_id)
             out.append(
@@ -279,6 +606,12 @@ class ProxyEngine:
 
     def _replay(self, pending: _ProxyPending, out: List[Effect]) -> None:
         """A replica fenced this round: refresh the view and re-route it."""
+        if pending.fill_entry is not None:
+            # A bounced fill means the key's range is moving: caching it
+            # now would race the migration.  Drop the entry (releasing
+            # whatever grants the partial fill collected) and let this
+            # round -- and any parked followers -- replay leaseless.
+            self._evict(pending.fill_entry, out, reason="stale-bounce")
         self.view.refresh()
         route = pending.route
         fresh = self.view.resolve(pending.sub.key)
@@ -347,6 +680,20 @@ class ProxyEngine:
         self, pending: _ProxyPending, out: List[Effect], error: Optional[str] = None
     ) -> None:
         self._drop(pending, out)
+        entry = pending.fill_entry
+        if entry is not None:
+            pending.fill_entry = None
+            if entry.fill_pending is pending:
+                entry.fill_pending = None
+            live = (
+                self._cache is not None
+                and self._cache.peek(pending.sub.key) is entry
+            )
+            if live:
+                if error is None:
+                    self._record_fill(entry, pending, out)
+                else:
+                    self._evict(entry, out, reason="fill-error")
         self.observer.emit(
             ROUND_CLOSED, op_id=pending.sub.op_id, key=pending.sub.key,
             trace=pending.sub.trace, error=error,
@@ -442,6 +789,30 @@ class ProxyEngine:
         kind = timer_id[0]
         if kind == "flush":
             self._flush(timer_id[1], out)
+        elif kind == "lease":
+            key = timer_id[1]
+            entry = self._cache.peek(key) if self._cache is not None else None
+            if entry is None or entry.stale:
+                return out
+            self.leases_expired += 1
+            self.observer.emit(LEASE_EXPIRED, key=key)
+            if (self.bounded_staleness and entry.granted
+                    and entry.complete(self.read_round_trips)):
+                # Bounded-staleness mode: hand the lease back (writers stop
+                # blocking on us) but keep serving the expired entry for
+                # one more half-TTL -- its age then stays under lease_ttl,
+                # the bound the staleness checker verifies.
+                entry.stale = True
+                entry.grants.clear()
+                if entry.route is not None:
+                    self._release_lease(entry.route.servers, [key], out)
+                out.append(StartTimer(("stale", key), self.lease_ttl * 0.5))
+            else:
+                self._evict(entry, out, reason="expired")
+        elif kind == "stale":
+            entry = self._cache.pop(timer_id[1]) if self._cache is not None else None
+            if entry is not None:
+                self._evict(entry, out, reason="staleness-budget")
         elif kind == "pretry":
             pending = self._pending.get((timer_id[1], timer_id[2]))
             if pending is not None and pending.awaiting_retry:
@@ -485,3 +856,8 @@ class ProxyEngine:
         self._pending.clear()
         self._queues.clear()
         self._flush_scheduled.clear()
+        if self._cache is not None:
+            # No releases are possible from a dead proxy: the server-side
+            # lease timers expire the orphaned grants within lease_ttl,
+            # which is what unblocks any writers they were deferring.
+            self._cache.clear()

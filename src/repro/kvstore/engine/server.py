@@ -15,11 +15,24 @@ register, and the client re-resolves its ring and replays the round.  The
 hosting table is a control-plane surface (``host_shard`` / ``evict_shard``
 / ``extract_keys`` / ``install_keys``) driven by the migration module.
 
-This is the server third of the sans-I/O core: ``handle`` consumes one
-decoded frame and returns the reply frame (or ``None``), with no transport,
-runtime, or clock anywhere in sight.  The simulator wraps it in a process
-that models service time; the asyncio backend serves it behind a TCP
-listener; the tests drive it directly.
+The engine is also the server half of the **read-lease protocol** behind
+the proxies' hot-key read cache: a lease-marked read sub-request registers
+its proxy as a lease holder for the key (confirmed by a ``"lease-grant"``
+frame riding alongside the batch-ack), and any *mutating* sub-request for a
+leased key is **deferred** -- its application and its slot in the batch-ack
+are withheld -- while ``"lease-invalidate"`` frames chase the holders.  The
+batch-ack is released once every holder answers with ``"lease-release"`` or
+its lease expires on the server-side timer.  Because a cached entry is only
+served while a write-blocking set of replicas holds the lease, no write can
+*complete* while any proxy serves the key from cache -- which is exactly
+the intersection argument that keeps cached reads atomic.
+
+This is the server third of the sans-I/O core: ``on_frame`` consumes one
+decoded frame and returns effects (sends and lease timers), with no
+transport, runtime, or clock anywhere in sight.  ``handle`` remains as the
+strict request-reply wrapper for lease-free deployments.  The simulator
+wraps the engine in a process that models service time; the asyncio
+backend serves it behind a TCP listener; the tests drive it directly.
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 from ...core.errors import ProtocolError
 from ...messages import (
     BATCH_KIND,
+    DEFAULT_LEASE_TTL,
     DRAIN_ACK_KIND,
     DRAIN_COMPLETE_KIND,
     DRAIN_FENCE_ACK_KIND,
@@ -38,26 +52,32 @@ from ...messages import (
     DRAIN_INSTALL_KIND,
     DRAIN_TRANSFER_ACK_KIND,
     DRAIN_TRANSFER_KIND,
+    LEASE_RELEASE_KIND,
     Message,
     SubRequest,
     make_batch_ack,
+    make_lease_grant,
+    make_lease_invalidate,
     unpack_batch,
     unpack_drain_complete,
     unpack_drain_fence,
     unpack_drain_host,
     unpack_drain_install,
     unpack_drain_transfer,
+    unpack_lease_release,
 )
 from ...observe.events import (
     FRAME_RECEIVED,
     FRAME_SENT,
+    LEASE_EXPIRED,
+    LEASE_GRANTED,
     NULL_OBSERVER,
     STALE_BOUNCE,
     SUB_SERVED,
     EngineObserver,
 )
 from ...protocols.base import RegisterProtocol, ServerLogic
-from .effects import Effect, SendFrame
+from .effects import CancelTimer, Effect, SendFrame, StartTimer, TimerId
 
 __all__ = [
     "STALE_SHARD_KIND",
@@ -125,6 +145,22 @@ class _HostedShard:
     installed: Set[str] = field(default_factory=set)
 
 
+@dataclass
+class _DeferredBatch:
+    """One batch frame whose ack is withheld behind lease deferrals.
+
+    ``entries`` is the positional reply list of the eventual batch-ack;
+    deferred sub-requests own a ``None`` slot that is filled when their key
+    unblocks (every lease holder released or expired) and the sub finally
+    applies.  ``remaining`` counts the unfilled slots: at zero the ack is
+    sent and the record dies.
+    """
+
+    request: Message
+    entries: List[Optional[Tuple[str, Optional[Message]]]]
+    remaining: int = 0
+
+
 class GroupServerEngine(ServerLogic):
     """One replica of a replica group, serving many shards' keys.
 
@@ -140,10 +176,14 @@ class GroupServerEngine(ServerLogic):
         protocol: RegisterProtocol,
         shard_epochs: Optional[Dict[str, int]] = None,
         observer: Optional[EngineObserver] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
     ) -> None:
         super().__init__(server_id)
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
         self.protocol = protocol
         self.observer = observer if observer is not None else NULL_OBSERVER
+        self.lease_ttl = lease_ttl
         self._shards: Dict[str, _HostedShard] = {}
         for shard_id, epoch in (shard_epochs or {}).items():
             self.host_shard(shard_id, epoch)
@@ -151,6 +191,16 @@ class GroupServerEngine(ServerLogic):
         self.sub_ops_served = 0
         self.largest_batch = 0
         self.stale_bounces = 0
+        # -- read-lease state ---------------------------------------------------
+        #: key -> the proxies currently holding a read lease on it.
+        self._leases: Dict[str, Set[str]] = {}
+        #: key -> holders already chased with an invalidation this episode.
+        self._invalidated: Dict[str, Set[str]] = {}
+        #: key -> FIFO of (batch record, sub index) awaiting the key's leases.
+        self._deferred: Dict[str, List[Tuple[_DeferredBatch, int]]] = {}
+        self.leases_granted = 0
+        self.leases_expired = 0
+        self.write_deferrals = 0
 
     # -- control plane (hosting table) -----------------------------------------
 
@@ -224,16 +274,79 @@ class GroupServerEngine(ServerLogic):
         return sum(len(hosted.registers) for hosted in self._shards.values())
 
     def handle(self, message: Message) -> Optional[Message]:
-        drain_handler = self._DRAIN_HANDLERS.get(message.kind)
+        """Strict request-reply wrapper over :meth:`on_frame`.
+
+        The legacy entry point of lease-free deployments: exactly one reply
+        frame (or none, for a deferred drain transfer).  Lease traffic needs
+        timers and out-of-band sends, so a caller that mixes leases with
+        this wrapper gets a loud error instead of silently dropped effects.
+        """
+        reply: Optional[Message] = None
+        for effect in self.on_frame(message):
+            if (isinstance(effect, SendFrame) and reply is None
+                    and effect.destination == message.sender):
+                reply = effect.frame
+            else:
+                raise RuntimeError(
+                    "lease traffic requires the effect-driven adapter; "
+                    f"handle() cannot execute {effect!r}"
+                )
+        return reply
+
+    def on_frame(self, frame: Message) -> List[Effect]:
+        """Consume one decoded frame, return the effects it causes."""
+        out: List[Effect] = []
+        drain_handler = self._DRAIN_HANDLERS.get(frame.kind)
         if drain_handler is not None:
             self.observer.emit(
-                FRAME_RECEIVED, kind=message.kind, source=message.sender
+                FRAME_RECEIVED, kind=frame.kind, source=frame.sender
             )
-            return drain_handler(self, message)
-        if message.kind != BATCH_KIND:
+            if (frame.kind == DRAIN_TRANSFER_KIND
+                    and self._defer_transfer(frame, out)):
+                # Deferral by silence: the control plane retries unacked
+                # transfer frames on its timer, so withholding the ack until
+                # the range's lease holders clear needs no bookkeeping here.
+                return out
+            reply = drain_handler(self, frame)
+            if reply is not None:
+                out.append(SendFrame(reply.receiver, reply))
+            return out
+        if frame.kind == LEASE_RELEASE_KIND:
+            self.observer.emit(
+                FRAME_RECEIVED, kind=frame.kind, source=frame.sender
+            )
+            self._on_lease_release(frame, out)
+            return out
+        if frame.kind != BATCH_KIND:
             raise ValueError(
-                f"GroupServerEngine only handles batch frames, got {message.kind!r}"
+                f"GroupServerEngine only handles batch frames, got {frame.kind!r}"
             )
+        self._serve_batch(frame, out)
+        return out
+
+    def _stale_reply_for(self, sub: SubRequest) -> Optional[Message]:
+        """The stale bounce for ``sub``, or ``None`` when it is serveable."""
+        hosted = self._shards.get(sub.shard) if sub.shard is not None else None
+        if (hosted is None or sub.epoch != hosted.epoch
+                or sub.key in hosted.pending):
+            self.stale_bounces += 1
+            current = hosted.epoch if hosted is not None else None
+            self.observer.emit(
+                STALE_BOUNCE, op_id=sub.message.op_id, key=sub.key,
+                trace=sub.message.trace, shard=sub.shard,
+                sent_epoch=sub.epoch, epoch=current,
+            )
+            return make_stale_reply(sub, current)
+        return None
+
+    def _serve_sub(self, sub: SubRequest) -> Optional[Message]:
+        self.observer.emit(
+            SUB_SERVED, op_id=sub.message.op_id, key=sub.key,
+            trace=sub.message.trace, shard=sub.shard,
+        )
+        return self.register_for(sub.shard, sub.key).handle(sub.message)
+
+    def _serve_batch(self, message: Message, out: List[Effect]) -> None:
         subs = unpack_batch(message)
         self.batches_served += 1
         self.sub_ops_served += len(subs)
@@ -241,29 +354,179 @@ class GroupServerEngine(ServerLogic):
         self.observer.emit(
             FRAME_RECEIVED, kind=BATCH_KIND, source=message.sender, size=len(subs)
         )
-        replies: List[Tuple[str, Optional[Message]]] = []
-        for sub in subs:
-            hosted = self._shards.get(sub.shard) if sub.shard is not None else None
-            if (hosted is None or sub.epoch != hosted.epoch
-                    or sub.key in hosted.pending):
-                self.stale_bounces += 1
-                current = hosted.epoch if hosted is not None else None
-                self.observer.emit(
-                    STALE_BOUNCE, op_id=sub.message.op_id, key=sub.key,
-                    trace=sub.message.trace, shard=sub.shard,
-                    sent_epoch=sub.epoch, epoch=current,
-                )
-                replies.append((sub.key, make_stale_reply(sub, current)))
+        holder = message.sender
+        mutating_kinds = self.protocol.mutating_kinds
+        record = _DeferredBatch(request=message, entries=[])
+        granted: List[str] = []
+        invalidations: Dict[str, List[str]] = {}
+        for index, sub in enumerate(subs):
+            stale = self._stale_reply_for(sub)
+            if stale is not None:
+                record.entries.append((sub.key, stale))
                 continue
-            self.observer.emit(
-                SUB_SERVED, op_id=sub.message.op_id, key=sub.key,
-                trace=sub.message.trace, shard=sub.shard,
+            holders = self._leases.get(sub.key)
+            if (holders and sub.message.kind in mutating_kinds
+                    and not sub.lease):
+                # A write against a leased key: chase every holder with an
+                # invalidation (once per episode) and withhold both the
+                # write's application and its ack slot until they release
+                # or expire.  Lease-marked mutations (a fill's writeback of
+                # an already-existing tag) are exempt -- deferring them
+                # against the filler's own lease would deadlock the fill.
+                self.write_deferrals += 1
+                chased = self._invalidated.setdefault(sub.key, set())
+                for lease_holder in holders - chased:
+                    chased.add(lease_holder)
+                    invalidations.setdefault(lease_holder, []).append(sub.key)
+                record.entries.append(None)
+                record.remaining += 1
+                self._deferred.setdefault(sub.key, []).append((record, index))
+                continue
+            record.entries.append((sub.key, self._serve_sub(sub)))
+            if (sub.lease and sub.message.kind not in mutating_kinds
+                    and sub.key not in self._deferred):
+                # Register (or refresh) the proxy's read lease.  Keys with
+                # queued writes never grant: handing out fresh leases while
+                # writers wait would starve them.
+                self._leases.setdefault(sub.key, set()).add(holder)
+                self._invalidated.get(sub.key, set()).discard(holder)
+                out.append(
+                    StartTimer(("lease", sub.key, holder), self.lease_ttl)
+                )
+                self.leases_granted += 1
+                self.observer.emit(
+                    LEASE_GRANTED, key=sub.key, holder=holder,
+                    ttl=self.lease_ttl,
+                )
+                granted.append(sub.key)
+        for target, keys in invalidations.items():
+            self.observer.emit(FRAME_SENT, kind="lease-invalidate", dest=target)
+            out.append(
+                SendFrame(
+                    target, make_lease_invalidate(self.server_id, target, keys)
+                )
             )
-            replies.append(
-                (sub.key, self.register_for(sub.shard, sub.key).handle(sub.message))
+        if granted:
+            # The grant goes out *before* the batch-ack: adapters preserve
+            # per-destination ordering, so by the time the proxy counts this
+            # replica's ack toward its quorum it already knows whether the
+            # replica registered the lease.
+            self.observer.emit(FRAME_SENT, kind="lease-grant", dest=holder)
+            out.append(
+                SendFrame(
+                    holder,
+                    make_lease_grant(self.server_id, holder, granted,
+                                     self.lease_ttl),
+                )
             )
-        self.observer.emit(FRAME_SENT, kind="batch-ack", dest=message.sender)
-        return make_batch_ack(message, replies)
+        if record.remaining == 0:
+            self._ack_batch(record, out)
+
+    def _ack_batch(self, record: _DeferredBatch, out: List[Effect]) -> None:
+        entries = [entry for entry in record.entries if entry is not None]
+        self.observer.emit(
+            FRAME_SENT, kind="batch-ack", dest=record.request.sender
+        )
+        ack = make_batch_ack(record.request, entries)
+        out.append(SendFrame(ack.receiver, ack))
+
+    # -- the lease protocol (proxy read cache <-> this replica) ------------------
+
+    def lease_holders(self, key: str) -> Set[str]:
+        """The proxies currently holding a read lease on ``key``."""
+        return set(self._leases.get(key, ()))
+
+    @property
+    def deferred_subs(self) -> int:
+        """Sub-requests currently withheld behind lease deferrals."""
+        return sum(len(queue) for queue in self._deferred.values())
+
+    def _on_lease_release(self, message: Message, out: List[Effect]) -> None:
+        payload = unpack_lease_release(message)
+        holder = message.sender
+        for key in payload["keys"]:
+            self._drop_holder(key, holder, out, cancel_timer=True)
+
+    def _drop_holder(
+        self, key: str, holder: str, out: List[Effect], cancel_timer: bool
+    ) -> None:
+        holders = self._leases.get(key)
+        if holders is None or holder not in holders:
+            return
+        holders.discard(holder)
+        if cancel_timer:
+            out.append(CancelTimer(("lease", key, holder)))
+        chased = self._invalidated.get(key)
+        if chased is not None:
+            chased.discard(holder)
+        if not holders:
+            del self._leases[key]
+            self._invalidated.pop(key, None)
+            self._flush_deferred(key, out)
+
+    def _flush_deferred(self, key: str, out: List[Effect]) -> None:
+        """Apply the writes a key's leases were holding back, oldest first.
+
+        Each applied sub fills its slot in its batch record; a record whose
+        last slot fills releases its withheld batch-ack.  The stale check
+        re-runs at application time: a drain may have fenced the shard while
+        the write sat deferred, and applying it under the old epoch would
+        slip it past the migration's census.
+        """
+        queue = self._deferred.pop(key, None)
+        if not queue:
+            return
+        for record, index in queue:
+            sub = unpack_batch(record.request)[index]
+            stale = self._stale_reply_for(sub)
+            reply = stale if stale is not None else self._serve_sub(sub)
+            record.entries[index] = (sub.key, reply)
+            record.remaining -= 1
+            if record.remaining == 0:
+                self._ack_batch(record, out)
+
+    def on_timer(self, timer_id: TimerId) -> List[Effect]:
+        """A server-side lease deadline passed without a release."""
+        out: List[Effect] = []
+        if timer_id[0] == "lease":
+            _, key, holder = timer_id
+            if holder in self._leases.get(key, ()):
+                self.leases_expired += 1
+                self.observer.emit(LEASE_EXPIRED, key=key, holder=holder)
+                self._drop_holder(key, holder, out, cancel_timer=False)
+        return out
+
+    def _defer_transfer(self, frame: Message, out: List[Effect]) -> bool:
+        """Whether a drain transfer must wait for lease holders to clear.
+
+        A migrated key's new owner group knows nothing about leases granted
+        here, so cutting a leased key over would let writes apply at the
+        receiver while a proxy still serves the key from cache.  Chasing the
+        holders and withholding the transfer ack (which gates the range's
+        install, and therefore the receiver serving the key at all) closes
+        that hole; the control plane's retry timer re-asks after the
+        holders release.
+        """
+        payload = unpack_drain_transfer(frame)
+        invalidations: Dict[str, List[str]] = {}
+        for key in payload["keys"]:
+            holders = self._leases.get(key)
+            if not holders:
+                continue
+            chased = self._invalidated.setdefault(key, set())
+            for holder in holders - chased:
+                chased.add(holder)
+                invalidations.setdefault(holder, []).append(key)
+        for target, keys in invalidations.items():
+            self.observer.emit(FRAME_SENT, kind="lease-invalidate", dest=target)
+            out.append(
+                SendFrame(
+                    target, make_lease_invalidate(self.server_id, target, keys)
+                )
+            )
+        return bool(invalidations) or any(
+            self._leases.get(key) for key in payload["keys"]
+        )
 
     # -- the incremental drain protocol (control plane -> this replica) ----------
     #
@@ -392,8 +655,3 @@ class GroupServerEngine(ServerLogic):
         DRAIN_INSTALL_KIND: _handle_drain_install,
         DRAIN_COMPLETE_KIND: _handle_drain_complete,
     }
-
-    def on_frame(self, frame: Message) -> List[Effect]:
-        """Effect-style entry point: the batch-ack as a send effect."""
-        reply = self.handle(frame)
-        return [SendFrame(reply.receiver, reply)] if reply is not None else []

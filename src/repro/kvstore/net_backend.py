@@ -33,7 +33,7 @@ from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Sequence
 from ..asyncio_net.codec import FrameError, encode_message, read_frame, write_frame
 from ..asyncio_net.server import ReplicaServer
 from ..core.operations import OpKind
-from ..messages import Message
+from ..messages import DEFAULT_LEASE_TTL, Message
 from ..observe.events import (
     NULL_OBSERVER,
     TIMER_ARMED,
@@ -429,6 +429,14 @@ class AsyncProxyClient:
 #: thousands of ops of signal).
 NET_AUTOSCALE_INTERVAL = 0.25
 
+#: Default read-lease duration on the asyncio backend (wall-clock seconds).
+#: The engine default (:data:`~repro.messages.DEFAULT_LEASE_TTL`) is sized
+#: for the simulator's virtual clock; on real TCP a lease must be short
+#: enough that a crashed proxy's leases expire well inside the client
+#: round-timeout budget (``PROXY_ROUND_TIMEOUT`` is 2 s), or a deferred
+#: write would look like a dead replica to the writer.
+NET_LEASE_TTL = 1.0
+
 
 class _ControlPlaneDriver:
     """Executes the control engine's effects on the asyncio event loop.
@@ -489,8 +497,16 @@ class _ControlPlaneDriver:
             reader, writer = await asyncio.open_connection(*endpoint)
             try:
                 await write_frame(writer, frame)
-                reply = await read_frame(reader)
+                # A replica deferring a drain transfer behind live read
+                # leases withholds the ack entirely (the engine's retry
+                # timer re-asks); bound the wait so this delivery task
+                # does not outlive the retry that supersedes it.
+                reply = await asyncio.wait_for(
+                    read_frame(reader), timeout=self.cluster.lease_ttl + 1.0
+                )
                 self.run_effects(self.engine.on_frame(reply))
+            except asyncio.TimeoutError:
+                pass  # no ack: deferred behind leases; the retry covers it
             finally:
                 writer.close()
                 try:
@@ -532,11 +548,13 @@ class AsyncKVCluster:
         trace_collector: Optional[TraceCollector] = None,
         drain_range_size: int = DRAIN_RANGE_SIZE,
         autoscale_interval: float = NET_AUTOSCALE_INTERVAL,
+        lease_ttl: float = NET_LEASE_TTL,
     ) -> None:
         self.shard_map = shard_map
         self.host = host
         self.service_overhead = service_overhead
         self.service_per_op = service_per_op
+        self.lease_ttl = lease_ttl
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.push_views = push_views
         self.delta_views = delta_views
@@ -574,6 +592,7 @@ class AsyncKVCluster:
                 logic = GroupServerEngine(
                     server_id, group.protocol, dict(hosted),
                     observer=self.hub.scoped("replica", server_id),
+                    lease_ttl=self.lease_ttl,
                 )
                 replica = ReplicaServer(
                     logic,
@@ -609,6 +628,8 @@ class AsyncKVCluster:
         read_policy: Optional[ReadRoutingPolicy] = None,
         max_batch: int = 64,
         site: Optional[str] = None,
+        read_cache: int = 0,
+        bounded_staleness: bool = False,
     ) -> List[str]:
         """Start ``num_proxies`` site-local ingress proxies; returns their ids.
 
@@ -626,6 +647,7 @@ class AsyncKVCluster:
             proxy = ProxyServer(
                 proxy_id, self, read_policy=read_policy,
                 max_batch=max_batch, host=self.host, site=site,
+                read_cache=read_cache, bounded_staleness=bounded_staleness,
             )
             await proxy.start()
             self.proxies[proxy_id] = proxy
@@ -803,6 +825,8 @@ class ProxyServer(_EffectRunner):
         host: str = "127.0.0.1",
         port: int = 0,
         site: Optional[str] = None,
+        read_cache: int = 0,
+        bounded_staleness: bool = False,
     ) -> None:
         super().__init__(observer=cluster.hub.scoped("proxy", proxy_id))
         self.proxy_id = proxy_id
@@ -812,6 +836,11 @@ class ProxyServer(_EffectRunner):
         self.port = port
         self.retry_policy = cluster.retry_policy
         self.view = CachedShardView(cluster.shard_map)
+        read_round_trips = max(
+            (group.protocol.read_round_trips
+             for group in cluster.shard_map.groups.values()),
+            default=2,
+        )
         self._engine = ProxyEngine(
             proxy_id,
             self.view,
@@ -819,6 +848,10 @@ class ProxyServer(_EffectRunner):
             policy=cluster.retry_policy,
             max_batch=max_batch,
             observer=self.observer,
+            read_cache=read_cache,
+            lease_ttl=cluster.lease_ttl,
+            bounded_staleness=bounded_staleness,
+            read_round_trips=read_round_trips,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._group_clients: Dict[str, AsyncGroupClient] = {}
@@ -951,6 +984,13 @@ class KVStore(_EffectRunner):
     engine re-dials the next candidate (through :class:`Connect` effects)
     and replays its in-flight rounds under a fresh failover generation,
     falling back to direct replica connections when the site is exhausted.
+
+    A store behind a proxy started with ``read_cache`` (see
+    :meth:`AsyncKVCluster.start_proxies`) gets lease-backed cached reads
+    transparently: hot-key gets are acked straight from the proxy's cache
+    with no replica round, and its puts invalidate the proxy's own entry
+    before they dispatch, so the store observes the same atomic register it
+    would without the cache.
     """
 
     def __init__(
@@ -1323,6 +1363,9 @@ def run_asyncio_kv_workload(
     autoscale: bool = False,
     drain_range_size: int = DRAIN_RANGE_SIZE,
     autoscale_interval: float = NET_AUTOSCALE_INTERVAL,
+    read_cache: int = 0,
+    lease_ttl: float = NET_LEASE_TTL,
+    bounded_staleness: bool = False,
 ) -> KVRunResult:
     """Run a closed-loop kv workload over loopback TCP and collect results.
 
@@ -1342,6 +1385,12 @@ def run_asyncio_kv_workload(
     windows of every component in the run.  ``trace_collector`` subscribes a
     :class:`~repro.observe.trace.TraceCollector` to the run's observer hub
     so cross-tier span trees can be reconstructed afterwards.
+
+    ``read_cache`` (requires ``use_proxy``) gives every proxy an LRU read
+    cache of that many entries, backed by server-granted leases of
+    ``lease_ttl`` wall-clock seconds; ``bounded_staleness`` lets expired
+    (but not invalidated) entries serve reads for another half-``lease_ttl``
+    instead of guaranteeing atomicity.
     """
     clients = workload.clients
     if shard_map is None:
@@ -1366,11 +1415,13 @@ def run_asyncio_kv_workload(
             trace_collector=trace_collector,
             drain_range_size=drain_range_size,
             autoscale_interval=autoscale_interval,
+            lease_ttl=lease_ttl,
         )
         await cluster.start()
         if use_proxy:
             await cluster.start_proxies(
-                num_proxies, read_policy=read_policy, max_batch=proxy_max_batch
+                num_proxies, read_policy=read_policy, max_batch=proxy_max_batch,
+                read_cache=read_cache, bounded_staleness=bounded_staleness,
             )
         if autoscale:
             cluster.start_autoscaler()
@@ -1466,12 +1517,33 @@ def run_asyncio_kv_workload(
             proxy_stats: Optional[BatchStats] = None
             pushes_applied = 0
             proxies_used = len(cluster.proxies)
+            read_subs = 0
+            backoffs = 0
+            cache_counters: Optional[Dict[str, int]] = None
             if cluster.proxies:
                 proxy_stats = BatchStats()
                 for proxy in cluster.proxies.values():
                     proxy_stats.merge(proxy.batch_stats())
                     stale += proxy.stale_replays
                     pushes_applied += proxy.view.pushes_applied
+                    read_subs += proxy.engine.read_subs_sent
+                    backoffs += proxy.engine.drain_backoffs
+                if read_cache:
+                    logics = cluster.server_logics.values()
+                    proxy_engines = [p.engine for p in cluster.proxies.values()]
+                    cache_counters = {
+                        "hits": sum(e.cache_hits for e in proxy_engines),
+                        "misses": sum(e.cache_misses for e in proxy_engines),
+                        "invalidations": sum(
+                            e.cache_invalidations for e in proxy_engines
+                        ),
+                        "proxy_lease_expiries": sum(
+                            e.leases_expired for e in proxy_engines
+                        ),
+                        "leases_granted": sum(l.leases_granted for l in logics),
+                        "lease_expiries": sum(l.leases_expired for l in logics),
+                        "write_deferrals": sum(l.write_deferrals for l in logics),
+                    }
             replica_frames = sum(
                 logic.batches_served for logic in cluster.server_logics.values()
             )
@@ -1519,6 +1591,9 @@ def run_asyncio_kv_workload(
             view_pushes=pushes_applied,
             proxy_kill=kill_record or None,
             stale_bounces=bounces,
+            drain_backoffs=backoffs,
+            replica_read_subs=read_subs,
+            cache=cache_counters,
             metrics=cluster.metrics.snapshot(),
             autoscale=(
                 {

@@ -37,7 +37,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..core.operations import OpKind
-from ..messages import Message
+from ..messages import DEFAULT_LEASE_TTL, Message
 from ..observe.events import (
     NULL_OBSERVER,
     TIMER_ARMED,
@@ -103,7 +103,14 @@ SIM_AUTOSCALE_INTERVAL = 150.0
 
 
 class BatchReplicaProcess(Process):
-    """A group replica with service-time queueing on the virtual clock."""
+    """A group replica with service-time queueing on the virtual clock.
+
+    Effect-driven: the engine's sends (batch-acks, lease grants and
+    invalidations, drain acks) are what the modeled service time delays,
+    while its lease timers go straight onto the virtual-clock event queue
+    -- a lease's deadline is wall time from the grant, not from whenever
+    the replica's queue drains.
+    """
 
     def __init__(
         self,
@@ -119,28 +126,62 @@ class BatchReplicaProcess(Process):
         self.overhead = overhead
         self.per_op = per_op
         self.busy_until = 0.0
+        self._timers: Dict[TimerId, ScheduledEvent] = {}
 
     def on_message(self, message: Message) -> None:
         # State transitions apply at delivery (preserving arrival order);
-        # only the *reply* is held back by the modeled service time.  Drain
-        # frames charge per key exactly like batches charge per sub-op, so
-        # the pause a migration imposes on a replica grows with the range
-        # size -- the knob the incremental drain exists to bound.
+        # only the *replies* are held back by the modeled service time.
+        # Drain frames charge per key exactly like batches charge per
+        # sub-op, so the pause a migration imposes on a replica grows with
+        # the range size -- the knob the incremental drain exists to bound.
         payload = message.payload
         batch_size = len(payload.get("ops", ()) or payload.get("keys", ())) or 1
-        reply = self.logic.handle(message)
-        if reply is None:
-            return
+        effects = self.logic.on_frame(message)
         service = self.overhead + self.per_op * batch_size
         now = self.events.clock.now
         finish = max(now, self.busy_until) + service
         self.busy_until = finish
-        if finish <= now:
-            self.send(reply)
-        else:
-            self.events.schedule(
-                finish - now, lambda: self.send(reply), label=f"service:{self.process_id}"
-            )
+        self.run_effects(effects, send_delay=finish - now)
+
+    def run_effects(self, effects: List[Effect], send_delay: float = 0.0) -> None:
+        observer = self.logic.observer
+        for effect in effects:
+            if isinstance(effect, SendFrame):
+                if send_delay <= 0:
+                    self.send(effect.frame)
+                else:
+                    self.events.schedule(
+                        send_delay,
+                        lambda frame=effect.frame: self.send(frame),
+                        label=f"service:{self.process_id}",
+                    )
+            elif isinstance(effect, StartTimer):
+                stale = self._timers.pop(effect.timer_id, None)
+                if stale is not None:
+                    stale.cancel()
+                    observer.emit(
+                        TIMER_CANCELLED, timer=effect.timer_id[0], reason="rearm"
+                    )
+                self._timers[effect.timer_id] = self.events.schedule(
+                    effect.delay,
+                    lambda tid=effect.timer_id: self._fire(tid),
+                    label=f"{self.process_id}:{effect.timer_id[0]}",
+                )
+                observer.emit(TIMER_ARMED, timer=effect.timer_id[0])
+            elif isinstance(effect, CancelTimer):
+                timer = self._timers.pop(effect.timer_id, None)
+                if timer is not None:
+                    timer.cancel()
+                    observer.emit(
+                        TIMER_CANCELLED, timer=effect.timer_id[0], reason="cancel"
+                    )
+            else:  # pragma: no cover - future effect kinds
+                raise TypeError(f"unknown effect {effect!r}")
+
+    def _fire(self, timer_id: TimerId) -> None:
+        self._timers.pop(timer_id, None)
+        self.logic.observer.emit(TIMER_FIRED, timer=timer_id[0])
+        self.run_effects(self.logic.on_timer(timer_id))
 
 
 class _EngineProcess(Process):
@@ -335,6 +376,10 @@ class ProxyProcess(_EngineProcess):
         max_batch: int = 64,
         flush_delay: float = 0.0,
         observer: Optional[EngineObserver] = None,
+        read_cache: int = 0,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        bounded_staleness: bool = False,
+        read_round_trips: int = 2,
     ) -> None:
         super().__init__(proxy_id, events, observer=observer)
         self.view = CachedShardView(shard_map)
@@ -346,6 +391,10 @@ class ProxyProcess(_EngineProcess):
             max_batch=max_batch,
             flush_delay=flush_delay,
             observer=self.observer,
+            read_cache=read_cache,
+            lease_ttl=lease_ttl,
+            bounded_staleness=bounded_staleness,
+            read_round_trips=read_round_trips,
         )
 
     @property
@@ -491,8 +540,14 @@ class SimKVCluster:
         trace_collector: Optional[TraceCollector] = None,
         drain_range_size: int = DRAIN_RANGE_SIZE,
         autoscale_interval: float = SIM_AUTOSCALE_INTERVAL,
+        read_cache: int = 0,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        bounded_staleness: bool = False,
     ) -> None:
         self.shard_map = shard_map
+        self.read_cache = read_cache
+        self.lease_ttl = lease_ttl
+        self.bounded_staleness = bounded_staleness
         self.events = EventQueue()
         self.network = Network(self.events, delay_model or ConstantDelay())
         self.recorder = KVHistoryRecorder(lambda: self.events.clock.now)
@@ -522,6 +577,7 @@ class SimKVCluster:
                     GroupServerEngine(
                         server_id, group.protocol, dict(hosted),
                         observer=self.hub.scoped("replica", server_id),
+                        lease_ttl=lease_ttl,
                     ),
                     self.events,
                     overhead=server_overhead,
@@ -529,6 +585,11 @@ class SimKVCluster:
                 )
                 replica.attach(self.network)
                 self.replicas[server_id] = replica
+        read_round_trips = max(
+            (group.protocol.read_round_trips
+             for group in shard_map.groups.values()),
+            default=2,
+        )
         self.proxies: Dict[str, ProxyProcess] = {}
         for index in range(1, num_proxies + 1):
             proxy = ProxyProcess(
@@ -539,6 +600,10 @@ class SimKVCluster:
                 max_batch=proxy_max_batch,
                 flush_delay=proxy_flush_delay,
                 observer=self.hub.scoped("proxy", f"p{index}"),
+                read_cache=read_cache,
+                lease_ttl=lease_ttl,
+                bounded_staleness=bounded_staleness,
+                read_round_trips=read_round_trips,
             )
             proxy.attach(self.network)
             self.proxies[proxy.process_id] = proxy
@@ -755,6 +820,30 @@ class SimKVCluster:
     def proxy_failovers(self) -> int:
         return sum(client.proxy_failovers for client in self.clients.values())
 
+    def proxy_drain_backoffs(self) -> int:
+        """Rounds the proxies parked behind a draining key range."""
+        return sum(p.engine.drain_backoffs for p in self.proxies.values())
+
+    def replica_read_subs(self) -> int:
+        """Replica-bound read sub-requests the proxies sent (the traffic the
+        read cache removes; counted with the cache off too, for the
+        baseline side of the comparison)."""
+        return sum(p.engine.read_subs_sent for p in self.proxies.values())
+
+    def cache_counters(self) -> Dict[str, int]:
+        """Aggregated read-cache/lease counters across both tiers."""
+        proxies = list(self.proxies.values())
+        replicas = list(self.replicas.values())
+        return {
+            "hits": sum(p.engine.cache_hits for p in proxies),
+            "misses": sum(p.engine.cache_misses for p in proxies),
+            "invalidations": sum(p.engine.cache_invalidations for p in proxies),
+            "proxy_lease_expiries": sum(p.engine.leases_expired for p in proxies),
+            "leases_granted": sum(r.logic.leases_granted for r in replicas),
+            "lease_expiries": sum(r.logic.leases_expired for r in replicas),
+            "write_deferrals": sum(r.logic.write_deferrals for r in replicas),
+        }
+
     def view_pushes_applied(self) -> int:
         return sum(proxy.view.pushes_applied for proxy in self.proxies.values())
 
@@ -801,6 +890,9 @@ def run_sim_kv_workload(
     autoscale: bool = False,
     drain_range_size: int = DRAIN_RANGE_SIZE,
     autoscale_interval: float = SIM_AUTOSCALE_INTERVAL,
+    read_cache: int = 0,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    bounded_staleness: bool = False,
 ) -> KVRunResult:
     """Run a closed-loop kv workload on the simulator and collect results.
 
@@ -828,6 +920,11 @@ def run_sim_kv_workload(
     group's hottest shard to the coldest group when the imbalance exceeds
     the ratio threshold; ``drain_range_size`` bounds the per-range cutover
     pause of every migration (autoscaler-launched or explicit).
+    ``read_cache`` (with ``use_proxy``) gives every proxy a lease-backed
+    hot-key read cache of that many entries; ``lease_ttl`` is the
+    server-side lease duration in virtual time units, and
+    ``bounded_staleness`` opts into serving expired-but-recent entries
+    (staleness bounded by ``lease_ttl``).
     """
     clients = workload.clients
     if shard_map is None:
@@ -859,6 +956,9 @@ def run_sim_kv_workload(
         trace_collector=trace_collector,
         drain_range_size=drain_range_size,
         autoscale_interval=autoscale_interval,
+        read_cache=read_cache,
+        lease_ttl=lease_ttl,
+        bounded_staleness=bounded_staleness,
     )
 
     if autoscale:
@@ -969,8 +1069,11 @@ def run_sim_kv_workload(
         proxy_stats=cluster.proxy_stats() if cluster.proxies else None,
         replica_frames=cluster.replica_request_frames(),
         replica_sub_ops=cluster.replica_sub_ops(),
+        replica_read_subs=cluster.replica_read_subs(),
         proxy_failovers=cluster.proxy_failovers(),
+        drain_backoffs=cluster.proxy_drain_backoffs(),
         view_pushes=cluster.view_pushes_applied(),
+        cache=cluster.cache_counters() if read_cache else None,
         proxy_kill=kill_record or None,
         metrics=cluster.metrics.snapshot(),
         autoscale=(

@@ -140,6 +140,18 @@ class KVRunResult:
     #: Sub-operations the replica tier fenced on a stale (shard, epoch) tag
     #: and bounced for replay -- the replica-side face of ``stale_replays``.
     stale_bounces: int = 0
+    #: Rounds the proxies parked on a backoff timer after bouncing off a
+    #: *draining* key range (distinct from stale replays, which re-route).
+    drain_backoffs: int = 0
+    #: Replica-bound sub-requests belonging to read operations that the
+    #: proxies sent -- the traffic the read cache removes.  Counted with the
+    #: cache off too (0 when clients connect direct), so a cache on/off pair
+    #: of runs compares like for like.
+    replica_read_subs: int = 0
+    #: Read-cache / lease counters ({"hits", "misses", "invalidations",
+    #: "proxy_lease_expiries", "leases_granted", "lease_expiries",
+    #: "write_deferrals"}) when the run enabled the proxy read cache.
+    cache: Optional[Dict[str, int]] = None
     #: Per-tier metrics snapshot (``MetricsRegistry.snapshot()``): counters,
     #: gauges, and latency/batch-size histograms keyed by tier.
     metrics: Optional[Dict[str, object]] = None
@@ -173,6 +185,20 @@ class KVRunResult:
         if self.completed_ops == 0:
             return 0.0
         return self.replica_frames / self.completed_ops
+
+    def read_subs_per_op(self) -> float:
+        """Replica-bound read sub-requests per completed operation -- the
+        benchmark metric the read cache is judged on."""
+        if self.completed_ops == 0:
+            return 0.0
+        return self.replica_read_subs / self.completed_ops
+
+    def cache_hit_rate(self) -> float:
+        """Cache hits / (hits + misses), 0.0 when the cache was off."""
+        if not self.cache:
+            return 0.0
+        looked_up = self.cache["hits"] + self.cache["misses"]
+        return self.cache["hits"] / looked_up if looked_up else 0.0
 
     def read_stats(self) -> LatencyStats:
         return summarize(self.read_latencies)

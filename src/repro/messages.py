@@ -77,6 +77,16 @@ __all__ = [
     "unpack_drain_install",
     "make_drain_complete",
     "unpack_drain_complete",
+    "LEASE_GRANT_KIND",
+    "LEASE_INVALIDATE_KIND",
+    "LEASE_RELEASE_KIND",
+    "DEFAULT_LEASE_TTL",
+    "make_lease_grant",
+    "unpack_lease_grant",
+    "make_lease_invalidate",
+    "unpack_lease_invalidate",
+    "make_lease_release",
+    "unpack_lease_release",
 ]
 
 _message_counter = itertools.count(1)
@@ -150,12 +160,22 @@ class SubRequest(NamedTuple):
     the belief is stale (shard not hosted, or epoch superseded by a resize or
     move), bouncing it back so the client re-resolves.  ``shard=None`` (the
     legacy single-shard form) is never considered fresh by a group server.
+
+    ``lease`` marks a sub-request that belongs to a *cache fill* of the
+    sending proxy's read cache: on a non-mutating sub it asks the server to
+    grant a read lease for the key (the grant rides back as a separate
+    ``"lease-grant"`` frame), and on a mutating sub (the fill's writeback
+    round) it exempts the sub from lease deferral -- a fill writeback can
+    only re-write a tag that already exists, so deferring it against the
+    filler's own lease would deadlock the fill.  The field is omitted from
+    the wire when unset, keeping legacy frames byte-identical.
     """
 
     key: str
     message: Message
     shard: Optional[str] = None
     epoch: int = 0
+    lease: bool = False
 
 
 #: What callers may pass to :func:`make_batch`: full route-tagged sub-requests
@@ -189,6 +209,8 @@ def _encode_sub_request(sub: SubRequest) -> Dict[str, Any]:
     if sub.shard is not None:
         entry["shard"] = sub.shard
         entry["epoch"] = sub.epoch
+    if sub.lease:
+        entry["lease"] = True
     return entry
 
 
@@ -210,6 +232,7 @@ def _decode_sub(receiver: str, entry: Dict[str, Any]) -> SubRequest:
         message=_decode_message(receiver, entry),
         shard=entry.get("shard"),
         epoch=entry.get("epoch", 0),
+        lease=bool(entry.get("lease", False)),
     )
 
 
@@ -618,3 +641,89 @@ def make_drain_complete(sender: str, receiver: str, mig: str, token: str,
 
 def unpack_drain_complete(message: Message) -> Dict[str, Any]:
     return _unpack_drain(message, DRAIN_COMPLETE_KIND)
+
+
+# -- lease frames (replica <-> proxy, server-assisted read caching) -------------
+#
+# The proxy-side hot-key read cache stays atomic because every cached entry
+# is backed by a bounded-duration read lease registered at the replicas that
+# served the fill:
+#
+#   grant      -> a replica that served a lease-marked read sub-request
+#                 confirms it registered the proxy as a lease holder for
+#                 those keys (one frame per served batch, keys coalesced);
+#   invalidate -> a replica that received a write for a leased key tells
+#                 every holder to drop its cached entry *now*; the write's
+#                 application (and its ack) is deferred until the holders
+#                 release or their leases expire;
+#   release    -> a holder gives the lease back -- its answer to an
+#                 invalidation, and also what it sends when it evicts an
+#                 entry on its own (LRU pressure, view change, self-expiry).
+#
+# All three carry a plain key list; ``ttl`` on the grant is the server-side
+# lease duration in the backend's time unit (the proxy self-expires earlier,
+# which is what makes the scheme safe under clock skew).
+
+#: Replica -> proxy: the replica registered read leases for these keys.
+LEASE_GRANT_KIND = "lease-grant"
+#: Replica -> lease holder: a write arrived, drop the cached entries now.
+LEASE_INVALIDATE_KIND = "lease-invalidate"
+#: Holder -> replica: the holder no longer claims leases on these keys.
+LEASE_RELEASE_KIND = "lease-release"
+
+#: Default server-side lease duration (the simulator's virtual time units;
+#: the asyncio backend configures a wall-clock-appropriate value).
+DEFAULT_LEASE_TTL = 60.0
+
+
+def _make_lease(sender: str, receiver: str, kind: str, keys: Sequence[str],
+                extra: Optional[Dict[str, Any]] = None) -> Message:
+    if not keys:
+        raise ValueError(f"a {kind} frame must name at least one key")
+    payload: Dict[str, Any] = {"keys": list(keys)}
+    if extra:
+        payload.update(extra)
+    return Message(sender=sender, receiver=receiver, kind=kind, payload=payload)
+
+
+def _unpack_lease(message: Message, kind: str,
+                  fields: Tuple[str, ...] = ()) -> Dict[str, Any]:
+    if message.kind != kind:
+        raise ValueError(f"not a {kind} frame: kind={message.kind!r}")
+    for field_name in ("keys",) + fields:
+        if field_name not in message.payload:
+            raise ValueError(f"{kind} frame is missing field {field_name!r}")
+    return message.payload
+
+
+def make_lease_grant(sender: str, receiver: str, keys: Sequence[str],
+                     ttl: float) -> Message:
+    """Confirm read leases on ``keys`` for holder ``receiver``, good for
+    ``ttl`` time units from the grant."""
+    if ttl <= 0:
+        raise ValueError("lease ttl must be positive")
+    return _make_lease(sender, receiver, LEASE_GRANT_KIND, keys, {"ttl": ttl})
+
+
+def unpack_lease_grant(message: Message) -> Dict[str, Any]:
+    return _unpack_lease(message, LEASE_GRANT_KIND, ("ttl",))
+
+
+def make_lease_invalidate(sender: str, receiver: str,
+                          keys: Sequence[str]) -> Message:
+    """Tell holder ``receiver`` to drop its cached entries for ``keys``."""
+    return _make_lease(sender, receiver, LEASE_INVALIDATE_KIND, keys)
+
+
+def unpack_lease_invalidate(message: Message) -> Dict[str, Any]:
+    return _unpack_lease(message, LEASE_INVALIDATE_KIND)
+
+
+def make_lease_release(sender: str, receiver: str,
+                       keys: Sequence[str]) -> Message:
+    """Give the leases on ``keys`` back to replica ``receiver``."""
+    return _make_lease(sender, receiver, LEASE_RELEASE_KIND, keys)
+
+
+def unpack_lease_release(message: Message) -> Dict[str, Any]:
+    return _unpack_lease(message, LEASE_RELEASE_KIND)

@@ -36,6 +36,11 @@ __all__ = [
     "FAILOVER_HOP",
     "BATCH_CUT",
     "SUB_SERVED",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "CACHE_INVALIDATE",
+    "LEASE_GRANTED",
+    "LEASE_EXPIRED",
     "DRAIN_STARTED",
     "DRAIN_COMPLETED",
     "DRAIN_RANGE_OPENED",
@@ -72,6 +77,16 @@ FAILOVER_HOP = "failover.hop"      # client abandoned a proxy for the next
 BATCH_CUT = "batch.cut"            # a batch was sealed for dispatch
 SUB_SERVED = "sub.served"          # replica served one sub-op
 
+# Read-cache lifecycle.  Hit/miss/invalidate are emitted by the proxy's
+# read cache; lease granted/expired by both sides of the lease protocol
+# (the proxy self-expires entries before the server-side deadline, so one
+# logical lease can produce an expiry event on each tier).
+CACHE_HIT = "cache.hit"            # proxy served a read from its cache
+CACHE_MISS = "cache.miss"          # proxy had to run the quorum round
+CACHE_INVALIDATE = "cache.invalidate"  # a cached entry was dropped
+LEASE_GRANTED = "lease.granted"    # a read lease was registered
+LEASE_EXPIRED = "lease.expired"    # a lease hit its deadline unreleased
+
 # Control-plane lifecycle (emitted by the ControlPlaneEngine): one started/
 # completed pair per migration, one opened/closed pair per drained key range
 # (their timestamp gap is the range's cutover pause), and one action event
@@ -88,6 +103,7 @@ EVENT_KINDS = (
     FRAME_SENT, FRAME_RECEIVED,
     TIMER_ARMED, TIMER_FIRED, TIMER_CANCELLED,
     STALE_BOUNCE, FAILOVER_HOP, BATCH_CUT, SUB_SERVED,
+    CACHE_HIT, CACHE_MISS, CACHE_INVALIDATE, LEASE_GRANTED, LEASE_EXPIRED,
     DRAIN_STARTED, DRAIN_COMPLETED,
     DRAIN_RANGE_OPENED, DRAIN_RANGE_CLOSED, AUTOSCALE_ACTION,
 )

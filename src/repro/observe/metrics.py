@@ -16,6 +16,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from .events import (
     AUTOSCALE_ACTION,
     BATCH_CUT,
+    CACHE_HIT,
+    CACHE_INVALIDATE,
+    CACHE_MISS,
     DRAIN_COMPLETED,
     DRAIN_RANGE_CLOSED,
     DRAIN_RANGE_OPENED,
@@ -23,6 +26,8 @@ from .events import (
     FAILOVER_HOP,
     FRAME_RECEIVED,
     FRAME_SENT,
+    LEASE_EXPIRED,
+    LEASE_GRANTED,
     OP_COMPLETED,
     OP_FAILED,
     OP_INVOKED,
@@ -228,11 +233,14 @@ _BASELINE_COUNTERS: Dict[str, Tuple[str, ...]] = {
     ),
     "proxy": (
         "rounds_opened", "rounds_closed", "stale_replays",
+        "cache_hits", "cache_misses", "cache_invalidations",
+        "leases_expired",
         "frames_sent", "frames_received",
         "timers_armed", "timers_fired", "timers_cancelled",
     ),
     "replica": (
         "subs_served", "stale_bounces",
+        "leases_granted", "leases_expired",
         "frames_sent", "frames_received",
     ),
     "control": (
@@ -265,6 +273,11 @@ _COUNTER_FOR_KIND = {
     STALE_BOUNCE: "stale_bounces",
     FAILOVER_HOP: "proxy_failovers",
     SUB_SERVED: "subs_served",
+    CACHE_HIT: "cache_hits",
+    CACHE_MISS: "cache_misses",
+    CACHE_INVALIDATE: "cache_invalidations",
+    LEASE_GRANTED: "leases_granted",
+    LEASE_EXPIRED: "leases_expired",
     DRAIN_STARTED: "drains_started",
     DRAIN_COMPLETED: "drains_completed",
     DRAIN_RANGE_CLOSED: "ranges_drained",
@@ -347,12 +360,15 @@ REQUIRED_TIER_KEYS: Dict[str, Dict[str, Tuple[str, ...]]] = {
     },
     "proxy": {
         "counters": ("rounds_opened", "rounds_closed", "stale_replays",
+                     "cache_hits", "cache_misses", "cache_invalidations",
+                     "leases_expired",
                      "frames_sent", "frames_received",
                      "timers_armed", "timers_fired", "timers_cancelled"),
         "histograms": ("op_latency", "batch_size"),
     },
     "replica": {
         "counters": ("subs_served", "stale_bounces",
+                     "leases_granted", "leases_expired",
                      "frames_sent", "frames_received"),
         "histograms": (),
     },

@@ -160,6 +160,12 @@ class RegisterProtocol(abc.ABC):
     read_round_trips: int = 2
     #: Whether the protocol supports multiple writers.
     multi_writer: bool = True
+    #: Server-message kinds that mutate register state.  The lease fence of
+    #: the proxy read cache keys on this: a mutating sub-request against a
+    #: leased key is deferred until the lease holders release, while pure
+    #: queries are served immediately.  Covers the tag/value protocols
+    #: ("update") and the value-vector family ("write").
+    mutating_kinds: frozenset = frozenset({"update", "write"})
 
     def __init__(self, servers: Sequence[str], max_faults: int, readers: int = 2,
                  writers: int = 2) -> None:

@@ -37,6 +37,22 @@ class TestParser:
         with pytest.raises(SystemExit, match="resize-to"):
             main(["kv", "--resize-after", "5"])
 
+    def test_kv_cache_defaults(self):
+        args = build_parser().parse_args(["kv"])
+        assert args.read_cache == 0
+        assert args.lease_ttl is None
+        assert args.bounded_staleness is False
+
+    def test_kv_read_cache_requires_proxies(self):
+        with pytest.raises(SystemExit, match="read-cache requires --proxies"):
+            main(["kv", "--read-cache", "32"])
+
+    def test_kv_lease_flags_require_read_cache(self):
+        with pytest.raises(SystemExit, match="require --read-cache"):
+            main(["kv", "--proxies", "1", "--lease-ttl", "5"])
+        with pytest.raises(SystemExit, match="require --read-cache"):
+            main(["kv", "--proxies", "1", "--bounded-staleness"])
+
 
 class TestCommands:
     def test_run_atomic_protocol_exit_zero(self, capsys):
@@ -128,7 +144,31 @@ class TestCommands:
         output = capsys.readouterr().out
         assert code == 0
         assert "proxy tier" not in output
+        assert "read cache" not in output
         assert "frames             :" in output
+
+    def test_kv_read_cache_reports_hits_and_invalidations(self, capsys):
+        code = main(["kv", "--shards", "4", "--groups", "2", "--clients", "4",
+                     "--ops", "12", "--keys", "6", "--proxies", "1",
+                     "--read-cache", "64", "--workload", "zipf:1.2",
+                     "--seed", "3"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "read cache         : " in output
+        assert "hit rate" in output
+        assert "lease expiries" in output
+        # The resilience line separates migration bounces from cache churn.
+        assert "drain bounces" in output
+        assert "cache invalidations" in output
+        assert "ATOMIC" in output
+
+    def test_kv_without_cache_still_reports_drain_bounces(self, capsys):
+        code = main(["kv", "--shards", "2", "--clients", "2", "--ops", "6",
+                     "--keys", "6"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "drain bounces" in output
+        assert "0 cache invalidations" in output
 
     def test_kv_seed_reproduces_a_sim_run_exactly(self, capsys):
         args = ["kv", "--shards", "2", "--clients", "2", "--ops", "8",

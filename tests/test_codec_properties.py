@@ -486,3 +486,126 @@ class TestDrainFrames:
             unpack_drain_transfer(
                 Message("a", "b", DRAIN_TRANSFER_KIND, {"mig": "m1"})
             )
+
+
+#: Key sets as the lease protocol carries them (grants, invalidations and
+#: releases all name at least one key).
+_lease_keys = st.lists(_ids, min_size=1, max_size=8)
+_lease_ttls = st.floats(min_value=0.001, max_value=1e6, allow_nan=False,
+                        allow_infinity=False)
+
+
+class TestLeaseFrames:
+    @_codec
+    @given(keys=_lease_keys, ttl=_lease_ttls)
+    def test_grant_round_trip_sim_codec(self, keys, ttl):
+        from repro.messages import (
+            LEASE_GRANT_KIND, make_lease_grant, unpack_lease_grant,
+        )
+
+        frame = make_lease_grant("g1-s1", "p1", keys, ttl)
+        assert frame.kind == LEASE_GRANT_KIND
+        recovered = unpack_lease_grant(frame)
+        assert recovered["keys"] == list(keys)
+        assert recovered["ttl"] == ttl
+
+    @_codec
+    @given(keys=_lease_keys, ttl=_lease_ttls)
+    def test_grant_survives_the_wire(self, keys, ttl):
+        from repro.asyncio_net.codec import (
+            decode_lease_grant_frame, encode_lease_grant_frame,
+        )
+
+        # The ttl must survive bit-exactly: a proxy computing its
+        # self-expiry point from a mangled ttl could serve a cached value
+        # past the deadline the replicas unblock writers at.
+        encoded = encode_lease_grant_frame("g1-s1", "p1", keys, ttl)
+        decoded = decode_lease_grant_frame(encoded[4:])
+        assert decoded["keys"] == list(keys)
+        assert decoded["ttl"] == ttl
+
+    @_codec
+    @given(keys=_lease_keys)
+    def test_invalidate_survives_the_wire(self, keys):
+        from repro.asyncio_net.codec import (
+            decode_lease_invalidate_frame, encode_lease_invalidate_frame,
+        )
+        from repro.messages import make_lease_invalidate, unpack_lease_invalidate
+
+        frame = make_lease_invalidate("g1-s1", "p1", keys)
+        assert unpack_lease_invalidate(frame)["keys"] == list(keys)
+        encoded = encode_lease_invalidate_frame("g1-s1", "p1", keys)
+        assert decode_lease_invalidate_frame(encoded[4:])["keys"] == list(keys)
+
+    @_codec
+    @given(keys=_lease_keys)
+    def test_release_survives_the_wire(self, keys):
+        from repro.asyncio_net.codec import (
+            decode_lease_release_frame, encode_lease_release_frame,
+        )
+        from repro.messages import make_lease_release, unpack_lease_release
+
+        frame = make_lease_release("p1", "g1-s1", keys)
+        assert unpack_lease_release(frame)["keys"] == list(keys)
+        encoded = encode_lease_release_frame("p1", "g1-s1", keys)
+        assert decode_lease_release_frame(encoded[4:])["keys"] == list(keys)
+
+    def test_empty_keys_rejected(self):
+        from repro.messages import (
+            make_lease_grant, make_lease_invalidate, make_lease_release,
+        )
+
+        with pytest.raises(ValueError, match="at least one key"):
+            make_lease_grant("s", "p", [], 1.0)
+        with pytest.raises(ValueError, match="at least one key"):
+            make_lease_invalidate("s", "p", [])
+        with pytest.raises(ValueError, match="at least one key"):
+            make_lease_release("p", "s", [])
+
+    def test_non_positive_ttl_rejected(self):
+        from repro.messages import make_lease_grant
+
+        with pytest.raises(ValueError, match="positive"):
+            make_lease_grant("s", "p", ["k"], 0.0)
+        with pytest.raises(ValueError, match="positive"):
+            make_lease_grant("s", "p", ["k"], -1.0)
+
+    def test_unpack_wrong_kind_rejected(self):
+        from repro.messages import (
+            unpack_lease_grant, unpack_lease_invalidate, unpack_lease_release,
+        )
+
+        for unpack in (unpack_lease_grant, unpack_lease_invalidate,
+                       unpack_lease_release):
+            with pytest.raises(ValueError, match="not a lease-"):
+                unpack(Message("a", "b", "query"))
+
+    def test_grant_missing_ttl_rejected(self):
+        from repro.messages import LEASE_GRANT_KIND, unpack_lease_grant
+
+        with pytest.raises(ValueError, match="missing field"):
+            unpack_lease_grant(
+                Message("a", "b", LEASE_GRANT_KIND, {"keys": ["k"]})
+            )
+
+    @_codec
+    @given(subs=st.lists(_sub_requests, min_size=1, max_size=5))
+    def test_leaseless_batches_stay_byte_identical(self, subs):
+        # A batch whose subs never ask for a lease must encode exactly as
+        # it did before the field existed: no "lease" key anywhere in the
+        # frame (same cross-version property the trace field keeps).
+        batch = make_batch(
+            "client", "server", [sub._replace(lease=False) for sub in subs]
+        )
+        for op in json.loads(encode_message(batch)[4:])["payload"]["ops"]:
+            assert "lease" not in op
+
+    @_codec
+    @given(subs=st.lists(_sub_requests, min_size=1, max_size=5))
+    def test_lease_marked_subs_round_trip(self, subs):
+        marked = [sub._replace(lease=(index % 2 == 0))
+                  for index, sub in enumerate(subs)]
+        batch = make_batch("client", "server", marked)
+        recovered = unpack_batch(decode_message(encode_message(batch)[4:]))
+        assert [sub.lease for sub in recovered] == \
+            [sub.lease for sub in marked]

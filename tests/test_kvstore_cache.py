@@ -1,0 +1,313 @@
+"""Tests for the proxy read cache and its server-assisted leases.
+
+Three layers of scrutiny:
+
+* **Unit** -- scripted runs on the pure in-memory fabric pin the cache
+  state machine: hits serve locally, concurrent readers share one fill,
+  writes behind held leases defer until every holder acks the
+  invalidation, lease expiry evicts on both sides, bounded-staleness mode
+  serves (and then drops) expired entries, and the LRU bound holds.
+* **Simulation** -- full zipf workloads check the headline perf claim
+  (hot-key reads cut replica read sub-ops several-fold) and that
+  atomicity survives the cache under writes, proxy kills, and concurrent
+  shard drains; bounded-staleness runs are checked against the staleness
+  meter's time-lag bound.
+* **Asyncio** -- a proxy crash while it holds leases must not wedge
+  writers: server-side lease timers expire the dead holder and release
+  the deferred write acks within the lease TTL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+
+from test_kvstore_engine import MemoryFabric, build_memory_stack, run_script
+
+from repro.consistency import measure_staleness
+from repro.core.operations import OpKind
+from repro.kvstore import (
+    AsyncKVCluster,
+    KVStore,
+    ShardMap,
+    check_per_key_atomicity,
+    generate_workload,
+    run_sim_kv_workload,
+)
+from repro.kvstore.engine import SIM_RETRY_POLICY, ClientSessionEngine
+
+
+def run_until(fabric: MemoryFabric, deadline: float) -> None:
+    """Drain the fabric's event heap up to ``deadline`` (exclusive).
+
+    Lease and stale-entry timers fire hundreds of fabric units after a
+    short script finishes; stepping the clock part-way lets a test observe
+    the cache *while* leases are live, which ``MemoryFabric.run`` (run to
+    quiescence) cannot.
+    """
+    while fabric._heap and fabric._heap[0][0] < deadline:
+        fabric.now, _, action = heapq.heappop(fabric._heap)
+        action()
+
+
+def issue(fabric, client, kind, key, value, sink):
+    """Fire one op and record its outcome value under the client's id."""
+    op_id, effects = client.invoke(kind, key, value)
+    fabric.callbacks[op_id] = lambda outcome: sink.setdefault(
+        client.client_id, outcome.value
+    )
+    fabric.execute(client.client_id, effects)
+
+
+class TestCacheUnit:
+    def test_repeat_read_is_served_from_cache(self):
+        _, fabric, client, proxy, recorder = build_memory_stack(
+            use_proxy=True, read_cache=8
+        )
+        outcomes = run_script(fabric, client, [
+            (OpKind.WRITE, "k", "v1"),
+            (OpKind.READ, "k", None),
+            (OpKind.READ, "k", None),
+        ])
+        assert [o.value for o in outcomes] == ["v1", "v1", "v1"]
+        assert proxy.cache_misses == 1
+        assert proxy.cache_hits == 1
+        # The miss paid one full read round (2 round trips x 3 replicas in
+        # the default map); the hit paid nothing.
+        assert proxy.read_subs_sent == 6
+        assert check_per_key_atomicity(recorder.histories()).all_atomic
+
+    def test_concurrent_readers_share_one_fill(self):
+        _, fabric, client, proxy, recorder = build_memory_stack(
+            use_proxy=True, read_cache=8, num_clients=2
+        )
+        run_script(fabric, client, [(OpKind.WRITE, "k", "v0")])
+        other = fabric._engines["c2"]
+        seen = {}
+        issue(fabric, client, OpKind.READ, "k", None, seen)
+        issue(fabric, other, OpKind.READ, "k", None, seen)
+        subs_before = proxy.read_subs_sent
+        fabric.run()
+        assert seen == {"c1": "v0", "c2": "v0"}
+        # Single-flight: the second read joined the first's fill instead of
+        # starting its own -- at most one read round's worth of sub-ops.
+        one_round = 2 * 3  # read_round_trips x replicas in the default map
+        assert proxy.read_subs_sent - subs_before <= one_round
+        assert check_per_key_atomicity(recorder.histories()).all_atomic
+
+    def test_write_invalidates_cached_entry(self):
+        _, fabric, client, proxy, recorder = build_memory_stack(
+            use_proxy=True, read_cache=8
+        )
+        outcomes = run_script(fabric, client, [
+            (OpKind.WRITE, "k", "v1"),
+            (OpKind.READ, "k", None),
+            (OpKind.WRITE, "k", "v2"),
+            (OpKind.READ, "k", None),
+        ])
+        assert [o.value for o in outcomes] == ["v1", "v1", "v2", "v2"]
+        assert proxy.cache_invalidations >= 1
+        assert proxy.cache_misses == 2  # the post-write read refilled
+        assert check_per_key_atomicity(recorder.histories()).all_atomic
+
+    def test_direct_writer_defers_until_invalidation(self):
+        shard_map, fabric, client, proxy, recorder = build_memory_stack(
+            use_proxy=True, read_cache=8
+        )
+        # A second client that talks to the replicas directly, bypassing
+        # the proxy -- the path that *must* observe the leases.
+        direct = ClientSessionEngine(
+            "d1", shard_map, recorder, policy=SIM_RETRY_POLICY
+        )
+        fabric.register("d1", direct)
+        seen = {}
+        issue(fabric, client, OpKind.WRITE, "k", "v1", seen)
+        run_until(fabric, 50.0)
+        issue(fabric, client, OpKind.READ, "k", None, seen)
+        run_until(fabric, 100.0)
+        servers = [
+            fabric._engines[sid]
+            for sid in shard_map.groups["g1"].servers
+        ]
+        assert any(s.lease_holders("k") for s in servers)
+        issue(fabric, direct, OpKind.WRITE, "k", "v2", seen)
+        run_until(fabric, 200.0)
+        # The write completed -- but only after the replicas chased the
+        # proxy's lease with invalidations and the proxy dropped its entry.
+        assert seen["d1"] == "v2"
+        assert sum(s.write_deferrals for s in servers) >= 1
+        assert proxy.cache_invalidations >= 1
+        assert not any(s.lease_holders("k") for s in servers)
+        fabric.run()
+        assert check_per_key_atomicity(recorder.histories()).all_atomic
+
+    def test_lease_expiry_evicts_and_releases(self):
+        shard_map, fabric, client, proxy, _ = build_memory_stack(
+            use_proxy=True, read_cache=8, lease_ttl=40.0
+        )
+        seen = {}
+        issue(fabric, client, OpKind.WRITE, "k", "v1", seen)
+        run_until(fabric, 10.0)
+        issue(fabric, client, OpKind.READ, "k", None, seen)
+        run_until(fabric, 20.0)
+        assert proxy._cache is not None and proxy._cache.peek("k") is not None
+        # The proxy self-expires at ttl/2 past the fill; give the release
+        # frames a hop to reach the replicas.
+        run_until(fabric, 100.0)
+        assert proxy.leases_expired >= 1
+        assert proxy._cache.peek("k") is None
+        servers = [
+            fabric._engines[sid] for sid in shard_map.groups["g1"].servers
+        ]
+        assert not any(s.lease_holders("k") for s in servers)
+
+    def test_bounded_staleness_serves_then_drops_expired_entry(self):
+        shard_map, fabric, client, proxy, recorder = build_memory_stack(
+            use_proxy=True, read_cache=8, lease_ttl=100.0,
+            bounded_staleness=True,
+        )
+        direct = ClientSessionEngine(
+            "d1", shard_map, recorder, policy=SIM_RETRY_POLICY
+        )
+        fabric.register("d1", direct)
+        seen = {}
+        issue(fabric, client, OpKind.WRITE, "k", "v1", seen)
+        run_until(fabric, 10.0)
+        issue(fabric, client, OpKind.READ, "k", None, seen)
+        run_until(fabric, 20.0)
+        fill_hits = proxy.cache_hits
+        # Step past the proxy-side expiry (ttl/2 after the fill): in
+        # bounded mode the entry goes stale instead of being evicted, and
+        # the leases are released -- so a direct write sails through...
+        run_until(fabric, 80.0)
+        issue(fabric, direct, OpKind.WRITE, "k", "v2", seen)
+        run_until(fabric, 90.0)
+        assert seen["d1"] == "v2"
+        # ...and a proxied read in the stale window still answers from the
+        # (now old) entry: bounded staleness trades freshness for latency.
+        stale_seen = {}
+        issue(fabric, client, OpKind.READ, "k", None, stale_seen)
+        run_until(fabric, 95.0)
+        assert stale_seen["c1"] == "v1"
+        assert proxy.cache_hits == fill_hits + 1
+        # At the full TTL the stale grace ends and the entry is dropped.
+        fabric.run()
+        assert proxy._cache.peek("k") is None
+        # The stale read is exactly what the staleness meter must flag --
+        # one version behind, but never older than the lease TTL.
+        report = measure_staleness(recorder.histories()["k"])
+        assert report.max_version_lag >= 1
+        assert report.max_time_lag is not None
+
+    def test_lru_bound_holds_under_more_keys_than_slots(self):
+        _, fabric, client, proxy, _ = build_memory_stack(
+            use_proxy=True, read_cache=2
+        )
+        seen = {}
+        for index, key in enumerate(["a", "b", "c"]):
+            issue(fabric, client, OpKind.WRITE, key, f"v{index}", seen)
+            run_until(fabric, fabric.now + 30.0)
+            issue(fabric, client, OpKind.READ, key, None, seen)
+            run_until(fabric, fabric.now + 30.0)
+        assert len(proxy._cache) <= 2
+        assert proxy._cache.peek("a") is None  # least recently used, evicted
+
+
+class TestCacheSim:
+    def test_zipf_hot_reads_cut_replica_read_subs(self):
+        workload = generate_workload(
+            num_clients=8, ops_per_client=120, num_keys=32,
+            read_fraction=0.9, key_skew=1.2, seed=11,
+        )
+        shape = dict(
+            num_shards=4, num_groups=2, use_proxy=True, num_proxies=1,
+        )
+        cold = run_sim_kv_workload(workload, **shape)
+        warm = run_sim_kv_workload(
+            workload, read_cache=128, lease_ttl=480.0, **shape
+        )
+        assert cold.check().all_atomic and warm.check().all_atomic
+        assert warm.cache is not None and warm.cache["hits"] > 0
+        ratio = cold.read_subs_per_op() / warm.read_subs_per_op()
+        assert ratio >= 3.0, (
+            f"cached reads only cut replica read sub-ops by {ratio:.2f}x "
+            f"(hit rate {warm.cache_hit_rate():.1%})"
+        )
+
+    def test_cache_stays_atomic_under_kill_and_drain(self):
+        workload = generate_workload(
+            num_clients=6, ops_per_client=60, num_keys=24,
+            read_fraction=0.7, key_skew=1.1, seed=7,
+        )
+        result = run_sim_kv_workload(
+            workload, num_shards=4, num_groups=2, use_proxy=True,
+            num_proxies=2, read_cache=64, lease_ttl=480.0,
+            kill_proxy_after_ops=80, resize_to=6,
+        )
+        assert result.check().all_atomic
+        assert result.completed_ops == 6 * 60
+        assert result.cache is not None
+        assert result.cache["invalidations"] >= 0
+
+    def test_bounded_staleness_time_lag_stays_under_ttl(self):
+        lease_ttl = 60.0
+        workload = generate_workload(
+            num_clients=6, ops_per_client=80, num_keys=8,
+            read_fraction=0.8, key_skew=1.0, seed=3,
+        )
+        result = run_sim_kv_workload(
+            workload, num_shards=2, num_groups=1, use_proxy=True,
+            num_proxies=1, read_cache=64, lease_ttl=lease_ttl,
+            bounded_staleness=True,
+        )
+        assert result.completed_ops == 6 * 80
+        lags = []
+        for history in result.histories.values():
+            report = measure_staleness(history)
+            if report.max_time_lag is not None:
+                lags.append(report.max_time_lag)
+        # Stale serving ends at the lease TTL; no read may return a value
+        # older than that, whatever the interleaving.
+        assert all(lag <= lease_ttl for lag in lags)
+
+
+class TestLeaseCrashAsyncio:
+    def test_proxy_crash_unblocks_writers_within_lease_ttl(self):
+        lease_ttl = 0.5
+
+        async def scenario():
+            shard_map = ShardMap(1, num_groups=1, readers=2, writers=2)
+            cluster = AsyncKVCluster(shard_map, lease_ttl=lease_ttl)
+            await cluster.start()
+            await cluster.start_proxies(1, read_cache=8)
+            proxy_id = next(iter(cluster.proxies))
+            reader = KVStore(cluster, client_id="c1", use_proxy=proxy_id)
+            await reader.connect()
+            await reader.put("k", "v1")
+            assert await reader.get("k") == "v1"
+            logics = list(cluster.server_logics.values())
+            assert any(l.lease_holders("k") for l in logics)
+            # Kill the proxy while it holds leases on "k".  Nothing will
+            # ever ack an invalidation for those leases; only the replicas'
+            # own lease timers can clear them.
+            await cluster.kill_proxy(proxy_id)
+            writer = KVStore(cluster, client_id="c2")
+            await writer.connect()
+            start = time.monotonic()
+            outcome = await writer.put("k", "v2")
+            elapsed = time.monotonic() - start
+            assert outcome.value == "v2"
+            # The write was deferred behind the dead proxy's leases and
+            # released by server-side expiry -- well before the proxy
+            # round-timeout machinery would have given up.
+            assert elapsed < lease_ttl + 1.5
+            assert sum(l.write_deferrals for l in logics) >= 1
+            assert sum(l.leases_expired for l in logics) >= 1
+            assert not any(l.lease_holders("k") for l in logics)
+            assert await writer.get("k") == "v2"
+            await writer.close()
+            await reader.close()
+            await cluster.stop()
+
+        asyncio.run(scenario())

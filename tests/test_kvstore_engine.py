@@ -150,14 +150,20 @@ class MemoryFabric:
             action()
 
 
-def build_memory_stack(num_shards=1, num_groups=1, use_proxy=False, hub=None):
+def build_memory_stack(num_shards=1, num_groups=1, use_proxy=False, hub=None,
+                       read_cache=0, lease_ttl=1000.0, bounded_staleness=False,
+                       num_clients=1):
     """A full client/proxy/servers stack wired through a MemoryFabric.
 
     ``hub`` optionally attaches an :class:`~repro.observe.ObserverHub`: every
     engine gets a scoped observer and the fabric emits timer lifecycle events
-    the way the real adapters do.
+    the way the real adapters do.  ``read_cache`` arms the proxy's
+    lease-backed read cache (the default ``lease_ttl`` of 1000 fabric units
+    keeps expiry out of short scripts; shrink it to exercise the timers).
+    ``num_clients`` > 1 registers extra clients ``c2..cN`` sharing the proxy.
     """
-    shard_map = ShardMap(num_shards, num_groups=num_groups, readers=1, writers=1)
+    shard_map = ShardMap(num_shards, num_groups=num_groups,
+                         readers=num_clients, writers=num_clients)
     fabric = MemoryFabric()
     if hub is not None:
         hub.clock = lambda: fabric.now
@@ -176,17 +182,35 @@ def build_memory_stack(num_shards=1, num_groups=1, use_proxy=False, hub=None):
             fabric.register(
                 server_id,
                 GroupServerEngine(server_id, group.protocol, dict(hosted),
-                                  observer=observer),
+                                  observer=observer, lease_ttl=lease_ttl),
                 observer=observer,
             )
     proxy = None
     if use_proxy:
         proxy_observer = scoped("proxy", "p1")
+        read_round_trips = max(
+            (group.protocol.read_round_trips
+             for group in shard_map.groups.values()),
+            default=2,
+        )
         proxy = ProxyEngine(
             "p1", CachedShardView(shard_map), policy=SIM_RETRY_POLICY,
             observer=proxy_observer,
+            read_cache=read_cache, lease_ttl=lease_ttl,
+            bounded_staleness=bounded_staleness,
+            read_round_trips=read_round_trips,
         )
         fabric.register("p1", proxy, observer=proxy_observer)
+    for extra in range(2, num_clients + 1):
+        extra_id = f"c{extra}"
+        extra_client = ClientSessionEngine(
+            extra_id, shard_map, recorder, policy=SIM_RETRY_POLICY,
+            proxy_candidates=["p1"] if use_proxy else [],
+            observer=scoped("client", extra_id),
+        )
+        fabric.register(extra_id, extra_client, observer=scoped("client", extra_id))
+        if use_proxy:
+            fabric.execute(extra_id, extra_client.on_connected("p1"))
     client_observer = scoped("client", "c1")
     client = ClientSessionEngine(
         "c1",
@@ -202,8 +226,13 @@ def build_memory_stack(num_shards=1, num_groups=1, use_proxy=False, hub=None):
     return shard_map, fabric, client, proxy, recorder
 
 
-def run_script(fabric, client, script):
-    """Issue ``(kind, key, value)`` ops closed-loop through the fabric."""
+def run_script(fabric, client, script, on_all_done=None):
+    """Issue ``(kind, key, value)`` ops closed-loop through the fabric.
+
+    ``on_all_done`` fires at the final operation's completion -- *before*
+    the fabric drains trailing timers -- so callers can snapshot state at
+    the moment the script (not the run) ends.
+    """
     remaining = list(script)
     outcomes = []
 
@@ -211,6 +240,8 @@ def run_script(fabric, client, script):
         if _outcome is not None:
             outcomes.append(_outcome)
         if not remaining:
+            if len(outcomes) == len(script) and on_all_done is not None:
+                on_all_done()
             return
         kind, key, value = remaining.pop(0)
         op_id, effects = client.invoke(kind, key, value)
@@ -228,6 +259,21 @@ SCRIPT = [
     (OpKind.READ, "alpha", None),
     (OpKind.READ, "beta", None),
     (OpKind.WRITE, "alpha", "v3"),
+    (OpKind.READ, "alpha", None),
+]
+
+#: The cached-read variant: repeat reads (the second of each pair is a cache
+#: hit behind a read-cache proxy) interleaved with writes that invalidate.
+CACHED_SCRIPT = [
+    (OpKind.WRITE, "alpha", "v1"),
+    (OpKind.READ, "alpha", None),
+    (OpKind.READ, "alpha", None),
+    (OpKind.WRITE, "alpha", "v2"),
+    (OpKind.READ, "alpha", None),
+    (OpKind.READ, "alpha", None),
+    (OpKind.WRITE, "beta", "v3"),
+    (OpKind.READ, "beta", None),
+    (OpKind.READ, "beta", None),
     (OpKind.READ, "alpha", None),
 ]
 
@@ -280,33 +326,47 @@ def tap(engine, trace):
         setattr(engine, name, wrapper)
 
 
-def memory_trace(use_proxy=False, hub=None):
+def memory_trace(use_proxy=False, hub=None, script=SCRIPT, read_cache=0):
     _, fabric, client, proxy, recorder = build_memory_stack(
-        use_proxy=use_proxy, hub=hub
+        use_proxy=use_proxy, hub=hub, read_cache=read_cache
     )
     client_trace, proxy_trace = [], []
     tap(client, client_trace)
     if proxy is not None:
         tap(proxy, proxy_trace)
-    run_script(fabric, client, SCRIPT)
+    # Snapshot the traces at the last completion: trailing lease timers
+    # firing at virtual-clock quiescence are run-length artifacts (the
+    # wall-clock backend cancels them at shutdown instead), not script
+    # behaviour.
+    cut = {}
+    run_script(fabric, client, script,
+               on_all_done=lambda: cut.update(
+                   client=len(client_trace), proxy=len(proxy_trace)))
     verdict = check_per_key_atomicity(recorder.histories())
     assert verdict.all_atomic, verdict.summary()
-    return client_trace, proxy_trace
+    return (client_trace[: cut.get("client")],
+            proxy_trace[: cut.get("proxy")])
 
 
-def sim_trace(use_proxy=False):
+def sim_trace(use_proxy=False, script=SCRIPT, read_cache=0):
     shard_map = ShardMap(1, num_groups=1, readers=1, writers=1)
     cluster = SimKVCluster(
-        shard_map, ["c1"], num_proxies=1 if use_proxy else 0
+        shard_map, ["c1"], num_proxies=1 if use_proxy else 0,
+        read_cache=read_cache, lease_ttl=1000.0,
     )
     client_trace, proxy_trace = [], []
     tap(cluster.clients["c1"].engine, client_trace)
     if use_proxy:
         tap(cluster.proxies["p1"].engine, proxy_trace)
-    remaining = list(SCRIPT)
+    remaining = list(script)
+    cut = {}
 
     def issue_next(_outcome=None) -> None:
         if not remaining:
+            # Same snapshot as the memory harness: the script is over; what
+            # the virtual clock drains afterwards is not its behaviour.
+            cut.setdefault("client", len(client_trace))
+            cut.setdefault("proxy", len(proxy_trace))
             return
         kind, key, value = remaining.pop(0)
         if kind is OpKind.WRITE:
@@ -318,20 +378,21 @@ def sim_trace(use_proxy=False):
     cluster.run()
     verdict = check_per_key_atomicity(cluster.recorder.histories())
     assert verdict.all_atomic, verdict.summary()
-    return client_trace, proxy_trace
+    return (client_trace[: cut.get("client")],
+            proxy_trace[: cut.get("proxy")])
 
 
-def asyncio_trace(use_proxy=False):
+def asyncio_trace(use_proxy=False, script=SCRIPT, read_cache=0):
     import asyncio
 
     from repro.kvstore import AsyncKVCluster, KVStore
 
     async def scenario():
         shard_map = ShardMap(1, num_groups=1, readers=1, writers=1)
-        cluster = AsyncKVCluster(shard_map)
+        cluster = AsyncKVCluster(shard_map, lease_ttl=1000.0)
         await cluster.start()
         if use_proxy:
-            await cluster.start_proxies(1)
+            await cluster.start_proxies(1, read_cache=read_cache)
         store = KVStore(cluster, client_id="c1", use_proxy="p1" if use_proxy else None)
         await store.connect()
         client_trace, proxy_trace = [], []
@@ -339,7 +400,7 @@ def asyncio_trace(use_proxy=False):
         if use_proxy:
             tap(cluster.proxies["p1"].engine, proxy_trace)
         try:
-            for kind, key, value in SCRIPT:
+            for kind, key, value in script:
                 if kind is OpKind.WRITE:
                     await store.put(key, value)
                 else:
@@ -383,6 +444,36 @@ class TestCrossBackendEquivalence:
         assert all(dest == "p1" for kind, dest, _ in memory_client if kind == "send")
         assert any(dest.startswith("g1-") for kind, dest, _ in memory_proxy
                    if kind == "send")
+
+    def test_cached_read_effect_sequences_are_identical(self):
+        # The lease-backed read cache changes what the proxy sends (grant
+        # releases, fewer replica rounds) -- but it must change it the SAME
+        # way on every backend.  Lease ttl is 1000 units/seconds in all
+        # three stacks, so no expiry timer fires mid-script and the traces
+        # are timer-free protocol behaviour only.
+        memory_client, memory_proxy = memory_trace(
+            use_proxy=True, script=CACHED_SCRIPT, read_cache=8
+        )
+        sim_client, sim_proxy = sim_trace(
+            use_proxy=True, script=CACHED_SCRIPT, read_cache=8
+        )
+        net_client, net_proxy = asyncio_trace(
+            use_proxy=True, script=CACHED_SCRIPT, read_cache=8
+        )
+        assert memory_client == sim_client == net_client
+        assert memory_proxy == sim_proxy == net_proxy
+        # The cache really served repeat reads: the proxy sent fewer read
+        # sub-rounds than the uncached run of the same script needs.
+        uncached_client, uncached_proxy = memory_trace(
+            use_proxy=True, script=CACHED_SCRIPT, read_cache=0
+        )
+        def replica_sends(trace):
+            return sum(1 for kind, dest, _ in trace
+                       if kind == "send" and dest.startswith("g1-"))
+        assert replica_sends(memory_proxy) < replica_sends(uncached_proxy)
+        # And every operation still completed through the client.
+        assert sum(1 for kind, *_ in memory_client if kind == "done") == \
+            len(CACHED_SCRIPT)
 
     def test_memory_stack_survives_a_live_resize_with_delta_push(self):
         shard_map, fabric, client, proxy, recorder = build_memory_stack(
