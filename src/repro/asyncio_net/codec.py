@@ -199,10 +199,11 @@ def decode_drain_install_frame(body: bytes) -> Dict[str, Any]:
 
 
 def encode_lease_grant_frame(
-    sender: str, receiver: str, keys: Sequence[str], ttl: float
+    sender: str, receiver: str, keys: Sequence[str], ttl: float,
+    nonces: Sequence[str],
 ) -> bytes:
     """One read-lease grant (replica -> proxy) as a wire frame."""
-    return encode_message(make_lease_grant(sender, receiver, keys, ttl))
+    return encode_message(make_lease_grant(sender, receiver, keys, ttl, nonces))
 
 
 def decode_lease_grant_frame(body: bytes) -> Dict[str, Any]:

@@ -138,8 +138,17 @@ class ReplicaServer:
             pass  # peer vanished mid-write; the connection is done either way
         finally:
             self._connections.discard(writer)
-            for peer, peer_writer in list(self._peers.items()):
-                if peer_writer is writer:
+            # Only unmap peers still pointing at *this* connection: if the
+            # peer reconnected while this handler was winding down, the
+            # mapping already names the new writer and must survive, or
+            # out-of-band frames (lease invalidations, deferred acks) would
+            # silently drop until the peer's next inbound frame.
+            stale_peers = [
+                peer for peer, peer_writer in list(self._peers.items())
+                if peer_writer is writer
+            ]
+            for peer in stale_peers:
+                if self._peers.get(peer) is writer:
                     del self._peers[peer]
             writer.close()
             try:

@@ -54,7 +54,11 @@ class CacheEntry:
     fill the entry (its later round-trips are recognized by this identity
     and ride with the lease mark); ``fill_pending`` back-references the
     fill's in-flight round so an eviction can detach it (the round then
-    completes as an ordinary leaseless read).  ``stale`` flips when the
+    completes as an ordinary leaseless read).  ``nonce`` is the entry's
+    unique fill identity: it rides in the lease mark of every fill
+    sub-request and is echoed by ``"lease-grant"`` frames, so a delayed
+    grant meant for an evicted predecessor entry of the same key is never
+    credited to this one.  ``stale`` flips when the
     proxy-side lease deadline passes in bounded-staleness mode: the lease
     is handed back (writers stop blocking on us) but the entry keeps
     serving until the staleness budget runs out.
@@ -65,6 +69,7 @@ class CacheEntry:
     wait_for: int = 0
     fill_client: str = ""
     fill_op_id: str = ""
+    nonce: str = ""
     fill_pending: Optional[Any] = None
     grants: Set[str] = field(default_factory=set)
     rounds: Dict[int, List[Message]] = field(default_factory=dict)

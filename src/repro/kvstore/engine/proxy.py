@@ -165,6 +165,9 @@ class ProxyEngine:
         self._pending: Dict[Tuple[str, int], _ProxyPending] = {}
         self._queues: Dict[str, List[_ProxyPending]] = {}
         self._flush_scheduled: Set[str] = set()
+        #: Monotonic fill counter: combined with the fill op id it makes
+        #: each cache entry's lease nonce unique across this proxy's life.
+        self._fill_seq = 0
         # -- read cache (0 capacity disables it entirely) -----------------------
         self._cache: Optional[ReadCache] = (
             ReadCache(read_cache) if read_cache else None
@@ -320,7 +323,11 @@ class ProxyEngine:
         self.observer.emit(
             CACHE_MISS, op_id=sub.op_id, key=sub.key, trace=sub.trace
         )
-        entry = CacheEntry(key=sub.key, fill_client=client, fill_op_id=sub.op_id)
+        self._fill_seq += 1
+        entry = CacheEntry(
+            key=sub.key, fill_client=client, fill_op_id=sub.op_id,
+            nonce=f"{sub.op_id}/{self._fill_seq}",
+        )
         pending.fill_entry = entry
         entry.fill_pending = pending
         try:
@@ -453,17 +460,24 @@ class ProxyEngine:
         )
         payload = unpack_lease_grant(message)
         orphaned: List[str] = []
-        for key in payload["keys"]:
+        for key, nonce in zip(payload["keys"], payload["nonces"]):
             entry = self._cache.peek(key) if self._cache is not None else None
             if (entry is not None and not entry.stale
+                    and entry.nonce == nonce
                     and entry.route is not None
                     and message.sender in entry.route.servers):
                 entry.grants.add(message.sender)
-            else:
+            elif entry is None or entry.stale:
                 # The entry died before the grant landed (eviction raced the
                 # fill): hand the lease straight back so the replica does
                 # not defer writers against a ghost holder for a full TTL.
                 orphaned.append(key)
+            # else: a delayed grant for an evicted *predecessor* entry of
+            # the key crossed that entry's release on the wire.  Drop it --
+            # crediting it would count a lease the replica is about to
+            # clear, and releasing again could race ahead and clear the
+            # live fill's fresh lease instead.  The predecessor's eviction
+            # already sent the release that retires this grant's lease.
         if orphaned:
             self._release_lease((message.sender,), orphaned, out)
 
@@ -569,7 +583,8 @@ class ProxyEngine:
                     epoch=p.route.epoch,
                     # Evictions detach fills before this point, so the mark
                     # reflects the entry's liveness at flush time.
-                    lease=p.fill_entry is not None,
+                    lease=(p.fill_entry.nonce if p.fill_entry is not None
+                           else None),
                 )
                 for p in batch
                 if server_id in p.targets

@@ -19,13 +19,20 @@ The engine is also the server half of the **read-lease protocol** behind
 the proxies' hot-key read cache: a lease-marked read sub-request registers
 its proxy as a lease holder for the key (confirmed by a ``"lease-grant"``
 frame riding alongside the batch-ack), and any *mutating* sub-request for a
-leased key is **deferred** -- its application and its slot in the batch-ack
-are withheld -- while ``"lease-invalidate"`` frames chase the holders.  The
-batch-ack is released once every holder answers with ``"lease-release"`` or
-its lease expires on the server-side timer.  Because a cached entry is only
-served while a write-blocking set of replicas holds the lease, no write can
-*complete* while any proxy serves the key from cache -- which is exactly
-the intersection argument that keeps cached reads atomic.
+leased key is **deferred** -- its application and its reply are withheld --
+while ``"lease-invalidate"`` frames chase the holders.  Served subs of the
+same batch frame ack immediately in a *partial* batch-ack (one deferred
+write must not stall unrelated keys' replies for up to the lease TTL); each
+deferred sub's reply follows in its own batch-ack once every holder of its
+key answers with ``"lease-release"`` or expires on the server-side timer.
+A lease-marked *mutating* sub (a fill's writeback) is exempt only from the
+sender's own lease: leases held by other proxies defer it like any write,
+else a fill could complete a read of a half-applied write that another
+proxy's still-granted cache entry orders after its old value.  Because a
+cached entry is only served while a write-blocking set of replicas holds
+the lease, no write can *complete* while any proxy serves the key from
+cache -- which is exactly the intersection argument that keeps cached
+reads atomic.
 
 This is the server third of the sans-I/O core: ``on_frame`` consumes one
 decoded frame and returns effects (sends and lease timers), with no
@@ -145,22 +152,6 @@ class _HostedShard:
     installed: Set[str] = field(default_factory=set)
 
 
-@dataclass
-class _DeferredBatch:
-    """One batch frame whose ack is withheld behind lease deferrals.
-
-    ``entries`` is the positional reply list of the eventual batch-ack;
-    deferred sub-requests own a ``None`` slot that is filled when their key
-    unblocks (every lease holder released or expired) and the sub finally
-    applies.  ``remaining`` counts the unfilled slots: at zero the ack is
-    sent and the record dies.
-    """
-
-    request: Message
-    entries: List[Optional[Tuple[str, Optional[Message]]]]
-    remaining: int = 0
-
-
 class GroupServerEngine(ServerLogic):
     """One replica of a replica group, serving many shards' keys.
 
@@ -196,8 +187,8 @@ class GroupServerEngine(ServerLogic):
         self._leases: Dict[str, Set[str]] = {}
         #: key -> holders already chased with an invalidation this episode.
         self._invalidated: Dict[str, Set[str]] = {}
-        #: key -> FIFO of (batch record, sub index) awaiting the key's leases.
-        self._deferred: Dict[str, List[Tuple[_DeferredBatch, int]]] = {}
+        #: key -> FIFO of (batch frame, sub index) awaiting the key's leases.
+        self._deferred: Dict[str, List[Tuple[Message, int]]] = {}
         self.leases_granted = 0
         self.leases_expired = 0
         self.write_deferrals = 0
@@ -356,34 +347,46 @@ class GroupServerEngine(ServerLogic):
         )
         holder = message.sender
         mutating_kinds = self.protocol.mutating_kinds
-        record = _DeferredBatch(request=message, entries=[])
+        entries: List[Tuple[str, Optional[Message]]] = []
         granted: List[str] = []
+        nonces: List[str] = []
         invalidations: Dict[str, List[str]] = {}
         for index, sub in enumerate(subs):
             stale = self._stale_reply_for(sub)
             if stale is not None:
-                record.entries.append((sub.key, stale))
+                entries.append((sub.key, stale))
                 continue
             holders = self._leases.get(sub.key)
-            if (holders and sub.message.kind in mutating_kinds
-                    and not sub.lease):
-                # A write against a leased key: chase every holder with an
-                # invalidation (once per episode) and withhold both the
-                # write's application and its ack slot until they release
-                # or expire.  Lease-marked mutations (a fill's writeback of
-                # an already-existing tag) are exempt -- deferring them
-                # against the filler's own lease would deadlock the fill.
-                self.write_deferrals += 1
-                chased = self._invalidated.setdefault(sub.key, set())
-                for lease_holder in holders - chased:
-                    chased.add(lease_holder)
-                    invalidations.setdefault(lease_holder, []).append(sub.key)
-                record.entries.append(None)
-                record.remaining += 1
-                self._deferred.setdefault(sub.key, []).append((record, index))
-                continue
-            record.entries.append((sub.key, self._serve_sub(sub)))
-            if (sub.lease and sub.message.kind not in mutating_kinds
+            if holders and sub.message.kind in mutating_kinds:
+                # A lease-marked mutation (a fill's writeback of an
+                # already-existing tag) is exempt from the *sender's own*
+                # lease only -- deferring it against that lease would
+                # deadlock the fill.  Other proxies' leases defer it like
+                # any write: their granted cache entries may still order
+                # the key *before* the tag this writeback would complete.
+                blockers = (holders - {holder} if sub.lease is not None
+                            else holders)
+                if blockers:
+                    # A write against a leased key: chase every holder with
+                    # an invalidation (once per episode) and withhold both
+                    # the write's application and its reply until they
+                    # release or expire.  The sender is chased too when its
+                    # own fill is the deferred sub, so the holder set can
+                    # drain (its invalidate detaches the fill proxy-side).
+                    self.write_deferrals += 1
+                    chased = self._invalidated.setdefault(sub.key, set())
+                    for lease_holder in holders - chased:
+                        chased.add(lease_holder)
+                        invalidations.setdefault(lease_holder, []).append(
+                            sub.key
+                        )
+                    self._deferred.setdefault(sub.key, []).append(
+                        (message, index)
+                    )
+                    continue
+            entries.append((sub.key, self._serve_sub(sub)))
+            if (sub.lease is not None
+                    and sub.message.kind not in mutating_kinds
                     and sub.key not in self._deferred):
                 # Register (or refresh) the proxy's read lease.  Keys with
                 # queued writes never grant: handing out fresh leases while
@@ -399,6 +402,7 @@ class GroupServerEngine(ServerLogic):
                     ttl=self.lease_ttl,
                 )
                 granted.append(sub.key)
+                nonces.append(sub.lease)
         for target, keys in invalidations.items():
             self.observer.emit(FRAME_SENT, kind="lease-invalidate", dest=target)
             out.append(
@@ -410,24 +414,30 @@ class GroupServerEngine(ServerLogic):
             # The grant goes out *before* the batch-ack: adapters preserve
             # per-destination ordering, so by the time the proxy counts this
             # replica's ack toward its quorum it already knows whether the
-            # replica registered the lease.
+            # replica registered the lease.  Echoing each key's fill nonce
+            # lets the proxy drop grants that belong to an evicted entry.
             self.observer.emit(FRAME_SENT, kind="lease-grant", dest=holder)
             out.append(
                 SendFrame(
                     holder,
                     make_lease_grant(self.server_id, holder, granted,
-                                     self.lease_ttl),
+                                     self.lease_ttl, nonces),
                 )
             )
-        if record.remaining == 0:
-            self._ack_batch(record, out)
+        if entries:
+            # A *partial* ack when some subs deferred: the served replies
+            # must not wait out another key's lease TTL, and the proxy
+            # matches sub-replies positionally by op id, not per frame.
+            self._ack_batch(message, entries, out)
 
-    def _ack_batch(self, record: _DeferredBatch, out: List[Effect]) -> None:
-        entries = [entry for entry in record.entries if entry is not None]
-        self.observer.emit(
-            FRAME_SENT, kind="batch-ack", dest=record.request.sender
-        )
-        ack = make_batch_ack(record.request, entries)
+    def _ack_batch(
+        self,
+        request: Message,
+        entries: List[Tuple[str, Optional[Message]]],
+        out: List[Effect],
+    ) -> None:
+        self.observer.emit(FRAME_SENT, kind="batch-ack", dest=request.sender)
+        ack = make_batch_ack(request, entries)
         out.append(SendFrame(ack.receiver, ack))
 
     # -- the lease protocol (proxy read cache <-> this replica) ------------------
@@ -467,23 +477,27 @@ class GroupServerEngine(ServerLogic):
     def _flush_deferred(self, key: str, out: List[Effect]) -> None:
         """Apply the writes a key's leases were holding back, oldest first.
 
-        Each applied sub fills its slot in its batch record; a record whose
-        last slot fills releases its withheld batch-ack.  The stale check
-        re-runs at application time: a drain may have fenced the shard while
-        the write sat deferred, and applying it under the old epoch would
-        slip it past the migration's census.
+        Each applied sub's reply goes out in a follow-up partial batch-ack
+        (replies of one original frame coalesce); the served subs of that
+        frame were acked when it arrived.  The stale check re-runs at
+        application time: a drain may have fenced the shard while the write
+        sat deferred, and applying it under the old epoch would slip it
+        past the migration's census.
         """
         queue = self._deferred.pop(key, None)
         if not queue:
             return
-        for record, index in queue:
-            sub = unpack_batch(record.request)[index]
+        acks: Dict[int, Tuple[Message, List[Tuple[str, Optional[Message]]]]]
+        acks = {}
+        for request, index in queue:
+            sub = unpack_batch(request)[index]
             stale = self._stale_reply_for(sub)
             reply = stale if stale is not None else self._serve_sub(sub)
-            record.entries[index] = (sub.key, reply)
-            record.remaining -= 1
-            if record.remaining == 0:
-                self._ack_batch(record, out)
+            acks.setdefault(id(request), (request, []))[1].append(
+                (sub.key, reply)
+            )
+        for request, entries in acks.values():
+            self._ack_batch(request, entries, out)
 
     def on_timer(self, timer_id: TimerId) -> List[Effect]:
         """A server-side lease deadline passed without a release."""

@@ -162,20 +162,24 @@ class SubRequest(NamedTuple):
     legacy single-shard form) is never considered fresh by a group server.
 
     ``lease`` marks a sub-request that belongs to a *cache fill* of the
-    sending proxy's read cache: on a non-mutating sub it asks the server to
-    grant a read lease for the key (the grant rides back as a separate
-    ``"lease-grant"`` frame), and on a mutating sub (the fill's writeback
-    round) it exempts the sub from lease deferral -- a fill writeback can
-    only re-write a tag that already exists, so deferring it against the
-    filler's own lease would deadlock the fill.  The field is omitted from
-    the wire when unset, keeping legacy frames byte-identical.
+    sending proxy's read cache; its value is the fill's **nonce**, a string
+    unique to the cache entry being filled.  On a non-mutating sub it asks
+    the server to grant a read lease for the key (the grant rides back as a
+    separate ``"lease-grant"`` frame echoing the nonce, so the proxy can
+    tie the grant to the exact fill that requested it), and on a mutating
+    sub (the fill's writeback round) it exempts the sub from deferral
+    against the *sender's own* lease only -- a fill writeback can only
+    re-write a tag the sender's lease already covers, so deferring it
+    against that lease would deadlock the fill, but leases held by *other*
+    proxies still defer it like any write.  The field is omitted from the
+    wire when unset, keeping legacy frames byte-identical.
     """
 
     key: str
     message: Message
     shard: Optional[str] = None
     epoch: int = 0
-    lease: bool = False
+    lease: Optional[str] = None
 
 
 #: What callers may pass to :func:`make_batch`: full route-tagged sub-requests
@@ -209,8 +213,8 @@ def _encode_sub_request(sub: SubRequest) -> Dict[str, Any]:
     if sub.shard is not None:
         entry["shard"] = sub.shard
         entry["epoch"] = sub.epoch
-    if sub.lease:
-        entry["lease"] = True
+    if sub.lease is not None:
+        entry["lease"] = sub.lease
     return entry
 
 
@@ -232,7 +236,7 @@ def _decode_sub(receiver: str, entry: Dict[str, Any]) -> SubRequest:
         message=_decode_message(receiver, entry),
         shard=entry.get("shard"),
         epoch=entry.get("epoch", 0),
-        lease=bool(entry.get("lease", False)),
+        lease=entry.get("lease"),
     )
 
 
@@ -651,7 +655,10 @@ def unpack_drain_complete(message: Message) -> Dict[str, Any]:
 #
 #   grant      -> a replica that served a lease-marked read sub-request
 #                 confirms it registered the proxy as a lease holder for
-#                 those keys (one frame per served batch, keys coalesced);
+#                 those keys (one frame per served batch, keys coalesced),
+#                 echoing each key's fill nonce so a delayed grant crossing
+#                 an eviction's release on the wire is never credited to a
+#                 later fill of the same key;
 #   invalidate -> a replica that received a write for a leased key tells
 #                 every holder to drop its cached entry *now*; the write's
 #                 application (and its ack) is deferred until the holders
@@ -660,9 +667,10 @@ def unpack_drain_complete(message: Message) -> Dict[str, Any]:
 #                 invalidation, and also what it sends when it evicts an
 #                 entry on its own (LRU pressure, view change, self-expiry).
 #
-# All three carry a plain key list; ``ttl`` on the grant is the server-side
-# lease duration in the backend's time unit (the proxy self-expires earlier,
-# which is what makes the scheme safe under clock skew).
+# All three carry a plain key list; the grant adds a nonce list aligned with
+# its keys, and ``ttl`` -- the server-side lease duration in the backend's
+# time unit (the proxy self-expires earlier, which is what makes the scheme
+# safe under clock skew).
 
 #: Replica -> proxy: the replica registered read leases for these keys.
 LEASE_GRANT_KIND = "lease-grant"
@@ -697,16 +705,21 @@ def _unpack_lease(message: Message, kind: str,
 
 
 def make_lease_grant(sender: str, receiver: str, keys: Sequence[str],
-                     ttl: float) -> Message:
+                     ttl: float, nonces: Sequence[str]) -> Message:
     """Confirm read leases on ``keys`` for holder ``receiver``, good for
-    ``ttl`` time units from the grant."""
+    ``ttl`` time units from the grant.  ``nonces`` aligns with ``keys``:
+    each is the fill nonce of the lease-marked sub-request that asked for
+    that key's lease, echoed so the holder can attribute the grant."""
     if ttl <= 0:
         raise ValueError("lease ttl must be positive")
-    return _make_lease(sender, receiver, LEASE_GRANT_KIND, keys, {"ttl": ttl})
+    if len(nonces) != len(keys):
+        raise ValueError("a lease grant needs one nonce per key")
+    return _make_lease(sender, receiver, LEASE_GRANT_KIND, keys,
+                       {"ttl": ttl, "nonces": list(nonces)})
 
 
 def unpack_lease_grant(message: Message) -> Dict[str, Any]:
-    return _unpack_lease(message, LEASE_GRANT_KIND, ("ttl",))
+    return _unpack_lease(message, LEASE_GRANT_KIND, ("ttl", "nonces"))
 
 
 def make_lease_invalidate(sender: str, receiver: str,

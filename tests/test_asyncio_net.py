@@ -64,6 +64,63 @@ class TestReplicaServer:
 
         asyncio.run(scenario())
 
+    def test_reconnect_keeps_peer_routing_to_new_connection(self):
+        """A peer that redials must keep receiving out-of-band frames.
+
+        The old connection's teardown races the new registration: its
+        cleanup must not delete the peer-map entry once it points at the
+        new writer, or lease invalidations and deferred batch-acks would
+        silently drop until the peer's next inbound frame.
+        """
+
+        class EffectStub:
+            """Effect-driven logic: 'push' frames ask the server to send
+            an out-of-band frame to another peer; everything else pongs."""
+
+            server_id = "s1"
+
+            def on_frame(self, frame):
+                from repro.kvstore.engine.effects import SendFrame
+
+                if frame.kind == "push":
+                    dest = frame.payload["to"]
+                    return [SendFrame(dest, Message("s1", dest, "oob"))]
+                return [SendFrame(frame.sender, frame.reply("pong", {}))]
+
+            def on_timer(self, timer_id):
+                return []
+
+        async def scenario():
+            from repro.asyncio_net.codec import read_frame, write_frame
+
+            replica = ReplicaServer(EffectStub())
+            await replica.start()
+            try:
+                r1, w1 = await asyncio.open_connection(replica.host, replica.port)
+                await write_frame(w1, Message("p1", "s1", "hello"))
+                assert (await read_frame(r1)).kind == "pong"
+                # The peer redials: the same sender id now maps to the new
+                # connection, while the old one is still open.
+                r2, w2 = await asyncio.open_connection(replica.host, replica.port)
+                await write_frame(w2, Message("p1", "s1", "hello"))
+                assert (await read_frame(r2)).kind == "pong"
+                # Tear the OLD connection down; its cleanup must leave the
+                # remapped peer entry alone.
+                w1.close()
+                await w1.wait_closed()
+                await asyncio.sleep(0.05)
+                r3, w3 = await asyncio.open_connection(replica.host, replica.port)
+                await write_frame(w3, Message("q1", "s1", "push", {"to": "p1"}))
+                oob = await asyncio.wait_for(read_frame(r2), timeout=2.0)
+                assert oob.kind == "oob" and oob.receiver == "p1"
+                for w in (w2, w3):
+                    w.close()
+                    await w.wait_closed()
+            finally:
+                await replica.stop()
+
+        asyncio.run(scenario())
+
 
 class TestClusterIntegration:
     @pytest.mark.parametrize("key,expected_read_rtts", [

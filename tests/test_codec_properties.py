@@ -503,11 +503,13 @@ class TestLeaseFrames:
             LEASE_GRANT_KIND, make_lease_grant, unpack_lease_grant,
         )
 
-        frame = make_lease_grant("g1-s1", "p1", keys, ttl)
+        nonces = [f"op-{i}/1" for i in range(len(keys))]
+        frame = make_lease_grant("g1-s1", "p1", keys, ttl, nonces)
         assert frame.kind == LEASE_GRANT_KIND
         recovered = unpack_lease_grant(frame)
         assert recovered["keys"] == list(keys)
         assert recovered["ttl"] == ttl
+        assert recovered["nonces"] == nonces
 
     @_codec
     @given(keys=_lease_keys, ttl=_lease_ttls)
@@ -518,11 +520,15 @@ class TestLeaseFrames:
 
         # The ttl must survive bit-exactly: a proxy computing its
         # self-expiry point from a mangled ttl could serve a cached value
-        # past the deadline the replicas unblock writers at.
-        encoded = encode_lease_grant_frame("g1-s1", "p1", keys, ttl)
+        # past the deadline the replicas unblock writers at.  The nonces
+        # must survive too: a mangled nonce would make the proxy discount
+        # (or worse, miscredit) the grant.
+        nonces = [f"op-{i}/2" for i in range(len(keys))]
+        encoded = encode_lease_grant_frame("g1-s1", "p1", keys, ttl, nonces)
         decoded = decode_lease_grant_frame(encoded[4:])
         assert decoded["keys"] == list(keys)
         assert decoded["ttl"] == ttl
+        assert decoded["nonces"] == nonces
 
     @_codec
     @given(keys=_lease_keys)
@@ -556,7 +562,7 @@ class TestLeaseFrames:
         )
 
         with pytest.raises(ValueError, match="at least one key"):
-            make_lease_grant("s", "p", [], 1.0)
+            make_lease_grant("s", "p", [], 1.0, [])
         with pytest.raises(ValueError, match="at least one key"):
             make_lease_invalidate("s", "p", [])
         with pytest.raises(ValueError, match="at least one key"):
@@ -566,9 +572,15 @@ class TestLeaseFrames:
         from repro.messages import make_lease_grant
 
         with pytest.raises(ValueError, match="positive"):
-            make_lease_grant("s", "p", ["k"], 0.0)
+            make_lease_grant("s", "p", ["k"], 0.0, ["n"])
         with pytest.raises(ValueError, match="positive"):
-            make_lease_grant("s", "p", ["k"], -1.0)
+            make_lease_grant("s", "p", ["k"], -1.0, ["n"])
+
+    def test_grant_misaligned_nonces_rejected(self):
+        from repro.messages import make_lease_grant
+
+        with pytest.raises(ValueError, match="one nonce per key"):
+            make_lease_grant("s", "p", ["k1", "k2"], 1.0, ["n1"])
 
     def test_unpack_wrong_kind_rejected(self):
         from repro.messages import (
@@ -595,7 +607,7 @@ class TestLeaseFrames:
         # it did before the field existed: no "lease" key anywhere in the
         # frame (same cross-version property the trace field keeps).
         batch = make_batch(
-            "client", "server", [sub._replace(lease=False) for sub in subs]
+            "client", "server", [sub._replace(lease=None) for sub in subs]
         )
         for op in json.loads(encode_message(batch)[4:])["payload"]["ops"]:
             assert "lease" not in op
@@ -603,8 +615,11 @@ class TestLeaseFrames:
     @_codec
     @given(subs=st.lists(_sub_requests, min_size=1, max_size=5))
     def test_lease_marked_subs_round_trip(self, subs):
-        marked = [sub._replace(lease=(index % 2 == 0))
-                  for index, sub in enumerate(subs)]
+        # The mark is the fill's nonce string; unmarked subs stay None.
+        marked = [
+            sub._replace(lease=f"op-{index}/7" if index % 2 == 0 else None)
+            for index, sub in enumerate(subs)
+        ]
         batch = make_batch("client", "server", marked)
         recovered = unpack_batch(decode_message(encode_message(batch)[4:]))
         assert [sub.lease for sub in recovered] == \

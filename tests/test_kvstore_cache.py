@@ -35,7 +35,29 @@ from repro.kvstore import (
     generate_workload,
     run_sim_kv_workload,
 )
-from repro.kvstore.engine import SIM_RETRY_POLICY, ClientSessionEngine
+from repro.kvstore.engine import (
+    SIM_RETRY_POLICY,
+    CachedShardView,
+    ClientSessionEngine,
+    GroupServerEngine,
+    ProxyEngine,
+    SendFrame,
+)
+from repro.core.timestamps import Tag
+from repro.messages import (
+    BATCH_ACK_KIND,
+    LEASE_GRANT_KIND,
+    LEASE_INVALIDATE_KIND,
+    LEASE_RELEASE_KIND,
+    Message,
+    SubRequest,
+    make_batch,
+    make_lease_grant,
+    make_lease_release,
+    unpack_batch_ack,
+    unpack_lease_grant,
+)
+from repro.protocols.codec import encode_tagged
 
 
 def run_until(fabric: MemoryFabric, deadline: float) -> None:
@@ -212,6 +234,185 @@ class TestCacheUnit:
             run_until(fabric, fabric.now + 30.0)
         assert len(proxy._cache) <= 2
         assert proxy._cache.peek("a") is None  # least recently used, evicted
+
+
+def lease_server(lease_ttl=500.0):
+    """One GroupServerEngine hosting the default map's single shard."""
+    shard_map = ShardMap(1, num_groups=1)
+    group = shard_map.groups["g1"]
+    spec = shard_map.shards_on("g1")[0]
+    sid = group.servers[0]
+    engine = GroupServerEngine(
+        sid, group.protocol, {spec.shard_id: spec.epoch}, lease_ttl=lease_ttl
+    )
+    return engine, sid, spec.shard_id, spec.epoch
+
+
+def lease_sub(sender, sid, shard, epoch, kind, key, payload, op_id, rt,
+              nonce=None):
+    return SubRequest(
+        key=key,
+        message=Message(sender=sender, receiver=sid, kind=kind,
+                        payload=payload, op_id=op_id, round_trip=rt),
+        shard=shard, epoch=epoch, lease=nonce,
+    )
+
+
+def sent(effects, kind):
+    return [e for e in effects
+            if isinstance(e, SendFrame) and e.frame.kind == kind]
+
+
+class TestLeaseProtocolServer:
+    """Direct frame-level pins on the server half of the lease protocol."""
+
+    def test_grant_echoes_the_fill_nonce(self):
+        engine, sid, shard, epoch = lease_server()
+        effects = engine.on_frame(make_batch("p1", sid, [
+            lease_sub("c1", sid, shard, epoch, "query", "k", {}, "r1", 1,
+                      nonce="r1/7"),
+        ]))
+        grants = sent(effects, LEASE_GRANT_KIND)
+        assert len(grants) == 1 and grants[0].destination == "p1"
+        payload = unpack_lease_grant(grants[0].frame)
+        assert payload["keys"] == ["k"]
+        assert payload["nonces"] == ["r1/7"]
+
+    def test_fill_writeback_exempt_from_own_lease_only(self):
+        engine, sid, shard, epoch = lease_server()
+        engine.on_frame(make_batch("p1", sid, [
+            lease_sub("c1", sid, shard, epoch, "query", "k", {}, "r1", 1,
+                      nonce="r1/1"),
+        ]))
+        assert engine.lease_holders("k") == {"p1"}
+        # The sender being the sole holder, its writeback sails through.
+        effects = engine.on_frame(make_batch("p1", sid, [
+            lease_sub("c1", sid, shard, epoch, "update", "k",
+                      encode_tagged(Tag(1, "c1"), "v1"), "r1", 2,
+                      nonce="r1/1"),
+        ]))
+        assert engine.write_deferrals == 0
+        assert len(sent(effects, BATCH_ACK_KIND)) == 1
+
+    def test_fill_writeback_defers_against_other_holders(self):
+        engine, sid, shard, epoch = lease_server()
+        # p2 caches the key first: p2 is a lease holder here.
+        engine.on_frame(make_batch("p2", sid, [
+            lease_sub("c2", sid, shard, epoch, "query", "k", {}, "r2", 1,
+                      nonce="r2/1"),
+        ]))
+        assert engine.lease_holders("k") == {"p2"}
+        # p1's lease-marked writeback must NOT slip past p2's lease: while
+        # p2's granted entry stands, completing this write's read would let
+        # two cache-served reads invert in real time.
+        effects = engine.on_frame(make_batch("p1", sid, [
+            lease_sub("c1", sid, shard, epoch, "update", "k",
+                      encode_tagged(Tag(2, "c1"), "v2"), "w1", 2,
+                      nonce="w1/1"),
+        ]))
+        assert engine.write_deferrals == 1
+        assert engine.deferred_subs == 1
+        assert not sent(effects, BATCH_ACK_KIND)
+        chases = sent(effects, LEASE_INVALIDATE_KIND)
+        assert [c.destination for c in chases] == ["p2"]
+        # p2 releasing unblocks the writeback: it applies and acks to p1.
+        effects = engine.on_frame(make_lease_release("p2", sid, ["k"]))
+        acks = sent(effects, BATCH_ACK_KIND)
+        assert len(acks) == 1 and acks[0].destination == "p1"
+        assert engine.deferred_subs == 0
+
+    def test_deferral_acks_served_subs_immediately(self):
+        engine, sid, shard, epoch = lease_server()
+        engine.on_frame(make_batch("p2", sid, [
+            lease_sub("c2", sid, shard, epoch, "query", "k", {}, "r2", 1,
+                      nonce="r2/1"),
+        ]))
+        # One frame carrying an innocent read of "j" and a write against
+        # the leased "k": the read's reply must not wait out k's lease.
+        effects = engine.on_frame(make_batch("p1", sid, [
+            lease_sub("c1", sid, shard, epoch, "query", "j", {}, "r3", 1),
+            lease_sub("c3", sid, shard, epoch, "update", "k",
+                      encode_tagged(Tag(3, "c3"), "v3"), "w2", 2),
+        ]))
+        acks = sent(effects, BATCH_ACK_KIND)
+        assert len(acks) == 1
+        assert [key for key, _ in unpack_batch_ack(acks[0].frame)] == ["j"]
+        # The deferred slot follows in its own ack once the holder clears.
+        effects = engine.on_frame(make_lease_release("p2", sid, ["k"]))
+        acks = sent(effects, BATCH_ACK_KIND)
+        assert len(acks) == 1
+        assert [key for key, _ in unpack_batch_ack(acks[0].frame)] == ["k"]
+
+
+class TestGrantAttribution:
+    def test_stale_nonce_grant_is_dropped_not_credited(self):
+        _, fabric, client, proxy, _ = build_memory_stack(
+            use_proxy=True, read_cache=8
+        )
+        seen = {}
+        issue(fabric, client, OpKind.WRITE, "k", "v1", seen)
+        run_until(fabric, 50.0)
+        issue(fabric, client, OpKind.READ, "k", None, seen)
+        run_until(fabric, 100.0)
+        entry = proxy._cache.peek("k")
+        assert entry is not None and entry.nonce
+        server = entry.route.servers[0]
+        entry.grants.discard(server)
+        # A grant for a *previous* fill of the key (wrong nonce) is neither
+        # credited nor answered with a release -- the predecessor entry's
+        # own eviction release retires that lease, and releasing again here
+        # could clear the live fill's fresh lease at the replica.
+        effects = proxy.on_frame(
+            make_lease_grant(server, "p1", ["k"], 100.0, ["ghost/0"])
+        )
+        assert server not in entry.grants
+        assert not [e for e in effects if isinstance(e, SendFrame)]
+        # The same grant with the live entry's nonce is credited.
+        effects = proxy.on_frame(
+            make_lease_grant(server, "p1", ["k"], 100.0, [entry.nonce])
+        )
+        assert server in entry.grants
+        # A grant for a key with no entry at all hands the lease back.
+        effects = proxy.on_frame(
+            make_lease_grant(server, "p1", ["zzz"], 100.0, ["ghost/1"])
+        )
+        releases = sent(effects, LEASE_RELEASE_KIND)
+        assert len(releases) == 1 and releases[0].destination == server
+
+    def test_two_proxies_filling_one_key_stay_atomic(self):
+        shard_map, fabric, client, proxy, recorder = build_memory_stack(
+            use_proxy=True, read_cache=8
+        )
+        # A second proxy with its own client: its fill's writeback races
+        # p1's granted entry and must defer behind p1's lease.
+        proxy2 = ProxyEngine(
+            "p2", CachedShardView(shard_map), policy=SIM_RETRY_POLICY,
+            read_cache=8, lease_ttl=1000.0, read_round_trips=2,
+        )
+        fabric.register("p2", proxy2)
+        client2 = ClientSessionEngine(
+            "c2", shard_map, recorder, policy=SIM_RETRY_POLICY,
+            proxy_candidates=["p2"],
+        )
+        fabric.register("c2", client2)
+        fabric.execute("c2", client2.on_connected("p2"))
+        seen = {}
+        issue(fabric, client, OpKind.WRITE, "k", "v1", seen)
+        run_until(fabric, 50.0)
+        issue(fabric, client, OpKind.READ, "k", None, seen)
+        run_until(fabric, 100.0)
+        assert proxy._cache.peek("k") is not None
+        issue(fabric, client2, OpKind.READ, "k", None, seen)
+        fabric.run()
+        assert seen["c1"] == "v1" and seen["c2"] == "v1"
+        # p2's fill writeback was deferred against p1's standing lease and
+        # the invalidation chase tore both cached entries down.
+        servers = [
+            fabric._engines[sid] for sid in shard_map.groups["g1"].servers
+        ]
+        assert sum(s.write_deferrals for s in servers) >= 1
+        assert not any(s.lease_holders("k") for s in servers)
+        assert check_per_key_atomicity(recorder.histories()).all_atomic
 
 
 class TestCacheSim:
